@@ -1,0 +1,118 @@
+// Shared harness utilities for the figure-reproduction benchmarks: a tiny
+// --key=value flag parser and fixed-width table printing so each binary
+// emits the same rows/series its paper figure reports.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mlkv::bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_.emplace_back(arg, "1");
+      } else {
+        kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      }
+    }
+  }
+
+  int64_t Int(const std::string& name, int64_t def) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return std::strtoll(v.c_str(), nullptr, 10);
+    }
+    return def;
+  }
+  double Double(const std::string& name, double def) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return std::strtod(v.c_str(), nullptr);
+    }
+    return def;
+  }
+  bool Bool(const std::string& name, bool def) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return v != "0" && v != "false";
+    }
+    return def;
+  }
+  std::string Str(const std::string& name, const std::string& def) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return v;
+    }
+    return def;
+  }
+  bool Has(const std::string& name) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+// Fixed-width table: Header(...) then Row(...) with matching arity.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {}
+
+  void PrintHeader() const {
+    for (const auto& c : columns_) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size() * static_cast<size_t>(width_); ++i) {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void Cell(const std::string& s) { cells_.push_back(s); }
+  void Cell(double v, const char* fmt = "%.2f") {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    cells_.emplace_back(buf);
+  }
+  void Cell(uint64_t v) { cells_.push_back(std::to_string(v)); }
+  void Cell(int64_t v) { cells_.push_back(std::to_string(v)); }
+  void Cell(int v) { cells_.push_back(std::to_string(v)); }
+
+  void EndRow() {
+    for (const auto& c : cells_) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+    cells_.clear();
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+  std::vector<std::string> cells_;
+};
+
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::fflush(stdout);
+}
+
+// Pretty throughput: "12.3K" / "4.5M".
+inline std::string Human(double v) {
+  char buf[32];
+  if (v >= 1e6) std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  else if (v >= 1e3) std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  else std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace mlkv::bench

@@ -1,0 +1,253 @@
+// Extension bench (beyond the paper's Fig. 10): the full YCSB core suite
+// A-F across all four storage engines (MLKV, FASTER-mode, LSM, B+tree).
+//
+// The paper evaluates only the A-style 50/50 mix; this binary characterizes
+// each engine across the standard mixes so the trade-offs DESIGN.md cites
+// are visible: log-structured engines win write-heavy mixes (A, F), the
+// B+tree wins scans (E), bounded-staleness tracking costs a few percent on
+// read-heavy mixes (B, C), and the LSM pays read amplification everywhere.
+//
+// Scans on the hash-indexed log engines are emulated as `scan_length`
+// consecutive point reads (keys are dense 64-bit integers), the standard
+// approach for hash KV stores, and are labelled as such.
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "btree/btree_store.h"
+#include "common/clock.h"
+#include "io/file_device.h"
+#include "io/temp_dir.h"
+#include "kv/faster_store.h"
+#include "lsm/lsm_store.h"
+#include "workloads/ycsb.h"
+
+using namespace mlkv;
+using namespace mlkv::bench;
+
+namespace {
+
+struct RunConfig {
+  uint64_t num_keys = 100000;
+  uint64_t buffer_mb = 8;
+  int threads = 4;
+  uint32_t value_size = 64;
+  uint64_t ops_per_thread = 50000;
+};
+
+// Minimal engine seam for this benchmark: the four engines expose slightly
+// different native interfaces; each adapter maps the five YCSB op kinds.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual Status Read(Key key, char* buf, uint32_t n) = 0;
+  virtual Status Update(Key key, const char* buf, uint32_t n) = 0;
+  virtual Status Insert(Key key, const char* buf, uint32_t n) {
+    return Update(key, buf, n);
+  }
+  virtual Status Scan(Key from, uint32_t count, uint32_t value_size) = 0;
+  virtual Status Rmw(Key key, uint32_t n) = 0;
+};
+
+class FasterEngine : public Engine {
+ public:
+  FasterEngine(const RunConfig& rc, const TempDir& dir, bool staleness) {
+    FasterOptions o;
+    o.path = dir.File(staleness ? "mlkv.log" : "faster.log");
+    o.index_slots = rc.num_keys;
+    o.mem_size = rc.buffer_mb << 20;
+    o.track_staleness = staleness;
+    o.staleness_bound = UINT32_MAX - 1;  // ASP: clocks maintained, no waits
+    if (!store_.Open(o).ok()) std::exit(1);
+  }
+  Status Read(Key key, char* buf, uint32_t n) override {
+    return store_.Read(key, buf, n);
+  }
+  Status Update(Key key, const char* buf, uint32_t n) override {
+    return store_.Upsert(key, buf, n);
+  }
+  Status Scan(Key from, uint32_t count, uint32_t value_size) override {
+    // Emulated: consecutive point reads (dense key space).
+    std::vector<char> buf(value_size);
+    for (uint32_t i = 0; i < count; ++i) {
+      store_.Read(from + i, buf.data(), value_size).ok();  // misses OK
+    }
+    return Status::OK();
+  }
+  Status Rmw(Key key, uint32_t n) override {
+    return store_.Rmw(key, n, [](char* value, uint32_t size, bool) {
+      for (uint32_t i = 0; i < size; ++i) value[i] = static_cast<char>(
+          value[i] + 1);
+    });
+  }
+  FasterStore store_;
+};
+
+class LsmEngine : public Engine {
+ public:
+  LsmEngine(const RunConfig& rc, const TempDir& dir) {
+    LsmOptions o;
+    o.dir = dir.path() + "/lsm";
+    o.memtable_bytes = (rc.buffer_mb << 20) / 4;
+    o.block_cache_bytes = (rc.buffer_mb << 20) * 3 / 4;
+    if (!store_.Open(o).ok()) std::exit(1);
+  }
+  Status Read(Key key, char* buf, uint32_t n) override {
+    std::string v;
+    Status s = store_.Get(key, &v);
+    if (s.ok()) std::memcpy(buf, v.data(), std::min<size_t>(n, v.size()));
+    return s;
+  }
+  Status Update(Key key, const char* buf, uint32_t n) override {
+    return store_.Put(key, buf, n);
+  }
+  Status Scan(Key from, uint32_t count, uint32_t) override {
+    uint32_t seen = 0;
+    return store_.Scan(from, from + count - 1,
+                       [&seen](Key, const std::string&) { ++seen; });
+  }
+  Status Rmw(Key key, uint32_t n) override {
+    std::string v;
+    Status s = store_.Get(key, &v);
+    if (!s.ok() && !s.IsNotFound()) return s;
+    if (v.size() < n) v.resize(n);
+    for (auto& c : v) c = static_cast<char>(c + 1);
+    std::lock_guard<std::mutex> lk(rmw_mu_);  // LSM has no native RMW
+    return store_.Put(key, v.data(), static_cast<uint32_t>(v.size()));
+  }
+  LsmStore store_;
+  std::mutex rmw_mu_;
+};
+
+class BtreeEngine : public Engine {
+ public:
+  BtreeEngine(const RunConfig& rc, const TempDir& dir) {
+    BTreeOptions o;
+    o.path = dir.File("btree.db");
+    o.buffer_pool_bytes = rc.buffer_mb << 20;
+    o.value_size = rc.value_size;
+    if (!store_.Open(o).ok()) std::exit(1);
+  }
+  Status Read(Key key, char* buf, uint32_t) override {
+    return store_.Get(key, buf);
+  }
+  Status Update(Key key, const char* buf, uint32_t) override {
+    return store_.Put(key, buf);
+  }
+  Status Scan(Key from, uint32_t count, uint32_t) override {
+    uint32_t seen = 0;
+    return store_.Scan(from, from + count - 1,
+                       [&seen](Key, const void*) { ++seen; });
+  }
+  Status Rmw(Key key, uint32_t n) override {
+    std::vector<char> buf(store_.value_size());
+    Status s = store_.Get(key, buf.data());
+    if (!s.ok() && !s.IsNotFound()) return s;
+    for (auto& c : buf) c = static_cast<char>(c + 1);
+    (void)n;
+    return store_.Put(key, buf.data());
+  }
+  BTreeStore store_;
+};
+
+std::unique_ptr<Engine> MakeEngine(const std::string& name,
+                                   const RunConfig& rc, const TempDir& dir) {
+  if (name == "MLKV") return std::make_unique<FasterEngine>(rc, dir, true);
+  if (name == "FASTER") return std::make_unique<FasterEngine>(rc, dir, false);
+  if (name == "LSM") return std::make_unique<LsmEngine>(rc, dir);
+  return std::make_unique<BtreeEngine>(rc, dir);
+}
+
+double RunWorkload(char which, const std::string& engine_name,
+                   const RunConfig& rc) {
+  TempDir dir;
+  auto engine = MakeEngine(engine_name, rc, dir);
+  YcsbConfig cfg = YcsbStandardConfig(which, rc.num_keys, rc.value_size);
+
+  // Load phase.
+  {
+    YcsbWorkload loader(cfg, 0);
+    std::vector<char> value(rc.value_size);
+    for (Key k = 0; k < rc.num_keys; ++k) {
+      loader.FillValue(k, 0, value.data());
+      if (!engine->Insert(k, value.data(), rc.value_size).ok()) {
+        std::exit(1);
+      }
+    }
+  }
+
+  // Run phase. Scans count one op per range, matching YCSB accounting.
+  std::atomic<uint64_t> total_ops{0};
+  StopWatch watch;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < rc.threads; ++t) {
+    threads.emplace_back([&, t] {
+      YcsbWorkload w(cfg, t + 1, rc.threads);
+      std::vector<char> buf(rc.value_size);
+      for (uint64_t i = 0; i < rc.ops_per_thread; ++i) {
+        const auto op = w.Next();
+        switch (op.type) {
+          case YcsbOpType::kRead:
+            engine->Read(op.key, buf.data(), rc.value_size).ok();
+            break;
+          case YcsbOpType::kUpdate:
+          case YcsbOpType::kInsert:
+            w.FillValue(op.key, i, buf.data());
+            engine->Update(op.key, buf.data(), rc.value_size).ok();
+            break;
+          case YcsbOpType::kScan:
+            engine->Scan(op.key, op.scan_length, rc.value_size).ok();
+            break;
+          case YcsbOpType::kRmw:
+            engine->Rmw(op.key, rc.value_size).ok();
+            break;
+        }
+      }
+      total_ops.fetch_add(rc.ops_per_thread);
+    });
+  }
+  for (auto& th : threads) th.join();
+  return static_cast<double>(total_ops.load()) / watch.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  FileDevice::SetGlobalSimulatedCosts(
+      flags.Int("nvme_read_us", 30), flags.Double("nvme_read_gbps", 1.0),
+      flags.Double("nvme_write_gbps", 1.0));
+  if (flags.Has("help")) {
+    std::printf("ycsb_suite: YCSB A-F across MLKV/FASTER/LSM/BTree\n"
+                "  --keys=100000 --ops=50000 --threads=4\n");
+    return 0;
+  }
+  RunConfig rc;
+  rc.num_keys = flags.Int("keys", 100000);
+  rc.ops_per_thread = flags.Int("ops", 50000);
+  rc.threads = static_cast<int>(flags.Int("threads", 4));
+  rc.buffer_mb = flags.Int("buffer_mb", 8);
+
+  Banner("YCSB core suite A-F, ops/s per engine (extension bench)");
+  std::printf("A: 50r/50u zipf  B: 95r/5u zipf  C: 100r zipf\n"
+              "D: 95r/5i latest E: 95scan/5i    F: 50r/50rmw\n"
+              "(scans on MLKV/FASTER are emulated as consecutive reads)\n\n");
+  Table t({"workload", "MLKV", "FASTER", "LSM", "BTree"});
+  t.PrintHeader();
+  for (char which : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+    t.Cell(std::string(1, which));
+    for (const char* engine : {"MLKV", "FASTER", "LSM", "BTree"}) {
+      t.Cell(Human(RunWorkload(which, engine, rc)));
+    }
+    t.EndRow();
+  }
+  std::printf("\nExpected shape: MLKV within ~10-20%% of FASTER everywhere "
+              "(vector-clock cost, paper §IV-E); LSM trails on reads (read "
+              "amplification); BTree leads scans (E) but trails on "
+              "write-heavy mixes (A, F).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// DLRM click-through-rate training on a synthetic Criteo-style stream —
+// the paper's flagship workload (PERSIA-MLKV). Trains an FFNN over an
+// out-of-core MLKV embedding table and prints the AUC convergence curve.
+//
+//   build/examples/dlrm_ctr [--batches=400] [--buffer_mb=8] [--dcn]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "backend/kv_backend.h"
+#include "io/temp_dir.h"
+#include "train/ctr_trainer.h"
+
+using namespace mlkv;
+
+int main(int argc, char** argv) {
+  uint64_t batches = 400;
+  uint64_t buffer_mb = 8;
+  bool dcn = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--batches=", 10) == 0) {
+      batches = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--buffer_mb=", 12) == 0) {
+      buffer_mb = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dcn") == 0) {
+      dcn = true;
+    }
+  }
+
+  TempDir workdir("mlkv-dlrm");
+  BackendConfig cfg;
+  cfg.dir = workdir.File("db");
+  cfg.dim = 16;
+  cfg.buffer_bytes = buffer_mb << 20;
+  cfg.staleness_bound = 16;  // SSP
+  std::unique_ptr<KvBackend> backend;
+  if (!MakeBackend(BackendKind::kMlkv, cfg, &backend).ok()) return 1;
+
+  CtrTrainerOptions o;
+  o.data.num_fields = 8;
+  o.data.field_cardinality = 50000;  // 400k embeddings, larger than buffer
+  o.dim = 16;
+  o.model = dcn ? CtrModelKind::kDcn : CtrModelKind::kFfnn;
+  o.batch_size = 128;
+  o.num_workers = 2;
+  o.train_batches = batches;
+  o.eval_every = static_cast<int>(batches / 8);
+  o.eval_samples = 2000;
+  o.embedding_lr = 0.3f;
+  o.lookahead_depth = 4;  // hide disk reads for upcoming batches
+
+  std::printf("training %s on synthetic Criteo (%llu embeddings, %llu MiB "
+              "buffer, bound=%u, lookahead on)...\n",
+              dcn ? "DCN" : "FFNN",
+              (unsigned long long)(o.data.num_fields *
+                                   o.data.field_cardinality),
+              (unsigned long long)buffer_mb, cfg.staleness_bound);
+
+  CtrTrainer trainer(backend.get(), o);
+  const TrainResult r = trainer.Train();
+
+  std::printf("\n%-10s %-10s\n", "seconds", "AUC");
+  for (const auto& [sec, auc] : r.metric_curve) {
+    std::printf("%-10.1f %-10.4f\n", sec, auc);
+  }
+  std::printf("\nthroughput: %.0f samples/s over %llu samples\n",
+              r.throughput(), (unsigned long long)r.samples);
+  std::printf("phase split: emb=%.1fs fwd=%.1fs bwd=%.1fs (of %.1fs wall)\n",
+              r.embedding_seconds, r.forward_seconds, r.backward_seconds,
+              r.seconds);
+  std::printf("disk traffic: %.1f MiB read, %.1f MiB written\n",
+              r.device_bytes_read / 1048576.0,
+              r.device_bytes_written / 1048576.0);
+  return 0;
+}

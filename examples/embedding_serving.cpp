@@ -1,0 +1,95 @@
+// Train -> checkpoint -> serve: the full lifecycle of an embedding model on
+// MLKV (the inference half mirrors HugeCTR's out-of-core parameter server,
+// which the paper cites as a motivating integration).
+//
+//   build/examples/embedding_serving
+//
+// Phase 1 trains a small CTR-style embedding table and checkpoints it.
+// Phase 2 simulates a serving replica: a fresh Mlkv instance recovers the
+// directory, warms the head of the popularity distribution into the
+// serving cache, and answers zipfian batched lookups, printing hit rates
+// and tail latency.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "io/temp_dir.h"
+#include "mlkv/mlkv.h"
+#include "serve/embedding_server.h"
+
+using namespace mlkv;
+
+namespace {
+constexpr uint32_t kDim = 16;
+constexpr Key kRows = 100000;
+}  // namespace
+
+int main() {
+  TempDir workdir("mlkv-serving");
+  MlkvOptions options;
+  options.dir = workdir.File("db");
+  options.mem_size = 8ull << 20;
+
+  // ---- Phase 1: "train" and checkpoint. ----
+  {
+    std::unique_ptr<Mlkv> db;
+    if (!Mlkv::Open(options, &db).ok()) return 1;
+    EmbeddingTable* table = nullptr;
+    OptimizerConfig adagrad;
+    adagrad.kind = OptimizerKind::kAdagrad;
+    if (!db->OpenTable("ctr_emb", kDim, 8, &table, adagrad).ok()) return 1;
+    std::vector<float> v(kDim), g(kDim, 0.05f);
+    for (Key k = 0; k < kRows; ++k) {
+      if (!table->GetOrInit({&k, 1}, v.data()).ok()) return 1;
+    }
+    // A few gradient passes over a popular subset (what training skew does).
+    ZipfianGenerator zipf(kRows, 0.99, 7);
+    for (int i = 0; i < 50000; ++i) {
+      const Key k = zipf.NextScrambled();
+      if (!table->Get({&k, 1}, v.data()).ok()) return 1;
+      if (!table->ApplyGradients({&k, 1}, g.data()).ok()) return 1;
+    }
+    if (!db->CheckpointAll().ok()) return 1;
+    std::printf("phase1: trained %llu rows, checkpointed\n",
+                static_cast<unsigned long long>(table->num_embeddings()));
+  }
+
+  // ---- Phase 2: serving replica recovers and answers lookups. ----
+  std::unique_ptr<Mlkv> db;
+  if (!Mlkv::Open(options, &db).ok()) return 1;
+  EmbeddingTable* table = nullptr;
+  if (!db->OpenExistingTable("ctr_emb", &table).ok()) return 1;
+
+  ServeOptions so;
+  so.cache_capacity = 1 << 14;
+  EmbeddingServer server(table, so);
+
+  // Deploy-time warmup: the head of the id distribution is known.
+  std::vector<Key> head(1 << 13);
+  for (size_t i = 0; i < head.size(); ++i) head[i] = i;
+  if (!server.Warm(head).ok()) return 1;
+  std::printf("phase2: recovered table, warmed %zu hot rows\n", head.size());
+
+  // Serve zipfian traffic.
+  ZipfianGenerator zipf(kRows, 0.99, 99);
+  std::vector<Key> batch(256);
+  std::vector<float> out(batch.size() * kDim);
+  for (int b = 0; b < 500; ++b) {
+    for (auto& k : batch) k = zipf.NextScrambled();
+    if (!server.Lookup(batch, out.data()).ok()) return 1;
+  }
+  const auto st = server.stats();
+  std::printf("served %llu lookups in %llu batches\n",
+              static_cast<unsigned long long>(st.lookups),
+              static_cast<unsigned long long>(st.batches));
+  std::printf("cache hits %.1f%%  store hits %.1f%%  missing %llu\n",
+              100.0 * st.cache_hits / static_cast<double>(st.lookups),
+              100.0 * st.store_hits / static_cast<double>(st.lookups),
+              static_cast<unsigned long long>(st.missing));
+  std::printf("batch latency p50 %llu us  p95 %llu us  p99 %llu us\n",
+              static_cast<unsigned long long>(st.batch_p50_us),
+              static_cast<unsigned long long>(st.batch_p95_us),
+              static_cast<unsigned long long>(st.batch_p99_us));
+  return st.missing == 0 && st.cache_hits > 0 ? 0 : 1;
+}

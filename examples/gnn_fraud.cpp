@@ -1,0 +1,65 @@
+// Transaction-risk GNN (the eBay-Trisk case study, paper §IV-F): GraphSage
+// over a bipartite transaction/entity graph, binary risk labels, AUC over
+// time, with look-ahead prefetching hiding entity-embedding disk reads.
+//
+//   build/examples/gnn_fraud [--batches=400] [--buffer_mb=4]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "backend/kv_backend.h"
+#include "io/temp_dir.h"
+#include "train/gnn_trainer.h"
+
+using namespace mlkv;
+
+int main(int argc, char** argv) {
+  uint64_t batches = 400;
+  uint64_t buffer_mb = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--batches=", 10) == 0) {
+      batches = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--buffer_mb=", 12) == 0) {
+      buffer_mb = std::strtoull(argv[i] + 12, nullptr, 10);
+    }
+  }
+
+  TempDir workdir("mlkv-fraud");
+  BackendConfig cfg;
+  cfg.dir = workdir.File("db");
+  cfg.dim = 32;
+  cfg.buffer_bytes = buffer_mb << 20;
+  cfg.staleness_bound = 16;
+  std::unique_ptr<KvBackend> backend;
+  if (!MakeBackend(BackendKind::kMlkv, cfg, &backend).ok()) return 1;
+
+  GnnTrainerOptions o;
+  o.task = GnnTask::kEbayTrisk;
+  o.ebay.num_transactions = 100000;
+  o.ebay.num_entities = 40000;
+  o.dim = 32;
+  o.hidden = 32;
+  o.batch_size = 64;
+  o.num_workers = 2;
+  o.train_batches = batches;
+  o.eval_every = static_cast<int>(batches / 8);
+  o.eval_nodes = 800;
+  o.embedding_lr = 0.1f;
+  o.lookahead_depth = 6;
+
+  std::printf("training GraphSage risk model on bipartite graph "
+              "(%llu transactions, %llu entities, %llu MiB buffer)...\n",
+              (unsigned long long)o.ebay.num_transactions,
+              (unsigned long long)o.ebay.num_entities,
+              (unsigned long long)buffer_mb);
+  GnnTrainer trainer(backend.get(), o);
+  const TrainResult r = trainer.Train();
+
+  std::printf("\n%-10s %-10s\n", "seconds", "AUC");
+  for (const auto& [sec, auc] : r.metric_curve) {
+    std::printf("%-10.1f %-10.4f\n", sec, auc);
+  }
+  std::printf("\nthroughput: %.0f transactions/s, final risk AUC %.3f\n",
+              r.throughput(), r.final_metric);
+  return 0;
+}

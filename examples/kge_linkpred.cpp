@@ -1,0 +1,69 @@
+// Knowledge-graph embedding training (DGL-KE-MLKV's role): DistMult or
+// ComplEx with negative sampling on a synthetic clustered KG, Hits@10
+// reported over time — optionally with the Marius-style BETA partition
+// traversal that Fig. 9(b) evaluates.
+//
+//   build/examples/kge_linkpred [--batches=800] [--complex] [--beta]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "backend/kv_backend.h"
+#include "io/temp_dir.h"
+#include "train/kge_trainer.h"
+
+using namespace mlkv;
+
+int main(int argc, char** argv) {
+  uint64_t batches = 800;
+  bool use_complex = false;
+  bool use_beta = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--batches=", 10) == 0) {
+      batches = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--complex") == 0) {
+      use_complex = true;
+    } else if (std::strcmp(argv[i], "--beta") == 0) {
+      use_beta = true;
+    }
+  }
+
+  TempDir workdir("mlkv-kge");
+  BackendConfig cfg;
+  cfg.dir = workdir.File("db");
+  cfg.dim = 32;
+  cfg.buffer_bytes = 8ull << 20;
+  cfg.staleness_bound = 16;
+  std::unique_ptr<KvBackend> backend;
+  if (!MakeBackend(BackendKind::kMlkv, cfg, &backend).ok()) return 1;
+
+  KgeTrainerOptions o;
+  o.data.num_entities = 20000;
+  o.data.num_relations = 8;
+  o.data.num_clusters = 16;
+  o.dim = 32;
+  o.model = use_complex ? KgeModelKind::kComplEx : KgeModelKind::kDistMult;
+  o.batch_size = 128;
+  o.num_workers = 2;
+  o.train_batches = batches;
+  o.eval_every = static_cast<int>(batches / 8);
+  o.eval_triples = 400;
+  o.lookahead_depth = 4;
+  o.use_beta = use_beta;
+
+  std::printf("training %s on synthetic KG (%llu entities%s)...\n",
+              KgeModelName(o.model),
+              (unsigned long long)o.data.num_entities,
+              use_beta ? ", BETA traversal" : "");
+  KgeTrainer trainer(backend.get(), o);
+  const TrainResult r = trainer.Train();
+
+  std::printf("\n%-10s %-10s\n", "seconds", "Hits@10");
+  for (const auto& [sec, hits] : r.metric_curve) {
+    std::printf("%-10.1f %-10.4f\n", sec, hits);
+  }
+  std::printf("\nthroughput: %.0f triples/s, final Hits@10 %.3f "
+              "(random ~ 0.20)\n",
+              r.throughput(), r.final_metric);
+  return 0;
+}

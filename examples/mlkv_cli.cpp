@@ -1,0 +1,253 @@
+// mlkv_cli: command-line inspection and maintenance for an MLKV directory.
+//
+//   mlkv_cli <dir> tables
+//   mlkv_cli <dir> create <table> <dim> <staleness_bound> [sgd|momentum|adagrad|adam]
+//   mlkv_cli <dir> stats <table>
+//   mlkv_cli <dir> get <table> <key>
+//   mlkv_cli <dir> put <table> <key> <v0,v1,...>
+//   mlkv_cli <dir> del <table> <key>
+//   mlkv_cli <dir> scan <table> [limit]
+//   mlkv_cli <dir> compact <table>
+//   mlkv_cli <dir> export <table> <path>
+//   mlkv_cli <dir> import <table> <path>
+//   mlkv_cli <dir> checkpoint
+//
+// Demonstrates the operational surface of the library: the manifest
+// (OpenExistingTable), log scans, GC, export/import, and checkpoints.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kv/log_iterator.h"
+#include "mlkv/mlkv.h"
+
+using namespace mlkv;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mlkv_cli <dir> <command> [args]\n"
+      "  tables                              list tables in the manifest\n"
+      "  create <t> <dim> <bound> [opt]      create a table\n"
+      "  stats <t>                           store statistics\n"
+      "  get <t> <key>                       print one embedding\n"
+      "  put <t> <key> <v0,v1,...>           write one embedding\n"
+      "  del <t> <key>                       delete one embedding\n"
+      "  scan <t> [limit]                    list live keys (log order)\n"
+      "  compact <t>                         garbage-collect the log\n"
+      "  export <t> <path> | import <t> <path>\n"
+      "  checkpoint                          checkpoint every open table\n");
+  return 2;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+// The store's durability unit is the checkpoint (paper §II-B), and every
+// CLI invocation is its own process — so mutating commands checkpoint
+// before exiting or their effect would vanish with the process.
+int CommitAndExit(Mlkv* db, int rc) {
+  if (rc == 0) {
+    const Status s = db->CheckpointAll();
+    if (!s.ok()) return Fail(s);
+  }
+  return rc;
+}
+
+std::vector<float> ParseFloats(const std::string& csv) {
+  std::vector<float> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t next = csv.find(',', pos);
+    if (next == std::string::npos) next = csv.size();
+    out.push_back(std::strtof(csv.substr(pos, next - pos).c_str(), nullptr));
+    pos = next + 1;
+  }
+  return out;
+}
+
+void PrintVector(const float* v, uint32_t dim) {
+  std::printf("[");
+  for (uint32_t d = 0; d < dim; ++d) {
+    std::printf("%s%.4f", d ? ", " : "", v[d]);
+  }
+  std::printf("]\n");
+}
+
+bool ParseOptimizer(const std::string& name, OptimizerConfig* out) {
+  if (name == "sgd") {
+    out->kind = OptimizerKind::kSgd;
+  } else if (name == "momentum") {
+    out->kind = OptimizerKind::kMomentum;
+  } else if (name == "adagrad") {
+    out->kind = OptimizerKind::kAdagrad;
+  } else if (name == "adam") {
+    out->kind = OptimizerKind::kAdam;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string dir = argv[1];
+  const std::string cmd = argv[2];
+
+  MlkvOptions options;
+  options.dir = dir;
+  std::unique_ptr<Mlkv> db;
+  Status s = Mlkv::Open(options, &db);
+  if (!s.ok()) return Fail(s);
+
+  auto open_table = [&](const char* id, EmbeddingTable** t) {
+    return db->OpenExistingTable(id, t);
+  };
+
+  if (cmd == "tables") {
+    for (const auto& id : db->ListTables()) {
+      EmbeddingTable* t = nullptr;
+      if (!open_table(id.c_str(), &t).ok()) continue;
+      std::printf("%-24s dim=%-5u bound=%-10u optimizer=%-8s rows~%llu\n",
+                  id.c_str(), t->dim(), t->staleness_bound(),
+                  OptimizerKindName(t->optimizer().kind),
+                  static_cast<unsigned long long>(t->num_embeddings()));
+    }
+    return 0;
+  }
+
+  if (cmd == "create") {
+    if (argc < 6) return Usage();
+    OptimizerConfig opt;
+    if (argc > 6 && !ParseOptimizer(argv[6], &opt)) return Usage();
+    EmbeddingTable* t = nullptr;
+    s = db->OpenTable(argv[3],
+                      static_cast<uint32_t>(std::strtoul(argv[4], nullptr, 10)),
+                      static_cast<uint32_t>(std::strtoul(argv[5], nullptr, 10)),
+                      &t, opt);
+    if (!s.ok()) return Fail(s);
+    std::printf("created %s\n", argv[3]);
+    return CommitAndExit(db.get(), 0);
+  }
+
+  if (cmd == "checkpoint") {
+    // Open everything listed in the manifest first so all tables persist.
+    for (const auto& id : db->ListTables()) {
+      EmbeddingTable* t = nullptr;
+      s = open_table(id.c_str(), &t);
+      if (!s.ok()) return Fail(s);
+    }
+    s = db->CheckpointAll();
+    if (!s.ok()) return Fail(s);
+    std::printf("checkpointed %zu table(s)\n", db->ListTables().size());
+    return 0;
+  }
+
+  // Everything below needs a table argument.
+  if (argc < 4) return Usage();
+  EmbeddingTable* table = nullptr;
+  s = open_table(argv[3], &table);
+  if (!s.ok()) return Fail(s);
+
+  if (cmd == "stats") {
+    const auto st = table->store()->stats();
+    const auto& log = table->store()->log();
+    std::printf("reads=%llu upserts=%llu rmws=%llu deletes=%llu\n",
+                (unsigned long long)st.reads, (unsigned long long)st.upserts,
+                (unsigned long long)st.rmws, (unsigned long long)st.deletes);
+    std::printf("inplace=%llu rcu=%llu inserts=%llu\n",
+                (unsigned long long)st.inplace_updates,
+                (unsigned long long)st.rcu_appends,
+                (unsigned long long)st.inserts);
+    std::printf("log: begin=%llu head=%llu read_only=%llu tail=%llu\n",
+                (unsigned long long)log.begin_address(),
+                (unsigned long long)log.head_address(),
+                (unsigned long long)log.read_only_address(),
+                (unsigned long long)log.tail());
+    std::printf("index slots=%llu\n",
+                (unsigned long long)table->store()->index_slots());
+    return 0;
+  }
+
+  if (cmd == "get") {
+    if (argc < 5) return Usage();
+    const Key key = std::strtoull(argv[4], nullptr, 10);
+    std::vector<float> v(table->dim());
+    s = table->Get({&key, 1}, v.data());
+    if (!s.ok()) return Fail(s);
+    PrintVector(v.data(), table->dim());
+    return 0;
+  }
+
+  if (cmd == "put") {
+    if (argc < 6) return Usage();
+    const Key key = std::strtoull(argv[4], nullptr, 10);
+    std::vector<float> v = ParseFloats(argv[5]);
+    if (v.size() != table->dim()) {
+      std::fprintf(stderr, "expected %u floats, got %zu\n", table->dim(),
+                   v.size());
+      return 1;
+    }
+    s = table->Put({&key, 1}, v.data());
+    if (!s.ok()) return Fail(s);
+    std::printf("ok\n");
+    return CommitAndExit(db.get(), 0);
+  }
+
+  if (cmd == "del") {
+    if (argc < 5) return Usage();
+    const Key key = std::strtoull(argv[4], nullptr, 10);
+    s = table->store()->Delete(key);
+    if (!s.ok()) return Fail(s);
+    std::printf("ok\n");
+    return CommitAndExit(db.get(), 0);
+  }
+
+  if (cmd == "scan") {
+    const uint64_t limit =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 20;
+    uint64_t shown = 0;
+    for (LiveLogIterator it(table->store()); it.Valid() && shown < limit;
+         it.Next(), ++shown) {
+      std::printf("%-12llu ", (unsigned long long)it.meta().key);
+      PrintVector(reinterpret_cast<const float*>(it.value().data()),
+                  table->dim());
+    }
+    std::printf("(%llu shown)\n", (unsigned long long)shown);
+    return 0;
+  }
+
+  if (cmd == "compact") {
+    CompactionResult r;
+    FasterStore* store = table->store();
+    s = store->Compact(store->log().read_only_address(), &r);
+    if (!s.ok()) return Fail(s);
+    std::printf("scanned=%llu live_copied=%llu dead=%llu tombstones=%llu "
+                "new_begin=%llu\n",
+                (unsigned long long)r.scanned,
+                (unsigned long long)r.live_copied,
+                (unsigned long long)r.dead_skipped,
+                (unsigned long long)r.tombstones_dropped,
+                (unsigned long long)r.new_begin);
+    return CommitAndExit(db.get(), 0);
+  }
+
+  if (cmd == "export" || cmd == "import") {
+    if (argc < 5) return Usage();
+    s = cmd == "export" ? table->Export(argv[4]) : table->Import(argv[4]);
+    if (!s.ok()) return Fail(s);
+    std::printf("ok\n");
+    return cmd == "import" ? CommitAndExit(db.get(), 0) : 0;
+  }
+
+  return Usage();
+}

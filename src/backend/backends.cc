@@ -1,0 +1,315 @@
+// Adapters binding each storage engine to the KvBackend seam.
+#include "backend/kv_backend.h"
+
+#include <filesystem>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/btree_store.h"
+#include "kv/faster_store.h"
+#include "lsm/lsm_store.h"
+#include "mlkv/mlkv.h"
+
+namespace mlkv {
+
+namespace {
+
+// MLKV: bounded staleness + look-ahead prefetching (the system under test).
+class MlkvBackend : public KvBackend {
+ public:
+  static Status Make(const BackendConfig& config,
+                     std::unique_ptr<KvBackend>* out) {
+    auto b = std::unique_ptr<MlkvBackend>(new MlkvBackend(config.dim));
+    MlkvOptions o;
+    o.dir = config.dir + "/mlkv";
+    o.index_slots = config.index_slots;
+    o.mem_size = config.buffer_bytes;
+    o.lookahead_threads = config.lookahead_threads;
+    o.skip_promote_if_in_memory = config.skip_promote_if_in_memory;
+    o.busy_spin_limit = config.busy_spin_limit;
+    MLKV_RETURN_NOT_OK(Mlkv::Open(o, &b->db_));
+    MLKV_RETURN_NOT_OK(b->db_->OpenTable("emb", config.dim,
+                                         config.staleness_bound, &b->table_));
+    *out = std::move(b);
+    return Status::OK();
+  }
+
+  std::string name() const override { return "MLKV"; }
+  uint32_t dim() const override { return dim_; }
+
+  Status GetEmbedding(Key key, float* out) override {
+    return table_->GetOrInit({&key, 1}, out);
+  }
+  Status PutEmbedding(Key key, const float* value) override {
+    return table_->Put({&key, 1}, value);
+  }
+  Status ApplyGradient(Key key, const float* grad, float lr) override {
+    // Fused path: one atomic Rmw per record (also lowers the staleness
+    // clock, like a Put).
+    return table_->ApplyGradients({&key, 1}, grad, lr);
+  }
+  Status PeekEmbedding(Key key, float* out) override {
+    Status s =
+        table_->store()->Peek(key, out, dim_ * sizeof(float));
+    if (s.IsNotFound()) return table_->GetOrInit({&key, 1}, out);
+    return s;
+  }
+  Status Lookahead(std::span<const Key> keys) override {
+    return table_->Lookahead(keys);
+  }
+  void WaitIdle() override { table_->WaitLookahead(); }
+
+  uint64_t device_bytes_read() const override {
+    return const_cast<EmbeddingTable*>(table_)
+        ->store()
+        ->mutable_log()
+        ->device()
+        ->bytes_read();
+  }
+  uint64_t device_bytes_written() const override {
+    return const_cast<EmbeddingTable*>(table_)
+        ->store()
+        ->mutable_log()
+        ->device()
+        ->bytes_written();
+  }
+
+ private:
+  explicit MlkvBackend(uint32_t dim) : dim_(dim) {}
+  uint32_t dim_;
+  std::unique_ptr<Mlkv> db_;
+  EmbeddingTable* table_ = nullptr;
+};
+
+// Plain FASTER (staleness tracking off, no promotion): the strongest
+// baseline engine in the paper's Fig. 7.
+class FasterBackend : public KvBackend {
+ public:
+  static Status Make(const BackendConfig& config,
+                     std::unique_ptr<KvBackend>* out) {
+    auto b = std::unique_ptr<FasterBackend>(new FasterBackend(config.dim));
+    FasterOptions o;
+    o.path = config.dir + "/faster.log";
+    o.index_slots = config.index_slots;
+    o.mem_size = config.buffer_bytes;
+    o.track_staleness = false;
+    MLKV_RETURN_NOT_OK(b->store_.Open(o));
+    *out = std::move(b);
+    return Status::OK();
+  }
+
+  std::string name() const override { return "FASTER"; }
+  uint32_t dim() const override { return dim_; }
+
+  Status GetEmbedding(Key key, float* out) override {
+    const uint32_t bytes = dim_ * sizeof(float);
+    Status s = store_.Read(key, out, bytes);
+    if (s.IsNotFound()) return InitMissing(key, out);
+    return s;
+  }
+  Status PutEmbedding(Key key, const float* value) override {
+    return store_.Upsert(key, value, dim_ * sizeof(float));
+  }
+
+  uint64_t device_bytes_read() const override {
+    return const_cast<FasterStore&>(store_).mutable_log()->device()
+        ->bytes_read();
+  }
+  uint64_t device_bytes_written() const override {
+    return const_cast<FasterStore&>(store_).mutable_log()->device()
+        ->bytes_written();
+  }
+
+ private:
+  explicit FasterBackend(uint32_t dim) : dim_(dim) {}
+
+  Status InitMissing(Key key, float* out) {
+    const uint32_t bytes = dim_ * sizeof(float);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+    Rng rng(Hash64(key ^ 0xE5B0C47Aull));
+    for (uint32_t d = 0; d < dim_; ++d) {
+      out[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
+    }
+    float* dst = out;
+    const uint32_t dim = dim_;
+    return store_.Rmw(key, bytes, [dst, bytes, dim](char* v, uint32_t,
+                                                    bool exists) {
+      if (!exists) std::memcpy(v, dst, bytes);
+      else std::memcpy(dst, v, bytes);
+    });
+  }
+
+  uint32_t dim_;
+  FasterStore store_;
+};
+
+// RocksDB-style LSM baseline.
+class LsmBackend : public KvBackend {
+ public:
+  static Status Make(const BackendConfig& config,
+                     std::unique_ptr<KvBackend>* out) {
+    auto b = std::unique_ptr<LsmBackend>(new LsmBackend(config.dim));
+    LsmOptions o;
+    o.dir = config.dir + "/lsm";
+    // Split the memory budget the way RocksDB deployments do: a write
+    // buffer plus a block cache.
+    o.memtable_bytes = std::max<uint64_t>(config.buffer_bytes / 4, 1u << 20);
+    o.block_cache_bytes =
+        std::max<uint64_t>(config.buffer_bytes - o.memtable_bytes, 1u << 20);
+    MLKV_RETURN_NOT_OK(b->store_.Open(o));
+    *out = std::move(b);
+    return Status::OK();
+  }
+
+  std::string name() const override { return "RocksDB-like"; }
+  uint32_t dim() const override { return dim_; }
+
+  Status GetEmbedding(Key key, float* out) override {
+    std::string value;
+    Status s = store_.Get(key, &value);
+    if (s.IsNotFound()) return InitMissing(key, out);
+    MLKV_RETURN_NOT_OK(s);
+    std::memcpy(out, value.data(),
+                std::min(value.size(), size_t{dim_} * sizeof(float)));
+    return Status::OK();
+  }
+  Status PutEmbedding(Key key, const float* value) override {
+    return store_.Put(key, value, dim_ * sizeof(float));
+  }
+
+ private:
+  explicit LsmBackend(uint32_t dim) : dim_(dim) {}
+
+  Status InitMissing(Key key, float* out) {
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+    Rng rng(Hash64(key ^ 0xE5B0C47Aull));
+    for (uint32_t d = 0; d < dim_; ++d) {
+      out[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
+    }
+    return store_.Put(key, out, dim_ * sizeof(float));
+  }
+
+  uint32_t dim_;
+  LsmStore store_;
+};
+
+// WiredTiger-style B+tree baseline.
+class BtreeBackend : public KvBackend {
+ public:
+  static Status Make(const BackendConfig& config,
+                     std::unique_ptr<KvBackend>* out) {
+    auto b = std::unique_ptr<BtreeBackend>(new BtreeBackend(config.dim));
+    BTreeOptions o;
+    o.path = config.dir + "/btree.db";
+    o.buffer_pool_bytes = config.buffer_bytes;
+    o.value_size = config.dim * sizeof(float);
+    MLKV_RETURN_NOT_OK(b->store_.Open(o));
+    *out = std::move(b);
+    return Status::OK();
+  }
+
+  std::string name() const override { return "WiredTiger-like"; }
+  uint32_t dim() const override { return dim_; }
+
+  Status GetEmbedding(Key key, float* out) override {
+    Status s = store_.Get(key, out);
+    if (s.IsNotFound()) return InitMissing(key, out);
+    return s;
+  }
+  Status PutEmbedding(Key key, const float* value) override {
+    return store_.Put(key, value);
+  }
+
+ private:
+  explicit BtreeBackend(uint32_t dim) : dim_(dim) {}
+
+  Status InitMissing(Key key, float* out) {
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+    Rng rng(Hash64(key ^ 0xE5B0C47Aull));
+    for (uint32_t d = 0; d < dim_; ++d) {
+      out[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
+    }
+    return store_.Put(key, out);
+  }
+
+  uint32_t dim_;
+  BTreeStore store_;
+};
+
+// Pure in-memory hash map: stands in for the specialized frameworks'
+// proprietary in-memory embedding management (PERSIA/DGL/DGL-KE native) in
+// the Fig. 6 convergence comparison.
+class InMemoryBackend : public KvBackend {
+ public:
+  static Status Make(const BackendConfig& config,
+                     std::unique_ptr<KvBackend>* out) {
+    out->reset(new InMemoryBackend(config.dim));
+    return Status::OK();
+  }
+
+  std::string name() const override { return "InMemory"; }
+  uint32_t dim() const override { return dim_; }
+
+  Status GetEmbedding(Key key, float* out) override {
+    {
+      std::shared_lock lk(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        std::copy(it->second.begin(), it->second.end(), out);
+        return Status::OK();
+      }
+    }
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+    Rng rng(Hash64(key ^ 0xE5B0C47Aull));
+    std::vector<float> v(dim_);
+    for (uint32_t d = 0; d < dim_; ++d) {
+      v[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
+    }
+    std::copy(v.begin(), v.end(), out);
+    std::unique_lock lk(mu_);
+    map_.emplace(key, std::move(v));
+    return Status::OK();
+  }
+  Status PutEmbedding(Key key, const float* value) override {
+    std::unique_lock lk(mu_);
+    map_[key].assign(value, value + dim_);
+    return Status::OK();
+  }
+
+ private:
+  explicit InMemoryBackend(uint32_t dim) : dim_(dim) {}
+  uint32_t dim_;
+  std::shared_mutex mu_;
+  std::unordered_map<Key, std::vector<float>> map_;
+};
+
+}  // namespace
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMlkv: return "MLKV";
+    case BackendKind::kFaster: return "FASTER";
+    case BackendKind::kLsm: return "RocksDB-like";
+    case BackendKind::kBtree: return "WiredTiger-like";
+    case BackendKind::kInMemory: return "InMemory";
+  }
+  return "?";
+}
+
+Status MakeBackend(BackendKind kind, const BackendConfig& config,
+                   std::unique_ptr<KvBackend>* out) {
+  std::error_code ec;
+  std::filesystem::create_directories(config.dir, ec);
+  if (ec) return Status::IOError("create dir: " + ec.message());
+  switch (kind) {
+    case BackendKind::kMlkv: return MlkvBackend::Make(config, out);
+    case BackendKind::kFaster: return FasterBackend::Make(config, out);
+    case BackendKind::kLsm: return LsmBackend::Make(config, out);
+    case BackendKind::kBtree: return BtreeBackend::Make(config, out);
+    case BackendKind::kInMemory: return InMemoryBackend::Make(config, out);
+  }
+  return Status::InvalidArgument("unknown backend kind");
+}
+
+}  // namespace mlkv

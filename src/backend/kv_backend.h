@@ -1,0 +1,93 @@
+// KvBackend: the storage seam between training pipelines and key-value
+// engines. The paper integrates PERSIA / DGL / DGL-KE with four storage
+// backends (MLKV, FASTER, RocksDB, WiredTiger); here every trainer talks to
+// this interface and each engine gets an adapter, so a benchmark varies the
+// backend with one flag and nothing else changes (the reusability claim of
+// Table I).
+//
+// Semantics expected by trainers:
+//  * GetEmbedding: blocking read of a dim-float vector, honoring the
+//    backend's consistency model (MLKV: bounded staleness; others: last
+//    write wins).
+//  * PutEmbedding: upsert of the updated vector.
+//  * Lookahead: non-blocking hint that `keys` will be needed soon. Optional
+//    (no-op where the engine has no such mechanism — exactly the paper's
+//    point about baseline engines).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/record.h"
+
+namespace mlkv {
+
+class KvBackend {
+ public:
+  virtual ~KvBackend() = default;
+
+  virtual std::string name() const = 0;
+  virtual uint32_t dim() const = 0;
+
+  virtual Status GetEmbedding(Key key, float* out) = 0;
+  virtual Status PutEmbedding(Key key, const float* value) = 0;
+
+  // Gradient push: value <- value - lr * grad, preferably as one atomic
+  // read-modify-write inside the engine (MLKV overrides with a fused Rmw;
+  // under ASP that closes the read-apply-write race a Get+Put pair has).
+  // The default emulates with Get+axpy+Put, which is also what integrating
+  // a training framework with a stock KV store gives you.
+  virtual Status ApplyGradient(Key key, const float* grad, float lr) {
+    std::vector<float> value(dim());
+    MLKV_RETURN_NOT_OK(GetEmbedding(key, value.data()));
+    for (uint32_t d = 0; d < dim(); ++d) value[d] -= lr * grad[d];
+    return PutEmbedding(key, value.data());
+  }
+
+  // Consistency-free read for evaluation: must not wait on, or advance, any
+  // staleness state. Defaults to GetEmbedding for engines without a
+  // staleness protocol.
+  virtual Status PeekEmbedding(Key key, float* out) {
+    return GetEmbedding(key, out);
+  }
+
+  // Prefetch hint; default no-op (plain FASTER / RocksDB / WiredTiger).
+  virtual Status Lookahead(std::span<const Key> keys) {
+    return Status::OK();
+  }
+  // Blocks until outstanding Lookahead work completes (benchmark teardown).
+  virtual void WaitIdle() {}
+
+  // Bytes read from / written to storage devices so far (energy model).
+  virtual uint64_t device_bytes_read() const { return 0; }
+  virtual uint64_t device_bytes_written() const { return 0; }
+};
+
+struct BackendConfig {
+  std::string dir;           // working directory for files
+  uint32_t dim = 16;         // embedding dimension
+  uint64_t buffer_bytes = 64ull << 20;  // in-memory budget (the Fig. 7 knob)
+  uint64_t index_slots = 1ull << 20;
+  uint32_t staleness_bound = 16;        // MLKV only
+  size_t lookahead_threads = 2;         // MLKV only
+  bool skip_promote_if_in_memory = true;
+  // Retries before a bounded Get gives up with Busy. Multi-worker BSP can
+  // deadlock on crossed key waits; the cap converts that into a counted,
+  // recoverable abort.
+  uint64_t busy_spin_limit = 1ull << 16;
+};
+
+enum class BackendKind { kMlkv, kFaster, kLsm, kBtree, kInMemory };
+
+// Human-readable names matching the paper's legends.
+const char* BackendKindName(BackendKind kind);
+
+// Factory: builds the requested backend rooted at config.dir.
+Status MakeBackend(BackendKind kind, const BackendConfig& config,
+                   std::unique_ptr<KvBackend>* out);
+
+}  // namespace mlkv

@@ -1,0 +1,99 @@
+#include "btree/buffer_pool.h"
+
+#include <cstring>
+
+namespace mlkv {
+
+Status BufferPool::EvictOne(bool* evicted) {
+  *evicted = false;
+  if (lru_.empty()) return Status::OK();
+  const PageId victim = lru_.back();
+  lru_.pop_back();
+  auto it = frames_.find(victim);
+  Frame& f = it->second;
+  f.in_lru = false;
+  if (f.dirty) {
+    MLKV_RETURN_NOT_OK(
+        file_->WriteAt(victim * page_size_, f.data.get(), page_size_));
+    ++stats_.writebacks;
+  }
+  frames_.erase(it);
+  ++stats_.evictions;
+  *evicted = true;
+  return Status::OK();
+}
+
+Status BufferPool::Pin(PageId id, char** data) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame& f = it->second;
+    if (f.in_lru) {
+      lru_.erase(f.lru_it);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    ++stats_.hits;
+    *data = f.data.get();
+    return Status::OK();
+  }
+  ++stats_.misses;
+  while (frames_.size() >= capacity_) {
+    bool evicted = false;
+    MLKV_RETURN_NOT_OK(EvictOne(&evicted));
+    if (!evicted) break;  // everything pinned: allow temporary overshoot
+  }
+  Frame f;
+  f.data.reset(new char[page_size_]);
+  MLKV_RETURN_NOT_OK(file_->ReadAt(id * page_size_, f.data.get(), page_size_));
+  f.pins = 1;
+  *data = f.data.get();
+  frames_.emplace(id, std::move(f));
+  return Status::OK();
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  Frame& f = it->second;
+  if (dirty) f.dirty = true;
+  if (--f.pins == 0) {
+    lru_.push_front(id);
+    f.lru_it = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::NewPage(PageId* id, char** data) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (frames_.size() >= capacity_) {
+    bool evicted = false;
+    MLKV_RETURN_NOT_OK(EvictOne(&evicted));
+    if (!evicted) break;
+  }
+  *id = next_page_id_++;
+  Frame f;
+  f.data.reset(new char[page_size_]);
+  std::memset(f.data.get(), 0, page_size_);
+  f.pins = 1;
+  f.dirty = true;
+  *data = f.data.get();
+  frames_.emplace(*id, std::move(f));
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [id, f] : frames_) {
+    if (f.dirty) {
+      MLKV_RETURN_NOT_OK(
+          file_->WriteAt(id * page_size_, f.data.get(), page_size_));
+      f.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return file_->Sync();
+}
+
+}  // namespace mlkv

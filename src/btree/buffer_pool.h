@@ -1,0 +1,74 @@
+// BufferPool: fixed-capacity page cache with LRU eviction and pin counts,
+// backing the B+tree (WiredTiger-style) baseline. Dirty pages are written
+// back on eviction; pinned pages are never evicted.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "io/file_device.h"
+
+namespace mlkv {
+
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = ~0ull;
+
+class BufferPool {
+ public:
+  BufferPool(FileDevice* file, uint32_t page_size, size_t capacity_pages)
+      : file_(file), page_size_(page_size), capacity_(capacity_pages) {}
+
+  uint32_t page_size() const { return page_size_; }
+
+  // Returns a pinned pointer to the page (loaded from disk on miss).
+  // Callers must Unpin exactly once; set `dirty` on Unpin if modified.
+  Status Pin(PageId id, char** data);
+  void Unpin(PageId id, bool dirty);
+
+  // Allocates a fresh zeroed page with a new id (pinned on return).
+  Status NewPage(PageId* id, char** data);
+
+  Status FlushAll();
+
+  struct PoolStats {
+    uint64_t hits = 0, misses = 0, evictions = 0, writebacks = 0;
+  };
+  PoolStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+  size_t resident_pages() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return frames_.size();
+  }
+
+ private:
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    int pins = 0;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  // Evicts one unpinned page; returns false if all pages are pinned.
+  // Caller holds mu_.
+  Status EvictOne(bool* evicted);
+
+  FileDevice* file_;
+  uint32_t page_size_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recent, only unpinned pages
+  PageId next_page_id_ = 0;
+  mutable PoolStats stats_;
+};
+
+}  // namespace mlkv

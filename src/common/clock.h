@@ -1,0 +1,36 @@
+// Monotonic timing helpers used by trainers and the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mlkv {
+
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class StopWatch {
+ public:
+  StopWatch() : start_(NowMicros()) {}
+  void Reset() { start_ = NowMicros(); }
+  uint64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace mlkv

@@ -1,0 +1,35 @@
+// 64-bit hashing for keys. Embedding keys are 64-bit sparse-feature ids, so
+// the hot path is a fixed-width integer mix (a finalizer with full avalanche,
+// same construction as xxhash/murmur3 finalizers). A bytes variant covers
+// variable-length keys in the LSM/B+tree baselines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mlkv {
+
+// SplitMix64 finalizer: bijective, full avalanche. Good enough to drive the
+// latch-free hash index (tag bits come from the high bits).
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a 64-bit over bytes; used by baselines for string keys and by the
+// SSTable bloom filter (two independent probes derived from one hash).
+inline uint64_t HashBytes(const void* data, size_t n,
+                          uint64_t seed = 0xCBF29CE484222325ull) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  // Final mix so nearby inputs spread across buckets.
+  return Hash64(h);
+}
+
+}  // namespace mlkv

@@ -1,0 +1,117 @@
+// PRNG + skewed-distribution generators for workloads.
+//
+// Rng is xoshiro256**: fast, decent quality, reproducible across platforms
+// (benchmarks and tests fix seeds). ZipfianGenerator implements the Gray et
+// al. rejection-free method used by YCSB so the skewed key popularity in
+// Fig. 10 and the CTR feature popularity match the standard benchmark shape.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mlkv {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9Bull) {
+    // SplitMix64 seeding so any seed (including 0) yields a good state.
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). Unbiased enough for workload generation.
+  uint64_t Uniform(uint64_t n) { return n ? Next() % n : 0; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / (1ull << 53)); }
+
+  // Standard normal via Box-Muller; used for embedding initialization.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+// Zipfian over [0, n) with parameter theta (YCSB default 0.99).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 7)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n > 0);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  // Scrambled variant: spreads the hot items across the key space (YCSB's
+  // "scrambled zipfian") so hot keys do not cluster in one index region.
+  uint64_t NextScrambled() {
+    uint64_t v = Next();
+    v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+    v = (v ^ (v >> 27)) * 0x94D049BB133111EBull;
+    return (v ^ (v >> 31)) % n_;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    // Exact sum for small n; two-term Euler-Maclaurin tail otherwise.
+    // Workload fidelity needs ~1% accuracy, which this comfortably meets.
+    const uint64_t kExact = 1000000;
+    double sum = 0;
+    const uint64_t m = n < kExact ? n : kExact;
+    for (uint64_t i = 1; i <= m; ++i) sum += std::pow(1.0 / i, theta);
+    if (n > kExact) {
+      const double a = static_cast<double>(kExact);
+      const double b = static_cast<double>(n);
+      sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace mlkv

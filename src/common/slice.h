@@ -1,0 +1,51 @@
+// Slice: non-owning view over a byte range, following the RocksDB idiom.
+// Used for record values so stores can hand out zero-copy views into log
+// pages (callers must copy before the epoch is released if they retain it).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace mlkv {
+
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = std::memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) r = -1;
+      else if (size_ > b.size_) r = +1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& b) const {
+    return size_ == b.size_ && std::memcmp(data_, b.data_, size_) == 0;
+  }
+  bool operator!=(const Slice& b) const { return !(*this == b); }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+
+}  // namespace mlkv

@@ -1,0 +1,107 @@
+// Fixed-size thread pool with a bounded FIFO queue. Backs the async disk
+// read path (Lookahead) and background flush/compaction in the baselines.
+// Bounded so a runaway prefetcher applies backpressure instead of ballooning.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlkv {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, size_t max_queue = 4096)
+      : max_queue_(max_queue) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() { Shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Blocks while the queue is full (backpressure). Returns false if the pool
+  // is shutting down and the task was not enqueued.
+  bool Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      not_full_.wait(lk, [this] { return stop_ || queue_.size() < max_queue_; });
+      if (stop_) return false;
+      queue_.push_back(std::move(task));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking variant: returns false if the queue is full.
+  bool TrySubmit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stop_ || queue_.size() >= max_queue_) return false;
+      queue_.push_back(std::move(task));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until the queue is empty and all workers are idle.
+  void Drain() {
+    std::unique_lock<std::mutex> lk(mu_);
+    drained_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stop_) return;
+      stop_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    for (auto& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        not_empty_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      not_full_.notify_one();
+      task();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        --active_;
+        if (queue_.empty() && active_ == 0) drained_.notify_all();
+      }
+    }
+  }
+
+  const size_t max_queue_;
+  std::mutex mu_;
+  std::condition_variable not_empty_, not_full_, drained_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mlkv

@@ -1,0 +1,169 @@
+// Epoch-based protection (FASTER-style) for latch-free reclamation.
+//
+// Threads entering the store Protect() against the current global epoch;
+// structural changes (page eviction, index resize) bump the epoch and enqueue
+// a trigger action that runs only once every protected thread has observed a
+// later epoch — i.e., once no thread can still hold a raw pointer into the
+// retired region.
+//
+// Threads register lazily on first use and get a cache-line-sized slot to
+// avoid false sharing on the hot Protect/Unprotect path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlkv {
+
+class EpochManager {
+ public:
+  static constexpr uint64_t kUnprotected = ~0ull;
+  static constexpr size_t kMaxThreads = 256;
+
+  EpochManager() {
+    for (auto& s : slots_) s.local_epoch.store(kUnprotected);
+  }
+
+  ~EpochManager() {
+    // Run anything still pending; no threads can be inside by destruction.
+    DrainAll();
+  }
+
+  // Enter a protected region; the returned epoch is informational.
+  uint64_t Protect() {
+    Slot& s = MySlot();
+    uint64_t e = current_.load(std::memory_order_acquire);
+    s.local_epoch.store(e, std::memory_order_release);
+    // Re-read to close the window where the epoch advanced between the load
+    // and the store (classic epoch-protection handshake).
+    uint64_t e2 = current_.load(std::memory_order_acquire);
+    while (e2 != e) {
+      e = e2;
+      s.local_epoch.store(e, std::memory_order_release);
+      e2 = current_.load(std::memory_order_acquire);
+    }
+    return e;
+  }
+
+  void Unprotect() {
+    MySlot().local_epoch.store(kUnprotected, std::memory_order_release);
+  }
+
+  bool IsProtected() const {
+    return MySlot().local_epoch.load(std::memory_order_relaxed) != kUnprotected;
+  }
+
+  // Bump the epoch and register `action` to run once all threads have moved
+  // past the prior epoch. Actions run on whichever thread observes safety
+  // (inside TryBumpActions or DrainAll).
+  void BumpWithAction(std::function<void()> action) {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    const uint64_t prior = current_.fetch_add(1, std::memory_order_acq_rel);
+    drain_list_.push_back({prior, std::move(action)});
+  }
+
+  // Opportunistically run any actions whose epoch is now safe.
+  void TryBumpActions() {
+    std::vector<std::function<void()>> ready;
+    {
+      std::lock_guard<std::mutex> lk(drain_mu_);
+      if (drain_list_.empty()) return;
+      const uint64_t safe = ComputeSafeEpoch();
+      size_t w = 0;
+      for (size_t i = 0; i < drain_list_.size(); ++i) {
+        if (drain_list_[i].epoch < safe) {
+          ready.push_back(std::move(drain_list_[i].action));
+        } else {
+          drain_list_[w++] = std::move(drain_list_[i]);
+        }
+      }
+      drain_list_.resize(w);
+    }
+    for (auto& a : ready) a();
+  }
+
+  // Blocks (spinning) until all pending actions have executed. Callers must
+  // not hold protection, or this deadlocks by construction.
+  void DrainAll() {
+    for (;;) {
+      TryBumpActions();
+      {
+        std::lock_guard<std::mutex> lk(drain_mu_);
+        if (drain_list_.empty()) return;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  uint64_t current_epoch() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  // Smallest epoch any protected thread might still be reading under.
+  uint64_t ComputeSafeEpoch() const {
+    uint64_t safe = current_.load(std::memory_order_acquire);
+    const size_t n = num_slots_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t e = slots_[i].local_epoch.load(std::memory_order_acquire);
+      if (e != kUnprotected && e < safe) safe = e;
+    }
+    return safe;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> local_epoch{kUnprotected};
+  };
+
+  struct DrainItem {
+    uint64_t epoch;
+    std::function<void()> action;
+  };
+
+  Slot& MySlot() const {
+    // Registration is per (thread, manager instance): a slot index cached
+    // for one manager must not leak into another. Instances are identified
+    // by a monotonic id, not their address — stack addresses get reused.
+    thread_local uint64_t cached_instance = 0;
+    thread_local int cached_idx = -1;
+    if (cached_instance != instance_id_) {
+      cached_instance = instance_id_;
+      cached_idx = static_cast<int>(
+          num_slots_.fetch_add(1, std::memory_order_acq_rel));
+      if (static_cast<size_t>(cached_idx) >= kMaxThreads) std::abort();
+    }
+    return slots_[cached_idx];
+  }
+
+  static uint64_t NextInstanceId() {
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const uint64_t instance_id_ = NextInstanceId();
+
+  std::atomic<uint64_t> current_{1};
+  mutable std::atomic<size_t> num_slots_{0};
+  mutable std::array<Slot, kMaxThreads> slots_;
+  std::mutex drain_mu_;
+  std::vector<DrainItem> drain_list_;
+};
+
+// RAII protection scope.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager* em) : em_(em) { em_->Protect(); }
+  ~EpochGuard() { em_->Unprotect(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* em_;
+};
+
+}  // namespace mlkv

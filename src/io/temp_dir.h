@@ -1,0 +1,39 @@
+// Scoped temporary directory for tests, benchmarks, and examples.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace mlkv {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "mlkv") {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / (prefix + "XXXXXX")).string();
+    char* buf = tmpl.data();
+    if (mkdtemp(buf) == nullptr) {
+      std::perror("mkdtemp");
+      std::abort();
+    }
+    path_ = tmpl;
+  }
+
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace mlkv

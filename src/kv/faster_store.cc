@@ -1,0 +1,709 @@
+#include "kv/faster_store.h"
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace mlkv {
+
+namespace {
+
+// Checkpoint metadata block.
+struct CheckpointMeta {
+  uint64_t magic = 0x4D4C4B563343484Bull;  // "MLKV3CHK"
+  uint64_t tail = 0;
+  uint64_t index_slots = 0;
+  uint64_t num_inserts = 0;
+  uint64_t begin = HybridLog::kLogBegin;   // GC boundary at checkpoint time
+  // Effective page size (Open may shrink the configured one for small
+  // buffers); recovery must parse the log with the same geometry.
+  uint64_t page_size = 0;
+};
+
+// Applies `transform` to the control word with a CAS loop. Only the lock
+// holder changes generation/staleness, but another thread may concurrently
+// set the replaced bit, so a blind store is not safe.
+template <typename Fn>
+uint64_t TransformControl(std::atomic<uint64_t>* control, Fn transform) {
+  uint64_t c = control->load(std::memory_order_acquire);
+  for (;;) {
+    const uint64_t desired = transform(c);
+    if (control->compare_exchange_weak(c, desired, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return desired;
+    }
+  }
+}
+
+}  // namespace
+
+Status FasterStore::Open(const FasterOptions& options) {
+  options_ = options;
+  // The circular buffer needs at least 4 resident pages; small memory
+  // budgets (the tight end of the Fig. 7 sweep) shrink the page size
+  // rather than failing.
+  while (options_.page_size > 4096 &&
+         options_.mem_size / options_.page_size < 4) {
+    options_.page_size >>= 1;
+  }
+  index_.reset(new HashIndex(options.index_slots));
+  HybridLogOptions log_opts;
+  log_opts.page_size = options_.page_size;
+  log_opts.mem_size = options.mem_size;
+  log_opts.mutable_fraction = options.mutable_fraction;
+  log_opts.path = options.path;
+  return log_.Open(log_opts);
+}
+
+Status FasterStore::LoadMeta(Address address, RecordMeta* meta,
+                             bool* in_memory) {
+  for (;;) {
+    if (address >= log_.head_address()) {
+      char buf[sizeof(Record)];
+      if (log_.TryReadMemory(address, buf, sizeof(buf))) {
+        std::memcpy(&meta->control, buf + 0, 8);
+        std::memcpy(&meta->prev, buf + 8, 8);
+        std::memcpy(&meta->key, buf + 16, 8);
+        std::memcpy(&meta->value_size, buf + 24, 4);
+        std::memcpy(&meta->flags, buf + 28, 4);
+        *in_memory = true;
+        return Status::OK();
+      }
+      if (address >= log_.head_address()) {
+        // Frame replaced mid-read but the address is still resident —
+        // transient (page being claimed); retry.
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    *in_memory = false;
+    return log_.ReadFromDisk(address, meta, nullptr, 0);
+  }
+}
+
+Status FasterStore::LoadValue(Address address, const RecordMeta& meta,
+                              void* out, uint32_t cap) {
+  const uint32_t n = meta.value_size < cap ? meta.value_size : cap;
+  for (;;) {
+    if (address >= log_.head_address()) {
+      if (log_.TryReadMemory(address + sizeof(Record), out, n)) {
+        return Status::OK();
+      }
+      if (address >= log_.head_address()) {
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    RecordMeta disk_meta;
+    return log_.ReadFromDisk(address, &disk_meta, out, cap);
+  }
+}
+
+Status FasterStore::Find(Key key, FindResult* out) {
+restart:
+  Address a = index()->Load(key);
+  out->chain_head = a;
+  // Addresses below the begin boundary are log garbage: every record that
+  // was live when the boundary moved has a newer copy above it, so the walk
+  // treats them as end-of-chain.
+  while (a != kInvalidAddress && a >= log_.begin_address()) {
+    RecordMeta meta;
+    bool in_memory = false;
+    MLKV_RETURN_NOT_OK(LoadMeta(a, &meta, &in_memory));
+    if (a < log_.begin_address()) {
+      // Compaction advanced past `a` between the boundary check and the
+      // load; the bytes read may already be punched. The live version (if
+      // any) was republished first, so a restart observes it.
+      goto restart;
+    }
+    if (meta.key == key) {
+      out->address = a;
+      out->meta = meta;
+      out->in_memory = in_memory;
+      out->found = true;
+      return Status::OK();
+    }
+    a = meta.prev;
+  }
+  out->found = false;
+  return Status::OK();
+}
+
+Status FasterStore::AppendAndPublish(Key key, const void* value,
+                                     uint32_t value_size, uint64_t control,
+                                     uint32_t flags, Address expected,
+                                     Address* out_address) {
+  const uint32_t size = Record::SizeFor(value_size);
+  Address addr = kInvalidAddress;
+  char* mem = nullptr;
+  MLKV_RETURN_NOT_OK(log_.Allocate(size, &addr, &mem));
+  Record* r = reinterpret_cast<Record*>(mem);
+  r->control.store(control, std::memory_order_relaxed);
+  r->prev = expected;
+  r->key = key;
+  r->value_size = value_size;
+  r->flags = flags | kRecordValid;
+  if (value_size > 0 && value != nullptr) {
+    std::memcpy(r->value(), value, value_size);
+  }
+  // Publish: release-CAS makes all fields above visible to chain walkers.
+  Address e = expected;
+  if (!index()->CompareExchange(key, e, addr)) {
+    // Lost the race; the appended record becomes unreachable log garbage.
+    return Status::Busy("index CAS lost");
+  }
+  if (out_address != nullptr) *out_address = addr;
+  return Status::OK();
+}
+
+void FasterStore::MarkReplaced(Address address) {
+  // Pin the frame so the pointer stays valid; if the record went cold this
+  // is a no-op — read-only / disk images are superseded via the index, and
+  // their replaced bit is advisory only.
+  if (!log_.BeginInPlaceWrite(address)) return;
+  MutableRecord(address)->control.fetch_or(ControlWord::kReplacedBit,
+                                           std::memory_order_acq_rel);
+  log_.EndInPlaceWrite(address);
+}
+
+Status FasterStore::Read(Key key, std::string* out, uint32_t bound) {
+  // Two-step: size probe then fixed read; fine for the string convenience
+  // path (hot paths use the fixed-buffer overload).
+  FindResult f;
+  MLKV_RETURN_NOT_OK(Find(key, &f));
+  if (!f.found || (f.meta.flags & kRecordTombstone)) {
+    return Status::NotFound();
+  }
+  out->resize(f.meta.value_size);
+  uint32_t size = 0;
+  return Read(key, out->data(), f.meta.value_size, &size, bound);
+}
+
+Status FasterStore::Read(Key key, void* out, uint32_t cap, uint32_t* size,
+                         uint32_t bound) {
+  return ReadInternal(key, out, cap, size, bound, options_.track_staleness);
+}
+
+Status FasterStore::Peek(Key key, void* out, uint32_t cap, uint32_t* size) {
+  return ReadInternal(key, out, cap, size, UINT32_MAX, /*tracked=*/false);
+}
+
+Status FasterStore::ReadInternal(Key key, void* out, uint32_t cap,
+                                 uint32_t* size, uint32_t bound,
+                                 bool tracked) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t effective_bound =
+      bound != UINT32_MAX ? bound : options_.staleness_bound;
+  uint64_t spins = 0;
+  for (;;) {
+    FindResult f;
+    MLKV_RETURN_NOT_OK(Find(key, &f));
+    if (!f.found || (f.meta.flags & kRecordTombstone)) {
+      return Status::NotFound();
+    }
+    if (size != nullptr) *size = f.meta.value_size;
+
+    if (f.address < log_.read_only_address()) {
+      // Cold record (read-only region or disk): no in-place vector clock to
+      // maintain. Check the frozen staleness value against the bound, copy
+      // the value out, and optionally promote.
+      if (tracked && ControlWord::Staleness(f.meta.control) > effective_bound) {
+        // The counter can only drop via a Put, which will supersede this
+        // version through the index; re-find until it does.
+        stats_.staleness_waits.fetch_add(1, std::memory_order_relaxed);
+        if (++spins > options_.busy_spin_limit) {
+          stats_.busy_aborts.fetch_add(1, std::memory_order_relaxed);
+          return Status::Busy("staleness bound");
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      MLKV_RETURN_NOT_OK(LoadValue(f.address, f.meta, out, cap));
+      if (options_.promote_cold_reads && !f.in_memory) {
+        // Carry the read's increment onto the promoted copy.
+        const uint64_t control =
+            tracked ? ControlWord::IncrStaleness(f.meta.control)
+                    : f.meta.control;
+        AppendAndPublish(key, out,
+                         f.meta.value_size < cap ? f.meta.value_size : cap,
+                         control, f.meta.flags, f.chain_head, nullptr)
+            .ok();  // best-effort; a racing writer supersedes us anyway
+      }
+      return Status::OK();
+    }
+
+    // Mutable region: the paper's latch-free protocol. Pin the frame first
+    // (BeginInPlaceWrite re-validates mutability and blocks flush/eviction
+    // of the page while held) so the record pointer stays valid, then
+    // acquire the record lock and bump staleness in one CAS. The pin is
+    // never held across a staleness wait — that would stall the flusher.
+    if (!log_.BeginInPlaceWrite(f.address)) continue;  // went cold: re-find
+    Record* r = MutableRecord(f.address);
+    uint64_t c = r->control.load(std::memory_order_acquire);
+    if (ControlWord::Replaced(c)) {                  // superseded: re-find
+      log_.EndInPlaceWrite(f.address);
+      continue;
+    }
+    if (ControlWord::Locked(c)) {
+      log_.EndInPlaceWrite(f.address);
+      std::this_thread::yield();
+      continue;
+    }
+    if (tracked && ControlWord::Staleness(c) > effective_bound) {
+      log_.EndInPlaceWrite(f.address);
+      stats_.staleness_waits.fetch_add(1, std::memory_order_relaxed);
+      if (++spins > options_.busy_spin_limit) {
+        stats_.busy_aborts.fetch_add(1, std::memory_order_relaxed);
+        return Status::Busy("staleness bound");
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    uint64_t desired = ControlWord::SetLocked(c);
+    if (tracked) desired = ControlWord::IncrStaleness(desired);
+    if (!r->control.compare_exchange_strong(c, desired,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      log_.EndInPlaceWrite(f.address);
+      continue;
+    }
+    const uint32_t n = f.meta.value_size < cap ? f.meta.value_size : cap;
+    std::memcpy(out, r->value(), n);
+    TransformControl(&r->control,
+                     [](uint64_t w) { return ControlWord::ClearLocked(w); });
+    log_.EndInPlaceWrite(f.address);
+    return Status::OK();
+  }
+}
+
+Status FasterStore::Upsert(Key key, const void* value, uint32_t size) {
+  stats_.upserts.fetch_add(1, std::memory_order_relaxed);
+  const bool tracked = options_.track_staleness;
+  for (;;) {
+    FindResult f;
+    MLKV_RETURN_NOT_OK(Find(key, &f));
+    if (!f.found) {
+      // Fresh insert: generation 0, staleness 0.
+      Status s = AppendAndPublish(key, value, size, ControlWord::Make(0, 0),
+                                  0, f.chain_head, nullptr);
+      if (s.IsBusy()) continue;
+      MLKV_RETURN_NOT_OK(s);
+      stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+
+    if (f.address < log_.read_only_address() ||
+        f.meta.value_size != size || (f.meta.flags & kRecordTombstone)) {
+      // RCU: append a new version. A Put only lowers staleness (§III-C1),
+      // so it never waits; the new version carries staleness-1, gen+1.
+      uint64_t control = ControlWord::Sanitize(f.meta.control);
+      control = ControlWord::IncrGeneration(
+          tracked ? ControlWord::DecrStaleness(control) : control);
+      Status s = AppendAndPublish(key, value, size, control, 0, f.chain_head,
+                                  nullptr);
+      if (s.IsBusy()) continue;
+      MLKV_RETURN_NOT_OK(s);
+      MarkReplaced(f.address);
+      stats_.rcu_appends.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+
+    // Mutable region, same size: in-place update under the record lock.
+    // Pin first so the record pointer stays valid (see Read).
+    if (!log_.BeginInPlaceWrite(f.address)) continue;  // went cold: RCU
+    Record* r = MutableRecord(f.address);
+    uint64_t c = r->control.load(std::memory_order_acquire);
+    if (ControlWord::Replaced(c)) {
+      log_.EndInPlaceWrite(f.address);
+      continue;
+    }
+    if (ControlWord::Locked(c)) {
+      log_.EndInPlaceWrite(f.address);
+      std::this_thread::yield();
+      continue;
+    }
+    const uint64_t locked = ControlWord::SetLocked(c);
+    if (!r->control.compare_exchange_strong(c, locked,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      log_.EndInPlaceWrite(f.address);
+      continue;
+    }
+    std::memcpy(r->value(), value, size);
+    TransformControl(&r->control, [tracked](uint64_t w) {
+      uint64_t n = ControlWord::IncrGeneration(w);
+      if (tracked) n = ControlWord::DecrStaleness(n);
+      return ControlWord::ClearLocked(n);
+    });
+    log_.EndInPlaceWrite(f.address);
+    stats_.inplace_updates.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+}
+
+Status FasterStore::Rmw(Key key, uint32_t value_size,
+                        const std::function<void(char*, uint32_t, bool)>&
+                            modifier) {
+  stats_.rmws.fetch_add(1, std::memory_order_relaxed);
+  const bool tracked = options_.track_staleness;
+  std::vector<char> scratch;
+  for (;;) {
+    FindResult f;
+    MLKV_RETURN_NOT_OK(Find(key, &f));
+    if (!f.found || (f.meta.flags & kRecordTombstone)) {
+      scratch.assign(value_size, 0);
+      modifier(scratch.data(), value_size, /*exists=*/false);
+      Status s = AppendAndPublish(key, scratch.data(), value_size,
+                                  ControlWord::Make(0, 0), 0, f.chain_head,
+                                  nullptr);
+      if (s.IsBusy()) continue;
+      MLKV_RETURN_NOT_OK(s);
+      stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+
+    if (f.address >= log_.read_only_address() &&
+        f.meta.value_size == value_size) {
+      // In-place modify under the record lock; pin first (see Read).
+      if (!log_.BeginInPlaceWrite(f.address)) continue;
+      Record* r = MutableRecord(f.address);
+      uint64_t c = r->control.load(std::memory_order_acquire);
+      if (ControlWord::Replaced(c)) {
+        log_.EndInPlaceWrite(f.address);
+        continue;
+      }
+      if (ControlWord::Locked(c)) {
+        log_.EndInPlaceWrite(f.address);
+        std::this_thread::yield();
+        continue;
+      }
+      const uint64_t locked = ControlWord::SetLocked(c);
+      if (!r->control.compare_exchange_strong(c, locked,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        log_.EndInPlaceWrite(f.address);
+        continue;
+      }
+      modifier(r->value(), value_size, /*exists=*/true);
+      TransformControl(&r->control, [tracked](uint64_t w) {
+        uint64_t n = ControlWord::IncrGeneration(w);
+        if (tracked) n = ControlWord::DecrStaleness(n);
+        return ControlWord::ClearLocked(n);
+      });
+      log_.EndInPlaceWrite(f.address);
+      stats_.inplace_updates.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+
+    // Cold record: copy, modify, append (RCU).
+    scratch.assign(value_size, 0);
+    const uint32_t copy_n =
+        f.meta.value_size < value_size ? f.meta.value_size : value_size;
+    MLKV_RETURN_NOT_OK(LoadValue(f.address, f.meta, scratch.data(), copy_n));
+    modifier(scratch.data(), value_size, /*exists=*/true);
+    uint64_t control = ControlWord::IncrGeneration(
+        tracked ? ControlWord::DecrStaleness(f.meta.control)
+                : f.meta.control);
+    Status s = AppendAndPublish(key, scratch.data(), value_size, control, 0,
+                                f.chain_head, nullptr);
+    if (s.IsBusy()) continue;
+    MLKV_RETURN_NOT_OK(s);
+    MarkReplaced(f.address);
+    stats_.rcu_appends.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+}
+
+Status FasterStore::Delete(Key key) {
+  stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    FindResult f;
+    MLKV_RETURN_NOT_OK(Find(key, &f));
+    if (!f.found || (f.meta.flags & kRecordTombstone)) {
+      return Status::NotFound();
+    }
+    Status s = AppendAndPublish(key, nullptr, 0,
+                                ControlWord::IncrGeneration(f.meta.control),
+                                kRecordTombstone, f.chain_head, nullptr);
+    if (s.IsBusy()) continue;
+    MLKV_RETURN_NOT_OK(s);
+    MarkReplaced(f.address);
+    return Status::OK();
+  }
+}
+
+Status FasterStore::Promote(Key key) {
+  for (;;) {
+    FindResult f;
+    MLKV_RETURN_NOT_OK(Find(key, &f));
+    if (!f.found || (f.meta.flags & kRecordTombstone)) {
+      return Status::NotFound();
+    }
+    if (f.address >= log_.read_only_address()) {
+      // Already mutable: nothing to do.
+      stats_.promotions_skipped.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    if (f.in_memory && options_.skip_promote_if_in_memory) {
+      // Paper §III-C2: records in the immutable memory buffer are not
+      // copied to the mutable region — it would only re-dirty pages.
+      stats_.promotions_skipped.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    // Copy with the ORIGINAL staleness and value (§III-C2: "a new record
+    // with the original staleness and value will be copied into the mutable
+    // memory buffer"). Generation is preserved as well: promotion is not an
+    // update.
+    std::vector<char> value(f.meta.value_size);
+    MLKV_RETURN_NOT_OK(
+        LoadValue(f.address, f.meta, value.data(), f.meta.value_size));
+    Status s = AppendAndPublish(key, value.data(), f.meta.value_size,
+                                ControlWord::Sanitize(f.meta.control),
+                                f.meta.flags, f.chain_head, nullptr);
+    if (s.IsBusy()) {
+      // Another thread updated the key concurrently ("no other threads
+      // updating it"); their version is newer — skip.
+      stats_.promotions_skipped.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    MLKV_RETURN_NOT_OK(s);
+    MarkReplaced(f.address);
+    stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+}
+
+Status FasterStore::ReadRecordAt(Address address, RecordMeta* meta,
+                                 std::vector<char>* value) {
+  if (address < log_.begin_address() || address >= log_.tail()) {
+    return Status::InvalidArgument("address outside the live log");
+  }
+  bool in_memory = false;
+  MLKV_RETURN_NOT_OK(LoadMeta(address, meta, &in_memory));
+  meta->control = ControlWord::Sanitize(meta->control);
+  if (value != nullptr) {
+    value->resize(meta->value_size);
+    if (meta->value_size > 0) {
+      MLKV_RETURN_NOT_OK(
+          LoadValue(address, *meta, value->data(), meta->value_size));
+    }
+  }
+  return Status::OK();
+}
+
+Status FasterStore::Compact(Address until, CompactionResult* result) {
+  CompactionResult local;
+  CompactionResult* r = result != nullptr ? result : &local;
+  if (compact_lock_.test_and_set(std::memory_order_acquire)) {
+    return Status::Busy("compaction already running");
+  }
+  struct Release {
+    std::atomic_flag* f;
+    ~Release() { f->clear(std::memory_order_release); }
+  } release{&compact_lock_};
+
+  const Address begin = log_.begin_address();
+  if (until > log_.read_only_address()) until = log_.read_only_address();
+  if (until <= begin) {
+    r->new_begin = begin;
+    return Status::OK();  // nothing cold to compact
+  }
+
+  // Page-granular scan: records below the read-only boundary are immutable,
+  // so each page is snapshotted with one bulk read (seqlock-validated copy
+  // when resident, one pread otherwise) and parsed in memory — compaction
+  // I/O is then proportional to pages, not records.
+  const uint64_t page_size = log_.options().page_size;
+  std::vector<char> page(page_size);
+  Address a = begin;
+  while (a < until) {
+    const Address page_start = a & ~(page_size - 1);
+    const Address page_end = page_start + page_size;
+    // Snapshot the full page remainder: a record may start below `until`
+    // but extend past it. Reads past EOF zero-fill, which scans as a gap.
+    MLKV_RETURN_NOT_OK(
+        log_.ReadRaw(a, page.data() + (a - page_start),
+                     static_cast<uint32_t>(page_end - a)));
+    while (a < until) {
+      // A page remainder too small for a header is always gap fill.
+      if (page_end - a < sizeof(Record)) break;
+      RecordMeta meta;
+      const char* rec = page.data() + (a - page_start);
+      std::memcpy(&meta.control, rec + 0, 8);
+      std::memcpy(&meta.prev, rec + 8, 8);
+      std::memcpy(&meta.key, rec + 16, 8);
+      std::memcpy(&meta.value_size, rec + 24, 4);
+      std::memcpy(&meta.flags, rec + 28, 4);
+      if ((meta.flags & kRecordValid) == 0) break;  // page-roll gap
+      const Address next = a + Record::SizeFor(meta.value_size);
+      if (next > page_end) {
+        return Status::Corruption("record overruns its page");
+      }
+      ++r->scanned;
+
+      // Liveness: the record is live iff the index still resolves its key
+      // to exactly this address. Fast path: the slot head IS this address
+      // (no chain walk, no I/O) — true for most live records.
+      for (;;) {
+        Address expected = index()->Load(meta.key);
+        if (expected != a) {
+          FindResult f;
+          MLKV_RETURN_NOT_OK(Find(meta.key, &f));
+          if (!f.found || f.address != a) {
+            ++r->dead_skipped;
+            break;
+          }
+          expected = f.chain_head;
+        }
+        if (meta.flags & kRecordTombstone) {
+          // Newest version is a tombstone: once begin passes it the key
+          // walks off the chain end and reads NotFound, so the tombstone
+          // itself need not survive.
+          ++r->tombstones_dropped;
+          break;
+        }
+        // A compaction copy is not an update: control word (generation AND
+        // staleness) and flags carry over unchanged, like Promote.
+        Status s = AppendAndPublish(meta.key, rec + sizeof(Record),
+                                    meta.value_size,
+                                    ControlWord::Sanitize(meta.control),
+                                    meta.flags, expected, nullptr);
+        if (s.IsBusy()) continue;  // superseded mid-copy; re-check
+        MLKV_RETURN_NOT_OK(s);
+        ++r->live_copied;
+        break;
+      }
+      a = next;
+    }
+    a = page_end;
+  }
+
+  MLKV_RETURN_NOT_OK(log_.ShiftBeginAddress(until));
+  r->new_begin = until;
+  stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+  stats_.compaction_live_copied.fetch_add(r->live_copied,
+                                          std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FasterStore::GrowIndex(uint32_t factor_log2) {
+  return index()->Grow(factor_log2);
+}
+
+Status FasterStore::MaybeGrowIndex(double max_load) {
+  if (max_load <= 0) return Status::InvalidArgument("max_load must be > 0");
+  const double live = static_cast<double>(approximate_size());
+  uint32_t doublings = 0;
+  uint64_t slots = index()->num_slots();
+  while (live / static_cast<double>(slots) > max_load && doublings < 16) {
+    slots <<= 1;
+    ++doublings;
+  }
+  if (doublings == 0) return Status::OK();
+  return index()->Grow(doublings);
+}
+
+Status FasterStore::MaybeCompact(uint64_t max_log_bytes,
+                                 CompactionResult* result) {
+  const Address begin = log_.begin_address();
+  const Address tail = log_.tail();
+  if (tail - begin <= max_log_bytes) return Status::OK();
+  return Compact(log_.read_only_address(), result);
+}
+
+bool FasterStore::IsInMemory(Key key) {
+  FindResult f;
+  if (!Find(key, &f).ok() || !f.found) return false;
+  return f.address >= log_.head_address();
+}
+
+bool FasterStore::IsLiveVersion(Key key, Address address) {
+  FindResult f;
+  if (!Find(key, &f).ok() || !f.found) return false;
+  return f.address == address;
+}
+
+Status FasterStore::Checkpoint(const std::string& prefix) {
+  MLKV_RETURN_NOT_OK(log_.FlushAll());
+  FileDevice meta_dev;
+  MLKV_RETURN_NOT_OK(meta_dev.Open(prefix + ".meta"));
+  CheckpointMeta meta;
+  meta.tail = log_.tail();
+  meta.index_slots = index()->num_slots();
+  meta.num_inserts = stats_.inserts.load(std::memory_order_relaxed);
+  meta.begin = log_.begin_address();
+  meta.page_size = options_.page_size;
+  MLKV_RETURN_NOT_OK(meta_dev.WriteAt(0, &meta, sizeof(meta)));
+  MLKV_RETURN_NOT_OK(meta_dev.Sync());
+  FileDevice idx_dev;
+  MLKV_RETURN_NOT_OK(idx_dev.Open(prefix + ".idx"));
+  MLKV_RETURN_NOT_OK(index()->WriteTo(&idx_dev, 0));
+  return idx_dev.Sync();
+}
+
+Status FasterStore::Recover(const FasterOptions& options,
+                            const std::string& prefix) {
+  options_ = options;
+  FileDevice meta_dev;
+  MLKV_RETURN_NOT_OK(meta_dev.Open(prefix + ".meta", /*truncate=*/false));
+  CheckpointMeta meta;
+  MLKV_RETURN_NOT_OK(meta_dev.ReadAt(0, &meta, sizeof(meta)));
+  if (meta.magic != CheckpointMeta().magic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  if (meta.page_size != 0) options_.page_size = meta.page_size;
+  index_.reset(new HashIndex(meta.index_slots));
+  FileDevice idx_dev;
+  MLKV_RETURN_NOT_OK(idx_dev.Open(prefix + ".idx", /*truncate=*/false));
+  MLKV_RETURN_NOT_OK(index()->ReadFrom(idx_dev, 0));
+
+  HybridLogOptions log_opts;
+  log_opts.page_size = options_.page_size;
+  log_opts.mem_size = options.mem_size;
+  log_opts.mutable_fraction = options.mutable_fraction;
+  log_opts.path = options.path;
+  log_opts.truncate = false;  // keep the checkpointed log contents
+  MLKV_RETURN_NOT_OK(log_.Open(log_opts));
+  MLKV_RETURN_NOT_OK(log_.RestoreBoundaries(meta.tail, meta.begin));
+  stats_.inserts.store(meta.num_inserts, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+FasterStatsSnapshot FasterStore::stats() const {
+  FasterStatsSnapshot s;
+  s.reads = stats_.reads.load(std::memory_order_relaxed);
+  s.upserts = stats_.upserts.load(std::memory_order_relaxed);
+  s.rmws = stats_.rmws.load(std::memory_order_relaxed);
+  s.deletes = stats_.deletes.load(std::memory_order_relaxed);
+  s.inplace_updates = stats_.inplace_updates.load(std::memory_order_relaxed);
+  s.rcu_appends = stats_.rcu_appends.load(std::memory_order_relaxed);
+  s.inserts = stats_.inserts.load(std::memory_order_relaxed);
+  s.promotions = stats_.promotions.load(std::memory_order_relaxed);
+  s.promotions_skipped =
+      stats_.promotions_skipped.load(std::memory_order_relaxed);
+  s.staleness_waits = stats_.staleness_waits.load(std::memory_order_relaxed);
+  s.busy_aborts = stats_.busy_aborts.load(std::memory_order_relaxed);
+  s.compactions = stats_.compactions.load(std::memory_order_relaxed);
+  s.compaction_live_copied =
+      stats_.compaction_live_copied.load(std::memory_order_relaxed);
+  const auto& ls = log_.stats();
+  s.disk_record_reads = ls.disk_record_reads.load(std::memory_order_relaxed);
+  s.pages_flushed = ls.pages_flushed.load(std::memory_order_relaxed);
+  s.pages_evicted = ls.pages_evicted.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FasterStore::ResetStats() {
+  stats_.reads.store(0);
+  stats_.upserts.store(0);
+  stats_.rmws.store(0);
+  stats_.deletes.store(0);
+  stats_.inplace_updates.store(0);
+  stats_.rcu_appends.store(0);
+  stats_.promotions.store(0);
+  stats_.promotions_skipped.store(0);
+  stats_.staleness_waits.store(0);
+  stats_.busy_aborts.store(0);
+}
+
+}  // namespace mlkv

@@ -1,0 +1,234 @@
+// FasterStore: a from-scratch, FASTER-style embedded key-value store over a
+// HybridLog + latch-free HashIndex, extended with MLKV's two optimizations:
+//
+//  * Bounded staleness consistency (paper §III-C1). When
+//    `track_staleness` is on, every record carries a 32-bit staleness
+//    counter in its control word. Get spins until `staleness <= bound`,
+//    then lock-CASes the word with staleness+1; Put never waits and
+//    releases with staleness-1 and generation+1. Bound 0 = BSP, huge bound
+//    = ASP, anything between = SSP.
+//
+//  * Promotion (the storage half of look-ahead prefetching, §III-C2).
+//    Promote(key) copies a disk-resident record — with its original
+//    staleness and value — to the mutable tail region so later Get/Put hit
+//    memory. Records already resident in the immutable (read-only) region
+//    are skipped by default, mirroring the paper's page-write-saving rule.
+//
+// With `track_staleness == false` the store behaves as plain FASTER and is
+// used as the "X-FASTER" baseline in the benchmarks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/hash_index.h"
+#include "kv/hybrid_log.h"
+#include "kv/record.h"
+
+namespace mlkv {
+
+struct FasterOptions {
+  std::string path;                    // backing log file
+  uint64_t index_slots = 1ull << 20;   // hash index size (rounded to pow2)
+  // Log page size. Open() halves it (down to 4 KiB) until at least four
+  // pages fit in mem_size, so tiny buffer budgets work out of the box.
+  uint64_t page_size = 1ull << 20;
+  uint64_t mem_size = 64ull << 20;     // in-memory log buffer
+  double mutable_fraction = 0.5;
+
+  // MLKV mode. When false, staleness fields are carried but never checked
+  // and Get never waits (plain FASTER behaviour).
+  bool track_staleness = false;
+  uint32_t staleness_bound = UINT32_MAX;
+  // Get retries (index re-lookups) while waiting out the staleness bound
+  // before giving up with Status::Busy. Each retry yields the CPU.
+  uint64_t busy_spin_limit = 1ull << 22;
+
+  // Promote records touched by cold Gets to the tail (FASTER's
+  // "copy reads to tail"). Off by default; Lookahead drives promotion.
+  bool promote_cold_reads = false;
+  // Ablation knob (DESIGN.md D2): when false, Promote() also copies records
+  // from the immutable in-memory region, re-dirtying pages.
+  bool skip_promote_if_in_memory = true;
+};
+
+struct FasterStatsSnapshot {
+  uint64_t reads = 0, upserts = 0, rmws = 0, deletes = 0;
+  uint64_t inplace_updates = 0, rcu_appends = 0, inserts = 0;
+  uint64_t promotions = 0, promotions_skipped = 0;
+  uint64_t staleness_waits = 0, busy_aborts = 0;
+  uint64_t disk_record_reads = 0, pages_flushed = 0, pages_evicted = 0;
+  uint64_t compactions = 0, compaction_live_copied = 0;
+};
+
+// Outcome of one Compact() pass.
+struct CompactionResult {
+  uint64_t scanned = 0;            // records visited in the dead-candidate
+                                   // region (valid headers only)
+  uint64_t live_copied = 0;        // still-newest records re-appended at tail
+  uint64_t dead_skipped = 0;       // superseded versions dropped
+  uint64_t tombstones_dropped = 0; // newest-version tombstones retired
+  Address new_begin = kInvalidAddress;
+};
+
+class FasterStore {
+ public:
+  FasterStore() = default;
+  ~FasterStore() = default;
+
+  FasterStore(const FasterStore&) = delete;
+  FasterStore& operator=(const FasterStore&) = delete;
+
+  Status Open(const FasterOptions& options);
+
+  // Reads the value for `key` into `out` (at most `cap` bytes); the full
+  // value size is returned via `size` when non-null. Under staleness
+  // tracking, waits until the record's staleness is within `bound` and
+  // increments it. `bound == UINT32_MAX` uses the store-level bound.
+  Status Read(Key key, void* out, uint32_t cap, uint32_t* size = nullptr,
+              uint32_t bound = UINT32_MAX);
+  Status Read(Key key, std::string* out, uint32_t bound = UINT32_MAX);
+
+  // Reads without participating in the staleness protocol (no wait, no
+  // increment). Used by evaluation passes, which must not perturb the
+  // training pipeline's vector clocks.
+  Status Peek(Key key, void* out, uint32_t cap, uint32_t* size = nullptr);
+
+  // Inserts or updates. In-place when the record lives in the mutable
+  // region with an equal value size; RCU (append new version) otherwise.
+  // Under staleness tracking, decrements staleness and bumps generation.
+  Status Upsert(Key key, const void* value, uint32_t size);
+
+  // Read-modify-write. `modifier(value, size, exists)` mutates the value
+  // in place; when the key is absent it receives a zeroed buffer of
+  // `value_size` bytes and `exists == false`. Atomic per record.
+  Status Rmw(Key key, uint32_t value_size,
+             const std::function<void(char* value, uint32_t size,
+                                      bool exists)>& modifier);
+
+  Status Delete(Key key);
+
+  // Copies a cold record to the mutable tail (look-ahead prefetch target).
+  // Returns OK whether promoted or skipped; inspect stats for which.
+  Status Promote(Key key);
+
+  // Reads the full record image at a log address: sanitized header plus
+  // value bytes. Works for memory- and disk-resident addresses; the basis
+  // for log scans, compaction, and table export.
+  Status ReadRecordAt(Address address, RecordMeta* meta,
+                      std::vector<char>* value);
+
+  // Log garbage collection. Scans [begin, until), re-appends records that
+  // are still the newest version of their key at the tail (preserving
+  // control word and flags — a compaction copy is not an update), then
+  // advances the begin address and punches the dead file range. `until` is
+  // clamped to the read-only boundary; the mutable region is never
+  // compacted. Safe under concurrent reads and writes: liveness is decided
+  // by an index CAS, so a record updated mid-compaction simply loses the
+  // race and is dropped as superseded.
+  Status Compact(Address until, CompactionResult* result = nullptr);
+
+  // Convenience policy: compacts up to the read-only boundary when the live
+  // log span (tail - begin) exceeds `max_log_bytes`. Returns OK without
+  // compacting when under the threshold.
+  Status MaybeCompact(uint64_t max_log_bytes,
+                      CompactionResult* result = nullptr);
+
+  // Doubles the hash index `factor_log2` times. Existing chains stay
+  // reachable immediately; they thin out as subsequent publishes use the
+  // refined slots. Quiesced operation: callers must ensure no concurrent
+  // store operations (same contract as Checkpoint).
+  Status GrowIndex(uint32_t factor_log2 = 1);
+
+  // Quiesced maintenance policy: grows the index (doubling as many times as
+  // needed) whenever live keys exceed `max_load` keys per slot.
+  Status MaybeGrowIndex(double max_load = 1.5);
+
+  // Quiesced checkpoint: flush the log, persist index + metadata under
+  // `prefix` (two files: <prefix>.meta, <prefix>.idx). Callers must ensure
+  // no concurrent operations.
+  Status Checkpoint(const std::string& prefix);
+  // Reopens the store from a checkpoint taken with the same options.
+  Status Recover(const FasterOptions& options, const std::string& prefix);
+
+  // True if `key` currently resolves to an in-memory record.
+  bool IsInMemory(Key key);
+
+  // True if `address` holds the newest version of `key` (scan liveness).
+  bool IsLiveVersion(Key key, Address address);
+
+  FasterStatsSnapshot stats() const;
+  void ResetStats();
+  uint64_t index_slots() const { return index_->num_slots(); }
+  const HybridLog& log() const { return log_; }
+  HybridLog* mutable_log() { return &log_; }
+  const FasterOptions& options() const { return options_; }
+
+  // Effective number of live keys (approximate: counts inserts - deletes).
+  uint64_t approximate_size() const {
+    return stats_.inserts.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct FindResult {
+    Address address = kInvalidAddress;  // the matching record (if found)
+    // Chain head observed in the index slot at lookup time. All publishes
+    // CAS the slot from this value and link the new record's prev to it, so
+    // colliding keys in one slot keep a single consistent chain.
+    Address chain_head = kInvalidAddress;
+    RecordMeta meta;
+    bool in_memory = false;
+    bool found = false;
+  };
+
+  // Shared implementation for Read/Peek; `tracked` selects whether the
+  // bounded-staleness protocol applies.
+  Status ReadInternal(Key key, void* out, uint32_t cap, uint32_t* size,
+                      uint32_t bound, bool tracked);
+
+  // Loads the record header at `address`, transparently falling back to the
+  // disk image if the frame is evicted mid-read.
+  Status LoadMeta(Address address, RecordMeta* meta, bool* in_memory);
+  // Copies the value bytes of the record at `address`.
+  Status LoadValue(Address address, const RecordMeta& meta, void* out,
+                   uint32_t cap);
+  // Walks the hash chain from the index slot looking for `key`.
+  Status Find(Key key, FindResult* out);
+
+  // Appends a record and publishes it via index CAS against `expected`.
+  // On publish failure the appended record is abandoned (log garbage) and
+  // kBusy is returned so the caller retries.
+  Status AppendAndPublish(Key key, const void* value, uint32_t value_size,
+                          uint64_t control, uint32_t flags, Address expected,
+                          Address* out_address);
+
+  // Marks the in-memory record at `address` replaced (no-op if evicted).
+  void MarkReplaced(Address address);
+
+  Record* MutableRecord(Address address) {
+    return reinterpret_cast<Record*>(log_.MutablePointer(address));
+  }
+
+  struct Stats {
+    std::atomic<uint64_t> reads{0}, upserts{0}, rmws{0}, deletes{0};
+    std::atomic<uint64_t> inplace_updates{0}, rcu_appends{0}, inserts{0};
+    std::atomic<uint64_t> promotions{0}, promotions_skipped{0};
+    std::atomic<uint64_t> staleness_waits{0}, busy_aborts{0};
+    std::atomic<uint64_t> compactions{0}, compaction_live_copied{0};
+  };
+
+  // At most one Compact() runs at a time; concurrent calls return early.
+  std::atomic_flag compact_lock_ = ATOMIC_FLAG_INIT;
+
+  FasterOptions options_;
+  HashIndex* index() { return index_.get(); }
+  std::unique_ptr<HashIndex> index_;
+  HybridLog log_;
+  Stats stats_;
+};
+
+}  // namespace mlkv

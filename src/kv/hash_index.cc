@@ -1,0 +1,78 @@
+#include "kv/hash_index.h"
+
+#include <vector>
+
+#include "io/file_device.h"
+
+namespace mlkv {
+
+namespace {
+uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+HashIndex::HashIndex(uint64_t num_slots) {
+  const uint64_t n = RoundUpPow2(num_slots < 16 ? 16 : num_slots);
+  mask_ = n - 1;
+  slots_.reset(new std::atomic<Address>[n]);
+  for (uint64_t i = 0; i < n; ++i) {
+    slots_[i].store(kInvalidAddress, std::memory_order_relaxed);
+  }
+}
+
+Status HashIndex::Grow(uint32_t factor_log2) {
+  if (factor_log2 == 0) return Status::OK();
+  if (factor_log2 > 16) {
+    return Status::InvalidArgument("index growth factor too large");
+  }
+  const uint64_t old_n = mask_ + 1;
+  const uint64_t new_n = old_n << factor_log2;
+  std::unique_ptr<std::atomic<Address>[]> grown(
+      new std::atomic<Address>[new_n]);
+  // hash & new_mask == (hash & old_mask) + k * old_n for some k, so slot i's
+  // keys can only rehash to slots {i, i+old_n, i+2*old_n, ...}; seed each
+  // with the old chain head.
+  for (uint64_t i = 0; i < old_n; ++i) {
+    const Address head = slots_[i].load(std::memory_order_relaxed);
+    for (uint64_t k = 0; k < (1ull << factor_log2); ++k) {
+      grown[i + k * old_n].store(head, std::memory_order_relaxed);
+    }
+  }
+  slots_ = std::move(grown);
+  mask_ = new_n - 1;
+  return Status::OK();
+}
+
+uint64_t HashIndex::CountUsed() const {
+  uint64_t used = 0;
+  for (uint64_t i = 0; i <= mask_; ++i) {
+    if (slots_[i].load(std::memory_order_relaxed) != kInvalidAddress) ++used;
+  }
+  return used;
+}
+
+Status HashIndex::WriteTo(FileDevice* dev, uint64_t offset) const {
+  // Snapshot into a plain buffer; checkpoints are taken quiesced, so a
+  // relaxed copy of each slot is a consistent image.
+  const uint64_t n = mask_ + 1;
+  std::vector<Address> buf(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    buf[i] = slots_[i].load(std::memory_order_relaxed);
+  }
+  return dev->WriteAt(offset, buf.data(), n * sizeof(Address));
+}
+
+Status HashIndex::ReadFrom(const FileDevice& dev, uint64_t offset) {
+  const uint64_t n = mask_ + 1;
+  std::vector<Address> buf(n);
+  MLKV_RETURN_NOT_OK(dev.ReadAt(offset, buf.data(), n * sizeof(Address)));
+  for (uint64_t i = 0; i < n; ++i) {
+    slots_[i].store(buf[i], std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+}  // namespace mlkv

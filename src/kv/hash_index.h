@@ -1,0 +1,71 @@
+// Latch-free hash index: a fixed array of 64-bit atomic slots mapping
+// hash(key) to the newest log address of that key's hash chain. Keys that
+// collide on a slot share one chain linked through Record::prev (newest
+// first); lookups walk the chain comparing full keys.
+//
+// This follows FASTER's index design with one simplification, documented in
+// DESIGN.md: we omit the in-bucket tag bits and resolve all collisions
+// through the record chain (chains stay short at the load factors we size
+// for), which keeps every index transition a single CAS on one slot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "kv/record.h"
+
+namespace mlkv {
+
+class FileDevice;
+
+class HashIndex {
+ public:
+  // `num_slots` is rounded up to a power of two.
+  explicit HashIndex(uint64_t num_slots);
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  std::atomic<Address>& SlotFor(Key key) {
+    return slots_[Hash64(key) & mask_];
+  }
+
+  Address Load(Key key) {
+    return SlotFor(key).load(std::memory_order_acquire);
+  }
+
+  // Publishes `desired` as the chain head if the head is still `expected`.
+  bool CompareExchange(Key key, Address& expected, Address desired) {
+    return SlotFor(key).compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+  }
+
+  uint64_t num_slots() const { return mask_ + 1; }
+
+  // Number of non-empty slots (diagnostics / checkpoint metadata).
+  uint64_t CountUsed() const;
+
+  // Doubles the slot array `factor_log2` times (FASTER's index growth).
+  // Every new slot that an old slot's keys can rehash to receives that old
+  // slot's chain head, so existing chains remain reachable (lookups compare
+  // full keys and simply skip entries that rehashed elsewhere); chains thin
+  // out as later publishes go to the refined slots. NOT thread-safe: the
+  // caller must guarantee no concurrent index operations, same as the
+  // checkpoint contract (see FasterStore::GrowIndex).
+  Status Grow(uint32_t factor_log2 = 1);
+
+  // Serializes / restores the raw slot array for checkpointing.
+  Status WriteTo(FileDevice* dev, uint64_t offset) const;
+  Status ReadFrom(const FileDevice& dev, uint64_t offset);
+
+ private:
+  uint64_t mask_;
+  std::unique_ptr<std::atomic<Address>[]> slots_;
+};
+
+}  // namespace mlkv

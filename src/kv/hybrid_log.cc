@@ -1,0 +1,282 @@
+#include "kv/hybrid_log.h"
+
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+namespace mlkv {
+
+namespace {
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag* f) : f_(f) {
+    while (f_->test_and_set(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  ~SpinGuard() { f_->clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag* f_;
+};
+
+int Log2(uint64_t v) {
+  int b = 0;
+  while ((1ull << b) < v) ++b;
+  return b;
+}
+
+}  // namespace
+
+HybridLog::~HybridLog() = default;
+
+Status HybridLog::Open(const HybridLogOptions& options) {
+  options_ = options;
+  if ((options_.page_size & (options_.page_size - 1)) != 0) {
+    return Status::InvalidArgument("page_size must be a power of two");
+  }
+  page_bits_ = Log2(options_.page_size);
+  mem_pages_ = options_.mem_size / options_.page_size;
+  if (mem_pages_ < 4) {
+    return Status::InvalidArgument("mem_size must hold at least 4 pages");
+  }
+  mutable_pages_ =
+      static_cast<uint64_t>(static_cast<double>(mem_pages_) *
+                            options_.mutable_fraction);
+  if (mutable_pages_ < 1) mutable_pages_ = 1;
+  // At least two non-mutable resident pages so eviction never outruns the
+  // flush boundary (head <= read_only must always hold).
+  if (mutable_pages_ > mem_pages_ - 2) mutable_pages_ = mem_pages_ - 2;
+
+  MLKV_RETURN_NOT_OK(file_.Open(options_.path, options_.truncate));
+
+  frames_.resize(mem_pages_);
+  frame_page_ = std::vector<std::atomic<uint64_t>>(mem_pages_);
+  frame_writers_ = std::vector<std::atomic<int>>(mem_pages_);
+  for (uint64_t i = 0; i < mem_pages_; ++i) {
+    frames_[i].reset(new char[options_.page_size]);
+    frame_page_[i].store(kInvalidPage, std::memory_order_relaxed);
+    frame_writers_[i].store(0, std::memory_order_relaxed);
+  }
+
+  // Provision page 0 directly (no flushing can be needed yet).
+  std::memset(frames_[0].get(), 0, options_.page_size);
+  frame_page_[0].store(0, std::memory_order_release);
+
+  tail_.store(kLogBegin, std::memory_order_release);
+  read_only_.store(kLogBegin, std::memory_order_release);
+  head_.store(kLogBegin, std::memory_order_release);
+  begin_.store(kLogBegin, std::memory_order_release);
+  flushed_until_page_ = 0;
+  highest_provisioned_page_ = 0;
+  return Status::OK();
+}
+
+Status HybridLog::ShiftBeginAddress(Address new_begin) {
+  for (;;) {
+    Address cur = begin_.load(std::memory_order_acquire);
+    if (new_begin <= cur) return Status::OK();  // monotonic, no regress
+    if (new_begin > read_only_.load(std::memory_order_acquire)) {
+      return Status::InvalidArgument(
+          "begin address cannot pass the read-only boundary");
+    }
+    if (begin_.compare_exchange_weak(cur, new_begin,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      break;
+    }
+  }
+  // Reclaim whole dead pages. The page containing new_begin may still hold
+  // live bytes, so only pages strictly below it are punched.
+  const uint64_t first_live_page = PageOf(new_begin);
+  if (first_live_page > 0) {
+    MLKV_RETURN_NOT_OK(
+        file_.PunchHole(0, PageStart(first_live_page)));
+  }
+  return Status::OK();
+}
+
+Status HybridLog::FlushPage(uint64_t page) {
+  const uint64_t f = FrameOf(page);
+  // Wait for in-flight in-place value writes; new ones cannot start because
+  // the read-only boundary has already been advanced past this page.
+  while (frame_writers_[f].load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  const Address tail_now = tail_.load(std::memory_order_acquire);
+  const uint64_t start = PageStart(page);
+  uint64_t len = options_.page_size;
+  if (start + len > tail_now) len = tail_now - start;  // partial tail page
+  if (len == 0) return Status::OK();
+  MLKV_RETURN_NOT_OK(file_.WriteAt(start, frames_[f].get(), len));
+  stats_.pages_flushed.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status HybridLog::ProvisionPage(uint64_t page) {
+  // 1. Advance the read-only boundary so page `page` keeps exactly
+  //    `mutable_pages_` pages of mutable region behind it, then flush the
+  //    pages that just became read-only.
+  if (page + 1 > mutable_pages_) {
+    const uint64_t ro_page = page + 1 - mutable_pages_;
+    const Address ro_addr = PageStart(ro_page);
+    if (ro_addr > read_only_.load(std::memory_order_relaxed)) {
+      read_only_.store(ro_addr, std::memory_order_release);
+    }
+    while (flushed_until_page_ < ro_page) {
+      MLKV_RETURN_NOT_OK(FlushPage(flushed_until_page_));
+      ++flushed_until_page_;
+    }
+  }
+
+  // 2. Evict frames for pages that fall out of the residency window.
+  if (page + 1 > mem_pages_) {
+    const uint64_t head_page = page + 1 - mem_pages_;
+    const Address head_addr = PageStart(head_page);
+    const Address cur_head = head_.load(std::memory_order_relaxed);
+    if (head_addr > cur_head) {
+      assert(head_page <= flushed_until_page_);
+      for (uint64_t p = PageOf(cur_head); p < head_page; ++p) {
+        frame_page_[FrameOf(p)].store(kInvalidPage, std::memory_order_release);
+        stats_.pages_evicted.fetch_add(1, std::memory_order_relaxed);
+      }
+      head_.store(head_addr, std::memory_order_release);
+    }
+  }
+
+  // 3. Claim the frame for the new page.
+  const uint64_t f = FrameOf(page);
+  assert(frame_page_[f].load(std::memory_order_relaxed) == kInvalidPage ||
+         page == 0);
+  std::memset(frames_[f].get(), 0, options_.page_size);
+  frame_page_[f].store(page, std::memory_order_release);
+  return Status::OK();
+}
+
+Status HybridLog::Allocate(uint32_t size, Address* address, char** memory) {
+  size = (size + 7u) & ~7u;
+  if (size == 0 || size > options_.page_size) {
+    return Status::InvalidArgument("allocation exceeds page size");
+  }
+  SpinGuard g(&alloc_lock_);
+  Address t = tail_.load(std::memory_order_relaxed);
+  const uint64_t page_end = PageStart(PageOf(t)) + options_.page_size;
+  if (t + size > page_end) {
+    // Skip the remainder of the current page (frames are zeroed, so the gap
+    // scans as invalid records) and roll to the next page.
+    t = page_end;
+  }
+  // Provision lazily by page number, not by boundary crossing: an
+  // allocation that exactly fills a page leaves the tail on the next page
+  // start without crossing anything.
+  const uint64_t page = PageOf(t);
+  if (page > highest_provisioned_page_) {
+    MLKV_RETURN_NOT_OK(ProvisionPage(page));
+    highest_provisioned_page_ = page;
+  }
+  tail_.store(t + size, std::memory_order_release);
+  *address = t;
+  *memory = FramePointer(t);
+  return Status::OK();
+}
+
+bool HybridLog::TryReadMemory(Address a, void* out, uint32_t n) const {
+  const uint64_t page = PageOf(a);
+  const uint64_t f = page % mem_pages_;
+  if (frame_page_[f].load(std::memory_order_acquire) != page) return false;
+  std::memcpy(out, FramePointer(a), n);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (frame_page_[f].load(std::memory_order_relaxed) != page) {
+    stats_.seqlock_retries.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+Status HybridLog::ReadFromDisk(Address a, RecordMeta* meta, void* value_out,
+                               uint32_t value_cap) const {
+  struct RawHeader {
+    uint64_t control;
+    Address prev;
+    Key key;
+    uint32_t value_size;
+    uint32_t flags;
+  } raw;
+  static_assert(sizeof(RawHeader) == sizeof(Record));
+  MLKV_RETURN_NOT_OK(file_.ReadAt(a, &raw, sizeof(raw)));
+  meta->control = ControlWord::Sanitize(raw.control);
+  meta->prev = raw.prev;
+  meta->key = raw.key;
+  meta->value_size = raw.value_size;
+  meta->flags = raw.flags;
+  stats_.disk_record_reads.fetch_add(1, std::memory_order_relaxed);
+  if (value_out != nullptr && raw.value_size > 0) {
+    const uint32_t n = raw.value_size < value_cap ? raw.value_size : value_cap;
+    MLKV_RETURN_NOT_OK(file_.ReadAt(a + sizeof(Record), value_out, n));
+  }
+  return Status::OK();
+}
+
+Status HybridLog::ReadRaw(Address a, void* out, uint32_t n) const {
+  if (((a ^ (a + n - 1)) >> page_bits_) != 0) {
+    return Status::InvalidArgument("raw read crosses a page boundary");
+  }
+  if (a >= head_.load(std::memory_order_acquire)) {
+    if (TryReadMemory(a, out, n)) return Status::OK();
+  }
+  MLKV_RETURN_NOT_OK(file_.ReadAt(a, out, n));
+  stats_.disk_record_reads.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool HybridLog::BeginInPlaceWrite(Address a) {
+  const uint64_t f = FrameOf(PageOf(a));
+  frame_writers_[f].fetch_add(1, std::memory_order_acq_rel);
+  if (a < read_only_.load(std::memory_order_acquire)) {
+    // Boundary moved while we registered; this page may be flushing.
+    frame_writers_[f].fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  return true;
+}
+
+void HybridLog::EndInPlaceWrite(Address a) {
+  const uint64_t f = FrameOf(PageOf(a));
+  frame_writers_[f].fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Status HybridLog::FlushAll() {
+  SpinGuard g(&alloc_lock_);
+  const Address t = tail_.load(std::memory_order_acquire);
+  if (t == kLogBegin) return Status::OK();
+  const uint64_t last_page = PageOf(t - 1);
+  for (uint64_t p = flushed_until_page_; p <= last_page; ++p) {
+    const uint64_t f = FrameOf(p);
+    if (frame_page_[f].load(std::memory_order_acquire) != p) continue;
+    MLKV_RETURN_NOT_OK(FlushPage(p));
+  }
+  return file_.Sync();
+}
+
+Status HybridLog::RestoreBoundaries(Address tail, Address begin) {
+  begin_.store(begin, std::memory_order_release);
+  // Everything up to `tail` is disk-resident; start allocating on a fresh
+  // page so recovered data is never overwritten in a partially filled page.
+  const uint64_t next_page = PageOf(tail - 1) + 1;
+  const Address a = PageStart(next_page);
+  for (uint64_t i = 0; i < mem_pages_; ++i) {
+    frame_page_[i].store(kInvalidPage, std::memory_order_relaxed);
+  }
+  tail_.store(a, std::memory_order_release);
+  read_only_.store(a, std::memory_order_release);
+  head_.store(a, std::memory_order_release);
+  flushed_until_page_ = next_page;
+  highest_provisioned_page_ = next_page;
+  const uint64_t f = FrameOf(next_page);
+  std::memset(frames_[f].get(), 0, options_.page_size);
+  frame_page_[f].store(next_page, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace mlkv

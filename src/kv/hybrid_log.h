@@ -1,0 +1,186 @@
+// HybridLog: FASTER's central data structure — a single logical log address
+// space whose tail lives in an in-memory circular page buffer and whose cold
+// prefix lives on disk.
+//
+//   0 ............ head ............ read_only ............ tail
+//   |-- on disk --|-- in-memory, immutable (flushed) --|-- mutable --|
+//
+// * Records in the MUTABLE region [read_only, tail) are updated in place.
+// * Records in the READ-ONLY region [head, read_only) are in memory but
+//   frozen: updates go read-copy-update (append a new version at the tail).
+//   Pages in this region have been written to the log file, so their frames
+//   can be evicted when the buffer wraps.
+// * Records below `head` are read from disk on demand.
+//
+// MLKV's look-ahead prefetching (paper Fig. 5(b)) promotes records from the
+// DISK region back into the MUTABLE region ahead of use — and deliberately
+// skips records already in the READ-ONLY in-memory region, because copying
+// those would only re-dirty pages ("if the data is not on disk but in the
+// immutable memory buffer, we will not copy it into the mutable memory").
+//
+// Concurrency design (documented deviations from FASTER in DESIGN.md):
+// * Allocation takes a short spinlock; page roll-over (flush + eviction)
+//   happens inside it on the rolling thread.
+// * Readers of non-mutable frames validate with a per-frame page-id seqlock:
+//   load frame_page, copy bytes, re-load frame_page; eviction invalidates
+//   frame_page first, so torn copies are detected and retried via disk.
+// * In-place writers register in a per-frame writer count and re-check the
+//   read-only boundary after registering; the flusher advances the boundary
+//   first and then waits for the count to drain, so a page is never flushed
+//   while a value write to it is in flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/file_device.h"
+#include "kv/record.h"
+
+namespace mlkv {
+
+struct HybridLogOptions {
+  uint64_t page_size = 1ull << 20;   // 1 MiB pages
+  uint64_t mem_size = 64ull << 20;   // in-memory buffer (circular, pages)
+  double mutable_fraction = 0.5;     // share of buffer kept mutable
+  std::string path;                  // backing log file
+  bool truncate = true;              // false: keep existing file (recovery)
+};
+
+struct HybridLogStats {
+  std::atomic<uint64_t> pages_flushed{0};
+  std::atomic<uint64_t> pages_evicted{0};
+  std::atomic<uint64_t> disk_record_reads{0};
+  std::atomic<uint64_t> seqlock_retries{0};
+};
+
+class HybridLog {
+ public:
+  HybridLog() = default;
+  ~HybridLog();
+
+  HybridLog(const HybridLog&) = delete;
+  HybridLog& operator=(const HybridLog&) = delete;
+
+  Status Open(const HybridLogOptions& options);
+
+  // --- Address-space boundaries (monotonically non-decreasing) ---
+  Address tail() const { return tail_.load(std::memory_order_acquire); }
+  Address read_only_address() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+  Address head_address() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  Address begin_address() const {
+    return begin_.load(std::memory_order_acquire);
+  }
+
+  bool InMutableRegion(Address a) const { return a >= read_only_address(); }
+  bool InMemory(Address a) const { return a >= head_address(); }
+
+  // Allocates `size` bytes (8-aligned) at the tail; may synchronously flush
+  // and evict pages when rolling to a new page. Returns the address, and a
+  // raw pointer to the (mutable-region) bytes.
+  Status Allocate(uint32_t size, Address* address, char** memory);
+
+  // Raw pointer to an in-memory address. Only safe for the mutable region
+  // (frames there are never evicted); callers in the read-only region must
+  // use the validated copy API below.
+  char* MutablePointer(Address a) { return FramePointer(a); }
+
+  // Seqlock-validated copy of `n` bytes at `a` from the in-memory buffer.
+  // Fails (returns false) if the frame was evicted or replaced mid-copy; the
+  // caller falls back to ReadFromDisk.
+  bool TryReadMemory(Address a, void* out, uint32_t n) const;
+
+  // Reads a record (header + value) at `a` from the log file. `value_cap` is
+  // the size of `value_out`; values longer than the cap are truncated (the
+  // full size is reported in meta->value_size).
+  Status ReadFromDisk(Address a, RecordMeta* meta, void* value_out,
+                      uint32_t value_cap) const;
+
+  // Bulk copy of `n` raw log bytes at `a` (must not cross a page boundary):
+  // seqlock-validated frame copy when resident, one file read otherwise.
+  // Page-granular scans (compaction) use this instead of per-record reads.
+  Status ReadRaw(Address a, void* out, uint32_t n) const;
+
+  // Registers an in-place writer for the frame holding `a`, re-checking that
+  // `a` is still mutable. Returns false if the region became read-only (the
+  // caller must fall back to RCU). Pair with EndInPlaceWrite.
+  bool BeginInPlaceWrite(Address a);
+  void EndInPlaceWrite(Address a);
+
+  // Flushes all pages in [head, tail) to the log file (checkpoint support).
+  Status FlushAll();
+
+  // Advances the begin address (log garbage collection). Addresses below
+  // `new_begin` become permanently unreachable; whole pages below it have
+  // their file blocks released via hole punching. Monotonic; `new_begin`
+  // must not exceed the read-only boundary. The caller (FasterStore::
+  // Compact) guarantees no chain walk can reach the dead region afterwards.
+  Status ShiftBeginAddress(Address new_begin);
+
+  const HybridLogOptions& options() const { return options_; }
+  const HybridLogStats& stats() const { return stats_; }
+  FileDevice* device() { return &file_; }
+
+  // Used by recovery to restore boundaries after reloading metadata. All
+  // in-memory state is discarded; everything in [begin, tail) is
+  // disk-resident.
+  Status RestoreBoundaries(Address tail, Address begin = kLogBegin);
+
+  // First usable address (0 is reserved as kInvalidAddress).
+  static constexpr Address kLogBegin = 64;
+
+ private:
+  uint64_t PageOf(Address a) const { return a >> page_bits_; }
+  uint64_t PageStart(uint64_t page) const { return page << page_bits_; }
+  uint64_t FrameOf(uint64_t page) const { return page % mem_pages_; }
+
+  char* FramePointer(Address a) {
+    const uint64_t page = PageOf(a);
+    return frames_[FrameOf(page)].get() + (a & (options_.page_size - 1));
+  }
+  const char* FramePointer(Address a) const {
+    return const_cast<HybridLog*>(this)->FramePointer(a);
+  }
+
+  // Rolls the log forward so that `page` has a clean, resident frame.
+  // Called with alloc_lock_ held.
+  Status ProvisionPage(uint64_t page);
+  Status FlushPage(uint64_t page);
+
+  static constexpr uint64_t kInvalidPage = ~0ull;
+
+  HybridLogOptions options_;
+  FileDevice file_;
+  int page_bits_ = 0;
+  uint64_t mem_pages_ = 0;
+  uint64_t mutable_pages_ = 0;
+
+  std::vector<std::unique_ptr<char[]>> frames_;
+  // Logical page currently resident in each frame (kInvalidPage if none);
+  // doubles as the seqlock generation for validated reads.
+  std::vector<std::atomic<uint64_t>> frame_page_;
+  // Count of in-flight in-place value writes per frame.
+  std::vector<std::atomic<int>> frame_writers_;
+  // Highest page already flushed to the file (exclusive).
+  uint64_t flushed_until_page_ = 0;
+  // Highest page with a claimed, zeroed frame (allocation may proceed into
+  // it). Guarded by alloc_lock_.
+  uint64_t highest_provisioned_page_ = 0;
+
+  std::atomic<Address> tail_{kLogBegin};
+  std::atomic<Address> read_only_{kLogBegin};
+  std::atomic<Address> head_{kLogBegin};
+  std::atomic<Address> begin_{kLogBegin};
+
+  std::atomic_flag alloc_lock_ = ATOMIC_FLAG_INIT;
+  mutable HybridLogStats stats_;
+};
+
+}  // namespace mlkv

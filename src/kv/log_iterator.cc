@@ -1,0 +1,69 @@
+#include "kv/log_iterator.h"
+
+namespace mlkv {
+
+LogIterator::LogIterator(FasterStore* store, Address from, Address to)
+    : store_(store),
+      end_(to != 0 ? to : store->log().tail()) {
+  const Address begin = store->log().begin_address();
+  Address start = from != 0 ? from : begin;
+  if (start < begin) start = begin;
+  SeekTo(start);
+}
+
+void LogIterator::SeekTo(Address a) {
+  const uint64_t page_size = store_->log().options().page_size;
+  while (a < end_) {
+    // Page remainders smaller than a record header are always gap fill;
+    // reading one would spill into the next page's first record.
+    if (page_size - (a & (page_size - 1)) < sizeof(Record)) {
+      a = (a & ~(page_size - 1)) + page_size;
+      continue;
+    }
+    RecordMeta meta;
+    Status s = store_->ReadRecordAt(a, &meta, nullptr);
+    if (!s.ok()) {
+      status_ = s;
+      valid_ = false;
+      return;
+    }
+    if ((meta.flags & kRecordValid) == 0) {
+      // Gap: zero fill to the end of this page.
+      a = (a & ~(page_size - 1)) + page_size;
+      continue;
+    }
+    s = store_->ReadRecordAt(a, &meta_, &value_);
+    if (!s.ok()) {
+      status_ = s;
+      valid_ = false;
+      return;
+    }
+    current_ = a;
+    next_ = a + Record::SizeFor(meta_.value_size);
+    valid_ = true;
+    return;
+  }
+  valid_ = false;
+}
+
+void LogIterator::Next() {
+  if (!valid_) return;
+  SeekTo(next_);
+}
+
+LiveLogIterator::LiveLogIterator(FasterStore* store)
+    : store_(store), it_(store) {
+  SkipDead();
+}
+
+void LiveLogIterator::SkipDead() {
+  while (it_.Valid()) {
+    if (!(it_.meta().flags & kRecordTombstone) &&
+        store_->IsLiveVersion(it_.meta().key, it_.address())) {
+      return;
+    }
+    it_.Next();
+  }
+}
+
+}  // namespace mlkv

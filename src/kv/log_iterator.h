@@ -1,0 +1,89 @@
+// LogIterator: forward scan over the hybrid log in address order.
+//
+// Yields every record image in [from, to) — live versions, superseded
+// versions, and tombstones alike — skipping page-roll gap bytes (frames are
+// zero-filled, and every real record carries kRecordValid). Callers that
+// need only the newest version of each key pair the scan with a liveness
+// check (see FasterStore::Compact) or use LiveLogIterator below.
+//
+// Concurrency: the iterator takes a snapshot of [from, to) at construction.
+// Records below the read-only boundary are immutable, so scanning them is
+// race-free; scanning into the mutable region observes in-place updates at
+// whatever state the copy catches (values are copied with the same
+// seqlock/disk fallback as reads). Scans must not outlive a concurrent
+// Compact that passes `from`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/faster_store.h"
+#include "kv/record.h"
+
+namespace mlkv {
+
+class LogIterator {
+ public:
+  // Scans [from, to). Zero defaults: from = store begin, to = store tail at
+  // construction time.
+  explicit LogIterator(FasterStore* store, Address from = 0, Address to = 0);
+
+  LogIterator(const LogIterator&) = delete;
+  LogIterator& operator=(const LogIterator&) = delete;
+
+  // True while positioned on a record. False at end or after an I/O error
+  // (distinguish via status()).
+  bool Valid() const { return valid_; }
+
+  // Advances to the next record.
+  void Next();
+
+  Address address() const { return current_; }
+  const RecordMeta& meta() const { return meta_; }
+  // Value bytes of the current record (empty for tombstones).
+  const std::vector<char>& value() const { return value_; }
+
+  // OK unless the scan hit an I/O error; end-of-log is not an error.
+  const Status& status() const { return status_; }
+
+ private:
+  // Positions on the first valid record at or after `a`.
+  void SeekTo(Address a);
+
+  FasterStore* store_;
+  Address end_;
+  Address current_ = kInvalidAddress;
+  Address next_ = kInvalidAddress;
+  RecordMeta meta_;
+  std::vector<char> value_;
+  bool valid_ = false;
+  Status status_;
+};
+
+// LiveLogIterator: like LogIterator but yields only records that are the
+// newest version of their key and not tombstones — i.e., one record per
+// live key, in log order. Used by table export and verification.
+class LiveLogIterator {
+ public:
+  explicit LiveLogIterator(FasterStore* store);
+
+  bool Valid() const { return it_.Valid(); }
+  void Next() {
+    it_.Next();
+    SkipDead();
+  }
+
+  Address address() const { return it_.address(); }
+  const RecordMeta& meta() const { return it_.meta(); }
+  const std::vector<char>& value() const { return it_.value(); }
+  const Status& status() const { return it_.status(); }
+
+ private:
+  void SkipDead();
+
+  FasterStore* store_;
+  LogIterator it_;
+};
+
+}  // namespace mlkv

@@ -1,0 +1,125 @@
+// Sharded LRU block cache keyed by (table_id, block_offset), charging by
+// block byte size — the LSM analogue of the hybrid log's in-memory buffer.
+// Fig. 7 sweeps this capacity for the RocksDB-style baseline.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace mlkv {
+
+class BlockCache {
+ public:
+  explicit BlockCache(uint64_t capacity_bytes, size_t shards = 16)
+      : shards_(shards == 0 ? 1 : shards) {
+    per_shard_capacity_ = capacity_bytes / shards_;
+    if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+    shard_data_ = std::vector<Shard>(shards_);
+  }
+
+  using BlockId = std::pair<uint64_t, uint64_t>;  // (table_id, offset)
+
+  bool Get(BlockId id, std::string* out) {
+    Shard& s = ShardFor(id);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(Pack(id));
+    if (it == s.map.end()) {
+      ++s.misses;
+      return false;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+    *out = *it->second.block;
+    ++s.hits;
+    return true;
+  }
+
+  void Insert(BlockId id, std::string block) {
+    Shard& s = ShardFor(id);
+    std::lock_guard<std::mutex> lk(s.mu);
+    const uint64_t packed = Pack(id);
+    if (s.map.count(packed)) return;
+    const uint64_t charge = block.size();
+    while (!s.lru.empty() && s.used + charge > per_shard_capacity_) {
+      const uint64_t victim = s.lru.back();
+      s.lru.pop_back();
+      auto vit = s.map.find(victim);
+      s.used -= vit->second.block->size();
+      s.map.erase(vit);
+      ++s.evictions;
+    }
+    if (charge > per_shard_capacity_) return;  // block larger than shard
+    s.lru.push_front(packed);
+    Entry e;
+    e.block = std::make_shared<std::string>(std::move(block));
+    e.lru_it = s.lru.begin();
+    s.map.emplace(packed, std::move(e));
+    s.used += charge;
+  }
+
+  // Drops every block of `table_id` (called when a table is deleted after
+  // compaction). Linear in shard size; compactions are rare.
+  void EraseTable(uint64_t table_id) {
+    for (auto& s : shard_data_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      for (auto it = s.map.begin(); it != s.map.end();) {
+        if ((it->first >> 40) == table_id) {
+          s.used -= it->second.block->size();
+          s.lru.erase(it->second.lru_it);
+          it = s.map.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  struct CacheStats {
+    uint64_t hits = 0, misses = 0, evictions = 0, used_bytes = 0;
+  };
+  CacheStats stats() const {
+    CacheStats c;
+    for (const auto& s : shard_data_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      c.hits += s.hits;
+      c.misses += s.misses;
+      c.evictions += s.evictions;
+      c.used_bytes += s.used;
+    }
+    return c;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<std::string> block;
+    std::list<uint64_t>::iterator lru_it;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+    std::list<uint64_t> lru;
+    uint64_t used = 0;
+    uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  // 24 bits of table id, 40 bits of offset — ample for the benchmarks.
+  static uint64_t Pack(BlockId id) {
+    return (id.first << 40) | (id.second & ((1ull << 40) - 1));
+  }
+
+  Shard& ShardFor(BlockId id) {
+    return shard_data_[Hash64(Pack(id)) % shards_];
+  }
+
+  size_t shards_;
+  uint64_t per_shard_capacity_;
+  std::vector<Shard> shard_data_;
+};
+
+}  // namespace mlkv

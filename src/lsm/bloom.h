@@ -1,0 +1,83 @@
+// Bloom filter over 64-bit keys (double-hashing scheme, as in LevelDB /
+// RocksDB filter blocks). ~1% false positives at 10 bits/key.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "kv/record.h"
+
+namespace mlkv {
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  // Builds a filter sized for `keys.size()` keys at `bits_per_key`.
+  void Build(const std::vector<Key>& keys, int bits_per_key) {
+    num_probes_ = static_cast<int>(bits_per_key * 0.69);  // ln2 * bits/key
+    if (num_probes_ < 1) num_probes_ = 1;
+    if (num_probes_ > 30) num_probes_ = 30;
+    size_t bits = keys.size() * static_cast<size_t>(bits_per_key);
+    if (bits < 64) bits = 64;
+    bits_.assign((bits + 7) / 8, 0);
+    for (const Key key : keys) AddHash(Hash64(key));
+  }
+
+  bool MayContain(Key key) const {
+    if (bits_.empty()) return true;
+    uint64_t h = Hash64(key);
+    const uint64_t delta = (h >> 17) | (h << 47);
+    const size_t nbits = bits_.size() * 8;
+    for (int i = 0; i < num_probes_; ++i) {
+      const size_t pos = h % nbits;
+      if ((bits_[pos / 8] & (1u << (pos % 8))) == 0) return false;
+      h += delta;
+    }
+    return true;
+  }
+
+  // Serialization (stored in the SSTable tail).
+  std::string Serialize() const {
+    std::string out;
+    const uint32_t probes = static_cast<uint32_t>(num_probes_);
+    const uint64_t nbytes = bits_.size();
+    out.append(reinterpret_cast<const char*>(&probes), 4);
+    out.append(reinterpret_cast<const char*>(&nbytes), 8);
+    out.append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+    return out;
+  }
+
+  bool Deserialize(const char* data, size_t n) {
+    if (n < 12) return false;
+    uint32_t probes;
+    uint64_t nbytes;
+    std::memcpy(&probes, data, 4);
+    std::memcpy(&nbytes, data + 4, 8);
+    if (n < 12 + nbytes || probes == 0 || probes > 30) return false;
+    num_probes_ = static_cast<int>(probes);
+    bits_.assign(data + 12, data + 12 + nbytes);
+    return true;
+  }
+
+  size_t SerializedSize() const { return 12 + bits_.size(); }
+
+ private:
+  void AddHash(uint64_t h) {
+    const uint64_t delta = (h >> 17) | (h << 47);
+    const size_t nbits = bits_.size() * 8;
+    for (int i = 0; i < num_probes_; ++i) {
+      const size_t pos = h % nbits;
+      bits_[pos / 8] |= static_cast<uint8_t>(1u << (pos % 8));
+      h += delta;
+    }
+  }
+
+  int num_probes_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace mlkv

@@ -1,0 +1,269 @@
+#include "lsm/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+namespace mlkv {
+
+namespace {
+
+// Footer: fixed-size trailer locating bloom + index.
+struct Footer {
+  uint64_t magic = 0x4D4C4B565353544Cull;  // "MLKVSSTL"
+  uint64_t bloom_offset = 0;
+  uint64_t bloom_size = 0;
+  uint64_t index_offset = 0;
+  uint64_t index_count = 0;
+  uint64_t num_entries = 0;
+};
+
+void AppendEntry(std::string* block, Key key, const std::string& value,
+                 bool tombstone) {
+  const uint32_t vsize = static_cast<uint32_t>(value.size());
+  const uint8_t tomb = tombstone ? 1 : 0;
+  block->append(reinterpret_cast<const char*>(&key), 8);
+  block->append(reinterpret_cast<const char*>(&vsize), 4);
+  block->append(reinterpret_cast<const char*>(&tomb), 1);
+  block->append(value);
+}
+
+}  // namespace
+
+SSTableBuilder::SSTableBuilder(std::string path, uint32_t block_size,
+                               int bloom_bits_per_key)
+    : path_(std::move(path)),
+      block_size_(block_size),
+      bloom_bits_per_key_(bloom_bits_per_key) {}
+
+Status SSTableBuilder::Add(Key key, const std::string& value,
+                           bool tombstone) {
+  if (!opened_) {
+    MLKV_RETURN_NOT_OK(file_.Open(path_));
+    opened_ = true;
+  }
+  if (!all_keys_.empty() && key <= all_keys_.back()) {
+    return Status::InvalidArgument("keys must be added in increasing order");
+  }
+  if (!block_has_entries_) {
+    current_block_first_key_ = key;
+    block_has_entries_ = true;
+  }
+  AppendEntry(&current_block_, key, value, tombstone);
+  all_keys_.push_back(key);
+  ++num_entries_;
+  if (current_block_.size() >= block_size_) {
+    MLKV_RETURN_NOT_OK(FlushBlock());
+  }
+  return Status::OK();
+}
+
+Status SSTableBuilder::FlushBlock() {
+  if (!block_has_entries_) return Status::OK();
+  index_.push_back({current_block_first_key_, offset_,
+                    static_cast<uint32_t>(current_block_.size())});
+  MLKV_RETURN_NOT_OK(
+      file_.WriteAt(offset_, current_block_.data(), current_block_.size()));
+  offset_ += current_block_.size();
+  current_block_.clear();
+  block_has_entries_ = false;
+  return Status::OK();
+}
+
+Status SSTableBuilder::Finish() {
+  if (!opened_) {
+    MLKV_RETURN_NOT_OK(file_.Open(path_));
+    opened_ = true;
+  }
+  MLKV_RETURN_NOT_OK(FlushBlock());
+
+  BloomFilter bloom;
+  bloom.Build(all_keys_, bloom_bits_per_key_);
+  const std::string bloom_bytes = bloom.Serialize();
+  Footer footer;
+  footer.bloom_offset = offset_;
+  footer.bloom_size = bloom_bytes.size();
+  MLKV_RETURN_NOT_OK(file_.WriteAt(offset_, bloom_bytes.data(),
+                                   bloom_bytes.size()));
+  offset_ += bloom_bytes.size();
+
+  footer.index_offset = offset_;
+  footer.index_count = index_.size();
+  for (const IndexEntry& e : index_) {
+    char buf[20];
+    std::memcpy(buf, &e.first_key, 8);
+    std::memcpy(buf + 8, &e.offset, 8);
+    std::memcpy(buf + 16, &e.length, 4);
+    MLKV_RETURN_NOT_OK(file_.WriteAt(offset_, buf, sizeof(buf)));
+    offset_ += sizeof(buf);
+  }
+  footer.num_entries = num_entries_;
+  MLKV_RETURN_NOT_OK(file_.WriteAt(offset_, &footer, sizeof(footer)));
+  return file_.Sync();
+}
+
+Status SSTable::Open(const std::string& path, uint64_t table_id,
+                     BlockCache* cache, std::unique_ptr<SSTable>* out) {
+  std::unique_ptr<SSTable> t(new SSTable());
+  t->path_ = path;
+  t->table_id_ = table_id;
+  t->cache_ = cache;
+  MLKV_RETURN_NOT_OK(t->file_.Open(path, /*truncate=*/false));
+  const uint64_t file_size = t->file_.FileSize();
+  if (file_size < sizeof(Footer)) return Status::Corruption("sstable short");
+  Footer footer;
+  MLKV_RETURN_NOT_OK(
+      t->file_.ReadAt(file_size - sizeof(Footer), &footer, sizeof(footer)));
+  if (footer.magic != Footer().magic) {
+    return Status::Corruption("bad sstable magic");
+  }
+  std::string bloom_bytes(footer.bloom_size, '\0');
+  MLKV_RETURN_NOT_OK(t->file_.ReadAt(footer.bloom_offset, bloom_bytes.data(),
+                                     bloom_bytes.size()));
+  if (!t->bloom_.Deserialize(bloom_bytes.data(), bloom_bytes.size())) {
+    return Status::Corruption("bad bloom filter");
+  }
+  t->index_.resize(footer.index_count);
+  uint64_t off = footer.index_offset;
+  for (auto& e : t->index_) {
+    char buf[20];
+    MLKV_RETURN_NOT_OK(t->file_.ReadAt(off, buf, sizeof(buf)));
+    std::memcpy(&e.first_key, buf, 8);
+    std::memcpy(&e.offset, buf + 8, 8);
+    std::memcpy(&e.length, buf + 16, 4);
+    off += sizeof(buf);
+  }
+  t->num_entries_ = footer.num_entries;
+  if (!t->index_.empty()) {
+    t->min_key_ = t->index_.front().first_key;
+    // The max key requires scanning the last block.
+    std::string block;
+    MLKV_RETURN_NOT_OK(t->ReadBlock(t->index_.size() - 1, &block));
+    size_t pos = 0;
+    Key last = t->min_key_;
+    while (pos + 13 <= block.size()) {
+      Key k;
+      uint32_t vsize;
+      std::memcpy(&k, block.data() + pos, 8);
+      std::memcpy(&vsize, block.data() + pos + 8, 4);
+      pos += 13 + vsize;
+      last = k;
+    }
+    t->max_key_ = last;
+  }
+  *out = std::move(t);
+  return Status::OK();
+}
+
+Status SSTable::ReadBlock(size_t block_idx, std::string* out) const {
+  const IndexEntry& e = index_[block_idx];
+  const BlockCache::BlockId id{table_id_, e.offset};
+  if (cache_ != nullptr && cache_->Get(id, out)) return Status::OK();
+  out->resize(e.length);
+  MLKV_RETURN_NOT_OK(file_.ReadAt(e.offset, out->data(), e.length));
+  if (cache_ != nullptr) cache_->Insert(id, *out);
+  return Status::OK();
+}
+
+Status SSTable::SearchBlock(const std::string& block, Key key,
+                            GetResult* out) const {
+  size_t pos = 0;
+  while (pos + 13 <= block.size()) {
+    Key k;
+    uint32_t vsize;
+    uint8_t tomb;
+    std::memcpy(&k, block.data() + pos, 8);
+    std::memcpy(&vsize, block.data() + pos + 8, 4);
+    std::memcpy(&tomb, block.data() + pos + 12, 1);
+    if (k == key) {
+      out->found = true;
+      out->tombstone = tomb != 0;
+      out->value.assign(block.data() + pos + 13, vsize);
+      return Status::OK();
+    }
+    if (k > key) break;  // sorted within block
+    pos += 13 + vsize;
+  }
+  out->found = false;
+  return Status::OK();
+}
+
+Status SSTable::Get(Key key, GetResult* out) const {
+  out->found = false;
+  if (index_.empty() || key < min_key_ || key > max_key_) return Status::OK();
+  if (!bloom_.MayContain(key)) return Status::OK();
+  // Binary search the index for the last block whose first_key <= key.
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), key,
+      [](Key k, const IndexEntry& e) { return k < e.first_key; });
+  if (it == index_.begin()) return Status::OK();
+  --it;
+  std::string block;
+  MLKV_RETURN_NOT_OK(ReadBlock(static_cast<size_t>(it - index_.begin()),
+                               &block));
+  return SearchBlock(block, key, out);
+}
+
+Status SSTable::Scan(
+    const std::function<void(Key, const std::string&, bool)>& fn) const {
+  for (size_t b = 0; b < index_.size(); ++b) {
+    std::string block;
+    MLKV_RETURN_NOT_OK(ReadBlock(b, &block));
+    size_t pos = 0;
+    while (pos + 13 <= block.size()) {
+      Key k;
+      uint32_t vsize;
+      uint8_t tomb;
+      std::memcpy(&k, block.data() + pos, 8);
+      std::memcpy(&vsize, block.data() + pos + 8, 4);
+      std::memcpy(&tomb, block.data() + pos + 12, 1);
+      fn(k, std::string(block.data() + pos + 13, vsize), tomb != 0);
+      pos += 13 + vsize;
+    }
+  }
+  return Status::OK();
+}
+
+Status SSTable::RangeScan(
+    Key from, Key to,
+    const std::function<void(Key, const std::string&, bool)>& fn) const {
+  if (index_.empty() || from > to || to < min_key_ || from > max_key_) {
+    return Status::OK();
+  }
+  // First candidate block: the last block whose first_key <= from (an
+  // earlier block cannot contain `from`), or block 0 when from < all.
+  size_t b = 0;
+  {
+    size_t lo = 0, hi = index_.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (index_[mid].first_key <= from) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    b = lo > 0 ? lo - 1 : 0;
+  }
+  for (; b < index_.size() && index_[b].first_key <= to; ++b) {
+    std::string block;
+    MLKV_RETURN_NOT_OK(ReadBlock(b, &block));
+    size_t pos = 0;
+    while (pos + 13 <= block.size()) {
+      Key k;
+      uint32_t vsize;
+      uint8_t tomb;
+      std::memcpy(&k, block.data() + pos, 8);
+      std::memcpy(&vsize, block.data() + pos + 8, 4);
+      std::memcpy(&tomb, block.data() + pos + 12, 1);
+      if (k > to) return Status::OK();
+      if (k >= from) {
+        fn(k, std::string(block.data() + pos + 13, vsize), tomb != 0);
+      }
+      pos += 13 + vsize;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mlkv

@@ -1,0 +1,112 @@
+// SSTable: immutable sorted run on disk for the LSM baseline.
+//
+// File layout:
+//   [data blocks ...][bloom filter][index][footer]
+// Data blocks hold (key, value_size, tombstone, value) entries; the index
+// maps each block's first key to (offset, length); the bloom filter covers
+// all keys in the table. Blocks are read through a shared LRU BlockCache so
+// the buffer-size sweep in Fig. 7 applies to this backend too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/file_device.h"
+#include "kv/record.h"
+#include "lsm/bloom.h"
+#include "lsm/block_cache.h"
+
+namespace mlkv {
+
+class SSTableBuilder {
+ public:
+  // `block_size` is the uncompressed data-block payload target.
+  SSTableBuilder(std::string path, uint32_t block_size = 4096,
+                 int bloom_bits_per_key = 10);
+
+  Status Add(Key key, const std::string& value, bool tombstone);
+  // Finalizes the file; the builder is unusable afterwards.
+  Status Finish();
+
+  uint64_t num_entries() const { return num_entries_; }
+
+ private:
+  Status FlushBlock();
+
+  std::string path_;
+  uint32_t block_size_;
+  int bloom_bits_per_key_;
+  FileDevice file_;
+  bool opened_ = false;
+
+  std::string current_block_;
+  Key current_block_first_key_ = 0;
+  bool block_has_entries_ = false;
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+
+  struct IndexEntry {
+    Key first_key;
+    uint64_t offset;
+    uint32_t length;
+  };
+  std::vector<IndexEntry> index_;
+  std::vector<Key> all_keys_;
+};
+
+class SSTable {
+ public:
+  // Opens the table and loads index + bloom into memory (data stays on
+  // disk and is fetched through `cache`).
+  static Status Open(const std::string& path, uint64_t table_id,
+                     BlockCache* cache, std::unique_ptr<SSTable>* out);
+
+  struct GetResult {
+    bool found = false;
+    bool tombstone = false;
+    std::string value;
+  };
+  Status Get(Key key, GetResult* out) const;
+
+  // Full scan in key order (compaction input).
+  Status Scan(
+      const std::function<void(Key, const std::string&, bool)>& fn) const;
+
+  // Scan limited to keys in [from, to]; uses the block index to skip
+  // non-overlapping blocks (YCSB-E range reads).
+  Status RangeScan(
+      Key from, Key to,
+      const std::function<void(Key, const std::string&, bool)>& fn) const;
+
+  Key min_key() const { return min_key_; }
+  Key max_key() const { return max_key_; }
+  uint64_t num_entries() const { return num_entries_; }
+  const std::string& path() const { return path_; }
+  uint64_t table_id() const { return table_id_; }
+
+ private:
+  SSTable() = default;
+
+  Status ReadBlock(size_t block_idx, std::string* out) const;
+  Status SearchBlock(const std::string& block, Key key, GetResult* out) const;
+
+  std::string path_;
+  uint64_t table_id_ = 0;
+  mutable FileDevice file_;
+  BlockCache* cache_ = nullptr;
+  BloomFilter bloom_;
+  struct IndexEntry {
+    Key first_key;
+    uint64_t offset;
+    uint32_t length;
+  };
+  std::vector<IndexEntry> index_;
+  Key min_key_ = 0, max_key_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace mlkv

@@ -1,0 +1,64 @@
+// Write-ahead log for the LSM baseline (RocksDB-style durability).
+//
+// Every Put/Delete is appended to the active WAL before it reaches the
+// memtable; after a memtable flush produces an SSTable, the WAL resets.
+// Recovery replays intact records in order and stops cleanly at the first
+// torn or corrupt record (the standard crash-consistent tail rule).
+//
+// Record layout (little-endian):
+//   u32 checksum   over everything after this field
+//   u8  op         (1 = put, 2 = delete)
+//   u64 key
+//   u32 value_len  (0 for deletes)
+//   value bytes
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "io/file_device.h"
+#include "kv/record.h"
+
+namespace mlkv {
+
+class WalWriter {
+ public:
+  WalWriter() = default;
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Creates (or truncates) the WAL at `path`.
+  Status Open(const std::string& path);
+
+  Status AppendPut(Key key, const void* value, uint32_t size);
+  Status AppendDelete(Key key);
+
+  // Durability barrier (fdatasync). Callers choose the cadence; the LSM
+  // store syncs on memtable rotation by default.
+  Status Sync();
+
+  // Empties the log (the covered memtable reached an SSTable).
+  Status Reset();
+
+  uint64_t bytes() const { return offset_; }
+
+ private:
+  Status AppendRecord(uint8_t op, Key key, const void* value, uint32_t size);
+
+  FileDevice file_;
+  uint64_t offset_ = 0;
+};
+
+// Replays `path` in append order: fn(key, value, is_tombstone) per intact
+// record. A missing file is OK (no records). Returns the number of records
+// applied via `replayed` (optional); a torn/corrupt tail ends the replay
+// without error.
+Status ReplayWal(
+    const std::string& path,
+    const std::function<void(Key, const std::string&, bool)>& fn,
+    uint64_t* replayed = nullptr);
+
+}  // namespace mlkv

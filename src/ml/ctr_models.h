@@ -1,0 +1,205 @@
+// CTR prediction models (paper Table II: FFNN and DCN on Criteo datasets).
+//
+// Both take a batch of concatenated [embeddings | dense features] and emit a
+// click logit. Backward returns the gradient w.r.t. the embedding slice so
+// the trainer can push updates back into the KV store (Fig. 3 lines 14-18).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/layers.h"
+#include "ml/tensor.h"
+
+namespace mlkv {
+
+// Common interface so the trainer is model-agnostic.
+class CtrModel {
+ public:
+  virtual ~CtrModel() = default;
+  virtual const char* name() const = 0;
+  // x: [B, m*dim + dense]; returns logits [B, 1].
+  virtual const Tensor& Forward(const Tensor& x) = 0;
+  // grad_logits: [B, 1]; returns dL/dx [B, m*dim + dense].
+  virtual const Tensor& Backward(const Tensor& grad_logits) = 0;
+  virtual void Step() = 0;
+};
+
+// Fully connected feed-forward network: input -> 64 -> 32 -> 1.
+class FfnnModel : public CtrModel {
+ public:
+  FfnnModel(size_t input_dim, uint64_t seed = 1, float lr = 0.05f)
+      : opt_(lr) {
+    Rng rng(seed);
+    l1_ = Linear(input_dim, 64, /*relu=*/true, &rng);
+    l2_ = Linear(64, 32, /*relu=*/true, &rng);
+    l3_ = Linear(32, 1, /*relu=*/false, &rng);
+  }
+
+  const char* name() const override { return "FFNN"; }
+
+  const Tensor& Forward(const Tensor& x) override {
+    return l3_.Forward(l2_.Forward(l1_.Forward(x)));
+  }
+
+  const Tensor& Backward(const Tensor& grad_logits) override {
+    return l1_.Backward(l2_.Backward(l3_.Backward(grad_logits)));
+  }
+
+  void Step() override {
+    l1_.Step(&opt_);
+    l2_.Step(&opt_);
+    l3_.Step(&opt_);
+  }
+
+ private:
+  Adagrad opt_;
+  Linear l1_, l2_, l3_;
+};
+
+// Deep & Cross Network (Wang et al., ADKDD'17): a cross network
+// x_{k+1} = x_0 * (x_k . w_k) + b_k + x_k running in parallel with a deep
+// tower; their concatenation feeds the output layer.
+class DcnModel : public CtrModel {
+ public:
+  DcnModel(size_t input_dim, int cross_layers = 2, uint64_t seed = 1,
+           float lr = 0.05f)
+      : input_dim_(input_dim), num_cross_(cross_layers), opt_(lr) {
+    Rng rng(seed + 17);
+    cross_w_.resize(num_cross_);
+    cross_b_.resize(num_cross_);
+    cross_gw_.resize(num_cross_);
+    cross_gb_.resize(num_cross_);
+    for (int k = 0; k < num_cross_; ++k) {
+      cross_w_[k].Resize(1, input_dim);
+      cross_w_[k].InitGlorot(&rng);
+      cross_b_[k].Resize(1, input_dim);
+      cross_gw_[k].Resize(1, input_dim);
+      cross_gb_[k].Resize(1, input_dim);
+    }
+    deep1_ = Linear(input_dim, 64, true, &rng);
+    deep2_ = Linear(64, 32, true, &rng);
+    out_ = Linear(input_dim + 32, 1, false, &rng);
+  }
+
+  const char* name() const override { return "DCN"; }
+
+  const Tensor& Forward(const Tensor& x) override {
+    x0_ = x;
+    // Cross tower.
+    xs_.assign(1, x);  // xs_[k] is the input of cross layer k
+    for (int k = 0; k < num_cross_; ++k) {
+      const Tensor& xk = xs_.back();
+      Tensor next(x.rows(), input_dim_);
+      for (size_t b = 0; b < x.rows(); ++b) {
+        const float* x0r = x0_.row(b);
+        const float* xkr = xk.row(b);
+        float dot = 0;
+        for (size_t i = 0; i < input_dim_; ++i) {
+          dot += xkr[i] * cross_w_[k].at(0, i);
+        }
+        float* nr = next.row(b);
+        for (size_t i = 0; i < input_dim_; ++i) {
+          nr[i] = x0r[i] * dot + cross_b_[k].at(0, i) + xkr[i];
+        }
+      }
+      xs_.push_back(std::move(next));
+    }
+    // Deep tower.
+    const Tensor& deep_out = deep2_.Forward(deep1_.Forward(x));
+    // Concatenate [cross | deep].
+    concat_.Resize(x.rows(), input_dim_ + deep_out.cols());
+    for (size_t b = 0; b < x.rows(); ++b) {
+      float* cr = concat_.row(b);
+      const float* xr = xs_.back().row(b);
+      for (size_t i = 0; i < input_dim_; ++i) cr[i] = xr[i];
+      const float* dr = deep_out.row(b);
+      for (size_t i = 0; i < deep_out.cols(); ++i) cr[input_dim_ + i] = dr[i];
+    }
+    return out_.Forward(concat_);
+  }
+
+  const Tensor& Backward(const Tensor& grad_logits) override {
+    const Tensor& gconcat = out_.Backward(grad_logits);
+    const size_t B = gconcat.rows();
+    // Split gradient into cross and deep parts.
+    Tensor gcross(B, input_dim_);
+    Tensor gdeep(B, gconcat.cols() - input_dim_);
+    for (size_t b = 0; b < B; ++b) {
+      const float* gr = gconcat.row(b);
+      float* gc = gcross.row(b);
+      for (size_t i = 0; i < input_dim_; ++i) gc[i] = gr[i];
+      float* gd = gdeep.row(b);
+      for (size_t i = 0; i < gdeep.cols(); ++i) gd[i] = gr[input_dim_ + i];
+    }
+    // Deep tower backward -> gradient w.r.t. x.
+    const Tensor& gx_deep = deep1_.Backward(deep2_.Backward(gdeep));
+
+    // Cross tower backward. For y = x0 * (xk . w) + b + xk:
+    //   d/dxk = w * (x0 . g)   + g
+    //   d/dx0 = g * (xk . w)                      (accumulated into gx0)
+    //   d/dw  = xk * (x0 . g),  d/db = g
+    Tensor g = gcross;  // gradient w.r.t. xs_[k+1]
+    Tensor gx0(B, input_dim_);
+    for (int k = num_cross_ - 1; k >= 0; --k) {
+      const Tensor& xk = xs_[k];
+      Tensor gprev(B, input_dim_);
+      for (size_t b = 0; b < B; ++b) {
+        const float* gr = g.row(b);
+        const float* x0r = x0_.row(b);
+        const float* xkr = xk.row(b);
+        float x0_dot_g = 0, xk_dot_w = 0;
+        for (size_t i = 0; i < input_dim_; ++i) {
+          x0_dot_g += x0r[i] * gr[i];
+          xk_dot_w += xkr[i] * cross_w_[k].at(0, i);
+        }
+        float* gp = gprev.row(b);
+        float* g0 = gx0.row(b);
+        for (size_t i = 0; i < input_dim_; ++i) {
+          gp[i] = cross_w_[k].at(0, i) * x0_dot_g + gr[i];
+          g0[i] += gr[i] * xk_dot_w;
+          cross_gw_[k].at(0, i) += xkr[i] * x0_dot_g;
+          cross_gb_[k].at(0, i) += gr[i];
+        }
+      }
+      g = std::move(gprev);
+    }
+    // Total dL/dx = cross-chain grad + x0 contributions + deep tower grad.
+    gx_.Resize(B, input_dim_);
+    for (size_t b = 0; b < B; ++b) {
+      float* o = gx_.row(b);
+      const float* a = g.row(b);
+      const float* c = gx0.row(b);
+      const float* d = gx_deep.row(b);
+      for (size_t i = 0; i < input_dim_; ++i) o[i] = a[i] + c[i] + d[i];
+    }
+    return gx_;
+  }
+
+  void Step() override {
+    for (int k = 0; k < num_cross_; ++k) {
+      opt_.Apply(&cross_w_[k], cross_gw_[k]);
+      float* b = cross_b_[k].data();
+      const float* g = cross_gb_[k].data();
+      for (size_t i = 0; i < cross_b_[k].size(); ++i) {
+        b[i] -= opt_.lr() * g[i];
+      }
+      cross_gw_[k].Zero();
+      cross_gb_[k].Zero();
+    }
+    deep1_.Step(&opt_);
+    deep2_.Step(&opt_);
+    out_.Step(&opt_);
+  }
+
+ private:
+  size_t input_dim_;
+  int num_cross_;
+  Adagrad opt_;
+  std::vector<Tensor> cross_w_, cross_b_, cross_gw_, cross_gb_;
+  Linear deep1_, deep2_, out_;
+  Tensor x0_, concat_, gx_;
+  std::vector<Tensor> xs_;
+};
+
+}  // namespace mlkv

@@ -1,0 +1,104 @@
+// Knowledge-graph embedding models (paper Table II: DistMult and ComplEx).
+//
+// Both are bilinear scorers over (head, relation, tail) embeddings; their
+// gradients are closed-form elementwise products, so no autograd machinery
+// is needed. The trainer stores entity embeddings in the KV store and
+// relation embeddings densely (relations are few), trains with negative
+// sampling + BCE, and evaluates Hits@k.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mlkv {
+
+// DistMult (Yang et al., ICLR'15): score(h,r,t) = sum_i h_i * r_i * t_i.
+struct DistMult {
+  static constexpr const char* kName = "DistMult";
+
+  static float Score(const float* h, const float* r, const float* t,
+                     uint32_t dim) {
+    float s = 0;
+    for (uint32_t i = 0; i < dim; ++i) s += h[i] * r[i] * t[i];
+    return s;
+  }
+
+  // dScore/dh = r*t, /dr = h*t, /dt = h*r; scaled by `g` (dL/dScore).
+  static void Grad(const float* h, const float* r, const float* t,
+                   uint32_t dim, float g, float* gh, float* gr, float* gt) {
+    for (uint32_t i = 0; i < dim; ++i) {
+      gh[i] += g * r[i] * t[i];
+      gr[i] += g * h[i] * t[i];
+      gt[i] += g * h[i] * r[i];
+    }
+  }
+};
+
+// ComplEx (Trouillon et al., ICML'16): embeddings are complex vectors of
+// dimension dim/2 stored as [real | imag];
+//   score = Re(<h, r, conj(t)>)
+//         = sum( hr*rr*tr + hi*ri*tr + hr*ri*ti - hi*rr*ti )
+struct ComplEx {
+  static constexpr const char* kName = "ComplEx";
+
+  static float Score(const float* h, const float* r, const float* t,
+                     uint32_t dim) {
+    const uint32_t d = dim / 2;
+    const float* hr = h;
+    const float* hi = h + d;
+    const float* rr = r;
+    const float* ri = r + d;
+    const float* tr = t;
+    const float* ti = t + d;
+    float s = 0;
+    for (uint32_t i = 0; i < d; ++i) {
+      s += hr[i] * rr[i] * tr[i] + hi[i] * ri[i] * tr[i] +
+           hr[i] * ri[i] * ti[i] - hi[i] * rr[i] * ti[i];
+    }
+    return s;
+  }
+
+  static void Grad(const float* h, const float* r, const float* t,
+                   uint32_t dim, float g, float* gh, float* gr, float* gt) {
+    const uint32_t d = dim / 2;
+    const float* hr = h;
+    const float* hi = h + d;
+    const float* rr = r;
+    const float* ri = r + d;
+    const float* tr = t;
+    const float* ti = t + d;
+    for (uint32_t i = 0; i < d; ++i) {
+      gh[i] += g * (rr[i] * tr[i] + ri[i] * ti[i]);
+      gh[d + i] += g * (ri[i] * tr[i] - rr[i] * ti[i]);
+      gr[i] += g * (hr[i] * tr[i] - hi[i] * ti[i]);
+      gr[d + i] += g * (hi[i] * tr[i] + hr[i] * ti[i]);
+      gt[i] += g * (hr[i] * rr[i] + hi[i] * ri[i]);
+      gt[d + i] += g * (hr[i] * ri[i] - hi[i] * rr[i]);
+    }
+  }
+};
+
+enum class KgeModelKind { kDistMult, kComplEx };
+
+inline float KgeScore(KgeModelKind kind, const float* h, const float* r,
+                      const float* t, uint32_t dim) {
+  return kind == KgeModelKind::kDistMult ? DistMult::Score(h, r, t, dim)
+                                         : ComplEx::Score(h, r, t, dim);
+}
+
+inline void KgeGrad(KgeModelKind kind, const float* h, const float* r,
+                    const float* t, uint32_t dim, float g, float* gh,
+                    float* gr, float* gt) {
+  if (kind == KgeModelKind::kDistMult) {
+    DistMult::Grad(h, r, t, dim, g, gh, gr, gt);
+  } else {
+    ComplEx::Grad(h, r, t, dim, g, gh, gr, gt);
+  }
+}
+
+inline const char* KgeModelName(KgeModelKind kind) {
+  return kind == KgeModelKind::kDistMult ? DistMult::kName : ComplEx::kName;
+}
+
+}  // namespace mlkv

@@ -1,0 +1,121 @@
+// Evaluation metrics reported in the paper: AUC for CTR (Fig. 2/6/8/11b),
+// Hits@k for KGE link prediction (Fig. 6/8), accuracy for GNN node
+// classification (Fig. 6).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace mlkv {
+
+// Area under the ROC curve via the rank-sum (Mann-Whitney U) formulation.
+class AucAccumulator {
+ public:
+  void Add(float score, bool positive) {
+    scores_.push_back(score);
+    labels_.push_back(positive);
+  }
+
+  void Clear() {
+    scores_.clear();
+    labels_.clear();
+  }
+
+  size_t count() const { return scores_.size(); }
+
+  // Returns 0.5 when degenerate (single class).
+  double Compute() const {
+    const size_t n = scores_.size();
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      return scores_[a] < scores_[b];
+    });
+    // Average ranks over ties.
+    std::vector<double> rank(n);
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && scores_[order[j + 1]] == scores_[order[i]]) ++j;
+      const double avg = (static_cast<double>(i) + static_cast<double>(j)) /
+                             2.0 + 1.0;
+      for (size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+      i = j + 1;
+    }
+    double pos_rank_sum = 0;
+    uint64_t pos = 0;
+    for (size_t k = 0; k < n; ++k) {
+      if (labels_[k]) {
+        pos_rank_sum += rank[k];
+        ++pos;
+      }
+    }
+    const uint64_t neg = n - pos;
+    if (pos == 0 || neg == 0) return 0.5;
+    return (pos_rank_sum - static_cast<double>(pos) *
+                               (static_cast<double>(pos) + 1.0) / 2.0) /
+           (static_cast<double>(pos) * static_cast<double>(neg));
+  }
+
+ private:
+  std::vector<float> scores_;
+  std::vector<bool> labels_;
+};
+
+// Hits@k for link prediction: fraction of test triples whose true entity
+// ranks in the top k against sampled negatives.
+class HitsAtK {
+ public:
+  explicit HitsAtK(int k) : k_(k) {}
+
+  // `true_score` vs scores of the corrupted candidates.
+  void Add(float true_score, const std::vector<float>& negative_scores) {
+    int rank = 1;
+    for (const float s : negative_scores) {
+      if (s >= true_score) ++rank;
+    }
+    ++total_;
+    if (rank <= k_) ++hits_;
+  }
+
+  void Clear() {
+    hits_ = 0;
+    total_ = 0;
+  }
+
+  double Compute() const {
+    return total_ ? static_cast<double>(hits_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+  uint64_t total() const { return total_; }
+
+ private:
+  int k_;
+  uint64_t hits_ = 0;
+  uint64_t total_ = 0;
+};
+
+class AccuracyAccumulator {
+ public:
+  void Add(int predicted, int actual) {
+    ++total_;
+    if (predicted == actual) ++correct_;
+  }
+  void Clear() {
+    correct_ = 0;
+    total_ = 0;
+  }
+  double Compute() const {
+    return total_ ? static_cast<double>(correct_) /
+                        static_cast<double>(total_)
+                  : 0.0;
+  }
+  uint64_t total() const { return total_; }
+
+ private:
+  uint64_t correct_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace mlkv

@@ -1,0 +1,119 @@
+// EmbeddingCache: a sharded LRU cache of key -> embedding vector, playing
+// the role of the "application cache" in the paper's Fig. 5(b). Conventional
+// prefetching (and Lookahead with an application-cache destination) fills
+// this cache; trainers consult it before going to the store.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/record.h"
+
+namespace mlkv {
+
+class EmbeddingCache {
+ public:
+  // `capacity` is the max number of cached vectors; `dim` their length.
+  EmbeddingCache(size_t capacity, uint32_t dim, size_t shards = 16)
+      : dim_(dim), shards_(shards == 0 ? 1 : shards) {
+    per_shard_capacity_ = capacity / shards_;
+    if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+    shard_data_ = std::vector<Shard>(shards_);
+  }
+
+  uint32_t dim() const { return dim_; }
+
+  bool Get(Key key, float* out) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      ++s.misses;
+      return false;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+    std::copy(it->second.value.begin(), it->second.value.end(), out);
+    ++s.hits;
+    return true;
+  }
+
+  void Put(Key key, const float* value) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      it->second.value.assign(value, value + dim_);
+      s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+      return;
+    }
+    if (s.map.size() >= per_shard_capacity_) {
+      const Key victim = s.lru.back();
+      s.lru.pop_back();
+      s.map.erase(victim);
+      ++s.evictions;
+    }
+    s.lru.push_front(key);
+    Entry e;
+    e.value.assign(value, value + dim_);
+    e.lru_it = s.lru.begin();
+    s.map.emplace(key, std::move(e));
+  }
+
+  void Erase(Key key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return;
+    s.lru.erase(it->second.lru_it);
+    s.map.erase(it);
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& s : shard_data_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  struct CacheStats {
+    uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+  CacheStats stats() const {
+    CacheStats c;
+    for (const auto& s : shard_data_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      c.hits += s.hits;
+      c.misses += s.misses;
+      c.evictions += s.evictions;
+    }
+    return c;
+  }
+
+ private:
+  struct Entry {
+    std::vector<float> value;
+    std::list<Key>::iterator lru_it;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry> map;
+    std::list<Key> lru;
+    uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  Shard& ShardFor(Key key) {
+    return shard_data_[Hash64(key) % shards_];
+  }
+
+  uint32_t dim_;
+  size_t shards_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shard_data_;
+};
+
+}  // namespace mlkv

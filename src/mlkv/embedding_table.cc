@@ -1,0 +1,224 @@
+#include "mlkv/embedding_table.h"
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "io/file_device.h"
+#include "kv/log_iterator.h"
+
+namespace mlkv {
+
+namespace {
+
+// Export file header. Values are embeddings only (optimizer state is an
+// internal representation and is stripped on the way out).
+struct ExportHeader {
+  uint64_t magic = 0x4D4C4B5645585031ull;  // "MLKVEXP1"
+  uint32_t dim = 0;
+  uint32_t reserved = 0;
+  uint64_t count = 0;
+};
+
+}  // namespace
+
+Status EmbeddingTable::Get(std::span<const Key> keys, float* out) {
+  const uint32_t bytes = value_bytes();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    MLKV_RETURN_NOT_OK(
+        store_->Read(keys[i], out + i * dim_, bytes, nullptr,
+                     staleness_bound_));
+  }
+  return Status::OK();
+}
+
+Status EmbeddingTable::GetOrInit(std::span<const Key> keys, float* out) {
+  const uint32_t emb_bytes = value_bytes();
+  const uint32_t rec_bytes = record_bytes();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Key key = keys[i];
+    Status s = store_->Read(key, out + i * dim_, emb_bytes, nullptr,
+                            staleness_bound_);
+    if (s.IsNotFound()) {
+      // First touch: initialize deterministically from the key so all
+      // threads racing on the same key produce the same vector. Optimizer
+      // state starts all-zero — the correct initial value for every kind —
+      // which the zero-filled Rmw scratch provides for free.
+      float* dst = out + i * dim_;
+      Rng rng(Hash64(key ^ 0xE5B0C47Aull));
+      for (uint32_t d = 0; d < dim_; ++d) {
+        dst[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
+      }
+      // Rmw keeps a concurrent initializer from double-inserting: only the
+      // missing case writes, and losers retry and observe the winner.
+      s = store_->Rmw(key, rec_bytes,
+                      [&](char* value, uint32_t, bool exists) {
+                        if (!exists) {
+                          std::memcpy(value, dst, emb_bytes);
+                        } else {
+                          std::memcpy(dst, value, emb_bytes);
+                        }
+                      });
+    }
+    MLKV_RETURN_NOT_OK(s);
+  }
+  return Status::OK();
+}
+
+Status EmbeddingTable::Put(std::span<const Key> keys, const float* values) {
+  const uint32_t emb_bytes = value_bytes();
+  const uint32_t rec_bytes = record_bytes();
+  if (rec_bytes == emb_bytes) {
+    // Stateless layout: a Put is a plain upsert.
+    for (size_t i = 0; i < keys.size(); ++i) {
+      MLKV_RETURN_NOT_OK(
+          store_->Upsert(keys[i], values + i * dim_, emb_bytes));
+    }
+    return Status::OK();
+  }
+  // Fused-state layout: overwrite the embedding floats, keep the optimizer
+  // slots (zero for fresh keys, courtesy of the Rmw scratch).
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const float* src = values + i * dim_;
+    MLKV_RETURN_NOT_OK(store_->Rmw(
+        keys[i], rec_bytes, [src, emb_bytes](char* value, uint32_t, bool) {
+          std::memcpy(value, src, emb_bytes);
+        }));
+  }
+  return Status::OK();
+}
+
+Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
+                                      const float* grads, float lr) {
+  const uint32_t rec_bytes = record_bytes();
+  const uint32_t dim = dim_;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const float* g = grads + i * dim;
+    MLKV_RETURN_NOT_OK(store_->Rmw(
+        keys[i], rec_bytes, [g, dim, lr](char* value, uint32_t, bool) {
+          float* v = reinterpret_cast<float*>(value);
+          for (uint32_t d = 0; d < dim; ++d) v[d] -= lr * g[d];
+        }));
+  }
+  return Status::OK();
+}
+
+Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
+                                      const float* grads) {
+  const uint32_t rec_bytes = record_bytes();
+  const uint32_t dim = dim_;
+  const OptimizerConfig config = optimizer_;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const float* g = grads + i * dim;
+    MLKV_RETURN_NOT_OK(store_->Rmw(
+        keys[i], rec_bytes, [&config, g, dim](char* value, uint32_t, bool) {
+          float* emb = reinterpret_cast<float*>(value);
+          ApplyOptimizerUpdate(config, dim, emb, emb + dim, g);
+        }));
+  }
+  return Status::OK();
+}
+
+Status EmbeddingTable::Lookahead(std::span<const Key> keys, LookaheadDest dest,
+                                 EmbeddingCache* cache) {
+  if (dest == LookaheadDest::kApplicationCache && cache == nullptr) {
+    return Status::InvalidArgument("application-cache lookahead needs cache");
+  }
+  // Copy the keys: the call is non-blocking and the caller's span may die.
+  auto batch = std::make_shared<std::vector<Key>>(keys.begin(), keys.end());
+  pending_lookaheads_.fetch_add(1, std::memory_order_acq_rel);
+  const bool submitted = lookahead_pool_->TrySubmit([this, batch, dest,
+                                                     cache] {
+    if (dest == LookaheadDest::kStorageBuffer) {
+      for (const Key key : *batch) {
+        store_->Promote(key).ok();  // NotFound is fine: nothing to prefetch
+      }
+    } else {
+      std::vector<float> value(dim_);
+      for (const Key key : *batch) {
+        // Conventional-prefetch path: populate the application cache. Uses
+        // Peek, not Read — a prefetch is not a training access, so it must
+        // neither wait on nor advance any record's staleness clock
+        // (§III-C2: lookahead leaves the vector clocks untouched). A miss
+        // is simply skipped.
+        if (store_->Peek(key, value.data(), value_bytes()).ok()) {
+          cache->Put(key, value.data());
+        }
+      }
+    }
+    pending_lookaheads_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+  if (!submitted) {
+    // Queue full: prefetching is best-effort, drop the batch (backpressure).
+    pending_lookaheads_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return Status::OK();
+}
+
+void EmbeddingTable::WaitLookahead() {
+  while (pending_lookaheads_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+Status EmbeddingTable::Export(const std::string& path) {
+  WaitLookahead();
+  FileDevice dev;
+  MLKV_RETURN_NOT_OK(dev.Open(path));
+  const uint32_t emb_bytes = value_bytes();
+  uint64_t offset = sizeof(ExportHeader);
+  uint64_t count = 0;
+  LiveLogIterator it(store_.get());
+  for (; it.Valid(); it.Next()) {
+    if (it.value().size() < emb_bytes) {
+      return Status::Corruption("record smaller than an embedding");
+    }
+    MLKV_RETURN_NOT_OK(dev.WriteAt(offset, &it.meta().key, sizeof(Key)));
+    offset += sizeof(Key);
+    MLKV_RETURN_NOT_OK(dev.WriteAt(offset, it.value().data(), emb_bytes));
+    offset += emb_bytes;
+    ++count;
+  }
+  MLKV_RETURN_NOT_OK(it.status());
+  ExportHeader header;
+  header.dim = dim_;
+  header.count = count;
+  MLKV_RETURN_NOT_OK(dev.WriteAt(0, &header, sizeof(header)));
+  return dev.Sync();
+}
+
+Status EmbeddingTable::Import(const std::string& path) {
+  FileDevice dev;
+  MLKV_RETURN_NOT_OK(dev.Open(path, /*truncate=*/false));
+  ExportHeader header;
+  MLKV_RETURN_NOT_OK(dev.ReadAt(0, &header, sizeof(header)));
+  if (header.magic != ExportHeader().magic) {
+    return Status::Corruption("bad export magic");
+  }
+  if (header.dim != dim_) {
+    return Status::InvalidArgument("export dim mismatch");
+  }
+  const uint32_t emb_bytes = value_bytes();
+  std::vector<float> value(dim_);
+  uint64_t offset = sizeof(ExportHeader);
+  for (uint64_t i = 0; i < header.count; ++i) {
+    Key key = 0;
+    MLKV_RETURN_NOT_OK(dev.ReadAt(offset, &key, sizeof(Key)));
+    offset += sizeof(Key);
+    MLKV_RETURN_NOT_OK(dev.ReadAt(offset, value.data(), emb_bytes));
+    offset += emb_bytes;
+    MLKV_RETURN_NOT_OK(Put({&key, 1}, value.data()));
+  }
+  return Status::OK();
+}
+
+Status EmbeddingTable::CompactStorage(uint64_t max_log_bytes) {
+  WaitLookahead();
+  if (max_log_bytes == 0) {
+    return store_->Compact(store_->log().read_only_address(), nullptr);
+  }
+  return store_->MaybeCompact(max_log_bytes, nullptr);
+}
+
+}  // namespace mlkv

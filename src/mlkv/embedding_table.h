@@ -1,0 +1,117 @@
+// EmbeddingTable: the embedding-model face of MLKV. Maps 64-bit sparse
+// feature ids to `dim`-float vectors stored in a bounded-staleness
+// FasterStore, and exposes the four paper interfaces — Get, Put, Rmw-style
+// gradient application, and the non-blocking Lookahead (§III-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "kv/faster_store.h"
+#include "mlkv/embedding_cache.h"
+#include "mlkv/optimizer.h"
+
+namespace mlkv {
+
+class EmbeddingTable {
+ public:
+  // Destination of a Lookahead (paper Fig. 5(b)): the store's own mutable
+  // memory buffer, or an application-side cache.
+  enum class LookaheadDest { kStorageBuffer, kApplicationCache };
+
+  EmbeddingTable(std::string model_id, uint32_t dim, uint32_t staleness_bound,
+                 std::unique_ptr<FasterStore> store, ThreadPool* lookahead_pool,
+                 OptimizerConfig optimizer = {})
+      : model_id_(std::move(model_id)),
+        dim_(dim),
+        staleness_bound_(staleness_bound),
+        optimizer_(optimizer),
+        store_(std::move(store)),
+        lookahead_pool_(lookahead_pool) {}
+
+  const std::string& model_id() const { return model_id_; }
+  uint32_t dim() const { return dim_; }
+  uint32_t staleness_bound() const { return staleness_bound_; }
+  const OptimizerConfig& optimizer() const { return optimizer_; }
+  // Bytes of the embedding vector itself (what Get/Put exchange).
+  uint32_t value_bytes() const { return dim_ * sizeof(float); }
+  // Bytes of the stored record value: embedding plus fused optimizer state.
+  uint32_t record_bytes() const {
+    return OptimizerValueBytes(optimizer_.kind, dim_);
+  }
+
+  // Fetches embeddings for `keys`; `out` must hold keys.size()*dim floats.
+  // Missing keys return NotFound (the whole call fails fast).
+  Status Get(std::span<const Key> keys, float* out);
+
+  // Fetches embeddings, initializing missing keys with scaled-uniform
+  // random values (the standard embedding-table bootstrap). Thread-safe.
+  Status GetOrInit(std::span<const Key> keys, float* out);
+
+  // Upserts embeddings; `values` holds keys.size()*dim floats. When the
+  // table carries fused optimizer state, the state floats of existing
+  // records are preserved (the Put becomes a per-record atomic Rmw).
+  Status Put(std::span<const Key> keys, const float* values);
+
+  // Applies SGD-style updates in-store: v <- v - lr * grad. Uses Rmw so the
+  // read-modify-write is atomic per record even under ASP training. Ignores
+  // the table's optimizer config (but still preserves its state floats).
+  Status ApplyGradients(std::span<const Key> keys, const float* grads,
+                        float lr);
+
+  // Applies the table's configured optimizer (paper Fig. 3 line 18,
+  // `emb_optimizer` fused into the store): one atomic Rmw per record that
+  // advances both the embedding and its optimizer state.
+  Status ApplyGradients(std::span<const Key> keys, const float* grads);
+
+  // Non-blocking look-ahead prefetch (§III-C2). Asynchronously brings the
+  // records for `keys` from disk into the chosen destination; returns
+  // immediately. `cache` is required for kApplicationCache.
+  Status Lookahead(std::span<const Key> keys,
+                   LookaheadDest dest = LookaheadDest::kStorageBuffer,
+                   EmbeddingCache* cache = nullptr);
+
+  // Blocks until all queued Lookahead work for this table has completed.
+  void WaitLookahead();
+
+  // Writes every live embedding (key + dim floats, optimizer state
+  // stripped) to `path` in a flat binary format — the serving-export /
+  // cloud-upload step of the paper's heterogeneous-storage story. Quiesced:
+  // callers must pause training and Lookahead traffic.
+  Status Export(const std::string& path);
+
+  // Bulk-loads an Export()-format file via Put (optimizer state resets to
+  // zero). The file's dim must match this table's.
+  Status Import(const std::string& path);
+
+  // Garbage-collects this table's log up to the read-only boundary when the
+  // log span exceeds `max_log_bytes` (0 forces a pass). Embedding training
+  // overwrites rows in place most of the time, but RCU appends from
+  // size-changing or cold updates still accrete garbage over long runs.
+  Status CompactStorage(uint64_t max_log_bytes = 0);
+
+  // Synchronous single-key helpers (tests / examples).
+  Status GetOne(Key key, float* out) { return Get({&key, 1}, out); }
+  Status PutOne(Key key, const float* value) { return Put({&key, 1}, value); }
+
+  FasterStore* store() { return store_.get(); }
+  uint64_t num_embeddings() const { return store_->approximate_size(); }
+
+ private:
+  std::string model_id_;
+  uint32_t dim_;
+  uint32_t staleness_bound_;
+  OptimizerConfig optimizer_;
+  std::unique_ptr<FasterStore> store_;
+  ThreadPool* lookahead_pool_;
+  std::atomic<uint64_t> pending_lookaheads_{0};
+};
+
+}  // namespace mlkv

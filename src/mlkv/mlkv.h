@@ -1,0 +1,110 @@
+// MLKV public API (paper §III-A).
+//
+//   auto db = Mlkv::Open(options);
+//   EmbeddingTable* table;
+//   db->OpenTable("user_emb", /*dim=*/16, /*staleness_bound=*/4, &table);
+//   table->GetOrInit(keys, values);          // forward pass
+//   ... train ...
+//   table->Put(keys, updated_values);        // backward pass
+//   table->Lookahead(next_batch_keys);       // hide future disk accesses
+//
+// Staleness bound 0 trains in BSP mode, kAspBound (INT64_MAX-like) in ASP
+// mode, anything between in SSP mode (paper §III-C1). Each table owns its
+// own log-structured store; Lookahead work is executed on a shared
+// background thread pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "kv/faster_store.h"
+#include "mlkv/embedding_cache.h"
+#include "mlkv/embedding_table.h"
+
+namespace mlkv {
+
+struct MlkvOptions {
+  std::string dir;                     // directory for table log files
+  uint64_t index_slots = 1ull << 20;
+  uint64_t page_size = 1ull << 20;
+  uint64_t mem_size = 64ull << 20;     // per-table in-memory buffer
+  double mutable_fraction = 0.5;
+  size_t lookahead_threads = 2;
+  uint64_t busy_spin_limit = 1ull << 22;
+  bool skip_promote_if_in_memory = true;  // DESIGN.md ablation D2
+};
+
+// Consistency presets (paper §III-C1).
+inline constexpr uint32_t kBspBound = 0;
+inline constexpr uint32_t kAspBound = UINT32_MAX - 1;  // "infinity"
+
+class Mlkv {
+ public:
+  // Opens (creates) an MLKV instance rooted at options.dir.
+  static Status Open(const MlkvOptions& options, std::unique_ptr<Mlkv>* out);
+
+  ~Mlkv();
+
+  // Creates or opens the embedding model `model_id` with embedding dimension
+  // `dim`, the given staleness bound, and (optionally) a fused sparse
+  // optimizer whose state lives inside each record. The returned table is
+  // owned by this Mlkv instance and stays valid until destruction.
+  //
+  // `model_id` must be non-empty and use only [A-Za-z0-9_.-] (it names
+  // files). Opening an id recorded in the directory's MANIFEST re-attaches
+  // the existing table: the configuration must match, and if a checkpoint
+  // exists the table recovers from it.
+  Status OpenTable(const std::string& model_id, uint32_t dim,
+                   uint32_t staleness_bound, EmbeddingTable** out,
+                   const OptimizerConfig& optimizer = {});
+
+  // Re-attaches a table recorded in the manifest using its stored
+  // configuration (tools and inspection paths that don't know dim/bound up
+  // front). NotFound if the id was never created in this directory.
+  Status OpenExistingTable(const std::string& model_id, EmbeddingTable** out);
+
+  // Checkpoints every open table under dir/<model_id>.ckpt.*. The paper
+  // pairs local-NVMe logs with periodic checkpoints for durability (§II-B,
+  // heterogeneous storage). A later Mlkv::Open on the same dir recovers
+  // every table from its latest checkpoint.
+  Status CheckpointAll();
+
+  // Garbage-collects every open table's log up to its read-only boundary.
+  Status CompactAll();
+
+  // Model ids recorded in this directory's manifest (open or not).
+  std::vector<std::string> ListTables() const;
+
+  ThreadPool* lookahead_pool() { return &lookahead_pool_; }
+  const MlkvOptions& options() const { return options_; }
+
+ private:
+  // One manifest row: the durable configuration of a table.
+  struct TableSpec {
+    uint32_t dim = 0;
+    uint32_t staleness_bound = 0;
+    OptimizerConfig optimizer;
+  };
+
+  explicit Mlkv(const MlkvOptions& options)
+      : options_(options),
+        lookahead_pool_(options.lookahead_threads) {}
+
+  std::string ManifestPath() const { return options_.dir + "/MANIFEST"; }
+  Status LoadManifest();
+  Status WriteManifest() const;
+
+  MlkvOptions options_;
+  ThreadPool lookahead_pool_;
+  std::unordered_map<std::string, std::unique_ptr<EmbeddingTable>> tables_;
+  // All tables ever created in this directory, including not-yet-reopened
+  // ones from a previous process.
+  std::unordered_map<std::string, TableSpec> manifest_;
+};
+
+}  // namespace mlkv

@@ -1,0 +1,87 @@
+#include "mlkv/optimizer.h"
+
+#include <cmath>
+
+namespace mlkv {
+
+const char* OptimizerKindName(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return "sgd";
+    case OptimizerKind::kMomentum:
+      return "momentum";
+    case OptimizerKind::kAdagrad:
+      return "adagrad";
+    case OptimizerKind::kAdam:
+      return "adam";
+  }
+  return "unknown";
+}
+
+uint32_t OptimizerStateFloats(OptimizerKind kind, uint32_t dim) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return 0;
+    case OptimizerKind::kMomentum:
+    case OptimizerKind::kAdagrad:
+      return dim;
+    case OptimizerKind::kAdam:
+      return 2 * dim + 1;  // m, v, step counter
+  }
+  return 0;
+}
+
+void ApplyOptimizerUpdate(const OptimizerConfig& config, uint32_t dim,
+                          float* emb, float* state, const float* grad) {
+  const float lr = config.lr;
+  const float wd = config.weight_decay;
+  switch (config.kind) {
+    case OptimizerKind::kSgd: {
+      for (uint32_t d = 0; d < dim; ++d) {
+        const float g = grad[d] + wd * emb[d];
+        emb[d] -= lr * g;
+      }
+      break;
+    }
+    case OptimizerKind::kMomentum: {
+      float* velocity = state;
+      for (uint32_t d = 0; d < dim; ++d) {
+        const float g = grad[d] + wd * emb[d];
+        velocity[d] = config.momentum * velocity[d] + g;
+        emb[d] -= lr * velocity[d];
+      }
+      break;
+    }
+    case OptimizerKind::kAdagrad: {
+      float* accum = state;
+      for (uint32_t d = 0; d < dim; ++d) {
+        const float g = grad[d] + wd * emb[d];
+        accum[d] += g * g;
+        emb[d] -= lr * g / (std::sqrt(accum[d]) + config.eps);
+      }
+      break;
+    }
+    case OptimizerKind::kAdam: {
+      float* m = state;
+      float* v = state + dim;
+      float* step = state + 2 * dim;
+      // The step counter is a float slot: exactly representable up to 2^24
+      // updates per row, far beyond any embedding's update count here.
+      *step += 1.0f;
+      const float t = *step;
+      const float bias1 = 1.0f - std::pow(config.beta1, t);
+      const float bias2 = 1.0f - std::pow(config.beta2, t);
+      for (uint32_t d = 0; d < dim; ++d) {
+        const float g = grad[d] + wd * emb[d];
+        m[d] = config.beta1 * m[d] + (1.0f - config.beta1) * g;
+        v[d] = config.beta2 * v[d] + (1.0f - config.beta2) * g * g;
+        const float m_hat = m[d] / bias1;
+        const float v_hat = v[d] / bias2;
+        emb[d] -= lr * m_hat / (std::sqrt(v_hat) + config.eps);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace mlkv

@@ -1,0 +1,57 @@
+// Fused embedding optimizers (the `emb_optimizer` of the paper's Fig. 3,
+// line 18, executed inside the store).
+//
+// Sparse optimizers keep per-embedding state (momentum / second-moment
+// accumulators) that must live and die with the embedding row. MLKV fuses
+// that state into the record value itself:
+//
+//   value = [ dim floats: embedding | state floats: optimizer slots ]
+//
+// and applies updates through Rmw, so a gradient application is one atomic
+// per-record read-modify-write even under fully asynchronous training —
+// the same trick HugeCTR/Persia-style frameworks implement privately, here
+// democratized behind the EmbeddingTable interface. Plain SGD carries no
+// state and keeps the value layout of a bare embedding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mlkv {
+
+enum class OptimizerKind : uint32_t {
+  kSgd = 0,       // w -= lr * g                              (no state)
+  kMomentum = 1,  // u = m*u + g; w -= lr * u                 (dim floats)
+  kAdagrad = 2,   // a += g^2; w -= lr * g / (sqrt(a)+eps)    (dim floats)
+  kAdam = 3,      // bias-corrected Adam                      (2*dim+1 floats)
+};
+
+const char* OptimizerKindName(OptimizerKind kind);
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::kSgd;
+  float lr = 0.05f;
+  float momentum = 0.9f;      // kMomentum
+  float beta1 = 0.9f;         // kAdam
+  float beta2 = 0.999f;       // kAdam
+  float eps = 1e-8f;          // kAdagrad / kAdam
+  float weight_decay = 0.0f;  // L2 added to the gradient, all kinds
+};
+
+// Number of state floats stored after the embedding for `kind`.
+uint32_t OptimizerStateFloats(OptimizerKind kind, uint32_t dim);
+
+// Total record value bytes for an embedding of `dim` floats under `kind`.
+inline uint32_t OptimizerValueBytes(OptimizerKind kind, uint32_t dim) {
+  return (dim + OptimizerStateFloats(kind, dim)) *
+         static_cast<uint32_t>(sizeof(float));
+}
+
+// Applies one optimizer step in place. `emb` holds `dim` floats, `state`
+// holds OptimizerStateFloats(kind, dim) floats (all-zero on first touch,
+// which is the correct initial state for every kind), `grad` holds `dim`
+// floats. Called from inside a store Rmw, so it must stay allocation-free.
+void ApplyOptimizerUpdate(const OptimizerConfig& config, uint32_t dim,
+                          float* emb, float* state, const float* grad);
+
+}  // namespace mlkv

@@ -1,0 +1,89 @@
+#include "serve/embedding_server.h"
+
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace mlkv {
+
+EmbeddingServer::EmbeddingServer(EmbeddingTable* table,
+                                 const ServeOptions& options)
+    : table_(table),
+      options_(options),
+      cache_(options.cache_capacity, table->dim()) {}
+
+Status EmbeddingServer::Lookup(std::span<const Key> keys, float* out) {
+  const StopWatch watch;
+  const uint32_t dim = table_->dim();
+  const uint32_t emb_bytes = table_->value_bytes();
+  FasterStore* store = table_->store();
+  uint64_t cache_hits = 0, store_hits = 0, missing = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    float* dst = out + i * dim;
+    if (cache_.Get(keys[i], dst)) {
+      ++cache_hits;
+      continue;
+    }
+    // Peek: untracked read — serving must not consume a co-located
+    // trainer's staleness budget (see header).
+    const Status s = store->Peek(keys[i], dst, emb_bytes);
+    if (s.ok()) {
+      ++store_hits;
+      if (options_.cache_on_miss) cache_.Put(keys[i], dst);
+      continue;
+    }
+    if (!s.IsNotFound()) return s;
+    if (!options_.zero_fill_missing) {
+      return Status::NotFound("key " + std::to_string(keys[i]));
+    }
+    std::memset(dst, 0, emb_bytes);
+    ++missing;
+  }
+  lookups_.fetch_add(keys.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  cache_hits_.fetch_add(cache_hits, std::memory_order_relaxed);
+  store_hits_.fetch_add(store_hits, std::memory_order_relaxed);
+  missing_.fetch_add(missing, std::memory_order_relaxed);
+  batch_latency_us_.Record(watch.ElapsedMicros());
+  return Status::OK();
+}
+
+Status EmbeddingServer::Warm(std::span<const Key> keys) {
+  const uint32_t emb_bytes = table_->value_bytes();
+  std::vector<float> value(table_->dim());
+  FasterStore* store = table_->store();
+  for (const Key key : keys) {
+    const Status s = store->Peek(key, value.data(), emb_bytes);
+    if (s.ok()) {
+      cache_.Put(key, value.data());
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+ServeStats EmbeddingServer::stats() const {
+  ServeStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.store_hits = store_hits_.load(std::memory_order_relaxed);
+  s.missing = missing_.load(std::memory_order_relaxed);
+  s.batch_p50_us = batch_latency_us_.Percentile(0.50);
+  s.batch_p95_us = batch_latency_us_.Percentile(0.95);
+  s.batch_p99_us = batch_latency_us_.Percentile(0.99);
+  s.batch_max_us = batch_latency_us_.max();
+  return s;
+}
+
+void EmbeddingServer::ResetStats() {
+  lookups_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  store_hits_.store(0, std::memory_order_relaxed);
+  missing_.store(0, std::memory_order_relaxed);
+  batch_latency_us_.Reset();
+}
+
+}  // namespace mlkv

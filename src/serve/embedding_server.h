@@ -1,0 +1,88 @@
+// EmbeddingServer: the read-only inference path over an MLKV table — the
+// role HugeCTR's hierarchical parameter server plays with RocksDB for
+// out-of-core DLRM inference (paper §II-B cites it as the motivating
+// integration). Training produces the table; serving answers batched
+// embedding lookups against it:
+//
+//   lookup:  application cache  ->  store Peek (memory, then disk)
+//
+// Peek is the right primitive for inference: it neither waits on nor
+// advances the bounded-staleness vector clocks, so a serving replica can
+// share a table with a live trainer without consuming its staleness budget.
+//
+// The server owns an admission-controlled LRU cache (EmbeddingCache) and
+// per-request latency histograms; Warm() preloads a key set (e.g., the
+// head of the popularity distribution, known at deploy time).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "mlkv/embedding_cache.h"
+#include "mlkv/embedding_table.h"
+
+namespace mlkv {
+
+struct ServeOptions {
+  // Embedding vectors held in the serving cache.
+  size_t cache_capacity = 1 << 16;
+  // Admit store-read vectors into the cache on miss.
+  bool cache_on_miss = true;
+  // Missing keys: zero-fill the output (true, the DLRM-serving convention —
+  // unseen ids embed to the origin) or fail the batch (false).
+  bool zero_fill_missing = true;
+};
+
+struct ServeStats {
+  uint64_t lookups = 0;         // individual keys served
+  uint64_t batches = 0;
+  uint64_t cache_hits = 0;
+  uint64_t store_hits = 0;
+  uint64_t missing = 0;
+  uint64_t batch_p50_us = 0;    // batch latency percentiles
+  uint64_t batch_p95_us = 0;
+  uint64_t batch_p99_us = 0;
+  uint64_t batch_max_us = 0;
+};
+
+class EmbeddingServer {
+ public:
+  // Serves `table` (not owned; must outlive the server). The table may be
+  // concurrently trained — lookups are untracked reads.
+  EmbeddingServer(EmbeddingTable* table, const ServeOptions& options);
+
+  EmbeddingServer(const EmbeddingServer&) = delete;
+  EmbeddingServer& operator=(const EmbeddingServer&) = delete;
+
+  uint32_t dim() const { return table_->dim(); }
+
+  // Fetches embeddings for `keys` into `out` (keys.size() * dim floats).
+  // Thread-safe; one histogram sample per call.
+  Status Lookup(std::span<const Key> keys, float* out);
+
+  // Preloads `keys` into the serving cache (deploy-time warmup). Missing
+  // keys are skipped.
+  Status Warm(std::span<const Key> keys);
+
+  ServeStats stats() const;
+  void ResetStats();
+
+ private:
+  EmbeddingTable* table_;
+  ServeOptions options_;
+  EmbeddingCache cache_;
+  Histogram batch_latency_us_;
+
+  std::atomic<uint64_t> lookups_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> store_hits_{0};
+  std::atomic<uint64_t> missing_{0};
+};
+
+}  // namespace mlkv

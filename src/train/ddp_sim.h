@@ -1,0 +1,52 @@
+// DdpSim: models the DGL-DDP baseline of Fig. 11(a) — two data-parallel
+// instances that each hold HALF the embedding model in memory and
+// all-reduce dense gradients every step.
+//
+// The paper's finding: one MLKV instance reaches ~70% of two-instance DDP
+// throughput at half the hardware. We model DDP throughput from measured
+// single-instance in-memory compute plus a communication term, rather than
+// spawning processes: throughput_ddp = 2 * B / (t_compute + t_allreduce),
+// with t_allreduce = gradient_bytes / interconnect_bw + latency. The
+// in-memory compute time comes from an actual InMemory-backend run, so the
+// comparison against MLKV/FASTER uses apples-to-apples compute.
+#pragma once
+
+#include <cstdint>
+
+#include "train/train_result.h"
+
+namespace mlkv {
+
+struct DdpSimConfig {
+  int instances = 2;
+  double interconnect_gbps = 25.0;   // AWS-class instance networking
+  double allreduce_latency_s = 3e-4;
+  uint64_t dense_param_bytes = 2ull << 20;  // NN gradient volume per step
+};
+
+class DdpSim {
+ public:
+  explicit DdpSim(const DdpSimConfig& config = {}) : config_(config) {}
+
+  // `single` is the measured result of a single-instance in-memory run with
+  // `batches` steps. Returns modeled aggregate DDP samples/sec.
+  double Throughput(const TrainResult& single, uint64_t batches) const {
+    if (batches == 0 || single.samples == 0) return 0;
+    const double per_batch_compute = single.seconds / static_cast<double>(batches);
+    // Ring all-reduce moves 2*(n-1)/n of the gradient bytes per step.
+    const double ring_factor =
+        2.0 * (config_.instances - 1) / static_cast<double>(config_.instances);
+    const double allreduce =
+        config_.allreduce_latency_s +
+        ring_factor * static_cast<double>(config_.dense_param_bytes) /
+            (config_.interconnect_gbps * 1e9 / 8.0);
+    const double batch_size =
+        static_cast<double>(single.samples) / static_cast<double>(batches);
+    return config_.instances * batch_size / (per_batch_compute + allreduce);
+  }
+
+ private:
+  DdpSimConfig config_;
+};
+
+}  // namespace mlkv

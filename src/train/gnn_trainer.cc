@@ -1,0 +1,275 @@
+#include "train/gnn_trainer.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "ml/metrics.h"
+
+namespace mlkv {
+
+namespace {
+
+// A sampled training example independent of task: the node to classify,
+// its sampled neighbors, and an integer label.
+struct NodeSample {
+  Key node;
+  std::vector<Key> neighbors;
+  int label;
+};
+
+std::unique_ptr<GnnModel> MakeModel(const GnnTrainerOptions& o,
+                                    int num_classes, uint64_t seed) {
+  if (o.model == GnnModelKind::kGat) {
+    return std::make_unique<GatModel>(o.dim, o.hidden, num_classes, seed,
+                                      o.dense_lr);
+  }
+  return std::make_unique<GraphSageModel>(o.dim, o.hidden, num_classes, seed,
+                                          o.dense_lr);
+}
+
+}  // namespace
+
+TrainResult GnnTrainer::Train() {
+  const uint32_t dim = options_.dim;
+  const int B = options_.batch_size;
+  const bool ebay = options_.task != GnnTask::kPapers;
+  const int num_classes = ebay ? 2 : options_.graph.num_classes;
+  const int fanout = ebay ? options_.ebay.entities_per_transaction
+                          : options_.graph.fanout;
+
+  TrainResult result;
+  std::mutex result_mu;
+
+  if (options_.preload_keys > 0) {
+    std::vector<float> tmp(dim);
+    for (Key k = 0; k < options_.preload_keys; ++k) {
+      backend_->GetEmbedding(k, tmp.data()).ok();
+      backend_->PutEmbedding(k, tmp.data()).ok();
+    }
+    backend_->WaitIdle();
+  }
+
+  StopWatch wall;
+
+  // Task-specific sampler factory; each worker (and the eval set) gets an
+  // independent deterministic stream.
+  auto make_sampler = [&](uint64_t stream_seed) {
+    std::shared_ptr<GraphGenerator> g;
+    std::shared_ptr<EbayGenerator> e;
+    if (ebay) {
+      EbayConfig cfg = options_.ebay;
+      cfg.tripartite = options_.task == GnnTask::kEbayPayout;
+      e = std::make_shared<EbayGenerator>(cfg, stream_seed);
+    } else {
+      g = std::make_shared<GraphGenerator>(options_.graph, stream_seed);
+    }
+    return [g, e, this]() {
+      NodeSample s;
+      if (e) {
+        EbaySample es = e->Next();
+        s.node = es.transaction;
+        s.neighbors = std::move(es.entities);
+        s.label = es.label > 0.5f ? 1 : 0;
+      } else {
+        s.node = g->SampleTrainNode();
+        g->SampleNeighbors(s.node, &s.neighbors);
+        s.label = g->LabelOf(s.node);
+      }
+      return s;
+    };
+  };
+
+  // Held-out evaluation set.
+  std::vector<NodeSample> eval_set;
+  {
+    auto sample = make_sampler(424242);
+    for (int i = 0; i < options_.eval_nodes; ++i) eval_set.push_back(sample());
+  }
+
+  ComputeDelayModel delay(options_.compute_micros_per_batch);
+  std::atomic<uint64_t> total_samples{0};
+
+  auto worker_fn = [&](int wid) {
+    auto sample = make_sampler(static_cast<uint64_t>(wid) + 1);
+    auto model = MakeModel(options_, num_classes, options_.seed + wid);
+    const uint64_t n_batches = options_.train_batches;
+    std::vector<NodeSample> stream;
+    stream.reserve(n_batches * B);
+    for (uint64_t i = 0; i < n_batches * B; ++i) stream.push_back(sample());
+
+    GnnBatch batch_data;
+    batch_data.fanout = fanout;
+    Tensor grad_logits, grad_self, grad_neighbors;
+    double emb_sec = 0, fwd_sec = 0, bwd_sec = 0;
+
+    for (uint64_t batch = 0; batch < n_batches; ++batch) {
+      const NodeSample* samples = &stream[batch * B];
+
+      if (options_.lookahead_depth > 0) {
+        const uint64_t ahead = batch + options_.lookahead_depth;
+        if (ahead < n_batches) {
+          std::vector<Key> future;
+          for (int i = 0; i < B; ++i) {
+            const NodeSample& s = stream[ahead * B + i];
+            future.push_back(s.node);
+            future.insert(future.end(), s.neighbors.begin(),
+                          s.neighbors.end());
+          }
+          backend_->Lookahead(future).ok();
+        }
+      }
+
+      // Unique keys across self + neighbors.
+      std::unordered_map<Key, size_t> slot;
+      std::vector<Key> unique;
+      auto intern = [&](Key k) {
+        auto [it, fresh] = slot.emplace(k, unique.size());
+        if (fresh) unique.push_back(k);
+        return it->second;
+      };
+      for (int i = 0; i < B; ++i) {
+        intern(samples[i].node);
+        for (Key n : samples[i].neighbors) intern(n);
+      }
+
+      // --- Get ---
+      uint64_t t0 = NowMicros();
+      std::vector<float> emb(unique.size() * dim);
+      for (size_t u = 0; u < unique.size(); ++u) {
+        Status s = backend_->GetEmbedding(unique[u], &emb[u * dim]);
+        if (s.IsBusy()) {
+          backend_->PeekEmbedding(unique[u], &emb[u * dim]).ok();
+          std::lock_guard<std::mutex> lk(result_mu);
+          ++result.busy_aborts;
+        }
+      }
+      uint64_t t1 = NowMicros();
+      emb_sec += (t1 - t0) * 1e-6;
+
+      // Assemble the batch tensors.
+      batch_data.self.Resize(B, dim);
+      batch_data.neighbors.Resize(static_cast<size_t>(B) * fanout, dim);
+      batch_data.labels.resize(B);
+      for (int i = 0; i < B; ++i) {
+        const size_t us = slot[samples[i].node];
+        std::copy(&emb[us * dim], &emb[us * dim] + dim,
+                  batch_data.self.row(i));
+        for (int n = 0; n < fanout; ++n) {
+          const size_t un = slot[samples[i].neighbors[n]];
+          std::copy(&emb[un * dim], &emb[un * dim] + dim,
+                    batch_data.neighbors.row(static_cast<size_t>(i) * fanout +
+                                             n));
+        }
+        batch_data.labels[i] = samples[i].label;
+      }
+
+      // --- Forward ---
+      t0 = NowMicros();
+      const Tensor& logits = model->Forward(batch_data);
+      t1 = NowMicros();
+      SoftmaxCrossEntropy(logits, batch_data.labels, &grad_logits);
+
+      // --- Backward ---
+      model->Backward(grad_logits, &grad_self, &grad_neighbors);
+      model->Step();
+      uint64_t t2 = NowMicros();
+      delay.PadBatch(t2 - t0);
+      uint64_t t3 = NowMicros();
+      fwd_sec += (t1 - t0) * 1e-6 + (t3 - t2) * 1e-6 * 0.5;
+      bwd_sec += (t2 - t1) * 1e-6 + (t3 - t2) * 1e-6 * 0.5;
+
+      // Accumulate per-unique-key embedding grads.
+      std::vector<float> grad(unique.size() * dim, 0.0f);
+      for (int i = 0; i < B; ++i) {
+        const size_t us = slot[samples[i].node];
+        const float* gs = grad_self.row(i);
+        for (uint32_t d = 0; d < dim; ++d) grad[us * dim + d] += gs[d];
+        for (int n = 0; n < fanout; ++n) {
+          const size_t un = slot[samples[i].neighbors[n]];
+          const float* gn =
+              grad_neighbors.row(static_cast<size_t>(i) * fanout + n);
+          for (uint32_t d = 0; d < dim; ++d) grad[un * dim + d] += gn[d];
+        }
+      }
+
+      // --- Put ---
+      t0 = NowMicros();
+      std::vector<float> updated(dim);
+      for (size_t u = 0; u < unique.size(); ++u) {
+        for (uint32_t d = 0; d < dim; ++d) {
+          updated[d] = emb[u * dim + d] -
+                       options_.embedding_lr * grad[u * dim + d];
+        }
+        backend_->PutEmbedding(unique[u], updated.data()).ok();
+      }
+      t1 = NowMicros();
+      emb_sec += (t1 - t0) * 1e-6;
+
+      total_samples.fetch_add(B, std::memory_order_relaxed);
+
+      // --- Eval (worker 0): accuracy (papers) or AUC (eBay binary). ---
+      if (wid == 0 && options_.eval_every > 0 &&
+          (batch + 1) % options_.eval_every == 0) {
+        AccuracyAccumulator acc;
+        AucAccumulator auc;
+        GnnBatch eb;
+        eb.fanout = fanout;
+        eb.self.Resize(1, dim);
+        eb.neighbors.Resize(fanout, dim);
+        eb.labels.resize(1);
+        std::vector<float> v(dim);
+        for (const NodeSample& s : eval_set) {
+          backend_->PeekEmbedding(s.node, v.data()).ok();
+          std::copy(v.begin(), v.end(), eb.self.row(0));
+          for (int n = 0; n < fanout; ++n) {
+            backend_->PeekEmbedding(s.neighbors[n], v.data()).ok();
+            std::copy(v.begin(), v.end(), eb.neighbors.row(n));
+          }
+          const Tensor& logits = model->Forward(eb);
+          int best = 0;
+          for (int c = 1; c < num_classes; ++c) {
+            if (logits.at(0, c) > logits.at(0, best)) best = c;
+          }
+          acc.Add(best, s.label);
+          if (num_classes == 2) {
+            auc.Add(logits.at(0, 1) - logits.at(0, 0), s.label == 1);
+          }
+        }
+        const double metric = num_classes == 2 ? auc.Compute() : acc.Compute();
+        std::lock_guard<std::mutex> lk(result_mu);
+        result.metric_curve.emplace_back(wall.ElapsedSeconds(), metric);
+      }
+    }
+
+    std::lock_guard<std::mutex> lk(result_mu);
+    result.embedding_seconds += emb_sec;
+    result.forward_seconds += fwd_sec;
+    result.backward_seconds += bwd_sec;
+  };
+
+  const uint64_t bytes_read0 = backend_->device_bytes_read();
+  const uint64_t bytes_written0 = backend_->device_bytes_written();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers.emplace_back(worker_fn, w);
+  }
+  for (auto& t : workers) t.join();
+  backend_->WaitIdle();
+
+  result.samples = total_samples.load();
+  result.seconds = wall.ElapsedSeconds();
+  result.device_bytes_read = backend_->device_bytes_read() - bytes_read0;
+  result.device_bytes_written =
+      backend_->device_bytes_written() - bytes_written0;
+  if (!result.metric_curve.empty()) {
+    result.final_metric = result.metric_curve.back().second;
+  }
+  return result;
+}
+
+}  // namespace mlkv

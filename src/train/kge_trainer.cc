@@ -1,0 +1,292 @@
+#include "train/kge_trainer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "ml/layers.h"
+#include "ml/metrics.h"
+
+namespace mlkv {
+
+namespace {
+
+// Softplus-of-logit BCE on scores: positives want high scores, negatives
+// low. Returns dL/dscore for one (score, label) pair.
+float ScoreGrad(float score, bool positive, float* loss_out) {
+  const float p = Sigmoid(score);
+  if (loss_out != nullptr) {
+    const float softplus = score > 20 ? score : std::log1p(std::exp(score));
+    *loss_out = positive ? softplus - score : softplus;
+  }
+  return p - (positive ? 1.0f : 0.0f);
+}
+
+}  // namespace
+
+TrainResult KgeTrainer::Train() {
+  const uint32_t dim = options_.dim;
+  const int B = options_.batch_size;
+  const int NEG = options_.negatives_per_positive;
+
+  TrainResult result;
+  std::mutex result_mu;
+
+  if (options_.preload_keys > 0) {
+    std::vector<float> tmp(dim);
+    for (Key k = 0; k < options_.preload_keys; ++k) {
+      backend_->GetEmbedding(k, tmp.data()).ok();
+      backend_->PutEmbedding(k, tmp.data()).ok();
+    }
+    backend_->WaitIdle();
+  }
+
+  StopWatch wall;
+
+  // Relation embeddings live densely in memory (there are only a handful);
+  // shared across workers behind a mutex, which matches practice: relation
+  // tables in DGL-KE are small and GPU-resident.
+  std::vector<std::vector<float>> relations(options_.data.num_relations,
+                                            std::vector<float>(dim));
+  {
+    Rng rng(options_.seed * 71);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
+    for (auto& r : relations) {
+      for (auto& v : r) {
+        v = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
+      }
+    }
+  }
+  std::mutex rel_mu;
+
+  // Held-out evaluation triples with fixed negative candidates.
+  struct EvalItem {
+    KgTriple triple;
+    std::vector<Key> negatives;
+  };
+  std::vector<EvalItem> eval_set;
+  {
+    KgGenerator gen(options_.data, /*stream_seed=*/31337);
+    for (int i = 0; i < options_.eval_triples; ++i) {
+      EvalItem e;
+      e.triple = gen.Next();
+      for (int n = 0; n < options_.eval_negatives; ++n) {
+        e.negatives.push_back(gen.SampleNegativeTail());
+      }
+      eval_set.push_back(std::move(e));
+    }
+  }
+
+  ComputeDelayModel delay(options_.compute_micros_per_batch);
+  std::atomic<uint64_t> total_samples{0};
+
+  const int P = options_.beta_partitions;
+  auto partition_of = [this, P](Key e) {
+    return static_cast<int>(Hash64(e ^ 0xBEBAull) % static_cast<uint64_t>(P));
+  };
+
+  auto worker_fn = [&](int wid) {
+    KgGenerator gen(options_.data, /*stream_seed=*/wid + 1);
+    const uint64_t n_batches = options_.train_batches;
+
+    // Materialize this worker's triple stream. Under BETA ordering, sort
+    // the stream by (head partition, tail partition) in a buffer-friendly
+    // order: partition pairs are visited so consecutive pairs share one
+    // partition (Marius' BETA traversal), maximizing buffer reuse.
+    std::vector<KgTriple> stream;
+    stream.reserve(n_batches * B);
+    for (uint64_t i = 0; i < n_batches * B; ++i) stream.push_back(gen.Next());
+    if (options_.use_beta) {
+      // Order pairs: (0,0),(0,1)...(0,P-1),(1,P-1),(1,0),(1,1)... — a
+      // boustrophedon over the pair grid keeping one side fixed per row.
+      auto pair_rank = [P](int hp, int tp) {
+        const int col = (hp % 2 == 0) ? tp : (P - 1 - tp);
+        return hp * P + col;
+      };
+      std::stable_sort(stream.begin(), stream.end(),
+                       [&](const KgTriple& a, const KgTriple& b) {
+                         return pair_rank(partition_of(a.head),
+                                          partition_of(a.tail)) <
+                                pair_rank(partition_of(b.head),
+                                          partition_of(b.tail));
+                       });
+    }
+
+    std::vector<float> h(dim), t(dim), neg(dim);
+    double emb_sec = 0, fwd_sec = 0, bwd_sec = 0;
+
+    for (uint64_t batch = 0; batch < n_batches; ++batch) {
+      const KgTriple* triples = &stream[batch * B];
+
+      if (options_.lookahead_depth > 0) {
+        const uint64_t ahead = batch + options_.lookahead_depth;
+        if (ahead < n_batches) {
+          std::vector<Key> future;
+          future.reserve(static_cast<size_t>(B) * 2);
+          for (int i = 0; i < B; ++i) {
+            future.push_back(stream[ahead * B + i].head);
+            future.push_back(stream[ahead * B + i].tail);
+          }
+          backend_->Lookahead(future).ok();
+        }
+      }
+
+      // Unique entities in this batch (heads, tails, negatives).
+      std::vector<Key> negatives(static_cast<size_t>(B) * NEG);
+      for (auto& k : negatives) k = gen.SampleNegativeTail();
+      std::unordered_map<Key, size_t> slot;
+      std::vector<Key> unique;
+      auto intern = [&](Key k) {
+        auto [it, fresh] = slot.emplace(k, unique.size());
+        if (fresh) unique.push_back(k);
+        return it->second;
+      };
+      for (int i = 0; i < B; ++i) {
+        intern(triples[i].head);
+        intern(triples[i].tail);
+        for (int n = 0; n < NEG; ++n) {
+          intern(negatives[static_cast<size_t>(i) * NEG + n]);
+        }
+      }
+
+      // --- Get ---
+      uint64_t t0 = NowMicros();
+      std::vector<float> emb(unique.size() * dim);
+      for (size_t u = 0; u < unique.size(); ++u) {
+        Status s = backend_->GetEmbedding(unique[u], &emb[u * dim]);
+        if (s.IsBusy()) {
+          backend_->PeekEmbedding(unique[u], &emb[u * dim]).ok();
+          std::lock_guard<std::mutex> lk(result_mu);
+          ++result.busy_aborts;
+        }
+      }
+      uint64_t t1 = NowMicros();
+      emb_sec += (t1 - t0) * 1e-6;
+
+      // --- Score + gradients (closed-form; "forward"/"backward" split for
+      // the Fig. 2 style breakdown) ---
+      std::vector<float> grad(unique.size() * dim, 0.0f);
+      std::vector<std::vector<float>> rel_grad(
+          options_.data.num_relations);
+      {
+        std::lock_guard<std::mutex> lk(rel_mu);
+        for (int i = 0; i < B; ++i) {
+          const KgTriple& tri = triples[i];
+          const size_t uh = slot[tri.head];
+          const size_t ut = slot[tri.tail];
+          float* hv = &emb[uh * dim];
+          float* tv = &emb[ut * dim];
+          std::vector<float>& rv = relations[tri.relation];
+          if (rel_grad[tri.relation].empty()) {
+            rel_grad[tri.relation].assign(dim, 0.0f);
+          }
+          float* rg = rel_grad[tri.relation].data();
+
+          const float pos_score =
+              KgeScore(options_.model, hv, rv.data(), tv, dim);
+          const float gpos = ScoreGrad(pos_score, true, nullptr);
+          KgeGrad(options_.model, hv, rv.data(), tv, dim, gpos,
+                  &grad[uh * dim], rg, &grad[ut * dim]);
+          for (int n = 0; n < NEG; ++n) {
+            const Key nk = negatives[static_cast<size_t>(i) * NEG + n];
+            const size_t un = slot[nk];
+            float* nv = &emb[un * dim];
+            const float neg_score =
+                KgeScore(options_.model, hv, rv.data(), nv, dim);
+            const float gneg =
+                ScoreGrad(neg_score, false, nullptr) /
+                static_cast<float>(NEG);
+            KgeGrad(options_.model, hv, rv.data(), nv, dim, gneg,
+                    &grad[uh * dim], rg, &grad[un * dim]);
+          }
+        }
+        // Apply relation updates immediately (dense, in-memory).
+        for (int r = 0; r < options_.data.num_relations; ++r) {
+          if (rel_grad[r].empty()) continue;
+          for (uint32_t d = 0; d < dim; ++d) {
+            relations[r][d] -= options_.lr * rel_grad[r][d] /
+                               static_cast<float>(B);
+          }
+        }
+      }
+      uint64_t t2 = NowMicros();
+      delay.PadBatch(t2 - t1);
+      uint64_t t3 = NowMicros();
+      fwd_sec += (t2 - t1) * 1e-6 * 0.5 + (t3 - t2) * 1e-6 * 0.5;
+      bwd_sec += (t2 - t1) * 1e-6 * 0.5 + (t3 - t2) * 1e-6 * 0.5;
+
+      // --- Put (value - lr * grad) ---
+      t0 = NowMicros();
+      // Negative-sample gradients are already averaged (1/NEG) at scoring
+      // time, so the raw learning rate applies here.
+      std::vector<float> updated(dim);
+      const float scale = options_.lr;
+      for (size_t u = 0; u < unique.size(); ++u) {
+        for (uint32_t d = 0; d < dim; ++d) {
+          updated[d] = emb[u * dim + d] - scale * grad[u * dim + d];
+        }
+        backend_->PutEmbedding(unique[u], updated.data()).ok();
+      }
+      t1 = NowMicros();
+      emb_sec += (t1 - t0) * 1e-6;
+
+      total_samples.fetch_add(B, std::memory_order_relaxed);
+
+      // --- Eval: Hits@10 (worker 0) ---
+      if (wid == 0 && options_.eval_every > 0 &&
+          (batch + 1) % options_.eval_every == 0) {
+        HitsAtK hits(10);
+        std::vector<float> hv(dim), tv(dim), nv(dim);
+        std::lock_guard<std::mutex> lk(rel_mu);
+        for (const auto& e : eval_set) {
+          backend_->PeekEmbedding(e.triple.head, hv.data()).ok();
+          backend_->PeekEmbedding(e.triple.tail, tv.data()).ok();
+          const std::vector<float>& rv = relations[e.triple.relation];
+          const float true_score =
+              KgeScore(options_.model, hv.data(), rv.data(), tv.data(), dim);
+          std::vector<float> neg_scores;
+          neg_scores.reserve(e.negatives.size());
+          for (const Key nk : e.negatives) {
+            backend_->PeekEmbedding(nk, nv.data()).ok();
+            neg_scores.push_back(KgeScore(options_.model, hv.data(),
+                                          rv.data(), nv.data(), dim));
+          }
+          hits.Add(true_score, neg_scores);
+        }
+        std::lock_guard<std::mutex> lk2(result_mu);
+        result.metric_curve.emplace_back(wall.ElapsedSeconds(),
+                                         hits.Compute());
+      }
+    }
+
+    std::lock_guard<std::mutex> lk(result_mu);
+    result.embedding_seconds += emb_sec;
+    result.forward_seconds += fwd_sec;
+    result.backward_seconds += bwd_sec;
+  };
+
+  const uint64_t bytes_read0 = backend_->device_bytes_read();
+  const uint64_t bytes_written0 = backend_->device_bytes_written();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers.emplace_back(worker_fn, w);
+  }
+  for (auto& t : workers) t.join();
+  backend_->WaitIdle();
+
+  result.samples = total_samples.load();
+  result.seconds = wall.ElapsedSeconds();
+  result.device_bytes_read = backend_->device_bytes_read() - bytes_read0;
+  result.device_bytes_written =
+      backend_->device_bytes_written() - bytes_written0;
+  if (!result.metric_curve.empty()) {
+    result.final_metric = result.metric_curve.back().second;
+  }
+  return result;
+}
+
+}  // namespace mlkv

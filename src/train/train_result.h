@@ -1,0 +1,32 @@
+// Result record shared by every training pipeline; benchmarks turn these
+// into the rows/series of the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mlkv {
+
+struct TrainResult {
+  uint64_t samples = 0;
+  double seconds = 0;
+  // (elapsed seconds, metric value) — AUC / Hits@k / accuracy over time,
+  // the convergence curves of Fig. 6 and Fig. 11(b).
+  std::vector<std::pair<double, double>> metric_curve;
+  double final_metric = 0;
+
+  // Phase accounting summed across workers (Fig. 2 latency breakdown).
+  double embedding_seconds = 0;  // Get/Put time against the store
+  double forward_seconds = 0;
+  double backward_seconds = 0;
+
+  // Storage traffic (energy model input).
+  uint64_t device_bytes_read = 0;
+  uint64_t device_bytes_written = 0;
+  uint64_t busy_aborts = 0;
+
+  double throughput() const { return seconds > 0 ? samples / seconds : 0; }
+};
+
+}  // namespace mlkv

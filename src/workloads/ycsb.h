@@ -1,0 +1,187 @@
+// YCSB-style workload generator (Cooper et al., SoCC'10), used by the
+// paper's §IV-E to isolate storage-engine overheads from application code
+// (Fig. 10: 50% reads / 50% writes, uniform and zipfian key distributions,
+// sweeping buffer size, thread count, and value size).
+//
+// Beyond Fig. 10's A-style mix, the generator implements the full standard
+// core suite (see YcsbStandardConfig):
+//   A  50% read / 50% update           zipfian
+//   B  95% read /  5% update           zipfian
+//   C 100% read                        zipfian
+//   D  95% read /  5% insert           latest (reads skew to recent inserts)
+//   E  95% scan /  5% insert           zipfian starts, short ranges
+//   F  50% read / 50% read-modify-write zipfian
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "kv/record.h"
+
+namespace mlkv {
+
+enum class YcsbDistribution { kUniform, kZipfian, kLatest };
+
+enum class YcsbOpType : uint8_t { kRead, kUpdate, kInsert, kScan, kRmw };
+
+struct YcsbConfig {
+  uint64_t num_keys = 100000;  // preloaded key population [0, num_keys)
+  // Operation mix; fractions must sum to <= 1, the remainder is kRead.
+  double update_fraction = 0.5;
+  double insert_fraction = 0.0;
+  double scan_fraction = 0.0;
+  double rmw_fraction = 0.0;
+  YcsbDistribution distribution = YcsbDistribution::kZipfian;
+  double zipf_theta = 0.99;
+  uint32_t max_scan_length = 100;  // E: uniform in [1, max_scan_length]
+  uint32_t value_size = 64;
+  uint64_t seed = 42;
+};
+
+// The standard core workloads. `which` is 'A'..'F'.
+inline YcsbConfig YcsbStandardConfig(char which, uint64_t num_keys,
+                                     uint32_t value_size = 64,
+                                     uint64_t seed = 42) {
+  YcsbConfig c;
+  c.num_keys = num_keys;
+  c.value_size = value_size;
+  c.seed = seed;
+  switch (which) {
+    case 'A':
+      c.update_fraction = 0.5;
+      break;
+    case 'B':
+      c.update_fraction = 0.05;
+      break;
+    case 'C':
+      c.update_fraction = 0.0;
+      break;
+    case 'D':
+      c.update_fraction = 0.0;
+      c.insert_fraction = 0.05;
+      c.distribution = YcsbDistribution::kLatest;
+      break;
+    case 'E':
+      c.update_fraction = 0.0;
+      c.insert_fraction = 0.05;
+      c.scan_fraction = 0.95;
+      break;
+    case 'F':
+      c.update_fraction = 0.0;
+      c.rmw_fraction = 0.5;
+      break;
+    default:
+      break;  // fall through to an A-style default
+  }
+  return c;
+}
+
+// Per-thread operation stream. Deterministic for (config.seed, thread_id).
+// Inserted keys are thread-partitioned (num_keys + thread_id + i*threads)
+// so concurrent streams never collide.
+class YcsbWorkload {
+ public:
+  YcsbWorkload(const YcsbConfig& config, int thread_id, int num_threads = 1)
+      : config_(config),
+        thread_id_(static_cast<uint64_t>(thread_id)),
+        num_threads_(static_cast<uint64_t>(num_threads < 1 ? 1 : num_threads)),
+        rng_(config.seed * 1000003 + static_cast<uint64_t>(thread_id)),
+        zipf_(config.num_keys, config.zipf_theta,
+              config.seed * 7919 + static_cast<uint64_t>(thread_id)),
+        latest_zipf_(config.num_keys, config.zipf_theta,
+                     config.seed * 104729 + static_cast<uint64_t>(thread_id)) {
+  }
+
+  struct Op {
+    YcsbOpType type = YcsbOpType::kRead;
+    Key key = 0;
+    uint32_t scan_length = 0;  // kScan only
+    bool is_read() const { return type == YcsbOpType::kRead; }
+  };
+
+  Op Next() {
+    Op op;
+    const double r = rng_.NextDouble();
+    double acc = config_.update_fraction;
+    if (r < acc) {
+      op.type = YcsbOpType::kUpdate;
+    } else if (r < (acc += config_.insert_fraction)) {
+      op.type = YcsbOpType::kInsert;
+    } else if (r < (acc += config_.scan_fraction)) {
+      op.type = YcsbOpType::kScan;
+    } else if (r < (acc += config_.rmw_fraction)) {
+      op.type = YcsbOpType::kRmw;
+    } else {
+      op.type = YcsbOpType::kRead;
+    }
+    if (op.type == YcsbOpType::kInsert) {
+      op.key = NextInsertKey();
+      return op;
+    }
+    op.key = SampleKey();
+    if (op.type == YcsbOpType::kScan) {
+      op.scan_length =
+          1 + static_cast<uint32_t>(rng_.Uniform(config_.max_scan_length));
+    }
+    return op;
+  }
+
+  // Deterministic value for a key: benchmarks verify round-trips cheaply by
+  // regenerating. The first byte encodes the key so cross-key mixups fail.
+  void FillValue(Key key, uint64_t version, char* buf) const {
+    const uint32_t n = config_.value_size;
+    Rng rng(Hash64(key) ^ version);
+    for (uint32_t i = 0; i < n; ++i) {
+      buf[i] = static_cast<char>(rng.Next() & 0xff);
+    }
+  }
+
+  // Keys this stream has inserted so far (loaders replay them for checks).
+  uint64_t inserts_issued() const { return inserts_; }
+
+  const YcsbConfig& config() const { return config_; }
+
+ private:
+  Key SampleKey() {
+    switch (config_.distribution) {
+      case YcsbDistribution::kUniform:
+        return rng_.Uniform(config_.num_keys);
+      case YcsbDistribution::kZipfian:
+        return zipf_.NextScrambled();
+      case YcsbDistribution::kLatest: {
+        // Skew toward the most recently inserted keys: rank 0 = newest.
+        const uint64_t newest = NewestKeyOrdinal();
+        const uint64_t rank = latest_zipf_.Next();
+        return rank >= newest ? 0 : OrdinalToKey(newest - rank);
+      }
+    }
+    return 0;
+  }
+
+  // Ordinal -> key mapping including this thread's inserts: ordinals below
+  // num_keys are the preloaded range, above it this thread's inserts.
+  Key OrdinalToKey(uint64_t ordinal) const {
+    if (ordinal < config_.num_keys) return ordinal;
+    return config_.num_keys + thread_id_ +
+           (ordinal - config_.num_keys) * num_threads_;
+  }
+
+  uint64_t NewestKeyOrdinal() const { return config_.num_keys + inserts_; }
+
+  Key NextInsertKey() {
+    const Key k = config_.num_keys + thread_id_ + inserts_ * num_threads_;
+    ++inserts_;
+    return k;
+  }
+
+  YcsbConfig config_;
+  uint64_t thread_id_;
+  uint64_t num_threads_;
+  uint64_t inserts_ = 0;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  ZipfianGenerator latest_zipf_;
+};
+
+}  // namespace mlkv

@@ -1,0 +1,168 @@
+// Property tests for the baseline engines: LSM and B+tree stores must also
+// match a reference map under randomized op sequences across geometry
+// grids — same methodology as store_property_test, so backend comparisons
+// in the benchmarks compare correct engines, not differently-broken ones.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "btree/btree_store.h"
+#include "common/random.h"
+#include "io/temp_dir.h"
+#include "lsm/lsm_store.h"
+
+namespace mlkv {
+namespace {
+
+std::string ValueFor(Key key, uint64_t version, uint32_t size) {
+  std::string v(size, '\0');
+  Rng rng(Hash64(key) ^ version);
+  for (auto& c : v) c = static_cast<char>(rng.Next() & 0xff);
+  return v;
+}
+
+// ---------------- LSM ----------------
+
+struct LsmGeometry {
+  uint64_t memtable_bytes;
+  uint32_t block_size;
+  size_t l0_trigger;
+};
+
+class LsmPropertyTest : public ::testing::TestWithParam<LsmGeometry> {};
+
+TEST_P(LsmPropertyTest, MatchesReferenceModelUnderRandomOps) {
+  const LsmGeometry g = GetParam();
+  TempDir dir;
+  LsmOptions o;
+  o.dir = dir.File("lsm");
+  o.memtable_bytes = g.memtable_bytes;
+  o.block_size = g.block_size;
+  o.l0_compaction_trigger = g.l0_trigger;
+  o.block_cache_bytes = 1 << 16;  // tiny cache: force block reads
+  LsmStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+
+  std::unordered_map<Key, std::string> reference;
+  Rng rng(g.memtable_bytes ^ g.block_size);
+  constexpr int kOps = 15000;
+  constexpr Key kKeySpace = 600;
+  for (int i = 0; i < kOps; ++i) {
+    const Key key = rng.Uniform(kKeySpace);
+    const int action = static_cast<int>(rng.Uniform(100));
+    if (action < 45) {
+      std::string got;
+      const Status s = store.Get(key, &got);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << "op " << i << " key " << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << "op " << i << " key " << key;
+        ASSERT_EQ(got, it->second) << "op " << i << " key " << key;
+      }
+    } else if (action < 90) {
+      const uint32_t size = 16 + static_cast<uint32_t>(rng.Uniform(48));
+      const std::string v = ValueFor(key, i, size);
+      ASSERT_TRUE(store.Put(key, v.data(),
+                            static_cast<uint32_t>(v.size())).ok());
+      reference[key] = v;
+    } else {
+      store.Delete(key).ok();
+      reference.erase(key);
+    }
+  }
+  for (const auto& [key, expected] : reference) {
+    std::string got;
+    ASSERT_TRUE(store.Get(key, &got).ok()) << "final key " << key;
+    ASSERT_EQ(got, expected) << "final key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LsmPropertyTest,
+    ::testing::Values(LsmGeometry{1024, 256, 2},    // constant flush+compact
+                      LsmGeometry{4096, 512, 4},
+                      LsmGeometry{16384, 4096, 3},
+                      LsmGeometry{1 << 20, 4096, 4}),  // mostly memtable
+    [](const ::testing::TestParamInfo<LsmGeometry>& info) {
+      const LsmGeometry& g = info.param;
+      return "mt" + std::to_string(g.memtable_bytes) + "_blk" +
+             std::to_string(g.block_size) + "_l0x" +
+             std::to_string(g.l0_trigger);
+    });
+
+// ---------------- B+tree ----------------
+
+struct BtreeGeometry {
+  uint32_t page_size;
+  uint32_t value_size;
+  uint64_t pool_pages;
+};
+
+class BtreePropertyTest : public ::testing::TestWithParam<BtreeGeometry> {};
+
+TEST_P(BtreePropertyTest, MatchesReferenceModelUnderRandomOps) {
+  const BtreeGeometry g = GetParam();
+  TempDir dir;
+  BTreeOptions o;
+  o.path = dir.File("tree.db");
+  o.page_size = g.page_size;
+  o.value_size = g.value_size;
+  o.buffer_pool_bytes = g.pool_pages * g.page_size;
+  BTreeStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+
+  std::unordered_map<Key, std::string> reference;
+  Rng rng(g.page_size ^ g.value_size);
+  constexpr int kOps = 15000;
+  constexpr Key kKeySpace = 3000;
+  std::vector<char> buf(g.value_size);
+  for (int i = 0; i < kOps; ++i) {
+    const Key key = rng.Uniform(kKeySpace);
+    if (rng.Uniform(100) < 40) {
+      const Status s = store.Get(key, buf.data());
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << "op " << i << " key " << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << "op " << i << " key " << key;
+        ASSERT_EQ(std::memcmp(buf.data(), it->second.data(), g.value_size),
+                  0)
+            << "op " << i << " key " << key;
+      }
+    } else {
+      const std::string v = ValueFor(key, i, g.value_size);
+      ASSERT_TRUE(store.Put(key, v.data()).ok());
+      reference[key] = v;
+    }
+  }
+  for (const auto& [key, expected] : reference) {
+    ASSERT_TRUE(store.Get(key, buf.data()).ok()) << "final key " << key;
+    ASSERT_EQ(std::memcmp(buf.data(), expected.data(), g.value_size), 0)
+        << "final key " << key;
+  }
+  // Flush everything and re-read through the (cold) pool.
+  ASSERT_TRUE(store.FlushAll().ok());
+  for (const auto& [key, expected] : reference) {
+    ASSERT_TRUE(store.Get(key, buf.data()).ok());
+    ASSERT_EQ(std::memcmp(buf.data(), expected.data(), g.value_size), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BtreePropertyTest,
+    ::testing::Values(BtreeGeometry{4096, 16, 8},    // tiny pool: evict a lot
+                      BtreeGeometry{4096, 64, 64},
+                      BtreeGeometry{8192, 128, 16},
+                      BtreeGeometry{4096, 500, 32}),  // ~7 entries per leaf
+    [](const ::testing::TestParamInfo<BtreeGeometry>& info) {
+      const BtreeGeometry& g = info.param;
+      return "pg" + std::to_string(g.page_size) + "_val" +
+             std::to_string(g.value_size) + "_pool" +
+             std::to_string(g.pool_pages);
+    });
+
+}  // namespace
+}  // namespace mlkv

@@ -1,0 +1,442 @@
+// Durability and scan tests for the baseline engines: WAL record format,
+// crash recovery (including fault injection on the WAL tail), LEVELS
+// manifest recovery, and range scans on the LSM store and the B+tree.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "btree/btree_store.h"
+#include "common/random.h"
+#include "io/temp_dir.h"
+#include "lsm/lsm_store.h"
+#include "lsm/wal.h"
+
+namespace mlkv {
+namespace {
+
+LsmOptions SmallLsm(const TempDir& dir) {
+  LsmOptions o;
+  o.dir = dir.path() + "/lsm";
+  o.memtable_bytes = 4096;
+  o.block_cache_bytes = 1 << 20;
+  o.block_size = 1024;
+  o.l0_compaction_trigger = 3;
+  return o;
+}
+
+// ------------------------------------------------------------------ WAL --
+
+TEST(WalTest, EmptyFileReplaysNothing) {
+  TempDir dir;
+  uint64_t n = 99;
+  ASSERT_TRUE(ReplayWal(dir.File("missing.wal"),
+                        [](Key, const std::string&, bool) { FAIL(); }, &n)
+                  .ok());
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(WalTest, RoundTripsPutsAndDeletes) {
+  TempDir dir;
+  const std::string path = dir.File("w.wal");
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.AppendPut(1, "alpha", 5).ok());
+    ASSERT_TRUE(w.AppendDelete(2).ok());
+    ASSERT_TRUE(w.AppendPut(3, "b", 1).ok());
+    ASSERT_TRUE(w.Sync().ok());
+  }
+  std::vector<std::tuple<Key, std::string, bool>> got;
+  uint64_t n = 0;
+  ASSERT_TRUE(ReplayWal(path,
+                        [&](Key k, const std::string& v, bool tomb) {
+                          got.emplace_back(k, v, tomb);
+                        },
+                        &n)
+                  .ok());
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(got[0], std::make_tuple(Key{1}, std::string("alpha"), false));
+  EXPECT_EQ(got[1], std::make_tuple(Key{2}, std::string(), true));
+  EXPECT_EQ(got[2], std::make_tuple(Key{3}, std::string("b"), false));
+}
+
+TEST(WalTest, ResetEmptiesTheLog) {
+  TempDir dir;
+  const std::string path = dir.File("w.wal");
+  WalWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.AppendPut(1, "x", 1).ok());
+  ASSERT_TRUE(w.Reset().ok());
+  EXPECT_EQ(w.bytes(), 0u);
+  uint64_t n = 0;
+  ASSERT_TRUE(
+      ReplayWal(path, [](Key, const std::string&, bool) {}, &n).ok());
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(WalTest, TornTailStopsReplayCleanly) {
+  TempDir dir;
+  const std::string path = dir.File("w.wal");
+  uint64_t full_size = 0;
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.AppendPut(1, "aaaa", 4).ok());
+    ASSERT_TRUE(w.AppendPut(2, "bbbb", 4).ok());
+    ASSERT_TRUE(w.Sync().ok());
+    full_size = w.bytes();
+  }
+  // Chop the last record in half (simulated crash mid-write).
+  std::filesystem::resize_file(path, full_size - 3);
+  uint64_t n = 0;
+  std::vector<Key> keys;
+  ASSERT_TRUE(ReplayWal(path,
+                        [&](Key k, const std::string&, bool) {
+                          keys.push_back(k);
+                        },
+                        &n)
+                  .ok());
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ(keys[0], 1u);
+}
+
+TEST(WalTest, CorruptMiddleByteStopsAtTheRecord) {
+  TempDir dir;
+  const std::string path = dir.File("w.wal");
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.AppendPut(1, "aaaa", 4).ok());
+    ASSERT_TRUE(w.AppendPut(2, "bbbb", 4).ok());
+    ASSERT_TRUE(w.AppendPut(3, "cccc", 4).ok());
+  }
+  // Flip a byte inside record 2's value.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(21 + 18, std::ios::beg);  // record size = 17 + 4 = 21 bytes
+  f.put('X');
+  f.close();
+  uint64_t n = 0;
+  ASSERT_TRUE(
+      ReplayWal(path, [](Key, const std::string&, bool) {}, &n).ok());
+  EXPECT_EQ(n, 1u);  // only the first record survives
+}
+
+// -------------------------------------------------------- LSM recovery --
+
+TEST(LsmRecoveryTest, RecoversFlushedAndUnflushedWrites) {
+  TempDir dir;
+  const LsmOptions o = SmallLsm(dir);
+  std::map<Key, std::string> model;
+  {
+    LsmStore store;
+    ASSERT_TRUE(store.Open(o).ok());
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+      const Key k = rng.Next() % 200;
+      const std::string v = "v" + std::to_string(i);
+      ASSERT_TRUE(store.Put(k, v.data(), v.size()).ok());
+      model[k] = v;
+    }
+    // Deliberately NO Flush(): the tail lives only in the WAL.
+  }
+  LsmStore recovered;
+  ASSERT_TRUE(recovered.Open(o).ok());
+  for (const auto& [k, v] : model) {
+    std::string out;
+    ASSERT_TRUE(recovered.Get(k, &out).ok()) << "key " << k;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(LsmRecoveryTest, RecoversDeletes) {
+  TempDir dir;
+  const LsmOptions o = SmallLsm(dir);
+  {
+    LsmStore store;
+    ASSERT_TRUE(store.Open(o).ok());
+    for (Key k = 0; k < 50; ++k) {
+      const std::string v = "v" + std::to_string(k);
+      ASSERT_TRUE(store.Put(k, v.data(), v.size()).ok());
+    }
+    for (Key k = 0; k < 50; k += 2) ASSERT_TRUE(store.Delete(k).ok());
+  }
+  LsmStore recovered;
+  ASSERT_TRUE(recovered.Open(o).ok());
+  for (Key k = 0; k < 50; ++k) {
+    std::string out;
+    if (k % 2 == 0) {
+      EXPECT_TRUE(recovered.Get(k, &out).IsNotFound()) << "key " << k;
+    } else {
+      ASSERT_TRUE(recovered.Get(k, &out).ok()) << "key " << k;
+    }
+  }
+}
+
+TEST(LsmRecoveryTest, SurvivesTornWalTail) {
+  TempDir dir;
+  const LsmOptions o = SmallLsm(dir);
+  {
+    LsmStore store;
+    ASSERT_TRUE(store.Open(o).ok());
+    for (Key k = 0; k < 20; ++k) {
+      const std::string v = "value" + std::to_string(k);
+      ASSERT_TRUE(store.Put(k, v.data(), v.size()).ok());
+    }
+  }
+  // Crash injection: chop bytes off the WAL tail.
+  const std::string wal = o.dir + "/WAL";
+  ASSERT_TRUE(std::filesystem::exists(wal));
+  const auto size = std::filesystem::file_size(wal);
+  ASSERT_GT(size, 4u);
+  std::filesystem::resize_file(wal, size - 4);
+  LsmStore recovered;
+  ASSERT_TRUE(recovered.Open(o).ok());
+  // Everything except (at most) the torn-off tail record must be intact.
+  for (Key k = 0; k + 1 < 20; ++k) {
+    std::string out;
+    ASSERT_TRUE(recovered.Get(k, &out).ok()) << "key " << k;
+    EXPECT_EQ(out, "value" + std::to_string(k));
+  }
+}
+
+TEST(LsmRecoveryTest, DoubleRecoveryIsStable) {
+  TempDir dir;
+  const LsmOptions o = SmallLsm(dir);
+  {
+    LsmStore store;
+    ASSERT_TRUE(store.Open(o).ok());
+    for (Key k = 0; k < 300; ++k) {
+      const std::string v = "v" + std::to_string(k);
+      ASSERT_TRUE(store.Put(k, v.data(), v.size()).ok());
+    }
+  }
+  {
+    LsmStore once;
+    ASSERT_TRUE(once.Open(o).ok());
+    const std::string v = "extra";
+    Key k = 1000;
+    ASSERT_TRUE(once.Put(k, v.data(), v.size()).ok());
+  }
+  LsmStore twice;
+  ASSERT_TRUE(twice.Open(o).ok());
+  std::string out;
+  for (Key k = 0; k < 300; ++k) {
+    ASSERT_TRUE(twice.Get(k, &out).ok()) << "key " << k;
+  }
+  ASSERT_TRUE(twice.Get(1000, &out).ok());
+  EXPECT_EQ(out, "extra");
+}
+
+TEST(LsmRecoveryTest, WalDisabledLosesOnlyMemtable) {
+  TempDir dir;
+  LsmOptions o = SmallLsm(dir);
+  o.enable_wal = false;
+  {
+    LsmStore store;
+    ASSERT_TRUE(store.Open(o).ok());
+    for (Key k = 0; k < 300; ++k) {
+      const std::string v = "v" + std::to_string(k);
+      ASSERT_TRUE(store.Put(k, v.data(), v.size()).ok());
+    }
+    ASSERT_TRUE(store.Flush().ok());
+    // Unflushed write that will be lost without a WAL.
+    const std::string v = "lost";
+    Key k = 5000;
+    ASSERT_TRUE(store.Put(k, v.data(), v.size()).ok());
+  }
+  LsmStore recovered;
+  ASSERT_TRUE(recovered.Open(o).ok());
+  std::string out;
+  for (Key k = 0; k < 300; ++k) {
+    ASSERT_TRUE(recovered.Get(k, &out).ok()) << "key " << k;
+  }
+  EXPECT_TRUE(recovered.Get(5000, &out).IsNotFound());
+}
+
+// ------------------------------------------------------------ LSM scan --
+
+TEST(LsmScanTest, MergesAllLevelsNewestWins) {
+  TempDir dir;
+  LsmStore store;
+  ASSERT_TRUE(store.Open(SmallLsm(dir)).ok());
+  // Enough writes to populate L1 (via compaction), L0, and the memtable,
+  // with overlapping key versions.
+  for (int round = 0; round < 6; ++round) {
+    for (Key k = 0; k < 120; ++k) {
+      const std::string v = "r" + std::to_string(round) + "k" +
+                            std::to_string(k);
+      ASSERT_TRUE(store.Put(k, v.data(), v.size()).ok());
+    }
+  }
+  ASSERT_GT(store.l1_run_count() + store.l0_run_count(), 0u);
+  std::map<Key, std::string> got;
+  ASSERT_TRUE(store.Scan(10, 50, [&](Key k, const std::string& v) {
+    got[k] = v;
+  }).ok());
+  ASSERT_EQ(got.size(), 41u);
+  for (Key k = 10; k <= 50; ++k) {
+    EXPECT_EQ(got[k], "r5k" + std::to_string(k)) << "key " << k;
+  }
+}
+
+TEST(LsmScanTest, SkipsDeletedKeys) {
+  TempDir dir;
+  LsmStore store;
+  ASSERT_TRUE(store.Open(SmallLsm(dir)).ok());
+  for (Key k = 0; k < 100; ++k) {
+    const std::string v = "v" + std::to_string(k);
+    ASSERT_TRUE(store.Put(k, v.data(), v.size()).ok());
+  }
+  for (Key k = 0; k < 100; k += 3) ASSERT_TRUE(store.Delete(k).ok());
+  int count = 0;
+  ASSERT_TRUE(store.Scan(0, 99, [&](Key k, const std::string&) {
+    EXPECT_NE(k % 3, 0u);
+    ++count;
+  }).ok());
+  EXPECT_EQ(count, 66);
+}
+
+TEST(LsmScanTest, EmptyRangeAndReversedRange) {
+  TempDir dir;
+  LsmStore store;
+  ASSERT_TRUE(store.Open(SmallLsm(dir)).ok());
+  const std::string v = "x";
+  Key k = 10;
+  ASSERT_TRUE(store.Put(k, v.data(), v.size()).ok());
+  int count = 0;
+  ASSERT_TRUE(store.Scan(20, 30, [&](Key, const std::string&) {
+    ++count;
+  }).ok());
+  EXPECT_EQ(count, 0);
+  ASSERT_TRUE(store.Scan(30, 20, [&](Key, const std::string&) {
+    ++count;
+  }).ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(LsmScanTest, OrderedAscending) {
+  TempDir dir;
+  LsmStore store;
+  ASSERT_TRUE(store.Open(SmallLsm(dir)).ok());
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const Key k = rng.Next() % 1000;
+    const std::string v = "v";
+    ASSERT_TRUE(store.Put(k, v.data(), v.size()).ok());
+  }
+  Key prev = 0;
+  bool first = true;
+  ASSERT_TRUE(store.Scan(0, 999, [&](Key k, const std::string&) {
+    if (!first) EXPECT_GT(k, prev);
+    prev = k;
+    first = false;
+  }).ok());
+}
+
+// ---------------------------------------------------------- BTree scan --
+
+TEST(BTreeScanTest, FullRangeInOrder) {
+  TempDir dir;
+  BTreeOptions o;
+  o.path = dir.File("bt");
+  o.page_size = 4096;
+  o.buffer_pool_bytes = 64 * 4096;
+  o.value_size = 16;
+  BTreeStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+  // Insert shuffled keys across multiple leaves.
+  std::vector<Key> keys;
+  for (Key k = 0; k < 2000; ++k) keys.push_back(k * 3);
+  Rng rng(5);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Next() % i]);
+  }
+  std::vector<char> v(o.value_size);
+  for (const Key k : keys) {
+    std::memcpy(v.data(), &k, sizeof(k));
+    ASSERT_TRUE(store.Put(k, v.data()).ok());
+  }
+  Key expected = 0;
+  int count = 0;
+  ASSERT_TRUE(store.Scan(0, UINT64_MAX - 1, [&](Key k, const void* value) {
+    EXPECT_EQ(k, expected);
+    Key stored = 0;
+    std::memcpy(&stored, value, sizeof(stored));
+    EXPECT_EQ(stored, k);
+    expected += 3;
+    ++count;
+  }).ok());
+  EXPECT_EQ(count, 2000);
+}
+
+TEST(BTreeScanTest, SubRangeBoundsInclusive) {
+  TempDir dir;
+  BTreeOptions o;
+  o.path = dir.File("bt");
+  o.value_size = 8;
+  BTreeStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+  std::vector<char> v(o.value_size, 1);
+  for (Key k = 0; k < 500; ++k) {
+    ASSERT_TRUE(store.Put(k, v.data()).ok());
+  }
+  std::vector<Key> got;
+  ASSERT_TRUE(store.Scan(100, 110, [&](Key k, const void*) {
+    got.push_back(k);
+  }).ok());
+  ASSERT_EQ(got.size(), 11u);
+  EXPECT_EQ(got.front(), 100u);
+  EXPECT_EQ(got.back(), 110u);
+}
+
+TEST(BTreeScanTest, EmptyTreeAndMissRange) {
+  TempDir dir;
+  BTreeOptions o;
+  o.path = dir.File("bt");
+  o.value_size = 8;
+  BTreeStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+  int count = 0;
+  ASSERT_TRUE(store.Scan(0, 100, [&](Key, const void*) { ++count; }).ok());
+  EXPECT_EQ(count, 0);
+  std::vector<char> v(o.value_size, 1);
+  Key k = 1000;
+  ASSERT_TRUE(store.Put(k, v.data()).ok());
+  ASSERT_TRUE(store.Scan(0, 100, [&](Key, const void*) { ++count; }).ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(BTreeScanTest, SparseKeysAcrossLeaves) {
+  TempDir dir;
+  BTreeOptions o;
+  o.path = dir.File("bt");
+  o.page_size = 4096;
+  o.value_size = 64;  // fewer slots per leaf -> more leaves
+  BTreeStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+  std::vector<char> v(o.value_size, 7);
+  std::map<Key, bool> model;
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const Key k = rng.Next() % 100000;
+    ASSERT_TRUE(store.Put(k, v.data()).ok());
+    model[k] = true;
+  }
+  std::vector<Key> got;
+  ASSERT_TRUE(store.Scan(20000, 80000, [&](Key k, const void*) {
+    got.push_back(k);
+  }).ok());
+  std::vector<Key> expected;
+  for (const auto& [k, _] : model) {
+    if (k >= 20000 && k <= 80000) expected.push_back(k);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace mlkv

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "epoch/epoch_manager.h"
+
+namespace mlkv {
+namespace {
+
+TEST(EpochTest, ProtectUnprotectTogglesState) {
+  EpochManager em;
+  EXPECT_FALSE(em.IsProtected());
+  em.Protect();
+  EXPECT_TRUE(em.IsProtected());
+  em.Unprotect();
+  EXPECT_FALSE(em.IsProtected());
+}
+
+TEST(EpochTest, ActionRunsOnlyAfterSafe) {
+  EpochManager em;
+  std::atomic<bool> ran{false};
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> entered{false};
+  std::thread reader([&] {
+    EpochGuard g(&em);
+    entered.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!entered.load()) std::this_thread::yield();
+
+  em.BumpWithAction([&] { ran.store(true); });
+  em.TryBumpActions();
+  EXPECT_FALSE(ran.load()) << "action must not run while a thread is inside";
+
+  release.store(true);
+  reader.join();
+  em.DrainAll();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(EpochTest, SafeEpochTracksSlowestThread) {
+  EpochManager em;
+  const uint64_t e0 = em.Protect();
+  em.BumpWithAction([] {});
+  EXPECT_LE(em.ComputeSafeEpoch(), e0);
+  em.Unprotect();
+  EXPECT_GT(em.ComputeSafeEpoch(), e0);
+  em.DrainAll();
+}
+
+TEST(EpochTest, ManyActionsAllRun) {
+  EpochManager em;
+  std::atomic<int> n{0};
+  for (int i = 0; i < 100; ++i) em.BumpWithAction([&n] { n.fetch_add(1); });
+  em.DrainAll();
+  EXPECT_EQ(n.load(), 100);
+}
+
+TEST(EpochTest, ConcurrentProtectStress) {
+  EpochManager em;
+  std::atomic<int> actions{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        EpochGuard g(&em);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    em.BumpWithAction([&actions] { actions.fetch_add(1); });
+    em.TryBumpActions();
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  em.DrainAll();
+  EXPECT_EQ(actions.load(), 200);
+}
+
+}  // namespace
+}  // namespace mlkv

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "io/file_device.h"
+#include "io/temp_dir.h"
+#include "kv/hash_index.h"
+
+namespace mlkv {
+namespace {
+
+TEST(HashIndexTest, RoundsSlotsToPowerOfTwo) {
+  HashIndex idx(1000);
+  EXPECT_EQ(idx.num_slots(), 1024u);
+  HashIndex tiny(1);
+  EXPECT_EQ(tiny.num_slots(), 16u);
+}
+
+TEST(HashIndexTest, EmptySlotsReadInvalid) {
+  HashIndex idx(64);
+  for (Key k = 0; k < 100; ++k) EXPECT_EQ(idx.Load(k), kInvalidAddress);
+  EXPECT_EQ(idx.CountUsed(), 0u);
+}
+
+TEST(HashIndexTest, CompareExchangePublishes) {
+  HashIndex idx(64);
+  Address expected = kInvalidAddress;
+  EXPECT_TRUE(idx.CompareExchange(7, expected, 0x100));
+  EXPECT_EQ(idx.Load(7), 0x100u);
+  // Second CAS with stale expected fails and reports current value.
+  expected = kInvalidAddress;
+  EXPECT_FALSE(idx.CompareExchange(7, expected, 0x200));
+  EXPECT_EQ(expected, 0x100u);
+}
+
+TEST(HashIndexTest, ConcurrentCasOneWinnerPerSlot) {
+  HashIndex idx(16);
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Address expected = kInvalidAddress;
+      if (idx.CompareExchange(42, expected,
+                              static_cast<Address>(0x1000 + t))) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(HashIndexTest, CheckpointRoundTrip) {
+  TempDir dir;
+  HashIndex idx(256);
+  for (Key k = 0; k < 100; ++k) {
+    Address e = kInvalidAddress;
+    idx.CompareExchange(k, e, 0x40 + k * 8);
+  }
+  const uint64_t used = idx.CountUsed();
+  EXPECT_GT(used, 0u);
+
+  FileDevice dev;
+  ASSERT_TRUE(dev.Open(dir.File("idx")).ok());
+  ASSERT_TRUE(idx.WriteTo(&dev, 0).ok());
+
+  HashIndex restored(256);
+  ASSERT_TRUE(restored.ReadFrom(dev, 0).ok());
+  EXPECT_EQ(restored.CountUsed(), used);
+  for (Key k = 0; k < 100; ++k) EXPECT_EQ(restored.Load(k), idx.Load(k));
+}
+
+
+TEST(HashIndexGrowTest, GrowDoublesSlotCount) {
+  HashIndex idx(64);
+  ASSERT_TRUE(idx.Grow().ok());
+  EXPECT_EQ(idx.num_slots(), 128u);
+  ASSERT_TRUE(idx.Grow(2).ok());
+  EXPECT_EQ(idx.num_slots(), 512u);
+}
+
+TEST(HashIndexGrowTest, GrowZeroIsANoOp) {
+  HashIndex idx(64);
+  ASSERT_TRUE(idx.Grow(0).ok());
+  EXPECT_EQ(idx.num_slots(), 64u);
+}
+
+TEST(HashIndexGrowTest, RejectsAbsurdFactor) {
+  HashIndex idx(64);
+  EXPECT_TRUE(idx.Grow(40).IsInvalidArgument());
+}
+
+TEST(HashIndexGrowTest, ChainsRemainReachableAfterGrowth) {
+  HashIndex idx(16);
+  // Publish a head for many keys; most slots carry multi-key chains.
+  for (Key k = 0; k < 200; ++k) {
+    Address e = idx.Load(k);
+    idx.CompareExchange(k, e, 0x40 + k * 8);
+  }
+  std::vector<Address> before(200);
+  for (Key k = 0; k < 200; ++k) before[k] = idx.Load(k);
+  ASSERT_TRUE(idx.Grow(3).ok());  // 16 -> 128 slots
+  for (Key k = 0; k < 200; ++k) {
+    // The head a key observes after growth must be the head its old slot
+    // held (all candidate new slots were seeded with it).
+    EXPECT_EQ(idx.Load(k), before[k]) << "key " << k;
+  }
+}
+
+TEST(HashIndexGrowTest, NewPublishesUseRefinedSlots) {
+  HashIndex idx(16);
+  Key a = 0;
+  // Find two keys that collide at 16 slots but separate at 32.
+  Key b = 0;
+  bool found = false;
+  for (Key cand = 1; cand < 100000 && !found; ++cand) {
+    if ((Hash64(cand) & 15) == (Hash64(a) & 15) &&
+        (Hash64(cand) & 31) != (Hash64(a) & 31)) {
+      b = cand;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  Address e = idx.Load(a);
+  idx.CompareExchange(a, e, 0x100);
+  EXPECT_EQ(idx.Load(b), Address{0x100});  // shared slot pre-growth
+  ASSERT_TRUE(idx.Grow().ok());
+  // Publish b's record: lands in its refined slot, leaving a's untouched.
+  e = idx.Load(b);
+  idx.CompareExchange(b, e, 0x200);
+  EXPECT_EQ(idx.Load(b), Address{0x200});
+  EXPECT_EQ(idx.Load(a), Address{0x100});
+}
+
+}  // namespace
+}  // namespace mlkv

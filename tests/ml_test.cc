@@ -1,0 +1,324 @@
+// Model substrate tests. The load-bearing ones are the numerical gradient
+// checks: every analytic backward pass is verified against central finite
+// differences, which is what makes the convergence benchmarks trustworthy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/ctr_models.h"
+#include "ml/gnn_models.h"
+#include "ml/kge_models.h"
+#include "ml/layers.h"
+#include "ml/metrics.h"
+#include "ml/tensor.h"
+
+namespace mlkv {
+namespace {
+
+TEST(TensorTest, MatMulMatchesHand) {
+  Tensor x(2, 3), w(3, 2), out;
+  // x = [[1,2,3],[4,5,6]]; w = [[1,0],[0,1],[1,1]]
+  float xv[] = {1, 2, 3, 4, 5, 6};
+  float wv[] = {1, 0, 0, 1, 1, 1};
+  std::copy(xv, xv + 6, x.data());
+  std::copy(wv, wv + 6, w.data());
+  MatMul(x, w, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 4);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 5);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 10);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 11);
+}
+
+TEST(TensorTest, SigmoidStableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(0.0f), 0.5f, 1e-6f);
+  EXPECT_NEAR(Sigmoid(100.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(Sigmoid(-100.0f), 0.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(Sigmoid(1000.0f)));
+  EXPECT_FALSE(std::isnan(Sigmoid(-1000.0f)));
+}
+
+TEST(MetricsTest, AucPerfectAndRandomAndInverted) {
+  AucAccumulator perfect;
+  for (int i = 0; i < 50; ++i) {
+    perfect.Add(1.0f + i, true);
+    perfect.Add(-1.0f - i, false);
+  }
+  EXPECT_DOUBLE_EQ(perfect.Compute(), 1.0);
+
+  AucAccumulator inverted;
+  for (int i = 0; i < 50; ++i) {
+    inverted.Add(-1.0f - i, true);
+    inverted.Add(1.0f + i, false);
+  }
+  EXPECT_DOUBLE_EQ(inverted.Compute(), 0.0);
+
+  AucAccumulator ties;
+  for (int i = 0; i < 50; ++i) {
+    ties.Add(0.0f, true);
+    ties.Add(0.0f, false);
+  }
+  EXPECT_NEAR(ties.Compute(), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, AucDegenerateSingleClass) {
+  AucAccumulator a;
+  a.Add(1.0f, true);
+  a.Add(2.0f, true);
+  EXPECT_DOUBLE_EQ(a.Compute(), 0.5);
+}
+
+TEST(MetricsTest, HitsAtKCountsRankCorrectly) {
+  HitsAtK hits(10);
+  std::vector<float> negs;
+  for (int i = 0; i < 100; ++i) negs.push_back(static_cast<float>(i));
+  hits.Add(99.5f, negs);   // rank 1 -> hit
+  hits.Add(89.5f, negs);   // 10 negatives above -> rank 11 -> miss
+  hits.Add(91.5f, negs);   // 8 above -> rank 9 -> hit
+  EXPECT_NEAR(hits.Compute(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, AccuracyBasic) {
+  AccuracyAccumulator acc;
+  acc.Add(1, 1);
+  acc.Add(2, 1);
+  acc.Add(0, 0);
+  EXPECT_NEAR(acc.Compute(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(LayersTest, BceLossAndGradSigns) {
+  Tensor logits(2, 1);
+  logits.at(0, 0) = 2.0f;   // confident positive
+  logits.at(1, 0) = -2.0f;  // confident negative
+  Tensor grad;
+  const float loss_good = BceWithLogits(logits, {1.0f, 0.0f}, &grad);
+  EXPECT_LT(grad.at(0, 0), 0.01f);
+  EXPECT_GT(grad.at(1, 0), -0.01f);
+  const float loss_bad = BceWithLogits(logits, {0.0f, 1.0f}, &grad);
+  EXPECT_GT(loss_bad, loss_good);
+  EXPECT_GT(grad.at(0, 0), 0.0f);  // push logit down
+  EXPECT_LT(grad.at(1, 0), 0.0f);  // push logit up
+}
+
+// ---------- numerical gradient checks ----------
+
+// Loss used for checks: L = sum(sigmoid(logit_i) * c_i) with fixed c.
+float CheckLoss(const Tensor& logits, const std::vector<float>& c) {
+  float l = 0;
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      l += Sigmoid(logits.at(i, j)) * c[i * logits.cols() + j];
+    }
+  }
+  return l;
+}
+
+void CheckLossGrad(const Tensor& logits, const std::vector<float>& c,
+                   Tensor* grad) {
+  grad->Resize(logits.rows(), logits.cols());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      const float s = Sigmoid(logits.at(i, j));
+      grad->at(i, j) = s * (1 - s) * c[i * logits.cols() + j];
+    }
+  }
+}
+
+template <typename ForwardFn>
+void NumericalGradCheck(Tensor* input, const Tensor& analytic_grad,
+                        ForwardFn forward, float tolerance = 2e-2f) {
+  // Sample a few coordinates; central differences.
+  Rng rng(99);
+  const float eps = 1e-2f;
+  int checked = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    const size_t i = rng.Uniform(input->size());
+    float* v = input->data() + i;
+    const float orig = *v;
+    *v = orig + eps;
+    const float lp = forward();
+    *v = orig - eps;
+    const float lm = forward();
+    *v = orig;
+    const float numeric = (lp - lm) / (2 * eps);
+    const float analytic = analytic_grad.data()[i];
+    if (std::fabs(numeric) < 1e-4f && std::fabs(analytic) < 1e-4f) continue;
+    EXPECT_NEAR(analytic, numeric,
+                tolerance * std::max(1.0f, std::fabs(numeric)))
+        << "coordinate " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 3) << "gradient check sampled only trivial coordinates";
+}
+
+TEST(GradCheckTest, FfnnInputGradient) {
+  const size_t input_dim = 12;
+  FfnnModel model(input_dim, /*seed=*/7);
+  Tensor x(4, input_dim);
+  Rng rng(3);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.NextGaussian()) * 0.5f;
+  }
+  std::vector<float> c(4);
+  for (auto& v : c) v = static_cast<float>(rng.NextGaussian());
+
+  auto forward = [&]() { return CheckLoss(model.Forward(x), c); };
+  forward();
+  Tensor gl;
+  CheckLossGrad(model.Forward(x), c, &gl);
+  Tensor gx = model.Backward(gl);
+  NumericalGradCheck(&x, gx, forward);
+}
+
+TEST(GradCheckTest, DcnInputGradient) {
+  const size_t input_dim = 10;
+  DcnModel model(input_dim, 2, /*seed=*/11);
+  Tensor x(3, input_dim);
+  Rng rng(5);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.NextGaussian()) * 0.5f;
+  }
+  std::vector<float> c(3);
+  for (auto& v : c) v = static_cast<float>(rng.NextGaussian());
+
+  auto forward = [&]() { return CheckLoss(model.Forward(x), c); };
+  Tensor gl;
+  CheckLossGrad(model.Forward(x), c, &gl);
+  Tensor gx = model.Backward(gl);
+  NumericalGradCheck(&x, gx, forward);
+}
+
+TEST(GradCheckTest, DistMultGradients) {
+  const uint32_t dim = 8;
+  Rng rng(13);
+  std::vector<float> h(dim), r(dim), t(dim);
+  for (uint32_t i = 0; i < dim; ++i) {
+    h[i] = static_cast<float>(rng.NextGaussian()) * 0.5f;
+    r[i] = static_cast<float>(rng.NextGaussian()) * 0.5f;
+    t[i] = static_cast<float>(rng.NextGaussian()) * 0.5f;
+  }
+  std::vector<float> gh(dim, 0), gr(dim, 0), gt(dim, 0);
+  DistMult::Grad(h.data(), r.data(), t.data(), dim, 1.0f, gh.data(),
+                 gr.data(), gt.data());
+  const float eps = 1e-3f;
+  for (uint32_t i = 0; i < dim; ++i) {
+    auto check = [&](std::vector<float>& vec, float analytic) {
+      const float orig = vec[i];
+      vec[i] = orig + eps;
+      const float sp = DistMult::Score(h.data(), r.data(), t.data(), dim);
+      vec[i] = orig - eps;
+      const float sm = DistMult::Score(h.data(), r.data(), t.data(), dim);
+      vec[i] = orig;
+      EXPECT_NEAR(analytic, (sp - sm) / (2 * eps), 1e-3f);
+    };
+    check(h, gh[i]);
+    check(r, gr[i]);
+    check(t, gt[i]);
+  }
+}
+
+TEST(GradCheckTest, ComplExGradients) {
+  const uint32_t dim = 8;  // complex dim 4
+  Rng rng(17);
+  std::vector<float> h(dim), r(dim), t(dim);
+  for (uint32_t i = 0; i < dim; ++i) {
+    h[i] = static_cast<float>(rng.NextGaussian()) * 0.5f;
+    r[i] = static_cast<float>(rng.NextGaussian()) * 0.5f;
+    t[i] = static_cast<float>(rng.NextGaussian()) * 0.5f;
+  }
+  std::vector<float> gh(dim, 0), gr(dim, 0), gt(dim, 0);
+  ComplEx::Grad(h.data(), r.data(), t.data(), dim, 1.0f, gh.data(), gr.data(),
+                gt.data());
+  const float eps = 1e-3f;
+  for (uint32_t i = 0; i < dim; ++i) {
+    auto check = [&](std::vector<float>& vec, float analytic) {
+      const float orig = vec[i];
+      vec[i] = orig + eps;
+      const float sp = ComplEx::Score(h.data(), r.data(), t.data(), dim);
+      vec[i] = orig - eps;
+      const float sm = ComplEx::Score(h.data(), r.data(), t.data(), dim);
+      vec[i] = orig;
+      EXPECT_NEAR(analytic, (sp - sm) / (2 * eps), 1e-3f);
+    };
+    check(h, gh[i]);
+    check(r, gr[i]);
+    check(t, gt[i]);
+  }
+}
+
+template <typename Model>
+void GnnGradCheck(Model& model, uint32_t dim, size_t fanout) {
+  GnnBatch batch;
+  batch.fanout = fanout;
+  batch.self.Resize(3, dim);
+  batch.neighbors.Resize(3 * fanout, dim);
+  Rng rng(23);
+  for (size_t i = 0; i < batch.self.size(); ++i) {
+    batch.self.data()[i] = static_cast<float>(rng.NextGaussian()) * 0.5f;
+  }
+  for (size_t i = 0; i < batch.neighbors.size(); ++i) {
+    batch.neighbors.data()[i] = static_cast<float>(rng.NextGaussian()) * 0.5f;
+  }
+  std::vector<float> c(3 * 4);  // 4 classes
+  for (auto& v : c) v = static_cast<float>(rng.NextGaussian());
+
+  auto forward = [&]() { return CheckLoss(model.Forward(batch), c); };
+  Tensor gl;
+  CheckLossGrad(model.Forward(batch), c, &gl);
+  Tensor gs, gn;
+  model.Backward(gl, &gs, &gn);
+  NumericalGradCheck(&batch.self, gs, forward, 3e-2f);
+  NumericalGradCheck(&batch.neighbors, gn, forward, 3e-2f);
+}
+
+TEST(GradCheckTest, GraphSageEmbeddingGradients) {
+  GraphSageModel model(6, 8, 4, /*seed=*/29);
+  GnnGradCheck(model, 6, 3);
+}
+
+TEST(GradCheckTest, GatEmbeddingGradients) {
+  GatModel model(6, 8, 4, /*seed=*/31);
+  GnnGradCheck(model, 6, 3);
+}
+
+TEST(GnnTest, SoftmaxCrossEntropyGradSumsToZeroPerRow) {
+  Tensor logits(2, 4);
+  Rng rng(37);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  Tensor grad;
+  const float loss = SoftmaxCrossEntropy(logits, {1, 3}, &grad);
+  EXPECT_GT(loss, 0.0f);
+  for (size_t b = 0; b < 2; ++b) {
+    float s = 0;
+    for (size_t c = 0; c < 4; ++c) s += grad.at(b, c);
+    EXPECT_NEAR(s, 0.0f, 1e-6f);
+  }
+}
+
+TEST(TrainabilityTest, FfnnLearnsLinearlySeparableData) {
+  // Tiny sanity: FFNN must fit a separable 2-D problem quickly.
+  FfnnModel model(2, /*seed=*/41, /*lr=*/0.1f);
+  Rng rng(43);
+  Tensor x(32, 2), grad;
+  std::vector<float> labels(32);
+  float last_loss = 1e9f;
+  for (int step = 0; step < 200; ++step) {
+    for (int i = 0; i < 32; ++i) {
+      const float a = static_cast<float>(rng.NextGaussian());
+      const float b = static_cast<float>(rng.NextGaussian());
+      x.at(i, 0) = a;
+      x.at(i, 1) = b;
+      labels[i] = a + b > 0 ? 1.0f : 0.0f;
+    }
+    const Tensor& logits = model.Forward(x);
+    last_loss = BceWithLogits(logits, labels, &grad);
+    model.Backward(grad);
+    model.Step();
+  }
+  EXPECT_LT(last_loss, 0.25f);
+}
+
+}  // namespace
+}  // namespace mlkv

@@ -1,0 +1,91 @@
+// Unit tests for the control-word encoding (paper Fig. 5(a)) — the bit
+// packing everything else rests on.
+#include <gtest/gtest.h>
+
+#include "kv/record.h"
+
+namespace mlkv {
+namespace {
+
+TEST(ControlWordTest, FieldIsolation) {
+  // Setting each field must not disturb the others.
+  uint64_t c = ControlWord::Make(/*generation=*/12345, /*staleness=*/678);
+  EXPECT_EQ(ControlWord::Generation(c), 12345u);
+  EXPECT_EQ(ControlWord::Staleness(c), 678u);
+  EXPECT_FALSE(ControlWord::Locked(c));
+  EXPECT_FALSE(ControlWord::Replaced(c));
+
+  c = ControlWord::SetLocked(c);
+  EXPECT_TRUE(ControlWord::Locked(c));
+  EXPECT_EQ(ControlWord::Generation(c), 12345u);
+  EXPECT_EQ(ControlWord::Staleness(c), 678u);
+
+  c = ControlWord::SetReplaced(c);
+  EXPECT_TRUE(ControlWord::Replaced(c));
+  EXPECT_TRUE(ControlWord::Locked(c));
+  EXPECT_EQ(ControlWord::Generation(c), 12345u);
+
+  c = ControlWord::ClearLocked(c);
+  EXPECT_FALSE(ControlWord::Locked(c));
+  EXPECT_TRUE(ControlWord::Replaced(c));
+}
+
+TEST(ControlWordTest, StalenessIncrDecrRoundTrip) {
+  uint64_t c = ControlWord::Make(5, 10);
+  c = ControlWord::IncrStaleness(c);
+  EXPECT_EQ(ControlWord::Staleness(c), 11u);
+  c = ControlWord::DecrStaleness(c);
+  EXPECT_EQ(ControlWord::Staleness(c), 10u);
+  EXPECT_EQ(ControlWord::Generation(c), 5u);
+}
+
+TEST(ControlWordTest, StalenessSaturatesBothEnds) {
+  uint64_t c = ControlWord::Make(0, 0);
+  c = ControlWord::DecrStaleness(c);
+  EXPECT_EQ(ControlWord::Staleness(c), 0u) << "must not underflow into gen";
+  EXPECT_EQ(ControlWord::Generation(c), 0u);
+
+  c = ControlWord::WithStaleness(c, UINT32_MAX);
+  c = ControlWord::IncrStaleness(c);
+  EXPECT_EQ(ControlWord::Staleness(c), UINT32_MAX) << "must not overflow";
+}
+
+TEST(ControlWordTest, GenerationWrapsWithin30Bits) {
+  uint64_t c = ControlWord::Make((1u << 30) - 1, 7);
+  c = ControlWord::IncrGeneration(c);
+  EXPECT_EQ(ControlWord::Generation(c), 0u) << "30-bit wraparound";
+  EXPECT_EQ(ControlWord::Staleness(c), 7u);
+  EXPECT_FALSE(ControlWord::Locked(c)) << "wrap must not leak into flags";
+  EXPECT_FALSE(ControlWord::Replaced(c));
+}
+
+TEST(ControlWordTest, SanitizeDropsTransientBits) {
+  uint64_t c = ControlWord::Make(9, 3);
+  c = ControlWord::SetLocked(ControlWord::SetReplaced(c));
+  const uint64_t s = ControlWord::Sanitize(c);
+  EXPECT_FALSE(ControlWord::Locked(s));
+  EXPECT_FALSE(ControlWord::Replaced(s));
+  EXPECT_EQ(ControlWord::Generation(s), 9u);
+  EXPECT_EQ(ControlWord::Staleness(s), 3u);
+}
+
+TEST(RecordTest, LayoutMatchesOnDiskContract) {
+  // ReadFromDisk deserializes with a packed struct mirror; these offsets
+  // are load-bearing.
+  EXPECT_EQ(sizeof(Record), 32u);
+  EXPECT_EQ(offsetof(Record, prev), 8u);
+  EXPECT_EQ(offsetof(Record, key), 16u);
+  EXPECT_EQ(offsetof(Record, value_size), 24u);
+  EXPECT_EQ(offsetof(Record, flags), 28u);
+}
+
+TEST(RecordTest, SizeForAligns) {
+  EXPECT_EQ(Record::SizeFor(0), 32u);
+  EXPECT_EQ(Record::SizeFor(1), 40u);
+  EXPECT_EQ(Record::SizeFor(8), 40u);
+  EXPECT_EQ(Record::SizeFor(9), 48u);
+  EXPECT_EQ(Record::SizeFor(64), 96u);
+}
+
+}  // namespace
+}  // namespace mlkv

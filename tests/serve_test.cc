@@ -1,0 +1,265 @@
+// EmbeddingServer (inference path) tests: lookup correctness, cache
+// behavior, missing-key policies, warmup, serving a recovered checkpoint,
+// serving concurrently with a live trainer, and stats accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "io/temp_dir.h"
+#include "mlkv/mlkv.h"
+#include "serve/embedding_server.h"
+
+namespace mlkv {
+namespace {
+
+constexpr uint32_t kDim = 8;
+
+struct ServeFixture {
+  TempDir dir;
+  std::unique_ptr<Mlkv> db;
+  EmbeddingTable* table = nullptr;
+
+  explicit ServeFixture(Key rows, uint64_t mem_pages = 16) {
+    MlkvOptions opts;
+    opts.dir = dir.path() + "/db";
+    opts.index_slots = 4096;
+    opts.page_size = 4096;
+    opts.mem_size = mem_pages * 4096;
+    EXPECT_TRUE(Mlkv::Open(opts, &db).ok());
+    EXPECT_TRUE(db->OpenTable("emb", kDim, 8, &table).ok());
+    std::vector<float> v(kDim);
+    for (Key k = 0; k < rows; ++k) {
+      for (uint32_t d = 0; d < kDim; ++d) {
+        v[d] = Expected(k, d);
+      }
+      EXPECT_TRUE(table->Put({&k, 1}, v.data()).ok());
+    }
+  }
+
+  static float Expected(Key k, uint32_t d) {
+    return static_cast<float>(k) + 0.125f * static_cast<float>(d);
+  }
+};
+
+TEST(ServeTest, LookupReturnsStoredEmbeddings) {
+  ServeFixture f(200);
+  EmbeddingServer server(f.table, {});
+  std::vector<Key> keys = {0, 7, 42, 199};
+  std::vector<float> out(keys.size() * kDim);
+  ASSERT_TRUE(server.Lookup(keys, out.data()).ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_FLOAT_EQ(out[i * kDim + d], ServeFixture::Expected(keys[i], d));
+    }
+  }
+  const auto st = server.stats();
+  EXPECT_EQ(st.lookups, keys.size());
+  EXPECT_EQ(st.batches, 1u);
+  EXPECT_EQ(st.store_hits, keys.size());
+  EXPECT_EQ(st.cache_hits, 0u);
+}
+
+TEST(ServeTest, RepeatLookupsHitTheCache) {
+  ServeFixture f(200);
+  EmbeddingServer server(f.table, {});
+  std::vector<Key> keys = {1, 2, 3, 4};
+  std::vector<float> out(keys.size() * kDim);
+  ASSERT_TRUE(server.Lookup(keys, out.data()).ok());
+  ASSERT_TRUE(server.Lookup(keys, out.data()).ok());
+  const auto st = server.stats();
+  EXPECT_EQ(st.store_hits, keys.size());   // first pass only
+  EXPECT_EQ(st.cache_hits, keys.size());   // second pass
+}
+
+TEST(ServeTest, CacheOnMissDisabledAlwaysReadsStore) {
+  ServeFixture f(200);
+  ServeOptions o;
+  o.cache_on_miss = false;
+  EmbeddingServer server(f.table, o);
+  std::vector<Key> keys = {1, 2, 3, 4};
+  std::vector<float> out(keys.size() * kDim);
+  ASSERT_TRUE(server.Lookup(keys, out.data()).ok());
+  ASSERT_TRUE(server.Lookup(keys, out.data()).ok());
+  const auto st = server.stats();
+  EXPECT_EQ(st.store_hits, 2 * keys.size());
+  EXPECT_EQ(st.cache_hits, 0u);
+}
+
+TEST(ServeTest, MissingKeysZeroFillByDefault) {
+  ServeFixture f(10);
+  EmbeddingServer server(f.table, {});
+  std::vector<Key> keys = {5, 99999};
+  std::vector<float> out(keys.size() * kDim, 1.0f);
+  ASSERT_TRUE(server.Lookup(keys, out.data()).ok());
+  for (uint32_t d = 0; d < kDim; ++d) {
+    EXPECT_FLOAT_EQ(out[kDim + d], 0.0f) << "missing key must zero-fill";
+  }
+  EXPECT_EQ(server.stats().missing, 1u);
+}
+
+TEST(ServeTest, MissingKeysCanFailTheBatch) {
+  ServeFixture f(10);
+  ServeOptions o;
+  o.zero_fill_missing = false;
+  EmbeddingServer server(f.table, o);
+  std::vector<Key> keys = {5, 99999};
+  std::vector<float> out(keys.size() * kDim);
+  EXPECT_TRUE(server.Lookup(keys, out.data()).IsNotFound());
+}
+
+TEST(ServeTest, WarmPreloadsTheCache) {
+  ServeFixture f(200);
+  EmbeddingServer server(f.table, {});
+  std::vector<Key> hot(50);
+  for (Key k = 0; k < 50; ++k) hot[k] = k;
+  ASSERT_TRUE(server.Warm(hot).ok());
+  std::vector<float> out(hot.size() * kDim);
+  ASSERT_TRUE(server.Lookup(hot, out.data()).ok());
+  const auto st = server.stats();
+  EXPECT_EQ(st.cache_hits, hot.size());
+  EXPECT_EQ(st.store_hits, 0u);
+}
+
+TEST(ServeTest, WarmSkipsMissingKeys) {
+  ServeFixture f(10);
+  EmbeddingServer server(f.table, {});
+  std::vector<Key> keys = {1, 77777, 2};
+  ASSERT_TRUE(server.Warm(keys).ok());
+}
+
+TEST(ServeTest, LookupsDoNotConsumeStalenessBudget) {
+  // Serving shares a table with training; its reads must be invisible to
+  // the bounded-staleness protocol (Peek, not Read).
+  ServeFixture f(50);
+  ServeOptions o;
+  o.cache_capacity = 1;  // force store reads
+  o.cache_on_miss = false;
+  EmbeddingServer server(f.table, o);
+  Key key = 3;
+  std::vector<float> out(kDim);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(server.Lookup({&key, 1}, out.data()).ok());
+  }
+  // With bound 8, a tracked read x200 would starve this Get.
+  ASSERT_TRUE(f.table->Get({&key, 1}, out.data()).ok());
+  ASSERT_TRUE(f.table->Put({&key, 1}, out.data()).ok());
+}
+
+TEST(ServeTest, ServesRecoveredCheckpointDirectory) {
+  TempDir dir;
+  MlkvOptions opts;
+  opts.dir = dir.path() + "/db";
+  opts.index_slots = 1024;
+  opts.page_size = 4096;
+  opts.mem_size = 16 * 4096;
+  {
+    std::unique_ptr<Mlkv> db;
+    ASSERT_TRUE(Mlkv::Open(opts, &db).ok());
+    EmbeddingTable* t = nullptr;
+    ASSERT_TRUE(db->OpenTable("emb", kDim, 8, &t).ok());
+    std::vector<float> v(kDim, 2.5f);
+    for (Key k = 0; k < 100; ++k) {
+      ASSERT_TRUE(t->Put({&k, 1}, v.data()).ok());
+    }
+    ASSERT_TRUE(db->CheckpointAll().ok());
+  }
+  // Fresh process: recover and serve.
+  std::unique_ptr<Mlkv> db;
+  ASSERT_TRUE(Mlkv::Open(opts, &db).ok());
+  EmbeddingTable* t = nullptr;
+  ASSERT_TRUE(db->OpenExistingTable("emb", &t).ok());
+  EmbeddingServer server(t, {});
+  std::vector<Key> keys = {0, 50, 99};
+  std::vector<float> out(keys.size() * kDim);
+  ASSERT_TRUE(server.Lookup(keys, out.data()).ok());
+  for (float v : out) EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+TEST(ServeTest, ConcurrentLookupsAreSafeAndComplete) {
+  ServeFixture f(2000, /*mem_pages=*/8);  // out-of-core
+  EmbeddingServer server(f.table, {});
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      std::vector<Key> keys(16);
+      std::vector<float> out(keys.size() * kDim);
+      for (int i = 0; i < 500; ++i) {
+        for (auto& k : keys) k = rng.Next() % 2000;
+        if (!server.Lookup(keys, out.data()).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (size_t j = 0; j < keys.size(); ++j) {
+          if (out[j * kDim] != ServeFixture::Expected(keys[j], 0)) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto st = server.stats();
+  EXPECT_EQ(st.lookups, 4u * 500u * 16u);
+  EXPECT_GT(st.cache_hits + st.store_hits, 0u);
+}
+
+TEST(ServeTest, ServingWhileTrainingSeesCommittedValues) {
+  ServeFixture f(200);
+  EmbeddingServer server(f.table, {});
+  std::atomic<bool> stop{false};
+  std::thread trainer([&] {
+    std::vector<float> g(kDim, 0.01f);
+    Rng rng(9);
+    while (!stop.load(std::memory_order_acquire)) {
+      const Key k = rng.Next() % 200;
+      std::vector<float> v(kDim);
+      if (f.table->Get({&k, 1}, v.data()).ok()) {
+        f.table->ApplyGradients({&k, 1}, g.data(), 0.1f).ok();
+      }
+    }
+  });
+  Rng rng(4);
+  std::vector<float> out(kDim);
+  ServeOptions o;
+  o.cache_on_miss = false;  // always observe the store
+  EmbeddingServer fresh(f.table, o);
+  for (int i = 0; i < 2000; ++i) {
+    const Key k = rng.Next() % 200;
+    ASSERT_TRUE(fresh.Lookup({&k, 1}, out.data()).ok());
+    // Values only ever decrease from the seed under positive gradients.
+    EXPECT_LE(out[0], ServeFixture::Expected(k, 0) + 1e-4f);
+    EXPECT_TRUE(std::isfinite(out[0]));
+  }
+  stop.store(true, std::memory_order_release);
+  trainer.join();
+}
+
+TEST(ServeTest, StatsPercentilesPopulated) {
+  ServeFixture f(500);
+  EmbeddingServer server(f.table, {});
+  std::vector<Key> keys(32);
+  std::vector<float> out(keys.size() * kDim);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    for (auto& k : keys) k = rng.Next() % 500;
+    ASSERT_TRUE(server.Lookup(keys, out.data()).ok());
+  }
+  const auto st = server.stats();
+  EXPECT_EQ(st.batches, 100u);
+  EXPECT_LE(st.batch_p50_us, st.batch_p95_us);
+  EXPECT_LE(st.batch_p95_us, st.batch_p99_us);
+  EXPECT_LE(st.batch_p99_us, st.batch_max_us + 1);
+  server.ResetStats();
+  EXPECT_EQ(server.stats().batches, 0u);
+}
+
+}  // namespace
+}  // namespace mlkv

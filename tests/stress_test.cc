@@ -1,0 +1,276 @@
+// Whole-stack concurrency stress: trainers, prefetchers, evaluators, and
+// the garbage collector running against one table at once. These tests are
+// about crash-freedom and protocol invariants under contention, not
+// throughput; sizes are chosen to finish in seconds while still forcing
+// page rolls, evictions, RCU updates, promotions, and GC.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "io/temp_dir.h"
+#include "kv/faster_store.h"
+#include "kv/log_iterator.h"
+#include "mlkv/mlkv.h"
+
+namespace mlkv {
+namespace {
+
+// --------------------------------------------------------- store level --
+
+// Five mutator kinds (upsert, rmw, delete+reinsert, promote, compact) race
+// on a shared store; each key has one owning writer thread recording the
+// last committed version, verified at the end.
+TEST(StoreStressTest, MixedOpsWithCompactorAndPromoter) {
+  TempDir dir;
+  FasterOptions o;
+  o.path = dir.File("stress.log");
+  o.index_slots = 4096;
+  o.page_size = 4096;
+  o.mem_size = 16 * 4096;
+  FasterStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+
+  constexpr int kWriters = 3;
+  constexpr int kKeysPerWriter = 80;
+  constexpr int kOpsPerWriter = 4000;
+  std::vector<std::vector<uint64_t>> committed(
+      kWriters, std::vector<uint64_t>(kKeysPerWriter, 0));
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(99 + w);
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const int slot = static_cast<int>(rng.Next() % kKeysPerWriter);
+        const Key key = static_cast<Key>(w) * kKeysPerWriter + slot;
+        const uint64_t version = committed[w][slot] + 1;
+        const double roll = rng.NextDouble();
+        if (roll < 0.55) {
+          // Upsert with occasional size change (forces RCU).
+          char buf[96];
+          std::memset(buf, 0, sizeof(buf));
+          std::memcpy(buf, &version, sizeof(version));
+          const uint32_t size = 48 + (version % 3) * 16;
+          ASSERT_TRUE(store.Upsert(key, buf, size).ok());
+          committed[w][slot] = version;
+        } else if (roll < 0.85) {
+          // Rmw bumping the version in place.
+          ASSERT_TRUE(store
+                          .Rmw(key, 48,
+                               [version](char* v, uint32_t, bool) {
+                                 std::memcpy(v, &version, sizeof(version));
+                               })
+                          .ok());
+          committed[w][slot] = version;
+        } else {
+          // Delete then reinsert (tombstone churn).
+          store.Delete(key).ok();  // NotFound fine on fresh keys
+          char buf[48];
+          std::memset(buf, 0, sizeof(buf));
+          std::memcpy(buf, &version, sizeof(version));
+          ASSERT_TRUE(store.Upsert(key, buf, sizeof(buf)).ok());
+          committed[w][slot] = version;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // compactor
+    while (!stop.load(std::memory_order_acquire)) {
+      Status s = store.Compact(store.log().read_only_address(), nullptr);
+      ASSERT_TRUE(s.ok() || s.IsBusy()) << s.ToString();
+    }
+  });
+  threads.emplace_back([&] {  // promoter (lookahead's storage half)
+    Rng rng(4242);
+    while (!stop.load(std::memory_order_acquire)) {
+      const Key key = rng.Next() % (kWriters * kKeysPerWriter);
+      Status s = store.Promote(key);
+      ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+    }
+  });
+  threads.emplace_back([&] {  // reader (untracked peeks)
+    Rng rng(1717);
+    char buf[96];
+    while (!stop.load(std::memory_order_acquire)) {
+      const Key key = rng.Next() % (kWriters * kKeysPerWriter);
+      Status s = store.Peek(key, buf, sizeof(buf));
+      ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  for (int w = 0; w < kWriters; ++w) {
+    for (int slot = 0; slot < kKeysPerWriter; ++slot) {
+      const Key key = static_cast<Key>(w) * kKeysPerWriter + slot;
+      if (committed[w][slot] == 0) continue;
+      std::string out;
+      ASSERT_TRUE(store.Read(key, &out).ok()) << "key " << key;
+      uint64_t version = 0;
+      std::memcpy(&version, out.data(), sizeof(version));
+      EXPECT_EQ(version, committed[w][slot]) << "key " << key;
+    }
+  }
+  // The live scan and point reads agree on the key population.
+  uint64_t live = 0;
+  for (LiveLogIterator it(&store); it.Valid(); it.Next()) ++live;
+  uint64_t readable = 0;
+  std::string out;
+  for (Key key = 0; key < kWriters * kKeysPerWriter; ++key) {
+    if (store.Read(key, &out).ok()) ++readable;
+  }
+  EXPECT_EQ(live, readable);
+}
+
+// --------------------------------------------------------- table level --
+
+// A full training-shaped pipeline: worker threads own disjoint rows and run
+// GetOrInit -> ApplyGradients(fused adagrad) while a prefetch thread drives
+// both Lookahead destinations and a maintenance thread compacts. Rows must
+// end exactly at the value the owner's deterministic gradient sequence
+// produces (per-record Rmw atomicity).
+TEST(TableStressTest, TrainersPrefetchersAndGc) {
+  TempDir dir;
+  MlkvOptions opts;
+  opts.dir = dir.path() + "/db";
+  opts.index_slots = 4096;
+  opts.page_size = 4096;
+  opts.mem_size = 24 * 4096;
+  opts.lookahead_threads = 2;
+  std::unique_ptr<Mlkv> db;
+  ASSERT_TRUE(Mlkv::Open(opts, &db).ok());
+  EmbeddingTable* table = nullptr;
+  OptimizerConfig sgd;  // stateless keeps the expected value analytic
+  sgd.kind = OptimizerKind::kSgd;
+  sgd.lr = 0.5f;
+  ASSERT_TRUE(db->OpenTable("t", 8, kAspBound, &table, sgd).ok());
+
+  constexpr int kWorkers = 3;
+  constexpr int kRowsPerWorker = 400;  // 1200 rows x 64 B > the 96 KiB buffer
+  constexpr int kSteps = 150;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<float> zero(8, 0.0f), grad(8);
+      // Seed rows to zero so the final value is analytic.
+      for (int rr = 0; rr < kRowsPerWorker; ++rr) {
+        const Key row = static_cast<Key>(w) * kRowsPerWorker + rr;
+        ASSERT_TRUE(table->Put({&row, 1}, zero.data()).ok());
+      }
+      for (int step = 1; step <= kSteps; ++step) {
+        for (int rr = 0; rr < kRowsPerWorker; ++rr) {
+          const Key row = static_cast<Key>(w) * kRowsPerWorker + rr;
+          for (int d = 0; d < 8; ++d) {
+            grad[d] = (d % 2 == 0 ? 1.0f : -1.0f) *
+                      static_cast<float>(1 + (step % 2));
+          }
+          ASSERT_TRUE(table->ApplyGradients({&row, 1}, grad.data()).ok());
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // prefetcher
+    EmbeddingCache cache(256, 8);
+    Rng rng(5);
+    std::vector<Key> batch(32);
+    while (!stop.load(std::memory_order_acquire)) {
+      for (auto& k : batch) k = rng.Next() % (kWorkers * kRowsPerWorker);
+      ASSERT_TRUE(table->Lookahead(batch).ok());
+      ASSERT_TRUE(table->Lookahead(
+                          batch,
+                          EmbeddingTable::LookaheadDest::kApplicationCache,
+                          &cache)
+                      .ok());
+    }
+    table->WaitLookahead();
+  });
+  threads.emplace_back([&] {  // maintenance
+    while (!stop.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(table->CompactStorage(64 * 4096).ok());
+      std::this_thread::yield();
+    }
+  });
+  for (int w = 0; w < kWorkers; ++w) threads[w].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t i = kWorkers; i < threads.size(); ++i) threads[i].join();
+
+  // Expected value: sum over steps of -lr*grad; grads alternate magnitude
+  // 2,1,2,1,... starting at step 1 -> per-dim total = -lr * sign * total_mag.
+  float total_mag = 0;
+  for (int step = 1; step <= kSteps; ++step) {
+    total_mag += static_cast<float>(1 + (step % 2));
+  }
+  std::vector<float> v(8);
+  for (Key row = 0; row < kWorkers * kRowsPerWorker; ++row) {
+    ASSERT_TRUE(table->Get({&row, 1}, v.data()).ok()) << "row " << row;
+    for (int d = 0; d < 8; ++d) {
+      const float expect =
+          -(0.5f) * (d % 2 == 0 ? 1.0f : -1.0f) * total_mag;
+      ASSERT_NEAR(v[d], expect, 1e-3f) << "row " << row << " dim " << d;
+    }
+  }
+}
+
+// SSP pipeline at a tight bound with paired Get/Put across threads sharing
+// all keys: the protocol must neither deadlock nor lose updates.
+TEST(TableStressTest, SharedKeysBoundedPipeline) {
+  TempDir dir;
+  MlkvOptions opts;
+  opts.dir = dir.path() + "/db";
+  opts.index_slots = 1024;
+  opts.page_size = 4096;
+  opts.mem_size = 16 * 4096;
+  opts.busy_spin_limit = 1 << 14;
+  std::unique_ptr<Mlkv> db;
+  ASSERT_TRUE(Mlkv::Open(opts, &db).ok());
+  EmbeddingTable* table = nullptr;
+  ASSERT_TRUE(db->OpenTable("t", 4, /*staleness_bound=*/4, &table).ok());
+
+  constexpr Key kRows = 64;
+  std::vector<float> zero(4, 0.0f);
+  for (Key row = 0; row < kRows; ++row) {
+    ASSERT_TRUE(table->Put({&row, 1}, zero.data()).ok());
+  }
+  std::atomic<uint64_t> applied{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(31 + w);
+      std::vector<float> v(4), g(4, 1.0f);
+      for (int i = 0; i < 2000; ++i) {
+        const Key row = rng.Next() % kRows;
+        Status s = table->Get({&row, 1}, v.data());
+        if (s.IsBusy()) continue;  // bounded abort: retry another row
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        // Matching Put completes the protocol round for this Get.
+        ASSERT_TRUE(table->ApplyGradients({&row, 1}, g.data(), 0.001f).ok());
+        applied.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_GT(applied.load(), 0u);
+  // Every row's value reflects exactly the applied updates in total: sum of
+  // all dims across rows == -0.001 * applied * 4 dims.
+  double total = 0;
+  std::vector<float> v(4);
+  for (Key row = 0; row < kRows; ++row) {
+    ASSERT_TRUE(table->Get({&row, 1}, v.data()).ok());
+    ASSERT_TRUE(table->Put({&row, 1}, v.data()).ok());
+    for (int d = 0; d < 4; ++d) total += v[d];
+  }
+  EXPECT_NEAR(total, -0.001 * static_cast<double>(applied.load()) * 4,
+              0.05);
+}
+
+}  // namespace
+}  // namespace mlkv

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/ctr_gen.h"
+#include "workloads/ebay_gen.h"
+#include "workloads/graph_gen.h"
+#include "workloads/kg_gen.h"
+#include "workloads/ycsb.h"
+
+namespace mlkv {
+namespace {
+
+TEST(YcsbTest, ReadWriteMixMatchesConfig) {
+  YcsbConfig cfg;
+  cfg.update_fraction = 0.5;
+  YcsbWorkload w(cfg, 0);
+  int reads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (w.Next().is_read()) ++reads;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / n, 0.5, 0.02);
+}
+
+TEST(YcsbTest, KeysWithinRangeAndDeterministic) {
+  YcsbConfig cfg;
+  cfg.num_keys = 1000;
+  YcsbWorkload a(cfg, 3), b(cfg, 3), c(cfg, 4);
+  bool differs = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto oa = a.Next();
+    const auto ob = b.Next();
+    EXPECT_LT(oa.key, 1000u);
+    EXPECT_EQ(oa.key, ob.key) << "same thread id must replay identically";
+    if (oa.key != c.Next().key) differs = true;
+  }
+  EXPECT_TRUE(differs) << "different thread ids must differ";
+}
+
+
+TEST(YcsbSuiteTest, StandardMixesMatchSpec) {
+  struct Expect {
+    char which;
+    double read, update, insert, scan, rmw;
+  };
+  const Expect expectations[] = {
+      {'A', 0.50, 0.50, 0.00, 0.00, 0.00},
+      {'B', 0.95, 0.05, 0.00, 0.00, 0.00},
+      {'C', 1.00, 0.00, 0.00, 0.00, 0.00},
+      {'D', 0.95, 0.00, 0.05, 0.00, 0.00},
+      {'E', 0.00, 0.00, 0.05, 0.95, 0.00},
+      {'F', 0.50, 0.00, 0.00, 0.00, 0.50},
+  };
+  const int n = 30000;
+  for (const auto& e : expectations) {
+    YcsbWorkload w(YcsbStandardConfig(e.which, 10000), 0);
+    int counts[5] = {0, 0, 0, 0, 0};
+    for (int i = 0; i < n; ++i) {
+      ++counts[static_cast<int>(w.Next().type)];
+    }
+    const double total = n;
+    EXPECT_NEAR(counts[0] / total, e.read, 0.02) << e.which;
+    EXPECT_NEAR(counts[1] / total, e.update, 0.02) << e.which;
+    EXPECT_NEAR(counts[2] / total, e.insert, 0.02) << e.which;
+    EXPECT_NEAR(counts[3] / total, e.scan, 0.02) << e.which;
+    EXPECT_NEAR(counts[4] / total, e.rmw, 0.02) << e.which;
+  }
+}
+
+TEST(YcsbSuiteTest, InsertKeysAreFreshAndThreadDisjoint) {
+  const YcsbConfig cfg = YcsbStandardConfig('D', 1000);
+  YcsbWorkload a(cfg, 0, 2), b(cfg, 1, 2);
+  std::set<Key> seen;
+  for (int i = 0; i < 5000; ++i) {
+    for (auto* w : {&a, &b}) {
+      const auto op = w->Next();
+      if (op.type == YcsbOpType::kInsert) {
+        EXPECT_GE(op.key, 1000u) << "inserts must be outside the preload";
+        EXPECT_TRUE(seen.insert(op.key).second) << "duplicate insert key";
+      }
+    }
+  }
+  EXPECT_GT(seen.size(), 0u);
+}
+
+TEST(YcsbSuiteTest, LatestDistributionSkewsToRecentInserts) {
+  const YcsbConfig cfg = YcsbStandardConfig('D', 10000);
+  YcsbWorkload w(cfg, 0);
+  // Warm up with traffic so inserts accumulate, then measure read skew.
+  uint64_t recent_reads = 0, reads = 0;
+  for (int i = 0; i < 60000; ++i) {
+    const auto op = w.Next();
+    if (op.type != YcsbOpType::kRead) continue;
+    ++reads;
+    // "Recent" = preload tail or any inserted key.
+    if (op.key >= 9000) ++recent_reads;
+  }
+  ASSERT_GT(reads, 0u);
+  // Under uniform sampling the tail would get ~10% + inserts; latest should
+  // concentrate far more mass there.
+  EXPECT_GT(static_cast<double>(recent_reads) / reads, 0.5);
+}
+
+TEST(YcsbSuiteTest, ScanLengthsWithinBounds) {
+  YcsbConfig cfg = YcsbStandardConfig('E', 1000);
+  cfg.max_scan_length = 25;
+  YcsbWorkload w(cfg, 0);
+  int scans = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto op = w.Next();
+    if (op.type != YcsbOpType::kScan) continue;
+    ++scans;
+    EXPECT_GE(op.scan_length, 1u);
+    EXPECT_LE(op.scan_length, 25u);
+  }
+  EXPECT_GT(scans, 4000);
+}
+
+TEST(YcsbTest, ZipfianSkewsUniformDoesnt) {
+  YcsbConfig zcfg;
+  zcfg.num_keys = 10000;
+  zcfg.distribution = YcsbDistribution::kZipfian;
+  YcsbWorkload z(zcfg, 0);
+  YcsbConfig ucfg = zcfg;
+  ucfg.distribution = YcsbDistribution::kUniform;
+  YcsbWorkload u(ucfg, 0);
+  std::map<Key, int> zc, uc;
+  for (int i = 0; i < 50000; ++i) {
+    zc[z.Next().key]++;
+    uc[u.Next().key]++;
+  }
+  int zmax = 0, umax = 0;
+  for (auto& [k, v] : zc) zmax = std::max(zmax, v);
+  for (auto& [k, v] : uc) umax = std::max(umax, v);
+  EXPECT_GT(zmax, umax * 10);
+}
+
+TEST(YcsbTest, ValueDeterministicPerKeyVersion) {
+  YcsbConfig cfg;
+  cfg.value_size = 32;
+  YcsbWorkload w(cfg, 0);
+  char a[32], b[32], c[32];
+  w.FillValue(5, 1, a);
+  w.FillValue(5, 1, b);
+  w.FillValue(5, 2, c);
+  EXPECT_EQ(std::memcmp(a, b, 32), 0);
+  EXPECT_NE(std::memcmp(a, c, 32), 0);
+}
+
+TEST(CtrGenTest, SamplesAreWellFormed) {
+  CtrConfig cfg;
+  CtrGenerator gen(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    const CtrSample s = gen.Next();
+    ASSERT_EQ(s.keys.size(), static_cast<size_t>(cfg.num_fields));
+    ASSERT_EQ(s.dense.size(), static_cast<size_t>(cfg.num_dense));
+    EXPECT_TRUE(s.label == 0.0f || s.label == 1.0f);
+    for (int f = 0; f < cfg.num_fields; ++f) {
+      EXPECT_GE(s.keys[f], static_cast<Key>(f) * cfg.field_cardinality);
+      EXPECT_LT(s.keys[f], static_cast<Key>(f + 1) * cfg.field_cardinality);
+    }
+  }
+}
+
+TEST(CtrGenTest, LabelsCorrelateWithPlantedModel) {
+  // The planted model must make labels predictable from keys: the empirical
+  // CTR conditioned on a hot key should differ across keys.
+  CtrConfig cfg;
+  cfg.num_fields = 2;
+  cfg.field_cardinality = 50;
+  cfg.label_noise = 0.0;
+  CtrGenerator gen(cfg);
+  std::map<Key, std::pair<int, int>> stats;  // key -> (clicks, total)
+  for (int i = 0; i < 60000; ++i) {
+    const CtrSample s = gen.Next();
+    for (Key k : s.keys) {
+      auto& [c, t] = stats[k];
+      c += s.label > 0.5f;
+      ++t;
+    }
+  }
+  double min_ctr = 1.0, max_ctr = 0.0;
+  for (auto& [k, ct] : stats) {
+    if (ct.second < 300) continue;
+    const double ctr = static_cast<double>(ct.first) / ct.second;
+    min_ctr = std::min(min_ctr, ctr);
+    max_ctr = std::max(max_ctr, ctr);
+  }
+  EXPECT_GT(max_ctr - min_ctr, 0.15)
+      << "planted weights must induce key-dependent CTR";
+}
+
+TEST(CtrGenTest, FeaturePopularityIsSkewed) {
+  CtrConfig cfg;
+  CtrGenerator gen(cfg);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    counts[gen.Next().keys[0]]++;
+  }
+  int maxc = 0;
+  for (auto& [k, c] : counts) maxc = std::max(maxc, c);
+  EXPECT_GT(maxc, 50) << "zipfian popularity expected";
+}
+
+TEST(KgGenTest, TriplesRespectClusterStructure) {
+  KgConfig cfg;
+  cfg.edge_noise = 0.0;
+  KgGenerator gen(cfg);
+  int consistent = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const KgTriple t = gen.Next();
+    EXPECT_LT(t.head, cfg.num_entities);
+    EXPECT_LT(t.tail, cfg.num_entities);
+    EXPECT_LT(t.relation, cfg.num_relations);
+    const int expect =
+        (gen.ClusterOf(t.head) + gen.RelationShift(t.relation)) %
+        cfg.num_clusters;
+    if (gen.ClusterOf(t.tail) == expect) ++consistent;
+  }
+  // Rejection sampling is capped at 64 tries, so a small fraction of tails
+  // fall outside the planted cluster even with zero edge noise.
+  EXPECT_GT(consistent, n * 0.85) << "tails must follow planted clusters";
+}
+
+TEST(KgGenTest, HeadsAreSkewed) {
+  KgGenerator gen(KgConfig{});
+  std::map<Key, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[gen.Next().head]++;
+  int maxc = 0;
+  for (auto& [k, c] : counts) maxc = std::max(maxc, c);
+  EXPECT_GT(maxc, 20);
+}
+
+TEST(GraphGenTest, NeighborsAreMostlySameCommunity) {
+  GraphConfig cfg;
+  cfg.label_noise = 0.0;
+  GraphGenerator gen(cfg);
+  int same = 0, total = 0;
+  std::vector<Key> nbrs;
+  for (int i = 0; i < 500; ++i) {
+    const Key node = gen.SampleTrainNode();
+    gen.SampleNeighbors(node, &nbrs);
+    ASSERT_EQ(nbrs.size(), static_cast<size_t>(cfg.fanout));
+    for (Key n : nbrs) {
+      EXPECT_LT(n, cfg.num_nodes);
+      same += gen.CommunityOf(n) == gen.CommunityOf(node);
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(same) / total, 0.6);
+}
+
+TEST(GraphGenTest, HubBiasConcentratesOnLowIds) {
+  GraphGenerator gen(GraphConfig{});
+  std::vector<Key> nbrs;
+  uint64_t low = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    gen.SampleNeighbors(gen.SampleTrainNode(), &nbrs);
+    for (Key n : nbrs) {
+      low += n < GraphConfig{}.num_nodes / 4;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(low) / total, 0.4)
+      << "first quartile of ids should absorb ~half the edges";
+}
+
+TEST(EbayGenTest, LabelsCorrelateWithRiskyEntities) {
+  EbayConfig cfg;
+  cfg.label_noise = 0.0;
+  EbayGenerator gen(cfg);
+  int risky_touch_label = 0, risky_touch = 0;
+  int clean_label = 0, clean = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const EbaySample s = gen.Next();
+    bool touches = false;
+    for (Key e : s.entities) {
+      ASSERT_GE(e, cfg.num_transactions);
+      if (gen.IsRiskyEntity(e - cfg.num_transactions)) touches = true;
+    }
+    if (touches) {
+      ++risky_touch;
+      risky_touch_label += s.label > 0.5f;
+    } else {
+      ++clean;
+      clean_label += s.label > 0.5f;
+    }
+  }
+  ASSERT_GT(risky_touch, 100);
+  ASSERT_GT(clean, 100);
+  const double risky_rate = static_cast<double>(risky_touch_label) /
+                            risky_touch;
+  const double clean_rate = static_cast<double>(clean_label) / clean;
+  EXPECT_GT(risky_rate, clean_rate + 0.3);
+  EXPECT_EQ(clean_rate, 0.0) << "without noise, clean transactions are clean";
+}
+
+TEST(EbayGenTest, TripartiteConcentratesEntityAccess) {
+  EbayConfig cfg;
+  cfg.tripartite = true;
+  EbayGenerator gen(cfg);
+  // With tripartite hops derived from the first entity, entities within a
+  // sample are a deterministic function of entity[0].
+  const EbaySample a = gen.Next();
+  EbayGenerator gen2(cfg);
+  const EbaySample b = gen2.Next();
+  EXPECT_EQ(a.entities, b.entities) << "same seed, same derived hops";
+}
+
+}  // namespace
+}  // namespace mlkv
