@@ -282,9 +282,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   Setup s;
-  s.num_keys = flags.Int("keys", 100000);
-  s.ops_per_thread = flags.Int("ops", 50000);
-  s.threads = static_cast<int>(flags.Int("threads", 4));
+  s.num_keys = flags.Int("keys", 100000, 2000);
+  s.ops_per_thread = flags.Int("ops", 50000, 500);
+  s.threads = static_cast<int>(flags.Int("threads", 4, 2));
   const std::string only = flags.Str("only", "");
   if (only.empty() || only == "d1") AblationD1(s);
   if (only.empty() || only == "d2") AblationD2(s);

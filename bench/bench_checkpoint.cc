@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   const uint32_t dim = static_cast<uint32_t>(flags.Int("dim", 16));
-  const uint64_t max_keys = flags.Int("max_keys", 400000);
+  const uint64_t max_keys = flags.Int("max_keys", 400000, 25000);
 
   Banner("Checkpoint / export / recovery latency vs table size");
   Table t({"keys", "dim", "table_mb", "ckpt_ms", "export_ms", "recover_ms"});

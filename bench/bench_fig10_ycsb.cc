@@ -122,8 +122,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   RunConfig base;
-  base.num_keys = flags.Int("keys", 200000);
-  base.ops_per_thread = flags.Int("ops", 100000);
+  base.num_keys = flags.Int("keys", 200000, 4000);
+  base.ops_per_thread = flags.Int("ops", 100000, 1000);
 
   Banner("Fig 10: YCSB 50% read / 50% write — MLKV vs FASTER (ops/s)");
   Table t({"sweep", "x", "dist", "MLKV", "FASTER", "overhead"});

@@ -36,16 +36,16 @@ std::unique_ptr<KvBackend> Make(const TempDir& dir, BackendKind kind,
 GnnTrainerOptions TriskOptions(const Flags& flags) {
   GnnTrainerOptions o;
   o.task = GnnTask::kEbayTrisk;
-  o.ebay.num_transactions = flags.Int("transactions", 150000);
-  o.ebay.num_entities = flags.Int("entities", 80000);
+  o.ebay.num_transactions = flags.Int("transactions", 150000, 3000);
+  o.ebay.num_entities = flags.Int("entities", 80000, 2000);
   o.dim = 32;
   o.hidden = 32;
   o.batch_size = 64;
   o.num_workers = 2;
-  o.train_batches = flags.Int("batches", 60);
+  o.train_batches = flags.Int("batches", 60, 3);
   o.eval_every = 0;
   o.lookahead_depth = 6;
-  o.compute_micros_per_batch = flags.Int("compute_us", 1500);
+  o.compute_micros_per_batch = flags.Int("compute_us", 1500, 50);
   o.preload_keys = o.ebay.num_transactions + o.ebay.num_entities;
   return o;
 }
@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
         GnnTrainerOptions o = TriskOptions(flags);
         o.task = GnnTask::kEbayPayout;
         o.ebay.tripartite = true;
-        o.train_batches = flags.Int("batches", 60) * 2;
+        o.train_batches = o.train_batches * 2;  // payout: 2x Trisk batches
         o.eval_every = static_cast<int>(o.train_batches / 4);
         o.eval_nodes = 600;
         GnnTrainer trainer(backend.get(), o);

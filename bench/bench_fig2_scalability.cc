@@ -44,16 +44,16 @@ ModeResult RunMode(const Flags& flags, const char* label, uint32_t bound,
   o.data.num_fields = 8;
   // Larger-than-memory with weak skew so the cold tail actually hits disk
   // (the regime Fig. 2 demonstrates).
-  o.data.field_cardinality = flags.Int("cardinality", 200000);
+  o.data.field_cardinality = flags.Int("cardinality", 200000, 2000);
   o.data.zipf_theta = flags.Double("theta", 0.6);
   o.dim = 16;
   o.batch_size = 128;
   o.num_workers = workers;
-  o.train_batches = flags.Int("batches", 120);
+  o.train_batches = flags.Int("batches", 120, 5);
   o.eval_every = o.train_batches / 2;
-  o.eval_samples = flags.Int("eval_samples", 2000);
+  o.eval_samples = flags.Int("eval_samples", 2000, 200);
   o.embedding_lr = 0.3f;
-  o.compute_micros_per_batch = flags.Int("compute_us", 500);
+  o.compute_micros_per_batch = flags.Int("compute_us", 500, 50);
   o.preload_keys = static_cast<uint64_t>(o.data.num_fields) *
                    o.data.field_cardinality;
   CtrTrainer trainer(backend.get(), o);
@@ -72,8 +72,8 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf(
         "fig2: sync vs fully-async DLRM training on out-of-core MLKV\n"
-        "  --buffer_mb=4 --cardinality=40000 --batches=120 "
-        "--compute_us=2000 --eval_samples=2000\n");
+        "  --buffer_mb=4 --cardinality=200000 --batches=120 "
+        "--compute_us=500 --eval_samples=2000 --smoke\n");
     return 0;
   }
 

@@ -79,8 +79,8 @@ int main(int argc, char** argv) {
                 "  --batches=150 --compute_us=1500\n");
     return 0;
   }
-  const uint64_t batches = flags.Int("batches", 150);
-  const uint64_t compute_us = flags.Int("compute_us", 1500);
+  const uint64_t batches = flags.Int("batches", 150, 5);
+  const uint64_t compute_us = flags.Int("compute_us", 1500, 50);
 
   // --- DLRM on Criteo-Ad (PERSIA vs PERSIA-MLKV) ---
   {

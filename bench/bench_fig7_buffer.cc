@@ -77,16 +77,17 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf("fig7: larger-than-memory backend sweep\n"
                 "  --batches=60 --compute_us=1500 --buffers=2,4,8\n"
-                "  --task=all|dlrm|kge|gnn\n");
+                "  --cardinality=60000 --entities=150000 --nodes=150000\n"
+                "  --task=all|dlrm|kge|gnn --smoke\n");
     return 0;
   }
-  const uint64_t batches = flags.Int("batches", 60);
-  const uint64_t compute_us = flags.Int("compute_us", 1500);
+  const uint64_t batches = flags.Int("batches", 60, 3);
+  const uint64_t compute_us = flags.Int("compute_us", 1500, 50);
   const std::string task = flags.Str("task", "all");
 
   std::vector<uint64_t> buffers;
   {
-    std::string s = flags.Str("buffers", "2,4,8");
+    std::string s = flags.Str("buffers", "2,4,8", "2");
     size_t pos = 0;
     while (pos < s.size()) {
       size_t comma = s.find(',', pos);
@@ -100,7 +101,7 @@ int main(int argc, char** argv) {
   if (task == "all" || task == "dlrm") {
     CtrTrainerOptions o;
     o.data.num_fields = 8;
-    o.data.field_cardinality = flags.Int("cardinality", 60000);
+    o.data.field_cardinality = flags.Int("cardinality", 60000, 3000);
     o.dim = 16;
     o.batch_size = 128;
     o.num_workers = 2;
@@ -119,7 +120,7 @@ int main(int argc, char** argv) {
 
   if (task == "all" || task == "kge") {
     KgeTrainerOptions o;
-    o.data.num_entities = flags.Int("entities", 150000);
+    o.data.num_entities = flags.Int("entities", 150000, 3000);
     o.data.num_relations = 8;
     o.dim = 32;
     o.batch_size = 128;
@@ -138,7 +139,7 @@ int main(int argc, char** argv) {
 
   if (task == "all" || task == "gnn") {
     GnnTrainerOptions o;
-    o.graph.num_nodes = flags.Int("nodes", 150000);
+    o.graph.num_nodes = flags.Int("nodes", 150000, 3000);
     o.graph.num_classes = 8;
     o.graph.fanout = 8;
     o.dim = 32;

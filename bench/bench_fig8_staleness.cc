@@ -41,12 +41,13 @@ int main(int argc, char** argv) {
       flags.Double("nvme_write_gbps", 1.0));
   if (flags.Has("help")) {
     std::printf("fig8: staleness-bound sweep (throughput vs quality)\n"
-                "  --batches=120 --buffer_mb=4 --compute_us=800\n");
+                "  --batches=120 --buffer_mb=4 --compute_us=800\n"
+                "  --cardinality=30000 --entities=30000 --smoke\n");
     return 0;
   }
-  const uint64_t batches = flags.Int("batches", 120);
+  const uint64_t batches = flags.Int("batches", 120, 5);
   const uint64_t buffer_mb = flags.Int("buffer_mb", 4);
-  const uint64_t compute_us = flags.Int("compute_us", 800);
+  const uint64_t compute_us = flags.Int("compute_us", 800, 50);
   const std::vector<uint32_t> bounds = {0, 4, 10, 20, 40, 80,
                                         UINT32_MAX - 1};
 
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
       auto backend = Make(dir, 8, buffer_mb, bound);
       CtrTrainerOptions o;
       o.data.num_fields = 8;
-      o.data.field_cardinality = 30000;
+      o.data.field_cardinality = flags.Int("cardinality", 30000, 2000);
       o.dim = 8;
       o.batch_size = 128;
       // Bound 0 forces single-worker BSP; higher bounds run pipelined.
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
       TempDir dir;
       auto backend = Make(dir, 32, buffer_mb, bound);
       KgeTrainerOptions o;
-      o.data.num_entities = 30000;
+      o.data.num_entities = flags.Int("entities", 30000, 2000);
       o.data.num_relations = 8;
       o.dim = 32;
       o.batch_size = 128;

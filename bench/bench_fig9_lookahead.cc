@@ -49,12 +49,13 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf("fig9: look-ahead prefetching\n"
                 "  --batches=60 --buffer_mb=3 --compute_us=1000 "
-                "--no_immutable_skip\n");
+                "--no_immutable_skip\n"
+                "  --cardinality=60000 --entities=120000 --smoke\n");
     return 0;
   }
-  const uint64_t batches = flags.Int("batches", 60);
+  const uint64_t batches = flags.Int("batches", 60, 3);
   const uint64_t buffer_mb = flags.Int("buffer_mb", 3);
-  const uint64_t compute_us = flags.Int("compute_us", 1000);
+  const uint64_t compute_us = flags.Int("compute_us", 1000, 50);
   const bool skip_immutable = !flags.Bool("no_immutable_skip", false);
 
   Banner("Fig 9(a): DLRM — lookahead speedup vs staleness bound");
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
     for (uint32_t bound : {0u, 4u, 10u, 20u, 40u, 80u}) {
       CtrTrainerOptions o;
       o.data.num_fields = 8;
-      o.data.field_cardinality = 60000;
+      o.data.field_cardinality = flags.Int("cardinality", 60000, 3000);
       o.dim = 16;
       o.batch_size = 128;
       o.num_workers = bound == 0 ? 1 : 2;
@@ -118,7 +119,7 @@ int main(int argc, char** argv) {
         TempDir dir;
         auto backend = Make(dir, c.kind, 32, mb, 16, skip_immutable);
         KgeTrainerOptions o;
-        o.data.num_entities = 120000;
+        o.data.num_entities = flags.Int("entities", 120000, 3000);
         o.data.num_relations = 8;
         o.dim = 32;
         o.batch_size = 128;

@@ -95,9 +95,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   Setup s;
-  s.rows = flags.Int("rows", 500000);
-  s.batches = flags.Int("batches", 2000);
-  s.threads = static_cast<int>(flags.Int("threads", 4));
+  s.rows = flags.Int("rows", 500000, 10000);
+  s.batches = flags.Int("batches", 2000, 50);
+  s.threads = static_cast<int>(flags.Int("threads", 4, 2));
 
   Banner("Serving path: lookups/s and batch latency vs serving-cache size");
   std::printf("(out-of-core table: %llu rows x dim %u vs %llu MiB buffer)\n\n",

@@ -59,6 +59,21 @@ class Flags {
     return false;
   }
 
+  // --smoke: CI sanity mode. Every bench binary must finish in seconds.
+  bool Smoke() const { return Bool("smoke", false); }
+
+  // Flag value with a separate tiny default under --smoke. An explicit
+  // --name=value always wins over both defaults.
+  int64_t Int(const std::string& name, int64_t def, int64_t smoke_def) const {
+    if (Has(name)) return Int(name, def);
+    return Smoke() ? smoke_def : def;
+  }
+  std::string Str(const std::string& name, const std::string& def,
+                  const std::string& smoke_def) const {
+    if (Has(name)) return Str(name, def);
+    return Smoke() ? smoke_def : def;
+  }
+
  private:
   std::vector<std::pair<std::string, std::string>> kv_;
 };

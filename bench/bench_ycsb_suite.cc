@@ -227,9 +227,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   RunConfig rc;
-  rc.num_keys = flags.Int("keys", 100000);
-  rc.ops_per_thread = flags.Int("ops", 50000);
-  rc.threads = static_cast<int>(flags.Int("threads", 4));
+  rc.num_keys = flags.Int("keys", 100000, 2000);
+  rc.ops_per_thread = flags.Int("ops", 50000, 500);
+  rc.threads = static_cast<int>(flags.Int("threads", 4, 2));
   rc.buffer_mb = flags.Int("buffer_mb", 8);
 
   Banner("YCSB core suite A-F, ops/s per engine (extension bench)");

@@ -1,0 +1,23 @@
+# Defines mlkv::warnings, an interface target carrying the project's
+# warning flags. Linked by every first-party target; kept out of
+# mlkv_core's PUBLIC surface so downstream embedders are unaffected.
+
+add_library(mlkv_warnings INTERFACE)
+add_library(mlkv::warnings ALIAS mlkv_warnings)
+
+if(MLKV_ENABLE_WARNINGS)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(mlkv_warnings INTERFACE
+      -Wall
+      -Wextra
+      -Wno-unused-parameter)
+    if(MLKV_WARNINGS_AS_ERRORS)
+      target_compile_options(mlkv_warnings INTERFACE -Werror)
+    endif()
+  elseif(MSVC)
+    target_compile_options(mlkv_warnings INTERFACE /W4)
+    if(MLKV_WARNINGS_AS_ERRORS)
+      target_compile_options(mlkv_warnings INTERFACE /WX)
+    endif()
+  endif()
+endif()

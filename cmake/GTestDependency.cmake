@@ -1,0 +1,43 @@
+# Provides GTest::gtest and GTest::gtest_main, preferring offline sources:
+#   1. an installed GoogleTest (system package or prior install)
+#   2. the Debian/Ubuntu source drop at /usr/src/googletest
+#   3. FetchContent from GitHub (needs network; last resort)
+#
+# All three paths yield the same imported/alias target names, so consumers
+# just link GTest::gtest_main.
+
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+find_package(GTest QUIET)
+if(GTest_FOUND AND TARGET GTest::gtest_main)
+  message(STATUS "mlkv: using installed GoogleTest")
+  return()
+endif()
+
+set(_mlkv_gtest_src "/usr/src/googletest")
+if(EXISTS "${_mlkv_gtest_src}/CMakeLists.txt")
+  message(STATUS "mlkv: building GoogleTest from ${_mlkv_gtest_src}")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  add_subdirectory("${_mlkv_gtest_src}" "${CMAKE_BINARY_DIR}/_deps/googletest" EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+  return()
+endif()
+
+message(STATUS "mlkv: fetching GoogleTest via FetchContent")
+include(FetchContent)
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+  DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

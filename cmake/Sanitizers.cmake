@@ -1,0 +1,28 @@
+# Global sanitizer toggles. Applied to all targets (compile + link) so the
+# whole dependency chain, including GoogleTest, is instrumented consistently.
+
+set(_mlkv_san_flags "")
+
+if(MLKV_ENABLE_ASAN)
+  list(APPEND _mlkv_san_flags -fsanitize=address)
+endif()
+
+if(MLKV_ENABLE_UBSAN)
+  list(APPEND _mlkv_san_flags -fsanitize=undefined)
+endif()
+
+if(MLKV_ENABLE_TSAN)
+  if(MLKV_ENABLE_ASAN)
+    message(FATAL_ERROR "TSan cannot be combined with ASan")
+  endif()
+  list(APPEND _mlkv_san_flags -fsanitize=thread)
+endif()
+
+if(_mlkv_san_flags)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "Sanitizers require GCC or Clang")
+  endif()
+  list(APPEND _mlkv_san_flags -fno-omit-frame-pointer -g)
+  add_compile_options(${_mlkv_san_flags})
+  add_link_options(${_mlkv_san_flags})
+endif()

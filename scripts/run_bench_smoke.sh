@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Smoke-run every benchmark binary with tiny iteration counts (--smoke; see
+# bench/bench_util.h). Catches "bench rotted" without paying bench runtimes.
+#
+# Usage: scripts/run_bench_smoke.sh [build_dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+bench_dir="${build_dir}/bench"
+
+if [[ ! -d "${bench_dir}" ]]; then
+  echo "error: ${bench_dir} not found — build with MLKV_BUILD_BENCH=ON first" >&2
+  exit 1
+fi
+
+failed=0
+for bench in "${bench_dir}"/bench_*; do
+  [[ -x "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  if [[ "${name}" == "bench_micro_store" ]]; then
+    # Google Benchmark binary: its own flag vocabulary.
+    args=(--benchmark_min_time=0.01)
+  else
+    args=(--smoke)
+  fi
+  echo "=== ${name} ${args[*]}"
+  if ! "${bench}" "${args[@]}" > /dev/null; then
+    echo "FAILED: ${name}" >&2
+    failed=1
+  fi
+done
+exit "${failed}"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Configure + build + test in one step. The fast pre-commit loop is:
+#
+#   scripts/run_ctest.sh -l unit
+#
+# Usage: scripts/run_ctest.sh [-l label] [-b build_dir] [-t build_type] [-s]
+#   -l LABEL   restrict to a ctest label (unit | stress | property)
+#   -b DIR     build directory               (default: build)
+#   -t TYPE    CMAKE_BUILD_TYPE              (default: RelWithDebInfo)
+#   -s         also enable ASan+UBSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+label=""
+build_dir="build"
+build_type="RelWithDebInfo"
+sanitize="OFF"
+
+while getopts "l:b:t:sh" opt; do
+  case "${opt}" in
+    l) label="${OPTARG}" ;;
+    b) build_dir="${OPTARG}" ;;
+    t) build_type="${OPTARG}" ;;
+    s) sanitize="ON" ;;
+    h)
+      grep '^#' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) exit 2 ;;
+  esac
+done
+
+cmake -B "${build_dir}" -S . \
+  -DCMAKE_BUILD_TYPE="${build_type}" \
+  -DMLKV_ENABLE_ASAN="${sanitize}" \
+  -DMLKV_ENABLE_UBSAN="${sanitize}"
+cmake --build "${build_dir}" -j "$(nproc)"
+
+ctest_args=(--test-dir "${build_dir}" --output-on-failure -j "$(nproc)")
+if [[ -n "${label}" ]]; then
+  ctest_args+=(-L "${label}")
+fi
+ctest "${ctest_args[@]}"

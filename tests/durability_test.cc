@@ -332,7 +332,9 @@ TEST(LsmScanTest, OrderedAscending) {
   Key prev = 0;
   bool first = true;
   ASSERT_TRUE(store.Scan(0, 999, [&](Key k, const std::string&) {
-    if (!first) EXPECT_GT(k, prev);
+    if (!first) {
+      EXPECT_GT(k, prev);
+    }
     prev = k;
     first = false;
   }).ok());
