@@ -1,21 +1,287 @@
-// Adapters binding each storage engine to the KvBackend seam.
+// Adapters binding each storage engine to the batch-first KvBackend seam.
+//
+// Layout of this file:
+//  * batch scaffolding shared by the baseline engines — intra-batch key
+//    dedup and a chunked fan-out helper that spreads large batches over a
+//    per-backend ThreadPool (the deterministic embedding bootstrap lives
+//    in mlkv/embedding_init.h, shared with EmbeddingTable);
+//  * BatchedEngineBackend, an intermediate base turning per-key engine
+//    primitives (ReadOne/WriteOne/ApplyOne) into MultiGet/MultiPut/
+//    MultiApplyGradient with dedup + optional parallelism;
+//  * the five adapters: MLKV (delegates whole spans to EmbeddingTable),
+//    FASTER / LSM / B+tree (BatchedEngineBackend with native RMW where the
+//    engine has one), and the in-memory map (native batch loops that take
+//    each lock once per batch).
 #include "backend/kv_backend.h"
 
+#include <atomic>
+#include <cstring>
 #include <filesystem>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "btree/btree_store.h"
+#include "common/spin_wait.h"
+#include "common/thread_pool.h"
 #include "kv/faster_store.h"
 #include "lsm/lsm_store.h"
+#include "mlkv/embedding_init.h"
 #include "mlkv/mlkv.h"
 
 namespace mlkv {
 
 namespace {
 
+// Deduplicated view of one batch: `unique` holds first occurrences in
+// input order; `slot_of[i]` maps input position i to its unique slot.
+// Trainers dedup their minibatches anyway, but serving and YCSB traffic
+// under skew does not — dedup keeps a zipfian batch from hammering one
+// record and keeps parallel chunks free of same-key write races.
+struct DedupPlan {
+  std::vector<Key> unique;
+  std::vector<uint32_t> slot_of;
+  bool has_dupes = false;
+
+  explicit DedupPlan(std::span<const Key> keys) {
+    slot_of.resize(keys.size());
+    unique.reserve(keys.size());
+    if (keys.size() <= 1) {  // single-key wrappers: no hashing needed
+      unique.assign(keys.begin(), keys.end());
+      if (!slot_of.empty()) slot_of[0] = 0;
+      return;
+    }
+    std::unordered_map<Key, uint32_t> first;
+    first.reserve(keys.size() * 2);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const auto [it, fresh] =
+          first.emplace(keys[i], static_cast<uint32_t>(unique.size()));
+      if (fresh) {
+        unique.push_back(keys[i]);
+      } else {
+        has_dupes = true;
+      }
+      slot_of[i] = it->second;
+    }
+  }
+};
+
+// Runs fn(begin, end, &part) over [0, n), splitting into contiguous chunks
+// across `pool` when the batch is large enough. fn records the outcome of
+// key i at chunk-local index i - begin in its part (pre-sized to
+// end - begin); parts are appended back together in input order after the
+// fan-in. The calling thread works on the first chunk itself.
+BatchResult RunChunked(
+    ThreadPool* pool, size_t n, size_t min_chunk,
+    const std::function<void(size_t, size_t, BatchResult*)>& fn) {
+  size_t chunks = 1;
+  if (pool != nullptr && min_chunk > 0) {
+    chunks = std::min(pool->num_threads() + 1, n / min_chunk);
+    if (chunks == 0) chunks = 1;
+  }
+  if (chunks <= 1) {
+    BatchResult result(n);
+    if (n > 0) fn(0, n, &result);
+    return result;
+  }
+  const size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  std::vector<BatchResult> parts;
+  for (size_t begin = 0; begin < n; begin += per) {
+    const size_t end = std::min(n, begin + per);
+    ranges.emplace_back(begin, end);
+    parts.emplace_back(end - begin);
+  }
+  std::atomic<size_t> pending{0};
+  for (size_t c = 1; c < ranges.size(); ++c) {
+    pending.fetch_add(1, std::memory_order_acq_rel);
+    const bool submitted = pool->Submit([&, c] {
+      fn(ranges[c].first, ranges[c].second, &parts[c]);
+      pending.fetch_sub(1, std::memory_order_acq_rel);
+    });
+    if (!submitted) {  // pool shutting down: degrade to inline
+      fn(ranges[c].first, ranges[c].second, &parts[c]);
+      pending.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+  fn(ranges[0].first, ranges[0].second, &parts[0]);
+  // The fan-in must not starve the pool workers it waits for.
+  SpinWaitUntil([&] { return pending.load(std::memory_order_acquire) == 0; });
+  BatchResult result;
+  result.codes.reserve(n);
+  for (const BatchResult& part : parts) result.Append(part);
+  return result;
+}
+
+// Turns thread-safe per-key engine primitives into the batched KvBackend
+// surface: key dedup, optional chunked fan-out over a per-backend pool,
+// and per-key outcome bookkeeping live here once instead of per engine.
+class BatchedEngineBackend : public KvBackend {
+ public:
+  uint32_t dim() const override { return dim_; }
+
+  BatchResult MultiGet(std::span<const Key> keys, float* out,
+                       const MultiGetOptions& options) override {
+    const DedupPlan plan(keys);
+    const size_t n = plan.unique.size();
+    std::vector<float> scratch;
+    float* ubuf = out;
+    if (plan.has_dupes) {
+      scratch.resize(n * size_t{dim_});
+      ubuf = scratch.data();
+    }
+    // Disjoint byte writes per chunk; read back only after the fan-in.
+    std::vector<uint8_t> fresh(n, 0);
+    BatchResult uniq = RunChunked(
+        pool_.get(), n, min_chunk_,
+        [&](size_t begin, size_t end, BatchResult* r) {
+          for (size_t u = begin; u < end; ++u) {
+            const Key key = plan.unique[u];
+            float* dst = ubuf + u * dim_;
+            Status s = ReadOne(key, dst);
+            if (s.IsNotFound() && options.init_missing) {
+              InitEmbedding(key, dim_, dst);
+              s = InitMissingOne(key, dst);
+              if (s.ok()) {
+                fresh[u] = 1;
+                r->RecordInitialized(u - begin);
+                continue;
+              }
+            }
+            r->Record(u - begin, s);
+          }
+        });
+    if (!plan.has_dupes) return uniq;
+    // Scatter values and codes back to every occurrence; only the first
+    // occurrence of a fresh key counts as missing, matching a sequential
+    // per-key loop (the first get initializes, later ones find).
+    BatchResult result(keys.size());
+    std::vector<uint8_t> seen(n, 0);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const uint32_t u = plan.slot_of[i];
+      if (uniq.codes[u] == Status::Code::kOk) {
+        std::memcpy(out + i * size_t{dim_}, ubuf + u * size_t{dim_},
+                    dim_ * sizeof(float));
+        if (fresh[u] && !seen[u]) {
+          result.RecordInitialized(i);
+        } else {
+          result.Record(i, Status::OK());
+        }
+      } else {
+        // Non-kOk rows stay untouched (the scratch row was never written).
+        result.Record(i, uniq.StatusAt(u));
+      }
+      seen[u] = 1;
+    }
+    return result;
+  }
+
+  BatchResult MultiPut(std::span<const Key> keys,
+                       const float* values) override {
+    const DedupPlan plan(keys);
+    const size_t n = plan.unique.size();
+    const float* ubuf = values;
+    std::vector<float> scratch;
+    if (plan.has_dupes) {
+      // Last occurrence wins, matching a sequential per-key loop.
+      scratch.resize(n * size_t{dim_});
+      for (size_t i = 0; i < keys.size(); ++i) {
+        std::memcpy(&scratch[plan.slot_of[i] * size_t{dim_}],
+                    values + i * size_t{dim_}, dim_ * sizeof(float));
+      }
+      ubuf = scratch.data();
+    }
+    BatchResult uniq = RunChunked(
+        pool_.get(), n, min_chunk_,
+        [&](size_t begin, size_t end, BatchResult* r) {
+          for (size_t u = begin; u < end; ++u) {
+            r->Record(u - begin, WriteOne(plan.unique[u], ubuf + u * dim_));
+          }
+        });
+    if (!plan.has_dupes) return uniq;
+    BatchResult result(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      result.Record(i, uniq.StatusAt(plan.slot_of[i]));
+    }
+    return result;
+  }
+
+  BatchResult MultiApplyGradient(std::span<const Key> keys, const float* grads,
+                                 float lr) override {
+    const DedupPlan plan(keys);
+    const size_t n = plan.unique.size();
+    const float* ubuf = grads;
+    std::vector<float> scratch;
+    if (plan.has_dupes) {
+      // Duplicate keys accumulate: SGD is linear in the gradient, so one
+      // fused apply of the sum equals sequential applies per occurrence.
+      scratch.assign(n * size_t{dim_}, 0.0f);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        float* dst = &scratch[plan.slot_of[i] * size_t{dim_}];
+        const float* src = grads + i * size_t{dim_};
+        for (uint32_t d = 0; d < dim_; ++d) dst[d] += src[d];
+      }
+      ubuf = scratch.data();
+    }
+    BatchResult uniq = RunChunked(
+        pool_.get(), n, min_chunk_,
+        [&](size_t begin, size_t end, BatchResult* r) {
+          for (size_t u = begin; u < end; ++u) {
+            r->Record(u - begin, ApplyOne(plan.unique[u], ubuf + u * dim_, lr));
+          }
+        });
+    if (!plan.has_dupes) return uniq;
+    BatchResult result(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      result.Record(i, uniq.StatusAt(plan.slot_of[i]));
+    }
+    return result;
+  }
+
+ protected:
+  BatchedEngineBackend(uint32_t dim, const BackendConfig& config)
+      : dim_(dim), min_chunk_(config.batch_min_chunk) {
+    if (config.batch_threads > 0) {
+      pool_ = std::make_unique<ThreadPool>(config.batch_threads);
+    }
+  }
+
+  // Engine primitives; must be safe to call from multiple threads.
+  virtual Status ReadOne(Key key, float* out) = 0;  // NotFound when absent
+  virtual Status WriteOne(Key key, const float* value) = 0;
+  // First-touch bootstrap: `out` already holds the init vector; store it
+  // (or adopt a concurrent winner's value into `out`).
+  virtual Status InitMissingOne(Key key, float* out) {
+    return WriteOne(key, out);
+  }
+  // value <- value - lr * grad; emulated read-modify-write by default,
+  // overridden where the engine has a native (atomic) RMW.
+  virtual Status ApplyOne(Key key, const float* grad, float lr) {
+    std::vector<float> value(dim_);
+    Status s = ReadOne(key, value.data());
+    if (s.IsNotFound()) {
+      InitEmbedding(key, dim_, value.data());
+      s = Status::OK();
+    }
+    MLKV_RETURN_NOT_OK(s);
+    for (uint32_t d = 0; d < dim_; ++d) value[d] -= lr * grad[d];
+    return WriteOne(key, value.data());
+  }
+
+  const uint32_t dim_;
+
+ private:
+  const size_t min_chunk_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
 // MLKV: bounded staleness + look-ahead prefetching (the system under test).
+// Batches are handed to EmbeddingTable's span APIs whole — the table owns
+// dedup-free semantics (each occurrence participates in the staleness
+// protocol) and the store is latch-free, so no adapter-level fan-out.
 class MlkvBackend : public KvBackend {
  public:
   static Status Make(const BackendConfig& config,
@@ -38,23 +304,43 @@ class MlkvBackend : public KvBackend {
   std::string name() const override { return "MLKV"; }
   uint32_t dim() const override { return dim_; }
 
-  Status GetEmbedding(Key key, float* out) override {
-    return table_->GetOrInit({&key, 1}, out);
+  BatchResult MultiGet(std::span<const Key> keys, float* out,
+                       const MultiGetOptions& options) override {
+    BatchResult result;
+    if (!options.untracked) {
+      if (options.init_missing) {
+        table_->GetOrInit(keys, out, &result);
+      } else {
+        table_->Get(keys, out, &result);
+      }
+      return result;
+    }
+    // Untracked read: never waits on or advances staleness state, even
+    // when bootstrapping never-stored keys.
+    if (options.init_missing) {
+      table_->PeekOrInit(keys, out, &result);
+    } else {
+      table_->Peek(keys, out, &result);
+    }
+    return result;
   }
-  Status PutEmbedding(Key key, const float* value) override {
-    return table_->Put({&key, 1}, value);
+
+  BatchResult MultiPut(std::span<const Key> keys,
+                       const float* values) override {
+    BatchResult result;
+    table_->Put(keys, values, &result);
+    return result;
   }
-  Status ApplyGradient(Key key, const float* grad, float lr) override {
+
+  BatchResult MultiApplyGradient(std::span<const Key> keys, const float* grads,
+                                 float lr) override {
     // Fused path: one atomic Rmw per record (also lowers the staleness
     // clock, like a Put).
-    return table_->ApplyGradients({&key, 1}, grad, lr);
+    BatchResult result;
+    table_->ApplyGradients(keys, grads, lr, &result);
+    return result;
   }
-  Status PeekEmbedding(Key key, float* out) override {
-    Status s =
-        table_->store()->Peek(key, out, dim_ * sizeof(float));
-    if (s.IsNotFound()) return table_->GetOrInit({&key, 1}, out);
-    return s;
-  }
+
   Status Lookahead(std::span<const Key> keys) override {
     return table_->Lookahead(keys);
   }
@@ -83,12 +369,13 @@ class MlkvBackend : public KvBackend {
 };
 
 // Plain FASTER (staleness tracking off, no promotion): the strongest
-// baseline engine in the paper's Fig. 7.
-class FasterBackend : public KvBackend {
+// baseline engine in the paper's Fig. 7. Gradient pushes use the store's
+// native Rmw, so applies are atomic per record here too.
+class FasterBackend : public BatchedEngineBackend {
  public:
   static Status Make(const BackendConfig& config,
                      std::unique_ptr<KvBackend>* out) {
-    auto b = std::unique_ptr<FasterBackend>(new FasterBackend(config.dim));
+    auto b = std::unique_ptr<FasterBackend>(new FasterBackend(config));
     FasterOptions o;
     o.path = config.dir + "/faster.log";
     o.index_slots = config.index_slots;
@@ -100,17 +387,6 @@ class FasterBackend : public KvBackend {
   }
 
   std::string name() const override { return "FASTER"; }
-  uint32_t dim() const override { return dim_; }
-
-  Status GetEmbedding(Key key, float* out) override {
-    const uint32_t bytes = dim_ * sizeof(float);
-    Status s = store_.Read(key, out, bytes);
-    if (s.IsNotFound()) return InitMissing(key, out);
-    return s;
-  }
-  Status PutEmbedding(Key key, const float* value) override {
-    return store_.Upsert(key, value, dim_ * sizeof(float));
-  }
 
   uint64_t device_bytes_read() const override {
     return const_cast<FasterStore&>(store_).mutable_log()->device()
@@ -121,35 +397,48 @@ class FasterBackend : public KvBackend {
         ->bytes_written();
   }
 
- private:
-  explicit FasterBackend(uint32_t dim) : dim_(dim) {}
-
-  Status InitMissing(Key key, float* out) {
+ protected:
+  Status ReadOne(Key key, float* out) override {
+    return store_.Read(key, out, dim_ * sizeof(float));
+  }
+  Status WriteOne(Key key, const float* value) override {
+    return store_.Upsert(key, value, dim_ * sizeof(float));
+  }
+  Status InitMissingOne(Key key, float* out) override {
+    // Rmw keeps a concurrent initializer from double-inserting: only the
+    // missing case writes, and losers adopt the winner's value.
     const uint32_t bytes = dim_ * sizeof(float);
-    const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
-    Rng rng(Hash64(key ^ 0xE5B0C47Aull));
-    for (uint32_t d = 0; d < dim_; ++d) {
-      out[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
-    }
     float* dst = out;
+    return store_.Rmw(key, bytes,
+                      [dst, bytes](char* v, uint32_t, bool exists) {
+                        if (!exists) std::memcpy(v, dst, bytes);
+                        else std::memcpy(dst, v, bytes);
+                      });
+  }
+  Status ApplyOne(Key key, const float* grad, float lr) override {
+    const uint32_t bytes = dim_ * sizeof(float);
     const uint32_t dim = dim_;
-    return store_.Rmw(key, bytes, [dst, bytes, dim](char* v, uint32_t,
-                                                    bool exists) {
-      if (!exists) std::memcpy(v, dst, bytes);
-      else std::memcpy(dst, v, bytes);
-    });
+    return store_.Rmw(key, bytes,
+                      [key, grad, lr, dim](char* v, uint32_t, bool exists) {
+                        float* f = reinterpret_cast<float*>(v);
+                        if (!exists) InitEmbedding(key, dim, f);
+                        for (uint32_t d = 0; d < dim; ++d) f[d] -= lr * grad[d];
+                      });
   }
 
-  uint32_t dim_;
+ private:
+  explicit FasterBackend(const BackendConfig& config)
+      : BatchedEngineBackend(config.dim, config) {}
+
   FasterStore store_;
 };
 
 // RocksDB-style LSM baseline.
-class LsmBackend : public KvBackend {
+class LsmBackend : public BatchedEngineBackend {
  public:
   static Status Make(const BackendConfig& config,
                      std::unique_ptr<KvBackend>* out) {
-    auto b = std::unique_ptr<LsmBackend>(new LsmBackend(config.dim));
+    auto b = std::unique_ptr<LsmBackend>(new LsmBackend(config));
     LsmOptions o;
     o.dir = config.dir + "/lsm";
     // Split the memory budget the way RocksDB deployments do: a write
@@ -163,43 +452,32 @@ class LsmBackend : public KvBackend {
   }
 
   std::string name() const override { return "RocksDB-like"; }
-  uint32_t dim() const override { return dim_; }
 
-  Status GetEmbedding(Key key, float* out) override {
+ protected:
+  Status ReadOne(Key key, float* out) override {
     std::string value;
-    Status s = store_.Get(key, &value);
-    if (s.IsNotFound()) return InitMissing(key, out);
-    MLKV_RETURN_NOT_OK(s);
+    MLKV_RETURN_NOT_OK(store_.Get(key, &value));
     std::memcpy(out, value.data(),
                 std::min(value.size(), size_t{dim_} * sizeof(float)));
     return Status::OK();
   }
-  Status PutEmbedding(Key key, const float* value) override {
+  Status WriteOne(Key key, const float* value) override {
     return store_.Put(key, value, dim_ * sizeof(float));
   }
 
  private:
-  explicit LsmBackend(uint32_t dim) : dim_(dim) {}
+  explicit LsmBackend(const BackendConfig& config)
+      : BatchedEngineBackend(config.dim, config) {}
 
-  Status InitMissing(Key key, float* out) {
-    const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
-    Rng rng(Hash64(key ^ 0xE5B0C47Aull));
-    for (uint32_t d = 0; d < dim_; ++d) {
-      out[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
-    }
-    return store_.Put(key, out, dim_ * sizeof(float));
-  }
-
-  uint32_t dim_;
   LsmStore store_;
 };
 
 // WiredTiger-style B+tree baseline.
-class BtreeBackend : public KvBackend {
+class BtreeBackend : public BatchedEngineBackend {
  public:
   static Status Make(const BackendConfig& config,
                      std::unique_ptr<KvBackend>* out) {
-    auto b = std::unique_ptr<BtreeBackend>(new BtreeBackend(config.dim));
+    auto b = std::unique_ptr<BtreeBackend>(new BtreeBackend(config));
     BTreeOptions o;
     o.path = config.dir + "/btree.db";
     o.buffer_pool_bytes = config.buffer_bytes;
@@ -210,36 +488,25 @@ class BtreeBackend : public KvBackend {
   }
 
   std::string name() const override { return "WiredTiger-like"; }
-  uint32_t dim() const override { return dim_; }
 
-  Status GetEmbedding(Key key, float* out) override {
-    Status s = store_.Get(key, out);
-    if (s.IsNotFound()) return InitMissing(key, out);
-    return s;
-  }
-  Status PutEmbedding(Key key, const float* value) override {
+ protected:
+  Status ReadOne(Key key, float* out) override { return store_.Get(key, out); }
+  Status WriteOne(Key key, const float* value) override {
     return store_.Put(key, value);
   }
 
  private:
-  explicit BtreeBackend(uint32_t dim) : dim_(dim) {}
+  explicit BtreeBackend(const BackendConfig& config)
+      : BatchedEngineBackend(config.dim, config) {}
 
-  Status InitMissing(Key key, float* out) {
-    const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
-    Rng rng(Hash64(key ^ 0xE5B0C47Aull));
-    for (uint32_t d = 0; d < dim_; ++d) {
-      out[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
-    }
-    return store_.Put(key, out);
-  }
-
-  uint32_t dim_;
   BTreeStore store_;
 };
 
 // Pure in-memory hash map: stands in for the specialized frameworks'
 // proprietary in-memory embedding management (PERSIA/DGL/DGL-KE native) in
-// the Fig. 6 convergence comparison.
+// the Fig. 6 convergence comparison. Native batch loops: each Multi* call
+// takes its lock once per batch instead of once per key; no thread-pool
+// fan-out, since the lock — not I/O — is the bottleneck.
 class InMemoryBackend : public KvBackend {
  public:
   static Status Make(const BackendConfig& config,
@@ -251,30 +518,75 @@ class InMemoryBackend : public KvBackend {
   std::string name() const override { return "InMemory"; }
   uint32_t dim() const override { return dim_; }
 
-  Status GetEmbedding(Key key, float* out) override {
+  BatchResult MultiGet(std::span<const Key> keys, float* out,
+                       const MultiGetOptions& options) override {
+    BatchResult result(keys.size());
+    std::vector<size_t> misses;
     {
       std::shared_lock lk(mu_);
-      auto it = map_.find(key);
-      if (it != map_.end()) {
-        std::copy(it->second.begin(), it->second.end(), out);
-        return Status::OK();
+      for (size_t i = 0; i < keys.size(); ++i) {
+        const auto it = map_.find(keys[i]);
+        if (it != map_.end()) {
+          std::copy(it->second.begin(), it->second.end(),
+                    out + i * size_t{dim_});
+          result.Record(i, Status::OK());
+        } else {
+          misses.push_back(i);
+        }
       }
     }
-    const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
-    Rng rng(Hash64(key ^ 0xE5B0C47Aull));
-    std::vector<float> v(dim_);
-    for (uint32_t d = 0; d < dim_; ++d) {
-      v[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
+    if (misses.empty()) return result;
+    if (!options.init_missing) {
+      for (const size_t i : misses) result.Record(i, Status::NotFound());
+      return result;
     }
-    std::copy(v.begin(), v.end(), out);
     std::unique_lock lk(mu_);
-    map_.emplace(key, std::move(v));
-    return Status::OK();
+    for (const size_t i : misses) {
+      float* dst = out + i * size_t{dim_};
+      const auto it = map_.find(keys[i]);  // may have appeared meanwhile
+      if (it != map_.end()) {
+        std::copy(it->second.begin(), it->second.end(), dst);
+        result.Record(i, Status::OK());
+        continue;
+      }
+      std::vector<float> v(dim_);
+      InitEmbedding(keys[i], dim_, v.data());
+      std::copy(v.begin(), v.end(), dst);
+      map_.emplace(keys[i], std::move(v));
+      result.RecordInitialized(i);
+    }
+    return result;
   }
-  Status PutEmbedding(Key key, const float* value) override {
+
+  BatchResult MultiPut(std::span<const Key> keys,
+                       const float* values) override {
+    BatchResult result(keys.size());
     std::unique_lock lk(mu_);
-    map_[key].assign(value, value + dim_);
-    return Status::OK();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const float* src = values + i * size_t{dim_};
+      map_[keys[i]].assign(src, src + dim_);
+      result.Record(i, Status::OK());
+    }
+    return result;
+  }
+
+  BatchResult MultiApplyGradient(std::span<const Key> keys, const float* grads,
+                                 float lr) override {
+    // One lock for the whole batch makes the apply atomic per batch —
+    // strictly stronger than the per-record atomicity MLKV offers.
+    BatchResult result(keys.size());
+    std::unique_lock lk(mu_);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto [it, fresh] = map_.try_emplace(keys[i]);
+      if (fresh) {
+        it->second.resize(dim_);
+        InitEmbedding(keys[i], dim_, it->second.data());
+      }
+      const float* g = grads + i * size_t{dim_};
+      for (uint32_t d = 0; d < dim_; ++d) it->second[d] -= lr * g[d];
+      result.Record(i, Status::OK());
+    }
+    return result;
   }
 
  private:
@@ -285,6 +597,55 @@ class InMemoryBackend : public KvBackend {
 };
 
 }  // namespace
+
+// Emulated batched gradient push for engines without a native override:
+// dedup + sum duplicate gradients (SGD is linear), one MultiGet, axpy, one
+// MultiPut over the keys that produced a value — exactly what integrating a
+// training framework with a stock KV store gives you, batch edition.
+BatchResult KvBackend::MultiApplyGradient(std::span<const Key> keys,
+                                          const float* grads, float lr) {
+  const uint32_t d = dim();
+  const DedupPlan plan(keys);
+  const size_t n = plan.unique.size();
+  const float* ugrads = grads;
+  std::vector<float> grad_sum;
+  if (plan.has_dupes) {
+    grad_sum.assign(n * size_t{d}, 0.0f);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      float* dst = &grad_sum[plan.slot_of[i] * size_t{d}];
+      const float* src = grads + i * size_t{d};
+      for (uint32_t k = 0; k < d; ++k) dst[k] += src[k];
+    }
+    ugrads = grad_sum.data();
+  }
+  std::vector<float> value(n * size_t{d});
+  const BatchResult got = MultiGet(plan.unique, value.data());
+  std::vector<Key> ok_keys;
+  std::vector<size_t> ok_slot;
+  for (size_t u = 0; u < n; ++u) {
+    if (got.codes[u] != Status::Code::kOk) continue;
+    float* v = &value[u * size_t{d}];
+    const float* g = ugrads + u * size_t{d};
+    for (uint32_t k = 0; k < d; ++k) v[k] -= lr * g[k];
+    ok_keys.push_back(plan.unique[u]);
+    ok_slot.push_back(u);
+  }
+  std::vector<float> put_values(ok_keys.size() * size_t{d});
+  for (size_t j = 0; j < ok_keys.size(); ++j) {
+    std::memcpy(&put_values[j * size_t{d}], &value[ok_slot[j] * size_t{d}],
+                d * sizeof(float));
+  }
+  const BatchResult put = MultiPut(ok_keys, put_values.data());
+  std::vector<Status::Code> ucodes = got.codes;
+  for (size_t j = 0; j < ok_keys.size(); ++j) {
+    if (put.codes[j] != Status::Code::kOk) ucodes[ok_slot[j]] = put.codes[j];
+  }
+  BatchResult result(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    result.Record(i, Status::FromCode(ucodes[plan.slot_of[i]]));
+  }
+  return result;
+}
 
 const char* BackendKindName(BackendKind kind) {
   switch (kind) {

@@ -5,14 +5,31 @@
 // backend with one flag and nothing else changes (the reusability claim of
 // Table I).
 //
+// The seam is batch-first: every caller — trainers, the serving path, the
+// YCSB drivers — naturally operates on a minibatch of sparse ids, so the
+// primary virtuals take key spans and report per-key outcomes in a
+// BatchResult instead of failing the whole call on the first problem.
+//
 // Semantics expected by trainers:
-//  * GetEmbedding: blocking read of a dim-float vector, honoring the
+//  * MultiGet: blocking read of keys.size() dim-float vectors, honoring the
 //    backend's consistency model (MLKV: bounded staleness; others: last
-//    write wins).
-//  * PutEmbedding: upsert of the updated vector.
+//    write wins). By default missing keys are initialized with the shared
+//    deterministic embedding bootstrap (per-key code kOk, counted in
+//    BatchResult::missing); per-key kBusy marks bounded-staleness aborts
+//    the caller may retry untracked.
+//  * MultiPut: upsert of the updated vectors. Duplicate keys within a batch
+//    resolve last-occurrence-wins.
+//  * MultiApplyGradient: value <- value - lr * grad per key, preferably as
+//    one atomic read-modify-write inside the engine (MLKV and FASTER use a
+//    fused Rmw; under ASP that closes the read-apply-write race a Get+Put
+//    pair has). Duplicate keys within a batch accumulate (SGD is linear in
+//    the gradient).
 //  * Lookahead: non-blocking hint that `keys` will be needed soon. Optional
 //    (no-op where the engine has no such mechanism — exactly the paper's
 //    point about baseline engines).
+//
+// The single-key methods (GetEmbedding & co.) remain as thin non-virtual
+// wrappers over the batched virtuals for tests and examples.
 #pragma once
 
 #include <cstdint>
@@ -21,10 +38,23 @@
 #include <string>
 #include <vector>
 
+#include "common/batch_result.h"
 #include "common/status.h"
 #include "kv/record.h"
 
 namespace mlkv {
+
+struct MultiGetOptions {
+  // Initialize absent keys deterministically from the key (the standard
+  // embedding-table bootstrap, identical across engines so convergence
+  // comparisons start from the same vectors). When false, absent keys keep
+  // code kNotFound and their output rows are untouched.
+  bool init_missing = true;
+  // Consistency-free read: must neither wait on nor advance any staleness
+  // state (evaluation passes, serving replicas). Engines without a
+  // staleness protocol treat this the same as a tracked read.
+  bool untracked = false;
+};
 
 class KvBackend {
  public:
@@ -33,27 +63,45 @@ class KvBackend {
   virtual std::string name() const = 0;
   virtual uint32_t dim() const = 0;
 
-  virtual Status GetEmbedding(Key key, float* out) = 0;
-  virtual Status PutEmbedding(Key key, const float* value) = 0;
+  // --- Batch-first primary surface ---
 
-  // Gradient push: value <- value - lr * grad, preferably as one atomic
-  // read-modify-write inside the engine (MLKV overrides with a fused Rmw;
-  // under ASP that closes the read-apply-write race a Get+Put pair has).
-  // The default emulates with Get+axpy+Put, which is also what integrating
-  // a training framework with a stock KV store gives you.
-  virtual Status ApplyGradient(Key key, const float* grad, float lr) {
-    std::vector<float> value(dim());
-    MLKV_RETURN_NOT_OK(GetEmbedding(key, value.data()));
-    for (uint32_t d = 0; d < dim(); ++d) value[d] -= lr * grad[d];
-    return PutEmbedding(key, value.data());
+  // Reads keys.size() vectors into `out` (keys.size() * dim() floats, row i
+  // for keys[i]). Rows whose per-key code is not kOk are unspecified.
+  virtual BatchResult MultiGet(std::span<const Key> keys, float* out,
+                               const MultiGetOptions& options = {}) = 0;
+
+  // Upserts keys.size() vectors from `values` (keys.size() * dim() floats).
+  virtual BatchResult MultiPut(std::span<const Key> keys,
+                               const float* values) = 0;
+
+  // Gradient push: value <- value - lr * grad per key. The base
+  // implementation emulates with MultiGet + axpy + MultiPut (deduplicating
+  // and summing duplicate keys first), which is also what integrating a
+  // training framework with a stock KV store gives you; every bundled
+  // engine overrides it with a native batched loop.
+  virtual BatchResult MultiApplyGradient(std::span<const Key> keys,
+                                         const float* grads, float lr);
+
+  // --- Single-key wrappers (tests / examples); not for hot paths ---
+
+  Status GetEmbedding(Key key, float* out) {
+    return MultiGet({&key, 1}, out).StatusAt(0);
+  }
+  Status PutEmbedding(Key key, const float* value) {
+    return MultiPut({&key, 1}, value).StatusAt(0);
+  }
+  Status ApplyGradient(Key key, const float* grad, float lr) {
+    return MultiApplyGradient({&key, 1}, grad, lr).StatusAt(0);
+  }
+  // Consistency-free single read (evaluation): still initializes missing
+  // keys, but never waits on or advances staleness state.
+  Status PeekEmbedding(Key key, float* out) {
+    MultiGetOptions options;
+    options.untracked = true;
+    return MultiGet({&key, 1}, out, options).StatusAt(0);
   }
 
-  // Consistency-free read for evaluation: must not wait on, or advance, any
-  // staleness state. Defaults to GetEmbedding for engines without a
-  // staleness protocol.
-  virtual Status PeekEmbedding(Key key, float* out) {
-    return GetEmbedding(key, out);
-  }
+  // --- Prefetch / accounting ---
 
   // Prefetch hint; default no-op (plain FASTER / RocksDB / WiredTiger).
   virtual Status Lookahead(std::span<const Key> keys) {
@@ -75,10 +123,17 @@ struct BackendConfig {
   uint32_t staleness_bound = 16;        // MLKV only
   size_t lookahead_threads = 2;         // MLKV only
   bool skip_promote_if_in_memory = true;
-  // Retries before a bounded Get gives up with Busy. Multi-worker BSP can
-  // deadlock on crossed key waits; the cap converts that into a counted,
-  // recoverable abort.
-  uint64_t busy_spin_limit = 1ull << 16;
+  // Spin iterations (index re-lookups, each yielding) before a bounded Get
+  // aborts with Busy; see kDefaultBusySpinLimit in kv/record.h.
+  uint64_t busy_spin_limit = kDefaultBusySpinLimit;
+  // Intra-batch parallelism for the I/O-bound baseline engines
+  // (FASTER/LSM/B-tree): each backend instance owns a ThreadPool of this
+  // many workers, shared across its Multi* calls, and fans large batches
+  // out across it. 0 runs batches inline. MLKV keeps its own async path
+  // (Lookahead); the in-memory engine is lock-bound, not I/O-bound.
+  size_t batch_threads = 0;
+  // Minimum keys per chunk before a batch fans out (amortizes the handoff).
+  size_t batch_min_chunk = 64;
 };
 
 enum class BackendKind { kMlkv, kFaster, kLsm, kBtree, kInMemory };

@@ -1,0 +1,110 @@
+// BatchResult: the per-key outcome report of one batched storage call.
+//
+// Batch-first interfaces (KvBackend::MultiGet/MultiPut/MultiApplyGradient,
+// EmbeddingTable's span APIs) serve every key they can instead of failing
+// the whole call on the first problem: a missing key, a bounded-staleness
+// abort, or an I/O error on one record must not discard the work done for
+// the rest of a 1000-key minibatch. Each call fills one BatchResult with a
+// Status code per input position plus summary counts, and the caller
+// decides per key — fall back to an untracked read for Busy, zero-fill for
+// NotFound, propagate hard errors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlkv {
+
+struct BatchResult {
+  // One code per input key, parallel to the call's key span. kOk means a
+  // value was served (or a write applied); for any other code the
+  // corresponding output row is unspecified.
+  std::vector<Status::Code> codes;
+
+  // Summary counts; found + missing + busy + failed == codes.size().
+  size_t found = 0;    // key was present and served / written
+  size_t missing = 0;  // key was absent. When the call initializes missing
+                       // keys, the code stays kOk (a value was served) but
+                       // the key still counts here — `missing` is "fresh
+                       // keys seen", found is "previously stored keys".
+  size_t busy = 0;     // bounded-staleness aborts (kBusy): retriable via an
+                       // untracked re-read
+  size_t failed = 0;   // hard errors (I/O, corruption, ...)
+
+  // First hard error encountered, for diagnostics (codes drop messages).
+  Status first_error;
+
+  BatchResult() = default;
+  explicit BatchResult(size_t n) { Reset(n); }
+
+  void Reset(size_t n) {
+    codes.assign(n, Status::Code::kOk);
+    found = missing = busy = failed = 0;
+    first_error = Status::OK();
+  }
+
+  size_t size() const { return codes.size(); }
+
+  // Records the outcome of key `i`.
+  void Record(size_t i, const Status& s) {
+    codes[i] = s.code();
+    if (s.ok()) {
+      ++found;
+    } else if (s.IsNotFound()) {
+      ++missing;
+    } else if (s.IsBusy()) {
+      ++busy;
+    } else {
+      if (failed == 0) first_error = s;
+      ++failed;
+    }
+  }
+
+  // Records key `i` as absent but served by deterministic initialization:
+  // the caller got a usable value (code kOk) from a key that had never been
+  // stored (counted missing).
+  void RecordInitialized(size_t i) {
+    codes[i] = Status::Code::kOk;
+    ++missing;
+  }
+
+  // Appends another result (the next contiguous chunk of the same batch).
+  void Append(const BatchResult& chunk) {
+    codes.insert(codes.end(), chunk.codes.begin(), chunk.codes.end());
+    found += chunk.found;
+    missing += chunk.missing;
+    busy += chunk.busy;
+    if (failed == 0 && chunk.failed > 0) first_error = chunk.first_error;
+    failed += chunk.failed;
+  }
+
+  // Every key produced a value / applied a write.
+  bool AllOk() const {
+    for (const Status::Code c : codes) {
+      if (c != Status::Code::kOk) return false;
+    }
+    return true;
+  }
+
+  // Reconstructs a Status for key `i` (messages survive only for the first
+  // hard error).
+  Status StatusAt(size_t i) const {
+    const Status::Code c = codes[i];
+    if (c == Status::Code::kOk) return Status::OK();
+    if (!first_error.ok() && first_error.code() == c) return first_error;
+    return Status::FromCode(c);
+  }
+
+  // Whole-call summary, severity-ordered: a hard error trumps Busy trumps
+  // NotFound. OK when every key was served.
+  Status status() const {
+    if (failed > 0) return first_error;
+    if (busy > 0) return Status::Busy("batch: staleness aborts");
+    if (!AllOk()) return Status::NotFound("batch: missing keys");
+    return Status::OK();
+  }
+};
+
+}  // namespace mlkv

@@ -1,0 +1,25 @@
+// Yield-then-sleep backoff for short waits on other threads' progress.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace mlkv {
+
+// Spins until `done()` returns true: yields first (the common case resolves
+// in microseconds), then backs off to short sleeps so a waiter on a loaded
+// or single-core machine cannot starve the very threads it waits for.
+template <typename Pred>
+void SpinWaitUntil(Pred&& done) {
+  uint64_t spins = 0;
+  while (!done()) {
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+}  // namespace mlkv

@@ -56,6 +56,12 @@ class Status {
     return Status(Code::kOutOfMemory, std::move(msg));
   }
 
+  // Rebuilds a Status from a bare code (e.g. a BatchResult entry).
+  static Status FromCode(Code code, std::string msg = "") {
+    if (code == Code::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
+
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsBusy() const { return code_ == Code::kBusy; }

@@ -146,6 +146,9 @@ Status FasterStore::AppendAndPublish(Key key, const void* value,
   if (value_size > 0 && value != nullptr) {
     std::memcpy(r->value(), value, value_size);
   }
+  // Record bytes are complete: release the append pin so page rolls may
+  // flush this frame again. (The pin guards the bytes, not publication.)
+  log_.EndAppend(addr);
   // Publish: release-CAS makes all fields above visible to chain walkers.
   Address e = expected;
   if (!index()->CompareExchange(key, e, addr)) {

@@ -45,8 +45,9 @@ struct FasterOptions {
   bool track_staleness = false;
   uint32_t staleness_bound = UINT32_MAX;
   // Get retries (index re-lookups) while waiting out the staleness bound
-  // before giving up with Status::Busy. Each retry yields the CPU.
-  uint64_t busy_spin_limit = 1ull << 22;
+  // before giving up with Status::Busy. Each retry yields the CPU. The
+  // default is shared across layers (kv/record.h).
+  uint64_t busy_spin_limit = kDefaultBusySpinLimit;
 
   // Promote records touched by cold Gets to the tail (FASTER's
   // "copy reads to tail"). Off by default; Lookahead drives promotion.

@@ -178,6 +178,10 @@ Status HybridLog::Allocate(uint32_t size, Address* address, char** memory) {
   tail_.store(t + size, std::memory_order_release);
   *address = t;
   *memory = FramePointer(t);
+  // Register the caller as a writer on this frame while the lock still
+  // excludes page rolls: until EndAppend(), no flush can snapshot (and no
+  // eviction can recycle) the frame under the half-written record.
+  frame_writers_[FrameOf(page)].fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

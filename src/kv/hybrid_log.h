@@ -28,6 +28,11 @@
 //   read-only boundary after registering; the flusher advances the boundary
 //   first and then waits for the count to drain, so a page is never flushed
 //   while a value write to it is in flight.
+// * Appenders hold the same per-frame registration from Allocate() until
+//   EndAppend(): a page roll elsewhere cannot flush (let alone recycle) a
+//   frame while a freshly allocated record in it is still being filled in —
+//   otherwise a preempted appender's half-written header could reach disk
+//   and sever the hash chain through it.
 #pragma once
 
 #include <atomic>
@@ -84,8 +89,13 @@ class HybridLog {
 
   // Allocates `size` bytes (8-aligned) at the tail; may synchronously flush
   // and evict pages when rolling to a new page. Returns the address, and a
-  // raw pointer to the (mutable-region) bytes.
+  // raw pointer to the (mutable-region) bytes. On success the caller holds
+  // an append registration on the frame and MUST call EndAppend(*address)
+  // once the bytes are fully written; flushes of the page wait for it.
   Status Allocate(uint32_t size, Address* address, char** memory);
+
+  // Releases the append registration taken by Allocate().
+  void EndAppend(Address a) { EndInPlaceWrite(a); }
 
   // Raw pointer to an in-memory address. Only safe for the mutable region
   // (frames there are never evicted); callers in the read-only region must

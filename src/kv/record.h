@@ -24,6 +24,14 @@ using Address = uint64_t;
 
 inline constexpr Address kInvalidAddress = 0;
 
+// Default number of bounded-Get retries — index re-lookups, each yielding
+// the CPU — before a staleness wait gives up with Status::Busy. Multi-worker
+// BSP can deadlock on crossed key waits; the cap converts that into a
+// counted, recoverable abort (~65k yields, i.e. milliseconds of wall time).
+// Shared by FasterOptions, MlkvOptions, and BackendConfig so every layer
+// aborts on the same budget.
+inline constexpr uint64_t kDefaultBusySpinLimit = 1ull << 16;
+
 // Control-word bit manipulation. Plain functions over uint64_t so the same
 // helpers serve atomic CAS loops and offline record inspection.
 struct ControlWord {

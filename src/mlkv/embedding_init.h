@@ -1,0 +1,25 @@
+// The shared embedding bootstrap: scaled-uniform values derived from the
+// key alone, so every engine — and every thread racing on the same key —
+// produces the identical vector and convergence comparisons start from the
+// same model. EmbeddingTable::GetOrInit, the baseline backend adapters,
+// and the conformance tests all share this one derivation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "kv/record.h"
+
+namespace mlkv {
+
+inline void InitEmbedding(Key key, uint32_t dim, float* out) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
+  Rng rng(Hash64(key ^ 0xE5B0C47Aull));
+  for (uint32_t d = 0; d < dim; ++d) {
+    out[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
+  }
+}
+
+}  // namespace mlkv

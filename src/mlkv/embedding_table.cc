@@ -4,8 +4,10 @@
 #include <cstring>
 #include <thread>
 
+#include "common/spin_wait.h"
 #include "io/file_device.h"
 #include "kv/log_iterator.h"
+#include "mlkv/embedding_init.h"
 
 namespace mlkv {
 
@@ -22,34 +24,56 @@ struct ExportHeader {
 
 }  // namespace
 
-Status EmbeddingTable::Get(std::span<const Key> keys, float* out) {
-  const uint32_t bytes = value_bytes();
-  for (size_t i = 0; i < keys.size(); ++i) {
-    MLKV_RETURN_NOT_OK(
-        store_->Read(keys[i], out + i * dim_, bytes, nullptr,
-                     staleness_bound_));
+namespace {
+
+// Per-key epilogue shared by the span APIs: with a BatchResult sink the
+// call records and keeps going (batch-first contract); without one it
+// fail-fasts like the original single-status API. Returns true when the
+// caller should return `s` immediately.
+bool FinishKey(BatchResult* result, size_t i, const Status& s, Status* out) {
+  if (result != nullptr) {
+    result->Record(i, s);
+    return false;
   }
-  return Status::OK();
+  if (!s.ok()) {
+    *out = s;
+    return true;
+  }
+  return false;
 }
 
-Status EmbeddingTable::GetOrInit(std::span<const Key> keys, float* out) {
+}  // namespace
+
+Status EmbeddingTable::Get(std::span<const Key> keys, float* out,
+                           BatchResult* result) {
+  if (result != nullptr) result->Reset(keys.size());
+  const uint32_t bytes = value_bytes();
+  Status fail;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Status s = store_->Read(keys[i], out + i * dim_, bytes, nullptr,
+                                  staleness_bound_);
+    if (FinishKey(result, i, s, &fail)) return fail;
+  }
+  return result != nullptr ? result->first_error : Status::OK();
+}
+
+Status EmbeddingTable::GetOrInit(std::span<const Key> keys, float* out,
+                                 BatchResult* result) {
+  if (result != nullptr) result->Reset(keys.size());
   const uint32_t emb_bytes = value_bytes();
   const uint32_t rec_bytes = record_bytes();
-  const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+  Status fail;
   for (size_t i = 0; i < keys.size(); ++i) {
     const Key key = keys[i];
     Status s = store_->Read(key, out + i * dim_, emb_bytes, nullptr,
                             staleness_bound_);
     if (s.IsNotFound()) {
-      // First touch: initialize deterministically from the key so all
-      // threads racing on the same key produce the same vector. Optimizer
-      // state starts all-zero — the correct initial value for every kind —
-      // which the zero-filled Rmw scratch provides for free.
+      // First touch: the shared deterministic bootstrap, so all threads
+      // racing on the same key produce the same vector. Optimizer state
+      // starts all-zero — the correct initial value for every kind — which
+      // the zero-filled Rmw scratch provides for free.
       float* dst = out + i * dim_;
-      Rng rng(Hash64(key ^ 0xE5B0C47Aull));
-      for (uint32_t d = 0; d < dim_; ++d) {
-        dst[d] = static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale;
-      }
+      InitEmbedding(key, dim_, dst);
       // Rmw keeps a concurrent initializer from double-inserting: only the
       // missing case writes, and losers retry and observe the winner.
       s = store_->Rmw(key, rec_bytes,
@@ -60,48 +84,104 @@ Status EmbeddingTable::GetOrInit(std::span<const Key> keys, float* out) {
                           std::memcpy(dst, value, emb_bytes);
                         }
                       });
+      if (s.ok() && result != nullptr) {
+        result->RecordInitialized(i);
+        continue;
+      }
     }
-    MLKV_RETURN_NOT_OK(s);
+    if (FinishKey(result, i, s, &fail)) return fail;
   }
-  return Status::OK();
+  return result != nullptr ? result->first_error : Status::OK();
 }
 
-Status EmbeddingTable::Put(std::span<const Key> keys, const float* values) {
+Status EmbeddingTable::Peek(std::span<const Key> keys, float* out,
+                            BatchResult* result) {
+  if (result != nullptr) result->Reset(keys.size());
+  const uint32_t bytes = value_bytes();
+  Status fail;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Status s = store_->Peek(keys[i], out + i * dim_, bytes);
+    if (FinishKey(result, i, s, &fail)) return fail;
+  }
+  return result != nullptr ? result->first_error : Status::OK();
+}
+
+Status EmbeddingTable::PeekOrInit(std::span<const Key> keys, float* out,
+                                  BatchResult* result) {
+  if (result != nullptr) result->Reset(keys.size());
   const uint32_t emb_bytes = value_bytes();
   const uint32_t rec_bytes = record_bytes();
+  Status fail;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Key key = keys[i];
+    float* dst = out + i * dim_;
+    Status s = store_->Peek(key, dst, emb_bytes);
+    if (s.IsNotFound()) {
+      InitEmbedding(key, dim_, dst);
+      // Rmw creates the record if still absent; a concurrent creator wins
+      // and we adopt its value. No tracked read anywhere on this path.
+      s = store_->Rmw(key, rec_bytes,
+                      [&](char* value, uint32_t, bool exists) {
+                        if (!exists) {
+                          std::memcpy(value, dst, emb_bytes);
+                        } else {
+                          std::memcpy(dst, value, emb_bytes);
+                        }
+                      });
+      if (s.ok() && result != nullptr) {
+        result->RecordInitialized(i);
+        continue;
+      }
+    }
+    if (FinishKey(result, i, s, &fail)) return fail;
+  }
+  return result != nullptr ? result->first_error : Status::OK();
+}
+
+Status EmbeddingTable::Put(std::span<const Key> keys, const float* values,
+                           BatchResult* result) {
+  if (result != nullptr) result->Reset(keys.size());
+  const uint32_t emb_bytes = value_bytes();
+  const uint32_t rec_bytes = record_bytes();
+  Status fail;
   if (rec_bytes == emb_bytes) {
     // Stateless layout: a Put is a plain upsert.
     for (size_t i = 0; i < keys.size(); ++i) {
-      MLKV_RETURN_NOT_OK(
-          store_->Upsert(keys[i], values + i * dim_, emb_bytes));
+      const Status s = store_->Upsert(keys[i], values + i * dim_, emb_bytes);
+      if (FinishKey(result, i, s, &fail)) return fail;
     }
-    return Status::OK();
+    return result != nullptr ? result->first_error : Status::OK();
   }
   // Fused-state layout: overwrite the embedding floats, keep the optimizer
   // slots (zero for fresh keys, courtesy of the Rmw scratch).
   for (size_t i = 0; i < keys.size(); ++i) {
     const float* src = values + i * dim_;
-    MLKV_RETURN_NOT_OK(store_->Rmw(
+    const Status s = store_->Rmw(
         keys[i], rec_bytes, [src, emb_bytes](char* value, uint32_t, bool) {
           std::memcpy(value, src, emb_bytes);
-        }));
+        });
+    if (FinishKey(result, i, s, &fail)) return fail;
   }
-  return Status::OK();
+  return result != nullptr ? result->first_error : Status::OK();
 }
 
 Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
-                                      const float* grads, float lr) {
+                                      const float* grads, float lr,
+                                      BatchResult* result) {
+  if (result != nullptr) result->Reset(keys.size());
   const uint32_t rec_bytes = record_bytes();
   const uint32_t dim = dim_;
+  Status fail;
   for (size_t i = 0; i < keys.size(); ++i) {
     const float* g = grads + i * dim;
-    MLKV_RETURN_NOT_OK(store_->Rmw(
+    const Status s = store_->Rmw(
         keys[i], rec_bytes, [g, dim, lr](char* value, uint32_t, bool) {
           float* v = reinterpret_cast<float*>(value);
           for (uint32_t d = 0; d < dim; ++d) v[d] -= lr * g[d];
-        }));
+        });
+    if (FinishKey(result, i, s, &fail)) return fail;
   }
-  return Status::OK();
+  return result != nullptr ? result->first_error : Status::OK();
 }
 
 Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
@@ -157,9 +237,9 @@ Status EmbeddingTable::Lookahead(std::span<const Key> keys, LookaheadDest dest,
 }
 
 void EmbeddingTable::WaitLookahead() {
-  while (pending_lookaheads_.load(std::memory_order_acquire) != 0) {
-    std::this_thread::yield();
-  }
+  SpinWaitUntil([this] {
+    return pending_lookaheads_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 Status EmbeddingTable::Export(const std::string& path) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/batch_result.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -47,24 +48,49 @@ class EmbeddingTable {
     return OptimizerValueBytes(optimizer_.kind, dim_);
   }
 
+  // Each span API takes an optional BatchResult sink. Without one the call
+  // fails fast on the first per-key error (the original contract). With
+  // one, the call serves every key it can, records a per-key Status code
+  // plus found/missing/busy counts, and returns the first hard error (OK
+  // when every problem was a NotFound or Busy) — the batch-first contract
+  // the KvBackend seam builds on.
+
   // Fetches embeddings for `keys`; `out` must hold keys.size()*dim floats.
-  // Missing keys return NotFound (the whole call fails fast).
-  Status Get(std::span<const Key> keys, float* out);
+  // Missing keys are NotFound.
+  Status Get(std::span<const Key> keys, float* out,
+             BatchResult* result = nullptr);
 
   // Fetches embeddings, initializing missing keys with scaled-uniform
   // random values (the standard embedding-table bootstrap). Thread-safe.
-  Status GetOrInit(std::span<const Key> keys, float* out);
+  // Initialized keys record code kOk but count as missing.
+  Status GetOrInit(std::span<const Key> keys, float* out,
+                   BatchResult* result = nullptr);
+
+  // Untracked batched read (serving / evaluation): neither waits on nor
+  // advances any staleness state, never initializes. Missing keys are
+  // NotFound per key.
+  Status Peek(std::span<const Key> keys, float* out,
+              BatchResult* result = nullptr);
+
+  // Untracked read that still bootstraps never-stored keys: like GetOrInit
+  // but without the tracked read, so it never waits on (or advances) an
+  // existing record's staleness clock — the only write is the first-touch
+  // Rmw that creates the record. The evaluation/serving flavor of the
+  // bootstrap contract.
+  Status PeekOrInit(std::span<const Key> keys, float* out,
+                    BatchResult* result = nullptr);
 
   // Upserts embeddings; `values` holds keys.size()*dim floats. When the
   // table carries fused optimizer state, the state floats of existing
   // records are preserved (the Put becomes a per-record atomic Rmw).
-  Status Put(std::span<const Key> keys, const float* values);
+  Status Put(std::span<const Key> keys, const float* values,
+             BatchResult* result = nullptr);
 
   // Applies SGD-style updates in-store: v <- v - lr * grad. Uses Rmw so the
   // read-modify-write is atomic per record even under ASP training. Ignores
   // the table's optimizer config (but still preserves its state floats).
   Status ApplyGradients(std::span<const Key> keys, const float* grads,
-                        float lr);
+                        float lr, BatchResult* result = nullptr);
 
   // Applies the table's configured optimizer (paper Fig. 3 line 18,
   // `emb_optimizer` fused into the store): one atomic Rmw per record that

@@ -8,15 +8,18 @@
 //   table->Put(keys, updated_values);        // backward pass
 //   table->Lookahead(next_batch_keys);       // hide future disk accesses
 //
-// Staleness bound 0 trains in BSP mode, kAspBound (INT64_MAX-like) in ASP
-// mode, anything between in SSP mode (paper §III-C1). Each table owns its
-// own log-structured store; Lookahead work is executed on a shared
-// background thread pool.
+// Staleness bound 0 trains in BSP mode, kAspBound (UINT32_MAX - 1, the
+// largest admissible value of the 32-bit staleness counter — effectively
+// unbounded) in ASP mode, anything between in SSP mode (paper §III-C1).
+// Each table owns its own log-structured store; Lookahead work is executed
+// on a shared background thread pool.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -35,13 +38,30 @@ struct MlkvOptions {
   uint64_t mem_size = 64ull << 20;     // per-table in-memory buffer
   double mutable_fraction = 0.5;
   size_t lookahead_threads = 2;
-  uint64_t busy_spin_limit = 1ull << 22;
+  // Spin iterations before a bounded Get aborts with Busy (kv/record.h).
+  uint64_t busy_spin_limit = kDefaultBusySpinLimit;
   bool skip_promote_if_in_memory = true;  // DESIGN.md ablation D2
 };
 
 // Consistency presets (paper §III-C1).
 inline constexpr uint32_t kBspBound = 0;
-inline constexpr uint32_t kAspBound = UINT32_MAX - 1;  // "infinity"
+inline constexpr uint32_t kAspBound = UINT32_MAX - 1;  // effectively unbounded
+
+// kAspBound must stay one below the staleness counter's saturation value:
+// the counter is the low 32 bits of the record control word (a uint32_t
+// that saturates at UINT32_MAX), and FasterStore::Read() reserves
+// UINT32_MAX as its "use the store-level bound" sentinel, so UINT32_MAX - 1
+// is the largest bound that admits every reachable counter value.
+static_assert(
+    std::is_same_v<decltype(FasterOptions::staleness_bound), uint32_t>,
+    "staleness bounds are 32-bit; update kAspBound if the counter widens");
+static_assert(
+    kAspBound ==
+        std::numeric_limits<decltype(FasterOptions::staleness_bound)>::max() -
+            1,
+    "kAspBound must track the staleness-counter type in faster_store.h");
+static_assert(kAspBound == ControlWord::kStalenessMask - 1,
+              "kAspBound must track the control-word staleness field");
 
 class Mlkv {
  public:

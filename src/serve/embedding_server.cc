@@ -16,29 +16,43 @@ Status EmbeddingServer::Lookup(std::span<const Key> keys, float* out) {
   const StopWatch watch;
   const uint32_t dim = table_->dim();
   const uint32_t emb_bytes = table_->value_bytes();
-  FasterStore* store = table_->store();
   uint64_t cache_hits = 0, store_hits = 0, missing = 0;
+
+  // Pass 1: serve straight from the cache, collecting misses.
+  std::vector<Key> miss_keys;
+  std::vector<uint32_t> miss_at;
   for (size_t i = 0; i < keys.size(); ++i) {
-    float* dst = out + i * dim;
-    if (cache_.Get(keys[i], dst)) {
+    if (cache_.Get(keys[i], out + i * dim)) {
       ++cache_hits;
-      continue;
+    } else {
+      miss_keys.push_back(keys[i]);
+      miss_at.push_back(static_cast<uint32_t>(i));
     }
-    // Peek: untracked read — serving must not consume a co-located
-    // trainer's staleness budget (see header).
-    const Status s = store->Peek(keys[i], dst, emb_bytes);
-    if (s.ok()) {
-      ++store_hits;
-      if (options_.cache_on_miss) cache_.Put(keys[i], dst);
-      continue;
-    }
-    if (!s.IsNotFound()) return s;
-    if (!options_.zero_fill_missing) {
-      return Status::NotFound("key " + std::to_string(keys[i]));
-    }
-    std::memset(dst, 0, emb_bytes);
-    ++missing;
   }
+
+  // Pass 2: one batched untracked read for everything the cache lacked —
+  // serving must not consume a co-located trainer's staleness budget (see
+  // header).
+  if (!miss_keys.empty()) {
+    std::vector<float> buf(miss_keys.size() * size_t{dim});
+    BatchResult from_store;
+    MLKV_RETURN_NOT_OK(table_->Peek(miss_keys, buf.data(), &from_store));
+    for (size_t j = 0; j < miss_keys.size(); ++j) {
+      float* dst = out + miss_at[j] * size_t{dim};
+      if (from_store.codes[j] == Status::Code::kOk) {
+        std::memcpy(dst, &buf[j * size_t{dim}], emb_bytes);
+        ++store_hits;
+        if (options_.cache_on_miss) cache_.Put(miss_keys[j], dst);
+        continue;
+      }
+      if (!options_.zero_fill_missing) {
+        return Status::NotFound("key " + std::to_string(miss_keys[j]));
+      }
+      std::memset(dst, 0, emb_bytes);
+      ++missing;
+    }
+  }
+
   lookups_.fetch_add(keys.size(), std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
   cache_hits_.fetch_add(cache_hits, std::memory_order_relaxed);
@@ -49,15 +63,18 @@ Status EmbeddingServer::Lookup(std::span<const Key> keys, float* out) {
 }
 
 Status EmbeddingServer::Warm(std::span<const Key> keys) {
-  const uint32_t emb_bytes = table_->value_bytes();
-  std::vector<float> value(table_->dim());
-  FasterStore* store = table_->store();
-  for (const Key key : keys) {
-    const Status s = store->Peek(key, value.data(), emb_bytes);
-    if (s.ok()) {
-      cache_.Put(key, value.data());
-    } else if (!s.IsNotFound()) {
-      return s;
+  const uint32_t dim = table_->dim();
+  constexpr size_t kChunk = 4096;
+  std::vector<float> buf(std::min(keys.size(), kChunk) * size_t{dim});
+  for (size_t base = 0; base < keys.size(); base += kChunk) {
+    const std::span<const Key> chunk = keys.subspan(
+        base, std::min(kChunk, keys.size() - base));
+    BatchResult from_store;
+    MLKV_RETURN_NOT_OK(table_->Peek(chunk, buf.data(), &from_store));
+    for (size_t j = 0; j < chunk.size(); ++j) {
+      if (from_store.codes[j] == Status::Code::kOk) {
+        cache_.Put(chunk[j], &buf[j * size_t{dim}]);
+      }
     }
   }
   return Status::OK();

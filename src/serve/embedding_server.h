@@ -4,11 +4,15 @@
 // integration). Training produces the table; serving answers batched
 // embedding lookups against it:
 //
-//   lookup:  application cache  ->  store Peek (memory, then disk)
+//   lookup:  application cache  ->  one batched store Peek per request
+//            (memory, then disk) for whatever the cache lacked
 //
 // Peek is the right primitive for inference: it neither waits on nor
 // advances the bounded-staleness vector clocks, so a serving replica can
 // share a table with a live trainer without consuming its staleness budget.
+// The store round-trip is a single EmbeddingTable::Peek span call whose
+// per-key BatchResult codes let missing keys zero-fill (or fail the batch)
+// without discarding the keys that were found.
 //
 // The server owns an admission-controlled LRU cache (EmbeddingCache) and
 // per-request latency histograms; Warm() preloads a key set (e.g., the

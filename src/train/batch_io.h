@@ -1,0 +1,73 @@
+// Batched storage access shared by the trainers: every minibatch phase —
+// preload, forward-pass Get, evaluation Peek — is one KvBackend Multi*
+// call, with the trainers' standard per-key recovery policy (bounded-
+// staleness aborts fall back to one untracked re-read batch) in one place.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "backend/kv_backend.h"
+
+namespace mlkv {
+
+// Warms keys [0, n) in batched chunks: one MultiGet materializes (and
+// deterministically initializes) each chunk, one MultiPut commits it.
+inline void PreloadKeys(KvBackend* backend, Key n, size_t chunk = 4096) {
+  const uint32_t dim = backend->dim();
+  std::vector<Key> keys(std::min<size_t>(chunk, static_cast<size_t>(n)));
+  std::vector<float> buf(keys.size() * dim);
+  for (Key base = 0; base < n; base += chunk) {
+    const size_t len =
+        static_cast<size_t>(std::min<Key>(chunk, n - base));
+    for (size_t i = 0; i < len; ++i) keys[i] = base + i;
+    const std::span<const Key> span(keys.data(), len);
+    backend->MultiGet(span, buf.data());
+    backend->MultiPut(span, buf.data());
+  }
+  backend->WaitIdle();
+}
+
+// Forward-pass read of a deduplicated minibatch. Keys that abort on the
+// staleness bound (crossed waits between BSP workers resolve via a bounded
+// abort) are re-read consistency-free in one follow-up batch. Returns the
+// number of busy aborts (the trainers' busy_aborts metric).
+inline uint64_t MultiGetWithBusyFallback(KvBackend* backend,
+                                         std::span<const Key> keys,
+                                         float* out) {
+  const BatchResult r = backend->MultiGet(keys, out);
+  if (r.busy == 0) return 0;
+  const uint32_t dim = backend->dim();
+  std::vector<Key> busy_keys;
+  std::vector<size_t> at;
+  busy_keys.reserve(r.busy);
+  at.reserve(r.busy);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (r.codes[i] == Status::Code::kBusy) {
+      busy_keys.push_back(keys[i]);
+      at.push_back(i);
+    }
+  }
+  std::vector<float> buf(busy_keys.size() * size_t{dim});
+  MultiGetOptions untracked;
+  untracked.untracked = true;
+  backend->MultiGet(busy_keys, buf.data(), untracked);
+  for (size_t j = 0; j < busy_keys.size(); ++j) {
+    std::memcpy(out + at[j] * size_t{dim}, &buf[j * size_t{dim}],
+                dim * sizeof(float));
+  }
+  return r.busy;
+}
+
+// Evaluation read: untracked (never waits on or advances staleness state),
+// still bootstrapping never-seen keys so eval code always has a vector.
+inline void EvalPeek(KvBackend* backend, std::span<const Key> keys,
+                     float* out) {
+  MultiGetOptions options;
+  options.untracked = true;
+  backend->MultiGet(keys, out, options);
+}
+
+}  // namespace mlkv

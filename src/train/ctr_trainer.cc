@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "ml/ctr_models.h"
 #include "ml/metrics.h"
+#include "train/batch_io.h"
 
 namespace mlkv {
 
@@ -35,12 +36,7 @@ TrainResult CtrTrainer::Train() {
   std::mutex result_mu;
 
   if (options_.preload_keys > 0) {
-    std::vector<float> tmp(dim);
-    for (Key k = 0; k < options_.preload_keys; ++k) {
-      backend_->GetEmbedding(k, tmp.data()).ok();
-      backend_->PutEmbedding(k, tmp.data()).ok();
-    }
-    backend_->WaitIdle();
+    PreloadKeys(backend_, options_.preload_keys);
   }
 
   StopWatch wall;
@@ -105,18 +101,14 @@ TrainResult CtrTrainer::Train() {
         }
       }
 
-      // --- Embedding access (Get) ---
+      // --- Embedding access (Get): one batched call per minibatch ---
       uint64_t t0 = NowMicros();
       std::vector<float> unique_emb(unique_keys.size() * dim);
-      for (size_t u = 0; u < unique_keys.size(); ++u) {
-        Status s = backend_->GetEmbedding(unique_keys[u], &unique_emb[u * dim]);
-        if (s.IsBusy()) {
-          // Crossed waits between BSP workers resolve via a bounded abort:
-          // fall back to a consistency-free read (counted in busy_aborts).
-          backend_->PeekEmbedding(unique_keys[u], &unique_emb[u * dim]).ok();
-          std::lock_guard<std::mutex> lk(result_mu);
-          ++result.busy_aborts;
-        }
+      const uint64_t busy =
+          MultiGetWithBusyFallback(backend_, unique_keys, unique_emb.data());
+      if (busy > 0) {
+        std::lock_guard<std::mutex> lk(result_mu);
+        result.busy_aborts += busy;
       }
       uint64_t t1 = NowMicros();
       emb_sec += (t1 - t0) * 1e-6;
@@ -164,16 +156,17 @@ TrainResult CtrTrainer::Train() {
         }
       }
 
-      // --- Embedding update (Put: value - lr * grad, Fig. 3 line 17) ---
+      // --- Embedding update (Put: value - lr * grad, Fig. 3 line 17),
+      // one batched call per minibatch ---
       t0 = NowMicros();
-      std::vector<float> updated(dim);
+      std::vector<float> updated(unique_keys.size() * dim);
       for (size_t u = 0; u < unique_keys.size(); ++u) {
         for (uint32_t d = 0; d < dim; ++d) {
-          updated[d] = unique_emb[u * dim + d] -
-                       options_.embedding_lr * grad[u * dim + d];
+          updated[u * dim + d] = unique_emb[u * dim + d] -
+                                 options_.embedding_lr * grad[u * dim + d];
         }
-        backend_->PutEmbedding(unique_keys[u], updated.data()).ok();
       }
+      backend_->MultiPut(unique_keys, updated.data());
       t1 = NowMicros();
       emb_sec += (t1 - t0) * 1e-6;
 
@@ -184,14 +177,12 @@ TrainResult CtrTrainer::Train() {
           (batch + 1) % options_.eval_every == 0) {
         AucAccumulator auc;
         Tensor ex(1, input_dim);
-        std::vector<float> ev(dim);
         for (const CtrSample& s : eval_set) {
           ex.Zero();
           float* row = ex.row(0);
-          for (int f = 0; f < m; ++f) {
-            backend_->PeekEmbedding(s.keys[f], ev.data()).ok();
-            std::copy(ev.begin(), ev.end(), row + static_cast<size_t>(f) * dim);
-          }
+          // One untracked batched read per sample; the input row's
+          // field-major layout is exactly the MultiGet output layout.
+          EvalPeek(backend_, s.keys, row);
           for (int d = 0; d < dense_n; ++d) {
             row[static_cast<size_t>(m) * dim + d] = s.dense[d];
           }

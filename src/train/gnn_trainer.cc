@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "ml/metrics.h"
+#include "train/batch_io.h"
 
 namespace mlkv {
 
@@ -46,12 +47,7 @@ TrainResult GnnTrainer::Train() {
   std::mutex result_mu;
 
   if (options_.preload_keys > 0) {
-    std::vector<float> tmp(dim);
-    for (Key k = 0; k < options_.preload_keys; ++k) {
-      backend_->GetEmbedding(k, tmp.data()).ok();
-      backend_->PutEmbedding(k, tmp.data()).ok();
-    }
-    backend_->WaitIdle();
+    PreloadKeys(backend_, options_.preload_keys);
   }
 
   StopWatch wall;
@@ -137,16 +133,14 @@ TrainResult GnnTrainer::Train() {
         for (Key n : samples[i].neighbors) intern(n);
       }
 
-      // --- Get ---
+      // --- Get: one batched call per minibatch ---
       uint64_t t0 = NowMicros();
       std::vector<float> emb(unique.size() * dim);
-      for (size_t u = 0; u < unique.size(); ++u) {
-        Status s = backend_->GetEmbedding(unique[u], &emb[u * dim]);
-        if (s.IsBusy()) {
-          backend_->PeekEmbedding(unique[u], &emb[u * dim]).ok();
-          std::lock_guard<std::mutex> lk(result_mu);
-          ++result.busy_aborts;
-        }
+      const uint64_t busy =
+          MultiGetWithBusyFallback(backend_, unique, emb.data());
+      if (busy > 0) {
+        std::lock_guard<std::mutex> lk(result_mu);
+        result.busy_aborts += busy;
       }
       uint64_t t1 = NowMicros();
       emb_sec += (t1 - t0) * 1e-6;
@@ -197,16 +191,16 @@ TrainResult GnnTrainer::Train() {
         }
       }
 
-      // --- Put ---
+      // --- Put: one batched call per minibatch ---
       t0 = NowMicros();
-      std::vector<float> updated(dim);
+      std::vector<float> updated(unique.size() * dim);
       for (size_t u = 0; u < unique.size(); ++u) {
         for (uint32_t d = 0; d < dim; ++d) {
-          updated[d] = emb[u * dim + d] -
-                       options_.embedding_lr * grad[u * dim + d];
+          updated[u * dim + d] = emb[u * dim + d] -
+                                 options_.embedding_lr * grad[u * dim + d];
         }
-        backend_->PutEmbedding(unique[u], updated.data()).ok();
       }
+      backend_->MultiPut(unique, updated.data());
       t1 = NowMicros();
       emb_sec += (t1 - t0) * 1e-6;
 
@@ -222,13 +216,18 @@ TrainResult GnnTrainer::Train() {
         eb.self.Resize(1, dim);
         eb.neighbors.Resize(fanout, dim);
         eb.labels.resize(1);
-        std::vector<float> v(dim);
+        std::vector<Key> ekeys;
+        std::vector<float> ebuf;
         for (const NodeSample& s : eval_set) {
-          backend_->PeekEmbedding(s.node, v.data()).ok();
-          std::copy(v.begin(), v.end(), eb.self.row(0));
+          // One untracked batched read per eval node: self, then neighbors.
+          ekeys.assign(1, s.node);
+          ekeys.insert(ekeys.end(), s.neighbors.begin(), s.neighbors.end());
+          ebuf.resize(ekeys.size() * dim);
+          EvalPeek(backend_, ekeys, ebuf.data());
+          std::copy(ebuf.begin(), ebuf.begin() + dim, eb.self.row(0));
           for (int n = 0; n < fanout; ++n) {
-            backend_->PeekEmbedding(s.neighbors[n], v.data()).ok();
-            std::copy(v.begin(), v.end(), eb.neighbors.row(n));
+            const float* src = &ebuf[(1 + static_cast<size_t>(n)) * dim];
+            std::copy(src, src + dim, eb.neighbors.row(n));
           }
           const Tensor& logits = model->Forward(eb);
           int best = 0;

@@ -10,6 +10,7 @@
 #include "common/clock.h"
 #include "ml/layers.h"
 #include "ml/metrics.h"
+#include "train/batch_io.h"
 
 namespace mlkv {
 
@@ -37,12 +38,7 @@ TrainResult KgeTrainer::Train() {
   std::mutex result_mu;
 
   if (options_.preload_keys > 0) {
-    std::vector<float> tmp(dim);
-    for (Key k = 0; k < options_.preload_keys; ++k) {
-      backend_->GetEmbedding(k, tmp.data()).ok();
-      backend_->PutEmbedding(k, tmp.data()).ok();
-    }
-    backend_->WaitIdle();
+    PreloadKeys(backend_, options_.preload_keys);
   }
 
   StopWatch wall;
@@ -116,7 +112,6 @@ TrainResult KgeTrainer::Train() {
                        });
     }
 
-    std::vector<float> h(dim), t(dim), neg(dim);
     double emb_sec = 0, fwd_sec = 0, bwd_sec = 0;
 
     for (uint64_t batch = 0; batch < n_batches; ++batch) {
@@ -153,16 +148,14 @@ TrainResult KgeTrainer::Train() {
         }
       }
 
-      // --- Get ---
+      // --- Get: one batched call per minibatch ---
       uint64_t t0 = NowMicros();
       std::vector<float> emb(unique.size() * dim);
-      for (size_t u = 0; u < unique.size(); ++u) {
-        Status s = backend_->GetEmbedding(unique[u], &emb[u * dim]);
-        if (s.IsBusy()) {
-          backend_->PeekEmbedding(unique[u], &emb[u * dim]).ok();
-          std::lock_guard<std::mutex> lk(result_mu);
-          ++result.busy_aborts;
-        }
+      const uint64_t busy =
+          MultiGetWithBusyFallback(backend_, unique, emb.data());
+      if (busy > 0) {
+        std::lock_guard<std::mutex> lk(result_mu);
+        result.busy_aborts += busy;
       }
       uint64_t t1 = NowMicros();
       emb_sec += (t1 - t0) * 1e-6;
@@ -219,18 +212,18 @@ TrainResult KgeTrainer::Train() {
       fwd_sec += (t2 - t1) * 1e-6 * 0.5 + (t3 - t2) * 1e-6 * 0.5;
       bwd_sec += (t2 - t1) * 1e-6 * 0.5 + (t3 - t2) * 1e-6 * 0.5;
 
-      // --- Put (value - lr * grad) ---
+      // --- Put (value - lr * grad): one batched call per minibatch ---
       t0 = NowMicros();
       // Negative-sample gradients are already averaged (1/NEG) at scoring
       // time, so the raw learning rate applies here.
-      std::vector<float> updated(dim);
+      std::vector<float> updated(unique.size() * dim);
       const float scale = options_.lr;
       for (size_t u = 0; u < unique.size(); ++u) {
         for (uint32_t d = 0; d < dim; ++d) {
-          updated[d] = emb[u * dim + d] - scale * grad[u * dim + d];
+          updated[u * dim + d] = emb[u * dim + d] - scale * grad[u * dim + d];
         }
-        backend_->PutEmbedding(unique[u], updated.data()).ok();
       }
+      backend_->MultiPut(unique, updated.data());
       t1 = NowMicros();
       emb_sec += (t1 - t0) * 1e-6;
 
@@ -240,20 +233,26 @@ TrainResult KgeTrainer::Train() {
       if (wid == 0 && options_.eval_every > 0 &&
           (batch + 1) % options_.eval_every == 0) {
         HitsAtK hits(10);
-        std::vector<float> hv(dim), tv(dim), nv(dim);
+        std::vector<Key> ekeys;
+        std::vector<float> ebuf;
         std::lock_guard<std::mutex> lk(rel_mu);
         for (const auto& e : eval_set) {
-          backend_->PeekEmbedding(e.triple.head, hv.data()).ok();
-          backend_->PeekEmbedding(e.triple.tail, tv.data()).ok();
+          // One untracked batched read per eval item: head, tail, then the
+          // fixed negative candidates.
+          ekeys.assign({e.triple.head, e.triple.tail});
+          ekeys.insert(ekeys.end(), e.negatives.begin(), e.negatives.end());
+          ebuf.resize(ekeys.size() * dim);
+          EvalPeek(backend_, ekeys, ebuf.data());
+          const float* hv = ebuf.data();
+          const float* tv = ebuf.data() + dim;
           const std::vector<float>& rv = relations[e.triple.relation];
           const float true_score =
-              KgeScore(options_.model, hv.data(), rv.data(), tv.data(), dim);
+              KgeScore(options_.model, hv, rv.data(), tv, dim);
           std::vector<float> neg_scores;
           neg_scores.reserve(e.negatives.size());
-          for (const Key nk : e.negatives) {
-            backend_->PeekEmbedding(nk, nv.data()).ok();
-            neg_scores.push_back(KgeScore(options_.model, hv.data(),
-                                          rv.data(), nv.data(), dim));
+          for (size_t n = 0; n < e.negatives.size(); ++n) {
+            neg_scores.push_back(KgeScore(options_.model, hv, rv.data(),
+                                          ebuf.data() + (2 + n) * dim, dim));
           }
           hits.Add(true_score, neg_scores);
         }

@@ -162,21 +162,229 @@ TEST_P(BackendConformanceTest, ConcurrentApplyGradientLosesNothingOnMlkv) {
   }
 }
 
+// --- Batch-first surface: MultiGet / MultiPut / MultiApplyGradient ---
+
+TEST_P(BackendConformanceTest, MultiPutThenMultiGetRoundTrips) {
+  constexpr size_t kN = 64;
+  std::vector<Key> keys(kN);
+  std::vector<float> values(kN * 8);
+  for (size_t i = 0; i < kN; ++i) {
+    keys[i] = 100 + i * 3;
+    for (int d = 0; d < 8; ++d) values[i * 8 + d] = i * 10.0f + d;
+  }
+  const BatchResult put = backend_->MultiPut(keys, values.data());
+  EXPECT_TRUE(put.AllOk());
+  EXPECT_EQ(put.size(), kN);
+  std::vector<float> out(kN * 8);
+  const BatchResult got = backend_->MultiGet(keys, out.data());
+  EXPECT_TRUE(got.AllOk());
+  EXPECT_EQ(got.found, kN);
+  EXPECT_EQ(got.missing, 0u);
+  EXPECT_EQ(out, values);
+}
+
+TEST_P(BackendConformanceTest, MultiGetReportsPerKeyFoundAndMissing) {
+  std::vector<float> v(8, 1.5f);
+  ASSERT_TRUE(backend_->PutEmbedding(10, v.data()).ok());
+  ASSERT_TRUE(backend_->PutEmbedding(12, v.data()).ok());
+  // Key 11 is absent and appears twice: the duplicate-key path must also
+  // leave missing rows untouched.
+  std::vector<Key> keys = {10, 11, 12, 13, 11};
+  std::vector<float> out(keys.size() * 8, -7.0f);
+  MultiGetOptions no_init;
+  no_init.init_missing = false;
+  const BatchResult r = backend_->MultiGet(keys, out.data(), no_init);
+  EXPECT_EQ(r.codes[0], Status::Code::kOk);
+  EXPECT_EQ(r.codes[1], Status::Code::kNotFound);
+  EXPECT_EQ(r.codes[2], Status::Code::kOk);
+  EXPECT_EQ(r.codes[3], Status::Code::kNotFound);
+  EXPECT_EQ(r.codes[4], Status::Code::kNotFound);
+  EXPECT_EQ(r.found, 2u);
+  EXPECT_EQ(r.missing, 3u);
+  EXPECT_FALSE(r.AllOk());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_TRUE(r.StatusAt(1).IsNotFound());
+  // Found rows are served; missing rows stay untouched.
+  EXPECT_FLOAT_EQ(out[0], 1.5f);
+  EXPECT_FLOAT_EQ(out[8], -7.0f);
+  EXPECT_FLOAT_EQ(out[3 * 8], -7.0f);
+  EXPECT_FLOAT_EQ(out[4 * 8], -7.0f);
+}
+
+TEST_P(BackendConformanceTest, MultiGetInitializesMissingAndCountsThem) {
+  std::vector<float> v(8, 2.0f);
+  ASSERT_TRUE(backend_->PutEmbedding(20, v.data()).ok());
+  std::vector<Key> keys = {20, 21};
+  std::vector<float> out(keys.size() * 8);
+  const BatchResult r = backend_->MultiGet(keys, out.data());
+  EXPECT_TRUE(r.AllOk());
+  EXPECT_EQ(r.found, 1u);
+  EXPECT_EQ(r.missing, 1u) << "fresh key should count as missing";
+  // The bootstrap is the shared deterministic derivation.
+  Rng rng(Hash64(Key{21} ^ 0xE5B0C47Aull));
+  const float scale = 1.0f / std::sqrt(8.0f);
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_FLOAT_EQ(out[8 + d],
+                    static_cast<float>(rng.NextDouble() * 2.0 - 1.0) * scale);
+  }
+}
+
+TEST_P(BackendConformanceTest, MultiGetDuplicateKeysAgree) {
+  std::vector<Key> keys = {9, 9, 9};
+  std::vector<float> out(keys.size() * 8);
+  const BatchResult r = backend_->MultiGet(keys, out.data());
+  EXPECT_TRUE(r.AllOk());
+  EXPECT_EQ(r.missing, 1u) << "only the first occurrence bootstraps";
+  EXPECT_EQ(r.found, 2u);
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_FLOAT_EQ(out[d], out[8 + d]);
+    EXPECT_FLOAT_EQ(out[d], out[16 + d]);
+  }
+}
+
+TEST_P(BackendConformanceTest, MultiPutDuplicateKeysLastWins) {
+  std::vector<Key> keys = {4, 4};
+  std::vector<float> values(keys.size() * 8);
+  for (int d = 0; d < 8; ++d) {
+    values[d] = 1.0f;
+    values[8 + d] = 2.0f;
+  }
+  EXPECT_TRUE(backend_->MultiPut(keys, values.data()).AllOk());
+  std::vector<float> out(8);
+  ASSERT_TRUE(backend_->GetEmbedding(4, out.data()).ok());
+  for (int d = 0; d < 8; ++d) EXPECT_FLOAT_EQ(out[d], 2.0f);
+}
+
+TEST_P(BackendConformanceTest, MultiApplyGradientAccumulatesDuplicates) {
+  std::vector<float> zero(8, 0.0f);
+  ASSERT_TRUE(backend_->PutEmbedding(30, zero.data()).ok());
+  ASSERT_TRUE(backend_->PutEmbedding(31, zero.data()).ok());
+  // Key 30 appears twice with different gradients: SGD is linear, so the
+  // batch must apply their sum no matter how the engine dedups.
+  std::vector<Key> keys = {30, 31, 30};
+  std::vector<float> grads(keys.size() * 8);
+  for (int d = 0; d < 8; ++d) {
+    grads[d] = 1.0f;
+    grads[8 + d] = 2.0f;
+    grads[16 + d] = 3.0f;
+  }
+  EXPECT_TRUE(backend_->MultiApplyGradient(keys, grads.data(), 0.5f).AllOk());
+  std::vector<float> out(8);
+  ASSERT_TRUE(backend_->GetEmbedding(30, out.data()).ok());
+  for (int d = 0; d < 8; ++d) EXPECT_NEAR(out[d], -2.0f, 1e-5f);
+  ASSERT_TRUE(backend_->GetEmbedding(31, out.data()).ok());
+  for (int d = 0; d < 8; ++d) EXPECT_NEAR(out[d], -1.0f, 1e-5f);
+}
+
+TEST_P(BackendConformanceTest, UntrackedMultiGetServesEveryKey) {
+  // Untracked batch reads must serve values (bootstrapping fresh keys) on
+  // every backend; on MLKV they additionally leave the staleness clocks
+  // alone (asserted at the store layer by staleness_test).
+  std::vector<float> v = {3, 1, 4, 1, 5, 9, 2, 6};
+  ASSERT_TRUE(backend_->PutEmbedding(77, v.data()).ok());
+  std::vector<Key> keys = {77, 78};
+  std::vector<float> out(keys.size() * 8);
+  MultiGetOptions untracked;
+  untracked.untracked = true;
+  const BatchResult r = backend_->MultiGet(keys, out.data(), untracked);
+  EXPECT_TRUE(r.AllOk());
+  EXPECT_EQ(r.found, 1u);
+  EXPECT_EQ(r.missing, 1u);
+  for (int d = 0; d < 8; ++d) EXPECT_FLOAT_EQ(out[d], v[d]);
+}
+
+const char* KindName(const ::testing::TestParamInfo<BackendKind>& info) {
+  switch (info.param) {
+    case BackendKind::kMlkv: return "Mlkv";
+    case BackendKind::kFaster: return "Faster";
+    case BackendKind::kLsm: return "Lsm";
+    case BackendKind::kBtree: return "Btree";
+    case BackendKind::kInMemory: return "InMemory";
+  }
+  return "Unknown";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformanceTest,
     ::testing::Values(BackendKind::kMlkv, BackendKind::kFaster,
                       BackendKind::kLsm, BackendKind::kBtree,
                       BackendKind::kInMemory),
-    [](const ::testing::TestParamInfo<BackendKind>& info) {
-      switch (info.param) {
-        case BackendKind::kMlkv: return "Mlkv";
-        case BackendKind::kFaster: return "Faster";
-        case BackendKind::kLsm: return "Lsm";
-        case BackendKind::kBtree: return "Btree";
-        case BackendKind::kInMemory: return "InMemory";
-      }
-      return "Unknown";
-    });
+    KindName);
+
+// The I/O-bound engines fan large batches out in chunks over a per-backend
+// ThreadPool; the conformance contract must not change when they do.
+class BackendBatchParallelTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>();
+    BackendConfig cfg;
+    cfg.dir = dir_->File("backend");
+    cfg.dim = 8;
+    cfg.buffer_bytes = 4ull << 20;
+    cfg.staleness_bound = UINT32_MAX - 1;
+    cfg.batch_threads = 3;
+    cfg.batch_min_chunk = 16;  // force fan-out on modest batches
+    ASSERT_TRUE(MakeBackend(GetParam(), cfg, &backend_).ok());
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<KvBackend> backend_;
+};
+
+TEST_P(BackendBatchParallelTest, LargeBatchRoundTripsAcrossChunks) {
+  constexpr size_t kN = 1000;
+  std::vector<Key> keys(kN);
+  std::vector<float> values(kN * 8);
+  for (size_t i = 0; i < kN; ++i) {
+    keys[i] = i * 7 + 1;
+    for (int d = 0; d < 8; ++d) {
+      values[i * 8 + d] = static_cast<float>(i + d);
+    }
+  }
+  ASSERT_TRUE(backend_->MultiPut(keys, values.data()).AllOk());
+  std::vector<float> out(kN * 8);
+  const BatchResult r = backend_->MultiGet(keys, out.data());
+  EXPECT_TRUE(r.AllOk());
+  EXPECT_EQ(r.found, kN);
+  EXPECT_EQ(out, values);
+  std::vector<float> grads(kN * 8, 2.0f);
+  EXPECT_TRUE(backend_->MultiApplyGradient(keys, grads.data(), 0.25f).AllOk());
+  std::vector<float> one(8);
+  ASSERT_TRUE(backend_->GetEmbedding(keys[123], one.data()).ok());
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_NEAR(one[d], values[123 * 8 + d] - 0.5f, 1e-5f);
+  }
+}
+
+TEST_P(BackendBatchParallelTest, MixedBatchKeepsPerKeyCodesInInputOrder) {
+  // Seed every third key, then read a large no-init batch: per-key codes
+  // must line up with input positions even after chunked fan-out + stitch.
+  constexpr size_t kN = 600;
+  std::vector<float> v(8, 4.0f);
+  for (size_t i = 0; i < kN; i += 3) {
+    ASSERT_TRUE(backend_->PutEmbedding(i, v.data()).ok());
+  }
+  std::vector<Key> keys(kN);
+  for (size_t i = 0; i < kN; ++i) keys[i] = i;
+  std::vector<float> out(kN * 8);
+  MultiGetOptions no_init;
+  no_init.init_missing = false;
+  const BatchResult r = backend_->MultiGet(keys, out.data(), no_init);
+  ASSERT_EQ(r.size(), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(r.codes[i], i % 3 == 0 ? Status::Code::kOk
+                                     : Status::Code::kNotFound)
+        << "key " << i;
+  }
+  EXPECT_EQ(r.found, kN / 3);
+  EXPECT_EQ(r.missing, kN - kN / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(IoEngines, BackendBatchParallelTest,
+                         ::testing::Values(BackendKind::kFaster,
+                                           BackendKind::kLsm,
+                                           BackendKind::kBtree),
+                         KindName);
 
 }  // namespace
 }  // namespace mlkv

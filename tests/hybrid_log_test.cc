@@ -38,6 +38,7 @@ TEST(HybridLogTest, AllocateReturnsWritableMemory) {
   ASSERT_TRUE(log.Allocate(64, &a, &mem).ok());
   EXPECT_EQ(a, HybridLog::kLogBegin);
   std::memset(mem, 0xAB, 64);
+  log.EndAppend(a);
   char buf[64];
   ASSERT_TRUE(log.TryReadMemory(a, buf, 64));
   EXPECT_EQ(buf[0], static_cast<char>(0xAB));
@@ -53,6 +54,7 @@ TEST(HybridLogTest, AllocationsAreAlignedAndMonotonic) {
     Address a;
     char* mem;
     ASSERT_TRUE(log.Allocate(33, &a, &mem).ok());  // odd size: gets padded
+    log.EndAppend(a);
     EXPECT_EQ(a % 8, 0u);
     EXPECT_GT(a, prev);
     prev = a;
@@ -69,6 +71,7 @@ TEST(HybridLogTest, PageRollAdvancesReadOnlyBoundary) {
   char* mem;
   for (int i = 0; i < 6 * 4096 / 512; ++i) {
     ASSERT_TRUE(log.Allocate(512, &a, &mem).ok());
+    log.EndAppend(a);
   }
   EXPECT_GT(log.read_only_address(), HybridLog::kLogBegin);
   EXPECT_LE(log.read_only_address(), log.tail());
@@ -86,6 +89,7 @@ TEST(HybridLogTest, EvictionMovesHeadAndDiskReadsWork) {
     char* mem;
     ASSERT_TRUE(log.Allocate(128, &a, &mem).ok());
     std::memcpy(mem, &a, sizeof(a));
+    log.EndAppend(a);
     addrs.push_back(a);
   }
   EXPECT_GT(log.head_address(), HybridLog::kLogBegin);
@@ -117,12 +121,14 @@ TEST(HybridLogTest, InPlaceWriteRefusedBelowReadOnly) {
   Address first;
   char* mem;
   ASSERT_TRUE(log.Allocate(256, &first, &mem).ok());
+  log.EndAppend(first);
   ASSERT_TRUE(log.BeginInPlaceWrite(first));
   log.EndInPlaceWrite(first);
   // Push the boundary past `first`.
   for (int i = 0; i < 8 * 4096 / 256; ++i) {
     Address a;
     ASSERT_TRUE(log.Allocate(256, &a, &mem).ok());
+    log.EndAppend(a);
   }
   ASSERT_LT(first, log.read_only_address());
   EXPECT_FALSE(log.BeginInPlaceWrite(first));
@@ -136,6 +142,7 @@ TEST(HybridLogTest, FlushAllPersistsTailPage) {
   char* mem;
   ASSERT_TRUE(log.Allocate(64, &a, &mem).ok());
   std::memset(mem, 0x5A, 64);
+  log.EndAppend(a);
   ASSERT_TRUE(log.FlushAll().ok());
   // Read the bytes straight from the file at the logical offset.
   char buf[64];
@@ -152,6 +159,7 @@ TEST(HybridLogTest, RestoreBoundariesStartsFreshPage) {
   char* mem;
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(log.Allocate(100, &a, &mem).ok());
+    log.EndAppend(a);
   }
   const Address old_tail = log.tail();
   ASSERT_TRUE(log.FlushAll().ok());
@@ -161,6 +169,7 @@ TEST(HybridLogTest, RestoreBoundariesStartsFreshPage) {
   EXPECT_EQ(log.head_address(), log.tail());
   // New allocations work after restore.
   ASSERT_TRUE(log.Allocate(64, &a, &mem).ok());
+  log.EndAppend(a);
   EXPECT_EQ(a, log.tail() - 64);
 }
 
@@ -191,6 +200,7 @@ TEST(HybridLogTest, ShiftBeginAddressIsMonotonicAndClamped) {
   char* mem;
   for (int i = 0; i < 40; ++i) {
     ASSERT_TRUE(log.Allocate(1024, &a, &mem).ok());
+    log.EndAppend(a);
   }
   const Address ro = log.read_only_address();
   ASSERT_GT(ro, HybridLog::kLogBegin);
@@ -213,6 +223,7 @@ TEST(HybridLogTest, ShiftBeginKeepsFileSize) {
   char* mem;
   for (int i = 0; i < 60; ++i) {
     ASSERT_TRUE(log.Allocate(1024, &a, &mem).ok());
+    log.EndAppend(a);
   }
   const uint64_t size_before = log.device()->FileSize();
   ASSERT_TRUE(log.ShiftBeginAddress(log.read_only_address()).ok());

@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <thread>
 #include <vector>
 
+#include "backend/kv_backend.h"
 #include "common/random.h"
 #include "io/temp_dir.h"
 #include "kv/faster_store.h"
@@ -190,13 +192,17 @@ TEST(TableStressTest, TrainersPrefetchersAndGc) {
                           EmbeddingTable::LookaheadDest::kApplicationCache,
                           &cache)
                       .ok());
+      // Pace the flood: the queue stays busy without starving the workers
+      // (under TSan's serialized scheduler an unpaced submit loop can
+      // livelock against CompactStorage's WaitLookahead spin).
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
     table->WaitLookahead();
   });
   threads.emplace_back([&] {  // maintenance
     while (!stop.load(std::memory_order_acquire)) {
       ASSERT_TRUE(table->CompactStorage(64 * 4096).ok());
-      std::this_thread::yield();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   });
   for (int w = 0; w < kWorkers; ++w) threads[w].join();
@@ -270,6 +276,62 @@ TEST(TableStressTest, SharedKeysBoundedPipeline) {
   }
   EXPECT_NEAR(total, -0.001 * static_cast<double>(applied.load()) * 4,
               0.05);
+}
+
+// ------------------------------------------------------- backend level --
+
+// Concurrent batched traffic over the KvBackend seam with intra-batch
+// fan-out enabled: several caller threads issue overlapping MultiPut /
+// MultiGet / MultiApplyGradient batches while each backend spreads every
+// batch across its own ThreadPool. This is the race surface the batch API
+// introduced (chunked writers + shared engine state); run under TSan in CI.
+TEST(BackendBatchStressTest, ConcurrentParallelBatches) {
+  constexpr uint32_t kDim = 8;
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 40;
+  constexpr size_t kBatch = 256;
+  constexpr Key kKeySpace = 512;  // overlap guaranteed
+
+  for (const BackendKind kind :
+       {BackendKind::kFaster, BackendKind::kLsm, BackendKind::kBtree}) {
+    TempDir dir;
+    BackendConfig cfg;
+    cfg.dir = dir.File("b");
+    cfg.dim = kDim;
+    cfg.buffer_bytes = 2ull << 20;
+    cfg.batch_threads = 3;
+    cfg.batch_min_chunk = 16;
+    std::unique_ptr<KvBackend> backend;
+    ASSERT_TRUE(MakeBackend(kind, cfg, &backend).ok());
+
+    std::atomic<int> hard_failures{0};
+    std::vector<std::thread> callers;
+    for (int c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&, c] {
+        Rng rng(31 + c);
+        std::vector<Key> keys(kBatch);
+        std::vector<float> values(kBatch * kDim);
+        std::vector<float> out(kBatch * kDim);
+        for (int round = 0; round < kRounds; ++round) {
+          for (auto& k : keys) k = rng.Next() % kKeySpace;
+          for (auto& v : values) v = static_cast<float>(c);
+          const BatchResult put = backend->MultiPut(keys, values.data());
+          const BatchResult got = backend->MultiGet(keys, out.data());
+          const BatchResult applied =
+              backend->MultiApplyGradient(keys, values.data(), 0.001f);
+          if (put.failed + got.failed + applied.failed > 0) {
+            hard_failures.fetch_add(1);
+          }
+          // Every value read must be finite (no torn float reads).
+          for (const float v : out) {
+            if (!std::isfinite(v)) hard_failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : callers) t.join();
+    EXPECT_EQ(hard_failures.load(), 0) << BackendKindName(kind);
+  }
 }
 
 }  // namespace
