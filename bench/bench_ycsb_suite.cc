@@ -231,7 +231,8 @@ BackendKind KindFor(const std::string& name) {
 // amortizes (virtual dispatch, index re-walks, and — with batch_threads —
 // intra-batch parallelism for the I/O-bound engines).
 double RunBatchedWorkload(const std::string& engine_name, const RunConfig& rc,
-                          size_t batch_size, size_t batch_threads) {
+                          size_t batch_size, size_t batch_threads,
+                          uint32_t shard_bits) {
   TempDir dir;
   BackendConfig cfg;
   cfg.dir = dir.path() + "/backend";
@@ -240,6 +241,7 @@ double RunBatchedWorkload(const std::string& engine_name, const RunConfig& rc,
   cfg.index_slots = rc.num_keys;
   cfg.staleness_bound = UINT32_MAX - 1;  // ASP: clocks maintained, no waits
   cfg.batch_threads = batch_threads;
+  cfg.shard_bits = shard_bits;  // MLKV / FASTER scatter-gather fan-out
   std::unique_ptr<KvBackend> backend;
   if (!MakeBackend(KindFor(engine_name), cfg, &backend).ok()) std::exit(1);
   const uint32_t dim = backend->dim();
@@ -302,6 +304,8 @@ int main(int argc, char** argv) {
                 "  --keys=100000 --ops=50000 --threads=4\n"
                 "  --batch_size=N     pin the batch sweep to one size\n"
                 "  --batch_threads=2  intra-batch fan-out for I/O engines\n"
+                "  --shard_bits=2     MLKV/FASTER shard count (log2) in the\n"
+                "                     batch sweep (0 = single store)\n"
                 "  --no_batch_sweep   skip the KvBackend batch-size sweep\n");
     return 0;
   }
@@ -332,6 +336,8 @@ int main(int argc, char** argv) {
   if (!flags.Has("no_batch_sweep")) {
     const size_t batch_threads =
         static_cast<size_t>(flags.Int("batch_threads", 2));
+    const uint32_t shard_bits =
+        static_cast<uint32_t>(flags.Int("shard_bits", 2));
     std::vector<int64_t> batch_sizes;
     if (flags.Has("batch_size")) {
       batch_sizes = {flags.Int("batch_size", 256)};
@@ -342,15 +348,17 @@ int main(int argc, char** argv) {
     }
     Banner("Batch-size sweep: keys/s through the batched KvBackend seam");
     std::printf("50r/50u zipfian, one MultiGet/MultiPut per batch; "
-                "batch_threads=%zu for the I/O-bound engines\n\n",
-                batch_threads);
+                "batch_threads=%zu for the I/O-bound engines, "
+                "shard_bits=%u for MLKV/FASTER\n\n",
+                batch_threads, shard_bits);
     Table bt({"batch", "MLKV", "FASTER", "LSM", "BTree"});
     bt.PrintHeader();
     for (const int64_t batch : batch_sizes) {
       bt.Cell(batch);
       for (const char* engine : {"MLKV", "FASTER", "LSM", "BTree"}) {
-        bt.Cell(Human(RunBatchedWorkload(
-            engine, rc, static_cast<size_t>(batch), batch_threads)));
+        bt.Cell(Human(RunBatchedWorkload(engine, rc,
+                                         static_cast<size_t>(batch),
+                                         batch_threads, shard_bits)));
       }
       bt.EndRow();
     }

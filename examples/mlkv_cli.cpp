@@ -159,8 +159,8 @@ int main(int argc, char** argv) {
   if (!s.ok()) return Fail(s);
 
   if (cmd == "stats") {
-    const auto st = table->store()->stats();
-    const auto& log = table->store()->log();
+    ShardedStore* store = table->store();
+    const auto st = store->stats();
     std::printf("reads=%llu upserts=%llu rmws=%llu deletes=%llu\n",
                 (unsigned long long)st.reads, (unsigned long long)st.upserts,
                 (unsigned long long)st.rmws, (unsigned long long)st.deletes);
@@ -168,13 +168,17 @@ int main(int argc, char** argv) {
                 (unsigned long long)st.inplace_updates,
                 (unsigned long long)st.rcu_appends,
                 (unsigned long long)st.inserts);
-    std::printf("log: begin=%llu head=%llu read_only=%llu tail=%llu\n",
-                (unsigned long long)log.begin_address(),
-                (unsigned long long)log.head_address(),
-                (unsigned long long)log.read_only_address(),
-                (unsigned long long)log.tail());
-    std::printf("index slots=%llu\n",
-                (unsigned long long)table->store()->index_slots());
+    std::printf("shards=%zu index slots=%llu\n", store->num_shards(),
+                (unsigned long long)store->index_slots());
+    for (size_t i = 0; i < store->num_shards(); ++i) {
+      const auto& log = store->shard(i)->log();
+      std::printf("shard %02zu log: begin=%llu head=%llu read_only=%llu "
+                  "tail=%llu\n",
+                  i, (unsigned long long)log.begin_address(),
+                  (unsigned long long)log.head_address(),
+                  (unsigned long long)log.read_only_address(),
+                  (unsigned long long)log.tail());
+    }
     return 0;
   }
 
@@ -216,11 +220,14 @@ int main(int argc, char** argv) {
     const uint64_t limit =
         argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 20;
     uint64_t shown = 0;
-    for (LiveLogIterator it(table->store()); it.Valid() && shown < limit;
-         it.Next(), ++shown) {
-      std::printf("%-12llu ", (unsigned long long)it.meta().key);
-      PrintVector(reinterpret_cast<const float*>(it.value().data()),
-                  table->dim());
+    for (size_t sh = 0; sh < table->store()->num_shards() && shown < limit;
+         ++sh) {
+      for (LiveLogIterator it(table->store()->shard(sh));
+           it.Valid() && shown < limit; it.Next(), ++shown) {
+        std::printf("%-12llu ", (unsigned long long)it.meta().key);
+        PrintVector(reinterpret_cast<const float*>(it.value().data()),
+                    table->dim());
+      }
     }
     std::printf("(%llu shown)\n", (unsigned long long)shown);
     return 0;
@@ -228,8 +235,7 @@ int main(int argc, char** argv) {
 
   if (cmd == "compact") {
     CompactionResult r;
-    FasterStore* store = table->store();
-    s = store->Compact(store->log().read_only_address(), &r);
+    s = table->store()->CompactAll(&r);
     if (!s.ok()) return Fail(s);
     std::printf("scanned=%llu live_copied=%llu dead=%llu tombstones=%llu "
                 "new_begin=%llu\n",

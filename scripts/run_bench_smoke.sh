@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Smoke-run every benchmark binary with tiny iteration counts (--smoke; see
 # bench/bench_util.h). Catches "bench rotted" without paying bench runtimes.
+# Each bench's stdout is kept under <log_dir> so CI can publish the tables
+# (e.g. the fig2 shard-scaling sweep) as a per-PR artifact.
 #
-# Usage: scripts/run_bench_smoke.sh [build_dir]   (default: build)
+# Usage: scripts/run_bench_smoke.sh [build_dir] [log_dir]
+#        (defaults: build, <build_dir>/bench-smoke-logs)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
 bench_dir="${build_dir}/bench"
+log_dir="${2:-${build_dir}/bench-smoke-logs}"
 
 if [[ ! -d "${bench_dir}" ]]; then
   echo "error: ${bench_dir} not found — build with MLKV_BUILD_BENCH=ON first" >&2
   exit 1
 fi
+mkdir -p "${log_dir}"
 
 failed=0
 for bench in "${bench_dir}"/bench_*; do
@@ -25,9 +30,10 @@ for bench in "${bench_dir}"/bench_*; do
     args=(--smoke)
   fi
   echo "=== ${name} ${args[*]}"
-  if ! "${bench}" "${args[@]}" > /dev/null; then
+  if ! "${bench}" "${args[@]}" > "${log_dir}/${name}.txt"; then
     echo "FAILED: ${name}" >&2
     failed=1
   fi
 done
+echo "bench output tables: ${log_dir}"
 exit "${failed}"

@@ -28,6 +28,7 @@
 #include "common/spin_wait.h"
 #include "common/thread_pool.h"
 #include "kv/faster_store.h"
+#include "kv/sharded_store.h"
 #include "lsm/lsm_store.h"
 #include "mlkv/embedding_init.h"
 #include "mlkv/mlkv.h"
@@ -291,6 +292,8 @@ class MlkvBackend : public KvBackend {
     o.dir = config.dir + "/mlkv";
     o.index_slots = config.index_slots;
     o.mem_size = config.buffer_bytes;
+    o.shard_bits = config.shard_bits;
+    o.scatter_min_keys = std::max<size_t>(config.batch_min_chunk, 1);
     o.lookahead_threads = config.lookahead_threads;
     o.skip_promote_if_in_memory = config.skip_promote_if_in_memory;
     o.busy_spin_limit = config.busy_spin_limit;
@@ -303,6 +306,9 @@ class MlkvBackend : public KvBackend {
 
   std::string name() const override { return "MLKV"; }
   uint32_t dim() const override { return dim_; }
+  uint32_t shard_bits() const override {
+    return const_cast<EmbeddingTable*>(table_)->store()->shard_bits();
+  }
 
   BatchResult MultiGet(std::span<const Key> keys, float* out,
                        const MultiGetOptions& options) override {
@@ -347,18 +353,12 @@ class MlkvBackend : public KvBackend {
   void WaitIdle() override { table_->WaitLookahead(); }
 
   uint64_t device_bytes_read() const override {
-    return const_cast<EmbeddingTable*>(table_)
-        ->store()
-        ->mutable_log()
-        ->device()
-        ->bytes_read();
+    return const_cast<EmbeddingTable*>(table_)->store()->device_bytes_read();
   }
   uint64_t device_bytes_written() const override {
     return const_cast<EmbeddingTable*>(table_)
         ->store()
-        ->mutable_log()
-        ->device()
-        ->bytes_written();
+        ->device_bytes_written();
   }
 
  private:
@@ -369,68 +369,127 @@ class MlkvBackend : public KvBackend {
 };
 
 // Plain FASTER (staleness tracking off, no promotion): the strongest
-// baseline engine in the paper's Fig. 7. Gradient pushes use the store's
-// native Rmw, so applies are atomic per record here too.
-class FasterBackend : public BatchedEngineBackend {
+// baseline engine in the paper's Fig. 7, now over the same ShardedStore
+// core MLKV tables use. Batches route through shard-partitioned
+// scatter/gather instead of BatchedEngineBackend's generic contiguous
+// chunks: a sub-batch only ever touches one shard's index and log tail,
+// and same-key duplicates land in the same in-order sub-batch, so no
+// adapter-level dedup is needed — within one call a later occurrence
+// always runs after an earlier one (last-write-wins Puts, accumulating
+// gradient applies), exactly the sequential per-key semantics. Gradient
+// pushes use the store's native Rmw, so applies are atomic per record.
+class FasterBackend : public KvBackend {
  public:
   static Status Make(const BackendConfig& config,
                      std::unique_ptr<KvBackend>* out) {
     auto b = std::unique_ptr<FasterBackend>(new FasterBackend(config));
-    FasterOptions o;
-    o.path = config.dir + "/faster.log";
-    o.index_slots = config.index_slots;
-    o.mem_size = config.buffer_bytes;
-    o.track_staleness = false;
+    ShardedStoreOptions o;
+    o.store.path = config.dir + "/faster.log";
+    o.store.index_slots = config.index_slots;
+    o.store.mem_size = config.buffer_bytes;
+    o.store.track_staleness = false;
+    o.shard_bits = config.shard_bits;
+    o.pool = b->pool_.get();
+    o.parallel_min_keys = std::max<size_t>(config.batch_min_chunk, 1);
+    // batch_threads > 0 meant intra-batch fan-out before sharding; keep it
+    // for the unsharded configuration too.
+    o.chunk_single_shard = config.batch_threads > 0;
     MLKV_RETURN_NOT_OK(b->store_.Open(o));
     *out = std::move(b);
     return Status::OK();
   }
 
   std::string name() const override { return "FASTER"; }
+  uint32_t dim() const override { return dim_; }
+  uint32_t shard_bits() const override { return store_.shard_bits(); }
 
-  uint64_t device_bytes_read() const override {
-    return const_cast<FasterStore&>(store_).mutable_log()->device()
-        ->bytes_read();
-  }
-  uint64_t device_bytes_written() const override {
-    return const_cast<FasterStore&>(store_).mutable_log()->device()
-        ->bytes_written();
-  }
-
- protected:
-  Status ReadOne(Key key, float* out) override {
-    return store_.Read(key, out, dim_ * sizeof(float));
-  }
-  Status WriteOne(Key key, const float* value) override {
-    return store_.Upsert(key, value, dim_ * sizeof(float));
-  }
-  Status InitMissingOne(Key key, float* out) override {
-    // Rmw keeps a concurrent initializer from double-inserting: only the
-    // missing case writes, and losers adopt the winner's value.
+  BatchResult MultiGet(std::span<const Key> keys, float* out,
+                       const MultiGetOptions& options) override {
     const uint32_t bytes = dim_ * sizeof(float);
-    float* dst = out;
-    return store_.Rmw(key, bytes,
-                      [dst, bytes](char* v, uint32_t, bool exists) {
-                        if (!exists) std::memcpy(v, dst, bytes);
-                        else std::memcpy(dst, v, bytes);
-                      });
+    BatchResult result;
+    store_.MultiExecute(
+        keys,
+        [this, out, bytes, &options](FasterStore* shard, Key key, size_t i,
+                                     BatchResult* part, size_t pi) {
+          float* dst = out + i * size_t{dim_};
+          Status s = shard->Read(key, dst, bytes);
+          if (s.IsNotFound() && options.init_missing) {
+            InitEmbedding(key, dim_, dst);
+            // Rmw keeps a concurrent initializer from double-inserting:
+            // only the missing case writes, and losers adopt the winner.
+            s = shard->Rmw(key, bytes,
+                           [dst, bytes](char* v, uint32_t, bool exists) {
+                             if (!exists) std::memcpy(v, dst, bytes);
+                             else std::memcpy(dst, v, bytes);
+                           });
+            if (s.ok()) {
+              part->RecordInitialized(pi);
+              return;
+            }
+          }
+          part->Record(pi, s);
+        },
+        &result);
+    return result;
   }
-  Status ApplyOne(Key key, const float* grad, float lr) override {
+
+  BatchResult MultiPut(std::span<const Key> keys,
+                       const float* values) override {
+    const uint32_t bytes = dim_ * sizeof(float);
+    BatchResult result;
+    store_.MultiExecute(
+        keys,
+        [this, values, bytes](FasterStore* shard, Key key, size_t i,
+                              BatchResult* part, size_t pi) {
+          part->Record(pi,
+                       shard->Upsert(key, values + i * size_t{dim_}, bytes));
+        },
+        &result);
+    return result;
+  }
+
+  BatchResult MultiApplyGradient(std::span<const Key> keys, const float* grads,
+                                 float lr) override {
     const uint32_t bytes = dim_ * sizeof(float);
     const uint32_t dim = dim_;
-    return store_.Rmw(key, bytes,
-                      [key, grad, lr, dim](char* v, uint32_t, bool exists) {
-                        float* f = reinterpret_cast<float*>(v);
-                        if (!exists) InitEmbedding(key, dim, f);
-                        for (uint32_t d = 0; d < dim; ++d) f[d] -= lr * grad[d];
-                      });
+    BatchResult result;
+    store_.MultiExecute(
+        keys,
+        [grads, lr, dim, bytes](FasterStore* shard, Key key, size_t i,
+                                BatchResult* part, size_t pi) {
+          const float* grad = grads + i * size_t{dim};
+          part->Record(
+              pi, shard->Rmw(key, bytes,
+                             [key, grad, lr, dim](char* v, uint32_t,
+                                                  bool exists) {
+                               float* f = reinterpret_cast<float*>(v);
+                               if (!exists) InitEmbedding(key, dim, f);
+                               for (uint32_t d = 0; d < dim; ++d) {
+                                 f[d] -= lr * grad[d];
+                               }
+                             }));
+        },
+        &result);
+    return result;
+  }
+
+  uint64_t device_bytes_read() const override {
+    return store_.device_bytes_read();
+  }
+  uint64_t device_bytes_written() const override {
+    return store_.device_bytes_written();
   }
 
  private:
-  explicit FasterBackend(const BackendConfig& config)
-      : BatchedEngineBackend(config.dim, config) {}
+  explicit FasterBackend(const BackendConfig& config) : dim_(config.dim) {
+    if (config.batch_threads > 0) {
+      pool_ = std::make_unique<ThreadPool>(config.batch_threads);
+    }
+  }
 
-  FasterStore store_;
+  const uint32_t dim_;
+  std::unique_ptr<ThreadPool> pool_;  // declared before store_ (store uses it)
+  ShardedStore store_;
 };
 
 // RocksDB-style LSM baseline.

@@ -44,6 +44,11 @@
 
 namespace mlkv {
 
+// Sentinel for "derive the shard count from the backend itself"
+// (KvBackend::shard_bits()) in config structs that carry a shard-count
+// layout hint, so the hint cannot drift from the store's actual routing.
+inline constexpr uint32_t kAutoShardBits = UINT32_MAX;
+
 struct MultiGetOptions {
   // Initialize absent keys deterministically from the key (the standard
   // embedding-table bootstrap, identical across engines so convergence
@@ -62,6 +67,11 @@ class KvBackend {
 
   virtual std::string name() const = 0;
   virtual uint32_t dim() const = 0;
+  // log2 shard count of the engine's store (0 for unsharded engines).
+  // Callers that lay out batches shard-contiguously (train/batch_io.h's
+  // OrderKeysByShard) derive the mask from here so it can never drift from
+  // the store's actual routing.
+  virtual uint32_t shard_bits() const { return 0; }
 
   // --- Batch-first primary surface ---
 
@@ -120,6 +130,13 @@ struct BackendConfig {
   uint32_t dim = 16;         // embedding dimension
   uint64_t buffer_bytes = 64ull << 20;  // in-memory budget (the Fig. 7 knob)
   uint64_t index_slots = 1ull << 20;
+  // log2 shard count for the log-structured engines (MLKV tables and the
+  // FASTER baseline): each shard is an independent FasterStore (own index,
+  // log, epoch domain) under dir/shard-NN/; buffer_bytes and index_slots
+  // are totals split across shards. 0 = the legacy single-store layout;
+  // max 8 (ShardedStore::kMaxShardBits). Batches are scatter/gathered into
+  // per-shard sub-batches instead of generic contiguous chunks.
+  uint32_t shard_bits = 2;
   uint32_t staleness_bound = 16;        // MLKV only
   size_t lookahead_threads = 2;         // MLKV only
   bool skip_promote_if_in_memory = true;

@@ -18,6 +18,32 @@ inline uint64_t Hash64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Smallest power of two >= v (and >= 1). Shard counts and hash-index sizes
+// are rounded up with this so routing can always be a mask instead of a mod.
+inline uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Shard routing shared by every sharded structure (ShardedStore, the
+// embedding/block caches): `mask` is (power-of-two shard count) - 1 and
+// must fit in 16 bits (at most 65536 shards — callers clamp). Takes the
+// TOP hash bits on purpose: HashIndex consumes the low bits for slot
+// selection, so a shard choice made from the same low bits would leave
+// each shard's index using only 1/num_shards of its slots.
+inline uint64_t ShardOf(uint64_t hash, uint64_t mask) {
+  return (hash >> 48) & mask;
+}
+
+// Routing mask for a requested shard count: rounds up to a power of two
+// and clamps to ShardOf's 65536-shard ceiling (one place defines it).
+inline uint64_t ShardMask(uint64_t shards) {
+  if (shards == 0) shards = 1;
+  const uint64_t capped = RoundUpPow2(shards);
+  return (capped > (uint64_t{1} << 16) ? (uint64_t{1} << 16) : capped) - 1;
+}
+
 // FNV-1a 64-bit over bytes; used by baselines for string keys and by the
 // SSTable bloom filter (two independent probes derived from one hash).
 inline uint64_t HashBytes(const void* data, size_t n,

@@ -6,14 +6,6 @@
 
 namespace mlkv {
 
-namespace {
-uint64_t RoundUpPow2(uint64_t v) {
-  uint64_t p = 1;
-  while (p < v) p <<= 1;
-  return p;
-}
-}  // namespace
-
 HashIndex::HashIndex(uint64_t num_slots) {
   const uint64_t n = RoundUpPow2(num_slots < 16 ? 16 : num_slots);
   mask_ = n - 1;

@@ -17,11 +17,13 @@ namespace mlkv {
 
 class BlockCache {
  public:
+  // `shards` rounds up via ShardMask so routing is the shared mask-based
+  // ShardOf (common/hash.h) instead of a hash-mod.
   explicit BlockCache(uint64_t capacity_bytes, size_t shards = 16)
-      : shards_(shards == 0 ? 1 : shards) {
-    per_shard_capacity_ = capacity_bytes / shards_;
+      : shard_mask_(ShardMask(shards)) {
+    per_shard_capacity_ = capacity_bytes / (shard_mask_ + 1);
     if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
-    shard_data_ = std::vector<Shard>(shards_);
+    shard_data_ = std::vector<Shard>(shard_mask_ + 1);
   }
 
   using BlockId = std::pair<uint64_t, uint64_t>;  // (table_id, offset)
@@ -114,10 +116,10 @@ class BlockCache {
   }
 
   Shard& ShardFor(BlockId id) {
-    return shard_data_[Hash64(Pack(id)) % shards_];
+    return shard_data_[ShardOf(Hash64(Pack(id)), shard_mask_)];
   }
 
-  size_t shards_;
+  uint64_t shard_mask_;
   uint64_t per_shard_capacity_;
   std::vector<Shard> shard_data_;
 };

@@ -4,12 +4,14 @@
 // this cache; trainers consult it before going to the store.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "kv/record.h"
 
 namespace mlkv {
@@ -17,11 +19,13 @@ namespace mlkv {
 class EmbeddingCache {
  public:
   // `capacity` is the max number of cached vectors; `dim` their length.
+  // `shards` rounds up via ShardMask so routing is the shared mask-based
+  // ShardOf (common/hash.h) instead of a hash-mod.
   EmbeddingCache(size_t capacity, uint32_t dim, size_t shards = 16)
-      : dim_(dim), shards_(shards == 0 ? 1 : shards) {
-    per_shard_capacity_ = capacity / shards_;
+      : dim_(dim), shard_mask_(ShardMask(shards)) {
+    per_shard_capacity_ = capacity / (shard_mask_ + 1);
     if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
-    shard_data_ = std::vector<Shard>(shards_);
+    shard_data_ = std::vector<Shard>(shard_mask_ + 1);
   }
 
   uint32_t dim() const { return dim_; }
@@ -107,11 +111,11 @@ class EmbeddingCache {
   };
 
   Shard& ShardFor(Key key) {
-    return shard_data_[Hash64(key) % shards_];
+    return shard_data_[ShardOf(Hash64(key), shard_mask_)];
   }
 
   uint32_t dim_;
-  size_t shards_;
+  uint64_t shard_mask_;
   size_t per_shard_capacity_;
   std::vector<Shard> shard_data_;
 };

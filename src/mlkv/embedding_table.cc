@@ -24,164 +24,165 @@ struct ExportHeader {
 
 }  // namespace
 
-namespace {
-
-// Per-key epilogue shared by the span APIs: with a BatchResult sink the
-// call records and keeps going (batch-first contract); without one it
-// fail-fasts like the original single-status API. Returns true when the
-// caller should return `s` immediately.
-bool FinishKey(BatchResult* result, size_t i, const Status& s, Status* out) {
-  if (result != nullptr) {
-    result->Record(i, s);
-    return false;
+Status EmbeddingTable::ExecuteSpan(std::span<const Key> keys,
+                                   const ShardedStore::ShardOp& op,
+                                   BatchResult* result) {
+  BatchResult local;
+  BatchResult* r = result != nullptr ? result : &local;
+  // Without a sink the caller wants the original fail-fast contract, so
+  // each shard's sub-batch stops at its first problem.
+  store_->MultiExecute(keys, op, r, /*stop_on_error=*/result == nullptr);
+  if (result != nullptr) return r->first_error;
+  for (size_t i = 0; i < r->codes.size(); ++i) {
+    if (r->codes[i] != Status::Code::kOk) return r->StatusAt(i);
   }
-  if (!s.ok()) {
-    *out = s;
-    return true;
-  }
-  return false;
+  return Status::OK();
 }
-
-}  // namespace
 
 Status EmbeddingTable::Get(std::span<const Key> keys, float* out,
                            BatchResult* result) {
-  if (result != nullptr) result->Reset(keys.size());
   const uint32_t bytes = value_bytes();
-  Status fail;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const Status s = store_->Read(keys[i], out + i * dim_, bytes, nullptr,
-                                  staleness_bound_);
-    if (FinishKey(result, i, s, &fail)) return fail;
-  }
-  return result != nullptr ? result->first_error : Status::OK();
+  return ExecuteSpan(
+      keys,
+      [this, out, bytes](FasterStore* shard, Key key, size_t i,
+                         BatchResult* part, size_t pi) {
+        part->Record(pi, shard->Read(key, out + i * dim_, bytes, nullptr,
+                                     staleness_bound_));
+      },
+      result);
 }
 
 Status EmbeddingTable::GetOrInit(std::span<const Key> keys, float* out,
                                  BatchResult* result) {
-  if (result != nullptr) result->Reset(keys.size());
   const uint32_t emb_bytes = value_bytes();
   const uint32_t rec_bytes = record_bytes();
-  Status fail;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const Key key = keys[i];
-    Status s = store_->Read(key, out + i * dim_, emb_bytes, nullptr,
-                            staleness_bound_);
-    if (s.IsNotFound()) {
-      // First touch: the shared deterministic bootstrap, so all threads
-      // racing on the same key produce the same vector. Optimizer state
-      // starts all-zero — the correct initial value for every kind — which
-      // the zero-filled Rmw scratch provides for free.
-      float* dst = out + i * dim_;
-      InitEmbedding(key, dim_, dst);
-      // Rmw keeps a concurrent initializer from double-inserting: only the
-      // missing case writes, and losers retry and observe the winner.
-      s = store_->Rmw(key, rec_bytes,
-                      [&](char* value, uint32_t, bool exists) {
-                        if (!exists) {
-                          std::memcpy(value, dst, emb_bytes);
-                        } else {
-                          std::memcpy(dst, value, emb_bytes);
-                        }
-                      });
-      if (s.ok() && result != nullptr) {
-        result->RecordInitialized(i);
-        continue;
-      }
-    }
-    if (FinishKey(result, i, s, &fail)) return fail;
-  }
-  return result != nullptr ? result->first_error : Status::OK();
+  return ExecuteSpan(
+      keys,
+      [this, out, emb_bytes, rec_bytes](FasterStore* shard, Key key, size_t i,
+                                        BatchResult* part, size_t pi) {
+        float* dst = out + i * dim_;
+        Status s = shard->Read(key, dst, emb_bytes, nullptr, staleness_bound_);
+        if (s.IsNotFound()) {
+          // First touch: the shared deterministic bootstrap, so all threads
+          // racing on the same key produce the same vector. Optimizer state
+          // starts all-zero — the correct initial value for every kind —
+          // which the zero-filled Rmw scratch provides for free.
+          InitEmbedding(key, dim_, dst);
+          // Rmw keeps a concurrent initializer from double-inserting: only
+          // the missing case writes, and losers observe the winner.
+          s = shard->Rmw(key, rec_bytes,
+                         [&](char* value, uint32_t, bool exists) {
+                           if (!exists) {
+                             std::memcpy(value, dst, emb_bytes);
+                           } else {
+                             std::memcpy(dst, value, emb_bytes);
+                           }
+                         });
+          if (s.ok()) {
+            part->RecordInitialized(pi);
+            return;
+          }
+        }
+        part->Record(pi, s);
+      },
+      result);
 }
 
 Status EmbeddingTable::Peek(std::span<const Key> keys, float* out,
                             BatchResult* result) {
-  if (result != nullptr) result->Reset(keys.size());
   const uint32_t bytes = value_bytes();
-  Status fail;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const Status s = store_->Peek(keys[i], out + i * dim_, bytes);
-    if (FinishKey(result, i, s, &fail)) return fail;
-  }
-  return result != nullptr ? result->first_error : Status::OK();
+  return ExecuteSpan(
+      keys,
+      [this, out, bytes](FasterStore* shard, Key key, size_t i,
+                         BatchResult* part, size_t pi) {
+        part->Record(pi, shard->Peek(key, out + i * dim_, bytes));
+      },
+      result);
 }
 
 Status EmbeddingTable::PeekOrInit(std::span<const Key> keys, float* out,
                                   BatchResult* result) {
-  if (result != nullptr) result->Reset(keys.size());
   const uint32_t emb_bytes = value_bytes();
   const uint32_t rec_bytes = record_bytes();
-  Status fail;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const Key key = keys[i];
-    float* dst = out + i * dim_;
-    Status s = store_->Peek(key, dst, emb_bytes);
-    if (s.IsNotFound()) {
-      InitEmbedding(key, dim_, dst);
-      // Rmw creates the record if still absent; a concurrent creator wins
-      // and we adopt its value. No tracked read anywhere on this path.
-      s = store_->Rmw(key, rec_bytes,
-                      [&](char* value, uint32_t, bool exists) {
-                        if (!exists) {
-                          std::memcpy(value, dst, emb_bytes);
-                        } else {
-                          std::memcpy(dst, value, emb_bytes);
-                        }
-                      });
-      if (s.ok() && result != nullptr) {
-        result->RecordInitialized(i);
-        continue;
-      }
-    }
-    if (FinishKey(result, i, s, &fail)) return fail;
-  }
-  return result != nullptr ? result->first_error : Status::OK();
+  return ExecuteSpan(
+      keys,
+      [this, out, emb_bytes, rec_bytes](FasterStore* shard, Key key, size_t i,
+                                        BatchResult* part, size_t pi) {
+        float* dst = out + i * dim_;
+        Status s = shard->Peek(key, dst, emb_bytes);
+        if (s.IsNotFound()) {
+          InitEmbedding(key, dim_, dst);
+          // Rmw creates the record if still absent; a concurrent creator
+          // wins and we adopt its value. No tracked read on this path.
+          s = shard->Rmw(key, rec_bytes,
+                         [&](char* value, uint32_t, bool exists) {
+                           if (!exists) {
+                             std::memcpy(value, dst, emb_bytes);
+                           } else {
+                             std::memcpy(dst, value, emb_bytes);
+                           }
+                         });
+          if (s.ok()) {
+            part->RecordInitialized(pi);
+            return;
+          }
+        }
+        part->Record(pi, s);
+      },
+      result);
 }
 
 Status EmbeddingTable::Put(std::span<const Key> keys, const float* values,
                            BatchResult* result) {
-  if (result != nullptr) result->Reset(keys.size());
   const uint32_t emb_bytes = value_bytes();
   const uint32_t rec_bytes = record_bytes();
-  Status fail;
   if (rec_bytes == emb_bytes) {
     // Stateless layout: a Put is a plain upsert.
-    for (size_t i = 0; i < keys.size(); ++i) {
-      const Status s = store_->Upsert(keys[i], values + i * dim_, emb_bytes);
-      if (FinishKey(result, i, s, &fail)) return fail;
-    }
-    return result != nullptr ? result->first_error : Status::OK();
+    return ExecuteSpan(
+        keys,
+        [this, values, emb_bytes](FasterStore* shard, Key key, size_t i,
+                                  BatchResult* part, size_t pi) {
+          part->Record(pi, shard->Upsert(key, values + i * dim_, emb_bytes));
+        },
+        result);
   }
   // Fused-state layout: overwrite the embedding floats, keep the optimizer
   // slots (zero for fresh keys, courtesy of the Rmw scratch).
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const float* src = values + i * dim_;
-    const Status s = store_->Rmw(
-        keys[i], rec_bytes, [src, emb_bytes](char* value, uint32_t, bool) {
-          std::memcpy(value, src, emb_bytes);
-        });
-    if (FinishKey(result, i, s, &fail)) return fail;
-  }
-  return result != nullptr ? result->first_error : Status::OK();
+  return ExecuteSpan(
+      keys,
+      [this, values, emb_bytes, rec_bytes](FasterStore* shard, Key key,
+                                           size_t i, BatchResult* part,
+                                           size_t pi) {
+        const float* src = values + i * dim_;
+        part->Record(pi, shard->Rmw(key, rec_bytes,
+                                    [src, emb_bytes](char* value, uint32_t,
+                                                     bool) {
+                                      std::memcpy(value, src, emb_bytes);
+                                    }));
+      },
+      result);
 }
 
 Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
                                       const float* grads, float lr,
                                       BatchResult* result) {
-  if (result != nullptr) result->Reset(keys.size());
   const uint32_t rec_bytes = record_bytes();
   const uint32_t dim = dim_;
-  Status fail;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const float* g = grads + i * dim;
-    const Status s = store_->Rmw(
-        keys[i], rec_bytes, [g, dim, lr](char* value, uint32_t, bool) {
-          float* v = reinterpret_cast<float*>(value);
-          for (uint32_t d = 0; d < dim; ++d) v[d] -= lr * g[d];
-        });
-    if (FinishKey(result, i, s, &fail)) return fail;
-  }
-  return result != nullptr ? result->first_error : Status::OK();
+  return ExecuteSpan(
+      keys,
+      [grads, lr, dim, rec_bytes](FasterStore* shard, Key key, size_t i,
+                                  BatchResult* part, size_t pi) {
+        const float* g = grads + i * dim;
+        part->Record(pi, shard->Rmw(key, rec_bytes,
+                                    [g, dim, lr](char* value, uint32_t, bool) {
+                                      float* v =
+                                          reinterpret_cast<float*>(value);
+                                      for (uint32_t d = 0; d < dim; ++d) {
+                                        v[d] -= lr * g[d];
+                                      }
+                                    }));
+      },
+      result);
 }
 
 Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
@@ -189,15 +190,20 @@ Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
   const uint32_t rec_bytes = record_bytes();
   const uint32_t dim = dim_;
   const OptimizerConfig config = optimizer_;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const float* g = grads + i * dim;
-    MLKV_RETURN_NOT_OK(store_->Rmw(
-        keys[i], rec_bytes, [&config, g, dim](char* value, uint32_t, bool) {
-          float* emb = reinterpret_cast<float*>(value);
-          ApplyOptimizerUpdate(config, dim, emb, emb + dim, g);
-        }));
-  }
-  return Status::OK();
+  return ExecuteSpan(
+      keys,
+      [&config, grads, dim, rec_bytes](FasterStore* shard, Key key, size_t i,
+                                       BatchResult* part, size_t pi) {
+        const float* g = grads + i * dim;
+        part->Record(
+            pi, shard->Rmw(key, rec_bytes,
+                           [&config, g, dim](char* value, uint32_t, bool) {
+                             float* emb = reinterpret_cast<float*>(value);
+                             ApplyOptimizerUpdate(config, dim, emb, emb + dim,
+                                                  g);
+                           }));
+      },
+      nullptr);
 }
 
 Status EmbeddingTable::Lookahead(std::span<const Key> keys, LookaheadDest dest,
@@ -205,33 +211,48 @@ Status EmbeddingTable::Lookahead(std::span<const Key> keys, LookaheadDest dest,
   if (dest == LookaheadDest::kApplicationCache && cache == nullptr) {
     return Status::InvalidArgument("application-cache lookahead needs cache");
   }
-  // Copy the keys: the call is non-blocking and the caller's span may die.
-  auto batch = std::make_shared<std::vector<Key>>(keys.begin(), keys.end());
-  pending_lookaheads_.fetch_add(1, std::memory_order_acq_rel);
-  const bool submitted = lookahead_pool_->TrySubmit([this, batch, dest,
-                                                     cache] {
-    if (dest == LookaheadDest::kStorageBuffer) {
-      for (const Key key : *batch) {
-        store_->Promote(key).ok();  // NotFound is fine: nothing to prefetch
-      }
-    } else {
-      std::vector<float> value(dim_);
-      for (const Key key : *batch) {
-        // Conventional-prefetch path: populate the application cache. Uses
-        // Peek, not Read — a prefetch is not a training access, so it must
-        // neither wait on nor advance any record's staleness clock
-        // (§III-C2: lookahead leaves the vector clocks untouched). A miss
-        // is simply skipped.
-        if (store_->Peek(key, value.data(), value_bytes()).ok()) {
-          cache->Put(key, value.data());
+  // Partition the batch by shard so the prefetch itself scales with the
+  // store: one pool task per shard sub-batch, each touching only its own
+  // shard's log and index. (Keys are copied: the call is non-blocking and
+  // the caller's span may die.)
+  std::vector<std::shared_ptr<std::vector<Key>>> per_shard(
+      store_->num_shards());
+  for (const Key key : keys) {
+    auto& batch = per_shard[store_->ShardIndexOf(key)];
+    if (batch == nullptr) batch = std::make_shared<std::vector<Key>>();
+    batch->push_back(key);
+  }
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    const auto& batch = per_shard[s];
+    if (batch == nullptr) continue;
+    FasterStore* shard = store_->shard(s);
+    pending_lookaheads_.fetch_add(1, std::memory_order_acq_rel);
+    const bool submitted = lookahead_pool_->TrySubmit([this, shard, batch,
+                                                       dest, cache] {
+      if (dest == LookaheadDest::kStorageBuffer) {
+        for (const Key key : *batch) {
+          shard->Promote(key).ok();  // NotFound is fine: nothing to prefetch
+        }
+      } else {
+        std::vector<float> value(dim_);
+        for (const Key key : *batch) {
+          // Conventional-prefetch path: populate the application cache.
+          // Uses Peek, not Read — a prefetch is not a training access, so
+          // it must neither wait on nor advance any record's staleness
+          // clock (§III-C2: lookahead leaves the vector clocks untouched).
+          // A miss is simply skipped.
+          if (shard->Peek(key, value.data(), value_bytes()).ok()) {
+            cache->Put(key, value.data());
+          }
         }
       }
+      pending_lookaheads_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+    if (!submitted) {
+      // Queue full: prefetching is best-effort, drop this shard's batch
+      // (backpressure).
+      pending_lookaheads_.fetch_sub(1, std::memory_order_acq_rel);
     }
-    pending_lookaheads_.fetch_sub(1, std::memory_order_acq_rel);
-  });
-  if (!submitted) {
-    // Queue full: prefetching is best-effort, drop the batch (backpressure).
-    pending_lookaheads_.fetch_sub(1, std::memory_order_acq_rel);
   }
   return Status::OK();
 }
@@ -249,18 +270,22 @@ Status EmbeddingTable::Export(const std::string& path) {
   const uint32_t emb_bytes = value_bytes();
   uint64_t offset = sizeof(ExportHeader);
   uint64_t count = 0;
-  LiveLogIterator it(store_.get());
-  for (; it.Valid(); it.Next()) {
-    if (it.value().size() < emb_bytes) {
-      return Status::Corruption("record smaller than an embedding");
+  // One live scan per shard; shard order is arbitrary but stable, and the
+  // export format carries explicit keys, so consumers are unaffected.
+  for (size_t s = 0; s < store_->num_shards(); ++s) {
+    LiveLogIterator it(store_->shard(s));
+    for (; it.Valid(); it.Next()) {
+      if (it.value().size() < emb_bytes) {
+        return Status::Corruption("record smaller than an embedding");
+      }
+      MLKV_RETURN_NOT_OK(dev.WriteAt(offset, &it.meta().key, sizeof(Key)));
+      offset += sizeof(Key);
+      MLKV_RETURN_NOT_OK(dev.WriteAt(offset, it.value().data(), emb_bytes));
+      offset += emb_bytes;
+      ++count;
     }
-    MLKV_RETURN_NOT_OK(dev.WriteAt(offset, &it.meta().key, sizeof(Key)));
-    offset += sizeof(Key);
-    MLKV_RETURN_NOT_OK(dev.WriteAt(offset, it.value().data(), emb_bytes));
-    offset += emb_bytes;
-    ++count;
+    MLKV_RETURN_NOT_OK(it.status());
   }
-  MLKV_RETURN_NOT_OK(it.status());
   ExportHeader header;
   header.dim = dim_;
   header.count = count;
@@ -296,7 +321,7 @@ Status EmbeddingTable::Import(const std::string& path) {
 Status EmbeddingTable::CompactStorage(uint64_t max_log_bytes) {
   WaitLookahead();
   if (max_log_bytes == 0) {
-    return store_->Compact(store_->log().read_only_address(), nullptr);
+    return store_->CompactAll();
   }
   return store_->MaybeCompact(max_log_bytes, nullptr);
 }

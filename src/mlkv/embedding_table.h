@@ -15,7 +15,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
-#include "kv/faster_store.h"
+#include "kv/sharded_store.h"
 #include "mlkv/embedding_cache.h"
 #include "mlkv/optimizer.h"
 
@@ -28,8 +28,8 @@ class EmbeddingTable {
   enum class LookaheadDest { kStorageBuffer, kApplicationCache };
 
   EmbeddingTable(std::string model_id, uint32_t dim, uint32_t staleness_bound,
-                 std::unique_ptr<FasterStore> store, ThreadPool* lookahead_pool,
-                 OptimizerConfig optimizer = {})
+                 std::unique_ptr<ShardedStore> store,
+                 ThreadPool* lookahead_pool, OptimizerConfig optimizer = {})
       : model_id_(std::move(model_id)),
         dim_(dim),
         staleness_bound_(staleness_bound),
@@ -49,11 +49,17 @@ class EmbeddingTable {
   }
 
   // Each span API takes an optional BatchResult sink. Without one the call
-  // fails fast on the first per-key error (the original contract). With
-  // one, the call serves every key it can, records a per-key Status code
-  // plus found/missing/busy counts, and returns the first hard error (OK
-  // when every problem was a NotFound or Busy) — the batch-first contract
-  // the KvBackend seam builds on.
+  // fails fast on the first per-key error (the original contract; with a
+  // sharded store each shard's sub-batch stops at its first error and the
+  // earliest failure in caller order is returned). With one, the call
+  // serves every key it can, records a per-key Status code plus
+  // found/missing/busy counts, and returns the first hard error (OK when
+  // every problem was a NotFound or Busy) — the batch-first contract the
+  // KvBackend seam builds on.
+  //
+  // Every span call is scattered into per-shard sub-batches executed in
+  // parallel on the lookahead pool (ShardedStore::MultiExecute); per-key
+  // results land at the caller's indices regardless of shard routing.
 
   // Fetches embeddings for `keys`; `out` must hold keys.size()*dim floats.
   // Missing keys are NotFound.
@@ -127,15 +133,21 @@ class EmbeddingTable {
   Status GetOne(Key key, float* out) { return Get({&key, 1}, out); }
   Status PutOne(Key key, const float* value) { return Put({&key, 1}, value); }
 
-  FasterStore* store() { return store_.get(); }
+  ShardedStore* store() { return store_.get(); }
   uint64_t num_embeddings() const { return store_->approximate_size(); }
 
  private:
+  // Shared body of the span APIs: runs `op` through the sharded
+  // scatter/gather and reconciles the two result contracts (sink vs
+  // fail-fast; see the span-API comment above).
+  Status ExecuteSpan(std::span<const Key> keys,
+                     const ShardedStore::ShardOp& op, BatchResult* result);
+
   std::string model_id_;
   uint32_t dim_;
   uint32_t staleness_bound_;
   OptimizerConfig optimizer_;
-  std::unique_ptr<FasterStore> store_;
+  std::unique_ptr<ShardedStore> store_;
   ThreadPool* lookahead_pool_;
   std::atomic<uint64_t> pending_lookaheads_{0};
 };

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "kv/sharded_store.h"
+
 namespace mlkv {
 
 namespace {
@@ -44,6 +46,11 @@ bool SameConfig(const OptimizerConfig& a, const OptimizerConfig& b) {
 }  // namespace
 
 Status Mlkv::Open(const MlkvOptions& options, std::unique_ptr<Mlkv>* out) {
+  static_assert(ShardedStore::kMaxShardBits == 8,
+                "update the shard_bits doc in mlkv.h if the bound moves");
+  if (options.shard_bits > ShardedStore::kMaxShardBits) {
+    return Status::InvalidArgument("shard_bits must be <= 8");
+  }
   std::error_code ec;
   std::filesystem::create_directories(options.dir, ec);
   if (ec) {
@@ -80,6 +87,12 @@ Status Mlkv::LoadManifest() {
     if (tag != "table" || ls.fail() || !ValidModelId(id)) {
       return Status::Corruption("bad manifest row: " + line);
     }
+    // Optional trailing field added with sharding; rows written before it
+    // describe the single-log layout (shard_bits 0).
+    if (!(ls >> spec.shard_bits)) spec.shard_bits = 0;
+    if (spec.shard_bits > ShardedStore::kMaxShardBits) {
+      return Status::Corruption("bad manifest shard_bits: " + line);
+    }
     MLKV_RETURN_NOT_OK(ParseOptimizerKind(kind_name, &spec.optimizer.kind));
     manifest_[id] = spec;
   }
@@ -98,8 +111,8 @@ Status Mlkv::WriteManifest() const {
           << ' ' << OptimizerKindName(spec.optimizer.kind) << ' '
           << spec.optimizer.lr << ' ' << spec.optimizer.momentum << ' '
           << spec.optimizer.beta1 << ' ' << spec.optimizer.beta2 << ' '
-          << spec.optimizer.eps << ' ' << spec.optimizer.weight_decay
-          << '\n';
+          << spec.optimizer.eps << ' ' << spec.optimizer.weight_decay << ' '
+          << spec.shard_bits << '\n';
     }
     out.flush();
     if (!out.good()) return Status::IOError("write " + tmp);
@@ -137,26 +150,32 @@ Status Mlkv::OpenTable(const std::string& model_id, uint32_t dim,
     }
   }
 
-  FasterOptions fo;
-  fo.path = options_.dir + "/" + model_id + ".log";
-  fo.index_slots = options_.index_slots;
-  fo.page_size = options_.page_size;
-  fo.mem_size = options_.mem_size;
-  fo.mutable_fraction = options_.mutable_fraction;
-  fo.track_staleness = true;
-  fo.staleness_bound = staleness_bound;
-  fo.busy_spin_limit = options_.busy_spin_limit;
-  fo.skip_promote_if_in_memory = options_.skip_promote_if_in_memory;
-  auto store = std::make_unique<FasterStore>();
+  ShardedStoreOptions so;
+  so.store.path = options_.dir + "/" + model_id + ".log";
+  so.store.index_slots = options_.index_slots;
+  so.store.page_size = options_.page_size;
+  so.store.mem_size = options_.mem_size;
+  so.store.mutable_fraction = options_.mutable_fraction;
+  so.store.track_staleness = true;
+  so.store.staleness_bound = staleness_bound;
+  so.store.busy_spin_limit = options_.busy_spin_limit;
+  so.store.skip_promote_if_in_memory = options_.skip_promote_if_in_memory;
+  // The manifest's shard_bits fixes an existing table's on-disk layout;
+  // only fresh tables take the current option.
+  so.shard_bits = spec_it != manifest_.end() ? spec_it->second.shard_bits
+                                             : options_.shard_bits;
+  so.pool = &lookahead_pool_;
+  so.parallel_min_keys = std::max<size_t>(options_.scatter_min_keys, 1);
+  auto store = std::make_unique<ShardedStore>();
   const std::string ckpt_prefix = options_.dir + "/" + model_id + ".ckpt";
   if (spec_it != manifest_.end() &&
-      std::filesystem::exists(ckpt_prefix + ".meta")) {
+      ShardedStore::CheckpointExists(so, ckpt_prefix)) {
     // Re-attach: recover the persisted state. Anything written after the
     // last checkpoint is gone — the paper's durability unit is the
     // checkpoint, not the individual Put.
-    MLKV_RETURN_NOT_OK(store->Recover(fo, ckpt_prefix));
+    MLKV_RETURN_NOT_OK(store->Recover(so, ckpt_prefix));
   } else {
-    MLKV_RETURN_NOT_OK(store->Open(fo));
+    MLKV_RETURN_NOT_OK(store->Open(so));
   }
   auto table = std::make_unique<EmbeddingTable>(model_id, dim,
                                                 staleness_bound,
@@ -166,7 +185,7 @@ Status Mlkv::OpenTable(const std::string& model_id, uint32_t dim,
   tables_.emplace(model_id, std::move(table));
   if (spec_it == manifest_.end()) {
     manifest_[model_id] =
-        TableSpec{dim, staleness_bound, optimizer};
+        TableSpec{dim, staleness_bound, so.shard_bits, optimizer};
     MLKV_RETURN_NOT_OK(WriteManifest());
   }
   return Status::OK();
@@ -195,9 +214,7 @@ Status Mlkv::CheckpointAll() {
 Status Mlkv::CompactAll() {
   for (auto& [id, table] : tables_) {
     table->WaitLookahead();
-    FasterStore* store = table->store();
-    MLKV_RETURN_NOT_OK(
-        store->Compact(store->log().read_only_address(), nullptr));
+    MLKV_RETURN_NOT_OK(table->store()->CompactAll());
   }
   return Status::OK();
 }

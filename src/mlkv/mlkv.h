@@ -33,11 +33,31 @@ namespace mlkv {
 
 struct MlkvOptions {
   std::string dir;                     // directory for table log files
+  // TOTAL hash-index slots per table, split evenly across that table's
+  // shards: each shard receives index_slots >> shard_bits (floored at
+  // ShardedStore::kMinShardIndexSlots), then rounds its slice up to a
+  // power of two — so the realized total can exceed the configured value.
   uint64_t index_slots = 1ull << 20;
   uint64_t page_size = 1ull << 20;
-  uint64_t mem_size = 64ull << 20;     // per-table in-memory buffer
+  // TOTAL per-table in-memory log buffer, split evenly across shards the
+  // same way (mem_size >> shard_bits per shard, floored at
+  // ShardedStore::kMinShardMemBytes; each shard then halves page_size
+  // until at least four pages fit its slice).
+  uint64_t mem_size = 64ull << 20;
   double mutable_fraction = 0.5;
+  // log2 of the per-table shard count: each table's store is 1 <<
+  // shard_bits independent FasterStore shards (own index, log, epoch
+  // domain) with log/checkpoint files under dir/shard-NN/. 0 preserves the
+  // legacy single-log layout exactly. Mlkv::Open rejects values > 8
+  // (ShardedStore::kMaxShardBits). Tables recorded in the directory's
+  // MANIFEST keep the shard_bits they were created with — the on-disk
+  // layout wins over this option when re-attaching.
+  uint32_t shard_bits = 2;
   size_t lookahead_threads = 2;
+  // Minimum keys in one shard sub-batch (or single-shard chunk) before a
+  // batched span call offloads it to the lookahead pool; see
+  // ShardedStoreOptions::parallel_min_keys.
+  size_t scatter_min_keys = 32;
   // Spin iterations before a bounded Get aborts with Busy (kv/record.h).
   uint64_t busy_spin_limit = kDefaultBusySpinLimit;
   bool skip_promote_if_in_memory = true;  // DESIGN.md ablation D2
@@ -104,10 +124,14 @@ class Mlkv {
   const MlkvOptions& options() const { return options_; }
 
  private:
-  // One manifest row: the durable configuration of a table.
+  // One manifest row: the durable configuration of a table. `shard_bits`
+  // fixes the on-disk layout, so re-attaching uses the recorded value, not
+  // the current MlkvOptions default (rows written before sharding carry no
+  // field and parse as 0 — the single-log layout they describe).
   struct TableSpec {
     uint32_t dim = 0;
     uint32_t staleness_bound = 0;
+    uint32_t shard_bits = 0;
     OptimizerConfig optimizer;
   };
 

@@ -10,7 +10,7 @@ EmbeddingServer::EmbeddingServer(EmbeddingTable* table,
                                  const ServeOptions& options)
     : table_(table),
       options_(options),
-      cache_(options.cache_capacity, table->dim()) {}
+      cache_(options.cache_capacity, table->dim(), options.cache_shards) {}
 
 Status EmbeddingServer::Lookup(std::span<const Key> keys, float* out) {
   const StopWatch watch;

@@ -35,6 +35,10 @@ namespace mlkv {
 struct ServeOptions {
   // Embedding vectors held in the serving cache.
   size_t cache_capacity = 1 << 16;
+  // Lock shards of the serving cache (rounded up to a power of two; routed
+  // with the shared ShardOf helper). Scale with the number of serving
+  // threads — each shard is one mutex.
+  size_t cache_shards = 16;
   // Admit store-read vectors into the cache on miss.
   bool cache_on_miss = true;
   // Missing keys: zero-fill the output (true, the DLRM-serving convention —

@@ -7,11 +7,42 @@
 #include <algorithm>
 #include <cstring>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "backend/kv_backend.h"
+#include "common/hash.h"
 
 namespace mlkv {
+
+// Resolves a config struct's backend_shard_bits: kAutoShardBits (the
+// default) asks the backend for its actual shard count.
+inline uint32_t ResolveShardBits(uint32_t configured,
+                                 const KvBackend* backend) {
+  return configured == kAutoShardBits ? backend->shard_bits() : configured;
+}
+
+// Reorders a deduplicated minibatch so keys of the same backend shard are
+// contiguous (stable within a shard) and rebuilds the key -> row map to
+// match. A sharded backend's scatter step then sees each shard's sub-batch
+// as one contiguous run of the key span (and of the value/gradient
+// matrices), instead of gathering rows from all over the batch. Semantics
+// are unaffected — only the order of unique keys changes — so it is safe
+// (and pointless) when the backend is unsharded; shard_bits == 0 returns
+// immediately.
+inline void OrderKeysByShard(uint32_t shard_bits, std::vector<Key>* keys,
+                             std::unordered_map<Key, size_t>* slot) {
+  if (shard_bits == 0 || keys->size() <= 1) return;
+  if (shard_bits > 16) shard_bits = 16;  // ShardOf's routing-mask ceiling
+  const uint64_t mask = (uint64_t{1} << shard_bits) - 1;
+  std::vector<std::vector<Key>> buckets(mask + 1);
+  for (const Key k : *keys) buckets[ShardOf(Hash64(k), mask)].push_back(k);
+  keys->clear();
+  for (const auto& bucket : buckets) {
+    keys->insert(keys->end(), bucket.begin(), bucket.end());
+  }
+  for (size_t u = 0; u < keys->size(); ++u) (*slot)[(*keys)[u]] = u;
+}
 
 // Warms keys [0, n) in batched chunks: one MultiGet materializes (and
 // deterministically initializes) each chunk, one MultiPut commits it.

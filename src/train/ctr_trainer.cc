@@ -100,6 +100,8 @@ TrainResult CtrTrainer::Train() {
           }
         }
       }
+      OrderKeysByShard(ResolveShardBits(options_.backend_shard_bits, backend_),
+                       &unique_keys, &key_slot);
 
       // --- Embedding access (Get): one batched call per minibatch ---
       uint64_t t0 = NowMicros();

@@ -132,6 +132,8 @@ TrainResult GnnTrainer::Train() {
         intern(samples[i].node);
         for (Key n : samples[i].neighbors) intern(n);
       }
+      OrderKeysByShard(ResolveShardBits(options_.backend_shard_bits, backend_),
+                       &unique, &slot);
 
       // --- Get: one batched call per minibatch ---
       uint64_t t0 = NowMicros();

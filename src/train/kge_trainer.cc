@@ -147,6 +147,8 @@ TrainResult KgeTrainer::Train() {
           intern(negatives[static_cast<size_t>(i) * NEG + n]);
         }
       }
+      OrderKeysByShard(ResolveShardBits(options_.backend_shard_bits, backend_),
+                       &unique, &slot);
 
       // --- Get: one batched call per minibatch ---
       uint64_t t0 = NowMicros();

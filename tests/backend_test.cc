@@ -6,6 +6,7 @@
 #include <cmath>
 #include <memory>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "backend/kv_backend.h"
@@ -385,6 +386,110 @@ INSTANTIATE_TEST_SUITE_P(IoEngines, BackendBatchParallelTest,
                                            BackendKind::kLsm,
                                            BackendKind::kBtree),
                          KindName);
+
+// Shard-routing conformance for the sharded engines (MLKV and FASTER):
+// whatever shard a key scatters to, results must land at the caller's
+// indices with semantics identical to the unsharded store.
+class ShardRoutingConformanceTest : public ::testing::TestWithParam<
+                                        std::tuple<BackendKind, uint32_t>> {
+ protected:
+  std::unique_ptr<KvBackend> MakeShardedBackend(const std::string& dir,
+                                                uint32_t shard_bits) {
+    BackendConfig cfg;
+    cfg.dir = dir;
+    cfg.dim = 8;
+    cfg.buffer_bytes = 4ull << 20;
+    cfg.staleness_bound = UINT32_MAX - 1;
+    cfg.shard_bits = shard_bits;
+    cfg.batch_threads = 2;
+    cfg.batch_min_chunk = 16;
+    std::unique_ptr<KvBackend> backend;
+    EXPECT_TRUE(MakeBackend(std::get<0>(GetParam()), cfg, &backend).ok());
+    return backend;
+  }
+};
+
+TEST_P(ShardRoutingConformanceTest, ShuffledBatchLandsInCallerOrder) {
+  TempDir dir;
+  auto backend = MakeShardedBackend(dir.File("b"), std::get<1>(GetParam()));
+  constexpr size_t kN = 700;
+  std::vector<Key> keys(kN);
+  for (size_t i = 0; i < kN; ++i) keys[i] = i * 11 + 3;
+  Rng rng(7);
+  for (size_t i = kN - 1; i > 0; --i) {
+    std::swap(keys[i], keys[rng.Next() % (i + 1)]);
+  }
+  std::vector<float> values(kN * 8);
+  for (size_t i = 0; i < kN; ++i) {
+    for (int d = 0; d < 8; ++d) {
+      values[i * 8 + d] = static_cast<float>(keys[i] + d);
+    }
+  }
+  ASSERT_TRUE(backend->MultiPut(keys, values.data()).AllOk());
+  std::vector<float> out(kN * 8);
+  const BatchResult r = backend->MultiGet(keys, out.data());
+  ASSERT_TRUE(r.AllOk());
+  EXPECT_EQ(out, values);
+}
+
+TEST_P(ShardRoutingConformanceTest, ResultsIndependentOfShardCount) {
+  // The shard count is a layout/scaling knob, never a semantic one: the
+  // deterministic bootstrap and a fixed op sequence must produce identical
+  // vectors under any shard_bits.
+  TempDir dir;
+  auto sharded = MakeShardedBackend(dir.File("s"), std::get<1>(GetParam()));
+  auto single = MakeShardedBackend(dir.File("u"), 0);
+  constexpr size_t kN = 300;
+  std::vector<Key> keys(kN);
+  for (size_t i = 0; i < kN; ++i) keys[i] = i * 5 + 1;
+  std::vector<float> a(kN * 8), b(kN * 8);
+  ASSERT_TRUE(sharded->MultiGet(keys, a.data()).AllOk());  // init path
+  ASSERT_TRUE(single->MultiGet(keys, b.data()).AllOk());
+  EXPECT_EQ(a, b);
+  std::vector<float> grads(kN * 8, 1.5f);
+  ASSERT_TRUE(sharded->MultiApplyGradient(keys, grads.data(), 0.1f).AllOk());
+  ASSERT_TRUE(single->MultiApplyGradient(keys, grads.data(), 0.1f).AllOk());
+  ASSERT_TRUE(sharded->MultiGet(keys, a.data()).AllOk());
+  ASSERT_TRUE(single->MultiGet(keys, b.data()).AllOk());
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(ShardRoutingConformanceTest, MissingKeysReportAtCallerPositions) {
+  TempDir dir;
+  auto backend = MakeShardedBackend(dir.File("b"), std::get<1>(GetParam()));
+  constexpr size_t kN = 400;
+  std::vector<float> v(8, 2.0f);
+  for (size_t i = 0; i < kN; i += 2) {
+    ASSERT_TRUE(backend->PutEmbedding(i, v.data()).ok());
+  }
+  std::vector<Key> keys(kN);
+  for (size_t i = 0; i < kN; ++i) keys[i] = i;
+  std::vector<float> out(kN * 8);
+  MultiGetOptions no_init;
+  no_init.init_missing = false;
+  const BatchResult r = backend->MultiGet(keys, out.data(), no_init);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(r.codes[i], i % 2 == 0 ? Status::Code::kOk
+                                     : Status::Code::kNotFound)
+        << "key " << i;
+  }
+  EXPECT_EQ(r.found, kN / 2);
+  EXPECT_EQ(r.missing, kN / 2);
+}
+
+std::string ShardParamName(
+    const ::testing::TestParamInfo<std::tuple<BackendKind, uint32_t>>& info) {
+  return std::string(KindName(::testing::TestParamInfo<BackendKind>(
+             std::get<0>(info.param), info.index))) +
+         "Bits" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardedEngines, ShardRoutingConformanceTest,
+    ::testing::Combine(::testing::Values(BackendKind::kMlkv,
+                                         BackendKind::kFaster),
+                       ::testing::Values(0u, 1u, 2u, 3u)),
+    ShardParamName);
 
 }  // namespace
 }  // namespace mlkv

@@ -149,8 +149,14 @@ TEST(MlkvTest, CheckpointAllWritesFiles) {
   Key k = 1;
   ASSERT_TRUE(t->Put({&k, 1}, v.data()).ok());
   ASSERT_TRUE(db->CheckpointAll().ok());
-  EXPECT_TRUE(std::filesystem::exists(o.dir + "/emb.ckpt.meta"));
-  EXPECT_TRUE(std::filesystem::exists(o.dir + "/emb.ckpt.idx"));
+  // Sharded layout: every shard checkpoints under its own directory.
+  for (size_t s = 0; s < t->store()->num_shards(); ++s) {
+    const std::string prefix = ShardedStore::ShardFilePath(
+        o.dir + "/emb.ckpt", static_cast<uint32_t>(s),
+        t->store()->shard_bits());
+    EXPECT_TRUE(std::filesystem::exists(prefix + ".meta")) << prefix;
+    EXPECT_TRUE(std::filesystem::exists(prefix + ".idx")) << prefix;
+  }
 }
 
 

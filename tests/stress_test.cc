@@ -334,5 +334,62 @@ TEST(BackendBatchStressTest, ConcurrentParallelBatches) {
   }
 }
 
+// Parallel batches across a sharded MLKV table: several trainer-shaped
+// caller threads issue large span calls concurrently while each call's
+// per-shard sub-batches fan out onto the shared lookahead pool — the race
+// surface the sharded scatter/gather introduced (pool workers + callers
+// executing different shards' sub-batches of overlapping batches at once).
+// Disjoint row ownership makes the final values analytic; run under TSan
+// in CI.
+TEST(ShardedBatchStressTest, ParallelSpanCallsAcrossShards) {
+  TempDir dir;
+  MlkvOptions opts;
+  opts.dir = dir.File("db");
+  opts.index_slots = 4096;
+  opts.page_size = 4096;
+  opts.mem_size = 64 * 4096;
+  opts.shard_bits = 2;
+  opts.lookahead_threads = 3;
+  std::unique_ptr<Mlkv> db;
+  ASSERT_TRUE(Mlkv::Open(opts, &db).ok());
+  EmbeddingTable* table = nullptr;
+  ASSERT_TRUE(db->OpenTable("t", 8, kAspBound, &table).ok());
+  ASSERT_EQ(table->store()->num_shards(), 4u);
+
+  constexpr int kWorkers = 4;
+  constexpr int kRowsPerWorker = 256;
+  constexpr int kSteps = 60;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      std::vector<Key> rows(kRowsPerWorker);
+      for (int r = 0; r < kRowsPerWorker; ++r) {
+        rows[r] = static_cast<Key>(w) * kRowsPerWorker + r;
+      }
+      std::vector<float> zero(kRowsPerWorker * 8, 0.0f);
+      std::vector<float> grad(kRowsPerWorker * 8, 1.0f);
+      std::vector<float> out(kRowsPerWorker * 8);
+      BatchResult r;
+      table->Put(rows, zero.data(), &r);
+      ASSERT_TRUE(r.AllOk());
+      for (int step = 0; step < kSteps; ++step) {
+        table->ApplyGradients(rows, grad.data(), 0.5f, &r);
+        ASSERT_TRUE(r.AllOk());
+        if (step % 8 == 0) {
+          // Interleave prefetch traffic on the same pool the scatter uses.
+          table->Lookahead(rows).ok();
+        }
+      }
+      table->Get(rows, out.data(), &r);
+      ASSERT_TRUE(r.AllOk());
+      for (int i = 0; i < kRowsPerWorker * 8; ++i) {
+        ASSERT_FLOAT_EQ(out[i], -0.5f * kSteps) << "row-elem " << i;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  table->WaitLookahead();
+}
+
 }  // namespace
 }  // namespace mlkv
