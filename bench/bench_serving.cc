@@ -8,12 +8,14 @@
 #include <thread>
 #include <vector>
 
+#include "backend/kv_backend.h"
 #include "bench_util.h"
 #include "common/clock.h"
 #include "common/random.h"
 #include "io/file_device.h"
 #include "io/temp_dir.h"
 #include "mlkv/mlkv.h"
+#include "net/kv_server.h"
 #include "serve/embedding_server.h"
 
 using namespace mlkv;
@@ -82,6 +84,79 @@ void RunRow(const Setup& s, size_t cache_capacity, bool zipf, Table* t) {
   t->EndRow();
 }
 
+// Remote serving: the same batched-lookup traffic, but through a loopback
+// KvServer + RemoteBackend (untracked MultiGet = the serving read), i.e.
+// an inference replica reading a live store over the network instead of
+// linking it. Rows report lookups/s plus the server-side request latency
+// from the KvServer histogram.
+void RunRemoteRow(const Setup& s, bool zipf, Table* t) {
+  TempDir dir;
+  BackendConfig cfg;
+  cfg.dir = dir.path() + "/backend";
+  cfg.dim = s.dim;
+  cfg.buffer_bytes = s.buffer_mb << 20;
+  cfg.index_slots = s.rows;
+  std::unique_ptr<KvBackend> engine;
+  if (!MakeBackend(BackendKind::kMlkv, cfg, &engine).ok()) std::exit(1);
+  {
+    constexpr size_t kChunk = 1024;
+    std::vector<Key> keys(kChunk);
+    std::vector<float> values(kChunk * s.dim, 0.5f);
+    for (Key base = 0; base < s.rows; base += kChunk) {
+      const size_t n =
+          static_cast<size_t>(std::min<uint64_t>(kChunk, s.rows - base));
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] = base + i;
+        values[i * s.dim] = static_cast<float>(keys[i]);
+      }
+      if (engine->MultiPut({keys.data(), n}, values.data()).failed > 0) {
+        std::exit(1);
+      }
+    }
+  }
+  net::KvServerOptions so;
+  so.num_workers = static_cast<size_t>(s.threads);
+  net::KvServer server(std::move(engine), so);
+  if (!server.Start().ok()) std::exit(1);
+  BackendConfig rcfg;
+  rcfg.remote_addr = server.addr();
+  std::unique_ptr<KvBackend> remote;
+  if (!MakeBackend(BackendKind::kRemote, rcfg, &remote).ok()) std::exit(1);
+
+  std::atomic<uint64_t> lookups{0};
+  StopWatch watch;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < s.threads; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(1000 + w);
+      ZipfianGenerator zg(s.rows, 0.99, 2000 + w);
+      std::vector<Key> keys(s.batch);
+      std::vector<float> out(s.batch * s.dim);
+      MultiGetOptions untracked;
+      untracked.untracked = true;
+      for (uint64_t b = 0; b < s.batches / s.threads; ++b) {
+        for (auto& k : keys) {
+          k = zipf ? zg.NextScrambled() : rng.Uniform(s.rows);
+        }
+        if (remote->MultiGet(keys, out.data(), untracked).failed > 0) {
+          std::exit(1);
+        }
+        lookups.fetch_add(keys.size());
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  const double secs = watch.ElapsedSeconds();
+  const net::StatsSnapshot st = server.stats();
+  t->Cell(zipf ? "zipfian" : "uniform");
+  t->Cell(Human(static_cast<double>(lookups.load()) / secs));
+  t->Cell(st.latency_p50_us);
+  t->Cell(st.latency_p99_us);
+  t->EndRow();
+  remote.reset();
+  server.Stop();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,7 +166,9 @@ int main(int argc, char** argv) {
       flags.Double("nvme_write_gbps", 1.0));
   if (flags.Has("help")) {
     std::printf("serving: lookup throughput/latency vs cache size\n"
-                "  --rows=500000 --batches=2000 --threads=4\n");
+                "  --rows=500000 --batches=2000 --threads=4\n"
+                "  --remote   also measure the networked serving path\n"
+                "             (loopback KvServer + RemoteBackend)\n");
     return 0;
   }
   Setup s;
@@ -115,5 +192,19 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: under zipfian skew a small cache captures "
               "most lookups (hit%% rises steeply, p99 falls); uniform traffic "
               "needs cache ~ table size to matter.\n");
+
+  if (flags.Has("remote")) {
+    Banner("Remote serving: untracked MultiGet over loopback KvServer");
+    std::printf("(same table and traffic, every batch pays a TCP round "
+                "trip; p50/p99 are server-side request latencies)\n\n");
+    Table rt({"dist", "lookups/s", "srv_p50_us", "srv_p99_us"});
+    rt.PrintHeader();
+    for (const bool zipf : {false, true}) {
+      RunRemoteRow(s, zipf, &rt);
+    }
+    std::printf("\nExpected shape: remote throughput trails the in-process "
+                "path by the per-batch wire cost; larger batches close the "
+                "gap (see bench_ycsb_suite --remote).\n");
+  }
   return 0;
 }

@@ -12,17 +12,33 @@
 //   mlkv_cli <dir> import <table> <path>
 //   mlkv_cli <dir> checkpoint
 //
+// Network mode (src/net/): serve any backend over TCP, and poke a running
+// server by hand — the end-to-end drivable surface of the RPC subsystem.
+//
+//   mlkv_cli <dir> serve --addr <host:port> --backend <kind>
+//                        [--dim N] [--workers N] [--staleness N]
+//   mlkv_cli - remote-get --addr <host:port> <key>
+//   mlkv_cli - remote-put --addr <host:port> <key> <v0,v1,...>
+//
 // Demonstrates the operational surface of the library: the manifest
-// (OpenExistingTable), log scans, GC, export/import, and checkpoints.
+// (OpenExistingTable), log scans, GC, export/import, checkpoints, and the
+// embedding server.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "backend/kv_backend.h"
 #include "kv/log_iterator.h"
 #include "mlkv/mlkv.h"
+#include "net/kv_server.h"
+#include "net/remote_backend.h"
 
 using namespace mlkv;
 
@@ -41,7 +57,13 @@ int Usage() {
       "  scan <t> [limit]                    list live keys (log order)\n"
       "  compact <t>                         garbage-collect the log\n"
       "  export <t> <path> | import <t> <path>\n"
-      "  checkpoint                          checkpoint every open table\n");
+      "  checkpoint                          checkpoint every open table\n"
+      "  serve --addr <h:p> --backend <kind> serve <dir> over TCP\n"
+      "        [--dim N] [--workers N] [--staleness N]\n"
+      "        kinds: mlkv faster lsm btree inmemory\n"
+      "  remote-get --addr <h:p> <key>       read from a running server\n"
+      "  remote-put --addr <h:p> <key> <csv> write to a running server\n"
+      "  (remote-* ignore <dir>; pass '-')\n");
   return 2;
 }
 
@@ -81,6 +103,124 @@ void PrintVector(const float* v, uint32_t dim) {
   std::printf("]\n");
 }
 
+// --flag value pairs and positional arguments after the command word.
+struct ArgList {
+  std::vector<std::string> positional;
+  std::string Flag(const std::string& name, const std::string& def = "") {
+    const auto it = flags.find(name);
+    return it == flags.end() ? def : it->second;
+  }
+  bool ParseFrom(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        if (i + 1 >= argc) return false;  // every flag takes a value
+        flags[arg.substr(2)] = argv[++i];
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    return true;
+  }
+  std::map<std::string, std::string> flags;
+};
+
+bool ParseBackendKind(const std::string& name, BackendKind* out) {
+  if (name == "mlkv") *out = BackendKind::kMlkv;
+  else if (name == "faster") *out = BackendKind::kFaster;
+  else if (name == "lsm") *out = BackendKind::kLsm;
+  else if (name == "btree") *out = BackendKind::kBtree;
+  else if (name == "inmemory") *out = BackendKind::kInMemory;
+  else return false;
+  return true;
+}
+
+std::sig_atomic_t volatile g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int RunServe(const std::string& dir, ArgList& args) {
+  const std::string addr = args.Flag("addr", "127.0.0.1:0");
+  BackendKind kind = BackendKind::kMlkv;
+  if (!ParseBackendKind(args.Flag("backend", "mlkv"), &kind)) return Usage();
+
+  std::string host;
+  uint16_t port = 0;
+  Status s = net::ParseHostPort(addr, &host, &port, /*allow_port_zero=*/true);
+  if (!s.ok()) return Fail(s);
+
+  BackendConfig cfg;
+  cfg.dir = dir;
+  cfg.dim = static_cast<uint32_t>(
+      std::strtoul(args.Flag("dim", "16").c_str(), nullptr, 10));
+  cfg.staleness_bound = static_cast<uint32_t>(std::strtoul(
+      args.Flag("staleness", std::to_string(UINT32_MAX - 1)).c_str(), nullptr,
+      10));
+  std::unique_ptr<KvBackend> backend;
+  s = MakeBackend(kind, cfg, &backend);
+  if (!s.ok()) return Fail(s);
+
+  net::KvServerOptions so;
+  so.host = host;
+  so.port = port;
+  so.num_workers = static_cast<size_t>(
+      std::strtoul(args.Flag("workers", "4").c_str(), nullptr, 10));
+  net::KvServer server(std::move(backend), so);
+  s = server.Start();
+  if (!s.ok()) return Fail(s);
+  std::printf("serving %s (dim=%u, shard_bits=%u) on %s — Ctrl-C to stop\n",
+              server.backend()->name().c_str(), server.backend()->dim(),
+              server.backend()->shard_bits(), server.addr().c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("\nstopping...\n");
+  server.Stop();
+  const net::StatsSnapshot st = server.stats();
+  std::printf("served %llu requests over %llu connections "
+              "(p50=%lluus p99=%lluus)\n",
+              (unsigned long long)st.requests,
+              (unsigned long long)st.connections,
+              (unsigned long long)st.latency_p50_us,
+              (unsigned long long)st.latency_p99_us);
+  return 0;
+}
+
+int RunRemote(const std::string& cmd, ArgList& args) {
+  const std::string addr = args.Flag("addr");
+  if (addr.empty() || args.positional.empty()) return Usage();
+  std::unique_ptr<KvBackend> remote;
+  net::RemoteBackendOptions o;
+  o.addr = addr;
+  Status s = net::RemoteBackend::Connect(o, &remote);
+  if (!s.ok()) return Fail(s);
+  const Key key = std::strtoull(args.positional[0].c_str(), nullptr, 10);
+
+  if (cmd == "remote-get") {
+    std::vector<float> v(remote->dim());
+    s = remote->PeekEmbedding(key, v.data());  // untracked: a CLI probe
+                                               // must not advance clocks
+    if (!s.ok()) return Fail(s);
+    PrintVector(v.data(), remote->dim());
+    return 0;
+  }
+  // remote-put
+  if (args.positional.size() < 2) return Usage();
+  const std::vector<float> v = ParseFloats(args.positional[1]);
+  if (v.size() != remote->dim()) {
+    std::fprintf(stderr, "expected %u floats, got %zu\n", remote->dim(),
+                 v.size());
+    return 1;
+  }
+  s = remote->PutEmbedding(key, v.data());
+  if (!s.ok()) return Fail(s);
+  std::printf("ok\n");
+  return 0;
+}
+
 bool ParseOptimizer(const std::string& name, OptimizerConfig* out) {
   if (name == "sgd") {
     out->kind = OptimizerKind::kSgd;
@@ -102,6 +242,14 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string dir = argv[1];
   const std::string cmd = argv[2];
+
+  // Network commands bypass the local Mlkv open: serve owns its backend
+  // via the factory, remote-* never touch local storage at all.
+  if (cmd == "serve" || cmd == "remote-get" || cmd == "remote-put") {
+    ArgList args;
+    if (!args.ParseFrom(argc, argv, 3)) return Usage();
+    return cmd == "serve" ? RunServe(dir, args) : RunRemote(cmd, args);
+  }
 
   MlkvOptions options;
   options.dir = dir;

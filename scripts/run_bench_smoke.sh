@@ -35,5 +35,17 @@ for bench in "${bench_dir}"/bench_*; do
     failed=1
   fi
 done
+# One remote-mode smoke: the same batch sweep through a loopback KvServer
+# (RemoteBackend), so the network path is exercised wherever the smoke
+# suite runs — including the Release bench-smoke CI job.
+if [[ -x "${bench_dir}/bench_ycsb_suite" ]]; then
+  echo "=== bench_ycsb_suite --smoke --remote"
+  if ! "${bench_dir}/bench_ycsb_suite" --smoke --remote \
+      > "${log_dir}/bench_ycsb_suite_remote.txt"; then
+    echo "FAILED: bench_ycsb_suite --remote" >&2
+    failed=1
+  fi
+fi
+
 echo "bench output tables: ${log_dir}"
 exit "${failed}"

@@ -32,6 +32,7 @@
 #include "lsm/lsm_store.h"
 #include "mlkv/embedding_init.h"
 #include "mlkv/mlkv.h"
+#include "net/remote_backend.h"
 
 namespace mlkv {
 
@@ -713,12 +714,21 @@ const char* BackendKindName(BackendKind kind) {
     case BackendKind::kLsm: return "RocksDB-like";
     case BackendKind::kBtree: return "WiredTiger-like";
     case BackendKind::kInMemory: return "InMemory";
+    case BackendKind::kRemote: return "Remote";
   }
   return "?";
 }
 
 Status MakeBackend(BackendKind kind, const BackendConfig& config,
                    std::unique_ptr<KvBackend>* out) {
+  if (kind == BackendKind::kRemote) {
+    // No local files: storage lives behind the KvServer at remote_addr.
+    net::RemoteBackendOptions o;
+    o.addr = config.remote_addr;
+    o.pool_size = config.remote_pool_size;
+    o.max_keys_per_rpc = config.remote_max_keys_per_rpc;
+    return net::RemoteBackend::Connect(o, out);
+  }
   std::error_code ec;
   std::filesystem::create_directories(config.dir, ec);
   if (ec) return Status::IOError("create dir: " + ec.message());
@@ -728,6 +738,7 @@ Status MakeBackend(BackendKind kind, const BackendConfig& config,
     case BackendKind::kLsm: return LsmBackend::Make(config, out);
     case BackendKind::kBtree: return BtreeBackend::Make(config, out);
     case BackendKind::kInMemory: return InMemoryBackend::Make(config, out);
+    case BackendKind::kRemote: break;  // handled above
   }
   return Status::InvalidArgument("unknown backend kind");
 }

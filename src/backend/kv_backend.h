@@ -151,9 +151,22 @@ struct BackendConfig {
   size_t batch_threads = 0;
   // Minimum keys per chunk before a batch fans out (amortizes the handoff).
   size_t batch_min_chunk = 64;
+  // kRemote only: "host:port" of a KvServer (src/net/). The storage
+  // fields above are ignored — dim and shard layout are negotiated in the
+  // connection handshake, and the server side owns the storage
+  // configuration.
+  std::string remote_addr;
+  // kRemote only: idle client connections retained for reuse. Size to the
+  // number of concurrently batching threads, or steady-state traffic pays
+  // a fresh connect + handshake whenever a burst exceeds the pool.
+  size_t remote_pool_size = 8;
+  // kRemote only: cap on keys per RPC before the client chunks a batch
+  // into sequential sub-RPCs (0 = derive the largest frame-cap-safe count
+  // from the negotiated dim).
+  size_t remote_max_keys_per_rpc = 0;
 };
 
-enum class BackendKind { kMlkv, kFaster, kLsm, kBtree, kInMemory };
+enum class BackendKind { kMlkv, kFaster, kLsm, kBtree, kInMemory, kRemote };
 
 // Human-readable names matching the paper's legends.
 const char* BackendKindName(BackendKind kind);

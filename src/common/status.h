@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -40,6 +41,13 @@ class Status {
   static Status IOError(std::string msg = "") {
     return Status(Code::kIOError, std::move(msg));
   }
+  // errno-capturing variant for OS call sites: appends strerror so I/O
+  // failures carry the OS reason ("open /x: No such file or directory").
+  static Status IOError(std::string context, int sys_errno) {
+    context += ": ";
+    context += std::strerror(sys_errno);
+    return Status(Code::kIOError, std::move(context));
+  }
   static Status Busy(std::string msg = "") {
     return Status(Code::kBusy, std::move(msg));
   }
@@ -69,6 +77,8 @@ class Status {
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

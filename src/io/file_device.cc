@@ -42,7 +42,7 @@ Status FileDevice::Open(const std::string& path, bool truncate) {
   if (truncate) flags |= O_TRUNC;
   fd_ = ::open(path.c_str(), flags, 0644);
   if (fd_ < 0) {
-    return Status::IOError("open " + path + ": " + std::strerror(errno));
+    return Status::IOError("open " + path, errno);
   }
   path_ = path;
   return Status::OK();
@@ -64,7 +64,7 @@ Status FileDevice::WriteAt(uint64_t offset, const void* data, size_t n) {
     ssize_t w = ::pwrite(fd_, p, left, static_cast<off_t>(off));
     if (w < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError("pwrite " + path_ + ": " + std::strerror(errno));
+      return Status::IOError("pwrite " + path_, errno);
     }
     p += w;
     off += static_cast<uint64_t>(w);
@@ -112,7 +112,7 @@ Status FileDevice::ReadAt(uint64_t offset, void* data, size_t n) const {
     ssize_t r = ::pread(fd_, p, left, static_cast<off_t>(off));
     if (r < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError("pread " + path_ + ": " + std::strerror(errno));
+      return Status::IOError("pread " + path_, errno);
     }
     if (r == 0) {
       // Reading past EOF: zero-fill. The hybrid log pre-extends lazily, so a
@@ -132,7 +132,7 @@ Status FileDevice::ReadAt(uint64_t offset, void* data, size_t n) const {
 
 Status FileDevice::Sync() {
   if (::fdatasync(fd_) != 0) {
-    return Status::IOError("fdatasync: " + std::string(std::strerror(errno)));
+    return Status::IOError("fdatasync " + path_, errno);
   }
   return Status::OK();
 }
@@ -145,8 +145,7 @@ Status FileDevice::PunchHole(uint64_t offset, uint64_t len) {
     if (errno == EOPNOTSUPP || errno == ENOSYS || errno == EINVAL) {
       return Status::OK();  // best-effort space reclamation
     }
-    return Status::IOError("fallocate(PUNCH_HOLE): " +
-                           std::string(std::strerror(errno)));
+    return Status::IOError("fallocate(PUNCH_HOLE) " + path_, errno);
   }
 #else
   (void)offset;
@@ -156,7 +155,7 @@ Status FileDevice::PunchHole(uint64_t offset, uint64_t len) {
 
 Status FileDevice::Truncate(uint64_t size) {
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
-    return Status::IOError("ftruncate: " + std::string(std::strerror(errno)));
+    return Status::IOError("ftruncate " + path_, errno);
   }
   return Status::OK();
 }

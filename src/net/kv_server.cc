@@ -1,0 +1,303 @@
+#include "net/kv_server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace mlkv {
+namespace net {
+
+KvServer::KvServer(std::unique_ptr<KvBackend> backend,
+                   KvServerOptions options)
+    : backend_(std::move(backend)),
+      options_(std::move(options)),
+      slot_fds_(options_.num_workers == 0 ? 1 : options_.num_workers, -1) {}
+
+KvServer::~KvServer() { Stop(); }
+
+std::string KvServer::addr() const {
+  return options_.host + ":" + std::to_string(port());
+}
+
+Status KvServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  MLKV_RETURN_NOT_OK(
+      listener_.Listen(options_.host, options_.port, options_.backlog));
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(slot_fds_.size());
+  for (size_t slot = 0; slot < slot_fds_.size(); ++slot) {
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+  }
+  return Status::OK();
+}
+
+void KvServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    // The store must be ordered with the workers' predicate evaluation
+    // (which runs under mu_), or a worker that just found the predicate
+    // false could block after our notify and sleep forever.
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  listener_.Wake();
+  // Half-close reads on active connections: each worker finishes and
+  // answers its in-flight request, then sees EOF and releases the slot.
+  // Raw shutdown, not Socket, so ownership (and the close) stays with the
+  // serving worker.
+  {
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    for (const int active : slot_fds_) {
+      if (active >= 0) ::shutdown(active, SHUT_RD);
+    }
+  }
+  pending_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.clear();  // queued-but-never-served connections just close
+  }
+  listener_.Close();
+}
+
+void KvServer::AcceptLoop() {
+  for (;;) {
+    Socket conn;
+    const Status s = listener_.Accept(&conn);
+    if (s.IsAborted()) return;  // woken by Stop()
+    if (!s.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      // Transient accept failure; keep serving. The sleep matters under
+      // fd exhaustion (EMFILE): poll reports the queued connection as
+      // readable immediately, so retrying without it busy-spins a core
+      // until an fd frees.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.send_timeout_ms > 0) {
+      (void)conn.SetSendTimeoutMs(options_.send_timeout_ms);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      pending_.push_back(std::move(conn));
+    }
+    pending_cv_.notify_one();
+  }
+}
+
+void KvServer::WorkerLoop(size_t slot) {
+  for (;;) {
+    Socket conn;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      pending_cv_.wait(lk, [this] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stopping with nothing queued
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    ServeConnection(std::move(conn), slot);
+  }
+}
+
+// How long a connection may sit quiet before its worker considers handing
+// the slot to a waiting connection. Bounds the extra latency a request
+// sees under slot contention; irrelevant when connections <= workers.
+constexpr int kIdlePollMs = 10;
+
+void KvServer::ServeConnection(Socket conn, size_t slot) {
+  {
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    slot_fds_[slot] = conn.fd();
+  }
+  // Publish-then-check: Stop() may have swept slot_fds_ between the queue
+  // pop and the registration above — shut down ourselves so the drain
+  // still sees EOF after the current (none yet) request.
+  if (stopping_.load(std::memory_order_acquire)) conn.ShutdownRead();
+  FrameHeader hdr;
+  std::vector<uint8_t> payload;
+  for (;;) {
+    // Between frames the connection holds no in-flight state, so a quiet
+    // one can be requeued to let a waiting connection have the slot —
+    // otherwise idle pooled client sockets would pin every worker and
+    // excess connections would hang instead of round-robining.
+    const Status ready = conn.WaitReadable(kIdlePollMs);
+    if (ready.IsTimedOut()) {
+      if (!stopping_.load(std::memory_order_acquire)) {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (!pending_.empty()) {
+          {
+            std::lock_guard<std::mutex> slk(slots_mu_);
+            slot_fds_[slot] = -1;
+          }
+          pending_.push_back(std::move(conn));
+          lk.unlock();
+          pending_cv_.notify_one();
+          return;
+        }
+      }
+      continue;  // keep waiting (on Stop, the SHUT_RD sweep wakes us)
+    }
+    if (!ready.ok()) break;
+    const Status s = RecvFrame(&conn, &hdr, &payload);
+    if (s.IsAborted()) break;  // clean close between frames
+    if (s.IsNotSupported()) {
+      // Version mismatch: the frame was well-formed, so answer with the
+      // reason before hanging up — the client gets a decodable error
+      // instead of a mystery disconnect.
+      PayloadWriter empty;
+      (void)SendResponse(&conn, hdr, s, empty);
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (!s.ok()) {  // torn/corrupt frame: the stream cannot be trusted
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (!HandleRequest(&conn, hdr, payload)) break;
+  }
+  // Deregister and close atomically w.r.t. Stop()'s shutdown sweep, so a
+  // swept fd is always still ours.
+  std::lock_guard<std::mutex> lk(slots_mu_);
+  slot_fds_[slot] = -1;
+  conn.Close();
+}
+
+Status KvServer::SendResponse(Socket* conn, const FrameHeader& req,
+                              const Status& transport,
+                              const PayloadWriter& body) {
+  PayloadWriter prefix;
+  prefix.StatusOf(transport);
+  // Gathered as two payload pieces — the (possibly large) body is never
+  // copied into a status-prefixed buffer.
+  const std::span<const uint8_t> b =
+      transport.ok() ? std::span<const uint8_t>(body.bytes())
+                     : std::span<const uint8_t>();
+  return SendFrame(conn, req.opcode, kFlagResponse, req.request_id,
+                   prefix.bytes(), b);
+}
+
+bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
+                             std::span<const uint8_t> payload) {
+  const uint8_t raw_op = static_cast<uint8_t>(hdr.opcode);
+  if (!ValidOpcode(raw_op)) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    PayloadWriter empty;
+    const Status s = Status::NotSupported(
+        "unknown opcode " + std::to_string(raw_op));
+    // Frame boundaries are intact, so the connection stays usable.
+    return SendResponse(conn, hdr, s, empty).ok();
+  }
+  op_counts_[raw_op].fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t start_us = NowMicros();
+
+  Status transport = Status::OK();
+  PayloadWriter body;
+  switch (hdr.opcode) {
+    case Opcode::kHandshake: {
+      HandshakeInfo info;
+      info.dim = backend_->dim();
+      info.shard_bits = backend_->shard_bits();
+      info.backend_name = backend_->name();
+      EncodeHandshakeInfo(info, &body);
+      break;
+    }
+    case Opcode::kMultiGet: {
+      MultiGetRequest req;
+      transport = DecodeMultiGetRequest(payload, &req);
+      if (transport.ok()) {
+        const uint32_t dim = backend_->dim();
+        // The request bounds the key count, but the response is
+        // dim-amplified — preflight it against the frame cap before any
+        // allocation or backend work (only well-behaved RemoteBackend
+        // clients chunk; the server must not trust that).
+        const size_t resp_bytes =
+            req.keys.size() * (size_t{dim} * 4 + 1) + 64;
+        if (resp_bytes > kMaxPayloadBytes) {
+          transport = Status::InvalidArgument(
+              "MultiGet of " + std::to_string(req.keys.size()) +
+              " keys exceeds the response frame limit; chunk the batch");
+          break;
+        }
+        MultiGetOptions opts;
+        opts.init_missing = req.init_missing;
+        opts.untracked = req.untracked;
+        std::vector<float> rows(req.keys.size() * size_t{dim});
+        const BatchResult r = backend_->MultiGet(req.keys, rows.data(), opts);
+        EncodeMultiGetResponse(r, rows.data(), dim, &body);
+      }
+      break;
+    }
+    case Opcode::kMultiPut: {
+      MultiWriteRequest req;
+      transport = DecodeMultiWriteRequest(payload, backend_->dim(), &req);
+      if (transport.ok()) {
+        EncodeBatchResult(backend_->MultiPut(req.keys, req.rows.data()),
+                          &body);
+      }
+      break;
+    }
+    case Opcode::kMultiApplyGradient: {
+      MultiWriteRequest req;
+      transport = DecodeMultiWriteRequest(payload, backend_->dim(), &req);
+      if (transport.ok()) {
+        EncodeBatchResult(
+            backend_->MultiApplyGradient(req.keys, req.rows.data(), req.lr),
+            &body);
+      }
+      break;
+    }
+    case Opcode::kLookahead: {
+      std::vector<Key> keys;
+      transport = DecodeLookaheadRequest(payload, &keys);
+      if (transport.ok()) transport = backend_->Lookahead(keys);
+      break;
+    }
+    case Opcode::kStats: {
+      EncodeStatsSnapshot(stats(), &body);
+      break;
+    }
+    case Opcode::kPing: {
+      break;  // empty body: liveness plus round-trip timing
+    }
+  }
+  if (!transport.ok()) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  latency_.Record(NowMicros() - start_us);
+  if (!SendResponse(conn, hdr, transport, body).ok()) return false;
+  // A request the server could not even decode leaves the stream suspect
+  // only when framing was at fault; decode errors above are payload-level
+  // with intact framing, so the connection survives them.
+  return true;
+}
+
+StatsSnapshot KvServer::stats() const {
+  StatsSnapshot s;
+  for (size_t i = 0; i < kOpcodeSlots; ++i) {
+    s.op_counts[i] = op_counts_[i].load(std::memory_order_relaxed);
+  }
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  s.latency_p50_us = latency_.Percentile(0.50);
+  s.latency_p99_us = latency_.Percentile(0.99);
+  return s;
+}
+
+}  // namespace net
+}  // namespace mlkv

@@ -1,0 +1,115 @@
+// KvServer: a multi-threaded TCP embedding server exposing any KvBackend
+// over the net/ wire protocol — the deployment shape the paper assumes
+// (trainers and inference replicas sharing one live store as a service).
+//
+// Threading model: one accept-loop thread plus a configurable worker pool.
+// Each worker slot serves one connection at a time, request-by-request
+// (the protocol is strictly request/response per connection; concurrency
+// comes from connections, matching RemoteBackend's pooled client sockets —
+// one checked out per in-flight batch). With more connections than
+// workers, quiet connections are requeued between frames (a short idle
+// poll) so the pool round-robins over all of them — excess connections
+// see added latency, never starvation. Size num_workers to the expected
+// number of concurrently batching clients to avoid the requeue path.
+//
+// Stop() is graceful: it wakes the blocking accept, half-closes the read
+// side of every active connection so in-flight requests finish and get
+// their responses, then joins all threads. Per-opcode op counters and a
+// request-latency Histogram are served both in-process (stats()) and over
+// the wire (Opcode::kStats).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/kv_backend.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace mlkv {
+namespace net {
+
+struct KvServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;       // 0 = ephemeral; the bound port is port()
+  size_t num_workers = 4;  // connections served concurrently
+  int backlog = 64;
+  // A response send blocked this long (client stopped reading) fails and
+  // closes the connection instead of wedging the worker — without it, a
+  // non-reading peer could also hang Stop()'s drain (SHUT_RD unblocks
+  // reads, not sends). 0 disables.
+  int send_timeout_ms = 10000;
+};
+
+class KvServer {
+ public:
+  // Takes ownership of the backend: any engine behind the KvBackend seam
+  // is servable unmodified.
+  KvServer(std::unique_ptr<KvBackend> backend, KvServerOptions options = {});
+  ~KvServer();  // implies Stop()
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  Status Start();
+  // Graceful: unblocks the accept loop, drains in-flight requests (each
+  // active connection finishes its current request and receives the
+  // response), joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return listener_.port(); }
+  std::string addr() const;
+  KvBackend* backend() const { return backend_.get(); }
+
+  StatsSnapshot stats() const;
+  const Histogram& request_latency() const { return latency_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop(size_t slot);
+  void ServeConnection(Socket conn, size_t slot);
+  // Handles one decoded request frame; false ends the connection.
+  bool HandleRequest(Socket* conn, const FrameHeader& hdr,
+                     std::span<const uint8_t> payload);
+  Status SendResponse(Socket* conn, const FrameHeader& req,
+                      const Status& transport, const PayloadWriter& body);
+
+  std::unique_ptr<KvBackend> backend_;
+  const KvServerOptions options_;
+
+  ListenSocket listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  // Active connection fd per worker slot (-1 when idle), so Stop() can
+  // half-close reads to drain blocked workers. Mutex-guarded — and the
+  // worker closes its socket under the same lock — so Stop() can never
+  // shutdown() an fd the worker just closed (and the kernel reused).
+  std::mutex slots_mu_;
+  std::vector<int> slot_fds_;
+
+  std::mutex mu_;
+  std::condition_variable pending_cv_;
+  std::deque<Socket> pending_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  mutable std::array<std::atomic<uint64_t>, kOpcodeSlots> op_counts_{};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> transport_errors_{0};
+  Histogram latency_;  // per-request handling time, microseconds
+};
+
+}  // namespace net
+}  // namespace mlkv

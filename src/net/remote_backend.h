@@ -1,0 +1,109 @@
+// RemoteBackend: the KvBackend seam over the wire. Implements the batched
+// virtuals by framing key spans onto a pooled TCP connection and decoding
+// the per-key BatchResult back, so every trainer, bench, and the serving
+// path can hit a KvServer-fronted store with one flag
+// (BackendKind::kRemote + BackendConfig::remote_addr) and zero code
+// changes — the network boundary drops in behind the existing seam.
+//
+// Connection pool: one socket is checked out per in-flight batch, so
+// concurrent trainer threads issue RPCs in parallel instead of
+// serializing on a single stream (pair the pool with at least as many
+// KvServer workers). Sockets are created on demand, handshake-validated,
+// and retained idle up to pool_size; a socket that sees any transport
+// error is discarded, never re-pooled.
+//
+// dim() and shard_bits() are answered from the connect-time handshake, so
+// batch layout helpers (train/batch_io.h's OrderKeysByShard) keep working
+// against a remote store.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backend/kv_backend.h"
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace mlkv {
+namespace net {
+
+struct RemoteBackendOptions {
+  std::string addr;      // "host:port" of a KvServer
+  size_t pool_size = 8;  // idle connections retained for reuse
+  // Batches larger than this are split into sequential sub-RPCs (results
+  // stitched back in caller order — chunks execute in input order, so
+  // duplicate-key last-write-wins / gradient-accumulation semantics are
+  // preserved). 0 derives the largest count whose request AND response
+  // stay under the wire's frame cap for the negotiated dim; tests set it
+  // small to exercise the stitching.
+  size_t max_keys_per_rpc = 0;
+};
+
+class RemoteBackend : public KvBackend {
+ public:
+  // Connects, handshakes (negotiating dim / shard_bits / backend name),
+  // and returns the backend ready for batched calls.
+  static Status Connect(const RemoteBackendOptions& options,
+                        std::unique_ptr<KvBackend>* out);
+
+  std::string name() const override { return "Remote(" + remote_name_ + ")"; }
+  uint32_t dim() const override { return dim_; }
+  uint32_t shard_bits() const override { return shard_bits_; }
+
+  BatchResult MultiGet(std::span<const Key> keys, float* out,
+                       const MultiGetOptions& options) override;
+  BatchResult MultiPut(std::span<const Key> keys,
+                       const float* values) override;
+  BatchResult MultiApplyGradient(std::span<const Key> keys,
+                                 const float* grads, float lr) override;
+  Status Lookahead(std::span<const Key> keys) override;
+
+  // Liveness probe and remote server counters (exposed for tools/tests;
+  // not part of the KvBackend contract).
+  Status Ping();
+  Status FetchStats(StatsSnapshot* out);
+
+ private:
+  explicit RemoteBackend(RemoteBackendOptions options)
+      : options_(std::move(options)) {}
+
+  // Single-RPC implementations; the public virtuals chunk oversized
+  // batches across them.
+  BatchResult MultiGetChunk(std::span<const Key> keys, float* out,
+                            const MultiGetOptions& options);
+  BatchResult MultiWriteChunk(Opcode op, std::span<const Key> keys,
+                              const float* rows, float lr);
+
+  // Checkout/checkin around one RPC; a fresh socket handshakes and must
+  // agree with the connect-time dim (a pool pointed at a different server
+  // generation would silently corrupt rows otherwise).
+  Status CheckOut(Socket* out);
+  void CheckIn(Socket s);
+  // One request/response exchange. On OK, `transport` is the response's
+  // transport status and the op body is body[*body_off..] — an offset,
+  // not an erase, so a near-cap response is never memmoved.
+  Status Rpc(Opcode op, const PayloadWriter& request, Status* transport,
+             std::vector<uint8_t>* body, size_t* body_off);
+  // Folds a transport-level failure into a per-key result: every key gets
+  // the failure code, so callers see the standard BatchResult contract.
+  BatchResult FailAll(size_t n, const Status& s);
+
+  const RemoteBackendOptions options_;
+  std::string host_;
+  uint16_t port_ = 0;
+  uint32_t dim_ = 0;
+  uint32_t shard_bits_ = 0;
+  size_t max_keys_per_rpc_ = 0;  // resolved at Connect (needs dim)
+  std::string remote_name_;
+
+  std::mutex pool_mu_;
+  std::vector<Socket> pool_;
+  std::atomic<uint64_t> next_request_id_{1};
+};
+
+}  // namespace net
+}  // namespace mlkv

@@ -1,0 +1,368 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace mlkv {
+namespace net {
+
+namespace {
+
+Status ResolveIpv4(const std::string& host, uint16_t port,
+                   sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1) {
+    return Status::OK();
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    return Status::IOError("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  out->sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Status ParseHostPort(const std::string& addr, std::string* host,
+                     uint16_t* port, bool allow_port_zero) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("address '" + addr +
+                                   "' is not host:port");
+  }
+  *host = colon == 0 ? "127.0.0.1" : addr.substr(0, colon);
+  const std::string port_str = addr.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long p = std::strtoul(port_str.c_str(), &end, 10);
+  if (port_str.empty() || end == nullptr || *end != '\0' || p > 65535 ||
+      (p == 0 && !allow_port_zero)) {
+    return Status::InvalidArgument("bad port in address '" + addr + "'");
+  }
+  *port = static_cast<uint16_t>(p);
+  return Status::OK();
+}
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Socket::Connect(const std::string& host, uint16_t port, Socket* out) {
+  sockaddr_in sa;
+  MLKV_RETURN_NOT_OK(ResolveIpv4(host, port, &sa));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket", errno);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (rc != 0 && errno == EINTR) {
+    // A signal-interrupted connect keeps completing asynchronously —
+    // retrying connect() would misreport EALREADY as failure. Wait for
+    // writability and read the real outcome from SO_ERROR.
+    pollfd p = {fd, POLLOUT, 0};
+    int prc;
+    do {
+      prc = ::poll(&p, 1, -1);
+    } while (prc < 0 && errno == EINTR);
+    int err = prc < 0 ? errno : 0;
+    if (prc >= 0) {
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        err = errno;
+      }
+    }
+    if (err != 0) {
+      ::close(fd);
+      return Status::IOError(
+          "connect " + host + ":" + std::to_string(port), err);
+    }
+    rc = 0;
+  }
+  if (rc != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(
+        "connect " + host + ":" + std::to_string(port), err);
+  }
+  SetNoDelay(fd);
+  *out = Socket(fd);
+  return Status::OK();
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+Status Socket::SetSendTimeoutMs(int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError("setsockopt(SO_SNDTIMEO)", errno);
+  }
+  return Status::OK();
+}
+
+Status Socket::SendAll(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  size_t left = n;
+  while (left > 0) {
+    const ssize_t w = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send", errno);
+    }
+    p += w;
+    left -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status Socket::SendIov(iovec* iov, int count) {
+  int idx = 0;
+  while (idx < count) {
+    if (iov[idx].iov_len == 0) {
+      ++idx;
+      continue;
+    }
+    msghdr msg{};
+    msg.msg_iov = &iov[idx];
+    msg.msg_iovlen = static_cast<size_t>(count - idx);
+    const ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("sendmsg", errno);
+    }
+    size_t done = static_cast<size_t>(w);
+    while (idx < count && done >= iov[idx].iov_len) {
+      done -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < count) {
+      iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + done;
+      iov[idx].iov_len -= done;
+    }
+  }
+  return Status::OK();
+}
+
+Status Socket::SendTwo(const void* a, size_t an, const void* b, size_t bn) {
+  iovec iov[2] = {{const_cast<void*>(a), an}, {const_cast<void*>(b), bn}};
+  return SendIov(iov, 2);
+}
+
+Status Socket::SendThree(const void* a, size_t an, const void* b, size_t bn,
+                         const void* c, size_t cn) {
+  iovec iov[3] = {{const_cast<void*>(a), an},
+                  {const_cast<void*>(b), bn},
+                  {const_cast<void*>(c), cn}};
+  return SendIov(iov, 3);
+}
+
+Status Socket::WaitReadable(int timeout_ms) {
+  for (;;) {
+    pollfd fds = {fd_, POLLIN, 0};
+    const int rc = ::poll(&fds, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("poll", errno);
+    }
+    if (rc == 0) return Status::TimedOut("socket quiet");
+    return Status::OK();  // readable — possibly EOF; recv disambiguates
+  }
+}
+
+Status Socket::RecvAll(void* data, size_t n, bool eof_ok) {
+  char* p = static_cast<char*>(data);
+  size_t left = n;
+  while (left > 0) {
+    const ssize_t r = ::recv(fd_, p, left, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv", errno);
+    }
+    if (r == 0) {
+      if (eof_ok && left == n) {
+        return Status::Aborted("connection closed by peer");
+      }
+      return Status::Corruption("wire: connection closed mid-frame");
+    }
+    p += r;
+    left -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status SendFrame(Socket* s, const FrameHeader& hdr,
+                 std::span<const uint8_t> payload) {
+  // Mirror the receive-side cap before anything hits the wire: shipping
+  // an oversized frame would only be rejected by the peer as corruption
+  // (and desync the stream past the u32 length field).
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "wire: payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the frame limit; chunk the batch");
+  }
+  uint8_t header[kFrameHeaderSize];
+  EncodeFrameHeader(hdr, header);
+  return s->SendTwo(header, sizeof(header), payload.data(), payload.size());
+}
+
+Status SendFrame(Socket* s, Opcode op, uint16_t flags, uint64_t request_id,
+                 std::span<const uint8_t> payload) {
+  FrameHeader hdr;
+  hdr.opcode = op;
+  hdr.flags = flags;
+  hdr.request_id = request_id;
+  hdr.payload_len = static_cast<uint32_t>(payload.size());
+  return SendFrame(s, hdr, payload);
+}
+
+Status SendFrame(Socket* s, Opcode op, uint16_t flags, uint64_t request_id,
+                 std::span<const uint8_t> prefix,
+                 std::span<const uint8_t> body) {
+  const size_t total = prefix.size() + body.size();
+  if (total > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "wire: payload of " + std::to_string(total) +
+        " bytes exceeds the frame limit; chunk the batch");
+  }
+  FrameHeader hdr;
+  hdr.opcode = op;
+  hdr.flags = flags;
+  hdr.request_id = request_id;
+  hdr.payload_len = static_cast<uint32_t>(total);
+  uint8_t header[kFrameHeaderSize];
+  EncodeFrameHeader(hdr, header);
+  return s->SendThree(header, sizeof(header), prefix.data(), prefix.size(),
+                      body.data(), body.size());
+}
+
+Status RecvFrame(Socket* s, FrameHeader* hdr, std::vector<uint8_t>* payload) {
+  uint8_t raw[kFrameHeaderSize];
+  MLKV_RETURN_NOT_OK(s->RecvAll(raw, sizeof(raw), /*eof_ok=*/true));
+  const Status decoded = DecodeFrameHeader(raw, hdr);
+  // A version mismatch still describes a well-framed payload: drain it so
+  // the caller may answer on an intact stream. Anything else is torn.
+  if (!decoded.ok() && !decoded.IsNotSupported()) return decoded;
+  payload->resize(hdr->payload_len);
+  MLKV_RETURN_NOT_OK(s->RecvAll(payload->data(), payload->size()));
+  return decoded;
+}
+
+Status ListenSocket::Listen(const std::string& host, uint16_t port,
+                            int backlog) {
+  Close();
+  sockaddr_in sa;
+  MLKV_RETURN_NOT_OK(ResolveIpv4(host, port, &sa));
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IOError("socket", errno);
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const Status s = Status::IOError(
+        "bind " + host + ":" + std::to_string(port), errno);
+    Close();
+    return s;
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const Status s = Status::IOError("listen", errno);
+    Close();
+    return s;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status s = Status::IOError("getsockname", errno);
+    Close();
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    const Status s = Status::IOError("pipe", errno);
+    Close();
+    return s;
+  }
+  wake_rd_ = pipefd[0];
+  wake_wr_ = pipefd[1];
+  woken_.store(false, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ListenSocket::Accept(Socket* out) {
+  for (;;) {
+    if (woken_.load(std::memory_order_acquire)) {
+      return Status::Aborted("listener woken");
+    }
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_rd_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("poll", errno);
+    }
+    if (fds[1].revents != 0) return Status::Aborted("listener woken");
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Status::IOError("accept", errno);
+    }
+    SetNoDelay(fd);
+    *out = Socket(fd);
+    return Status::OK();
+  }
+}
+
+void ListenSocket::Wake() {
+  woken_.store(true, std::memory_order_release);
+  if (wake_wr_ >= 0) {
+    const char b = 0;
+    // Best-effort: the pipe is never full in practice (one byte per Wake),
+    // and `woken_` already guarantees eventual exit.
+    (void)!::write(wake_wr_, &b, 1);
+  }
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+  fd_ = wake_rd_ = wake_wr_ = -1;
+  port_ = 0;
+}
+
+}  // namespace net
+}  // namespace mlkv

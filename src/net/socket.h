@@ -1,0 +1,121 @@
+// Small POSIX TCP wrappers for the RPC subsystem: RAII fds, full-frame
+// read/write loops that handle short reads/writes and EINTR, and a
+// listener whose blocking Accept can be woken for graceful shutdown.
+// Status-returning throughout, no exceptions; errno reasons ride on
+// Status::IOError(context, errno).
+#pragma once
+
+#include <sys/uio.h>
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace mlkv {
+namespace net {
+
+// Splits "host:port" (host optional: ":7700" means loopback). Numeric
+// IPv4 dotted quads or resolvable names; port must be 1..65535 unless
+// `allow_port_zero` (servers bind 0 for an ephemeral port).
+Status ParseHostPort(const std::string& addr, std::string* host,
+                     uint16_t* port, bool allow_port_zero = false);
+
+// A connected stream socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  // TCP connect to host:port with TCP_NODELAY (one frame per request —
+  // Nagle only adds latency to the RPC pattern).
+  static Status Connect(const std::string& host, uint16_t port, Socket* out);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  Status SendIov(iovec* iov, int count);
+
+ public:
+  // Half-close the read side: the peer's in-flight request still gets its
+  // response, but the next read on our side sees EOF (graceful drain).
+  void ShutdownRead();
+  // SO_SNDTIMEO: a send blocked this long (peer stopped reading) fails
+  // with IOError instead of blocking forever. 0 disables.
+  Status SetSendTimeoutMs(int timeout_ms);
+
+  // Full-buffer loops: retry EINTR, continue over short transfers. Sends
+  // use MSG_NOSIGNAL so a vanished peer is an IOError, not SIGPIPE.
+  Status SendAll(const void* data, size_t n);
+  // Gathering sends (frame header + payload pieces) — one syscall, one
+  // segment with TCP_NODELAY, zero copy.
+  Status SendTwo(const void* a, size_t an, const void* b, size_t bn);
+  Status SendThree(const void* a, size_t an, const void* b, size_t bn,
+                   const void* c, size_t cn);
+  // kAborted when the peer closed cleanly before the first byte (only if
+  // `eof_ok` — mid-buffer EOF is always a truncation error).
+  Status RecvAll(void* data, size_t n, bool eof_ok = false);
+  // Blocks up to timeout_ms for the fd to become readable (includes EOF):
+  // OK when readable, TimedOut on quiet timeout, IOError on poll failure.
+  Status WaitReadable(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+// One whole frame per call: header + payload out, header + payload in.
+// RecvFrame returns kAborted on clean peer close between frames,
+// Corruption for torn/corrupt frames, NotSupported for a version
+// mismatch (with hdr->request_id valid so the caller can answer).
+Status SendFrame(Socket* s, const FrameHeader& hdr,
+                 std::span<const uint8_t> payload);
+Status SendFrame(Socket* s, Opcode op, uint16_t flags, uint64_t request_id,
+                 std::span<const uint8_t> payload);
+// Two-piece payload (e.g. a response's status prefix + op body), gathered
+// into one frame without concatenating the buffers.
+Status SendFrame(Socket* s, Opcode op, uint16_t flags, uint64_t request_id,
+                 std::span<const uint8_t> prefix,
+                 std::span<const uint8_t> body);
+Status RecvFrame(Socket* s, FrameHeader* hdr, std::vector<uint8_t>* payload);
+
+// Listening socket with a self-pipe so Stop() can unblock a pending
+// Accept without races or timeouts.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  // Binds and listens; port 0 picks an ephemeral port (see port()).
+  Status Listen(const std::string& host, uint16_t port, int backlog = 64);
+  uint16_t port() const { return port_; }
+
+  // Blocks until a connection arrives (OK), Wake() is called (kAborted),
+  // or the socket fails (kIOError).
+  Status Accept(Socket* out);
+  // Unblocks current and future Accept calls; idempotent, thread-safe.
+  void Wake();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::atomic<bool> woken_{false};
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace mlkv

@@ -1,0 +1,399 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace mlkv {
+namespace net {
+
+namespace {
+
+void PutU16(std::vector<uint8_t>* b, uint16_t v) {
+  b->push_back(static_cast<uint8_t>(v));
+  b->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* b, uint32_t v) {
+  for (int i = 0; i < 4; ++i) b->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* b, uint64_t v) {
+  for (int i = 0; i < 8; ++i) b->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+// Status codes arrive from an untrusted peer; an out-of-range byte must
+// be rejected here, not fed to Status::ToString()'s name table.
+bool ValidStatusCode(uint8_t c) {
+  return c <= static_cast<uint8_t>(Status::Code::kOutOfMemory);
+}
+
+}  // namespace
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kHandshake: return "Handshake";
+    case Opcode::kMultiGet: return "MultiGet";
+    case Opcode::kMultiPut: return "MultiPut";
+    case Opcode::kMultiApplyGradient: return "MultiApplyGradient";
+    case Opcode::kLookahead: return "Lookahead";
+    case Opcode::kStats: return "Stats";
+    case Opcode::kPing: return "Ping";
+  }
+  return "?";
+}
+
+void EncodeFrameHeader(const FrameHeader& h, uint8_t out[kFrameHeaderSize]) {
+  uint8_t* p = out;
+  for (int i = 0; i < 4; ++i) *p++ = static_cast<uint8_t>(kWireMagic >> (8 * i));
+  *p++ = h.version;
+  *p++ = static_cast<uint8_t>(h.opcode);
+  *p++ = static_cast<uint8_t>(h.flags);
+  *p++ = static_cast<uint8_t>(h.flags >> 8);
+  for (int i = 0; i < 8; ++i) {
+    *p++ = static_cast<uint8_t>(h.request_id >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    *p++ = static_cast<uint8_t>(h.payload_len >> (8 * i));
+  }
+}
+
+Status DecodeFrameHeader(const uint8_t in[kFrameHeaderSize], FrameHeader* out) {
+  if (LoadU32(in) != kWireMagic) {
+    return Status::Corruption("wire: bad frame magic");
+  }
+  out->version = in[4];
+  out->opcode = static_cast<Opcode>(in[5]);
+  out->flags = static_cast<uint16_t>(in[6] | in[7] << 8);
+  out->request_id = LoadU64(in + 8);
+  out->payload_len = LoadU32(in + 16);
+  if (out->payload_len > kMaxPayloadBytes) {
+    return Status::Corruption("wire: payload length " +
+                              std::to_string(out->payload_len) +
+                              " exceeds limit");
+  }
+  // Version-checked after the structural fields so the caller still has
+  // the request_id to answer a mismatched peer with.
+  if (out->version != kWireVersion) {
+    return Status::NotSupported("wire: version " +
+                                std::to_string(out->version) + ", expected " +
+                                std::to_string(kWireVersion));
+  }
+  return Status::OK();
+}
+
+// --- PayloadWriter -------------------------------------------------------
+
+void PayloadWriter::U16(uint16_t v) { PutU16(&buf_, v); }
+void PayloadWriter::U32(uint32_t v) { PutU32(&buf_, v); }
+void PayloadWriter::U64(uint64_t v) { PutU64(&buf_, v); }
+
+void PayloadWriter::F32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(&buf_, bits);
+}
+
+void PayloadWriter::Floats(const float* v, size_t n) {
+  // Bulk rows are the bytes that dominate MultiGet/MultiPut frames; one
+  // resize + per-word stores instead of four push_backs per float.
+  const size_t start = buf_.size();
+  buf_.resize(start + n * 4);
+  uint8_t* p = buf_.data() + start;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, &v[i], sizeof(bits));
+    p[0] = static_cast<uint8_t>(bits);
+    p[1] = static_cast<uint8_t>(bits >> 8);
+    p[2] = static_cast<uint8_t>(bits >> 16);
+    p[3] = static_cast<uint8_t>(bits >> 24);
+    p += 4;
+  }
+}
+
+void PayloadWriter::Keys(std::span<const Key> keys) {
+  U32(static_cast<uint32_t>(keys.size()));
+  for (const Key k : keys) U64(k);
+}
+
+void PayloadWriter::Str(std::string_view s) {
+  const size_t n = std::min<size_t>(s.size(), UINT16_MAX);
+  U16(static_cast<uint16_t>(n));
+  buf_.insert(buf_.end(), s.begin(), s.begin() + n);
+}
+
+void PayloadWriter::StatusOf(const Status& s) {
+  U8(static_cast<uint8_t>(s.code()));
+  Str(s.message());
+}
+
+// --- PayloadReader -------------------------------------------------------
+
+bool PayloadReader::Take(size_t n, const uint8_t** out) {
+  if (failed_ || static_cast<size_t>(end_ - p_) < n) {
+    failed_ = true;
+    return false;
+  }
+  *out = p_;
+  p_ += n;
+  return true;
+}
+
+bool PayloadReader::U8(uint8_t* v) {
+  const uint8_t* p;
+  if (!Take(1, &p)) return false;
+  *v = *p;
+  return true;
+}
+
+bool PayloadReader::U16(uint16_t* v) {
+  const uint8_t* p;
+  if (!Take(2, &p)) return false;
+  *v = static_cast<uint16_t>(p[0] | p[1] << 8);
+  return true;
+}
+
+bool PayloadReader::U32(uint32_t* v) {
+  const uint8_t* p;
+  if (!Take(4, &p)) return false;
+  *v = LoadU32(p);
+  return true;
+}
+
+bool PayloadReader::U64(uint64_t* v) {
+  const uint8_t* p;
+  if (!Take(8, &p)) return false;
+  *v = LoadU64(p);
+  return true;
+}
+
+bool PayloadReader::F32(float* v) {
+  uint32_t bits;
+  if (!U32(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool PayloadReader::Floats(float* out, size_t n) {
+  // Mirror of PayloadWriter::Floats: one bounds check for the whole row
+  // block, then per-word loads — this is the client's MultiGet hot path.
+  const uint8_t* p;
+  if (!Take(n * 4, &p)) return false;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t bits = LoadU32(p + i * 4);
+    std::memcpy(&out[i], &bits, sizeof(out[i]));
+  }
+  return true;
+}
+
+bool PayloadReader::Keys(std::vector<Key>* out) {
+  uint32_t count;
+  if (!U32(&count)) return false;
+  // A key costs 8 bytes on the wire, so `remaining` bounds the count a
+  // well-formed payload can carry — reject before allocating.
+  if (count > remaining() / sizeof(Key)) {
+    failed_ = true;
+    return false;
+  }
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!U64(&(*out)[i])) return false;
+  }
+  return true;
+}
+
+bool PayloadReader::Str(std::string* out) {
+  uint16_t n;
+  if (!U16(&n)) return false;
+  const uint8_t* p;
+  if (!Take(n, &p)) return false;
+  out->assign(reinterpret_cast<const char*>(p), n);
+  return true;
+}
+
+bool PayloadReader::ReadStatus(Status* out) {
+  uint8_t code;
+  std::string msg;
+  if (!U8(&code) || !Str(&msg)) return false;
+  if (!ValidStatusCode(code)) {
+    failed_ = true;
+    return false;
+  }
+  *out = Status::FromCode(static_cast<Status::Code>(code), std::move(msg));
+  return true;
+}
+
+Status PayloadReader::Finish(const char* what) const {
+  if (failed_) {
+    return Status::Corruption(std::string("wire: truncated ") + what);
+  }
+  if (p_ != end_) {
+    return Status::Corruption(std::string("wire: trailing bytes after ") +
+                              what);
+  }
+  return Status::OK();
+}
+
+// --- messages ------------------------------------------------------------
+
+void EncodeHandshakeInfo(const HandshakeInfo& h, PayloadWriter* w) {
+  w->U32(h.dim);
+  w->U32(h.shard_bits);
+  w->Str(h.backend_name);
+}
+
+Status DecodeHandshakeInfo(PayloadReader* r, HandshakeInfo* out) {
+  r->U32(&out->dim);
+  r->U32(&out->shard_bits);
+  r->Str(&out->backend_name);
+  return r->Finish("handshake");
+}
+
+void EncodeMultiGetRequest(std::span<const Key> keys, bool init_missing,
+                           bool untracked, PayloadWriter* w) {
+  w->U8(init_missing ? 1 : 0);
+  w->U8(untracked ? 1 : 0);
+  w->Keys(keys);
+}
+
+Status DecodeMultiGetRequest(std::span<const uint8_t> payload,
+                             MultiGetRequest* out) {
+  PayloadReader r(payload);
+  uint8_t init, untracked;
+  r.U8(&init);
+  r.U8(&untracked);
+  r.Keys(&out->keys);
+  MLKV_RETURN_NOT_OK(r.Finish("MultiGet request"));
+  out->init_missing = init != 0;
+  out->untracked = untracked != 0;
+  return Status::OK();
+}
+
+void EncodeMultiWriteRequest(std::span<const Key> keys, const float* rows,
+                             uint32_t dim, float lr, PayloadWriter* w) {
+  w->F32(lr);
+  w->Keys(keys);
+  w->Floats(rows, keys.size() * size_t{dim});
+}
+
+Status DecodeMultiWriteRequest(std::span<const uint8_t> payload, uint32_t dim,
+                               MultiWriteRequest* out) {
+  PayloadReader r(payload);
+  r.F32(&out->lr);
+  r.Keys(&out->keys);
+  if (r.ok() && r.remaining() != out->keys.size() * size_t{dim} * 4) {
+    return Status::InvalidArgument(
+        "wire: write request row block does not match key count x dim");
+  }
+  out->rows.resize(out->keys.size() * size_t{dim});
+  r.Floats(out->rows.data(), out->rows.size());
+  return r.Finish("write request");
+}
+
+void EncodeLookaheadRequest(std::span<const Key> keys, PayloadWriter* w) {
+  w->Keys(keys);
+}
+
+Status DecodeLookaheadRequest(std::span<const uint8_t> payload,
+                              std::vector<Key>* out) {
+  PayloadReader r(payload);
+  r.Keys(out);
+  return r.Finish("Lookahead request");
+}
+
+void EncodeBatchResult(const BatchResult& r, PayloadWriter* w) {
+  w->U32(static_cast<uint32_t>(r.codes.size()));
+  for (const Status::Code c : r.codes) w->U8(static_cast<uint8_t>(c));
+  w->U32(static_cast<uint32_t>(r.found));
+  w->U32(static_cast<uint32_t>(r.missing));
+  w->U32(static_cast<uint32_t>(r.busy));
+  w->U32(static_cast<uint32_t>(r.failed));
+  w->StatusOf(r.first_error);
+}
+
+Status DecodeBatchResult(PayloadReader* r, BatchResult* out) {
+  uint32_t n;
+  if (!r->U32(&n) || n > r->remaining()) {  // one byte per code
+    return Status::Corruption("wire: truncated BatchResult");
+  }
+  out->codes.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t c = 0;
+    r->U8(&c);
+    if (!ValidStatusCode(c)) {
+      return Status::Corruption("wire: invalid status code in BatchResult");
+    }
+    out->codes[i] = static_cast<Status::Code>(c);
+  }
+  uint32_t found = 0, missing = 0, busy = 0, failed = 0;
+  r->U32(&found);
+  r->U32(&missing);
+  r->U32(&busy);
+  r->U32(&failed);
+  r->ReadStatus(&out->first_error);
+  if (!r->ok()) return Status::Corruption("wire: truncated BatchResult");
+  out->found = found;
+  out->missing = missing;
+  out->busy = busy;
+  out->failed = failed;
+  return Status::OK();
+}
+
+void EncodeMultiGetResponse(const BatchResult& r, const float* rows,
+                            uint32_t dim, PayloadWriter* w) {
+  EncodeBatchResult(r, w);
+  for (size_t i = 0; i < r.codes.size(); ++i) {
+    if (r.codes[i] == Status::Code::kOk) {
+      w->Floats(rows + i * size_t{dim}, dim);
+    }
+  }
+}
+
+Status DecodeMultiGetResponse(PayloadReader* r, size_t n_keys, uint32_t dim,
+                              BatchResult* result, float* out) {
+  MLKV_RETURN_NOT_OK(DecodeBatchResult(r, result));
+  if (result->codes.size() != n_keys) {
+    return Status::Corruption("wire: MultiGet response key count mismatch");
+  }
+  for (size_t i = 0; i < n_keys; ++i) {
+    if (result->codes[i] != Status::Code::kOk) continue;
+    if (!r->Floats(out + i * size_t{dim}, dim)) break;
+  }
+  return r->Finish("MultiGet response");
+}
+
+void EncodeStatsSnapshot(const StatsSnapshot& s, PayloadWriter* w) {
+  w->U32(kOpcodeSlots);
+  for (const uint64_t c : s.op_counts) w->U64(c);
+  w->U64(s.connections);
+  w->U64(s.requests);
+  w->U64(s.transport_errors);
+  w->U64(s.latency_p50_us);
+  w->U64(s.latency_p99_us);
+}
+
+Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out) {
+  uint32_t slots = 0;
+  r->U32(&slots);
+  if (!r->ok() || slots != kOpcodeSlots) {
+    return Status::Corruption("wire: stats slot count mismatch");
+  }
+  for (uint64_t& c : out->op_counts) r->U64(&c);
+  r->U64(&out->connections);
+  r->U64(&out->requests);
+  r->U64(&out->transport_errors);
+  r->U64(&out->latency_p50_us);
+  r->U64(&out->latency_p99_us);
+  return r->Finish("stats");
+}
+
+}  // namespace net
+}  // namespace mlkv

@@ -1,0 +1,209 @@
+// Versioned length-prefixed binary wire protocol for the embedding-store
+// RPC subsystem (net/). One frame per request or response:
+//
+//   | magic u32 | version u8 | opcode u8 | flags u16 | request_id u64 |
+//   | payload_len u32 | payload bytes ... |
+//
+// All integers are explicit little-endian regardless of host byte order,
+// decoded with bounds-checked readers — a corrupt or truncated frame is a
+// Status::Corruption, never an out-of-bounds read. The payload encodings
+// mirror the batch-first KvBackend seam: one MultiGet / MultiPut /
+// MultiApplyGradient frame per minibatch phase, with the per-key
+// BatchResult codes and found/missing/busy/failed counts serialized back
+// in every response, so a remote store reports exactly what the in-process
+// seam reports.
+//
+// Response framing: every response echoes the request's opcode and
+// request_id with kFlagResponse set, and its payload begins with a
+// transport-level status (code + message). The op-specific body follows
+// only when that status is OK — per-key outcomes (missing keys, staleness
+// aborts) live inside the body's BatchResult and leave the transport
+// status OK.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/batch_result.h"
+#include "common/status.h"
+#include "kv/record.h"
+
+namespace mlkv {
+namespace net {
+
+// "MLKV" when the little-endian u32 is viewed as bytes.
+inline constexpr uint32_t kWireMagic = 0x564B4C4Du;
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 20;
+// Upper bound on a single payload; a header announcing more is corrupt
+// (or hostile) and the connection is dropped before any allocation.
+inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+enum class Opcode : uint8_t {
+  kHandshake = 1,  // negotiate dim / shard_bits / backend name
+  kMultiGet = 2,
+  kMultiPut = 3,
+  kMultiApplyGradient = 4,
+  kLookahead = 5,
+  kStats = 6,
+  kPing = 7,
+};
+// Dense per-opcode counter arrays index by the raw opcode value.
+inline constexpr size_t kOpcodeSlots = 8;
+
+inline bool ValidOpcode(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(Opcode::kHandshake) &&
+         raw <= static_cast<uint8_t>(Opcode::kPing);
+}
+
+const char* OpcodeName(Opcode op);
+
+inline constexpr uint16_t kFlagResponse = 1u << 0;
+
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  Opcode opcode = Opcode::kPing;
+  uint16_t flags = 0;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+void EncodeFrameHeader(const FrameHeader& h, uint8_t out[kFrameHeaderSize]);
+// Rejects bad magic / oversized payloads as Corruption and an unknown
+// version as NotSupported (the caller can still answer with the echoed
+// request_id, since the rest of the header decoded).
+Status DecodeFrameHeader(const uint8_t in[kFrameHeaderSize], FrameHeader* out);
+
+// --- bounds-checked payload primitives -----------------------------------
+
+class PayloadWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F32(float v);
+  void Floats(const float* v, size_t n);
+  void Keys(std::span<const Key> keys);  // count u32 + count u64s
+  void Str(std::string_view s);          // length u16 + bytes
+  void StatusOf(const Status& s);        // code u8 + message Str
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Every Read* returns false once the buffer is exhausted; decoders turn
+// that into Status::Corruption("truncated payload") exactly once at the
+// end instead of checking each primitive.
+class PayloadReader {
+ public:
+  PayloadReader(const uint8_t* data, size_t n) : p_(data), end_(data + n) {}
+  explicit PayloadReader(std::span<const uint8_t> payload)
+      : PayloadReader(payload.data(), payload.size()) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool F32(float* v);
+  bool Floats(float* out, size_t n);
+  bool Keys(std::vector<Key>* out);  // count-prefixed, bounds-checked
+  bool Str(std::string* out);
+  bool ReadStatus(Status* out);
+
+  bool ok() const { return !failed_; }
+  bool AtEnd() const { return !failed_ && p_ == end_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  // Corruption unless every read succeeded and consumed the whole payload
+  // (trailing garbage means the two sides disagree about the encoding).
+  Status Finish(const char* what) const;
+
+ private:
+  bool Take(size_t n, const uint8_t** out);
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool failed_ = false;
+};
+
+// --- message payloads ----------------------------------------------------
+
+struct HandshakeInfo {
+  uint32_t dim = 0;
+  uint32_t shard_bits = 0;
+  std::string backend_name;
+};
+
+void EncodeHandshakeInfo(const HandshakeInfo& h, PayloadWriter* w);
+Status DecodeHandshakeInfo(PayloadReader* r, HandshakeInfo* out);
+
+struct MultiGetRequest {
+  bool init_missing = true;
+  bool untracked = false;
+  std::vector<Key> keys;
+};
+
+void EncodeMultiGetRequest(std::span<const Key> keys, bool init_missing,
+                           bool untracked, PayloadWriter* w);
+inline void EncodeMultiGetRequest(const MultiGetRequest& q,
+                                  PayloadWriter* w) {
+  EncodeMultiGetRequest(q.keys, q.init_missing, q.untracked, w);
+}
+Status DecodeMultiGetRequest(std::span<const uint8_t> payload,
+                             MultiGetRequest* out);
+
+// MultiPut and MultiApplyGradient share one shape: keys + one dim-float
+// row per key (values or gradients) + lr (ignored by Put).
+struct MultiWriteRequest {
+  float lr = 0.0f;
+  std::vector<Key> keys;
+  std::vector<float> rows;  // keys.size() * dim floats
+};
+
+void EncodeMultiWriteRequest(std::span<const Key> keys, const float* rows,
+                             uint32_t dim, float lr, PayloadWriter* w);
+// `dim` cross-checks the row block against the key count.
+Status DecodeMultiWriteRequest(std::span<const uint8_t> payload, uint32_t dim,
+                               MultiWriteRequest* out);
+
+void EncodeLookaheadRequest(std::span<const Key> keys, PayloadWriter* w);
+Status DecodeLookaheadRequest(std::span<const uint8_t> payload,
+                              std::vector<Key>* out);
+
+// Per-key codes as u8s plus the summary counts. The counts ride explicitly
+// because they are not derivable from the codes (an initialized missing key
+// is code kOk but counted missing).
+void EncodeBatchResult(const BatchResult& r, PayloadWriter* w);
+Status DecodeBatchResult(PayloadReader* r, BatchResult* out);
+
+// MultiGet response body: BatchResult, then the served rows packed in key
+// order — one dim-float row per kOk code, nothing for the rest (their
+// output rows are unspecified by contract, so they never cross the wire).
+void EncodeMultiGetResponse(const BatchResult& r, const float* rows,
+                            uint32_t dim, PayloadWriter* w);
+// Scatters served rows to `out` (n_keys * dim floats, caller-owned);
+// rows whose code is not kOk are left untouched.
+Status DecodeMultiGetResponse(PayloadReader* r, size_t n_keys, uint32_t dim,
+                              BatchResult* result, float* out);
+
+struct StatsSnapshot {
+  uint64_t op_counts[kOpcodeSlots] = {};
+  uint64_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t transport_errors = 0;
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p99_us = 0;
+};
+
+void EncodeStatsSnapshot(const StatsSnapshot& s, PayloadWriter* w);
+Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out);
+
+}  // namespace net
+}  // namespace mlkv

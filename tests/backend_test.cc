@@ -1,6 +1,9 @@
 // Parameterized conformance suite: every backend behind the KvBackend seam
 // must satisfy the same embedding-store contract (the reusability property
 // of Table I — swapping engines must not change application semantics).
+// The suite runs each engine both in-process and — for MLKV and FASTER —
+// behind a loopback KvServer through RemoteBackend, so the network
+// boundary is held to the exact same contract as a linked engine.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -13,11 +16,29 @@
 #include "common/hash.h"
 #include "common/random.h"
 #include "io/temp_dir.h"
+#include "net/kv_server.h"
+#include "net/remote_backend.h"
 
 namespace mlkv {
 namespace {
 
-class BackendConformanceTest : public ::testing::TestWithParam<BackendKind> {
+const char* KindNameOf(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMlkv: return "Mlkv";
+    case BackendKind::kFaster: return "Faster";
+    case BackendKind::kLsm: return "Lsm";
+    case BackendKind::kBtree: return "Btree";
+    case BackendKind::kInMemory: return "InMemory";
+    case BackendKind::kRemote: return "Remote";
+  }
+  return "Unknown";
+}
+
+// (engine, serve it over loopback RPC?)
+using ConformanceParam = std::tuple<BackendKind, bool>;
+
+class BackendConformanceTest
+    : public ::testing::TestWithParam<ConformanceParam> {
  protected:
   void SetUp() override {
     dir_ = std::make_unique<TempDir>();
@@ -26,11 +47,31 @@ class BackendConformanceTest : public ::testing::TestWithParam<BackendKind> {
     cfg.dim = 8;
     cfg.buffer_bytes = 4ull << 20;
     cfg.staleness_bound = kHugeBound;
-    ASSERT_TRUE(MakeBackend(GetParam(), cfg, &backend_).ok());
+    std::unique_ptr<KvBackend> engine;
+    ASSERT_TRUE(MakeBackend(std::get<0>(GetParam()), cfg, &engine).ok());
+    if (!std::get<1>(GetParam())) {
+      backend_ = std::move(engine);
+      return;
+    }
+    // Remote variant: same engine, served over an in-process loopback
+    // KvServer, with the test talking to it through BackendKind::kRemote.
+    net::KvServerOptions so;
+    so.num_workers = 6;  // >= max pooled client sockets any case below uses
+    server_ = std::make_unique<net::KvServer>(std::move(engine), so);
+    ASSERT_TRUE(server_->Start().ok());
+    BackendConfig rcfg;
+    rcfg.remote_addr = server_->addr();
+    ASSERT_TRUE(MakeBackend(BackendKind::kRemote, rcfg, &backend_).ok());
+  }
+
+  void TearDown() override {
+    backend_.reset();  // client sockets close before the server stops
+    if (server_) server_->Stop();
   }
 
   static constexpr uint32_t kHugeBound = UINT32_MAX - 1;
   std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<net::KvServer> server_;
   std::unique_ptr<KvBackend> backend_;
 };
 
@@ -138,8 +179,9 @@ TEST_P(BackendConformanceTest, ApplyGradientMatchesGetAxpyPut) {
 TEST_P(BackendConformanceTest, ConcurrentApplyGradientLosesNothingOnMlkv) {
   // The fused path is atomic per record on MLKV; emulated backends may
   // lose updates under races (the paper's point about stock engines), so
-  // the exact-sum assertion applies to the MLKV backend only.
-  if (GetParam() != BackendKind::kMlkv) {
+  // the exact-sum assertion applies to the MLKV backend only (local or
+  // behind the wire — the server executes the same fused Rmw).
+  if (std::get<0>(GetParam()) != BackendKind::kMlkv) {
     GTEST_SKIP() << "atomicity guaranteed only by the fused Rmw path";
   }
   std::vector<float> zero(8, 0.0f);
@@ -295,22 +337,31 @@ TEST_P(BackendConformanceTest, UntrackedMultiGetServesEveryKey) {
 }
 
 const char* KindName(const ::testing::TestParamInfo<BackendKind>& info) {
-  switch (info.param) {
-    case BackendKind::kMlkv: return "Mlkv";
-    case BackendKind::kFaster: return "Faster";
-    case BackendKind::kLsm: return "Lsm";
-    case BackendKind::kBtree: return "Btree";
-    case BackendKind::kInMemory: return "InMemory";
-  }
-  return "Unknown";
+  return KindNameOf(info.param);
+}
+
+std::string ConformanceParamName(
+    const ::testing::TestParamInfo<ConformanceParam>& info) {
+  return std::string(KindNameOf(std::get<0>(info.param))) +
+         (std::get<1>(info.param) ? "Remote" : "");
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformanceTest,
-    ::testing::Values(BackendKind::kMlkv, BackendKind::kFaster,
-                      BackendKind::kLsm, BackendKind::kBtree,
-                      BackendKind::kInMemory),
-    KindName);
+    ::testing::Values(ConformanceParam{BackendKind::kMlkv, false},
+                      ConformanceParam{BackendKind::kFaster, false},
+                      ConformanceParam{BackendKind::kLsm, false},
+                      ConformanceParam{BackendKind::kBtree, false},
+                      ConformanceParam{BackendKind::kInMemory, false}),
+    ConformanceParamName);
+
+// The same contract over the wire: RemoteBackend in front of a loopback
+// KvServer must be indistinguishable from the engine linked in-process.
+INSTANTIATE_TEST_SUITE_P(
+    RemoteLoopback, BackendConformanceTest,
+    ::testing::Values(ConformanceParam{BackendKind::kMlkv, true},
+                      ConformanceParam{BackendKind::kFaster, true}),
+    ConformanceParamName);
 
 // The I/O-bound engines fan large batches out in chunks over a per-backend
 // ThreadPool; the conformance contract must not change when they do.
@@ -490,6 +541,140 @@ INSTANTIATE_TEST_SUITE_P(
                                          BackendKind::kFaster),
                        ::testing::Values(0u, 1u, 2u, 3u)),
     ShardParamName);
+
+// --- remote/in-process parity --------------------------------------------
+
+// Two instances of the same engine, one linked in-process and one behind a
+// loopback KvServer, driven through an identical op sequence: MultiGet
+// results must be byte-identical and every per-key BatchResult code equal.
+// This pins the wire encode/decode to exact fidelity — float rows survive
+// bit-for-bit, codes and counts are not re-derived on the client.
+class RemoteParityTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(RemoteParityTest, ByteIdenticalResultsAndCodesVsInProcess) {
+  TempDir dir;
+  BackendConfig cfg;
+  cfg.dim = 8;
+  cfg.buffer_bytes = 4ull << 20;
+  cfg.staleness_bound = UINT32_MAX - 1;
+
+  cfg.dir = dir.File("local");
+  std::unique_ptr<KvBackend> local;
+  ASSERT_TRUE(MakeBackend(GetParam(), cfg, &local).ok());
+
+  cfg.dir = dir.File("served");
+  std::unique_ptr<KvBackend> served;
+  ASSERT_TRUE(MakeBackend(GetParam(), cfg, &served).ok());
+  net::KvServer server(std::move(served), {});
+  ASSERT_TRUE(server.Start().ok());
+  BackendConfig rcfg;
+  rcfg.remote_addr = server.addr();
+  std::unique_ptr<KvBackend> remote;
+  ASSERT_TRUE(MakeBackend(BackendKind::kRemote, rcfg, &remote).ok());
+  EXPECT_EQ(remote->dim(), local->dim());
+  EXPECT_EQ(remote->shard_bits(), local->shard_bits());
+
+  constexpr size_t kN = 200;
+  std::vector<Key> keys(kN);
+  for (size_t i = 0; i < kN; ++i) keys[i] = i * 13 + 1;
+  keys[5] = keys[50];  // duplicates ride along
+  keys[7] = keys[70];
+
+  auto expect_same = [&](const BatchResult& a, const BatchResult& b,
+                         const char* what) {
+    EXPECT_EQ(a.codes, b.codes) << what;
+    EXPECT_EQ(a.found, b.found) << what;
+    EXPECT_EQ(a.missing, b.missing) << what;
+    EXPECT_EQ(a.busy, b.busy) << what;
+    EXPECT_EQ(a.failed, b.failed) << what;
+  };
+
+  // 1. Bootstrap pass: deterministic init must agree bit-for-bit.
+  std::vector<float> la(kN * 8), ra(kN * 8);
+  expect_same(local->MultiGet(keys, la.data()),
+              remote->MultiGet(keys, ra.data()), "init MultiGet");
+  EXPECT_EQ(la, ra);
+
+  // 2. Gradient pass (duplicates accumulate identically).
+  std::vector<float> grads(kN * 8);
+  for (size_t i = 0; i < grads.size(); ++i) {
+    grads[i] = static_cast<float>(i % 17) * 0.125f - 1.0f;
+  }
+  expect_same(local->MultiApplyGradient(keys, grads.data(), 0.05f),
+              remote->MultiApplyGradient(keys, grads.data(), 0.05f),
+              "MultiApplyGradient");
+
+  // 3. Overwrite a slice.
+  std::vector<float> values(kN * 8);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(i) * 0.5f;
+  }
+  expect_same(local->MultiPut({keys.data(), 64}, values.data()),
+              remote->MultiPut({keys.data(), 64}, values.data()),
+              "MultiPut");
+
+  // 4. Mixed found/missing read-back, no init: untouched rows, identical
+  // codes at every caller position.
+  std::vector<Key> probe(keys.begin(), keys.begin() + 100);
+  for (size_t i = 0; i < probe.size(); i += 3) {
+    probe[i] = 1000000 + i;  // never written
+  }
+  MultiGetOptions no_init;
+  no_init.init_missing = false;
+  std::vector<float> lb(probe.size() * 8, -3.0f), rb(probe.size() * 8, -3.0f);
+  expect_same(local->MultiGet(probe, lb.data(), no_init),
+              remote->MultiGet(probe, rb.data(), no_init), "mixed MultiGet");
+  EXPECT_EQ(lb, rb);
+
+  remote.reset();
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardedEngines, RemoteParityTest,
+                         ::testing::Values(BackendKind::kMlkv,
+                                           BackendKind::kFaster),
+                         KindName);
+
+// Per-key kBusy (bounded-staleness abort) must survive the wire: a BSP
+// table whose key is read twice without an intervening Put reports the
+// second read Busy, remote exactly like local.
+TEST(RemoteBusyPropagationTest, BusyCodesCrossTheWire) {
+  TempDir dir;
+  BackendConfig cfg;
+  cfg.dir = dir.File("backend");
+  cfg.dim = 8;
+  cfg.buffer_bytes = 4ull << 20;
+  cfg.staleness_bound = 0;   // BSP: one Get per Put
+  cfg.busy_spin_limit = 64;  // abort fast — no writer will ever come
+  std::unique_ptr<KvBackend> engine;
+  ASSERT_TRUE(MakeBackend(BackendKind::kMlkv, cfg, &engine).ok());
+  net::KvServer server(std::move(engine), {});
+  ASSERT_TRUE(server.Start().ok());
+  BackendConfig rcfg;
+  rcfg.remote_addr = server.addr();
+  std::unique_ptr<KvBackend> remote;
+  ASSERT_TRUE(MakeBackend(BackendKind::kRemote, rcfg, &remote).ok());
+
+  std::vector<Key> key = {42};
+  std::vector<float> v(8, 1.0f);
+  ASSERT_TRUE(remote->MultiPut(key, v.data()).AllOk());
+  std::vector<float> out(8);
+  EXPECT_TRUE(remote->MultiGet(key, out.data()).AllOk());
+  const BatchResult second = remote->MultiGet(key, out.data());
+  EXPECT_EQ(second.codes[0], Status::Code::kBusy);
+  EXPECT_EQ(second.busy, 1u);
+  EXPECT_EQ(second.found, 0u);
+  EXPECT_TRUE(second.status().IsBusy());
+  // The standard caller recovery — an untracked re-read — works remotely.
+  MultiGetOptions untracked;
+  untracked.untracked = true;
+  const BatchResult peek = remote->MultiGet(key, out.data(), untracked);
+  EXPECT_TRUE(peek.AllOk());
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+
+  remote.reset();
+  server.Stop();
+}
 
 }  // namespace
 }  // namespace mlkv
