@@ -21,6 +21,7 @@
 #include "bench_util.h"
 #include "btree/btree_store.h"
 #include "common/clock.h"
+#include "common/histogram.h"
 #include "common/random.h"
 #include "io/file_device.h"
 #include "io/temp_dir.h"
@@ -40,6 +41,12 @@ struct RunConfig {
   int threads = 4;
   uint32_t value_size = 64;
   uint64_t ops_per_thread = 50000;
+  // Batched-sweep extras: exact buffer override (cold mode sizes the
+  // buffer below 1 MiB granularity) and the hybrid-log engines' read-path
+  // mode (two-phase async pipeline vs blocking).
+  uint64_t buffer_bytes_override = 0;
+  IoMode io_mode = IoMode::kSync;
+  size_t io_threads = 4;
 };
 
 // Minimal engine seam for this benchmark: the four engines expose slightly
@@ -236,16 +243,20 @@ BackendKind KindFor(const std::string& name) {
 // subsystem, measured against the same in-process baseline.
 double RunBatchedWorkload(const std::string& engine_name, const RunConfig& rc,
                           size_t batch_size, size_t batch_threads,
-                          uint32_t shard_bits, bool remote) {
+                          uint32_t shard_bits, bool remote,
+                          Histogram* get_latency = nullptr) {
   TempDir dir;
   BackendConfig cfg;
   cfg.dir = dir.path() + "/backend";
   cfg.dim = rc.value_size / sizeof(float);
-  cfg.buffer_bytes = rc.buffer_mb << 20;
+  cfg.buffer_bytes = rc.buffer_bytes_override != 0 ? rc.buffer_bytes_override
+                                                   : rc.buffer_mb << 20;
   cfg.index_slots = rc.num_keys;
   cfg.staleness_bound = UINT32_MAX - 1;  // ASP: clocks maintained, no waits
   cfg.batch_threads = batch_threads;
   cfg.shard_bits = shard_bits;  // MLKV / FASTER scatter-gather fan-out
+  cfg.io_mode = rc.io_mode;
+  cfg.io_threads = rc.io_threads;
   std::unique_ptr<net::KvServer> server;  // outlives the remote backend
   std::unique_ptr<KvBackend> backend;
   if (!MakeBackend(KindFor(engine_name), cfg, &backend).ok()) std::exit(1);
@@ -294,7 +305,9 @@ double RunBatchedWorkload(const std::string& engine_name, const RunConfig& rc,
       for (uint64_t round = 0; done < rc.ops_per_thread; ++round) {
         for (auto& k : keys) k = zg.NextScrambled();
         if (round % 2 == 0) {
+          const uint64_t t0 = NowMicros();
           backend->MultiGet(keys, buf.data());
+          if (get_latency != nullptr) get_latency->Record(NowMicros() - t0);
         } else {
           backend->MultiPut(keys, buf.data());
         }
@@ -331,7 +344,14 @@ int main(int argc, char** argv) {
                 "  --no_batch_sweep   skip the KvBackend batch-size sweep\n"
                 "  --remote           run the batch sweep through a loopback\n"
                 "                     KvServer (RemoteBackend, full wire\n"
-                "                     round trip per batch)\n");
+                "                     round trip per batch)\n"
+                "  --cold_fraction=F  add a cold-working-set io sweep: the\n"
+                "                     buffer shrinks so ~F of the records\n"
+                "                     are disk-resident, and MLKV/FASTER\n"
+                "                     run io_mode=sync vs async x\n"
+                "                     io_threads with per-MultiGet p50/p99\n"
+                "  --io_mode=sync|async --io_threads=4  io mode for the\n"
+                "                     regular batch sweep\n");
     return 0;
   }
   RunConfig rc;
@@ -339,6 +359,11 @@ int main(int argc, char** argv) {
   rc.ops_per_thread = flags.Int("ops", 50000, 500);
   rc.threads = static_cast<int>(flags.Int("threads", 4, 2));
   rc.buffer_mb = flags.Int("buffer_mb", 8);
+  if (!ParseIoMode(flags.Str("io_mode", "sync"), &rc.io_mode)) {
+    std::fprintf(stderr, "bad --io_mode (sync|async)\n");
+    return 2;
+  }
+  rc.io_threads = static_cast<size_t>(flags.Int("io_threads", 4));
 
   Banner("YCSB core suite A-F, ops/s per engine (extension bench)");
   std::printf("A: 50r/50u zipf  B: 95r/5u zipf  C: 100r zipf\n"
@@ -403,6 +428,63 @@ int main(int argc, char** argv) {
                          "round trip dominates, by batch=1024 the gap to "
                          "in-process narrows to the serialization cost."
                        : "");
+  }
+
+  if (flags.Has("cold_fraction")) {
+    // Cold-working-set io sweep: shrink the buffer so roughly
+    // cold_fraction of the records sit below the log head, then compare
+    // the blocking read path with the two-phase pending-read pipeline.
+    const double f =
+        std::min(1.0, std::max(0.1, flags.Double("cold_fraction", 0.9)));
+    RunConfig cold = rc;
+    const uint64_t dataset_bytes =
+        rc.num_keys * (32 + uint64_t{rc.value_size});
+    cold.buffer_bytes_override = std::max<uint64_t>(
+        static_cast<uint64_t>(static_cast<double>(dataset_bytes) * (1.0 - f)),
+        128 * 1024);
+    cold.threads = 1;  // isolate the per-batch pipeline, not caller fan-out
+    const size_t batch =
+        static_cast<size_t>(flags.Int("batch_size", 256, 128));
+    Banner("Cold-working-set 50r/50u: io_mode=sync vs async x io_threads");
+    std::printf("cold_fraction=%.2f (buffer=%llu KiB), batch=%zu, zipfian; "
+                "p50/p99 are per-MultiGet-call latencies\n\n",
+                f, (unsigned long long)(cold.buffer_bytes_override >> 10),
+                batch);
+    Table ct({"engine", "io_mode", "io_thr", "keys/s", "p50_ms", "p99_ms"});
+    ct.PrintHeader();
+    struct IoConfig {
+      IoMode mode;
+      size_t threads;
+    };
+    std::vector<IoConfig> io_configs = {{IoMode::kSync, 0}};
+    for (const size_t n : flags.Smoke() ? std::vector<size_t>{4}
+                                        : std::vector<size_t>{1, 4, 8}) {
+      io_configs.push_back({IoMode::kAsync, n});
+    }
+    for (const char* engine : {"MLKV", "FASTER"}) {
+      for (const IoConfig& io : io_configs) {
+        cold.io_mode = io.mode;
+        cold.io_threads = io.threads;
+        Histogram lat;
+        const double kps = RunBatchedWorkload(
+            engine, cold, batch,
+            /*batch_threads=*/0, /*shard_bits=*/
+            static_cast<uint32_t>(flags.Int("shard_bits", 2)),
+            /*remote=*/false, &lat);
+        ct.Cell(std::string(engine));
+        ct.Cell(std::string(IoModeName(io.mode)));
+        ct.Cell(io.mode == IoMode::kSync ? std::string("-")
+                                         : std::to_string(io.threads));
+        ct.Cell(Human(kps));
+        ct.Cell(static_cast<double>(lat.Percentile(0.50)) / 1000.0, "%.2f");
+        ct.Cell(static_cast<double>(lat.Percentile(0.99)) / 1000.0, "%.2f");
+        ct.EndRow();
+      }
+    }
+    std::printf("\nExpected shape: async hides the cold misses a zipfian "
+                "tail still takes, so the gap vs sync grows with "
+                "cold_fraction; the hot head of the distribution keeps the "
+                "gap smaller than the uniform-random fig9 --cold sweep.\n");
   }
   return 0;
 }

@@ -60,6 +60,8 @@ int Usage() {
       "  checkpoint                          checkpoint every open table\n"
       "  serve --addr <h:p> --backend <kind> serve <dir> over TCP\n"
       "        [--dim N] [--workers N] [--staleness N]\n"
+      "        [--io_mode sync|async] [--io_threads N]\n"
+      "        [--request_threads N]  offload storage phases off workers\n"
       "        kinds: mlkv faster lsm btree inmemory\n"
       "  remote-get --addr <h:p> <key>       read from a running server\n"
       "  remote-put --addr <h:p> <key> <csv> write to a running server\n"
@@ -155,6 +157,11 @@ int RunServe(const std::string& dir, ArgList& args) {
   cfg.staleness_bound = static_cast<uint32_t>(std::strtoul(
       args.Flag("staleness", std::to_string(UINT32_MAX - 1)).c_str(), nullptr,
       10));
+  if (!ParseIoMode(args.Flag("io_mode", "sync"), &cfg.io_mode)) {
+    return Usage();
+  }
+  cfg.io_threads = static_cast<size_t>(
+      std::strtoul(args.Flag("io_threads", "4").c_str(), nullptr, 10));
   std::unique_ptr<KvBackend> backend;
   s = MakeBackend(kind, cfg, &backend);
   if (!s.ok()) return Fail(s);
@@ -164,6 +171,8 @@ int RunServe(const std::string& dir, ArgList& args) {
   so.port = port;
   so.num_workers = static_cast<size_t>(
       std::strtoul(args.Flag("workers", "4").c_str(), nullptr, 10));
+  so.request_threads = static_cast<size_t>(
+      std::strtoul(args.Flag("request_threads", "0").c_str(), nullptr, 10));
   net::KvServer server(std::move(backend), so);
   s = server.Start();
   if (!s.ok()) return Fail(s);
@@ -186,6 +195,15 @@ int RunServe(const std::string& dir, ArgList& args) {
               (unsigned long long)st.connections,
               (unsigned long long)st.latency_p50_us,
               (unsigned long long)st.latency_p99_us);
+  std::printf("storage io: %llu disk record reads, %llu pages flushed, "
+              "%llu evicted; async reads %llu submitted / %llu completed / "
+              "%llu refetched\n",
+              (unsigned long long)st.disk_record_reads,
+              (unsigned long long)st.pages_flushed,
+              (unsigned long long)st.pages_evicted,
+              (unsigned long long)st.async_reads_submitted,
+              (unsigned long long)st.async_reads_completed,
+              (unsigned long long)st.async_reads_refetched);
   return 0;
 }
 

@@ -46,6 +46,18 @@ if [[ -x "${bench_dir}/bench_ycsb_suite" ]]; then
     failed=1
   fi
 fi
+# One async cold-read smoke: the cold-working-set MultiGet sweep
+# (io_mode=sync vs async through the pending-read pipeline), so the async
+# disk path — io_uring where the runner's kernel admits it, thread-pool
+# fallback otherwise — is exercised on every merge.
+if [[ -x "${bench_dir}/bench_fig9_lookahead" ]]; then
+  echo "=== bench_fig9_lookahead --smoke --cold"
+  if ! "${bench_dir}/bench_fig9_lookahead" --smoke --cold \
+      > "${log_dir}/bench_fig9_lookahead_cold.txt"; then
+    echo "FAILED: bench_fig9_lookahead --cold" >&2
+    failed=1
+  fi
+fi
 
 echo "bench output tables: ${log_dir}"
 exit "${failed}"

@@ -27,6 +27,7 @@
 #include "btree/btree_store.h"
 #include "common/spin_wait.h"
 #include "common/thread_pool.h"
+#include "kv/batch_read.h"
 #include "kv/faster_store.h"
 #include "kv/sharded_store.h"
 #include "lsm/lsm_store.h"
@@ -37,6 +38,17 @@
 namespace mlkv {
 
 namespace {
+
+BackendIoStats IoStatsFrom(const FasterStatsSnapshot& s) {
+  BackendIoStats io;
+  io.disk_record_reads = s.disk_record_reads;
+  io.pages_flushed = s.pages_flushed;
+  io.pages_evicted = s.pages_evicted;
+  io.async_reads_submitted = s.async_reads_submitted;
+  io.async_reads_completed = s.async_reads_completed;
+  io.async_reads_refetched = s.async_reads_refetched;
+  return io;
+}
 
 // Deduplicated view of one batch: `unique` holds first occurrences in
 // input order; `slot_of[i]` maps input position i to its unique slot.
@@ -298,6 +310,8 @@ class MlkvBackend : public KvBackend {
     o.lookahead_threads = config.lookahead_threads;
     o.skip_promote_if_in_memory = config.skip_promote_if_in_memory;
     o.busy_spin_limit = config.busy_spin_limit;
+    o.io_mode = config.io_mode;
+    o.io_threads = config.io_threads;
     MLKV_RETURN_NOT_OK(Mlkv::Open(o, &b->db_));
     MLKV_RETURN_NOT_OK(b->db_->OpenTable("emb", config.dim,
                                          config.staleness_bound, &b->table_));
@@ -361,6 +375,9 @@ class MlkvBackend : public KvBackend {
         ->store()
         ->device_bytes_written();
   }
+  BackendIoStats io_stats() const override {
+    return IoStatsFrom(const_cast<EmbeddingTable*>(table_)->store()->stats());
+  }
 
  private:
   explicit MlkvBackend(uint32_t dim) : dim_(dim) {}
@@ -395,6 +412,7 @@ class FasterBackend : public KvBackend {
     // batch_threads > 0 meant intra-batch fan-out before sharding; keep it
     // for the unsharded configuration too.
     o.chunk_single_shard = config.batch_threads > 0;
+    o.io = b->io_.get();
     MLKV_RETURN_NOT_OK(b->store_.Open(o));
     *out = std::move(b);
     return Status::OK();
@@ -408,27 +426,26 @@ class FasterBackend : public KvBackend {
                        const MultiGetOptions& options) override {
     const uint32_t bytes = dim_ * sizeof(float);
     BatchResult result;
-    store_.MultiExecute(
+    store_.MultiExecuteRead(
         keys,
         [this, out, bytes, &options](FasterStore* shard, Key key, size_t i,
-                                     BatchResult* part, size_t pi) {
+                                     BatchResult* part, size_t pi,
+                                     PendingSink* sink) {
           float* dst = out + i * size_t{dim_};
-          Status s = shard->Read(key, dst, bytes);
-          if (s.IsNotFound() && options.init_missing) {
-            InitEmbedding(key, dim_, dst);
-            // Rmw keeps a concurrent initializer from double-inserting:
-            // only the missing case writes, and losers adopt the winner.
-            s = shard->Rmw(key, bytes,
-                           [dst, bytes](char* v, uint32_t, bool exists) {
-                             if (!exists) std::memcpy(v, dst, bytes);
-                             else std::memcpy(dst, v, bytes);
-                           });
-            if (s.ok()) {
-              part->RecordInitialized(pi);
-              return;
-            }
-          }
-          part->Record(pi, s);
+          // Rmw keeps a concurrent initializer from double-inserting: only
+          // the missing case writes, and losers adopt the winner.
+          const uint32_t dim = dim_;
+          const auto init_missing = [shard, key, dst, bytes, dim]() {
+            InitEmbedding(key, dim, dst);
+            return shard->Rmw(key, bytes,
+                              [dst, bytes](char* v, uint32_t, bool exists) {
+                                if (!exists) std::memcpy(v, dst, bytes);
+                                else std::memcpy(dst, v, bytes);
+                              });
+          };
+          BatchReadOrPark(shard, key, dst, bytes, UINT32_MAX,
+                          /*tracked=*/false, part, pi, sink,
+                          options.init_missing ? &init_missing : nullptr);
         },
         &result);
     return result;
@@ -480,16 +497,25 @@ class FasterBackend : public KvBackend {
   uint64_t device_bytes_written() const override {
     return store_.device_bytes_written();
   }
+  BackendIoStats io_stats() const override {
+    return IoStatsFrom(store_.stats());
+  }
 
  private:
   explicit FasterBackend(const BackendConfig& config) : dim_(config.dim) {
     if (config.batch_threads > 0) {
       pool_ = std::make_unique<ThreadPool>(config.batch_threads);
     }
+    if (config.io_mode == IoMode::kAsync) {
+      AsyncIoEngine::Options o;
+      o.io_threads = config.io_threads;
+      io_ = std::make_unique<AsyncIoEngine>(o);
+    }
   }
 
   const uint32_t dim_;
   std::unique_ptr<ThreadPool> pool_;  // declared before store_ (store uses it)
+  std::unique_ptr<AsyncIoEngine> io_;  // likewise shared by every shard
   ShardedStore store_;
 };
 

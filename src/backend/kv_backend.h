@@ -40,6 +40,7 @@
 
 #include "common/batch_result.h"
 #include "common/status.h"
+#include "io/async_io.h"
 #include "kv/record.h"
 
 namespace mlkv {
@@ -48,6 +49,20 @@ namespace mlkv {
 // (KvBackend::shard_bits()) in config structs that carry a shard-count
 // layout hint, so the hint cannot drift from the store's actual routing.
 inline constexpr uint32_t kAutoShardBits = UINT32_MAX;
+
+// Storage-I/O behavior counters aggregated across an engine's shards:
+// what the disk path did (record reads, page traffic) and how the
+// pending-read pipeline behaved (submissions, completions, fallback
+// re-reads). Engines without a disk pipeline report zeros. Served over the
+// wire by the kStats opcode so remote operators see the same numbers.
+struct BackendIoStats {
+  uint64_t disk_record_reads = 0;
+  uint64_t pages_flushed = 0;
+  uint64_t pages_evicted = 0;
+  uint64_t async_reads_submitted = 0;
+  uint64_t async_reads_completed = 0;
+  uint64_t async_reads_refetched = 0;
+};
 
 struct MultiGetOptions {
   // Initialize absent keys deterministically from the key (the standard
@@ -123,6 +138,10 @@ class KvBackend {
   // Bytes read from / written to storage devices so far (energy model).
   virtual uint64_t device_bytes_read() const { return 0; }
   virtual uint64_t device_bytes_written() const { return 0; }
+
+  // Aggregated storage-I/O counters (see BackendIoStats); engines without
+  // a disk pipeline keep the zero default.
+  virtual BackendIoStats io_stats() const { return {}; }
 };
 
 struct BackendConfig {
@@ -149,6 +168,14 @@ struct BackendConfig {
   // out across it. 0 runs batches inline. MLKV keeps its own async path
   // (Lookahead); the in-memory engine is lock-bound, not I/O-bound.
   size_t batch_threads = 0;
+  // Read-path mode for the hybrid-log engines (MLKV tables and the FASTER
+  // baseline): kAsync gives each backend a shared AsyncIoEngine so a
+  // batch's cold misses go into flight together (io/async_io.h); kSync
+  // (default) keeps the blocking path, byte-identical to before. The LSM's
+  // SSTable reads may opt into the same engine later; engines that do not
+  // participate ignore both fields.
+  IoMode io_mode = IoMode::kSync;
+  size_t io_threads = 4;  // AsyncIoEngine workers when io_mode == kAsync
   // Minimum keys per chunk before a batch fans out (amortizes the handoff).
   size_t batch_min_chunk = 64;
   // kRemote only: "host:port" of a KvServer (src/net/). The storage

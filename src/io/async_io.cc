@@ -1,0 +1,381 @@
+#include "io/async_io.h"
+
+#include <algorithm>
+#include <cstring>
+
+#ifdef MLKV_HAVE_IO_URING
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace mlkv {
+
+const char* IoModeName(IoMode mode) {
+  return mode == IoMode::kAsync ? "async" : "sync";
+}
+
+bool ParseIoMode(const std::string& name, IoMode* out) {
+  if (name == "sync") {
+    *out = IoMode::kSync;
+  } else if (name == "async") {
+    *out = IoMode::kAsync;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+#ifdef MLKV_HAVE_IO_URING
+
+namespace {
+
+// Minimal raw-syscall io_uring wrapper (no liburing dependency): one ring
+// per worker thread, single-threaded by construction, READV-only. Any
+// setup failure makes Init() return false and the caller falls back to
+// blocking preads — kernels or sandboxes that deny the syscalls cost
+// nothing but the one probe.
+class UringRing {
+ public:
+  ~UringRing() {
+    if (sqe_mm_ != MAP_FAILED) ::munmap(sqe_mm_, sqe_sz_);
+    if (cq_mm_ != MAP_FAILED && cq_mm_ != sq_mm_) ::munmap(cq_mm_, cq_sz_);
+    if (sq_mm_ != MAP_FAILED) ::munmap(sq_mm_, sq_sz_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  bool Init(unsigned entries) {
+    struct io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    ring_fd_ = static_cast<int>(::syscall(__NR_io_uring_setup, entries, &p));
+    if (ring_fd_ < 0) return false;
+    sq_entries_ = p.sq_entries;
+    sq_sz_ = p.sq_off.array + p.sq_entries * sizeof(uint32_t);
+    cq_sz_ = p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+    if (p.features & IORING_FEAT_SINGLE_MMAP) {
+      sq_sz_ = cq_sz_ = std::max(sq_sz_, cq_sz_);
+    }
+    sq_mm_ = ::mmap(nullptr, sq_sz_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_mm_ == MAP_FAILED) return false;
+    if (p.features & IORING_FEAT_SINGLE_MMAP) {
+      cq_mm_ = sq_mm_;
+    } else {
+      cq_mm_ = ::mmap(nullptr, cq_sz_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_,
+                      IORING_OFF_CQ_RING);
+      if (cq_mm_ == MAP_FAILED) return false;
+    }
+    sqe_sz_ = p.sq_entries * sizeof(struct io_uring_sqe);
+    sqe_mm_ = ::mmap(nullptr, sqe_sz_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqe_mm_ == MAP_FAILED) return false;
+
+    char* sq = static_cast<char*>(sq_mm_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    sq_mask_ = reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    sqes_ = static_cast<struct io_uring_sqe*>(sqe_mm_);
+    char* cq = static_cast<char*>(cq_mm_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    cq_mask_ = reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<struct io_uring_cqe*>(cq + p.cq_off.cqes);
+    return true;
+  }
+
+  bool PrepRead(int fd, struct iovec* iov, uint64_t offset,
+                uint64_t user_data) {
+    const unsigned tail = *sq_tail_;
+    const unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+    if (tail - head >= sq_entries_) return false;
+    const unsigned idx = tail & *sq_mask_;
+    struct io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_READV;  // 5.1+, the most portable read op
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<uint64_t>(iov);
+    sqe->len = 1;
+    sqe->off = offset;
+    sqe->user_data = user_data;
+    sq_array_[idx] = idx;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+    ++to_submit_;
+    return true;
+  }
+
+  // Submits queued sqes and, when `wait_nr` > 0, blocks for that many
+  // completions. False only on a hard io_uring_enter failure.
+  bool Flush(unsigned wait_nr) {
+    for (;;) {
+      const long ret = ::syscall(__NR_io_uring_enter, ring_fd_, to_submit_,
+                                 wait_nr, wait_nr ? IORING_ENTER_GETEVENTS : 0,
+                                 nullptr, 0);
+      if (ret >= 0) {
+        to_submit_ -= static_cast<unsigned>(ret);
+        return true;
+      }
+      if (errno != EINTR) return false;
+    }
+  }
+
+  bool Pop(uint64_t* user_data, int32_t* res) {
+    const unsigned head = *cq_head_;
+    if (head == __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE)) return false;
+    const struct io_uring_cqe* cqe = &cqes_[head & *cq_mask_];
+    *user_data = cqe->user_data;
+    *res = cqe->res;
+    __atomic_store_n(cq_head_, head + 1, __ATOMIC_RELEASE);
+    return true;
+  }
+
+ private:
+  int ring_fd_ = -1;
+  void* sq_mm_ = MAP_FAILED;
+  void* cq_mm_ = MAP_FAILED;
+  void* sqe_mm_ = MAP_FAILED;
+  size_t sq_sz_ = 0, cq_sz_ = 0, sqe_sz_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned to_submit_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  struct io_uring_sqe* sqes_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  struct io_uring_cqe* cqes_ = nullptr;
+};
+
+bool ProbeIoUring() {
+  UringRing ring;
+  return ring.Init(2);
+}
+
+}  // namespace
+
+#endif  // MLKV_HAVE_IO_URING
+
+AsyncIoEngine::AsyncIoEngine(const Options& options) : options_(options) {
+  const size_t threads = std::max<size_t>(options.io_threads, 1);
+  const size_t depth = std::max<size_t>(options.queue_depth, threads);
+  per_worker_depth_ = std::max<size_t>(depth / threads, 1);
+#ifdef MLKV_HAVE_IO_URING
+  if (options.try_io_uring) using_io_uring_ = ProbeIoUring();
+#endif
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncIoEngine::~AsyncIoEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  // Workers drain the queue before exiting, so every accepted read still
+  // completes and reaches its batch.
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+AsyncIoStats AsyncIoEngine::stats() const {
+  AsyncIoStats s;
+  s.reads_submitted = submitted_.load(std::memory_order_relaxed);
+  s.reads_completed = completed_.load(std::memory_order_relaxed);
+  s.read_failures = failed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status AsyncIoEngine::Batch::Submit(const FileDevice* dev, uint64_t offset,
+                                    void* buf, uint32_t len, uint64_t tag) {
+  AsyncIoEngine* e = engine_;
+  {
+    // Count the read against this batch before a worker can see it, so
+    // outstanding_ never lags a delivery.
+    std::lock_guard<std::mutex> lk(mu_);
+    ++outstanding_;
+  }
+  {
+    std::unique_lock<std::mutex> lk(e->mu_);
+    e->depth_cv_.wait(lk, [e] {
+      return e->stop_ || e->inflight_ < std::max<size_t>(
+                             e->options_.queue_depth, e->workers_.size());
+    });
+    if (e->stop_) {
+      lk.unlock();
+      std::lock_guard<std::mutex> blk(mu_);
+      --outstanding_;
+      return Status::Aborted("async io engine shut down");
+    }
+    ++e->inflight_;
+    e->queue_.push_back(Request{dev, offset, buf, len, tag, this});
+  }
+  e->submitted_.fetch_add(1, std::memory_order_relaxed);
+  e->queue_cv_.notify_one();
+  return Status::OK();
+}
+
+bool AsyncIoEngine::Batch::WaitOne(Completion* out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (outstanding_ == 0 && done_.empty()) return false;
+  cv_.wait(lk, [this] { return !done_.empty(); });
+  *out = done_.front();
+  done_.pop_front();
+  --outstanding_;
+  return true;
+}
+
+size_t AsyncIoEngine::Batch::outstanding() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return outstanding_;
+}
+
+AsyncIoEngine::Batch::~Batch() {
+  // Collect (and discard) anything the owner abandoned, so in-flight
+  // worker deliveries never target a dead batch.
+  Completion c;
+  while (WaitOne(&c)) {
+  }
+}
+
+void AsyncIoEngine::Deliver(const Request& req, const Status& status) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (!status.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Notify under the lock: the instant the push is visible the owner may
+    // collect it and destroy the batch, so the cv must not be touched
+    // outside the critical section.
+    std::lock_guard<std::mutex> lk(req.batch->mu_);
+    req.batch->done_.push_back(Completion{req.tag, status});
+    req.batch->cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --inflight_;
+  }
+  depth_cv_.notify_one();
+}
+
+bool AsyncIoEngine::NextBurst(std::vector<Request>* out, size_t max) {
+  std::unique_lock<std::mutex> lk(mu_);
+  queue_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // stop with a drained queue
+  const size_t n = std::min(queue_.size(), max);
+  out->assign(queue_.begin(), queue_.begin() + static_cast<long>(n));
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(n));
+  return true;
+}
+
+void AsyncIoEngine::WorkerLoop() {
+#ifdef MLKV_HAVE_IO_URING
+  UringRing ring;
+  bool ring_ok = false;
+  if (using_io_uring_) {
+    unsigned entries = 2;
+    while (entries < per_worker_depth_) entries <<= 1;
+    ring_ok = ring.Init(entries);
+  }
+  struct InFlight {
+    Request req;
+    struct iovec iov;
+  };
+  std::vector<InFlight> flight;
+#endif
+  std::vector<Request> burst;
+  for (;;) {
+#ifdef MLKV_HAVE_IO_URING
+    if (ring_ok) {
+      if (!NextBurst(&burst, per_worker_depth_)) return;
+      // Route raw-fd-eligible reads to the ring as one submission wave;
+      // decorated devices (fault injection, simulated costs) execute their
+      // virtual ReadAt here instead.
+      flight.clear();
+      flight.reserve(burst.size());
+      for (const Request& r : burst) {
+        if (r.dev->AllowsRawReads()) {
+          flight.push_back(InFlight{r, {r.buf, r.len}});
+        } else {
+          Deliver(r, r.dev->ReadAt(r.offset, r.buf, r.len));
+        }
+      }
+      size_t prepped = 0;
+      for (InFlight& f : flight) {
+        // `entries` >= per_worker_depth_, so Prep cannot run out of sqes.
+        if (!ring.PrepRead(f.req.dev->fd(), &f.iov, f.req.offset,
+                           prepped)) {
+          break;
+        }
+        ++prepped;
+      }
+      // Anything that could not be prepped (never expected) goes blocking.
+      for (size_t i = prepped; i < flight.size(); ++i) {
+        const Request& r = flight[i].req;
+        Deliver(r, r.dev->ReadAt(r.offset, r.buf, r.len));
+      }
+      size_t reaped = 0;
+      bool enter_failed = false;
+      std::vector<uint8_t> seen(prepped, 0);
+      while (reaped < prepped && !enter_failed) {
+        if (!ring.Flush(/*wait_nr=*/1)) {
+          enter_failed = true;
+          break;
+        }
+        uint64_t ud = 0;
+        int32_t res = 0;
+        while (ring.Pop(&ud, &res)) {
+          InFlight& f = flight[ud];
+          seen[ud] = 1;
+          ++reaped;
+          const Request& r = f.req;
+          if (res >= 0) {
+            r.dev->NoteRawRead(static_cast<size_t>(res));
+            if (static_cast<uint32_t>(res) < r.len) {
+              // Short read (EOF or split): finish through ReadAt, which
+              // also zero-fills past EOF like the blocking path.
+              Deliver(r, r.dev->ReadAt(r.offset + static_cast<uint64_t>(res),
+                                       static_cast<char*>(r.buf) + res,
+                                       r.len - static_cast<uint32_t>(res)));
+            } else {
+              Deliver(r, Status::OK());
+            }
+          } else {
+            // Ring-level failure (e.g. EOPNOTSUPP): one blocking retry
+            // decides the final status.
+            Deliver(r, r.dev->ReadAt(r.offset, r.buf, r.len));
+          }
+        }
+      }
+      if (enter_failed) {
+        // io_uring_enter failed hard after a successful setup — should not
+        // happen; fall back to blocking reads for the unreaped remainder
+        // (their file ranges are immutable, so a duplicate completion of
+        // an already-landed sqe rewrites identical bytes) and stop using
+        // the ring.
+        for (size_t i = 0; i < prepped; ++i) {
+          if (seen[i]) continue;
+          const Request& r = flight[i].req;
+          Deliver(r, r.dev->ReadAt(r.offset, r.buf, r.len));
+        }
+        ring_ok = false;
+      }
+      continue;
+    }
+#endif
+    if (!NextBurst(&burst, 1)) return;
+    for (const Request& r : burst) {
+      Deliver(r, r.dev->ReadAt(r.offset, r.buf, r.len));
+    }
+  }
+}
+
+}  // namespace mlkv

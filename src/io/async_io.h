@@ -1,0 +1,149 @@
+// AsyncIoEngine: the shared submit/complete disk-read engine behind the
+// two-phase pending-read pipeline (kv/pending_read.h).
+//
+// Callers enqueue positional reads against FileDevices and collect
+// completions per Batch — the io_uring shape (submission queue in,
+// completion queue out) regardless of which backend actually executes the
+// I/O:
+//
+//  * io_uring (when the build detects <linux/io_uring.h> and the kernel
+//    admits the syscalls at runtime): each worker owns a ring and keeps up
+//    to its share of the engine depth in flight with one syscall per burst.
+//    Only devices that allow raw-fd reads ride the ring; decorated devices
+//    (fault injection, the simulated-NVMe cost model) are routed through
+//    their virtual ReadAt on the worker instead, so their semantics hold.
+//  * thread pool (fallback everywhere): each worker issues one blocking
+//    pread at a time, so `io_threads` reads overlap.
+//
+// Backpressure and lifetime rules:
+//  * `queue_depth` bounds reads in flight across the whole engine; Submit
+//    blocks (never the I/O itself) once the limit is reached.
+//  * A Batch must outlive its submissions; its destructor blocks until
+//    every outstanding completion has been delivered.
+//  * The engine destructor drains: every accepted read completes (and is
+//    delivered to its batch) before the workers exit.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "io/file_device.h"
+
+namespace mlkv {
+
+// Read-path selector plumbed from BackendConfig / MlkvOptions down to the
+// store: kSync is the classic blocking path (and stays byte-identical to
+// it); kAsync routes batched cold reads through a shared AsyncIoEngine.
+enum class IoMode { kSync, kAsync };
+
+const char* IoModeName(IoMode mode);
+bool ParseIoMode(const std::string& name, IoMode* out);
+
+struct AsyncIoStats {
+  uint64_t reads_submitted = 0;
+  uint64_t reads_completed = 0;
+  uint64_t read_failures = 0;  // completions with a non-OK status
+};
+
+class AsyncIoEngine {
+ public:
+  struct Options {
+    size_t io_threads = 4;
+    // Max reads in flight across the engine; Submit applies backpressure
+    // beyond it.
+    size_t queue_depth = 128;
+    // Prefer the io_uring backend when it was compiled in and the kernel
+    // allows it; the thread pool is the fallback either way.
+    bool try_io_uring = true;
+  };
+
+  struct Completion {
+    uint64_t tag = 0;
+    Status status;
+  };
+
+  // Per-caller completion context: a submission is tagged to one batch and
+  // its completion is delivered only there, so concurrent batches (one per
+  // MultiGet wave) never see each other's I/O.
+  class Batch {
+   public:
+    explicit Batch(AsyncIoEngine* engine) : engine_(engine) {}
+    ~Batch();  // blocks until every outstanding read was delivered
+
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+
+    // Enqueues a read of [offset, offset + len) on `dev` into `buf`. `buf`
+    // (and `dev`) must stay valid until the completion is collected. May
+    // block on the engine depth limit, never on the I/O.
+    Status Submit(const FileDevice* dev, uint64_t offset, void* buf,
+                  uint32_t len, uint64_t tag);
+    // Blocks until the next completion for this batch lands; returns false
+    // when nothing is outstanding.
+    bool WaitOne(Completion* out);
+    size_t outstanding() const;
+
+   private:
+    friend class AsyncIoEngine;
+    AsyncIoEngine* engine_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Completion> done_;
+    size_t outstanding_ = 0;
+  };
+
+  AsyncIoEngine() : AsyncIoEngine(Options()) {}
+  explicit AsyncIoEngine(const Options& options);
+  ~AsyncIoEngine();
+
+  AsyncIoEngine(const AsyncIoEngine&) = delete;
+  AsyncIoEngine& operator=(const AsyncIoEngine&) = delete;
+
+  size_t io_threads() const { return workers_.size(); }
+  // True when the io_uring backend is active (compiled in AND admitted by
+  // the kernel at construction time).
+  bool using_io_uring() const { return using_io_uring_; }
+  AsyncIoStats stats() const;
+
+ private:
+  struct Request {
+    const FileDevice* dev = nullptr;
+    uint64_t offset = 0;
+    void* buf = nullptr;
+    uint32_t len = 0;
+    uint64_t tag = 0;
+    Batch* batch = nullptr;
+  };
+
+  void WorkerLoop();
+  // Takes up to `max` queued requests (blocking for at least one unless
+  // stopping); returns false when the worker should exit.
+  bool NextBurst(std::vector<Request>* out, size_t max);
+  void Deliver(const Request& req, const Status& status);
+
+  const Options options_;
+  size_t per_worker_depth_ = 1;
+  bool using_io_uring_ = false;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;   // workers: work available / stop
+  std::condition_variable depth_cv_;   // submitters: depth slot available
+  std::deque<Request> queue_;
+  size_t inflight_ = 0;  // accepted but not yet delivered
+  bool stop_ = false;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mlkv

@@ -1,0 +1,69 @@
+// FaultyFileDevice: a FileDevice decorator for failure-injection tests.
+// Reads are counted, and a scripted window of them can be made to fail
+// with an injected errno or to tear (first half of the buffer served, the
+// rest zero-filled — the shape a crash-interrupted flush or a torn sector
+// leaves behind). Writes pass through untouched.
+//
+// The Script is shared and atomic so a test can arm faults while the
+// store under test owns the device (inject via FasterOptions::
+// device_factory → HybridLogOptions::device_factory), including from
+// other threads mid-run.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "io/file_device.h"
+
+namespace mlkv {
+
+class FaultyFileDevice : public FileDevice {
+ public:
+  struct Script {
+    std::atomic<uint64_t> reads{0};      // reads observed so far
+    // 1-based index of the first faulted read; 0 disarms the script.
+    std::atomic<uint64_t> fail_from{0};
+    // How many consecutive reads starting at fail_from fault.
+    std::atomic<uint64_t> fail_count{1};
+    std::atomic<int> fault_errno{EIO};
+    // Tear (short read + zero fill, reported as success) instead of
+    // failing with fault_errno.
+    std::atomic<bool> short_read{false};
+  };
+
+  explicit FaultyFileDevice(std::shared_ptr<Script> script)
+      : script_(std::move(script)) {}
+
+  // Decorated reads must flow through this override.
+  bool AllowsRawReads() const override { return false; }
+
+  Status ReadAt(uint64_t offset, void* data, size_t n) const override {
+    const uint64_t index =
+        script_->reads.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const uint64_t from = script_->fail_from.load(std::memory_order_acquire);
+    const uint64_t count =
+        script_->fail_count.load(std::memory_order_acquire);
+    // Saturating window: fail_count = UINT64_MAX means "from here on".
+    const uint64_t until = from + count < from ? UINT64_MAX : from + count;
+    if (from != 0 && index >= from && index < until) {
+      if (script_->short_read.load(std::memory_order_acquire)) {
+        const size_t half = n / 2;
+        if (half > 0) {
+          MLKV_RETURN_NOT_OK(FileDevice::ReadAt(offset, data, half));
+        }
+        std::memset(static_cast<char*>(data) + half, 0, n - half);
+        return Status::OK();
+      }
+      return Status::IOError("injected read fault",
+                             script_->fault_errno.load());
+    }
+    return FileDevice::ReadAt(offset, data, n);
+  }
+
+ private:
+  std::shared_ptr<Script> script_;
+};
+
+}  // namespace mlkv

@@ -1,6 +1,11 @@
 // FileDevice: positional-I/O wrapper over a single file, the persistence
 // substrate for the hybrid log, SSTables, and B+tree pages. All methods are
 // thread-safe (pread/pwrite carry their own offsets).
+//
+// ReadAt is virtual: it is the one seam decorators intercept — fault
+// injection (io/faulty_file_device.h) and any read-path instrumentation —
+// and the call the AsyncIoEngine's worker threads issue for devices that
+// do not admit raw-fd reads.
 #pragma once
 
 #include <atomic>
@@ -14,7 +19,7 @@ namespace mlkv {
 class FileDevice {
  public:
   FileDevice() = default;
-  ~FileDevice();
+  virtual ~FileDevice();
 
   FileDevice(const FileDevice&) = delete;
   FileDevice& operator=(const FileDevice&) = delete;
@@ -25,7 +30,7 @@ class FileDevice {
 
   // Full read/write at absolute offset; loops on short transfers.
   Status WriteAt(uint64_t offset, const void* data, size_t n);
-  Status ReadAt(uint64_t offset, void* data, size_t n) const;
+  virtual Status ReadAt(uint64_t offset, void* data, size_t n) const;
 
   Status Sync();
   Status Truncate(uint64_t size);
@@ -39,7 +44,20 @@ class FileDevice {
 
   uint64_t FileSize() const;
   bool is_open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   const std::string& path() const { return path_; }
+
+  // True when reads may bypass the virtual ReadAt and go straight to the
+  // fd (the AsyncIoEngine's io_uring path). False whenever ReadAt carries
+  // semantics a raw read would skip: the simulated cost model here, or a
+  // decorator's interception (FaultyFileDevice overrides this to false).
+  virtual bool AllowsRawReads() const {
+    return fd_ >= 0 && sim_read_latency_us_ == 0 && sim_read_gbps_ <= 0;
+  }
+  // Accounts bytes transferred by a raw-fd read that bypassed ReadAt.
+  void NoteRawRead(size_t n) const {
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   // Cumulative transfer counters (drive the energy model's SSD term).
   uint64_t bytes_written() const;

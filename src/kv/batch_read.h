@@ -1,0 +1,78 @@
+// BatchReadOrPark: the shared phase-1 body of every batched read op
+// (EmbeddingTable gets/peeks, FasterBackend::MultiGet). One place owns the
+// sync-vs-pipeline split and the miss-bootstrap contract:
+//
+//  * null `sink` — resolve synchronously (the unchanged blocking path);
+//  * memory-resident or absent key — resolve inline either way;
+//  * disk-resident key — park a primed PendingRead on the wave, with the
+//    same outcome handling deferred to its finish callback.
+//
+// `init_missing` (pass nullptr for plain reads) initializes the caller's
+// row and stores the bootstrap value when the key is absent; on success
+// the key records as initialized (code kOk, counted missing). It is a
+// templated callable so the warm path constructs no std::function — the
+// copy into the continuation happens only for parked (cold) keys.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/batch_result.h"
+#include "kv/faster_store.h"
+#include "kv/pending_read.h"
+
+namespace mlkv {
+
+template <typename InitFn>
+inline void BatchReadOrPark(FasterStore* shard, Key key, void* dst,
+                            uint32_t cap, uint32_t bound, bool tracked,
+                            BatchResult* part, size_t part_index,
+                            PendingSink* sink, const InitFn* init_missing) {
+  const auto resolve = [&](Status s) {
+    if (s.IsNotFound() && init_missing != nullptr) {
+      s = (*init_missing)();
+      if (s.ok()) {
+        part->RecordInitialized(part_index);
+        return;
+      }
+    }
+    part->Record(part_index, s);
+  };
+  if (sink == nullptr) {
+    resolve(tracked ? shard->Read(key, dst, cap, nullptr, bound)
+                    : shard->Peek(key, dst, cap));
+    return;
+  }
+  PendingRead scratch;  // heap-allocated only if the key actually parks
+  if (shard->StartRead(key, dst, cap, nullptr, bound, tracked, &scratch)) {
+    resolve(scratch.status);
+    return;
+  }
+  std::function<Status()> init;
+  if (init_missing != nullptr) init = *init_missing;
+  sink->Park(shard, std::make_unique<PendingRead>(std::move(scratch)),
+             [init = std::move(init), part, part_index](PendingRead* done) {
+               Status s = done->status;
+               if (s.IsNotFound() && init) {
+                 s = init();
+                 if (s.ok()) {
+                   part->RecordInitialized(part_index);
+                   return;
+                 }
+               }
+               part->Record(part_index, s);
+             });
+}
+
+// Plain read (no miss bootstrap).
+inline void BatchReadOrPark(FasterStore* shard, Key key, void* dst,
+                            uint32_t cap, uint32_t bound, bool tracked,
+                            BatchResult* part, size_t part_index,
+                            PendingSink* sink) {
+  BatchReadOrPark<std::function<Status()>>(shard, key, dst, cap, bound,
+                                           tracked, part, part_index, sink,
+                                           nullptr);
+}
+
+}  // namespace mlkv

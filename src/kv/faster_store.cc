@@ -52,6 +52,7 @@ Status FasterStore::Open(const FasterOptions& options) {
   log_opts.mem_size = options.mem_size;
   log_opts.mutable_fraction = options.mutable_fraction;
   log_opts.path = options.path;
+  log_opts.device_factory = options.device_factory;
   return log_.Open(log_opts);
 }
 
@@ -184,17 +185,18 @@ Status FasterStore::Read(Key key, std::string* out, uint32_t bound) {
 
 Status FasterStore::Read(Key key, void* out, uint32_t cap, uint32_t* size,
                          uint32_t bound) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
   return ReadInternal(key, out, cap, size, bound, options_.track_staleness);
 }
 
 Status FasterStore::Peek(Key key, void* out, uint32_t cap, uint32_t* size) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
   return ReadInternal(key, out, cap, size, UINT32_MAX, /*tracked=*/false);
 }
 
 Status FasterStore::ReadInternal(Key key, void* out, uint32_t cap,
                                  uint32_t* size, uint32_t bound,
                                  bool tracked) {
-  stats_.reads.fetch_add(1, std::memory_order_relaxed);
   const uint32_t effective_bound =
       bound != UINT32_MAX ? bound : options_.staleness_bound;
   uint64_t spins = 0;
@@ -277,6 +279,219 @@ Status FasterStore::ReadInternal(Key key, void* out, uint32_t cap,
     log_.EndInPlaceWrite(f.address);
     return Status::OK();
   }
+}
+
+namespace {
+// Disk chain hops a pending read follows before giving up on the async
+// path and falling back to the blocking walk. Chains this deep mean the
+// index is drastically undersized; the fallback keeps semantics exact.
+constexpr uint32_t kMaxPendingHops = 4;
+
+void ParseRecordHeader(const char* hdr, RecordMeta* meta) {
+  std::memcpy(&meta->control, hdr + 0, 8);
+  std::memcpy(&meta->prev, hdr + 8, 8);
+  std::memcpy(&meta->key, hdr + 16, 8);
+  std::memcpy(&meta->value_size, hdr + 24, 4);
+  std::memcpy(&meta->flags, hdr + 28, 4);
+}
+}  // namespace
+
+// Memory-only chain walk for phase 1 of the pending pipeline: classifies
+// `key` without issuing any disk I/O. kMemory means the matching record is
+// (still) memory-resident; kDisk stops at the first disk-resident chain
+// address (*address), where the async fetch picks up.
+FasterStore::WalkOutcome FasterStore::WalkForPending(Key key,
+                                                     Address* address,
+                                                     Address* chain_head) {
+restart:
+  Address a = index()->Load(key);
+  *chain_head = a;
+  while (a != kInvalidAddress && a >= log_.begin_address()) {
+    if (!log_.InMemory(a)) break;  // disk-resident: park
+    char hdr[sizeof(Record)];
+    if (!log_.TryReadMemory(a, hdr, sizeof(hdr))) {
+      if (log_.InMemory(a)) {
+        // Frame replaced mid-read but still resident — transient (page
+        // being claimed); retry.
+        std::this_thread::yield();
+        continue;
+      }
+      break;  // evicted mid-walk: now disk-resident
+    }
+    RecordMeta meta;
+    ParseRecordHeader(hdr, &meta);
+    if (a < log_.begin_address()) goto restart;  // compaction passed us
+    if (meta.key == key) return WalkOutcome::kMemory;
+    a = meta.prev;
+  }
+  if (a == kInvalidAddress || a < log_.begin_address()) {
+    return WalkOutcome::kNotFound;
+  }
+  *address = a;
+  return WalkOutcome::kDisk;
+}
+
+bool FasterStore::StartRead(Key key, void* out, uint32_t cap, uint32_t* size,
+                            uint32_t bound, bool tracked,
+                            PendingRead* pending) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  PendingRead* p = pending;
+  p->key = key;
+  p->out = out;
+  p->cap = cap;
+  p->size = size;
+  p->bound = bound != UINT32_MAX ? bound : options_.staleness_bound;
+  p->tracked = tracked;
+  p->hops = 0;
+  p->served_from_disk = false;
+
+  switch (WalkForPending(key, &p->address, &p->chain_head)) {
+    case WalkOutcome::kMemory:
+      // Memory-resident: the blocking path resolves it with no disk I/O
+      // (should an eviction demote it this instant, that path's disk
+      // fallback is exactly the old behavior).
+      p->status = ReadInternal(key, out, cap, size, p->bound, tracked);
+      return true;
+    case WalkOutcome::kNotFound:
+      p->status = Status::NotFound();
+      return true;
+    case WalkOutcome::kDisk:
+      break;
+  }
+  p->buf.resize(sizeof(Record) + cap);
+  return false;
+}
+
+Status FasterStore::StartPromote(Key key, uint32_t cap, PendingRead* pending,
+                                 bool* parked) {
+  PendingRead* p = pending;
+  *parked = false;
+  p->key = key;
+  p->out = nullptr;  // PromoteFromPending copies straight from the buffer
+  p->cap = cap;
+  p->size = nullptr;
+  p->bound = UINT32_MAX;
+  p->tracked = false;  // a prefetch never touches the vector clocks
+  p->hops = 0;
+  p->served_from_disk = false;
+
+  switch (WalkForPending(key, &p->address, &p->chain_head)) {
+    case WalkOutcome::kMemory:
+      // In memory: the classic Promote decides (skip if mutable, skip if
+      // immutable-resident under the paper's page-write-saving rule) with
+      // no disk I/O.
+      return Promote(key);
+    case WalkOutcome::kNotFound:
+      return Status::NotFound();
+    case WalkOutcome::kDisk:
+      break;
+  }
+  p->buf.resize(sizeof(Record) + cap);
+  *parked = true;
+  return Status::OK();
+}
+
+void FasterStore::RefetchPending(PendingRead* pending) {
+  stats_.async_reads_refetched.fetch_add(1, std::memory_order_relaxed);
+  pending->served_from_disk = false;
+  if (pending->out == nullptr) {
+    // Buffer-less read (a StartPromote fetch): the record moved while in
+    // flight, so the prefetch is moot — report OK with nothing served and
+    // PromoteFromPending skips it, mirroring Promote's lost-race skip.
+    pending->status = Status::OK();
+    return;
+  }
+  pending->status = ReadInternal(pending->key, pending->out, pending->cap,
+                                 pending->size, pending->bound,
+                                 pending->tracked);
+}
+
+FasterStore::PendingStep FasterStore::CompletePendingRead(
+    PendingRead* pending, const Status& io_status) {
+  PendingRead* p = pending;
+  if (!io_status.ok()) {
+    // The device itself failed; that is the key's outcome (a retry storm
+    // against a failing disk helps nobody). Siblings are unaffected.
+    p->status = io_status;
+    return PendingStep::kDone;
+  }
+  RecordMeta meta;
+  ParseRecordHeader(p->buf.data(), &meta);
+  meta.control = ControlWord::Sanitize(meta.control);
+  if ((meta.flags & kRecordValid) == 0 ||
+      p->address < log_.begin_address()) {
+    // Compaction reclaimed (or hole-punched) the fetched range while the
+    // I/O was in flight; any live version was republished above it first.
+    RefetchPending(p);
+    return PendingStep::kDone;
+  }
+  if (meta.key != p->key) {
+    // Collision: the chain continues below the fetched record.
+    const Address prev = meta.prev;
+    if (prev == kInvalidAddress || prev < log_.begin_address()) {
+      p->status = Status::NotFound();
+      return PendingStep::kDone;
+    }
+    if (prev >= p->address || ++p->hops >= kMaxPendingHops) {
+      // A chain must strictly descend; anything else (or a degenerate
+      // collision chain) goes to the blocking walk.
+      RefetchPending(p);
+      return PendingStep::kDone;
+    }
+    p->address = prev;
+    return PendingStep::kResubmit;
+  }
+  if (meta.flags & kRecordTombstone) {
+    p->status = Status::NotFound();
+    return PendingStep::kDone;
+  }
+  if (p->tracked && ControlWord::Staleness(meta.control) > p->bound) {
+    // The blocking path owns the staleness wait/abort protocol.
+    RefetchPending(p);
+    return PendingStep::kDone;
+  }
+  const uint32_t n = meta.value_size < p->cap ? meta.value_size : p->cap;
+  if (p->out != nullptr && n > 0) {
+    std::memcpy(p->out, p->buf.data() + sizeof(Record), n);
+  }
+  if (p->size != nullptr) *p->size = meta.value_size;
+  p->meta = meta;
+  p->served_from_disk = true;
+  if (options_.promote_cold_reads && p->out != nullptr) {
+    // Carry the read's increment onto the promoted copy (sync parity).
+    const uint64_t control =
+        p->tracked ? ControlWord::IncrStaleness(meta.control) : meta.control;
+    AppendAndPublish(p->key, p->out, n, control, meta.flags, p->chain_head,
+                     nullptr)
+        .ok();  // best-effort; a racing writer supersedes us anyway
+  }
+  p->status = Status::OK();
+  return PendingStep::kDone;
+}
+
+Status FasterStore::PromoteFromPending(const PendingRead& pending) {
+  if (!pending.status.ok()) return pending.status;
+  if (!pending.served_from_disk || pending.meta.value_size > pending.cap) {
+    // A fallback already re-read it (promotion is best-effort) or the
+    // landing buffer truncated the value; nothing safe to copy.
+    stats_.promotions_skipped.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  // Same contract as Promote's disk case: original control word and flags
+  // carry over — promotion is not an update.
+  Status s = AppendAndPublish(
+      pending.key, pending.buf.data() + sizeof(Record),
+      pending.meta.value_size, ControlWord::Sanitize(pending.meta.control),
+      pending.meta.flags, pending.chain_head, nullptr);
+  if (s.IsBusy()) {
+    // A concurrent update superseded the record in flight; theirs is newer.
+    stats_.promotions_skipped.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  MLKV_RETURN_NOT_OK(s);
+  MarkReplaced(pending.address);
+  stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 Status FasterStore::Upsert(Key key, const void* value, uint32_t size) {
@@ -665,6 +880,7 @@ Status FasterStore::Recover(const FasterOptions& options,
   log_opts.mem_size = options.mem_size;
   log_opts.mutable_fraction = options.mutable_fraction;
   log_opts.path = options.path;
+  log_opts.device_factory = options.device_factory;
   log_opts.truncate = false;  // keep the checkpointed log contents
   MLKV_RETURN_NOT_OK(log_.Open(log_opts));
   MLKV_RETURN_NOT_OK(log_.RestoreBoundaries(meta.tail, meta.begin));
@@ -689,6 +905,12 @@ FasterStatsSnapshot FasterStore::stats() const {
   s.compactions = stats_.compactions.load(std::memory_order_relaxed);
   s.compaction_live_copied =
       stats_.compaction_live_copied.load(std::memory_order_relaxed);
+  s.async_reads_submitted =
+      stats_.async_reads_submitted.load(std::memory_order_relaxed);
+  s.async_reads_completed =
+      stats_.async_reads_completed.load(std::memory_order_relaxed);
+  s.async_reads_refetched =
+      stats_.async_reads_refetched.load(std::memory_order_relaxed);
   const auto& ls = log_.stats();
   s.disk_record_reads = ls.disk_record_reads.load(std::memory_order_relaxed);
   s.pages_flushed = ls.pages_flushed.load(std::memory_order_relaxed);
@@ -707,6 +929,9 @@ void FasterStore::ResetStats() {
   stats_.promotions_skipped.store(0);
   stats_.staleness_waits.store(0);
   stats_.busy_aborts.store(0);
+  stats_.async_reads_submitted.store(0);
+  stats_.async_reads_completed.store(0);
+  stats_.async_reads_refetched.store(0);
 }
 
 }  // namespace mlkv

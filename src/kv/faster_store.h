@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "kv/hash_index.h"
 #include "kv/hybrid_log.h"
+#include "kv/pending_read.h"
 #include "kv/record.h"
 
 namespace mlkv {
@@ -55,6 +56,10 @@ struct FasterOptions {
   // Ablation knob (DESIGN.md D2): when false, Promote() also copies records
   // from the immutable in-memory region, re-dirtying pages.
   bool skip_promote_if_in_memory = true;
+
+  // Builds the log's backing device; null uses a plain FileDevice. Tests
+  // inject fault decorators here (io/faulty_file_device.h).
+  std::function<std::unique_ptr<FileDevice>()> device_factory;
 };
 
 struct FasterStatsSnapshot {
@@ -64,6 +69,11 @@ struct FasterStatsSnapshot {
   uint64_t staleness_waits = 0, busy_aborts = 0;
   uint64_t disk_record_reads = 0, pages_flushed = 0, pages_evicted = 0;
   uint64_t compactions = 0, compaction_live_copied = 0;
+  // Pending-read pipeline: record fetches handed to the AsyncIoEngine,
+  // fetches that landed, and keys that fell back to a synchronous re-read
+  // (record moved mid-flight / staleness wait).
+  uint64_t async_reads_submitted = 0, async_reads_completed = 0;
+  uint64_t async_reads_refetched = 0;
 };
 
 // Outcome of one Compact() pass.
@@ -116,6 +126,54 @@ class FasterStore {
   // Copies a cold record to the mutable tail (look-ahead prefetch target).
   // Returns OK whether promoted or skipped; inspect stats for which.
   Status Promote(Key key);
+
+  // --- Two-phase pending-read pipeline (kv/pending_read.h) ---
+
+  // Phase 1 of a batched read: resolves `key` against the in-memory log
+  // only. Returns true when the read completed (pending->status and the
+  // output buffer are final — including NotFound and Busy, with the exact
+  // synchronous semantics); returns false when the newest candidate record
+  // is disk-resident, in which case *pending is primed (target address +
+  // landing buffer) for submission through a PendingReadWave. Never issues
+  // disk I/O itself. `bound == UINT32_MAX` uses the store-level bound.
+  bool StartRead(Key key, void* out, uint32_t cap, uint32_t* size,
+                 uint32_t bound, bool tracked, PendingRead* pending);
+
+  // Phase 1 of a Lookahead promotion: memory-resident and absent keys run
+  // the classic Promote inline (its status is returned, *parked stays
+  // false); a disk-resident key primes *pending for wave submission (`cap`
+  // must cover the full record value) — finish it with PromoteFromPending.
+  // Unlike StartRead this never counts as a read: a prefetch is not a
+  // training access.
+  Status StartPromote(Key key, uint32_t cap, PendingRead* pending,
+                      bool* parked);
+
+  enum class PendingStep { kDone, kResubmit };
+  // Phase 2: consumes the landed bytes in pending->buf. kDone means the
+  // key's outcome is final; kResubmit means the hash chain continues at
+  // another disk address (pending re-primed — submit again). A record the
+  // I/O caught mid-move (compaction invalidated the address, eviction beat
+  // the classification) or whose frozen staleness fails the bound falls
+  // back to a synchronous re-read internally, preserving exact blocking-
+  // path semantics; a failed I/O becomes the key's status as-is.
+  PendingStep CompletePendingRead(PendingRead* pending,
+                                  const Status& io_status);
+
+  // Completes a Lookahead promotion from a landed pending read (tracked ==
+  // false, cap >= value size): appends a copy of the fetched record at the
+  // tail with its original control word, exactly like Promote's disk case.
+  // Skips (OK + promotions_skipped) when a concurrent writer superseded
+  // the record in flight.
+  Status PromoteFromPending(const PendingRead& pending);
+
+  // Pending-pipeline accounting (called by PendingReadWave per I/O, so the
+  // two balance even when several waiters coalesce onto one fetch).
+  void CountAsyncSubmitted() {
+    stats_.async_reads_submitted.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountAsyncCompleted() {
+    stats_.async_reads_completed.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Reads the full record image at a log address: sanitized header plus
   // value bytes. Works for memory- and disk-resident addresses; the basis
@@ -187,9 +245,17 @@ class FasterStore {
   };
 
   // Shared implementation for Read/Peek; `tracked` selects whether the
-  // bounded-staleness protocol applies.
+  // bounded-staleness protocol applies. Does not bump the reads stat (the
+  // public entry points and StartRead own that, so a pending read that
+  // falls back to this path is still counted once).
   Status ReadInternal(Key key, void* out, uint32_t cap, uint32_t* size,
                       uint32_t bound, bool tracked);
+  // Synchronous fallback for an in-flight pending read whose record moved
+  // (or whose staleness needs the blocking wait); finalizes *pending.
+  void RefetchPending(PendingRead* pending);
+  // Memory-only chain walk shared by StartRead / StartPromote.
+  enum class WalkOutcome { kMemory, kDisk, kNotFound };
+  WalkOutcome WalkForPending(Key key, Address* address, Address* chain_head);
 
   // Loads the record header at `address`, transparently falling back to the
   // disk image if the frame is evicted mid-read.
@@ -220,6 +286,8 @@ class FasterStore {
     std::atomic<uint64_t> promotions{0}, promotions_skipped{0};
     std::atomic<uint64_t> staleness_waits{0}, busy_aborts{0};
     std::atomic<uint64_t> compactions{0}, compaction_live_copied{0};
+    std::atomic<uint64_t> async_reads_submitted{0}, async_reads_completed{0};
+    std::atomic<uint64_t> async_reads_refetched{0};
   };
 
   // At most one Compact() runs at a time; concurrent calls return early.

@@ -49,7 +49,9 @@ Status HybridLog::Open(const HybridLogOptions& options) {
   // flush boundary (head <= read_only must always hold).
   if (mutable_pages_ > mem_pages_ - 2) mutable_pages_ = mem_pages_ - 2;
 
-  MLKV_RETURN_NOT_OK(file_.Open(options_.path, options_.truncate));
+  file_ = options_.device_factory ? options_.device_factory()
+                                  : std::make_unique<FileDevice>();
+  MLKV_RETURN_NOT_OK(file_->Open(options_.path, options_.truncate));
 
   frames_.resize(mem_pages_);
   frame_page_ = std::vector<std::atomic<uint64_t>>(mem_pages_);
@@ -92,7 +94,7 @@ Status HybridLog::ShiftBeginAddress(Address new_begin) {
   const uint64_t first_live_page = PageOf(new_begin);
   if (first_live_page > 0) {
     MLKV_RETURN_NOT_OK(
-        file_.PunchHole(0, PageStart(first_live_page)));
+        file_->PunchHole(0, PageStart(first_live_page)));
   }
   return Status::OK();
 }
@@ -109,7 +111,7 @@ Status HybridLog::FlushPage(uint64_t page) {
   uint64_t len = options_.page_size;
   if (start + len > tail_now) len = tail_now - start;  // partial tail page
   if (len == 0) return Status::OK();
-  MLKV_RETURN_NOT_OK(file_.WriteAt(start, frames_[f].get(), len));
+  MLKV_RETURN_NOT_OK(file_->WriteAt(start, frames_[f].get(), len));
   stats_.pages_flushed.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -208,7 +210,7 @@ Status HybridLog::ReadFromDisk(Address a, RecordMeta* meta, void* value_out,
     uint32_t flags;
   } raw;
   static_assert(sizeof(RawHeader) == sizeof(Record));
-  MLKV_RETURN_NOT_OK(file_.ReadAt(a, &raw, sizeof(raw)));
+  MLKV_RETURN_NOT_OK(file_->ReadAt(a, &raw, sizeof(raw)));
   meta->control = ControlWord::Sanitize(raw.control);
   meta->prev = raw.prev;
   meta->key = raw.key;
@@ -217,7 +219,7 @@ Status HybridLog::ReadFromDisk(Address a, RecordMeta* meta, void* value_out,
   stats_.disk_record_reads.fetch_add(1, std::memory_order_relaxed);
   if (value_out != nullptr && raw.value_size > 0) {
     const uint32_t n = raw.value_size < value_cap ? raw.value_size : value_cap;
-    MLKV_RETURN_NOT_OK(file_.ReadAt(a + sizeof(Record), value_out, n));
+    MLKV_RETURN_NOT_OK(file_->ReadAt(a + sizeof(Record), value_out, n));
   }
   return Status::OK();
 }
@@ -229,7 +231,7 @@ Status HybridLog::ReadRaw(Address a, void* out, uint32_t n) const {
   if (a >= head_.load(std::memory_order_acquire)) {
     if (TryReadMemory(a, out, n)) return Status::OK();
   }
-  MLKV_RETURN_NOT_OK(file_.ReadAt(a, out, n));
+  MLKV_RETURN_NOT_OK(file_->ReadAt(a, out, n));
   stats_.disk_record_reads.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -260,7 +262,7 @@ Status HybridLog::FlushAll() {
     if (frame_page_[f].load(std::memory_order_acquire) != p) continue;
     MLKV_RETURN_NOT_OK(FlushPage(p));
   }
-  return file_.Sync();
+  return file_->Sync();
 }
 
 Status HybridLog::RestoreBoundaries(Address tail, Address begin) {

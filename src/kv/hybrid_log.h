@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,6 +54,9 @@ struct HybridLogOptions {
   double mutable_fraction = 0.5;     // share of buffer kept mutable
   std::string path;                  // backing log file
   bool truncate = true;              // false: keep existing file (recovery)
+  // Builds the backing device (before Open is called on it). Null uses a
+  // plain FileDevice; tests inject decorators (io/faulty_file_device.h).
+  std::function<std::unique_ptr<FileDevice>()> device_factory;
 };
 
 struct HybridLogStats {
@@ -136,7 +140,14 @@ class HybridLog {
 
   const HybridLogOptions& options() const { return options_; }
   const HybridLogStats& stats() const { return stats_; }
-  FileDevice* device() { return &file_; }
+  FileDevice* device() { return file_.get(); }
+  const FileDevice* device() const { return file_.get(); }
+  // Accounts a record read served from disk by an external path (the
+  // pending-read pipeline issues its I/O through the AsyncIoEngine, not
+  // ReadFromDisk, but the operator-facing counter must still move).
+  void NoteDiskRecordRead() const {
+    stats_.disk_record_reads.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Used by recovery to restore boundaries after reloading metadata. All
   // in-memory state is discarded; everything in [begin, tail) is
@@ -167,7 +178,7 @@ class HybridLog {
   static constexpr uint64_t kInvalidPage = ~0ull;
 
   HybridLogOptions options_;
-  FileDevice file_;
+  std::unique_ptr<FileDevice> file_;
   int page_bits_ = 0;
   uint64_t mem_pages_ = 0;
   uint64_t mutable_pages_ = 0;

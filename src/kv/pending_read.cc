@@ -1,0 +1,149 @@
+#include "kv/pending_read.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "io/async_io.h"
+#include "kv/faster_store.h"
+
+namespace mlkv {
+
+void PendingSink::Park(FasterStore* store, std::unique_ptr<PendingRead> read,
+                       std::function<void(PendingRead*)> finish) {
+  entries_.push_back(Entry{store, std::move(read), std::move(finish)});
+}
+
+void PendingReadWave::Adopt(PendingSink* sink) {
+  if (entries_.empty()) {
+    entries_ = std::move(sink->entries_);
+  } else {
+    for (auto& e : sink->entries_) entries_.push_back(std::move(e));
+  }
+  sink->entries_.clear();
+}
+
+void PendingReadWave::CompleteAll() {
+  if (entries_.empty()) return;
+  AsyncIoEngine::Batch batch(engine_);
+
+  // Coalescing: duplicate cold keys in a batch — and distinct keys whose
+  // chains meet at the same cold record — fetch each (store, address)
+  // image once. The member with the largest landing buffer leads a group;
+  // followers copy its bytes on completion. `by_target` maps each target
+  // to its in-flight group, so chain-hop resubmissions piggyback on an
+  // I/O that is already on its way instead of duplicating it.
+  using Target = std::pair<const FasterStore*, Address>;
+  struct Group {
+    Target target;
+    std::vector<size_t> members;
+    size_t leader = 0;
+  };
+  std::vector<Group> groups;
+  std::map<Target, size_t> by_target;
+
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Target target(entries_[i].store, entries_[i].read->address);
+    const auto [it, fresh] = by_target.emplace(target, groups.size());
+    if (fresh) {
+      groups.push_back(Group{target, {i}, i});
+    } else {
+      Group& g = groups[it->second];
+      g.members.push_back(i);
+      if (entries_[i].read->buf.size() >
+          entries_[g.leader].read->buf.size()) {
+        g.leader = i;  // pre-submission: the largest buffer leads
+      }
+    }
+  }
+
+  // Fails every remaining member of a group whose submission was refused
+  // (engine shutdown): the submit error is each key's outcome.
+  const auto fail_group = [&](size_t g, const Status& s) {
+    std::vector<size_t> members;
+    members.swap(groups[g].members);
+    entries_[groups[g].leader].store->CountAsyncCompleted();
+    for (const size_t m : members) {
+      PendingSink::Entry& e = entries_[m];
+      (void)e.store->CompletePendingRead(e.read.get(), s);  // always kDone
+      if (e.finish) e.finish(e.read.get());
+    }
+  };
+
+  const auto submit_group = [&](size_t g) {
+    PendingSink::Entry& lead = entries_[groups[g].leader];
+    lead.store->CountAsyncSubmitted();
+    const Status s = batch.Submit(
+        lead.store->mutable_log()->device(), lead.read->address,
+        lead.read->buf.data(), static_cast<uint32_t>(lead.read->buf.size()),
+        g);
+    if (!s.ok()) {
+      const auto it = by_target.find(groups[g].target);
+      if (it != by_target.end() && it->second == g) by_target.erase(it);
+      fail_group(g, s);
+    }
+  };
+
+  // Advances entry `i` with its landed (or failed) I/O. A chain hop joins
+  // the in-flight fetch of its next address when one exists (and its
+  // buffer fits inside the leader's), otherwise opens a fresh group and
+  // submits it immediately.
+  const auto step = [&](size_t i, const Status& io_status) {
+    PendingSink::Entry& e = entries_[i];
+    if (e.store->CompletePendingRead(e.read.get(), io_status) ==
+        FasterStore::PendingStep::kDone) {
+      if (e.finish) e.finish(e.read.get());
+      return;
+    }
+    const Target target(e.store, e.read->address);
+    const auto it = by_target.find(target);
+    if (it != by_target.end() &&
+        e.read->buf.size() <=
+            entries_[groups[it->second].leader].read->buf.size()) {
+      groups[it->second].members.push_back(i);  // rides the in-flight I/O
+      return;
+    }
+    const size_t g = groups.size();
+    groups.push_back(Group{target, {i}, i});
+    if (it == by_target.end()) by_target.emplace(target, g);
+    submit_group(g);
+  };
+
+  // One submission wave: every group's I/O goes into flight before any
+  // completion is waited on.
+  const size_t initial_groups = groups.size();
+  for (size_t g = 0; g < initial_groups; ++g) submit_group(g);
+
+  AsyncIoEngine::Completion c;
+  while (batch.WaitOne(&c)) {
+    // Copy the group fields out before stepping: a member's chain-hop
+    // resubmission grows `groups`, invalidating references into it.
+    const size_t leader = groups[c.tag].leader;
+    const Target target = groups[c.tag].target;
+    std::vector<size_t> members;
+    members.swap(groups[c.tag].members);
+    // Close the group before stepping members, so a member's own hop back
+    // to this address opens a fresh fetch rather than joining a dead one.
+    {
+      const auto it = by_target.find(target);
+      if (it != by_target.end() && it->second == c.tag) by_target.erase(it);
+    }
+    if (members.empty()) continue;
+    PendingSink::Entry& lead = entries_[leader];  // entries_ never grows
+    lead.store->CountAsyncCompleted();
+    if (c.status.ok()) lead.store->mutable_log()->NoteDiskRecordRead();
+    // Followers copy the shared bytes first: the leader's continuation may
+    // reuse its buffer for a chain-hop resubmission.
+    for (const size_t m : members) {
+      if (m == leader) continue;
+      PendingRead* r = entries_[m].read.get();
+      const size_t n = std::min(r->buf.size(), lead.read->buf.size());
+      std::memcpy(r->buf.data(), lead.read->buf.data(), n);
+      step(m, c.status);
+    }
+    step(leader, c.status);
+  }
+}
+
+}  // namespace mlkv

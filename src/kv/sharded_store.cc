@@ -82,30 +82,18 @@ Status ShardedStore::Recover(const ShardedStoreOptions& options,
   return OpenShards(options, &prefix);
 }
 
-void ShardedStore::MultiExecute(std::span<const Key> keys, const ShardOp& op,
-                                BatchResult* result, bool stop_on_error) {
+// The batch is decomposed into tasks — each a stable run of `order`
+// (caller indices) against one shard. Multi-shard stores get one task per
+// non-empty shard (the scatter). A single-shard store partitions by an
+// independent slice of the key hash instead, so shard_bits = 0 keeps
+// intra-batch parallelism; either way a given key lands in exactly one
+// sub-batch, in caller order, so same-key operations never race and a
+// duplicate-key Put still resolves last-occurrence-wins.
+bool ShardedStore::BuildScatter(std::span<const Key> keys, bool stop_on_error,
+                                bool force_tasks,
+                                std::vector<uint32_t>* order,
+                                std::vector<SubBatch>* tasks) const {
   const size_t n = keys.size();
-  result->Reset(n);
-  if (n == 0) return;
-  if (n == 1) {  // single-key wrappers: no partitioning machinery
-    op(ShardFor(keys[0]), keys[0], 0, result, 0);
-    return;
-  }
-
-  // The batch is decomposed into tasks — each a stable run of `order`
-  // (caller indices) against one shard. Multi-shard stores get one task
-  // per non-empty shard (the scatter). A single-shard store partitions by
-  // an independent slice of the key hash instead, so shard_bits = 0 keeps
-  // intra-batch parallelism; either way a given key lands in exactly one
-  // sub-batch, in caller order, so same-key operations never race and a
-  // duplicate-key Put still resolves last-occurrence-wins.
-  struct SubBatch {
-    FasterStore* store;
-    uint32_t begin, end;  // range of `order`
-  };
-  std::vector<uint32_t> order;
-  std::vector<SubBatch> tasks;
-
   size_t num_buckets = shards_.size();
   bool hash_buckets = false;
   if (shards_.size() == 1) {
@@ -118,12 +106,11 @@ void ShardedStore::MultiExecute(std::span<const Key> keys, const ShardOp& op,
                         n / options_.parallel_min_keys);
     }
     if (chunks <= 1) {
-      FasterStore* s = shards_[0].get();
-      for (size_t i = 0; i < n; ++i) {
-        op(s, keys[i], i, result, i);
-        if (stop_on_error && result->codes[i] != Status::Code::kOk) break;
-      }
-      return;
+      if (!force_tasks) return false;  // caller runs the inline loop
+      order->resize(n);
+      for (size_t i = 0; i < n; ++i) (*order)[i] = static_cast<uint32_t>(i);
+      tasks->push_back({shards_[0].get(), 0, static_cast<uint32_t>(n)});
+      return true;
     }
     num_buckets = chunks;
     hash_buckets = true;
@@ -143,17 +130,41 @@ void ShardedStore::MultiExecute(std::span<const Key> keys, const ShardOp& op,
     ++offset[bucket_of[i] + 1];
   }
   for (size_t b = 0; b < num_buckets; ++b) offset[b + 1] += offset[b];
-  order.resize(n);
+  order->resize(n);
   {
     std::vector<uint32_t> cursor(offset.begin(), offset.end() - 1);
     for (size_t i = 0; i < n; ++i) {
-      order[cursor[bucket_of[i]]++] = static_cast<uint32_t>(i);
+      (*order)[cursor[bucket_of[i]]++] = static_cast<uint32_t>(i);
     }
   }
   for (size_t b = 0; b < num_buckets; ++b) {
     if (offset[b + 1] == offset[b]) continue;
-    tasks.push_back({shards_[hash_buckets ? 0 : b].get(), offset[b],
-                     offset[b + 1]});
+    tasks->push_back({shards_[hash_buckets ? 0 : b].get(), offset[b],
+                      offset[b + 1]});
+  }
+  return true;
+}
+
+void ShardedStore::MultiExecute(std::span<const Key> keys, const ShardOp& op,
+                                BatchResult* result, bool stop_on_error) {
+  const size_t n = keys.size();
+  result->Reset(n);
+  if (n == 0) return;
+  if (n == 1) {  // single-key wrappers: no partitioning machinery
+    op(ShardFor(keys[0]), keys[0], 0, result, 0);
+    return;
+  }
+
+  std::vector<uint32_t> order;
+  std::vector<SubBatch> tasks;
+  if (!BuildScatter(keys, stop_on_error, /*force_tasks=*/false, &order,
+                    &tasks)) {
+    FasterStore* s = shards_[0].get();
+    for (size_t i = 0; i < n; ++i) {
+      op(s, keys[i], i, result, i);
+      if (stop_on_error && result->codes[i] != Status::Code::kOk) break;
+    }
+    return;
   }
 
   std::vector<BatchResult> parts(tasks.size());
@@ -167,7 +178,15 @@ void ShardedStore::MultiExecute(std::span<const Key> keys, const ShardOp& op,
       if (stop_on_error && part->codes[j] != Status::Code::kOk) break;
     }
   };
+  RunTasks(tasks, run_task);
 
+  // Gather: scatter codes back to caller indices; sum the counts. The
+  // first hard error of the lowest-numbered task survives.
+  GatherParts(order, tasks, parts, result);
+}
+
+void ShardedStore::RunTasks(const std::vector<SubBatch>& tasks,
+                            const std::function<void(size_t)>& run_task) {
   if (options_.pool == nullptr || tasks.size() == 1) {
     // Nothing to overlap: run the sub-batches directly, skipping the
     // shared-state fan-in machinery entirely.
@@ -217,9 +236,60 @@ void ShardedStore::MultiExecute(std::span<const Key> keys, const ShardOp& op,
       return state->done.load(std::memory_order_acquire) == tasks.size();
     });
   }
+}
 
-  // Gather: scatter codes back to caller indices; sum the counts. The
-  // first hard error of the lowest-numbered task survives.
+void ShardedStore::MultiExecuteRead(std::span<const Key> keys,
+                                    const ShardReadOp& op,
+                                    BatchResult* result, bool stop_on_error) {
+  AsyncIoEngine* io = options_.io;
+  if (io == nullptr || stop_on_error || keys.size() <= 1) {
+    // No engine, the fail-fast legacy contract, or a single key (nothing
+    // to overlap): the unchanged blocking path, op with a null sink.
+    MultiExecute(
+        keys,
+        [&op](FasterStore* shard, Key key, size_t i, BatchResult* part,
+              size_t pi) { op(shard, key, i, part, pi, nullptr); },
+        result, stop_on_error);
+    return;
+  }
+
+  const size_t n = keys.size();
+  result->Reset(n);
+  std::vector<uint32_t> order;
+  std::vector<SubBatch> tasks;
+  // force_tasks: even a lone unchunked shard goes through the task path —
+  // the wave is exactly what overlaps its cold misses.
+  BuildScatter(keys, /*stop_on_error=*/false, /*force_tasks=*/true, &order,
+               &tasks);
+  std::vector<BatchResult> parts(tasks.size());
+  std::vector<PendingSink> sinks(tasks.size());
+  auto run_task = [&](size_t t) {
+    const SubBatch& task = tasks[t];
+    BatchResult* part = &parts[t];
+    part->Reset(task.end - task.begin);
+    for (uint32_t j = 0; j < task.end - task.begin; ++j) {
+      const uint32_t i = order[task.begin + j];
+      op(task.store, keys[i], i, part, j, &sinks[t]);
+    }
+  };
+  RunTasks(tasks, run_task);
+
+  // One submission wave across every shard's sub-batch; completions (and
+  // their finish callbacks, which record into the parts) run here on the
+  // calling thread.
+  PendingReadWave wave(io);
+  for (PendingSink& sink : sinks) wave.Adopt(&sink);
+  wave.CompleteAll();
+
+  GatherParts(order, tasks, parts, result);
+}
+
+// Gather: scatter codes back to caller indices; sum the counts. The first
+// hard error of the lowest-numbered task survives.
+void ShardedStore::GatherParts(const std::vector<uint32_t>& order,
+                               const std::vector<SubBatch>& tasks,
+                               const std::vector<BatchResult>& parts,
+                               BatchResult* result) {
   for (size_t t = 0; t < tasks.size(); ++t) {
     const BatchResult& part = parts[t];
     for (uint32_t j = 0; j < part.codes.size(); ++j) {
@@ -315,6 +385,9 @@ FasterStatsSnapshot ShardedStore::stats() const {
     total.pages_evicted += s.pages_evicted;
     total.compactions += s.compactions;
     total.compaction_live_copied += s.compaction_live_copied;
+    total.async_reads_submitted += s.async_reads_submitted;
+    total.async_reads_completed += s.async_reads_completed;
+    total.async_reads_refetched += s.async_reads_refetched;
   }
   return total;
 }

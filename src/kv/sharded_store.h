@@ -36,8 +36,11 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "kv/faster_store.h"
+#include "kv/pending_read.h"
 
 namespace mlkv {
+
+class AsyncIoEngine;
 
 struct ShardedStoreOptions {
   // Per-shard template. `path` names the UNSHARDED log file; `mem_size` and
@@ -59,6 +62,13 @@ struct ShardedStoreOptions {
   // offered opt-in intra-batch parallelism before sharding (FASTER's
   // batch_threads) set this to keep it.
   bool chunk_single_shard = false;
+  // Two-phase read pipeline (kv/pending_read.h). Non-null routes batched
+  // reads' cold misses through this engine: disk-resident keys across ALL
+  // shard sub-batches go into flight together instead of blocking one
+  // ReadAt at a time. Null (the default) keeps the blocking path —
+  // byte-identical to the pre-pipeline behavior. Not owned; typically
+  // shared across every table/shard of a process (MLKV owns one per DB).
+  AsyncIoEngine* io = nullptr;
 };
 
 class ShardedStore {
@@ -147,6 +157,27 @@ class ShardedStore {
   void MultiExecute(std::span<const Key> keys, const ShardOp& op,
                     BatchResult* result, bool stop_on_error = false);
 
+  // Read-flavored per-key operation for the two-phase pipeline. When
+  // `sink` is null the op MUST resolve synchronously (exactly a ShardOp);
+  // when non-null it may instead park a primed PendingRead (see
+  // FasterStore::StartRead) whose finish callback records the outcome
+  // once the wave completes it.
+  using ShardReadOp =
+      std::function<void(FasterStore* shard, Key key, size_t caller_index,
+                         BatchResult* part, size_t part_index,
+                         PendingSink* sink)>;
+
+  // MultiExecute for batched reads. Without an engine (options().io null),
+  // with stop_on_error, or for single-key calls this is exactly
+  // MultiExecute with a null sink — the unchanged blocking path. With an
+  // engine, phase 1 scatters as usual but cold misses park instead of
+  // blocking; after the scatter fan-in, every parked read across all
+  // sub-batches is submitted to the engine as one wave and completed on
+  // the calling thread (finish callbacks record into the sub-batch parts),
+  // and only then are parts gathered back to caller order.
+  void MultiExecuteRead(std::span<const Key> keys, const ShardReadOp& op,
+                        BatchResult* result, bool stop_on_error = false);
+
   // --- Maintenance across all shards (quiesced where FasterStore is) ---
 
   // Checkpoints every shard, then commits by writing <prefix>.shards via
@@ -188,6 +219,30 @@ class ShardedStore {
   FasterOptions ShardOptions(size_t i) const;
   Status OpenShards(const ShardedStoreOptions& options,
                     const std::string* recover_prefix);
+
+  // One stable run of caller indices (a range of `order`) against one
+  // shard — the unit the scatter decomposes a batch into.
+  struct SubBatch {
+    FasterStore* store;
+    uint32_t begin, end;  // range of `order`
+  };
+  // Decomposes `keys` into sub-batches (stable counting sort by shard, or
+  // by an independent hash slice for a chunked single shard). Returns
+  // false when the batch should instead run as one inline sequential pass
+  // (the legacy single-shard contract) — unless `force_tasks`, which then
+  // emits a single identity-order task.
+  bool BuildScatter(std::span<const Key> keys, bool stop_on_error,
+                    bool force_tasks, std::vector<uint32_t>* order,
+                    std::vector<SubBatch>* tasks) const;
+  // Runs run(t) for every task with work stealing off a shared claim
+  // counter across the calling thread and pool helpers.
+  void RunTasks(const std::vector<SubBatch>& tasks,
+                const std::function<void(size_t)>& run);
+  // Scatters per-task codes back to caller indices and sums the counts.
+  static void GatherParts(const std::vector<uint32_t>& order,
+                          const std::vector<SubBatch>& tasks,
+                          const std::vector<BatchResult>& parts,
+                          BatchResult* result);
 
   ShardedStoreOptions options_;
   uint64_t mask_ = 0;

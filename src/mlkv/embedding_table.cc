@@ -6,6 +6,7 @@
 
 #include "common/spin_wait.h"
 #include "io/file_device.h"
+#include "kv/batch_read.h"
 #include "kv/log_iterator.h"
 #include "mlkv/embedding_init.h"
 
@@ -24,6 +25,19 @@ struct ExportHeader {
 
 }  // namespace
 
+namespace {
+// Reconciles the two span-API result contracts (see the header comment):
+// with a sink, serve everything and return the first hard error; without
+// one, fail fast on the earliest per-key problem in caller order.
+Status ReconcileSpanResult(const BatchResult& r, bool caller_has_sink) {
+  if (caller_has_sink) return r.first_error;
+  for (size_t i = 0; i < r.codes.size(); ++i) {
+    if (r.codes[i] != Status::Code::kOk) return r.StatusAt(i);
+  }
+  return Status::OK();
+}
+}  // namespace
+
 Status EmbeddingTable::ExecuteSpan(std::span<const Key> keys,
                                    const ShardedStore::ShardOp& op,
                                    BatchResult* result) {
@@ -32,22 +46,30 @@ Status EmbeddingTable::ExecuteSpan(std::span<const Key> keys,
   // Without a sink the caller wants the original fail-fast contract, so
   // each shard's sub-batch stops at its first problem.
   store_->MultiExecute(keys, op, r, /*stop_on_error=*/result == nullptr);
-  if (result != nullptr) return r->first_error;
-  for (size_t i = 0; i < r->codes.size(); ++i) {
-    if (r->codes[i] != Status::Code::kOk) return r->StatusAt(i);
-  }
-  return Status::OK();
+  return ReconcileSpanResult(*r, result != nullptr);
+}
+
+Status EmbeddingTable::ExecuteReadSpan(std::span<const Key> keys,
+                                       const ShardedStore::ShardReadOp& op,
+                                       BatchResult* result) {
+  BatchResult local;
+  BatchResult* r = result != nullptr ? result : &local;
+  // Without a sink the caller wants the original fail-fast contract
+  // (MultiExecuteRead then takes the blocking path with per-sub-batch
+  // early exit).
+  store_->MultiExecuteRead(keys, op, r, /*stop_on_error=*/result == nullptr);
+  return ReconcileSpanResult(*r, result != nullptr);
 }
 
 Status EmbeddingTable::Get(std::span<const Key> keys, float* out,
                            BatchResult* result) {
   const uint32_t bytes = value_bytes();
-  return ExecuteSpan(
+  return ExecuteReadSpan(
       keys,
       [this, out, bytes](FasterStore* shard, Key key, size_t i,
-                         BatchResult* part, size_t pi) {
-        part->Record(pi, shard->Read(key, out + i * dim_, bytes, nullptr,
-                                     staleness_bound_));
+                         BatchResult* part, size_t pi, PendingSink* sink) {
+        BatchReadOrPark(shard, key, out + i * dim_, bytes, staleness_bound_,
+                        /*tracked=*/true, part, pi, sink);
       },
       result);
 }
@@ -56,34 +78,32 @@ Status EmbeddingTable::GetOrInit(std::span<const Key> keys, float* out,
                                  BatchResult* result) {
   const uint32_t emb_bytes = value_bytes();
   const uint32_t rec_bytes = record_bytes();
-  return ExecuteSpan(
+  return ExecuteReadSpan(
       keys,
       [this, out, emb_bytes, rec_bytes](FasterStore* shard, Key key, size_t i,
-                                        BatchResult* part, size_t pi) {
+                                        BatchResult* part, size_t pi,
+                                        PendingSink* sink) {
         float* dst = out + i * dim_;
-        Status s = shard->Read(key, dst, emb_bytes, nullptr, staleness_bound_);
-        if (s.IsNotFound()) {
-          // First touch: the shared deterministic bootstrap, so all threads
-          // racing on the same key produce the same vector. Optimizer state
-          // starts all-zero — the correct initial value for every kind —
-          // which the zero-filled Rmw scratch provides for free.
+        // First touch of an absent key: the shared deterministic bootstrap,
+        // so all threads racing on the same key produce the same vector.
+        // Optimizer state starts all-zero — the correct initial value for
+        // every kind — which the zero-filled Rmw scratch provides for free.
+        // Rmw keeps a concurrent initializer from double-inserting: only
+        // the missing case writes, and losers observe the winner.
+        const auto init_missing = [this, shard, key, dst, emb_bytes,
+                                   rec_bytes]() {
           InitEmbedding(key, dim_, dst);
-          // Rmw keeps a concurrent initializer from double-inserting: only
-          // the missing case writes, and losers observe the winner.
-          s = shard->Rmw(key, rec_bytes,
-                         [&](char* value, uint32_t, bool exists) {
-                           if (!exists) {
-                             std::memcpy(value, dst, emb_bytes);
-                           } else {
-                             std::memcpy(dst, value, emb_bytes);
-                           }
-                         });
-          if (s.ok()) {
-            part->RecordInitialized(pi);
-            return;
-          }
-        }
-        part->Record(pi, s);
+          return shard->Rmw(key, rec_bytes,
+                            [&](char* value, uint32_t, bool exists) {
+                              if (!exists) {
+                                std::memcpy(value, dst, emb_bytes);
+                              } else {
+                                std::memcpy(dst, value, emb_bytes);
+                              }
+                            });
+        };
+        BatchReadOrPark(shard, key, dst, emb_bytes, staleness_bound_,
+                        /*tracked=*/true, part, pi, sink, &init_missing);
       },
       result);
 }
@@ -91,11 +111,12 @@ Status EmbeddingTable::GetOrInit(std::span<const Key> keys, float* out,
 Status EmbeddingTable::Peek(std::span<const Key> keys, float* out,
                             BatchResult* result) {
   const uint32_t bytes = value_bytes();
-  return ExecuteSpan(
+  return ExecuteReadSpan(
       keys,
       [this, out, bytes](FasterStore* shard, Key key, size_t i,
-                         BatchResult* part, size_t pi) {
-        part->Record(pi, shard->Peek(key, out + i * dim_, bytes));
+                         BatchResult* part, size_t pi, PendingSink* sink) {
+        BatchReadOrPark(shard, key, out + i * dim_, bytes, UINT32_MAX,
+                        /*tracked=*/false, part, pi, sink);
       },
       result);
 }
@@ -104,30 +125,28 @@ Status EmbeddingTable::PeekOrInit(std::span<const Key> keys, float* out,
                                   BatchResult* result) {
   const uint32_t emb_bytes = value_bytes();
   const uint32_t rec_bytes = record_bytes();
-  return ExecuteSpan(
+  return ExecuteReadSpan(
       keys,
       [this, out, emb_bytes, rec_bytes](FasterStore* shard, Key key, size_t i,
-                                        BatchResult* part, size_t pi) {
+                                        BatchResult* part, size_t pi,
+                                        PendingSink* sink) {
         float* dst = out + i * dim_;
-        Status s = shard->Peek(key, dst, emb_bytes);
-        if (s.IsNotFound()) {
+        // Rmw creates the record if still absent; a concurrent creator
+        // wins and we adopt its value. No tracked read on this path.
+        const auto init_missing = [this, shard, key, dst, emb_bytes,
+                                   rec_bytes]() {
           InitEmbedding(key, dim_, dst);
-          // Rmw creates the record if still absent; a concurrent creator
-          // wins and we adopt its value. No tracked read on this path.
-          s = shard->Rmw(key, rec_bytes,
-                         [&](char* value, uint32_t, bool exists) {
-                           if (!exists) {
-                             std::memcpy(value, dst, emb_bytes);
-                           } else {
-                             std::memcpy(dst, value, emb_bytes);
-                           }
-                         });
-          if (s.ok()) {
-            part->RecordInitialized(pi);
-            return;
-          }
-        }
-        part->Record(pi, s);
+          return shard->Rmw(key, rec_bytes,
+                            [&](char* value, uint32_t, bool exists) {
+                              if (!exists) {
+                                std::memcpy(value, dst, emb_bytes);
+                              } else {
+                                std::memcpy(dst, value, emb_bytes);
+                              }
+                            });
+        };
+        BatchReadOrPark(shard, key, dst, emb_bytes, UINT32_MAX,
+                        /*tracked=*/false, part, pi, sink, &init_missing);
       },
       result);
 }
@@ -230,8 +249,30 @@ Status EmbeddingTable::Lookahead(std::span<const Key> keys, LookaheadDest dest,
     const bool submitted = lookahead_pool_->TrySubmit([this, shard, batch,
                                                        dest, cache] {
       if (dest == LookaheadDest::kStorageBuffer) {
-        for (const Key key : *batch) {
-          shard->Promote(key).ok();  // NotFound is fine: nothing to prefetch
+        AsyncIoEngine* io = store_->options().io;
+        if (io != nullptr) {
+          // Pending-read pipeline: every cold key in this shard batch goes
+          // into flight together, and promotions complete from the landed
+          // record images instead of one blocking read at a time.
+          PendingSink sink;
+          for (const Key key : *batch) {
+            auto p = std::make_unique<PendingRead>();
+            bool parked = false;
+            // cap = the full stored value, so the copy never truncates.
+            shard->StartPromote(key, record_bytes(), p.get(), &parked).ok();
+            if (parked) {
+              sink.Park(shard, std::move(p), [shard](PendingRead* done) {
+                shard->PromoteFromPending(*done).ok();  // best-effort
+              });
+            }
+          }
+          PendingReadWave wave(io);
+          wave.Adopt(&sink);
+          wave.CompleteAll();
+        } else {
+          for (const Key key : *batch) {
+            shard->Promote(key).ok();  // NotFound: nothing to prefetch
+          }
         }
       } else {
         std::vector<float> value(dim_);

@@ -142,6 +142,14 @@ class EmbeddingTable {
   // fail-fast; see the span-API comment above).
   Status ExecuteSpan(std::span<const Key> keys,
                      const ShardedStore::ShardOp& op, BatchResult* result);
+  // Read-flavored ExecuteSpan: with an AsyncIoEngine configured, cold
+  // misses across the whole batch go into flight together through the
+  // pending-read pipeline (kv/pending_read.h); without one this is
+  // exactly ExecuteSpan. The fail-fast (sink-less) contract always takes
+  // the blocking path.
+  Status ExecuteReadSpan(std::span<const Key> keys,
+                         const ShardedStore::ShardReadOp& op,
+                         BatchResult* result);
 
   std::string model_id_;
   uint32_t dim_;

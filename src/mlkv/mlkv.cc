@@ -166,6 +166,7 @@ Status Mlkv::OpenTable(const std::string& model_id, uint32_t dim,
                                              : options_.shard_bits;
   so.pool = &lookahead_pool_;
   so.parallel_min_keys = std::max<size_t>(options_.scatter_min_keys, 1);
+  so.io = io_engine_.get();
   auto store = std::make_unique<ShardedStore>();
   const std::string ckpt_prefix = options_.dir + "/" + model_id + ".ckpt";
   if (spec_it != manifest_.end() &&

@@ -25,6 +25,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "io/async_io.h"
 #include "kv/faster_store.h"
 #include "mlkv/embedding_cache.h"
 #include "mlkv/embedding_table.h"
@@ -61,6 +62,14 @@ struct MlkvOptions {
   // Spin iterations before a bounded Get aborts with Busy (kv/record.h).
   uint64_t busy_spin_limit = kDefaultBusySpinLimit;
   bool skip_promote_if_in_memory = true;  // DESIGN.md ablation D2
+  // Read-path mode for every table's store. kAsync routes the cold misses
+  // of batched gets/peeks (and Lookahead promotions) through one shared
+  // per-DB AsyncIoEngine, so a batch's disk reads go into flight together;
+  // kSync (the default) keeps the blocking path, byte-identical to the
+  // pre-pipeline behavior.
+  IoMode io_mode = IoMode::kSync;
+  // AsyncIoEngine workers (and, with io_uring, rings) for kAsync.
+  size_t io_threads = 4;
 };
 
 // Consistency presets (paper §III-C1).
@@ -121,6 +130,8 @@ class Mlkv {
   std::vector<std::string> ListTables() const;
 
   ThreadPool* lookahead_pool() { return &lookahead_pool_; }
+  // Null unless options().io_mode == kAsync.
+  AsyncIoEngine* io_engine() { return io_engine_.get(); }
   const MlkvOptions& options() const { return options_; }
 
  private:
@@ -137,6 +148,13 @@ class Mlkv {
 
   explicit Mlkv(const MlkvOptions& options)
       : options_(options),
+        io_engine_(options.io_mode == IoMode::kAsync
+                       ? std::make_unique<AsyncIoEngine>([&options] {
+                           AsyncIoEngine::Options o;
+                           o.io_threads = options.io_threads;
+                           return o;
+                         }())
+                       : nullptr),
         lookahead_pool_(options.lookahead_threads) {}
 
   std::string ManifestPath() const { return options_.dir + "/MANIFEST"; }
@@ -144,6 +162,9 @@ class Mlkv {
   Status WriteManifest() const;
 
   MlkvOptions options_;
+  // Shared across every table/shard of this DB; destroyed after the
+  // lookahead pool is shut down (the destructor orders that explicitly).
+  std::unique_ptr<AsyncIoEngine> io_engine_;
   ThreadPool lookahead_pool_;
   std::unordered_map<std::string, std::unique_ptr<EmbeddingTable>> tables_;
   // All tables ever created in this directory, including not-yet-reopened

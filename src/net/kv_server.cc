@@ -14,7 +14,11 @@ KvServer::KvServer(std::unique_ptr<KvBackend> backend,
                    KvServerOptions options)
     : backend_(std::move(backend)),
       options_(std::move(options)),
-      slot_fds_(options_.num_workers == 0 ? 1 : options_.num_workers, -1) {}
+      slot_fds_(options_.num_workers == 0 ? 1 : options_.num_workers, -1) {
+  if (options_.request_threads > 0) {
+    request_pool_ = std::make_unique<ThreadPool>(options_.request_threads);
+  }
+}
 
 KvServer::~KvServer() { Stop(); }
 
@@ -64,6 +68,15 @@ void KvServer::Stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  // Offloaded storage requests drain AFTER the workers are joined: a
+  // worker mid-frame could still start an offload after an earlier drain
+  // observed zero, but once no worker remains, inflight_requests_ can only
+  // fall. Each task finishes, answers (sends bounded by send_timeout_ms),
+  // and closes or requeues its connection — so nothing repopulates
+  // pending_ after the final sweep below, and no task outlives Stop().
+  while (inflight_requests_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     pending_.clear();  // queued-but-never-served connections just close
@@ -167,6 +180,38 @@ void KvServer::ServeConnection(Socket conn, size_t slot) {
       transport_errors_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
+    const uint8_t raw_op = static_cast<uint8_t>(hdr.opcode);
+    const bool storage_op = raw_op == static_cast<uint8_t>(Opcode::kMultiGet) ||
+                            raw_op ==
+                                static_cast<uint8_t>(Opcode::kMultiPut) ||
+                            raw_op == static_cast<uint8_t>(
+                                          Opcode::kMultiApplyGradient);
+    if (request_pool_ != nullptr && storage_op) {
+      // Offload the storage phase: the executor owns the connection until
+      // the response is on the wire, then requeues it; this worker turns
+      // around and serves other connections meanwhile.
+      {
+        std::lock_guard<std::mutex> lk(slots_mu_);
+        slot_fds_[slot] = -1;
+      }
+      inflight_requests_.fetch_add(1, std::memory_order_acq_rel);
+      auto req = std::make_shared<OffloadedRequest>();
+      req->conn = std::move(conn);
+      req->hdr = hdr;
+      req->payload = std::move(payload);
+      if (request_pool_->TrySubmit([this, req] { RunOffloaded(req); })) {
+        return;
+      }
+      // Executor queue full (or shutting down): degrade to inline.
+      inflight_requests_.fetch_sub(1, std::memory_order_acq_rel);
+      conn = std::move(req->conn);
+      payload = std::move(req->payload);
+      {
+        std::lock_guard<std::mutex> lk(slots_mu_);
+        slot_fds_[slot] = conn.fd();
+      }
+      if (stopping_.load(std::memory_order_acquire)) conn.ShutdownRead();
+    }
     if (!HandleRequest(&conn, hdr, payload)) break;
   }
   // Deregister and close atomically w.r.t. Stop()'s shutdown sweep, so a
@@ -174,6 +219,20 @@ void KvServer::ServeConnection(Socket conn, size_t slot) {
   std::lock_guard<std::mutex> lk(slots_mu_);
   slot_fds_[slot] = -1;
   conn.Close();
+}
+
+void KvServer::RunOffloaded(const std::shared_ptr<OffloadedRequest>& req) {
+  const bool keep = HandleRequest(&req->conn, req->hdr, req->payload);
+  if (keep && !stopping_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      pending_.push_back(std::move(req->conn));
+    }
+    pending_cv_.notify_one();
+  } else {
+    req->conn.Close();
+  }
+  inflight_requests_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 Status KvServer::SendResponse(Socket* conn, const FrameHeader& req,
@@ -296,6 +355,13 @@ StatsSnapshot KvServer::stats() const {
   s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
   s.latency_p50_us = latency_.Percentile(0.50);
   s.latency_p99_us = latency_.Percentile(0.99);
+  const BackendIoStats io = backend_->io_stats();
+  s.disk_record_reads = io.disk_record_reads;
+  s.pages_flushed = io.pages_flushed;
+  s.pages_evicted = io.pages_evicted;
+  s.async_reads_submitted = io.async_reads_submitted;
+  s.async_reads_completed = io.async_reads_completed;
+  s.async_reads_refetched = io.async_reads_refetched;
   return s;
 }
 

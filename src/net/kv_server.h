@@ -32,6 +32,7 @@
 #include "backend/kv_backend.h"
 #include "common/histogram.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "net/socket.h"
 #include "net/wire.h"
 
@@ -48,6 +49,14 @@ struct KvServerOptions {
   // non-reading peer could also hang Stop()'s drain (SHUT_RD unblocks
   // reads, not sends). 0 disables.
   int send_timeout_ms = 10000;
+  // Storage-request offload: with N > 0, MultiGet / MultiPut /
+  // MultiApplyGradient requests are handed (connection and all) to a pool
+  // of N executor threads, so the worker that decoded the frame goes back
+  // to serving other connections while the request's storage phase —
+  // possibly an async cold-read wave — completes; the executor sends the
+  // response and requeues the connection. 0 (default) serves every
+  // request inline on its worker, the classic model.
+  size_t request_threads = 0;
 };
 
 class KvServer {
@@ -84,6 +93,15 @@ class KvServer {
   Status SendResponse(Socket* conn, const FrameHeader& req,
                       const Status& transport, const PayloadWriter& body);
 
+  // One offloaded storage request: the executor owns the connection until
+  // the response is sent, then requeues it (or closes it when stopping).
+  struct OffloadedRequest {
+    Socket conn;
+    FrameHeader hdr;
+    std::vector<uint8_t> payload;
+  };
+  void RunOffloaded(const std::shared_ptr<OffloadedRequest>& req);
+
   std::unique_ptr<KvBackend> backend_;
   const KvServerOptions options_;
 
@@ -103,6 +121,11 @@ class KvServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+
+  // Storage-request executors (request_threads > 0); tasks in flight are
+  // drained by Stop() before the final pending_ sweep.
+  std::unique_ptr<ThreadPool> request_pool_;
+  std::atomic<size_t> inflight_requests_{0};
 
   mutable std::array<std::atomic<uint64_t>, kOpcodeSlots> op_counts_{};
   std::atomic<uint64_t> connections_{0};

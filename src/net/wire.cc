@@ -378,6 +378,12 @@ void EncodeStatsSnapshot(const StatsSnapshot& s, PayloadWriter* w) {
   w->U64(s.transport_errors);
   w->U64(s.latency_p50_us);
   w->U64(s.latency_p99_us);
+  w->U64(s.disk_record_reads);
+  w->U64(s.pages_flushed);
+  w->U64(s.pages_evicted);
+  w->U64(s.async_reads_submitted);
+  w->U64(s.async_reads_completed);
+  w->U64(s.async_reads_refetched);
 }
 
 Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out) {
@@ -392,6 +398,12 @@ Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out) {
   r->U64(&out->transport_errors);
   r->U64(&out->latency_p50_us);
   r->U64(&out->latency_p99_us);
+  r->U64(&out->disk_record_reads);
+  r->U64(&out->pages_flushed);
+  r->U64(&out->pages_evicted);
+  r->U64(&out->async_reads_submitted);
+  r->U64(&out->async_reads_completed);
+  r->U64(&out->async_reads_refetched);
   return r->Finish("stats");
 }
 

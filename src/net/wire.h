@@ -37,7 +37,9 @@ namespace net {
 
 // "MLKV" when the little-endian u32 is viewed as bytes.
 inline constexpr uint32_t kWireMagic = 0x564B4C4Du;
-inline constexpr uint8_t kWireVersion = 1;
+// v2: kStats responses carry the backend's storage-I/O block (disk record
+// reads, page traffic, pending-pipeline counters) after the server fields.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderSize = 20;
 // Upper bound on a single payload; a header announcing more is corrupt
 // (or hostile) and the connection is dropped before any allocation.
@@ -200,6 +202,15 @@ struct StatsSnapshot {
   uint64_t transport_errors = 0;
   uint64_t latency_p50_us = 0;
   uint64_t latency_p99_us = 0;
+  // Storage-I/O behavior of the served backend (KvBackend::io_stats();
+  // zeros for engines without a disk pipeline), so remote operators see
+  // disk-read and pending-pipeline counters without host access.
+  uint64_t disk_record_reads = 0;
+  uint64_t pages_flushed = 0;
+  uint64_t pages_evicted = 0;
+  uint64_t async_reads_submitted = 0;
+  uint64_t async_reads_completed = 0;
+  uint64_t async_reads_refetched = 0;
 };
 
 void EncodeStatsSnapshot(const StatsSnapshot& s, PayloadWriter* w);

@@ -15,6 +15,7 @@
 
 #include "backend/kv_backend.h"
 #include "common/clock.h"
+#include "io/temp_dir.h"
 #include "net/kv_server.h"
 #include "net/remote_backend.h"
 #include "net/socket.h"
@@ -667,6 +668,123 @@ TEST(KvServerStopTest, StopDrainsInFlightRequest) {
   EXPECT_TRUE(got.AllOk());
   EXPECT_EQ(out, v);
   EXPECT_FALSE(server.running());
+}
+
+TEST(KvServerOffloadTest, OffloadFreesTheWorkerForOtherConnections) {
+  // One worker, but storage requests execute on a request pool: while
+  // client A's MultiGet is parked inside the backend, the lone worker must
+  // still serve client B — impossible if the request ran inline.
+  auto gated = std::make_unique<GatedBackend>(MakeInMemory());
+  GatedBackend* gate = gated.get();
+  KvServerOptions opts;
+  opts.num_workers = 1;
+  opts.request_threads = 2;
+  KvServer server(std::move(gated), opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  RemoteBackendOptions o;
+  o.addr = server.addr();
+  std::unique_ptr<KvBackend> a, b;
+  ASSERT_TRUE(RemoteBackend::Connect(o, &a).ok());
+  ASSERT_TRUE(RemoteBackend::Connect(o, &b).ok());
+
+  std::vector<Key> keys = {5};
+  std::vector<float> v(8, 2.25f);
+  ASSERT_TRUE(b->MultiPut(keys, v.data()).AllOk());
+
+  BatchResult got;
+  std::vector<float> out(8, 0.0f);
+  std::thread blocked([&] { got = a->MultiGet(keys, out.data()); });
+  gate->WaitEntered();
+  // A is parked in the backend on the offload pool; B's RPCs — another
+  // storage op and a ping — go through the (single) freed worker.
+  std::vector<float> v2(8, 9.75f);
+  EXPECT_TRUE(b->MultiPut({keys.data(), 1}, v2.data()).AllOk());
+  EXPECT_TRUE(static_cast<RemoteBackend*>(b.get())->Ping().ok());
+  gate->Release();
+  blocked.join();
+  EXPECT_TRUE(got.AllOk());
+  // A's read linearized either before or after B's second put.
+  EXPECT_TRUE(out == v || out == v2);
+  // A's connection was requeued after the offloaded response: it serves
+  // the next request normally.
+  EXPECT_TRUE(a->MultiGet(keys, out.data()).AllOk());
+  EXPECT_EQ(out, v2);
+  server.Stop();
+}
+
+TEST(KvServerOffloadTest, StopDrainsOffloadedInFlightRequest) {
+  auto gated = std::make_unique<GatedBackend>(MakeInMemory());
+  GatedBackend* gate = gated.get();
+  KvServerOptions opts;
+  opts.num_workers = 1;
+  opts.request_threads = 1;
+  KvServer server(std::move(gated), opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  RemoteBackendOptions o;
+  o.addr = server.addr();
+  std::unique_ptr<KvBackend> remote;
+  ASSERT_TRUE(RemoteBackend::Connect(o, &remote).ok());
+  std::vector<Key> keys = {7};
+  std::vector<float> v(8, 3.5f);
+  ASSERT_TRUE(remote->MultiPut(keys, v.data()).AllOk());
+
+  BatchResult got;
+  std::vector<float> out(8, 0.0f);
+  std::thread client([&] { got = remote->MultiGet(keys, out.data()); });
+  gate->WaitEntered();
+  std::thread stopper([&] { server.Stop(); });
+  gate->Release();
+  client.join();
+  stopper.join();
+  // The offloaded request finished and answered before Stop returned.
+  EXPECT_TRUE(got.AllOk());
+  EXPECT_EQ(out, v);
+  EXPECT_FALSE(server.running());
+}
+
+TEST(KvServerIoStatsTest, ColdReadCountersTravelTheWire) {
+  // A FASTER backend with a tiny buffer behind a server: cold remote
+  // MultiGets must surface disk and pending-pipeline counters through the
+  // kStats opcode — the remote operator's view of I/O behavior.
+  TempDir dir;
+  BackendConfig cfg;
+  cfg.dir = dir.File("b");
+  cfg.dim = 8;
+  cfg.buffer_bytes = 1u << 16;
+  cfg.index_slots = 4096;
+  cfg.io_mode = IoMode::kAsync;
+  cfg.io_threads = 2;
+  std::unique_ptr<KvBackend> backend;
+  ASSERT_TRUE(MakeBackend(BackendKind::kFaster, cfg, &backend).ok());
+  KvServer server(std::move(backend));
+  ASSERT_TRUE(server.Start().ok());
+
+  RemoteBackendOptions o;
+  o.addr = server.addr();
+  std::unique_ptr<KvBackend> remote;
+  ASSERT_TRUE(RemoteBackend::Connect(o, &remote).ok());
+  constexpr size_t kN = 2000;
+  std::vector<Key> keys(kN);
+  std::vector<float> rows(kN * 8);
+  for (size_t i = 0; i < kN; ++i) {
+    keys[i] = i;
+    for (int d = 0; d < 8; ++d) rows[i * 8 + d] = static_cast<float>(i);
+  }
+  ASSERT_TRUE(remote->MultiPut(keys, rows.data()).AllOk());
+  std::vector<float> out(kN * 8, 0.0f);
+  ASSERT_TRUE(remote->MultiGet(keys, out.data()).AllOk());
+  EXPECT_EQ(out, rows);
+
+  StatsSnapshot s;
+  ASSERT_TRUE(
+      static_cast<RemoteBackend*>(remote.get())->FetchStats(&s).ok());
+  EXPECT_GT(s.disk_record_reads, 0u);
+  EXPECT_GT(s.pages_flushed, 0u);
+  EXPECT_GT(s.async_reads_submitted, 0u);
+  EXPECT_EQ(s.async_reads_submitted, s.async_reads_completed);
+  server.Stop();
 }
 
 TEST(KvServerStopTest, StopNotWedgedByPeerThatStopsReading) {

@@ -1,0 +1,419 @@
+// Two-phase pending-read pipeline tests (kv/pending_read.h): sync/async
+// byte-for-byte equivalence on a cold working set, duplicate-cold-key
+// coalescing, a compaction deterministically racing an in-flight read,
+// staleness-bound fallbacks, injected device failures surfacing as per-key
+// codes without poisoning batch siblings, and drain-on-close.
+#include "kv/pending_read.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "io/async_io.h"
+#include "io/faulty_file_device.h"
+#include "io/temp_dir.h"
+#include "kv/faster_store.h"
+#include "kv/sharded_store.h"
+#include "mlkv/mlkv.h"
+
+namespace mlkv {
+namespace {
+
+constexpr uint32_t kValueBytes = 32;
+
+void FillValue(Key key, char* out) {
+  for (uint32_t i = 0; i < kValueBytes; ++i) {
+    out[i] = static_cast<char>((key * 31 + i) & 0xFF);
+  }
+}
+
+// A sharded store with a tiny memory budget so most of `num_keys` end up
+// disk-resident after the load.
+ShardedStoreOptions ColdStoreOptions(const std::string& path,
+                                     uint32_t shard_bits,
+                                     AsyncIoEngine* io) {
+  ShardedStoreOptions o;
+  o.store.path = path;
+  o.store.index_slots = 4096;
+  o.store.mem_size = 1u << 16;  // 64 KiB total: a few hundred records hot
+  o.store.page_size = 1u << 12;
+  o.shard_bits = shard_bits;
+  o.io = io;
+  return o;
+}
+
+void LoadKeys(ShardedStore* store, uint64_t num_keys) {
+  char value[kValueBytes];
+  for (Key k = 0; k < num_keys; ++k) {
+    FillValue(k, value);
+    ASSERT_TRUE(store->Upsert(k, value, kValueBytes).ok());
+  }
+}
+
+// The Get-shaped read op the embedding layer builds, reduced to raw bytes:
+// phase-1 resolve or park, untracked.
+ShardedStore::ShardReadOp RawReadOp(char* out, uint32_t stride) {
+  return [out, stride](FasterStore* shard, Key key, size_t i,
+                       BatchResult* part, size_t pi, PendingSink* sink) {
+    char* dst = out + i * stride;
+    if (sink == nullptr) {
+      part->Record(pi, shard->Read(key, dst, stride));
+      return;
+    }
+    auto p = std::make_unique<PendingRead>();
+    if (shard->StartRead(key, dst, stride, nullptr, UINT32_MAX,
+                         /*tracked=*/false, p.get())) {
+      part->Record(pi, p->status);
+      return;
+    }
+    sink->Park(shard, std::move(p), [part, pi](PendingRead* done) {
+      part->Record(pi, done->status);
+    });
+  };
+}
+
+TEST(PendingReadTest, ColdBatchMatchesSyncByteForByte) {
+  constexpr uint64_t kKeys = 2000;
+  TempDir sync_dir, async_dir;
+  AsyncIoEngine engine;
+
+  ShardedStore sync_store, async_store;
+  ASSERT_TRUE(
+      sync_store.Open(ColdStoreOptions(sync_dir.File("s.log"), 2, nullptr))
+          .ok());
+  ASSERT_TRUE(
+      async_store.Open(ColdStoreOptions(async_dir.File("a.log"), 2, &engine))
+          .ok());
+  LoadKeys(&sync_store, kKeys);
+  LoadKeys(&async_store, kKeys);
+
+  // Mixed batch: cold keys, hot keys, missing keys, strided order.
+  std::vector<Key> keys;
+  for (uint64_t i = 0; i < 256; ++i) keys.push_back((i * 37) % kKeys);
+  keys.push_back(kKeys + 5);  // never stored
+  keys.push_back(3);
+  keys.push_back(kKeys + 9);  // never stored
+
+  std::vector<char> sync_out(keys.size() * kValueBytes, 0);
+  std::vector<char> async_out(keys.size() * kValueBytes, 0);
+  BatchResult sync_r, async_r;
+  sync_store.MultiExecuteRead(keys, RawReadOp(sync_out.data(), kValueBytes),
+                              &sync_r);
+  async_store.MultiExecuteRead(keys, RawReadOp(async_out.data(), kValueBytes),
+                               &async_r);
+
+  ASSERT_EQ(sync_r.codes.size(), async_r.codes.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(sync_r.codes[i], async_r.codes[i]) << "key " << keys[i];
+    if (sync_r.codes[i] == Status::Code::kOk) {
+      EXPECT_EQ(std::memcmp(&sync_out[i * kValueBytes],
+                            &async_out[i * kValueBytes], kValueBytes),
+                0)
+          << "key " << keys[i];
+    }
+  }
+  EXPECT_EQ(sync_r.found, async_r.found);
+  EXPECT_EQ(sync_r.missing, async_r.missing);
+  // The async store actually used the pipeline (the working set is cold),
+  // and the sync store never did.
+  EXPECT_GT(async_store.stats().async_reads_submitted, 0u);
+  EXPECT_EQ(sync_store.stats().async_reads_submitted, 0u);
+  EXPECT_EQ(async_store.stats().async_reads_submitted,
+            async_store.stats().async_reads_completed);
+}
+
+TEST(PendingReadTest, DuplicateColdKeysCoalesceIntoOneIo) {
+  constexpr uint64_t kKeys = 1500;
+  TempDir dir;
+  AsyncIoEngine engine;
+  ShardedStore store;
+  // shard_bits 0: all duplicates land in one shard's sub-batch.
+  ASSERT_TRUE(
+      store.Open(ColdStoreOptions(dir.File("c.log"), 0, &engine)).ok());
+  LoadKeys(&store, kKeys);
+
+  // One definitely-cold key, repeated; plus one other cold key.
+  const Key cold = 7;
+  std::vector<Key> keys(16, cold);
+  keys.push_back(11);
+  std::vector<char> out(keys.size() * kValueBytes, 0);
+  BatchResult r;
+  store.MultiExecuteRead(keys, RawReadOp(out.data(), kValueBytes), &r);
+
+  char expected[kValueBytes];
+  FillValue(cold, expected);
+  for (size_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(r.codes[i], Status::Code::kOk);
+    EXPECT_EQ(std::memcmp(&out[i * kValueBytes], expected, kValueBytes), 0);
+  }
+  FillValue(11, expected);
+  EXPECT_EQ(std::memcmp(&out[16 * kValueBytes], expected, kValueBytes), 0);
+  const FasterStatsSnapshot s = store.stats();
+  // 17 key instances, 2 distinct cold records: at most 2 I/Os (+ hash-chain
+  // hops, which an index of 4096 slots over 1500 keys makes rare).
+  EXPECT_GT(s.async_reads_submitted, 0u);
+  EXPECT_LE(s.async_reads_submitted, 4u);
+}
+
+TEST(PendingReadTest, CompactionRacingInFlightReadFallsBackToRefetch) {
+  constexpr uint64_t kKeys = 1200;
+  TempDir dir;
+  AsyncIoEngine engine;
+  ShardedStore sharded;
+  ASSERT_TRUE(
+      sharded.Open(ColdStoreOptions(dir.File("r.log"), 0, &engine)).ok());
+  LoadKeys(&sharded, kKeys);
+  FasterStore* store = sharded.shard(0);
+
+  // Phase 1 parks a cold key...
+  const Key victim = 3;
+  char out[kValueBytes] = {0};
+  auto p = std::make_unique<PendingRead>();
+  ASSERT_FALSE(store->StartRead(victim, out, kValueBytes, nullptr, UINT32_MAX,
+                                /*tracked=*/false, p.get()));
+  // ...then compaction reclaims the whole cold region before the "I/O"
+  // completes: the parked address is now below the begin boundary and its
+  // live version was republished at the tail.
+  ASSERT_TRUE(sharded.CompactAll().ok());
+  ASSERT_GT(store->log().begin_address(), p->address);
+
+  PendingSink sink;
+  Status final_status;
+  PendingRead* raw = p.get();
+  sink.Park(store, std::move(p), [&final_status](PendingRead* done) {
+    final_status = done->status;
+  });
+  PendingReadWave wave(&engine);
+  wave.Adopt(&sink);
+  wave.CompleteAll();
+  (void)raw;
+
+  ASSERT_TRUE(final_status.ok()) << final_status.ToString();
+  char expected[kValueBytes];
+  FillValue(victim, expected);
+  EXPECT_EQ(std::memcmp(out, expected, kValueBytes), 0);
+  EXPECT_GE(store->stats().async_reads_refetched, 1u);
+}
+
+TEST(PendingReadTest, PromotionInvalidatedInFlightSkipsCleanly) {
+  // Regression: a StartPromote fetch has no caller output buffer; when the
+  // record moves mid-flight (compaction here), the completion must skip
+  // the promotion — not fall into the buffer-refilling refetch path.
+  constexpr uint64_t kKeys = 1200;
+  TempDir dir;
+  AsyncIoEngine engine;
+  ShardedStore sharded;
+  ASSERT_TRUE(
+      sharded.Open(ColdStoreOptions(dir.File("p.log"), 0, &engine)).ok());
+  LoadKeys(&sharded, kKeys);
+  FasterStore* store = sharded.shard(0);
+
+  auto p = std::make_unique<PendingRead>();
+  bool parked = false;
+  ASSERT_TRUE(store->StartPromote(5, kValueBytes, p.get(), &parked).ok());
+  ASSERT_TRUE(parked);
+  ASSERT_TRUE(sharded.CompactAll().ok());
+  ASSERT_GT(store->log().begin_address(), p->address);
+
+  const uint64_t skipped_before = store->stats().promotions_skipped;
+  PendingSink sink;
+  sink.Park(store, std::move(p), [store](PendingRead* done) {
+    EXPECT_TRUE(store->PromoteFromPending(*done).ok());
+  });
+  PendingReadWave wave(&engine);
+  wave.Adopt(&sink);
+  wave.CompleteAll();
+  EXPECT_GT(store->stats().promotions_skipped, skipped_before);
+  // The key still reads correctly afterwards.
+  char out[kValueBytes], expected[kValueBytes];
+  ASSERT_TRUE(store->Read(5, out, kValueBytes).ok());
+  FillValue(5, expected);
+  EXPECT_EQ(std::memcmp(out, expected, kValueBytes), 0);
+}
+
+TEST(PendingReadTest, StalenessBoundFallsBackToBlockingProtocol) {
+  TempDir dir;
+  AsyncIoEngine engine;
+  ShardedStoreOptions o = ColdStoreOptions(dir.File("b.log"), 0, &engine);
+  o.store.track_staleness = true;
+  o.store.staleness_bound = 0;       // BSP
+  o.store.busy_spin_limit = 16;      // abort fast in the fallback
+  ShardedStore sharded;
+  ASSERT_TRUE(sharded.Open(o).ok());
+  FasterStore* store = sharded.shard(0);
+
+  // Raise one key's staleness while it is still mutable, then bury it so
+  // the stale counter freezes on disk.
+  char value[kValueBytes];
+  FillValue(42, value);
+  ASSERT_TRUE(store->Upsert(42, value, kValueBytes).ok());
+  char buf[kValueBytes];
+  for (int i = 0; i < 3; ++i) {  // tracked reads: staleness -> 3
+    ASSERT_TRUE(
+        store->Read(42, buf, kValueBytes, nullptr, UINT32_MAX - 2).ok());
+  }
+  for (Key filler = 1000; filler < 3000; ++filler) {
+    FillValue(filler, value);
+    ASSERT_TRUE(store->Upsert(filler, value, kValueBytes).ok());
+  }
+  ASSERT_FALSE(store->IsInMemory(42));
+
+  // Async tracked read under BSP: the landed record fails the bound, the
+  // fallback re-read spins out, and the key reports Busy — exactly the
+  // blocking path's outcome.
+  std::vector<Key> keys = {42};
+  keys.push_back(1001);  // sibling must still be served
+  std::vector<char> rows(keys.size() * kValueBytes, 0);
+  BatchResult r;
+  sharded.MultiExecuteRead(
+      keys,
+      [&rows](FasterStore* shard, Key key, size_t i, BatchResult* part,
+              size_t pi, PendingSink* sink) {
+        char* dst = rows.data() + i * kValueBytes;
+        if (sink == nullptr) {
+          part->Record(pi, shard->Read(key, dst, kValueBytes));
+          return;
+        }
+        auto p = std::make_unique<PendingRead>();
+        if (shard->StartRead(key, dst, kValueBytes, nullptr, UINT32_MAX,
+                             /*tracked=*/true, p.get())) {
+          part->Record(pi, p->status);
+          return;
+        }
+        sink->Park(shard, std::move(p), [part, pi](PendingRead* done) {
+          part->Record(pi, done->status);
+        });
+      },
+      &r);
+  EXPECT_EQ(r.codes[0], Status::Code::kBusy);
+  EXPECT_EQ(r.codes[1], Status::Code::kOk);
+  EXPECT_GE(store->stats().async_reads_refetched, 1u);
+  EXPECT_GE(store->stats().busy_aborts, 1u);
+}
+
+TEST(PendingReadTest, InjectedFaultsFailOnlyTheirKeys) {
+  constexpr uint64_t kKeys = 1500;
+  TempDir dir;
+  AsyncIoEngine engine;
+  auto script = std::make_shared<FaultyFileDevice::Script>();
+  ShardedStoreOptions o = ColdStoreOptions(dir.File("f.log"), 0, &engine);
+  o.store.device_factory = [script]() {
+    return std::make_unique<FaultyFileDevice>(script);
+  };
+  ShardedStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+  LoadKeys(&store, kKeys);
+
+  std::vector<Key> keys;
+  for (Key k = 0; k < 32; ++k) keys.push_back(k);  // all cold, distinct
+  std::vector<char> out(keys.size() * kValueBytes, 0);
+
+  // Fail exactly one device read; phase 1 issues none, so it is one of
+  // the wave's record fetches.
+  script->fail_from.store(script->reads.load() + 2);
+  script->fail_count.store(1);
+  BatchResult r;
+  store.MultiExecuteRead(keys, RawReadOp(out.data(), kValueBytes), &r);
+
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_TRUE(r.first_error.IsIOError());
+  size_t io_errors = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (r.codes[i] == Status::Code::kIOError) {
+      ++io_errors;
+      continue;
+    }
+    ASSERT_EQ(r.codes[i], Status::Code::kOk) << "sibling poisoned at " << i;
+    char expected[kValueBytes];
+    FillValue(keys[i], expected);
+    EXPECT_EQ(std::memcmp(&out[i * kValueBytes], expected, kValueBytes), 0);
+  }
+  EXPECT_EQ(io_errors, 1u);
+
+  // A persistently failing device fails every cold key — and still no
+  // crash, hang, or misattributed success.
+  script->fail_from.store(1);
+  script->fail_count.store(UINT64_MAX);
+  BatchResult all_fail;
+  store.MultiExecuteRead(keys, RawReadOp(out.data(), kValueBytes),
+                         &all_fail);
+  EXPECT_EQ(all_fail.failed, keys.size());
+  script->fail_from.store(0);  // disarm
+}
+
+TEST(PendingReadTest, MlkvAsyncModeEquivalenceAndLookahead) {
+  // End-to-end through Mlkv/EmbeddingTable: async io_mode serves the same
+  // bytes as sync, Lookahead promotions ride the wave, and closing the DB
+  // right after issuing lookaheads drains cleanly.
+  constexpr uint32_t kDim = 8;
+  constexpr uint64_t kKeys = 1500;
+  TempDir sync_dir, async_dir;
+
+  auto run = [&](const std::string& dir, IoMode mode, uint64_t* submitted,
+                 std::vector<float>* out) {
+    MlkvOptions o;
+    o.dir = dir;
+    o.mem_size = 1u << 16;
+    o.page_size = 1u << 12;
+    o.shard_bits = 2;
+    o.io_mode = mode;
+    o.io_threads = 4;
+    std::unique_ptr<Mlkv> db;
+    ASSERT_TRUE(Mlkv::Open(o, &db).ok());
+    EmbeddingTable* table = nullptr;
+    ASSERT_TRUE(db->OpenTable("emb", kDim, kAspBound, &table).ok());
+
+    std::vector<Key> keys(kKeys);
+    std::vector<float> rows(kKeys * kDim);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      keys[k] = k;
+      for (uint32_t d = 0; d < kDim; ++d) {
+        rows[k * kDim + d] = static_cast<float>(k * 100 + d);
+      }
+    }
+    BatchResult put;
+    ASSERT_TRUE(table->Put(keys, rows.data(), &put).ok());
+
+    // Cold batched gets: strided + duplicates + fresh keys.
+    std::vector<Key> batch;
+    for (uint64_t i = 0; i < 300; ++i) batch.push_back((i * 13) % kKeys);
+    batch.push_back(batch[0]);
+    batch.push_back(kKeys + 77);  // bootstrap path
+    out->assign(batch.size() * kDim, 0.0f);
+    BatchResult got;
+    ASSERT_TRUE(table->GetOrInit(batch, out->data(), &got).ok());
+    EXPECT_TRUE(got.AllOk());
+    EXPECT_EQ(got.missing, 1u);
+
+    // Lookahead promotion over cold keys rides the same pipeline.
+    std::vector<Key> ahead;
+    for (Key k = 0; k < 64; ++k) ahead.push_back(k);
+    ASSERT_TRUE(table->Lookahead(ahead).ok());
+    table->WaitLookahead();
+    *submitted = table->store()->stats().async_reads_submitted;
+    if (mode == IoMode::kAsync) {
+      EXPECT_GT(table->store()->stats().promotions, 0u);
+    }
+
+    // Drain-on-close: issue lookaheads and destroy immediately.
+    ASSERT_TRUE(table->Lookahead(ahead).ok());
+    db.reset();
+  };
+
+  uint64_t sync_submitted = 1, async_submitted = 0;
+  std::vector<float> sync_out, async_out;
+  run(sync_dir.path() + "/db", IoMode::kSync, &sync_submitted, &sync_out);
+  run(async_dir.path() + "/db", IoMode::kAsync, &async_submitted,
+      &async_out);
+  EXPECT_EQ(sync_submitted, 0u);
+  EXPECT_GT(async_submitted, 0u);
+  ASSERT_EQ(sync_out.size(), async_out.size());
+  EXPECT_EQ(std::memcmp(sync_out.data(), async_out.data(),
+                        sync_out.size() * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace mlkv

@@ -391,5 +391,98 @@ TEST(ShardedBatchStressTest, ParallelSpanCallsAcrossShards) {
   table->WaitLookahead();
 }
 
+// The pending-read pipeline under contention: caller threads issue cold
+// batched gets through the shared AsyncIoEngine (waves submitting from
+// several threads at once, completions running on each caller) while
+// writers RCU the same keys, prefetchers promote them, and a maintenance
+// thread compacts — the full set of actors that can move a record while
+// its image is in flight. Values are self-describing so every served row
+// is checkable regardless of which version the read linearized against.
+// Run under TSan in CI.
+TEST(AsyncReadStressTest, ColdWavesVersusWritersAndCompaction) {
+  TempDir dir;
+  MlkvOptions opts;
+  opts.dir = dir.File("db");
+  opts.index_slots = 4096;
+  opts.page_size = 4096;
+  opts.mem_size = 16 * 4096;  // tiny: most of the key space lives on disk
+  opts.shard_bits = 2;
+  opts.lookahead_threads = 2;
+  opts.io_mode = IoMode::kAsync;
+  opts.io_threads = 3;
+  std::unique_ptr<Mlkv> db;
+  ASSERT_TRUE(Mlkv::Open(opts, &db).ok());
+  EmbeddingTable* table = nullptr;
+  ASSERT_TRUE(db->OpenTable("t", 8, kAspBound, &table).ok());
+
+  constexpr uint64_t kKeys = 3000;
+  constexpr int kReaders = 3;
+  constexpr int kSteps = 40;
+  {
+    std::vector<Key> keys(kKeys);
+    std::vector<float> rows(kKeys * 8);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      keys[k] = k;
+      for (int d = 0; d < 8; ++d) {
+        rows[k * 8 + d] = static_cast<float>(k);
+      }
+    }
+    BatchResult r;
+    table->Put(keys, rows.data(), &r);
+    ASSERT_TRUE(r.AllOk());
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kReaders; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<Key> batch(128);
+      std::vector<float> out(batch.size() * 8);
+      BatchResult r;
+      for (int step = 0; step < kSteps; ++step) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          batch[i] = (static_cast<Key>(w) * 7919 + step * 131 + i * 17) %
+                     kKeys;
+        }
+        table->Get(batch, out.data(), &r);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (r.codes[i] != Status::Code::kOk) continue;
+          // Every version of key k holds either k (initial) or k + 1000
+          // (writer update) in every lane.
+          const float v = out[i * 8];
+          ASSERT_TRUE(v == static_cast<float>(batch[i]) ||
+                      v == static_cast<float>(batch[i] + 1000))
+              << "key " << batch[i] << " -> " << v;
+          for (int d = 1; d < 8; ++d) {
+            ASSERT_FLOAT_EQ(out[i * 8 + d], v) << "torn row " << batch[i];
+          }
+        }
+        if (step % 8 == 3) table->Lookahead(batch).ok();
+      }
+    });
+  }
+  threads.emplace_back([&] {  // writer: RCU updates racing the waves
+    std::vector<float> row(8);
+    for (int step = 0; step < kSteps * 4 && !stop.load(); ++step) {
+      const Key k = static_cast<Key>(step * 37) % kKeys;
+      for (int d = 0; d < 8; ++d) row[d] = static_cast<float>(k + 1000);
+      BatchResult r;
+      table->Put({&k, 1}, row.data(), &r);
+    }
+  });
+  threads.emplace_back([&] {  // maintenance: move the begin boundary
+    for (int i = 0; i < 6 && !stop.load(); ++i) {
+      table->CompactStorage().ok();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  for (size_t t = 0; t < threads.size() - 2; ++t) threads[t].join();
+  stop.store(true);
+  threads[threads.size() - 2].join();
+  threads.back().join();
+  table->WaitLookahead();
+  EXPECT_GT(table->store()->stats().async_reads_submitted, 0u);
+}
+
 }  // namespace
 }  // namespace mlkv
