@@ -7,6 +7,7 @@
 //   mlkv_cli <dir> put <table> <key> <v0,v1,...>
 //   mlkv_cli <dir> del <table> <key>
 //   mlkv_cli <dir> scan <table> [limit]
+//   mlkv_cli <dir> tail <table> [--shard N] [--from ADDR] [--limit N]
 //   mlkv_cli <dir> compact <table>
 //   mlkv_cli <dir> export <table> <path>
 //   mlkv_cli <dir> import <table> <path>
@@ -36,6 +37,7 @@
 
 #include "backend/kv_backend.h"
 #include "kv/log_iterator.h"
+#include "kv/update_log.h"
 #include "mlkv/mlkv.h"
 #include "net/kv_server.h"
 #include "net/remote_backend.h"
@@ -55,12 +57,17 @@ int Usage() {
       "  put <t> <key> <v0,v1,...>           write one embedding\n"
       "  del <t> <key>                       delete one embedding\n"
       "  scan <t> [limit]                    list live keys (log order)\n"
+      "  tail <t> [--shard N] [--from ADDR] [--limit N]\n"
+      "       stream one shard's committed updates (docs/DURABILITY.md);\n"
+      "       prints a resume address for the next invocation\n"
       "  compact <t>                         garbage-collect the log\n"
       "  export <t> <path> | import <t> <path>\n"
       "  checkpoint                          checkpoint every open table\n"
       "  serve --addr <h:p> --backend <kind> serve <dir> over TCP\n"
       "        [--dim N] [--workers N] [--staleness N]\n"
       "        [--io_mode sync|async] [--io_threads N]\n"
+      "        [--durability_mode sync|group] [--checkpoint_mode full|incremental]\n"
+      "        [--group_commit_window_us N] [--group_commit_max_bytes N]\n"
       "        [--request_threads N]  offload storage phases off workers\n"
       "        kinds: mlkv faster lsm btree inmemory\n"
       "  remote-get --addr <h:p> <key>       read from a running server\n"
@@ -162,6 +169,18 @@ int RunServe(const std::string& dir, ArgList& args) {
   }
   cfg.io_threads = static_cast<size_t>(
       std::strtoul(args.Flag("io_threads", "4").c_str(), nullptr, 10));
+  if (!ParseDurabilityMode(args.Flag("durability_mode", "sync"),
+                           &cfg.durability_mode)) {
+    return Usage();
+  }
+  if (!ParseCheckpointMode(args.Flag("checkpoint_mode", "full"),
+                           &cfg.checkpoint_mode)) {
+    return Usage();
+  }
+  cfg.group_commit_window_us = std::strtoull(
+      args.Flag("group_commit_window_us", "200").c_str(), nullptr, 10);
+  cfg.group_commit_max_bytes = std::strtoull(
+      args.Flag("group_commit_max_bytes", "1048576").c_str(), nullptr, 10);
   std::unique_ptr<KvBackend> backend;
   s = MakeBackend(kind, cfg, &backend);
   if (!s.ok()) return Fail(s);
@@ -204,6 +223,12 @@ int RunServe(const std::string& dir, ArgList& args) {
               (unsigned long long)st.async_reads_submitted,
               (unsigned long long)st.async_reads_completed,
               (unsigned long long)st.async_reads_refetched);
+  std::printf("write pipeline: async writes %llu submitted / %llu completed; "
+              "%llu fsyncs, %llu group commits\n",
+              (unsigned long long)st.async_writes_submitted,
+              (unsigned long long)st.async_writes_completed,
+              (unsigned long long)st.fsyncs,
+              (unsigned long long)st.group_commits);
   return 0;
 }
 
@@ -396,6 +421,46 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("(%llu shown)\n", (unsigned long long)shown);
+    return 0;
+  }
+
+  if (cmd == "tail") {
+    ArgList targs;
+    if (!targs.ParseFrom(argc, argv, 4)) return Usage();
+    const uint64_t limit =
+        std::strtoull(targs.Flag("limit", "50").c_str(), nullptr, 10);
+    const size_t shard = static_cast<size_t>(
+        std::strtoul(targs.Flag("shard", "0").c_str(), nullptr, 10));
+    const Address from =
+        std::strtoull(targs.Flag("from", "0").c_str(), nullptr, 10);
+    if (shard >= table->store()->num_shards()) {
+      std::fprintf(stderr, "shard %zu out of range (store has %zu)\n", shard,
+                   table->store()->num_shards());
+      return 1;
+    }
+    // The cursor only yields entries below the shard's durable watermark —
+    // everything printed here survives a crash.
+    UpdateLogCursor cur(table->store()->shard(shard), from);
+    UpdateEntry e;
+    uint64_t shown = 0;
+    while (shown < limit && cur.Next(&e)) {
+      std::printf("@%-12llu key=%-12llu gen=%-6u stale=%-6u %s",
+                  (unsigned long long)e.address, (unsigned long long)e.key,
+                  e.generation, e.staleness,
+                  e.tombstone ? "tombstone\n" : "");
+      if (!e.tombstone) {
+        const uint32_t n =
+            std::min<uint32_t>(table->dim(),
+                               static_cast<uint32_t>(e.value.size() /
+                                                     sizeof(float)));
+        PrintVector(reinterpret_cast<const float*>(e.value.data()), n);
+      }
+      ++shown;
+    }
+    if (!cur.status().ok()) return Fail(cur.status());
+    std::printf("(%llu entries; resume with --from %llu)\n",
+                (unsigned long long)shown,
+                (unsigned long long)cur.position());
     return 0;
   }
 

@@ -59,5 +59,18 @@ if [[ -x "${bench_dir}/bench_fig9_lookahead" ]]; then
   fi
 fi
 
+# One durability smoke: the write-pipeline sweeps alone (group-committed
+# flushes vs per-batch full flush, incremental vs full checkpoint bytes),
+# so the async write path and the delta-checkpoint format are exercised on
+# every merge. See docs/DURABILITY.md.
+if [[ -x "${bench_dir}/bench_checkpoint" ]]; then
+  echo "=== bench_checkpoint --smoke --durability"
+  if ! "${bench_dir}/bench_checkpoint" --smoke --durability \
+      > "${log_dir}/bench_checkpoint_durability.txt"; then
+    echo "FAILED: bench_checkpoint --durability" >&2
+    failed=1
+  fi
+fi
+
 echo "bench output tables: ${log_dir}"
 exit "${failed}"

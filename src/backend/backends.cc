@@ -47,6 +47,10 @@ BackendIoStats IoStatsFrom(const FasterStatsSnapshot& s) {
   io.async_reads_submitted = s.async_reads_submitted;
   io.async_reads_completed = s.async_reads_completed;
   io.async_reads_refetched = s.async_reads_refetched;
+  io.async_writes_submitted = s.async_writes_submitted;
+  io.async_writes_completed = s.async_writes_completed;
+  io.fsyncs = s.fsyncs;
+  io.group_commits = s.group_commits;
   return io;
 }
 
@@ -312,6 +316,10 @@ class MlkvBackend : public KvBackend {
     o.busy_spin_limit = config.busy_spin_limit;
     o.io_mode = config.io_mode;
     o.io_threads = config.io_threads;
+    o.durability_mode = config.durability_mode;
+    o.group_commit_window_us = config.group_commit_window_us;
+    o.group_commit_max_bytes = config.group_commit_max_bytes;
+    o.checkpoint_mode = config.checkpoint_mode;
     MLKV_RETURN_NOT_OK(Mlkv::Open(o, &b->db_));
     MLKV_RETURN_NOT_OK(b->db_->OpenTable("emb", config.dim,
                                          config.staleness_bound, &b->table_));
@@ -412,7 +420,15 @@ class FasterBackend : public KvBackend {
     // batch_threads > 0 meant intra-batch fan-out before sharding; keep it
     // for the unsharded configuration too.
     o.chunk_single_shard = config.batch_threads > 0;
-    o.io = b->io_.get();
+    // Read waves stay gated on io_mode; the flush path uses the engine
+    // whenever one exists (group durability creates one even under kSync
+    // reads).
+    o.io = config.io_mode == IoMode::kAsync ? b->io_.get() : nullptr;
+    o.store.io = b->io_.get();
+    o.store.durability_mode = config.durability_mode;
+    o.store.group_commit_window_us = config.group_commit_window_us;
+    o.store.group_commit_max_bytes = config.group_commit_max_bytes;
+    o.store.checkpoint_mode = config.checkpoint_mode;
     MLKV_RETURN_NOT_OK(b->store_.Open(o));
     *out = std::move(b);
     return Status::OK();
@@ -463,6 +479,7 @@ class FasterBackend : public KvBackend {
                        shard->Upsert(key, values + i * size_t{dim_}, bytes));
         },
         &result);
+    CommitIfGroup(&result);
     return result;
   }
 
@@ -488,6 +505,7 @@ class FasterBackend : public KvBackend {
                              }));
         },
         &result);
+    CommitIfGroup(&result);
     return result;
   }
 
@@ -502,18 +520,29 @@ class FasterBackend : public KvBackend {
   }
 
  private:
-  explicit FasterBackend(const BackendConfig& config) : dim_(config.dim) {
+  explicit FasterBackend(const BackendConfig& config)
+      : dim_(config.dim),
+        group_(config.durability_mode == DurabilityMode::kGroup) {
     if (config.batch_threads > 0) {
       pool_ = std::make_unique<ThreadPool>(config.batch_threads);
     }
-    if (config.io_mode == IoMode::kAsync) {
+    if (config.io_mode == IoMode::kAsync || group_) {
       AsyncIoEngine::Options o;
       o.io_threads = config.io_threads;
       io_ = std::make_unique<AsyncIoEngine>(o);
     }
   }
 
+  // Group-durability epilogue: the batch's records are on disk before the
+  // result reaches the caller. A persist failure downgrades every
+  // still-kOk key — the write happened but is not durable.
+  void CommitIfGroup(BatchResult* result) {
+    if (!group_) return;
+    result->DowngradeOk(store_.PersistAll());
+  }
+
   const uint32_t dim_;
+  const bool group_;
   std::unique_ptr<ThreadPool> pool_;  // declared before store_ (store uses it)
   std::unique_ptr<AsyncIoEngine> io_;  // likewise shared by every shard
   ShardedStore store_;

@@ -62,6 +62,13 @@ struct BackendIoStats {
   uint64_t async_reads_submitted = 0;
   uint64_t async_reads_completed = 0;
   uint64_t async_reads_refetched = 0;
+  // Write pipeline: flush-wave submissions/completions through the
+  // AsyncIoEngine, fsyncs issued (flush + group commits), and how many
+  // group commits batched more than one committer behind a single fsync.
+  uint64_t async_writes_submitted = 0;
+  uint64_t async_writes_completed = 0;
+  uint64_t fsyncs = 0;
+  uint64_t group_commits = 0;
 };
 
 struct MultiGetOptions {
@@ -176,6 +183,20 @@ struct BackendConfig {
   // participate ignore both fields.
   IoMode io_mode = IoMode::kSync;
   size_t io_threads = 4;  // AsyncIoEngine workers when io_mode == kAsync
+  // Write-durability mode for the hybrid-log engines (docs/DURABILITY.md):
+  // kGroup makes every MultiPut/MultiApplyGradient durable before it
+  // returns — dirty pages flush as one engine wave and concurrent batches
+  // share fsyncs through per-shard group committers (the two knobs below
+  // bound how long/large a commit group may grow). kSync (default) keeps
+  // checkpoint-only durability, byte-identical on disk. Engines without a
+  // hybrid log ignore all three fields.
+  DurabilityMode durability_mode = DurabilityMode::kSync;
+  uint64_t group_commit_window_us = 200;
+  uint64_t group_commit_max_bytes = 1ull << 20;
+  // Checkpoint shape for the hybrid-log engines: kIncremental chains index
+  // deltas + dirty-page flushes onto the previous checkpoint instead of
+  // rewriting everything.
+  CheckpointMode checkpoint_mode = CheckpointMode::kFull;
   // Minimum keys per chunk before a batch fans out (amortizes the handoff).
   size_t batch_min_chunk = 64;
   // kRemote only: "host:port" of a KvServer (src/net/). The storage

@@ -70,6 +70,29 @@ struct BatchResult {
     ++missing;
   }
 
+  // Downgrades every still-kOk key to `s`: the outcome of a post-batch
+  // step that failed the whole batch (e.g. a group-durability commit that
+  // didn't land — the writes applied but are not on disk). Intended for
+  // write batches, where every kOk key was counted in `found`.
+  void DowngradeOk(const Status& s) {
+    if (s.ok()) return;
+    size_t downgraded = 0;
+    for (Status::Code& c : codes) {
+      if (c != Status::Code::kOk) continue;
+      c = s.code();
+      ++downgraded;
+    }
+    found -= downgraded;
+    if (s.IsNotFound()) {
+      missing += downgraded;
+    } else if (s.IsBusy()) {
+      busy += downgraded;
+    } else {
+      if (failed == 0 && downgraded > 0) first_error = s;
+      failed += downgraded;
+    }
+  }
+
   // Appends another result (the next contiguous chunk of the same batch).
   void Append(const BatchResult& chunk) {
     codes.insert(codes.end(), chunk.codes.begin(), chunk.codes.end());

@@ -30,6 +30,36 @@ bool ParseIoMode(const std::string& name, IoMode* out) {
   return true;
 }
 
+const char* DurabilityModeName(DurabilityMode mode) {
+  return mode == DurabilityMode::kGroup ? "group" : "sync";
+}
+
+bool ParseDurabilityMode(const std::string& name, DurabilityMode* out) {
+  if (name == "sync") {
+    *out = DurabilityMode::kSync;
+  } else if (name == "group") {
+    *out = DurabilityMode::kGroup;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* CheckpointModeName(CheckpointMode mode) {
+  return mode == CheckpointMode::kIncremental ? "incremental" : "full";
+}
+
+bool ParseCheckpointMode(const std::string& name, CheckpointMode* out) {
+  if (name == "full") {
+    *out = CheckpointMode::kFull;
+  } else if (name == "incremental") {
+    *out = CheckpointMode::kIncremental;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 #ifdef MLKV_HAVE_IO_URING
 
 namespace {
@@ -89,15 +119,17 @@ class UringRing {
     return true;
   }
 
-  bool PrepRead(int fd, struct iovec* iov, uint64_t offset,
-                uint64_t user_data) {
+  // READV / WRITEV (both 5.1+, the most portable vectored ops) share one
+  // prep path; only the opcode differs.
+  bool Prep(bool is_write, int fd, struct iovec* iov, uint64_t offset,
+            uint64_t user_data) {
     const unsigned tail = *sq_tail_;
     const unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
     if (tail - head >= sq_entries_) return false;
     const unsigned idx = tail & *sq_mask_;
     struct io_uring_sqe* sqe = &sqes_[idx];
     std::memset(sqe, 0, sizeof(*sqe));
-    sqe->opcode = IORING_OP_READV;  // 5.1+, the most portable read op
+    sqe->opcode = is_write ? IORING_OP_WRITEV : IORING_OP_READV;
     sqe->fd = fd;
     sqe->addr = reinterpret_cast<uint64_t>(iov);
     sqe->len = 1;
@@ -193,36 +225,57 @@ AsyncIoStats AsyncIoEngine::stats() const {
   s.reads_submitted = submitted_.load(std::memory_order_relaxed);
   s.reads_completed = completed_.load(std::memory_order_relaxed);
   s.read_failures = failed_.load(std::memory_order_relaxed);
+  s.writes_submitted = writes_submitted_.load(std::memory_order_relaxed);
+  s.writes_completed = writes_completed_.load(std::memory_order_relaxed);
+  s.write_failures = write_failures_.load(std::memory_order_relaxed);
   return s;
+}
+
+Status AsyncIoEngine::Enqueue(const Request& req, Batch* batch) {
+  {
+    // Count the request against its batch before a worker can see it, so
+    // outstanding_ never lags a delivery.
+    std::lock_guard<std::mutex> lk(batch->mu_);
+    ++batch->outstanding_;
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    depth_cv_.wait(lk, [this] {
+      return stop_ || inflight_ < std::max<size_t>(options_.queue_depth,
+                                                   workers_.size());
+    });
+    if (stop_) {
+      lk.unlock();
+      std::lock_guard<std::mutex> blk(batch->mu_);
+      --batch->outstanding_;
+      return Status::Aborted("async io engine shut down");
+    }
+    ++inflight_;
+    queue_.push_back(req);
+  }
+  if (req.is_write) {
+    writes_submitted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+  return Status::OK();
 }
 
 Status AsyncIoEngine::Batch::Submit(const FileDevice* dev, uint64_t offset,
                                     void* buf, uint32_t len, uint64_t tag) {
-  AsyncIoEngine* e = engine_;
-  {
-    // Count the read against this batch before a worker can see it, so
-    // outstanding_ never lags a delivery.
-    std::lock_guard<std::mutex> lk(mu_);
-    ++outstanding_;
-  }
-  {
-    std::unique_lock<std::mutex> lk(e->mu_);
-    e->depth_cv_.wait(lk, [e] {
-      return e->stop_ || e->inflight_ < std::max<size_t>(
-                             e->options_.queue_depth, e->workers_.size());
-    });
-    if (e->stop_) {
-      lk.unlock();
-      std::lock_guard<std::mutex> blk(mu_);
-      --outstanding_;
-      return Status::Aborted("async io engine shut down");
-    }
-    ++e->inflight_;
-    e->queue_.push_back(Request{dev, offset, buf, len, tag, this});
-  }
-  e->submitted_.fetch_add(1, std::memory_order_relaxed);
-  e->queue_cv_.notify_one();
-  return Status::OK();
+  return engine_->Enqueue(
+      Request{dev, offset, buf, len, tag, this, /*is_write=*/false}, this);
+}
+
+Status AsyncIoEngine::Batch::SubmitWrite(FileDevice* dev, uint64_t offset,
+                                         const void* buf, uint32_t len,
+                                         uint64_t tag) {
+  // The buffer is only read on the write path; the cast parks it in the
+  // Request's single buf field.
+  return engine_->Enqueue(Request{dev, offset, const_cast<void*>(buf), len,
+                                  tag, this, /*is_write=*/true},
+                          this);
 }
 
 bool AsyncIoEngine::Batch::WaitOne(Completion* out) {
@@ -248,9 +301,24 @@ AsyncIoEngine::Batch::~Batch() {
   }
 }
 
+Status AsyncIoEngine::RunBlocking(const Request& req) {
+  if (req.is_write) {
+    return const_cast<FileDevice*>(req.dev)->WriteAt(req.offset, req.buf,
+                                                     req.len);
+  }
+  return req.dev->ReadAt(req.offset, req.buf, req.len);
+}
+
 void AsyncIoEngine::Deliver(const Request& req, const Status& status) {
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  if (!status.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
+  if (req.is_write) {
+    writes_completed_.fetch_add(1, std::memory_order_relaxed);
+    if (!status.ok()) {
+      write_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (!status.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
+  }
   {
     // Notify under the lock: the instant the push is visible the owner may
     // collect it and destroy the batch, so the cv must not be touched
@@ -296,31 +364,32 @@ void AsyncIoEngine::WorkerLoop() {
 #ifdef MLKV_HAVE_IO_URING
     if (ring_ok) {
       if (!NextBurst(&burst, per_worker_depth_)) return;
-      // Route raw-fd-eligible reads to the ring as one submission wave;
+      // Route raw-fd-eligible requests to the ring as one submission wave;
       // decorated devices (fault injection, simulated costs) execute their
-      // virtual ReadAt here instead.
+      // virtual ReadAt/WriteAt here instead.
       flight.clear();
       flight.reserve(burst.size());
       for (const Request& r : burst) {
-        if (r.dev->AllowsRawReads()) {
+        const bool raw =
+            r.is_write ? r.dev->AllowsRawWrites() : r.dev->AllowsRawReads();
+        if (raw) {
           flight.push_back(InFlight{r, {r.buf, r.len}});
         } else {
-          Deliver(r, r.dev->ReadAt(r.offset, r.buf, r.len));
+          Deliver(r, RunBlocking(r));
         }
       }
       size_t prepped = 0;
       for (InFlight& f : flight) {
         // `entries` >= per_worker_depth_, so Prep cannot run out of sqes.
-        if (!ring.PrepRead(f.req.dev->fd(), &f.iov, f.req.offset,
-                           prepped)) {
+        if (!ring.Prep(f.req.is_write, f.req.dev->fd(), &f.iov,
+                       f.req.offset, prepped)) {
           break;
         }
         ++prepped;
       }
       // Anything that could not be prepped (never expected) goes blocking.
       for (size_t i = prepped; i < flight.size(); ++i) {
-        const Request& r = flight[i].req;
-        Deliver(r, r.dev->ReadAt(r.offset, r.buf, r.len));
+        Deliver(flight[i].req, RunBlocking(flight[i].req));
       }
       size_t reaped = 0;
       bool enter_failed = false;
@@ -338,33 +407,39 @@ void AsyncIoEngine::WorkerLoop() {
           ++reaped;
           const Request& r = f.req;
           if (res >= 0) {
-            r.dev->NoteRawRead(static_cast<size_t>(res));
+            if (r.is_write) {
+              r.dev->NoteRawWrite(static_cast<size_t>(res));
+            } else {
+              r.dev->NoteRawRead(static_cast<size_t>(res));
+            }
             if (static_cast<uint32_t>(res) < r.len) {
-              // Short read (EOF or split): finish through ReadAt, which
-              // also zero-fills past EOF like the blocking path.
-              Deliver(r, r.dev->ReadAt(r.offset + static_cast<uint64_t>(res),
-                                       static_cast<char*>(r.buf) + res,
-                                       r.len - static_cast<uint32_t>(res)));
+              // Short transfer (EOF or split): finish through the virtual
+              // call, which loops (and zero-fills reads past EOF) like the
+              // blocking path.
+              Request rest = r;
+              rest.offset += static_cast<uint64_t>(res);
+              rest.buf = static_cast<char*>(r.buf) + res;
+              rest.len = r.len - static_cast<uint32_t>(res);
+              Deliver(r, RunBlocking(rest));
             } else {
               Deliver(r, Status::OK());
             }
           } else {
             // Ring-level failure (e.g. EOPNOTSUPP): one blocking retry
             // decides the final status.
-            Deliver(r, r.dev->ReadAt(r.offset, r.buf, r.len));
+            Deliver(r, RunBlocking(r));
           }
         }
       }
       if (enter_failed) {
         // io_uring_enter failed hard after a successful setup — should not
-        // happen; fall back to blocking reads for the unreaped remainder
-        // (their file ranges are immutable, so a duplicate completion of
-        // an already-landed sqe rewrites identical bytes) and stop using
-        // the ring.
+        // happen; fall back to blocking I/O for the unreaped remainder
+        // (read ranges are immutable and a write sqe that already landed
+        // rewrote identical bytes, so a duplicate completion is benign)
+        // and stop using the ring.
         for (size_t i = 0; i < prepped; ++i) {
           if (seen[i]) continue;
-          const Request& r = flight[i].req;
-          Deliver(r, r.dev->ReadAt(r.offset, r.buf, r.len));
+          Deliver(flight[i].req, RunBlocking(flight[i].req));
         }
         ring_ok = false;
       }
@@ -373,7 +448,7 @@ void AsyncIoEngine::WorkerLoop() {
 #endif
     if (!NextBurst(&burst, 1)) return;
     for (const Request& r : burst) {
-      Deliver(r, r.dev->ReadAt(r.offset, r.buf, r.len));
+      Deliver(r, RunBlocking(r));
     }
   }
 }

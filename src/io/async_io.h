@@ -1,27 +1,33 @@
-// AsyncIoEngine: the shared submit/complete disk-read engine behind the
-// two-phase pending-read pipeline (kv/pending_read.h).
+// AsyncIoEngine: the shared submit/complete disk-I/O engine behind the
+// two-phase pending-read pipeline (kv/pending_read.h) and the hybrid log's
+// coalesced flush waves (kv/hybrid_log.h).
 //
-// Callers enqueue positional reads against FileDevices and collect
-// completions per Batch — the io_uring shape (submission queue in,
+// Callers enqueue positional reads and writes against FileDevices and
+// collect completions per Batch — the io_uring shape (submission queue in,
 // completion queue out) regardless of which backend actually executes the
 // I/O:
 //
 //  * io_uring (when the build detects <linux/io_uring.h> and the kernel
 //    admits the syscalls at runtime): each worker owns a ring and keeps up
-//    to its share of the engine depth in flight with one syscall per burst.
-//    Only devices that allow raw-fd reads ride the ring; decorated devices
-//    (fault injection, the simulated-NVMe cost model) are routed through
-//    their virtual ReadAt on the worker instead, so their semantics hold.
+//    to its share of the engine depth in flight with one syscall per burst
+//    (READV sqes for reads, WRITEV for writes). Only devices that allow
+//    raw-fd transfers ride the ring; decorated devices (fault injection,
+//    the simulated-NVMe cost model) are routed through their virtual
+//    ReadAt/WriteAt on the worker instead, so their semantics hold.
 //  * thread pool (fallback everywhere): each worker issues one blocking
-//    pread at a time, so `io_threads` reads overlap.
+//    pread/pwrite at a time, so `io_threads` transfers overlap.
 //
 // Backpressure and lifetime rules:
-//  * `queue_depth` bounds reads in flight across the whole engine; Submit
-//    blocks (never the I/O itself) once the limit is reached.
+//  * `queue_depth` bounds requests in flight across the whole engine;
+//    Submit blocks (never the I/O itself) once the limit is reached.
 //  * A Batch must outlive its submissions; its destructor blocks until
 //    every outstanding completion has been delivered.
-//  * The engine destructor drains: every accepted read completes (and is
-//    delivered to its batch) before the workers exit.
+//  * The engine destructor drains: every accepted request completes (and
+//    is delivered to its batch) before the workers exit.
+//
+// Writes carry no durability by themselves: a completed write is in the
+// page cache, not on media. Durability is the caller's fsync — see
+// io/group_committer.h for the batched-fsync protocol layered on top.
 #pragma once
 
 #include <atomic>
@@ -46,10 +52,34 @@ enum class IoMode { kSync, kAsync };
 const char* IoModeName(IoMode mode);
 bool ParseIoMode(const std::string& name, IoMode* out);
 
+// Write-durability selector plumbed the same way. kSync keeps the classic
+// behavior byte-identical: page flushes are blocking writes and each sync
+// point is its own fdatasync. kGroup makes batched writes durable per
+// call: the log flushes only dirty/undurable pages (as one async wave when
+// an engine is configured) and concurrent committers share one fsync
+// through a GroupCommitter (io/group_committer.h).
+enum class DurabilityMode { kSync, kGroup };
+
+const char* DurabilityModeName(DurabilityMode mode);
+bool ParseDurabilityMode(const std::string& name, DurabilityMode* out);
+
+// Checkpoint shape selector. kFull rewrites every log page above the
+// flushed boundary plus the entire index (the classic full-table copy);
+// kIncremental writes only [durable, tail) log pages plus an index delta
+// record against the previous checkpoint, chained from the last full base
+// (kv/faster_store.h).
+enum class CheckpointMode { kFull, kIncremental };
+
+const char* CheckpointModeName(CheckpointMode mode);
+bool ParseCheckpointMode(const std::string& name, CheckpointMode* out);
+
 struct AsyncIoStats {
   uint64_t reads_submitted = 0;
   uint64_t reads_completed = 0;
-  uint64_t read_failures = 0;  // completions with a non-OK status
+  uint64_t read_failures = 0;  // read completions with a non-OK status
+  uint64_t writes_submitted = 0;
+  uint64_t writes_completed = 0;
+  uint64_t write_failures = 0;  // write completions with a non-OK status
 };
 
 class AsyncIoEngine {
@@ -85,6 +115,12 @@ class AsyncIoEngine {
     // block on the engine depth limit, never on the I/O.
     Status Submit(const FileDevice* dev, uint64_t offset, void* buf,
                   uint32_t len, uint64_t tag);
+    // Enqueues a write of `buf`[0, len) to [offset, offset + len) on
+    // `dev`; same lifetime and backpressure contract as Submit. The
+    // completion means the bytes reached the file (page cache), not media
+    // — durability needs a subsequent Sync/GroupCommitter commit.
+    Status SubmitWrite(FileDevice* dev, uint64_t offset, const void* buf,
+                       uint32_t len, uint64_t tag);
     // Blocks until the next completion for this batch lands; returns false
     // when nothing is outstanding.
     bool WaitOne(Completion* out);
@@ -114,14 +150,23 @@ class AsyncIoEngine {
 
  private:
   struct Request {
+    // Reads keep their const view; writes const_cast back to call the
+    // non-const WriteAt (SubmitWrite takes a mutable device, so the cast
+    // never strips a caller's constness).
     const FileDevice* dev = nullptr;
     uint64_t offset = 0;
-    void* buf = nullptr;
+    void* buf = nullptr;  // destination for reads, source for writes
     uint32_t len = 0;
     uint64_t tag = 0;
     Batch* batch = nullptr;
+    bool is_write = false;
   };
 
+  Status Enqueue(const Request& req, Batch* batch);
+  // Executes one request on the calling worker thread via the device's
+  // virtual ReadAt/WriteAt (the non-ring path and the decorated-device /
+  // short-transfer completion path).
+  static Status RunBlocking(const Request& req);
   void WorkerLoop();
   // Takes up to `max` queued requests (blocking for at least one unless
   // stopping); returns false when the worker should exit.
@@ -142,6 +187,9 @@ class AsyncIoEngine {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> writes_submitted_{0};
+  std::atomic<uint64_t> writes_completed_{0};
+  std::atomic<uint64_t> write_failures_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -1,8 +1,10 @@
 // FaultyFileDevice: a FileDevice decorator for failure-injection tests.
-// Reads are counted, and a scripted window of them can be made to fail
-// with an injected errno or to tear (first half of the buffer served, the
-// rest zero-filled — the shape a crash-interrupted flush or a torn sector
-// leaves behind). Writes pass through untouched.
+// Reads, writes and fsyncs are counted, and a scripted window of each can
+// be made to fail with an injected errno; reads can additionally tear
+// (first half of the buffer served, the rest zero-filled — the shape a
+// crash-interrupted flush or a torn sector leaves behind), and writes can
+// tear symmetrically (first half reaches the file, reported as success —
+// what a crash mid-pwrite leaves on disk).
 //
 // The Script is shared and atomic so a test can arm faults while the
 // store under test owns the device (inject via FasterOptions::
@@ -31,6 +33,21 @@ class FaultyFileDevice : public FileDevice {
     // Tear (short read + zero fill, reported as success) instead of
     // failing with fault_errno.
     std::atomic<bool> short_read{false};
+
+    // Write-side script, same shape: a 1-based window of WriteAt calls
+    // faults (0 disarms); short_write tears instead (the first half of the
+    // buffer lands, success reported).
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> write_fail_from{0};
+    std::atomic<uint64_t> write_fail_count{1};
+    std::atomic<bool> short_write{false};
+
+    // Sync-side script: a 1-based window of Sync calls faults (0 disarms).
+    // Models an fsync that reports failure after the kernel dropped dirty
+    // pages — the checkpoint must surface it, never swallow it.
+    std::atomic<uint64_t> syncs{0};
+    std::atomic<uint64_t> sync_fail_from{0};
+    std::atomic<uint64_t> sync_fail_count{1};
   };
 
   explicit FaultyFileDevice(std::shared_ptr<Script> script)
@@ -60,6 +77,46 @@ class FaultyFileDevice : public FileDevice {
                              script_->fault_errno.load());
     }
     return FileDevice::ReadAt(offset, data, n);
+  }
+
+  // Decorated writes must flow through this override.
+  bool AllowsRawWrites() const override { return false; }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    const uint64_t index =
+        script_->writes.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const uint64_t from =
+        script_->write_fail_from.load(std::memory_order_acquire);
+    const uint64_t count =
+        script_->write_fail_count.load(std::memory_order_acquire);
+    const uint64_t until = from + count < from ? UINT64_MAX : from + count;
+    if (from != 0 && index >= from && index < until) {
+      if (script_->short_write.load(std::memory_order_acquire)) {
+        const size_t half = n / 2;
+        if (half > 0) {
+          MLKV_RETURN_NOT_OK(FileDevice::WriteAt(offset, data, half));
+        }
+        return Status::OK();
+      }
+      return Status::IOError("injected write fault",
+                             script_->fault_errno.load());
+    }
+    return FileDevice::WriteAt(offset, data, n);
+  }
+
+  Status Sync() override {
+    const uint64_t index =
+        script_->syncs.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const uint64_t from =
+        script_->sync_fail_from.load(std::memory_order_acquire);
+    const uint64_t count =
+        script_->sync_fail_count.load(std::memory_order_acquire);
+    const uint64_t until = from + count < from ? UINT64_MAX : from + count;
+    if (from != 0 && index >= from && index < until) {
+      return Status::IOError("injected fsync fault",
+                             script_->fault_errno.load());
+    }
+    return FileDevice::Sync();
   }
 
  private:

@@ -2,10 +2,10 @@
 // substrate for the hybrid log, SSTables, and B+tree pages. All methods are
 // thread-safe (pread/pwrite carry their own offsets).
 //
-// ReadAt is virtual: it is the one seam decorators intercept — fault
-// injection (io/faulty_file_device.h) and any read-path instrumentation —
-// and the call the AsyncIoEngine's worker threads issue for devices that
-// do not admit raw-fd reads.
+// ReadAt, WriteAt and Sync are virtual: they are the seams decorators
+// intercept — fault injection (io/faulty_file_device.h) and any I/O-path
+// instrumentation — and the calls the AsyncIoEngine's worker threads issue
+// for devices that do not admit raw-fd transfers.
 #pragma once
 
 #include <atomic>
@@ -29,10 +29,10 @@ class FileDevice {
   Status Close();
 
   // Full read/write at absolute offset; loops on short transfers.
-  Status WriteAt(uint64_t offset, const void* data, size_t n);
+  virtual Status WriteAt(uint64_t offset, const void* data, size_t n);
   virtual Status ReadAt(uint64_t offset, void* data, size_t n) const;
 
-  Status Sync();
+  virtual Status Sync();
   Status Truncate(uint64_t size);
 
   // Releases the blocks backing [offset, offset+len) while keeping the file
@@ -57,6 +57,18 @@ class FileDevice {
   // Accounts bytes transferred by a raw-fd read that bypassed ReadAt.
   void NoteRawRead(size_t n) const {
     bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Write-side twin of AllowsRawReads: true when writes may bypass the
+  // virtual WriteAt (the AsyncIoEngine's io_uring WRITEV path). False
+  // whenever WriteAt carries semantics a raw write would skip — the
+  // simulated bandwidth model, or a decorator's interception.
+  virtual bool AllowsRawWrites() const {
+    return fd_ >= 0 && sim_write_gbps_ <= 0;
+  }
+  // Accounts bytes transferred by a raw-fd write that bypassed WriteAt.
+  void NoteRawWrite(size_t n) const {
+    bytes_written_.fetch_add(n, std::memory_order_relaxed);
   }
 
   // Cumulative transfer counters (drive the energy model's SSD term).

@@ -1,0 +1,93 @@
+#include "io/group_committer.h"
+
+#include <chrono>
+
+namespace mlkv {
+
+GroupCommitter::GroupCommitter(FileDevice* dev, const Options& options)
+    : dev_(dev), options_(options) {
+  committer_ = std::thread([this] { CommitterLoop(); });
+}
+
+GroupCommitter::~GroupCommitter() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  worker_cv_.notify_all();
+  if (committer_.joinable()) committer_.join();
+}
+
+uint64_t GroupCommitter::StageWrite(uint64_t bytes) {
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ticket = ++staged_seq_;
+    staged_bytes_ += bytes;
+  }
+  tickets_.fetch_add(1, std::memory_order_relaxed);
+  worker_cv_.notify_one();
+  return ticket;
+}
+
+Status GroupCommitter::Wait(uint64_t ticket) {
+  std::unique_lock<std::mutex> lk(mu_);
+  waiters_cv_.wait(lk, [this, ticket] {
+    return committed_seq_ >= ticket || !error_.ok();
+  });
+  return error_;
+}
+
+GroupCommitter::Stats GroupCommitter::stats() const {
+  Stats s;
+  s.tickets = tickets_.load(std::memory_order_relaxed);
+  s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  s.group_commits = group_commits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void GroupCommitter::CommitterLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    worker_cv_.wait(lk, [this] {
+      return stop_ || staged_seq_ > committed_seq_;
+    });
+    if (staged_seq_ == committed_seq_) {
+      if (stop_) return;
+      continue;
+    }
+    if (error_.ok() && !stop_) {
+      // Hold the window open so more committers can pile on; close early
+      // on the byte trigger (or shutdown). A spurious wake just re-checks.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(options_.window_us);
+      worker_cv_.wait_until(lk, deadline, [this] {
+        return stop_ || staged_bytes_ >= options_.max_bytes;
+      });
+    }
+    if (!error_.ok()) {
+      // Sticky failure: release everything staged with the error; no
+      // further fsync can claim durability for these tickets.
+      committed_seq_ = staged_seq_;
+      staged_bytes_ = 0;
+      waiters_cv_.notify_all();
+      if (stop_) return;
+      continue;
+    }
+    const uint64_t cover = staged_seq_;
+    staged_bytes_ = 0;
+    lk.unlock();
+    const Status s = dev_->Sync();
+    lk.lock();
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    if (cover - committed_seq_ > 1) {
+      group_commits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!s.ok() && error_.ok()) error_ = s;
+    committed_seq_ = cover;
+    waiters_cv_.notify_all();
+    if (stop_ && staged_seq_ == committed_seq_) return;
+  }
+}
+
+}  // namespace mlkv

@@ -1,0 +1,96 @@
+// GroupCommitter: batches concurrent durability points on one FileDevice
+// behind a single fsync — the group-commit protocol classic WALs use.
+//
+// Callers perform their own writes first, then stage a commit ticket and
+// park on it, exactly like a PendingRead parks on its wave
+// (kv/pending_read.h):
+//
+//   dev->WriteAt(...);                       // the payload
+//   auto t = committer->StageWrite(bytes);   // join the open commit window
+//   Status s = committer->Wait(t);           // durable (or failed) on return
+//
+// A background committer thread closes the window and issues one
+// device Sync when either trigger fires:
+//   * the commit window elapses (Options::window_us) — bounds added
+//     latency for a lone committer, and
+//   * the staged bytes exceed Options::max_bytes — bounds data at risk
+//     under a firehose of committers.
+// Every ticket staged before the Sync is released by it, so N concurrent
+// small appends cost one fsync, not N.
+//
+// Error model: a failed Sync is sticky. The tickets it covered — and every
+// later one — fail with that status; after an fsync error the kernel may
+// have dropped dirty pages, so pretending a later fsync "fixed" it would
+// report durability that never happened. The owner must discard or rebuild
+// the device (recovery path) to continue.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "io/file_device.h"
+
+namespace mlkv {
+
+class GroupCommitter {
+ public:
+  struct Options {
+    // Max time a staged ticket waits for more committers to join before
+    // the window closes and the fsync is issued.
+    uint64_t window_us = 200;
+    // Staged-bytes trigger: the window closes early once this many bytes
+    // are waiting on the next fsync.
+    uint64_t max_bytes = 1ull << 20;
+  };
+
+  struct Stats {
+    uint64_t tickets = 0;        // StageWrite calls
+    uint64_t fsyncs = 0;         // device Sync calls issued
+    uint64_t group_commits = 0;  // fsyncs that released more than 1 ticket
+  };
+
+  // `dev` must outlive the committer.
+  GroupCommitter(FileDevice* dev, const Options& options);
+  ~GroupCommitter();  // drains: every staged ticket is released first
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  // Joins the open commit window, accounting `bytes` toward the max_bytes
+  // trigger. The caller's writes to the device must be issued before this
+  // call. Returns the ticket to Wait on.
+  uint64_t StageWrite(uint64_t bytes);
+
+  // Blocks until an fsync covering `ticket` completed; OK means everything
+  // written before the matching StageWrite is durable.
+  Status Wait(uint64_t ticket);
+
+  Stats stats() const;
+
+ private:
+  void CommitterLoop();
+
+  FileDevice* const dev_;
+  const Options options_;
+
+  std::mutex mu_;
+  std::condition_variable worker_cv_;   // committer thread: work / stop
+  std::condition_variable waiters_cv_;  // callers: your ticket committed
+  uint64_t staged_seq_ = 0;     // highest ticket issued
+  uint64_t committed_seq_ = 0;  // highest ticket covered by a finished Sync
+  uint64_t staged_bytes_ = 0;   // bytes staged since the last Sync
+  Status error_;                // sticky first Sync failure
+  bool stop_ = false;
+
+  std::atomic<uint64_t> tickets_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> group_commits_{0};
+
+  std::thread committer_;
+};
+
+}  // namespace mlkv

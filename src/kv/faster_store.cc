@@ -1,6 +1,7 @@
 #include "kv/faster_store.h"
 
 #include <cstring>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -8,7 +9,10 @@ namespace mlkv {
 
 namespace {
 
-// Checkpoint metadata block.
+// Checkpoint metadata block. The v1 layout ("MLKV3CHK", no delta_count
+// field) is what full checkpoints still write — byte-identical to every
+// prior release; incremental checkpoints write the extended v2 block
+// ("MLKV4CHK") committed via write-tmp-then-rename. Recovery accepts both.
 struct CheckpointMeta {
   uint64_t magic = 0x4D4C4B563343484Bull;  // "MLKV3CHK"
   uint64_t tail = 0;
@@ -18,7 +22,19 @@ struct CheckpointMeta {
   // Effective page size (Open may shrink the configured one for small
   // buffers); recovery must parse the log with the same geometry.
   uint64_t page_size = 0;
+  // --- v2 only ---
+  // Number of <prefix>.idx.d<k> delta files (k = 1..delta_count) to apply,
+  // in order, on top of the <prefix>.idx base.
+  uint64_t delta_count = 0;
 };
+
+constexpr uint64_t kMetaMagicV1 = 0x4D4C4B563343484Bull;  // "MLKV3CHK"
+constexpr uint64_t kMetaMagicV2 = 0x4D4C4B563443484Bull;  // "MLKV4CHK"
+constexpr size_t kMetaSizeV1 = sizeof(CheckpointMeta) - sizeof(uint64_t);
+
+std::string DeltaPath(const std::string& prefix, uint64_t k) {
+  return prefix + ".idx.d" + std::to_string(k);
+}
 
 // Applies `transform` to the control word with a CAS loop. Only the lock
 // holder changes generation/staleness, but another thread may concurrently
@@ -47,13 +63,23 @@ Status FasterStore::Open(const FasterOptions& options) {
     options_.page_size >>= 1;
   }
   index_.reset(new HashIndex(options.index_slots));
+  ckpt_ = CheckpointChain();
+  return log_.Open(LogOptions(/*truncate=*/true));
+}
+
+HybridLogOptions FasterStore::LogOptions(bool truncate) const {
   HybridLogOptions log_opts;
   log_opts.page_size = options_.page_size;
-  log_opts.mem_size = options.mem_size;
-  log_opts.mutable_fraction = options.mutable_fraction;
-  log_opts.path = options.path;
-  log_opts.device_factory = options.device_factory;
-  return log_.Open(log_opts);
+  log_opts.mem_size = options_.mem_size;
+  log_opts.mutable_fraction = options_.mutable_fraction;
+  log_opts.path = options_.path;
+  log_opts.truncate = truncate;
+  log_opts.device_factory = options_.device_factory;
+  log_opts.io = options_.io;
+  log_opts.durability = options_.durability_mode;
+  log_opts.group_commit_window_us = options_.group_commit_window_us;
+  log_opts.group_commit_max_bytes = options_.group_commit_max_bytes;
+  return log_opts;
 }
 
 Status FasterStore::LoadMeta(Address address, RecordMeta* meta,
@@ -147,15 +173,20 @@ Status FasterStore::AppendAndPublish(Key key, const void* value,
   if (value_size > 0 && value != nullptr) {
     std::memcpy(r->value(), value, value_size);
   }
-  // Record bytes are complete: release the append pin so page rolls may
-  // flush this frame again. (The pin guards the bytes, not publication.)
-  log_.EndAppend(addr);
   // Publish: release-CAS makes all fields above visible to chain walkers.
+  // The append pin from Allocate() is held across the CAS so a lost race
+  // can retract the valid bit before any flush snapshots the frame: on
+  // disk, abandoned records are never valid, which is what lets crash
+  // recovery replay the group-committed tail without ambiguity (a record
+  // whose valid bit is set was genuinely published; docs/DURABILITY.md).
   Address e = expected;
   if (!index()->CompareExchange(key, e, addr)) {
     // Lost the race; the appended record becomes unreachable log garbage.
+    r->flags &= ~kRecordValid;
+    log_.EndAppend(addr);
     return Status::Busy("index CAS lost");
   }
+  log_.EndAppend(addr);
   if (out_address != nullptr) *out_address = addr;
   return Status::OK();
 }
@@ -752,7 +783,19 @@ Status FasterStore::Compact(Address until, CompactionResult* result) {
       std::memcpy(&meta.key, rec + 16, 8);
       std::memcpy(&meta.value_size, rec + 24, 4);
       std::memcpy(&meta.flags, rec + 28, 4);
-      if ((meta.flags & kRecordValid) == 0) break;  // page-roll gap
+      if ((meta.flags & kRecordValid) == 0) {
+        // Invalid header: either page-roll gap fill (all zero — skip the
+        // rest of the page) or a record retracted after a lost index CAS
+        // (header intact, valid bit cleared — skip it in place).
+        if (meta.control == 0 && meta.prev == 0 && meta.key == 0 &&
+            meta.value_size == 0 && meta.flags == 0) {
+          break;
+        }
+        const Address skip = a + Record::SizeFor(meta.value_size);
+        if (skip > page_end) break;  // corrupt remnant: treat as gap
+        a = skip;
+        continue;
+      }
       const Address next = a + Record::SizeFor(meta.value_size);
       if (next > page_end) {
         return Status::Corruption("record overruns its page");
@@ -842,6 +885,13 @@ bool FasterStore::IsLiveVersion(Key key, Address address) {
 }
 
 Status FasterStore::Checkpoint(const std::string& prefix) {
+  if (options_.checkpoint_mode == CheckpointMode::kIncremental) {
+    return CheckpointIncremental(prefix);
+  }
+  return CheckpointFull(prefix);
+}
+
+Status FasterStore::CheckpointFull(const std::string& prefix) {
   MLKV_RETURN_NOT_OK(log_.FlushAll());
   FileDevice meta_dev;
   MLKV_RETURN_NOT_OK(meta_dev.Open(prefix + ".meta"));
@@ -851,12 +901,92 @@ Status FasterStore::Checkpoint(const std::string& prefix) {
   meta.num_inserts = stats_.inserts.load(std::memory_order_relaxed);
   meta.begin = log_.begin_address();
   meta.page_size = options_.page_size;
-  MLKV_RETURN_NOT_OK(meta_dev.WriteAt(0, &meta, sizeof(meta)));
+  // v1 length: a full checkpoint stays byte-identical to prior releases
+  // (delta_count is implicitly 0 — recovery's past-EOF read zero-fills it).
+  MLKV_RETURN_NOT_OK(meta_dev.WriteAt(0, &meta, kMetaSizeV1));
   MLKV_RETURN_NOT_OK(meta_dev.Sync());
   FileDevice idx_dev;
   MLKV_RETURN_NOT_OK(idx_dev.Open(prefix + ".idx"));
   MLKV_RETURN_NOT_OK(index()->WriteTo(&idx_dev, 0));
-  return idx_dev.Sync();
+  MLKV_RETURN_NOT_OK(idx_dev.Sync());
+  // A full dump supersedes any incremental chain under this prefix.
+  ckpt_.prefix = prefix;
+  ckpt_.tail = meta.tail;
+  ckpt_.deltas = 0;
+  ckpt_.index_slots = meta.index_slots;
+  return Status::OK();
+}
+
+Status FasterStore::CheckpointIncremental(const std::string& prefix) {
+  // Incremental flush: only dirty/undurable pages are rewritten (the bytes
+  // saving measured by bench_checkpoint), but after Persist the WHOLE log
+  // below `tail` is durable, so base and delta checkpoints alike cover it.
+  MLKV_RETURN_NOT_OK(log_.Persist());
+  const Address tail = log_.tail();
+  const bool chained = ckpt_.prefix == prefix &&
+                       ckpt_.index_slots == index()->num_slots() &&
+                       ckpt_.deltas < kMaxCheckpointDeltas;
+
+  CheckpointMeta meta;
+  meta.magic = kMetaMagicV2;
+  meta.tail = tail;
+  meta.index_slots = index()->num_slots();
+  meta.num_inserts = stats_.inserts.load(std::memory_order_relaxed);
+  meta.begin = log_.begin_address();
+  meta.page_size = options_.page_size;
+
+  if (!chained) {
+    // Fresh base: full index dump, zero deltas.
+    FileDevice idx_dev;
+    MLKV_RETURN_NOT_OK(idx_dev.Open(prefix + ".idx"));
+    MLKV_RETURN_NOT_OK(index()->WriteTo(&idx_dev, 0));
+    MLKV_RETURN_NOT_OK(idx_dev.Sync());
+    meta.delta_count = 0;
+  } else {
+    // Delta: (slot, head) pairs for slots whose head moved at or past the
+    // previous checkpoint's tail. Publishes only ever install addresses at
+    // the then-current tail, so every head changed since that checkpoint —
+    // and no head captured by it — satisfies the predicate.
+    std::vector<uint64_t> pairs;
+    const uint64_t n = index()->num_slots();
+    for (uint64_t s = 0; s < n; ++s) {
+      const Address a = index()->LoadSlot(s);
+      if (a == kInvalidAddress || a < ckpt_.tail) continue;
+      pairs.push_back(s);
+      pairs.push_back(a);
+    }
+    meta.delta_count = ckpt_.deltas + 1;
+    FileDevice delta_dev;
+    MLKV_RETURN_NOT_OK(delta_dev.Open(DeltaPath(prefix, meta.delta_count)));
+    const uint64_t count = pairs.size() / 2;
+    MLKV_RETURN_NOT_OK(delta_dev.WriteAt(0, &count, sizeof(count)));
+    if (!pairs.empty()) {
+      MLKV_RETURN_NOT_OK(delta_dev.WriteAt(sizeof(count), pairs.data(),
+                                           pairs.size() * sizeof(uint64_t)));
+    }
+    MLKV_RETURN_NOT_OK(delta_dev.Sync());
+  }
+
+  // Commit point: the v2 meta names the base + delta set, and it appears
+  // atomically via rename — a crash before this keeps the previous
+  // checkpoint fully intact, after it the new chain is complete.
+  const std::string tmp = prefix + ".meta.tmp";
+  {
+    FileDevice meta_dev;
+    MLKV_RETURN_NOT_OK(meta_dev.Open(tmp));
+    MLKV_RETURN_NOT_OK(meta_dev.WriteAt(0, &meta, sizeof(meta)));
+    MLKV_RETURN_NOT_OK(meta_dev.Sync());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, prefix + ".meta", ec);
+  if (ec) {
+    return Status::IOError("commit checkpoint meta: " + ec.message());
+  }
+  ckpt_.prefix = prefix;
+  ckpt_.tail = tail;
+  ckpt_.deltas = meta.delta_count;
+  ckpt_.index_slots = meta.index_slots;
+  return Status::OK();
 }
 
 Status FasterStore::Recover(const FasterOptions& options,
@@ -865,8 +995,10 @@ Status FasterStore::Recover(const FasterOptions& options,
   FileDevice meta_dev;
   MLKV_RETURN_NOT_OK(meta_dev.Open(prefix + ".meta", /*truncate=*/false));
   CheckpointMeta meta;
+  // One read serves both versions: a v1 file is sizeof(uint64_t) shorter
+  // and the past-EOF zero-fill leaves delta_count == 0.
   MLKV_RETURN_NOT_OK(meta_dev.ReadAt(0, &meta, sizeof(meta)));
-  if (meta.magic != CheckpointMeta().magic) {
+  if (meta.magic != kMetaMagicV1 && meta.magic != kMetaMagicV2) {
     return Status::Corruption("bad checkpoint magic");
   }
   if (meta.page_size != 0) options_.page_size = meta.page_size;
@@ -874,17 +1006,115 @@ Status FasterStore::Recover(const FasterOptions& options,
   FileDevice idx_dev;
   MLKV_RETURN_NOT_OK(idx_dev.Open(prefix + ".idx", /*truncate=*/false));
   MLKV_RETURN_NOT_OK(index()->ReadFrom(idx_dev, 0));
+  for (uint64_t k = 1; k <= meta.delta_count; ++k) {
+    FileDevice delta_dev;
+    MLKV_RETURN_NOT_OK(delta_dev.Open(DeltaPath(prefix, k),
+                                      /*truncate=*/false));
+    uint64_t count = 0;
+    MLKV_RETURN_NOT_OK(delta_dev.ReadAt(0, &count, sizeof(count)));
+    std::vector<uint64_t> pairs(count * 2);
+    if (count > 0) {
+      MLKV_RETURN_NOT_OK(delta_dev.ReadAt(sizeof(count), pairs.data(),
+                                          pairs.size() * sizeof(uint64_t)));
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t slot = pairs[2 * i];
+      if (slot >= index()->num_slots()) {
+        return Status::Corruption("checkpoint delta slot out of range");
+      }
+      index()->StoreSlot(slot, pairs[2 * i + 1]);
+    }
+  }
 
-  HybridLogOptions log_opts;
-  log_opts.page_size = options_.page_size;
-  log_opts.mem_size = options.mem_size;
-  log_opts.mutable_fraction = options.mutable_fraction;
-  log_opts.path = options.path;
-  log_opts.device_factory = options.device_factory;
-  log_opts.truncate = false;  // keep the checkpointed log contents
-  MLKV_RETURN_NOT_OK(log_.Open(log_opts));
-  MLKV_RETURN_NOT_OK(log_.RestoreBoundaries(meta.tail, meta.begin));
+  MLKV_RETURN_NOT_OK(log_.Open(LogOptions(/*truncate=*/false)));
   stats_.inserts.store(meta.num_inserts, std::memory_order_relaxed);
+  Address recovered = meta.tail;
+  if (options_.durability_mode == DurabilityMode::kGroup) {
+    // Group-committed records past the checkpoint tail are durable without
+    // being in any checkpoint; replay them, then cut the file at the last
+    // valid record so torn bytes cannot resurface.
+    MLKV_RETURN_NOT_OK(ReplayTail(meta.tail, &recovered));
+    MLKV_RETURN_NOT_OK(log_.DiscardDiskBeyond(recovered));
+  }
+  MLKV_RETURN_NOT_OK(log_.RestoreBoundaries(recovered, meta.begin));
+  ckpt_.prefix = prefix;
+  ckpt_.tail = meta.tail;
+  ckpt_.deltas = meta.delta_count;
+  ckpt_.index_slots = meta.index_slots;
+  return Status::OK();
+}
+
+Status FasterStore::ReplayTail(Address from, Address* recovered) {
+  struct TailRecord {
+    Address addr = kInvalidAddress;
+    Address prev = kInvalidAddress;
+    Key key = 0;
+    uint32_t flags = 0;
+    bool published = false;
+  };
+  std::vector<TailRecord> records;
+  const uint64_t page_size = options_.page_size;
+  const uint64_t fsize = log_.device()->FileSize();
+  Address a = from;
+  Address end = from;
+  // Forward scan. The header fields parsed here (prev/key/value_size/flags)
+  // are written exactly once under the append pin, so any record whose
+  // bytes reached disk at all carries them intact; only the frontier where
+  // a crash interrupted a page write can be torn, and the scan stops there.
+  while (a + sizeof(Record) <= fsize) {
+    const uint64_t page_end = (a / page_size + 1) * page_size;
+    if (a + sizeof(Record) > page_end) {
+      a = page_end;  // record headers never straddle pages
+      continue;
+    }
+    char buf[sizeof(Record)];
+    MLKV_RETURN_NOT_OK(log_.ReadDisk(a, buf, sizeof(buf)));
+    TailRecord r;
+    uint64_t control = 0;
+    uint32_t value_size = 0;
+    std::memcpy(&control, buf + 0, 8);
+    std::memcpy(&r.prev, buf + 8, 8);
+    std::memcpy(&r.key, buf + 16, 8);
+    std::memcpy(&value_size, buf + 24, 4);
+    std::memcpy(&r.flags, buf + 28, 4);
+    if (control == 0 && r.prev == 0 && r.key == 0 && value_size == 0 &&
+        r.flags == 0) {
+      a = page_end;  // page-roll gap: zeroes run to the end of the page
+      continue;
+    }
+    if (value_size > page_size) break;  // torn frontier
+    const uint64_t rec_size = Record::SizeFor(value_size);
+    if (a + rec_size > page_end) break;  // torn frontier
+    if ((r.flags & kRecordValid) != 0) {
+      r.addr = a;
+      records.push_back(r);
+      end = a + rec_size;
+    }
+    // Records without the valid bit were retracted after a lost index CAS
+    // (AppendAndPublish); their sizes are sound, so skip them in place.
+    a += rec_size;
+  }
+
+  // Republish in passes to a fixpoint: a record goes live only when its
+  // prev equals the key's current chain head — exactly the CAS it won in
+  // the original run, so replay reconstructs the same publish order even
+  // though allocation order (address order) can differ from it.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (TailRecord& r : records) {
+      if (r.published) continue;
+      Address e = index()->Load(r.key);
+      if (e != r.prev) continue;
+      if (!index()->CompareExchange(r.key, e, r.addr)) continue;
+      r.published = true;
+      progress = true;
+      if ((r.flags & kRecordTombstone) == 0 && r.prev == kInvalidAddress) {
+        stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  *recovered = end;
   return Status::OK();
 }
 
@@ -915,6 +1145,17 @@ FasterStatsSnapshot FasterStore::stats() const {
   s.disk_record_reads = ls.disk_record_reads.load(std::memory_order_relaxed);
   s.pages_flushed = ls.pages_flushed.load(std::memory_order_relaxed);
   s.pages_evicted = ls.pages_evicted.load(std::memory_order_relaxed);
+  s.async_writes_submitted =
+      ls.async_writes_submitted.load(std::memory_order_relaxed);
+  s.async_writes_completed =
+      ls.async_writes_completed.load(std::memory_order_relaxed);
+  s.fsyncs = ls.fsyncs.load(std::memory_order_relaxed);
+  if (const GroupCommitter* gc =
+          const_cast<HybridLog&>(log_).committer()) {
+    const GroupCommitter::Stats cs = gc->stats();
+    s.fsyncs += cs.fsyncs;
+    s.group_commits = cs.group_commits;
+  }
   return s;
 }
 

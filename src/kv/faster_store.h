@@ -60,6 +60,21 @@ struct FasterOptions {
   // Builds the log's backing device; null uses a plain FileDevice. Tests
   // inject fault decorators here (io/faulty_file_device.h).
   std::function<std::unique_ptr<FileDevice>()> device_factory;
+
+  // Shared engine for the log's coalesced flush waves (page roll, FlushAll,
+  // Persist); null keeps flushes sequential blocking writes. Not owned.
+  AsyncIoEngine* io = nullptr;
+  // kGroup: Persist() commits through a per-log GroupCommitter (concurrent
+  // callers share one fsync) and Recover() replays group-committed records
+  // past the checkpoint tail. kSync keeps the classic checkpoint-only
+  // durability, byte-identical on disk.
+  DurabilityMode durability_mode = DurabilityMode::kSync;
+  uint64_t group_commit_window_us = 200;
+  uint64_t group_commit_max_bytes = 1ull << 20;
+  // kIncremental: Checkpoint() persists only dirty/undurable log pages and
+  // an index delta chained onto the previous checkpoint under the same
+  // prefix; kFull keeps the classic full-flush + full-index-dump layout.
+  CheckpointMode checkpoint_mode = CheckpointMode::kFull;
 };
 
 struct FasterStatsSnapshot {
@@ -74,6 +89,11 @@ struct FasterStatsSnapshot {
   // (record moved mid-flight / staleness wait).
   uint64_t async_reads_submitted = 0, async_reads_completed = 0;
   uint64_t async_reads_refetched = 0;
+  // Write pipeline: pages submitted to / completed by async flush waves,
+  // fdatasyncs issued (log's own plus the GroupCommitter's), and fsyncs
+  // that covered more than one committer (the group-commit win).
+  uint64_t async_writes_submitted = 0, async_writes_completed = 0;
+  uint64_t fsyncs = 0, group_commits = 0;
 };
 
 // Outcome of one Compact() pass.
@@ -207,11 +227,28 @@ class FasterStore {
   // needed) whenever live keys exceed `max_load` keys per slot.
   Status MaybeGrowIndex(double max_load = 1.5);
 
-  // Quiesced checkpoint: flush the log, persist index + metadata under
-  // `prefix` (two files: <prefix>.meta, <prefix>.idx). Callers must ensure
-  // no concurrent operations.
+  // Durability point: makes every operation that completed before this call
+  // crash-durable (incremental log flush + fsync; see HybridLog::Persist).
+  // Unlike Checkpoint this is safe under concurrent operations and does not
+  // write index files — recovery re-derives post-checkpoint publishes by
+  // replaying the log tail (durability_mode == kGroup only).
+  Status Persist() { return log_.Persist(); }
+  // Highest log address known durable on media.
+  Address durable_address() const { return log_.durable_address(); }
+
+  // Quiesced checkpoint under `prefix`; callers must ensure no concurrent
+  // operations. checkpoint_mode == kFull writes the classic pair
+  // (<prefix>.meta, <prefix>.idx: full log flush + full index dump).
+  // kIncremental persists only dirty/undurable pages and appends an index
+  // delta (<prefix>.idx.d<N>: slots whose head moved since the previous
+  // checkpoint) onto the chain under the same prefix, committing by
+  // atomically renaming the v2 .meta into place; a fresh base (full .idx)
+  // is forced on a new prefix, after index growth, or past the delta cap.
   Status Checkpoint(const std::string& prefix);
-  // Reopens the store from a checkpoint taken with the same options.
+  // Reopens the store from a checkpoint taken with the same options: base
+  // index plus deltas in order, then — in durability_mode == kGroup — a
+  // replay of valid group-committed records found past the checkpoint tail
+  // (stopping at the first torn record and truncating the log there).
   Status Recover(const FasterOptions& options, const std::string& prefix);
 
   // True if `key` currently resolves to an in-memory record.
@@ -289,6 +326,30 @@ class FasterStore {
     std::atomic<uint64_t> async_reads_submitted{0}, async_reads_completed{0};
     std::atomic<uint64_t> async_reads_refetched{0};
   };
+
+  // Maps the (page-size-adjusted) store options onto the log's.
+  HybridLogOptions LogOptions(bool truncate) const;
+
+  // Incremental checkpoint helpers (kv/faster_store.cc).
+  Status CheckpointFull(const std::string& prefix);
+  Status CheckpointIncremental(const std::string& prefix);
+  // Scans [from, end-of-file) for valid records the last checkpoint missed
+  // and republishes them against the recovered index (address-ordered
+  // passes to a fixpoint); *recovered is the end of the last valid record.
+  Status ReplayTail(Address from, Address* recovered);
+
+  // Chain state for incremental checkpoints: what the last checkpoint
+  // under `prefix` covered. Reset on Open; restored by Recover.
+  struct CheckpointChain {
+    std::string prefix;       // empty: no chain, next checkpoint is a base
+    Address tail = 0;         // log tail the last checkpoint covered
+    uint64_t deltas = 0;      // delta files written under this prefix
+    uint64_t index_slots = 0; // slot count the chain's files assume
+  };
+  // Replaying an ever-longer delta chain on recovery caps here; the next
+  // checkpoint then rolls a fresh base.
+  static constexpr uint64_t kMaxCheckpointDeltas = 64;
+  CheckpointChain ckpt_;
 
   // At most one Compact() runs at a time; concurrent calls return early.
   std::atomic_flag compact_lock_ = ATOMIC_FLAG_INIT;

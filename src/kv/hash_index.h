@@ -47,6 +47,16 @@ class HashIndex {
 
   uint64_t num_slots() const { return mask_ + 1; }
 
+  // Slot-index access for incremental checkpoints: a delta record stores
+  // (slot, address) pairs for slots whose head moved since the base, and
+  // recovery reapplies them positionally.
+  Address LoadSlot(uint64_t slot) const {
+    return slots_[slot].load(std::memory_order_acquire);
+  }
+  void StoreSlot(uint64_t slot, Address a) {
+    slots_[slot].store(a, std::memory_order_release);
+  }
+
   // Number of non-empty slots (diagnostics / checkpoint metadata).
   uint64_t CountUsed() const;
 

@@ -56,10 +56,19 @@ Status HybridLog::Open(const HybridLogOptions& options) {
   frames_.resize(mem_pages_);
   frame_page_ = std::vector<std::atomic<uint64_t>>(mem_pages_);
   frame_writers_ = std::vector<std::atomic<int>>(mem_pages_);
+  frame_dirty_ = std::vector<std::atomic<uint8_t>>(mem_pages_);
   for (uint64_t i = 0; i < mem_pages_; ++i) {
     frames_[i].reset(new char[options_.page_size]);
     frame_page_[i].store(kInvalidPage, std::memory_order_relaxed);
     frame_writers_[i].store(0, std::memory_order_relaxed);
+    frame_dirty_[i].store(0, std::memory_order_relaxed);
+  }
+
+  if (options_.durability == DurabilityMode::kGroup) {
+    GroupCommitter::Options co;
+    co.window_us = options_.group_commit_window_us;
+    co.max_bytes = options_.group_commit_max_bytes;
+    committer_ = std::make_unique<GroupCommitter>(file_.get(), co);
   }
 
   // Provision page 0 directly (no flushing can be needed yet).
@@ -70,6 +79,7 @@ Status HybridLog::Open(const HybridLogOptions& options) {
   read_only_.store(kLogBegin, std::memory_order_release);
   head_.store(kLogBegin, std::memory_order_release);
   begin_.store(kLogBegin, std::memory_order_release);
+  durable_.store(kLogBegin, std::memory_order_release);
   flushed_until_page_ = 0;
   highest_provisioned_page_ = 0;
   return Status::OK();
@@ -99,21 +109,74 @@ Status HybridLog::ShiftBeginAddress(Address new_begin) {
   return Status::OK();
 }
 
-Status HybridLog::FlushPage(uint64_t page) {
+uint32_t HybridLog::PreparePageFlush(uint64_t page, Address tail_now) {
   const uint64_t f = FrameOf(page);
-  // Wait for in-flight in-place value writes; new ones cannot start because
-  // the read-only boundary has already been advanced past this page.
+  // Clear the dirty bit BEFORE draining writers and snapshotting bytes: a
+  // writer that slips in mid-flush re-marks it, so a torn value image is
+  // rewritten by the next flush instead of being treated as current.
+  frame_dirty_[f].store(0, std::memory_order_release);
+  // Wait for in-flight in-place value writes. For below-read-only pages
+  // this is exact (the boundary advanced first, so no new writer can
+  // register); for mutable pages flushed by Persist it is best-effort — see
+  // the drain note in the header comment.
   while (frame_writers_[f].load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
-  const Address tail_now = tail_.load(std::memory_order_acquire);
   const uint64_t start = PageStart(page);
+  if (start >= tail_now) return 0;
   uint64_t len = options_.page_size;
   if (start + len > tail_now) len = tail_now - start;  // partial tail page
+  return static_cast<uint32_t>(len);
+}
+
+Status HybridLog::FlushPage(uint64_t page) {
+  const uint32_t len =
+      PreparePageFlush(page, tail_.load(std::memory_order_acquire));
   if (len == 0) return Status::OK();
-  MLKV_RETURN_NOT_OK(file_->WriteAt(start, frames_[f].get(), len));
+  MLKV_RETURN_NOT_OK(
+      file_->WriteAt(PageStart(page), frames_[FrameOf(page)].get(), len));
   stats_.pages_flushed.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status HybridLog::FlushPageSet(const std::vector<uint64_t>& pages) {
+  if (pages.empty()) return Status::OK();
+  if (options_.io == nullptr || pages.size() == 1) {
+    for (uint64_t p : pages) {
+      MLKV_RETURN_NOT_OK(FlushPage(p));
+    }
+    return Status::OK();
+  }
+  // One coalesced wave: prepare every page up front, submit them all, then
+  // drain completions. The alloc lock (held by the caller) keeps the tail
+  // and frame assignments stable for the duration.
+  const Address tail_now = tail_.load(std::memory_order_acquire);
+  AsyncIoEngine::Batch batch(options_.io);
+  uint64_t submitted = 0;
+  Status first_error;
+  for (uint64_t p : pages) {
+    const uint32_t len = PreparePageFlush(p, tail_now);
+    if (len == 0) continue;
+    const Status s = batch.SubmitWrite(file_.get(), PageStart(p),
+                                       frames_[FrameOf(p)].get(), len, p);
+    if (!s.ok()) {
+      if (first_error.ok()) first_error = s;
+      break;
+    }
+    ++submitted;
+  }
+  stats_.async_writes_submitted.fetch_add(submitted,
+                                          std::memory_order_relaxed);
+  AsyncIoEngine::Completion c;
+  while (batch.WaitOne(&c)) {
+    stats_.async_writes_completed.fetch_add(1, std::memory_order_relaxed);
+    if (c.status.ok()) {
+      stats_.pages_flushed.fetch_add(1, std::memory_order_relaxed);
+    } else if (first_error.ok()) {
+      first_error = c.status;
+    }
+  }
+  return first_error;
 }
 
 Status HybridLog::ProvisionPage(uint64_t page) {
@@ -126,9 +189,14 @@ Status HybridLog::ProvisionPage(uint64_t page) {
     if (ro_addr > read_only_.load(std::memory_order_relaxed)) {
       read_only_.store(ro_addr, std::memory_order_release);
     }
-    while (flushed_until_page_ < ro_page) {
-      MLKV_RETURN_NOT_OK(FlushPage(flushed_until_page_));
-      ++flushed_until_page_;
+    if (flushed_until_page_ < ro_page) {
+      std::vector<uint64_t> to_flush;
+      to_flush.reserve(ro_page - flushed_until_page_);
+      for (uint64_t p = flushed_until_page_; p < ro_page; ++p) {
+        to_flush.push_back(p);
+      }
+      MLKV_RETURN_NOT_OK(FlushPageSet(to_flush));
+      flushed_until_page_ = ro_page;
     }
   }
 
@@ -184,6 +252,7 @@ Status HybridLog::Allocate(uint32_t size, Address* address, char** memory) {
   // excludes page rolls: until EndAppend(), no flush can snapshot (and no
   // eviction can recycle) the frame under the half-written record.
   frame_writers_[FrameOf(page)].fetch_add(1, std::memory_order_acq_rel);
+  MarkDirty(page);
   return Status::OK();
 }
 
@@ -244,6 +313,9 @@ bool HybridLog::BeginInPlaceWrite(Address a) {
     frame_writers_[f].fetch_sub(1, std::memory_order_acq_rel);
     return false;
   }
+  // Dirty before the caller touches a byte: if a Persist flush snapshots
+  // this frame concurrently, the re-marked bit forces a rewrite next time.
+  MarkDirty(PageOf(a));
   return true;
 }
 
@@ -257,12 +329,81 @@ Status HybridLog::FlushAll() {
   const Address t = tail_.load(std::memory_order_acquire);
   if (t == kLogBegin) return Status::OK();
   const uint64_t last_page = PageOf(t - 1);
+  std::vector<uint64_t> pages;
   for (uint64_t p = flushed_until_page_; p <= last_page; ++p) {
-    const uint64_t f = FrameOf(p);
-    if (frame_page_[f].load(std::memory_order_acquire) != p) continue;
-    MLKV_RETURN_NOT_OK(FlushPage(p));
+    if (frame_page_[FrameOf(p)].load(std::memory_order_acquire) != p) {
+      continue;
+    }
+    pages.push_back(p);
   }
-  return file_->Sync();
+  MLKV_RETURN_NOT_OK(FlushPageSet(pages));
+  MLKV_RETURN_NOT_OK(file_->Sync());
+  stats_.fsyncs.fetch_add(1, std::memory_order_relaxed);
+  // CAS-max: a concurrent Persist may already have published a later
+  // watermark; never regress it.
+  Address cur = durable_.load(std::memory_order_acquire);
+  while (cur < t && !durable_.compare_exchange_weak(
+                        cur, t, std::memory_order_acq_rel,
+                        std::memory_order_acquire)) {
+  }
+  return Status::OK();
+}
+
+Status HybridLog::Persist() {
+  std::vector<uint64_t> pages;
+  Address t;
+  {
+    SpinGuard g(&alloc_lock_);
+    t = tail_.load(std::memory_order_acquire);
+    const Address durable = durable_.load(std::memory_order_acquire);
+    if (t > kLogBegin) {
+      const uint64_t last_page = PageOf(t - 1);
+      const uint64_t first_page = PageOf(head_.load(std::memory_order_acquire));
+      for (uint64_t p = first_page; p <= last_page; ++p) {
+        const uint64_t f = FrameOf(p);
+        if (frame_page_[f].load(std::memory_order_acquire) != p) continue;
+        // A resident page needs rewriting when its bytes diverged from the
+        // disk image (dirty) or when it holds never-synced bytes in
+        // [durable, t). The second arm matters after recovery: frames are
+        // fresh (dirty bits clean) but the file tail may postdate the
+        // watermark.
+        const bool holds_undurable =
+            durable < t && PageStart(p) + options_.page_size > durable;
+        if (frame_dirty_[f].load(std::memory_order_acquire) == 0 &&
+            !holds_undurable) {
+          continue;
+        }
+        pages.push_back(p);
+      }
+      MLKV_RETURN_NOT_OK(FlushPageSet(pages));
+    }
+    if (pages.empty() && durable >= t) {
+      return Status::OK();  // nothing changed since the last sync point
+    }
+  }
+  // Commit outside the alloc lock so concurrent Persist callers can stage
+  // into the same window and share the fsync.
+  if (committer_ != nullptr) {
+    const uint64_t ticket =
+        committer_->StageWrite(pages.size() * options_.page_size);
+    MLKV_RETURN_NOT_OK(committer_->Wait(ticket));
+  } else {
+    MLKV_RETURN_NOT_OK(file_->Sync());
+    stats_.fsyncs.fetch_add(1, std::memory_order_relaxed);
+  }
+  Address cur = durable_.load(std::memory_order_acquire);
+  while (cur < t && !durable_.compare_exchange_weak(
+                        cur, t, std::memory_order_acq_rel,
+                        std::memory_order_acquire)) {
+  }
+  return Status::OK();
+}
+
+Status HybridLog::DiscardDiskBeyond(Address a) {
+  // Truncate exactly at `a`: reads past EOF zero-fill (io/file_device.cc),
+  // so the discarded suffix scans as a page-roll gap instead of stale
+  // record bytes. Later flushes re-extend the file past the hole.
+  return file_->Truncate(a);
 }
 
 Status HybridLog::RestoreBoundaries(Address tail, Address begin) {
@@ -273,10 +414,14 @@ Status HybridLog::RestoreBoundaries(Address tail, Address begin) {
   const Address a = PageStart(next_page);
   for (uint64_t i = 0; i < mem_pages_; ++i) {
     frame_page_[i].store(kInvalidPage, std::memory_order_relaxed);
+    frame_dirty_[i].store(0, std::memory_order_relaxed);
   }
   tail_.store(a, std::memory_order_release);
   read_only_.store(a, std::memory_order_release);
   head_.store(a, std::memory_order_release);
+  // Recovery only restores boundaries over bytes it has verified on disk,
+  // so the restored tail is the durable watermark.
+  durable_.store(a, std::memory_order_release);
   flushed_until_page_ = next_page;
   highest_provisioned_page_ = next_page;
   const uint64_t f = FrameOf(next_page);

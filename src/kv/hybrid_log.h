@@ -26,13 +26,37 @@
 //   frame_page first, so torn copies are detected and retried via disk.
 // * In-place writers register in a per-frame writer count and re-check the
 //   read-only boundary after registering; the flusher advances the boundary
-//   first and then waits for the count to drain, so a page is never flushed
-//   while a value write to it is in flight.
+//   first and then waits for the count to drain, so a below-read-only page
+//   is never flushed while a value write to it is in flight. For mutable
+//   pages flushed by Persist(), the drain is best-effort — a writer that
+//   registers after the drain check can tear the flushed value image, but
+//   it marked the frame dirty before touching bytes, so the next Persist
+//   rewrites the page; header and chain bytes are never torn because they
+//   are written exactly once under the Allocate() registration.
 // * Appenders hold the same per-frame registration from Allocate() until
 //   EndAppend(): a page roll elsewhere cannot flush (let alone recycle) a
 //   frame while a freshly allocated record in it is still being filled in —
 //   otherwise a preempted appender's half-written header could reach disk
 //   and sever the hash chain through it.
+//
+// Flush / device ownership:
+// * The log owns its FileDevice, built through HybridLogOptions::
+//   device_factory (tests inject fault decorators; see
+//   io/faulty_file_device.h) and opened with options.truncate.
+// * All page flushes funnel through one prepare step (writer drain + dirty
+//   clear + partial-tail length). With an AsyncIoEngine configured the
+//   pages of one flush — page roll, FlushAll, Persist — go to the device
+//   as a single coalesced write wave; without one they are sequential
+//   blocking WriteAt calls, byte-identical on disk either way.
+// * A flushed page is in the page cache, not durable. The durable
+//   watermark (`durable_address()`) advances only after a successful
+//   device Sync: FlushAll/Persist in kSync mode issue their own, kGroup
+//   mode parks on the shared GroupCommitter so concurrent Persist callers
+//   share one fsync.
+// * Per-frame dirty bits (set by Allocate and BeginInPlaceWrite, cleared
+//   when a flush snapshots the frame) let Persist skip pages whose disk
+//   image is already current — the incremental-flush contract checkpoints
+//   build on.
 #pragma once
 
 #include <atomic>
@@ -43,7 +67,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/async_io.h"
 #include "io/file_device.h"
+#include "io/group_committer.h"
 #include "kv/record.h"
 
 namespace mlkv {
@@ -57,6 +83,14 @@ struct HybridLogOptions {
   // Builds the backing device (before Open is called on it). Null uses a
   // plain FileDevice; tests inject decorators (io/faulty_file_device.h).
   std::function<std::unique_ptr<FileDevice>()> device_factory;
+  // Shared write engine for flush waves; null keeps every flush a
+  // sequential blocking WriteAt loop (byte-identical on disk).
+  AsyncIoEngine* io = nullptr;
+  // kGroup gives the log a GroupCommitter so concurrent Persist callers
+  // share fsyncs; kSync (default) keeps each sync point its own fdatasync.
+  DurabilityMode durability = DurabilityMode::kSync;
+  uint64_t group_commit_window_us = 200;
+  uint64_t group_commit_max_bytes = 1ull << 20;
 };
 
 struct HybridLogStats {
@@ -64,6 +98,12 @@ struct HybridLogStats {
   std::atomic<uint64_t> pages_evicted{0};
   std::atomic<uint64_t> disk_record_reads{0};
   std::atomic<uint64_t> seqlock_retries{0};
+  // Write-pipeline counters: pages submitted to / completed by the async
+  // write wave (zero when no engine is configured) and fdatasyncs issued
+  // directly by this log (the GroupCommitter counts its own).
+  std::atomic<uint64_t> async_writes_submitted{0};
+  std::atomic<uint64_t> async_writes_completed{0};
+  std::atomic<uint64_t> fsyncs{0};
 };
 
 class HybridLog {
@@ -128,8 +168,41 @@ class HybridLog {
   bool BeginInPlaceWrite(Address a);
   void EndInPlaceWrite(Address a);
 
-  // Flushes all pages in [head, tail) to the log file (checkpoint support).
+  // Flushes all pages in [head, tail) to the log file (checkpoint support)
+  // and syncs the device.
   Status FlushAll();
+
+  // Incremental durability point: flushes only resident pages that are
+  // dirty or hold bytes in [durable, tail), then makes the whole file
+  // durable (one fdatasync in kSync mode, a shared GroupCommitter ticket
+  // in kGroup mode) and advances the durable watermark to the tail
+  // observed at entry. Returns without syncing when nothing changed since
+  // the last Persist. Safe under concurrent operations — see the
+  // best-effort drain note in the header comment.
+  Status Persist();
+
+  // Highest address known durable on media: every record below it survives
+  // a crash (modulo later in-place updates, which re-dirty their page and
+  // become durable at the next Persist/FlushAll).
+  Address durable_address() const {
+    return durable_.load(std::memory_order_acquire);
+  }
+
+  // Non-null only in DurabilityMode::kGroup.
+  GroupCommitter* committer() { return committer_.get(); }
+
+  // Reads raw file bytes at `a` regardless of the log boundaries — the
+  // recovery scan uses this to walk group-committed records beyond the
+  // checkpoint tail before the boundaries are extended over them. Reads
+  // past EOF zero-fill.
+  Status ReadDisk(Address a, void* out, uint32_t n) const {
+    return file_->ReadAt(a, out, n);
+  }
+
+  // Truncates the backing file at `a` (recovery: discard a torn tail so
+  // stale bytes cannot resurface as valid records — past-EOF reads
+  // zero-fill, which scans as a gap).
+  Status DiscardDiskBeyond(Address a);
 
   // Advances the begin address (log garbage collection). Addresses below
   // `new_begin` become permanently unreachable; whole pages below it have
@@ -173,7 +246,17 @@ class HybridLog {
   // Rolls the log forward so that `page` has a clean, resident frame.
   // Called with alloc_lock_ held.
   Status ProvisionPage(uint64_t page);
+  // Clears the dirty bit, drains in-place writers, and returns the flush
+  // length for `page` (0 when the page holds no bytes below the tail).
+  uint32_t PreparePageFlush(uint64_t page, Address tail_now);
   Status FlushPage(uint64_t page);
+  // Flushes every resident page in `pages` — one coalesced engine wave
+  // when options_.io is set, sequential FlushPage calls otherwise. Called
+  // with alloc_lock_ held.
+  Status FlushPageSet(const std::vector<uint64_t>& pages);
+  void MarkDirty(uint64_t page) {
+    frame_dirty_[FrameOf(page)].store(1, std::memory_order_release);
+  }
 
   static constexpr uint64_t kInvalidPage = ~0ull;
 
@@ -189,6 +272,9 @@ class HybridLog {
   std::vector<std::atomic<uint64_t>> frame_page_;
   // Count of in-flight in-place value writes per frame.
   std::vector<std::atomic<int>> frame_writers_;
+  // Set when a frame's bytes diverged from its disk image (new record or
+  // in-place update); cleared when a flush snapshots the frame.
+  std::vector<std::atomic<uint8_t>> frame_dirty_;
   // Highest page already flushed to the file (exclusive).
   uint64_t flushed_until_page_ = 0;
   // Highest page with a claimed, zeroed frame (allocation may proceed into
@@ -199,6 +285,12 @@ class HybridLog {
   std::atomic<Address> read_only_{kLogBegin};
   std::atomic<Address> head_{kLogBegin};
   std::atomic<Address> begin_{kLogBegin};
+  // Advances only after a successful device sync (see durable_address()).
+  std::atomic<Address> durable_{kLogBegin};
+
+  // Declared after file_ so the committer thread stops before the device
+  // closes.
+  std::unique_ptr<GroupCommitter> committer_;
 
   std::atomic_flag alloc_lock_ = ATOMIC_FLAG_INIT;
   mutable HybridLogStats stats_;

@@ -28,8 +28,21 @@ void LogIterator::SeekTo(Address a) {
       return;
     }
     if ((meta.flags & kRecordValid) == 0) {
-      // Gap: zero fill to the end of this page.
-      a = (a & ~(page_size - 1)) + page_size;
+      // All-zero header: page-roll gap fill — skip to the next page. A
+      // nonzero header with the valid bit cleared is a record retracted
+      // after a lost index CAS; its size field is intact, so step over it.
+      if (meta.control == 0 && meta.prev == 0 && meta.key == 0 &&
+          meta.value_size == 0 && meta.flags == 0) {
+        a = (a & ~(page_size - 1)) + page_size;
+        continue;
+      }
+      const Address skip = a + Record::SizeFor(meta.value_size);
+      if (skip > (a & ~(page_size - 1)) + page_size) {
+        // Corrupt remnant: treat like gap fill.
+        a = (a & ~(page_size - 1)) + page_size;
+        continue;
+      }
+      a = skip;
       continue;
     }
     s = store_->ReadRecordAt(a, &meta_, &value_);

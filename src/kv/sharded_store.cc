@@ -29,6 +29,9 @@ bool ShardedStore::CheckpointExists(const ShardedStoreOptions& options,
 }
 
 FasterOptions ShardedStore::ShardOptions(size_t i) const {
+  // Note options_.io (the batched-read wave engine) and options_.store.io
+  // (each shard's flush-wave engine) are set independently by the caller:
+  // group durability wants coalesced flushes even when reads stay blocking.
   FasterOptions o = options_.store;
   if (options_.shard_bits == 0) return o;
   o.path = ShardFilePath(options_.store.path, static_cast<uint32_t>(i),
@@ -345,6 +348,13 @@ void Accumulate(const CompactionResult& r, CompactionResult* total) {
 }
 }  // namespace
 
+Status ShardedStore::PersistAll() {
+  for (auto& shard : shards_) {
+    MLKV_RETURN_NOT_OK(shard->Persist());
+  }
+  return Status::OK();
+}
+
 Status ShardedStore::CompactAll(CompactionResult* total) {
   for (auto& shard : shards_) {
     CompactionResult r;
@@ -388,6 +398,10 @@ FasterStatsSnapshot ShardedStore::stats() const {
     total.async_reads_submitted += s.async_reads_submitted;
     total.async_reads_completed += s.async_reads_completed;
     total.async_reads_refetched += s.async_reads_refetched;
+    total.async_writes_submitted += s.async_writes_submitted;
+    total.async_writes_completed += s.async_writes_completed;
+    total.fsyncs += s.fsyncs;
+    total.group_commits += s.group_commits;
   }
   return total;
 }

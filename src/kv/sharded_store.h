@@ -180,6 +180,10 @@ class ShardedStore {
 
   // --- Maintenance across all shards (quiesced where FasterStore is) ---
 
+  // Durability point across all shards: each shard's FasterStore::Persist
+  // in turn. Safe under concurrent operations; in durability_mode == kGroup
+  // concurrent callers share fsyncs through each shard's GroupCommitter.
+  Status PersistAll();
   // Checkpoints every shard, then commits by writing <prefix>.shards via
   // write+rename (shard_bits > 0 only; the single-shard layout stays
   // byte-identical to FasterStore's). CheckpointExists requires the commit

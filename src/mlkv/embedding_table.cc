@@ -151,34 +151,48 @@ Status EmbeddingTable::PeekOrInit(std::span<const Key> keys, float* out,
       result);
 }
 
+Status EmbeddingTable::CommitIfGroup(Status s, BatchResult* result) {
+  if (store_->options().store.durability_mode != DurabilityMode::kGroup) {
+    return s;
+  }
+  const Status d = store_->PersistAll();
+  if (!d.ok() && result != nullptr) result->DowngradeOk(d);
+  return s.ok() ? d : s;
+}
+
 Status EmbeddingTable::Put(std::span<const Key> keys, const float* values,
                            BatchResult* result) {
   const uint32_t emb_bytes = value_bytes();
   const uint32_t rec_bytes = record_bytes();
   if (rec_bytes == emb_bytes) {
     // Stateless layout: a Put is a plain upsert.
-    return ExecuteSpan(
-        keys,
-        [this, values, emb_bytes](FasterStore* shard, Key key, size_t i,
-                                  BatchResult* part, size_t pi) {
-          part->Record(pi, shard->Upsert(key, values + i * dim_, emb_bytes));
-        },
+    return CommitIfGroup(
+        ExecuteSpan(
+            keys,
+            [this, values, emb_bytes](FasterStore* shard, Key key, size_t i,
+                                      BatchResult* part, size_t pi) {
+              part->Record(pi,
+                           shard->Upsert(key, values + i * dim_, emb_bytes));
+            },
+            result),
         result);
   }
   // Fused-state layout: overwrite the embedding floats, keep the optimizer
   // slots (zero for fresh keys, courtesy of the Rmw scratch).
-  return ExecuteSpan(
-      keys,
-      [this, values, emb_bytes, rec_bytes](FasterStore* shard, Key key,
-                                           size_t i, BatchResult* part,
-                                           size_t pi) {
-        const float* src = values + i * dim_;
-        part->Record(pi, shard->Rmw(key, rec_bytes,
-                                    [src, emb_bytes](char* value, uint32_t,
-                                                     bool) {
-                                      std::memcpy(value, src, emb_bytes);
-                                    }));
-      },
+  return CommitIfGroup(
+      ExecuteSpan(
+          keys,
+          [this, values, emb_bytes, rec_bytes](FasterStore* shard, Key key,
+                                               size_t i, BatchResult* part,
+                                               size_t pi) {
+            const float* src = values + i * dim_;
+            part->Record(pi, shard->Rmw(key, rec_bytes,
+                                        [src, emb_bytes](char* value, uint32_t,
+                                                         bool) {
+                                          std::memcpy(value, src, emb_bytes);
+                                        }));
+          },
+          result),
       result);
 }
 
@@ -187,12 +201,14 @@ Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
                                       BatchResult* result) {
   const uint32_t rec_bytes = record_bytes();
   const uint32_t dim = dim_;
-  return ExecuteSpan(
-      keys,
-      [grads, lr, dim, rec_bytes](FasterStore* shard, Key key, size_t i,
-                                  BatchResult* part, size_t pi) {
-        const float* g = grads + i * dim;
-        part->Record(pi, shard->Rmw(key, rec_bytes,
+  return CommitIfGroup(
+      ExecuteSpan(
+          keys,
+          [grads, lr, dim, rec_bytes](FasterStore* shard, Key key, size_t i,
+                                      BatchResult* part, size_t pi) {
+            const float* g = grads + i * dim;
+            part->Record(pi,
+                         shard->Rmw(key, rec_bytes,
                                     [g, dim, lr](char* value, uint32_t, bool) {
                                       float* v =
                                           reinterpret_cast<float*>(value);
@@ -200,7 +216,8 @@ Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
                                         v[d] -= lr * g[d];
                                       }
                                     }));
-      },
+          },
+          result),
       result);
 }
 
@@ -209,19 +226,22 @@ Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
   const uint32_t rec_bytes = record_bytes();
   const uint32_t dim = dim_;
   const OptimizerConfig config = optimizer_;
-  return ExecuteSpan(
-      keys,
-      [&config, grads, dim, rec_bytes](FasterStore* shard, Key key, size_t i,
-                                       BatchResult* part, size_t pi) {
-        const float* g = grads + i * dim;
-        part->Record(
-            pi, shard->Rmw(key, rec_bytes,
-                           [&config, g, dim](char* value, uint32_t, bool) {
-                             float* emb = reinterpret_cast<float*>(value);
-                             ApplyOptimizerUpdate(config, dim, emb, emb + dim,
-                                                  g);
-                           }));
-      },
+  return CommitIfGroup(
+      ExecuteSpan(
+          keys,
+          [&config, grads, dim, rec_bytes](FasterStore* shard, Key key,
+                                           size_t i, BatchResult* part,
+                                           size_t pi) {
+            const float* g = grads + i * dim;
+            part->Record(
+                pi, shard->Rmw(key, rec_bytes,
+                               [&config, g, dim](char* value, uint32_t, bool) {
+                                 float* emb = reinterpret_cast<float*>(value);
+                                 ApplyOptimizerUpdate(config, dim, emb,
+                                                      emb + dim, g);
+                               }));
+          },
+          nullptr),
       nullptr);
 }
 

@@ -150,6 +150,16 @@ class EmbeddingTable {
   Status ExecuteReadSpan(std::span<const Key> keys,
                          const ShardedStore::ShardReadOp& op,
                          BatchResult* result);
+  // Group-durability epilogue for the write batches (Put/ApplyGradients):
+  // under DurabilityMode::kGroup, persists every shard before returning, so
+  // the batch's records are on disk (concurrent batches share fsyncs via
+  // the per-shard group committers). A persist failure downgrades the
+  // sink's still-kOk keys — those writes applied but are not durable. A
+  // no-op under kSync. GetOrInit's bootstrap inserts intentionally skip
+  // this: InitEmbedding is deterministic per key, so a lost bootstrap
+  // re-creates identically on the next access, and reads shouldn't pay
+  // for fsyncs.
+  Status CommitIfGroup(Status s, BatchResult* result);
 
   std::string model_id_;
   uint32_t dim_;

@@ -160,20 +160,31 @@ Status Mlkv::OpenTable(const std::string& model_id, uint32_t dim,
   so.store.staleness_bound = staleness_bound;
   so.store.busy_spin_limit = options_.busy_spin_limit;
   so.store.skip_promote_if_in_memory = options_.skip_promote_if_in_memory;
+  // Write pipeline: every shard log flushes through the shared engine (when
+  // one exists) and inherits the durability / checkpoint knobs.
+  so.store.io = io_engine_.get();
+  so.store.durability_mode = options_.durability_mode;
+  so.store.group_commit_window_us = options_.group_commit_window_us;
+  so.store.group_commit_max_bytes = options_.group_commit_max_bytes;
+  so.store.checkpoint_mode = options_.checkpoint_mode;
   // The manifest's shard_bits fixes an existing table's on-disk layout;
   // only fresh tables take the current option.
   so.shard_bits = spec_it != manifest_.end() ? spec_it->second.shard_bits
                                              : options_.shard_bits;
   so.pool = &lookahead_pool_;
   so.parallel_min_keys = std::max<size_t>(options_.scatter_min_keys, 1);
-  so.io = io_engine_.get();
+  // Read waves stay opt-in: the engine may exist purely for group
+  // durability, in which case batched reads keep the blocking path.
+  so.io = options_.io_mode == IoMode::kAsync ? io_engine_.get() : nullptr;
   auto store = std::make_unique<ShardedStore>();
   const std::string ckpt_prefix = options_.dir + "/" + model_id + ".ckpt";
   if (spec_it != manifest_.end() &&
       ShardedStore::CheckpointExists(so, ckpt_prefix)) {
-    // Re-attach: recover the persisted state. Anything written after the
-    // last checkpoint is gone — the paper's durability unit is the
-    // checkpoint, not the individual Put.
+    // Re-attach: recover the persisted state. Under kSync durability
+    // anything written after the last checkpoint is gone — the paper's
+    // durability unit is the checkpoint, not the individual Put. Under
+    // kGroup, recovery additionally replays the group-committed records
+    // past the checkpoint tail.
     MLKV_RETURN_NOT_OK(store->Recover(so, ckpt_prefix));
   } else {
     MLKV_RETURN_NOT_OK(store->Open(so));

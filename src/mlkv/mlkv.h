@@ -70,6 +70,20 @@ struct MlkvOptions {
   IoMode io_mode = IoMode::kSync;
   // AsyncIoEngine workers (and, with io_uring, rings) for kAsync.
   size_t io_threads = 4;
+  // Write-durability mode for every table's store (io/async_io.h). kGroup
+  // makes each batched Put/ApplyGradients durable before it returns: the
+  // shard logs flush only dirty pages (as one engine wave — kGroup implies
+  // the shared engine even under io_mode == kSync) and concurrent
+  // committers share fsyncs through per-shard GroupCommitters; recovery
+  // replays group-committed records past the last checkpoint. kSync (the
+  // default) keeps checkpoint-only durability, byte-identical on disk.
+  DurabilityMode durability_mode = DurabilityMode::kSync;
+  uint64_t group_commit_window_us = 200;
+  uint64_t group_commit_max_bytes = 1ull << 20;
+  // Checkpoint shape for CheckpointAll (io/async_io.h): kIncremental
+  // chains index deltas + dirty-page flushes onto the previous checkpoint
+  // instead of rewriting everything.
+  CheckpointMode checkpoint_mode = CheckpointMode::kFull;
 };
 
 // Consistency presets (paper §III-C1).
@@ -130,7 +144,8 @@ class Mlkv {
   std::vector<std::string> ListTables() const;
 
   ThreadPool* lookahead_pool() { return &lookahead_pool_; }
-  // Null unless options().io_mode == kAsync.
+  // Null unless options() ask for it: io_mode == kAsync (batched cold
+  // reads) or durability_mode == kGroup (coalesced flush waves).
   AsyncIoEngine* io_engine() { return io_engine_.get(); }
   const MlkvOptions& options() const { return options_; }
 
@@ -148,7 +163,8 @@ class Mlkv {
 
   explicit Mlkv(const MlkvOptions& options)
       : options_(options),
-        io_engine_(options.io_mode == IoMode::kAsync
+        io_engine_(options.io_mode == IoMode::kAsync ||
+                           options.durability_mode == DurabilityMode::kGroup
                        ? std::make_unique<AsyncIoEngine>([&options] {
                            AsyncIoEngine::Options o;
                            o.io_threads = options.io_threads;

@@ -362,6 +362,10 @@ StatsSnapshot KvServer::stats() const {
   s.async_reads_submitted = io.async_reads_submitted;
   s.async_reads_completed = io.async_reads_completed;
   s.async_reads_refetched = io.async_reads_refetched;
+  s.async_writes_submitted = io.async_writes_submitted;
+  s.async_writes_completed = io.async_writes_completed;
+  s.fsyncs = io.fsyncs;
+  s.group_commits = io.group_commits;
   return s;
 }
 

@@ -384,6 +384,10 @@ void EncodeStatsSnapshot(const StatsSnapshot& s, PayloadWriter* w) {
   w->U64(s.async_reads_submitted);
   w->U64(s.async_reads_completed);
   w->U64(s.async_reads_refetched);
+  w->U64(s.async_writes_submitted);
+  w->U64(s.async_writes_completed);
+  w->U64(s.fsyncs);
+  w->U64(s.group_commits);
 }
 
 Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out) {
@@ -404,6 +408,10 @@ Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out) {
   r->U64(&out->async_reads_submitted);
   r->U64(&out->async_reads_completed);
   r->U64(&out->async_reads_refetched);
+  r->U64(&out->async_writes_submitted);
+  r->U64(&out->async_writes_completed);
+  r->U64(&out->fsyncs);
+  r->U64(&out->group_commits);
   return r->Finish("stats");
 }
 

@@ -39,7 +39,9 @@ namespace net {
 inline constexpr uint32_t kWireMagic = 0x564B4C4Du;
 // v2: kStats responses carry the backend's storage-I/O block (disk record
 // reads, page traffic, pending-pipeline counters) after the server fields.
-inline constexpr uint8_t kWireVersion = 2;
+// v3: the storage-I/O block grows four write-pipeline counters (flush-wave
+// submissions/completions, fsyncs, group commits).
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr size_t kFrameHeaderSize = 20;
 // Upper bound on a single payload; a header announcing more is corrupt
 // (or hostile) and the connection is dropped before any allocation.
@@ -211,6 +213,11 @@ struct StatsSnapshot {
   uint64_t async_reads_submitted = 0;
   uint64_t async_reads_completed = 0;
   uint64_t async_reads_refetched = 0;
+  // Write pipeline (wire v3): flush-wave traffic, fsyncs, group commits.
+  uint64_t async_writes_submitted = 0;
+  uint64_t async_writes_completed = 0;
+  uint64_t fsyncs = 0;
+  uint64_t group_commits = 0;
 };
 
 void EncodeStatsSnapshot(const StatsSnapshot& s, PayloadWriter* w);

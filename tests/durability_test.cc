@@ -1,18 +1,26 @@
-// Durability and scan tests for the baseline engines: WAL record format,
-// crash recovery (including fault injection on the WAL tail), LEVELS
-// manifest recovery, and range scans on the LSM store and the B+tree.
+// Durability tests across the engines. For the FASTER path: the group-
+// durability crash-recovery matrix (group-committed records replayed past
+// the checkpoint marker, torn-tail truncation, base+delta checkpoint
+// ordering, injected fsync failures surfacing as errors) and the tailable
+// update-log cursor. For the baseline engines: WAL record format, crash
+// recovery (including fault injection on the WAL tail), LEVELS manifest
+// recovery, and range scans on the LSM store and the B+tree.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "btree/btree_store.h"
 #include "common/random.h"
+#include "io/faulty_file_device.h"
 #include "io/temp_dir.h"
+#include "kv/faster_store.h"
+#include "kv/update_log.h"
 #include "lsm/lsm_store.h"
 #include "lsm/wal.h"
 
@@ -438,6 +446,374 @@ TEST(BTreeScanTest, SparseKeysAcrossLeaves) {
     if (k >= 20000 && k <= 80000) expected.push_back(k);
   }
   EXPECT_EQ(got, expected);
+}
+
+// ------------------------------------- FASTER group-durability matrix --
+//
+// The crash model throughout: a "crash" is closing the store without the
+// shutdown-time checkpoint (everything not on media is gone), optionally
+// followed by tearing the log file the way an interrupted page write
+// would. Recovery is Recover() from the last checkpoint prefix.
+
+FasterOptions GroupStore(const TempDir& dir, const char* name = "kv.log") {
+  FasterOptions o;
+  o.path = dir.File(name);
+  o.index_slots = 1024;
+  o.page_size = 4096;
+  o.mem_size = 16 * 4096;
+  o.mutable_fraction = 0.5;
+  o.durability_mode = DurabilityMode::kGroup;
+  o.group_commit_window_us = 100;
+  return o;
+}
+
+Status UpsertStr(FasterStore* store, Key k, const std::string& v) {
+  return store->Upsert(k, v.data(), static_cast<uint32_t>(v.size()));
+}
+
+// Kill between group commit and checkpoint marker: work made durable by
+// Persist() but never covered by a checkpoint must be replayed from the
+// log tail on recovery — new inserts, RCU updates, and tombstones alike.
+TEST(GroupDurabilityTest, GroupCommittedRecordsReplayPastCheckpoint) {
+  TempDir dir;
+  const FasterOptions o = GroupStore(dir);
+  const std::string prefix = dir.File("ckpt");
+  {
+    FasterStore store;
+    ASSERT_TRUE(store.Open(o).ok());
+    for (Key k = 1; k <= 20; ++k) {
+      ASSERT_TRUE(UpsertStr(&store, k, "base-" + std::to_string(k)).ok());
+    }
+    ASSERT_TRUE(store.Checkpoint(prefix).ok());
+    // Post-checkpoint: new keys plus size-changing (RCU) updates of old
+    // ones, then one group-committed durability point — and a crash
+    // before any further checkpoint marker.
+    for (Key k = 21; k <= 40; ++k) {
+      ASSERT_TRUE(UpsertStr(&store, k, "tail-" + std::to_string(k)).ok());
+    }
+    for (Key k = 1; k <= 10; ++k) {
+      ASSERT_TRUE(
+          UpsertStr(&store, k, "updated!!-" + std::to_string(k)).ok());
+    }
+    ASSERT_TRUE(store.Delete(15).ok());
+    ASSERT_TRUE(store.Persist().ok());
+  }
+
+  FasterStore store;
+  ASSERT_TRUE(store.Recover(o, prefix).ok());
+  std::string out;
+  for (Key k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(store.Read(k, &out).ok()) << k;
+    EXPECT_EQ(out, "updated!!-" + std::to_string(k));
+  }
+  for (Key k = 11; k <= 14; ++k) {
+    ASSERT_TRUE(store.Read(k, &out).ok()) << k;
+    EXPECT_EQ(out, "base-" + std::to_string(k));
+  }
+  EXPECT_TRUE(store.Read(15, &out).IsNotFound());  // tombstone replayed
+  for (Key k = 21; k <= 40; ++k) {
+    ASSERT_TRUE(store.Read(k, &out).ok()) << k;
+    EXPECT_EQ(out, "tail-" + std::to_string(k));
+  }
+}
+
+// The sync-mode contract, for contrast: without kGroup the checkpoint is
+// the only durability marker, so flushed-but-unmarked tail records are
+// deliberately NOT replayed (classic FASTER semantics, byte-identical
+// write path).
+TEST(GroupDurabilityTest, SyncModeRecoveryStopsAtCheckpoint) {
+  TempDir dir;
+  FasterOptions o = GroupStore(dir);
+  o.durability_mode = DurabilityMode::kSync;
+  const std::string prefix = dir.File("ckpt");
+  {
+    FasterStore store;
+    ASSERT_TRUE(store.Open(o).ok());
+    for (Key k = 1; k <= 10; ++k) {
+      ASSERT_TRUE(UpsertStr(&store, k, "base-" + std::to_string(k)).ok());
+    }
+    ASSERT_TRUE(store.Checkpoint(prefix).ok());
+    for (Key k = 11; k <= 20; ++k) {
+      ASSERT_TRUE(UpsertStr(&store, k, "tail-" + std::to_string(k)).ok());
+    }
+    ASSERT_TRUE(store.mutable_log()->FlushAll().ok());  // on media, unmarked
+  }
+  FasterStore store;
+  ASSERT_TRUE(store.Recover(o, prefix).ok());
+  std::string out;
+  for (Key k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(store.Read(k, &out).ok()) << k;
+  }
+  for (Key k = 11; k <= 20; ++k) {
+    EXPECT_TRUE(store.Read(k, &out).IsNotFound()) << k;
+  }
+}
+
+// A crash that tears the last record mid-header: the tail scan must stop
+// at the tear, recovery must truncate the torn bytes off the file, and
+// every group-committed record before the tear must survive.
+TEST(GroupDurabilityTest, TornTailIsTruncatedOnRecovery) {
+  TempDir dir;
+  const FasterOptions o = GroupStore(dir);
+  const std::string prefix = dir.File("ckpt");
+  Address tear = 0;
+  {
+    FasterStore store;
+    ASSERT_TRUE(store.Open(o).ok());
+    for (Key k = 1; k <= 12; ++k) {
+      ASSERT_TRUE(UpsertStr(&store, k, "base-" + std::to_string(k)).ok());
+    }
+    ASSERT_TRUE(store.Checkpoint(prefix).ok());
+    for (Key k = 13; k <= 24; ++k) {
+      ASSERT_TRUE(UpsertStr(&store, k, "post-" + std::to_string(k)).ok());
+    }
+    tear = store.mutable_log()->tail();
+    ASSERT_TRUE(UpsertStr(&store, 99, "torn-victim-value").ok());
+    ASSERT_TRUE(store.Persist().ok());
+  }
+  // Only the first 8 bytes of the victim's header reached media.
+  std::filesystem::resize_file(o.path, tear + 8);
+
+  FasterStore store;
+  ASSERT_TRUE(store.Recover(o, prefix).ok());
+  std::string out;
+  for (Key k = 13; k <= 24; ++k) {
+    ASSERT_TRUE(store.Read(k, &out).ok()) << k;
+    EXPECT_EQ(out, "post-" + std::to_string(k));
+  }
+  EXPECT_TRUE(store.Read(99, &out).IsNotFound());
+  // The torn bytes are gone from disk — stale fragments can never
+  // resurface as valid records in a later scan.
+  EXPECT_LE(std::filesystem::file_size(o.path), tear);
+  // And the recovered store keeps working past the truncation point.
+  ASSERT_TRUE(UpsertStr(&store, 100, "after-recovery").ok());
+  ASSERT_TRUE(store.Persist().ok());
+  ASSERT_TRUE(store.Read(100, &out).ok());
+  EXPECT_EQ(out, "after-recovery");
+}
+
+// Base + delta replay ordering: three incremental checkpoints under one
+// prefix (base, d1, d2) with overlapping key updates; recovery must apply
+// the chain in order so the newest generation wins everywhere.
+TEST(IncrementalCheckpointTest, BaseAndDeltasReplayInOrder) {
+  TempDir dir;
+  FasterOptions o = GroupStore(dir);
+  o.durability_mode = DurabilityMode::kSync;  // isolate from tail replay
+  o.checkpoint_mode = CheckpointMode::kIncremental;
+  const std::string prefix = dir.File("inc");
+  {
+    FasterStore store;
+    ASSERT_TRUE(store.Open(o).ok());
+    for (Key k = 1; k <= 30; ++k) {
+      ASSERT_TRUE(UpsertStr(&store, k, "gen0-" + std::to_string(k)).ok());
+    }
+    ASSERT_TRUE(store.Checkpoint(prefix).ok());  // base
+    for (Key k = 1; k <= 10; ++k) {
+      ASSERT_TRUE(UpsertStr(&store, k, "gen1!!-" + std::to_string(k)).ok());
+    }
+    for (Key k = 31; k <= 40; ++k) {
+      ASSERT_TRUE(UpsertStr(&store, k, "gen1-" + std::to_string(k)).ok());
+    }
+    ASSERT_TRUE(store.Checkpoint(prefix).ok());  // delta 1
+    for (Key k = 1; k <= 5; ++k) {
+      ASSERT_TRUE(
+          UpsertStr(&store, k, "gen2####-" + std::to_string(k)).ok());
+    }
+    ASSERT_TRUE(store.Delete(10).ok());
+    ASSERT_TRUE(store.Checkpoint(prefix).ok());  // delta 2
+  }
+  ASSERT_TRUE(std::filesystem::exists(prefix + ".idx"));
+  ASSERT_TRUE(std::filesystem::exists(prefix + ".idx.d1"));
+  ASSERT_TRUE(std::filesystem::exists(prefix + ".idx.d2"));
+  // A delta names only the slots whose chain head moved — a small
+  // fraction of the full index dump.
+  EXPECT_LT(std::filesystem::file_size(prefix + ".idx.d1"),
+            std::filesystem::file_size(prefix + ".idx") / 4);
+
+  FasterStore store;
+  ASSERT_TRUE(store.Recover(o, prefix).ok());
+  std::string out;
+  for (Key k = 1; k <= 5; ++k) {
+    ASSERT_TRUE(store.Read(k, &out).ok()) << k;
+    EXPECT_EQ(out, "gen2####-" + std::to_string(k));
+  }
+  for (Key k = 6; k <= 9; ++k) {
+    ASSERT_TRUE(store.Read(k, &out).ok()) << k;
+    EXPECT_EQ(out, "gen1!!-" + std::to_string(k));
+  }
+  EXPECT_TRUE(store.Read(10, &out).IsNotFound());
+  for (Key k = 11; k <= 30; ++k) {
+    ASSERT_TRUE(store.Read(k, &out).ok()) << k;
+    EXPECT_EQ(out, "gen0-" + std::to_string(k));
+  }
+  for (Key k = 31; k <= 40; ++k) {
+    ASSERT_TRUE(store.Read(k, &out).ok()) << k;
+    EXPECT_EQ(out, "gen1-" + std::to_string(k));
+  }
+}
+
+// An fsync that reports failure must surface as the checkpoint's status —
+// and must not leave a checkpoint marker behind.
+TEST(FsyncFaultTest, CheckpointSurfacesInjectedFsyncFailure) {
+  TempDir dir;
+  auto script = std::make_shared<FaultyFileDevice::Script>();
+  FasterOptions o = GroupStore(dir);
+  o.durability_mode = DurabilityMode::kSync;
+  o.device_factory = [script] {
+    return std::make_unique<FaultyFileDevice>(script);
+  };
+  FasterStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+  for (Key k = 1; k <= 8; ++k) {
+    ASSERT_TRUE(UpsertStr(&store, k, "v-" + std::to_string(k)).ok());
+  }
+  ASSERT_TRUE(store.Checkpoint(dir.File("good")).ok());
+
+  script->sync_fail_from.store(script->syncs.load() + 1);
+  script->sync_fail_count.store(1);
+  const Status s = store.Checkpoint(dir.File("bad"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_FALSE(std::filesystem::exists(dir.File("bad") + ".meta"));
+  // The device recovered (window of one), so the next checkpoint works.
+  ASSERT_TRUE(store.Checkpoint(dir.File("good2")).ok());
+}
+
+// The GroupCommitter's error model: a failed fsync is sticky. Even after
+// the device "heals", later Persist calls keep failing — after an fsync
+// error the kernel may have dropped dirty pages, so durability can never
+// again be proven on this device.
+TEST(FsyncFaultTest, GroupPersistFailureIsSticky) {
+  TempDir dir;
+  auto script = std::make_shared<FaultyFileDevice::Script>();
+  FasterOptions o = GroupStore(dir);
+  o.device_factory = [script] {
+    return std::make_unique<FaultyFileDevice>(script);
+  };
+  FasterStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+  ASSERT_TRUE(UpsertStr(&store, 1, "hello").ok());
+
+  script->sync_fail_from.store(1);
+  script->sync_fail_count.store(UINT64_MAX);  // every sync from now on
+  EXPECT_FALSE(store.Persist().ok());
+  script->sync_fail_from.store(0);  // disarm: device is "healthy" again
+  ASSERT_TRUE(UpsertStr(&store, 2, "world").ok());
+  EXPECT_FALSE(store.Persist().ok());  // sticky: the loss already happened
+}
+
+// --------------------------------------------------- tailable update log --
+
+// The cursor yields exactly the committed prefix: entries appear in log
+// order, never above the durable watermark, and the stream resumes after
+// each later durability point.
+TEST(UpdateLogTest, CursorYieldsCommittedUpdatesInOrder) {
+  TempDir dir;
+  FasterStore store;
+  ASSERT_TRUE(store.Open(GroupStore(dir)).ok());
+  const Key keys[] = {11, 22, 33};
+  for (const Key k : keys) {
+    ASSERT_TRUE(UpsertStr(&store, k, "v-" + std::to_string(k)).ok());
+  }
+
+  UpdateLogCursor cur(&store, 0);
+  UpdateEntry e;
+  EXPECT_FALSE(cur.Next(&e));  // nothing durable yet
+  EXPECT_TRUE(cur.status().ok());
+
+  ASSERT_TRUE(store.Persist().ok());
+  for (const Key k : keys) {
+    ASSERT_TRUE(cur.Next(&e));
+    EXPECT_EQ(e.key, k);
+    EXPECT_FALSE(e.tombstone);
+    const std::string want = "v-" + std::to_string(k);
+    EXPECT_EQ(std::string(e.value.begin(), e.value.end()), want);
+  }
+  EXPECT_FALSE(cur.Next(&e));  // caught up
+  EXPECT_TRUE(cur.status().ok());
+
+  ASSERT_TRUE(UpsertStr(&store, 44, "late").ok());
+  EXPECT_FALSE(cur.Next(&e));  // still above the watermark
+  ASSERT_TRUE(store.Persist().ok());
+  ASSERT_TRUE(cur.Next(&e));
+  EXPECT_EQ(e.key, 44u);
+  EXPECT_FALSE(cur.Next(&e));
+}
+
+// position() is a durable resume token: a fresh cursor started there
+// continues the stream with no gaps or repeats.
+TEST(UpdateLogTest, CursorResumesFromPosition) {
+  TempDir dir;
+  FasterStore store;
+  ASSERT_TRUE(store.Open(GroupStore(dir)).ok());
+  for (Key k = 1; k <= 5; ++k) {
+    ASSERT_TRUE(UpsertStr(&store, k, "v-" + std::to_string(k)).ok());
+  }
+  ASSERT_TRUE(store.Persist().ok());
+
+  UpdateLogCursor a(&store, 0);
+  UpdateEntry e;
+  ASSERT_TRUE(a.Next(&e));
+  ASSERT_TRUE(a.Next(&e));
+  const Address resume = a.position();
+
+  UpdateLogCursor b(&store, resume);
+  for (Key k = 3; k <= 5; ++k) {
+    ASSERT_TRUE(b.Next(&e));
+    EXPECT_EQ(e.key, k);
+  }
+  EXPECT_FALSE(b.Next(&e));
+  EXPECT_TRUE(b.status().ok());
+}
+
+// Deletes appear in the feed as tombstone entries with an empty value.
+TEST(UpdateLogTest, TombstonesAppearWithEmptyValue) {
+  TempDir dir;
+  FasterStore store;
+  ASSERT_TRUE(store.Open(GroupStore(dir)).ok());
+  ASSERT_TRUE(UpsertStr(&store, 7, "hello").ok());
+  ASSERT_TRUE(store.Delete(7).ok());
+  ASSERT_TRUE(store.Persist().ok());
+
+  UpdateLogCursor cur(&store, 0);
+  UpdateEntry e;
+  ASSERT_TRUE(cur.Next(&e));
+  EXPECT_EQ(e.key, 7u);
+  EXPECT_FALSE(e.tombstone);
+  ASSERT_TRUE(cur.Next(&e));
+  EXPECT_EQ(e.key, 7u);
+  EXPECT_TRUE(e.tombstone);
+  EXPECT_TRUE(e.value.empty());
+  EXPECT_FALSE(cur.Next(&e));
+}
+
+// A cursor that lags behind compaction gets Corruption, not silent
+// garbage: its position names log addresses that no longer exist.
+TEST(UpdateLogTest, CompactedAwayPositionReportsCorruption) {
+  TempDir dir;
+  FasterOptions o = GroupStore(dir);
+  o.durability_mode = DurabilityMode::kSync;
+  o.mem_size = 8 * 4096;
+  FasterStore store;
+  ASSERT_TRUE(store.Open(o).ok());
+  // Alternate value sizes so every overwrite is an RCU append (garbage
+  // below), until the read-only boundary has moved off the log start.
+  for (int round = 0; round < 200; ++round) {
+    const std::string v(round % 2 == 0 ? 40 : 72, 'x');
+    for (Key k = 0; k < 64; ++k) {
+      ASSERT_TRUE(UpsertStr(&store, k, v).ok());
+    }
+    if (store.log().read_only_address() > HybridLog::kLogBegin) break;
+  }
+  ASSERT_GT(store.log().read_only_address(), HybridLog::kLogBegin);
+  CompactionResult cr;
+  ASSERT_TRUE(store.Compact(store.log().read_only_address(), &cr).ok());
+  ASSERT_GT(store.log().begin_address(), HybridLog::kLogBegin);
+
+  UpdateLogCursor cur(&store, HybridLog::kLogBegin);
+  UpdateEntry e;
+  EXPECT_FALSE(cur.Next(&e));
+  EXPECT_TRUE(cur.status().IsCorruption());
 }
 
 }  // namespace
