@@ -13,6 +13,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "backend/kv_backend.h"
 #include "bench_util.h"
 #include "btree/btree_store.h"
+#include "cluster/cluster_map.h"
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/random.h"
@@ -327,6 +329,127 @@ double RunBatchedWorkload(const std::string& engine_name, const RunConfig& rc,
   return keys_per_sec;
 }
 
+// ---- cluster scatter-gather (docs/CLUSTER.md) ----
+
+// Loads rc.num_keys through `backend`, then hammers it with MultiGet-only
+// rounds from rc.threads client threads. Returns aggregate keys/s — the
+// number the cluster sweep compares across one server vs two. Keys are
+// drawn uniformly, not zipfian: MLKV promotes hot records into the mutable
+// region, so a skewed draw collapses into one box's buffer and measures the
+// cache, while the cluster question is aggregate capacity (buffer + IOPS)
+// over a working set one box cannot hold.
+double RunGetThroughput(KvBackend* backend, const RunConfig& rc,
+                        size_t batch_size) {
+  const uint32_t dim = backend->dim();
+  {
+    constexpr size_t kChunk = 1024;
+    std::vector<Key> keys(kChunk);
+    std::vector<float> values(kChunk * dim);
+    for (Key base = 0; base < rc.num_keys; base += kChunk) {
+      const size_t n = static_cast<size_t>(
+          std::min<uint64_t>(kChunk, rc.num_keys - base));
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] = base + i;
+        for (uint32_t d = 0; d < dim; ++d) {
+          values[i * dim + d] = static_cast<float>(keys[i] + d);
+        }
+      }
+      if (backend->MultiPut({keys.data(), n}, values.data()).failed > 0) {
+        std::exit(1);
+      }
+    }
+  }
+  std::atomic<uint64_t> total_keys{0};
+  StopWatch watch;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < rc.threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(9000 + t);
+      std::uniform_int_distribution<Key> pick(0, rc.num_keys - 1);
+      std::vector<Key> keys(batch_size);
+      std::vector<float> buf(batch_size * dim);
+      for (uint64_t done = 0; done < rc.ops_per_thread;
+           done += batch_size) {
+        for (auto& k : keys) k = pick(rng);
+        backend->MultiGet(keys, buf.data());
+      }
+      total_keys.fetch_add(rc.ops_per_thread);
+    });
+  }
+  for (auto& th : threads) th.join();
+  return static_cast<double>(total_keys.load()) / watch.ElapsedSeconds();
+}
+
+// One self-hosted serving tier: `num_servers` loopback KvServers over the
+// same engine (each holding 1/num_servers of the shards) plus the matching
+// client — RemoteBackend for one server, ClusterBackend for several (epoch-1
+// map installed on every server, so ownership is enforced like production).
+struct ServingTier {
+  std::vector<std::unique_ptr<net::KvServer>> servers;
+  std::unique_ptr<KvBackend> client;
+
+  ~ServingTier() {
+    client.reset();  // close sockets before the servers stop
+    for (auto& s : servers) s->Stop();
+  }
+};
+
+std::unique_ptr<ServingTier> MakeServingTier(
+    const std::string& engine_name, const RunConfig& rc, const TempDir& dir,
+    uint32_t shard_bits, size_t num_servers, size_t workers_per_server) {
+  auto tier = std::make_unique<ServingTier>();
+  // Per-server capacity stays fixed as the tier grows — the scale-out
+  // question is what a second box buys, not what a bigger box would.
+  const uint32_t per_server_bits =
+      num_servers > 1 && shard_bits > 0 ? shard_bits - 1 : shard_bits;
+  for (size_t i = 0; i < num_servers; ++i) {
+    BackendConfig cfg;
+    cfg.dir = dir.path() + "/node" + std::to_string(i);
+    cfg.dim = rc.value_size / sizeof(float);
+    cfg.buffer_bytes = rc.buffer_mb << 20;
+    cfg.index_slots = rc.num_keys;
+    cfg.staleness_bound = UINT32_MAX - 1;
+    cfg.shard_bits = per_server_bits;
+    cfg.io_mode = rc.io_mode;
+    cfg.io_threads = rc.io_threads;
+    std::unique_ptr<KvBackend> engine;
+    if (!MakeBackend(KindFor(engine_name), cfg, &engine).ok()) std::exit(1);
+    net::KvServerOptions so;
+    so.num_workers = workers_per_server;
+    tier->servers.push_back(
+        std::make_unique<net::KvServer>(std::move(engine), so));
+    if (!tier->servers.back()->Start().ok()) std::exit(1);
+  }
+  if (num_servers == 1) {
+    BackendConfig rcfg;
+    rcfg.remote_addr = tier->servers[0]->addr();
+    if (!MakeBackend(BackendKind::kRemote, rcfg, &tier->client).ok()) {
+      std::exit(1);
+    }
+    return tier;
+  }
+  std::vector<std::string> addrs;
+  for (const auto& s : tier->servers) addrs.push_back(s->addr());
+  auto map = std::make_shared<cluster::ClusterMap>();
+  if (!cluster::BuildClusterMap(addrs, {}, /*route_bits=*/0,
+                                cluster::ReadPreference::kPrimary,
+                                /*epoch=*/1, map.get())
+           .ok()) {
+    std::exit(1);
+  }
+  std::string joined;
+  for (size_t i = 0; i < tier->servers.size(); ++i) {
+    tier->servers[i]->UpdateClusterMap(map, static_cast<uint32_t>(i));
+    joined += (i == 0 ? "" : ",") + addrs[i];
+  }
+  BackendConfig ccfg;
+  ccfg.cluster_addrs = joined;
+  if (!MakeBackend(BackendKind::kCluster, ccfg, &tier->client).ok()) {
+    std::exit(1);
+  }
+  return tier;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -342,6 +465,7 @@ int main(int argc, char** argv) {
                 "  --shard_bits=2     MLKV/FASTER shard count (log2) in the\n"
                 "                     batch sweep (0 = single store)\n"
                 "  --no_batch_sweep   skip the KvBackend batch-size sweep\n"
+                "  --no_suite         skip the YCSB A-F table\n"
                 "  --remote           run the batch sweep through a loopback\n"
                 "                     KvServer (RemoteBackend, full wire\n"
                 "                     round trip per batch)\n"
@@ -351,7 +475,14 @@ int main(int argc, char** argv) {
                 "                     run io_mode=sync vs async x\n"
                 "                     io_threads with per-MultiGet p50/p99\n"
                 "  --io_mode=sync|async --io_threads=4  io mode for the\n"
-                "                     regular batch sweep\n");
+                "                     regular batch sweep\n"
+                "  --cluster_addrs=self|a,b,...  cluster MultiGet sweep:\n"
+                "                     'self' hosts a 2-server loopback\n"
+                "                     cluster and compares it against one\n"
+                "                     server of the same size; an endpoint\n"
+                "                     list measures a running cluster\n"
+                "  --server_workers=2 per-server worker threads in the\n"
+                "                     cluster sweep (capacity per box)\n");
     return 0;
   }
   RunConfig rc;
@@ -365,23 +496,25 @@ int main(int argc, char** argv) {
   }
   rc.io_threads = static_cast<size_t>(flags.Int("io_threads", 4));
 
-  Banner("YCSB core suite A-F, ops/s per engine (extension bench)");
-  std::printf("A: 50r/50u zipf  B: 95r/5u zipf  C: 100r zipf\n"
-              "D: 95r/5i latest E: 95scan/5i    F: 50r/50rmw\n"
-              "(scans on MLKV/FASTER are emulated as consecutive reads)\n\n");
-  Table t({"workload", "MLKV", "FASTER", "LSM", "BTree"});
-  t.PrintHeader();
-  for (char which : {'A', 'B', 'C', 'D', 'E', 'F'}) {
-    t.Cell(std::string(1, which));
-    for (const char* engine : {"MLKV", "FASTER", "LSM", "BTree"}) {
-      t.Cell(Human(RunWorkload(which, engine, rc)));
+  if (!flags.Has("no_suite")) {
+    Banner("YCSB core suite A-F, ops/s per engine (extension bench)");
+    std::printf("A: 50r/50u zipf  B: 95r/5u zipf  C: 100r zipf\n"
+                "D: 95r/5i latest E: 95scan/5i    F: 50r/50rmw\n"
+                "(scans on MLKV/FASTER are emulated as consecutive reads)\n\n");
+    Table t({"workload", "MLKV", "FASTER", "LSM", "BTree"});
+    t.PrintHeader();
+    for (char which : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+      t.Cell(std::string(1, which));
+      for (const char* engine : {"MLKV", "FASTER", "LSM", "BTree"}) {
+        t.Cell(Human(RunWorkload(which, engine, rc)));
+      }
+      t.EndRow();
     }
-    t.EndRow();
+    std::printf("\nExpected shape: MLKV within ~10-20%% of FASTER everywhere "
+                "(vector-clock cost, paper §IV-E); LSM trails on reads (read "
+                "amplification); BTree leads scans (E) but trails on "
+                "write-heavy mixes (A, F).\n");
   }
-  std::printf("\nExpected shape: MLKV within ~10-20%% of FASTER everywhere "
-              "(vector-clock cost, paper §IV-E); LSM trails on reads (read "
-              "amplification); BTree leads scans (E) but trails on "
-              "write-heavy mixes (A, F).\n");
 
   if (!flags.Has("no_batch_sweep")) {
     const bool remote = flags.Has("remote");
@@ -485,6 +618,64 @@ int main(int argc, char** argv) {
                 "tail still takes, so the gap vs sync grows with "
                 "cold_fraction; the hot head of the distribution keeps the "
                 "gap smaller than the uniform-random fig9 --cold sweep.\n");
+  }
+
+  if (flags.Has("cluster_addrs")) {
+    const std::string addrs = flags.Str("cluster_addrs", "self");
+    const size_t batch =
+        static_cast<size_t>(flags.Int("batch_size", 256, 64));
+    const uint32_t shard_bits =
+        static_cast<uint32_t>(flags.Int("shard_bits", 2));
+    Banner("Cluster scatter-gather: aggregate MultiGet keys/s "
+           "(docs/CLUSTER.md)");
+    if (addrs == "self") {
+      const size_t workers =
+          static_cast<size_t>(flags.Int("server_workers", 2));
+      std::printf("uniform MultiGet-only, batch=%zu, %d client thread(s); "
+                  "each server gets %zu worker(s) — per-box capacity is "
+                  "fixed, the question is what the second box buys\n\n",
+                  batch, rc.threads, workers);
+      Table ct({"engine", "1 server", "2-server cluster", "speedup"});
+      ct.PrintHeader();
+      for (const char* engine : {"MLKV", "FASTER"}) {
+        double single = 0, dual = 0;
+        {
+          TempDir dir;
+          auto tier = MakeServingTier(engine, rc, dir, shard_bits,
+                                      /*num_servers=*/1, workers);
+          single = RunGetThroughput(tier->client.get(), rc, batch);
+        }
+        {
+          TempDir dir;
+          auto tier = MakeServingTier(engine, rc, dir, shard_bits,
+                                      /*num_servers=*/2, workers);
+          dual = RunGetThroughput(tier->client.get(), rc, batch);
+        }
+        ct.Cell(std::string(engine));
+        ct.Cell(Human(single));
+        ct.Cell(Human(dual));
+        ct.Cell(single > 0 ? dual / single : 0.0, "%.2fx");
+        ct.EndRow();
+      }
+      std::printf("\nExpected shape: sub-batches fan out to both primaries "
+                  "in parallel over separate sockets, so aggregate MultiGet "
+                  "throughput approaches 2x one server once the client "
+                  "offers enough load; the gap to ideal is the scatter/"
+                  "gather merge on the client.\n");
+    } else {
+      BackendConfig ccfg;
+      ccfg.cluster_addrs = addrs;
+      std::unique_ptr<KvBackend> client;
+      if (!MakeBackend(BackendKind::kCluster, ccfg, &client).ok()) {
+        std::fprintf(stderr, "cannot reach cluster at %s\n", addrs.c_str());
+        return 1;
+      }
+      std::printf("measuring running cluster %s: uniform MultiGet-only, "
+                  "batch=%zu, %d client thread(s)\n\n",
+                  addrs.c_str(), batch, rc.threads);
+      const double kps = RunGetThroughput(client.get(), rc, batch);
+      std::printf("aggregate MultiGet: %s keys/s\n", Human(kps).c_str());
+    }
   }
   return 0;
 }

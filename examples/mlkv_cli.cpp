@@ -18,12 +18,16 @@
 //
 //   mlkv_cli <dir> serve --addr <host:port> --backend <kind>
 //                        [--dim N] [--workers N] [--staleness N]
+//                        [--cluster_addrs a,b] [--cluster_replicas r,""]
+//                        [--cluster_self <addr>] [--replica_of <addr>]
 //   mlkv_cli - remote-get --addr <host:port> <key>
 //   mlkv_cli - remote-put --addr <host:port> <key> <v0,v1,...>
+//   mlkv_cli - cluster-status --addr <host:port>
 //
 // Demonstrates the operational surface of the library: the manifest
 // (OpenExistingTable), log scans, GC, export/import, checkpoints, and the
 // embedding server.
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -36,11 +40,14 @@
 #include <vector>
 
 #include "backend/kv_backend.h"
+#include "cluster/cluster_map.h"
+#include "cluster/replicator.h"
 #include "kv/log_iterator.h"
 #include "kv/update_log.h"
 #include "mlkv/mlkv.h"
 #include "net/kv_server.h"
 #include "net/remote_backend.h"
+#include "net/socket.h"
 
 using namespace mlkv;
 
@@ -70,9 +77,18 @@ int Usage() {
       "        [--group_commit_window_us N] [--group_commit_max_bytes N]\n"
       "        [--request_threads N]  offload storage phases off workers\n"
       "        kinds: mlkv faster lsm btree inmemory\n"
+      "    cluster mode (docs/CLUSTER.md; --addr needs an explicit port):\n"
+      "        [--cluster_addrs a,b,...]   primary endpoints, partition order\n"
+      "        [--cluster_replicas r,...]  aligned with primaries, \"\" = none\n"
+      "        [--cluster_self <addr>]     this server (default: --addr)\n"
+      "        [--route_bits N] [--cluster_epoch N]\n"
+      "        [--read_preference primary|replica]\n"
+      "        [--replica_of <h:p>]        tail that primary's update feed\n"
+      "        [--replica_poll_ms N] [--replica_state <path>]\n"
       "  remote-get --addr <h:p> <key>       read from a running server\n"
       "  remote-put --addr <h:p> <key> <csv> write to a running server\n"
-      "  (remote-* ignore <dir>; pass '-')\n");
+      "  cluster-status --addr <h:p>         map + per-endpoint health\n"
+      "  (remote-*/cluster-status ignore <dir>; pass '-')\n");
   return 2;
 }
 
@@ -147,6 +163,30 @@ bool ParseBackendKind(const std::string& name, BackendKind* out) {
 std::sig_atomic_t volatile g_stop_requested = 0;
 void HandleStopSignal(int) { g_stop_requested = 1; }
 
+// Comma-split that keeps empty entries — unlike ParseEndpointList, because
+// "" in --cluster_replicas means "this primary has no replica".
+std::vector<std::string> SplitKeepEmpty(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    size_t next = csv.find(',', pos);
+    if (next == std::string::npos) next = csv.size();
+    std::string item = csv.substr(pos, next - pos);
+    while (!item.empty() &&
+           std::isspace(static_cast<unsigned char>(item.front()))) {
+      item.erase(item.begin());
+    }
+    while (!item.empty() &&
+           std::isspace(static_cast<unsigned char>(item.back()))) {
+      item.pop_back();
+    }
+    out.push_back(std::move(item));
+    pos = next + 1;
+  }
+  if (csv.empty()) out.clear();
+  return out;
+}
+
 int RunServe(const std::string& dir, ArgList& args) {
   const std::string addr = args.Flag("addr", "127.0.0.1:0");
   BackendKind kind = BackendKind::kMlkv;
@@ -195,6 +235,86 @@ int RunServe(const std::string& dir, ArgList& args) {
   net::KvServer server(std::move(backend), so);
   s = server.Start();
   if (!s.ok()) return Fail(s);
+
+  // Cluster mode: install the map so this server enforces ownership and
+  // serves it to clients via kClusterMap.
+  const std::string cluster_addrs = args.Flag("cluster_addrs");
+  if (!cluster_addrs.empty()) {
+    if (port == 0) {
+      server.Stop();
+      return Fail(Status::InvalidArgument(
+          "cluster mode needs an explicit --addr port: the map must name "
+          "this server's endpoint"));
+    }
+    std::vector<std::string> primaries;
+    s = net::ParseEndpointList(cluster_addrs, &primaries);
+    if (!s.ok()) {
+      server.Stop();
+      return Fail(s);
+    }
+    const std::vector<std::string> replicas =
+        SplitKeepEmpty(args.Flag("cluster_replicas"));
+    cluster::ReadPreference pref = cluster::ReadPreference::kPrimary;
+    const std::string pref_name = args.Flag("read_preference", "primary");
+    if (pref_name == "replica") {
+      pref = cluster::ReadPreference::kReplica;
+    } else if (pref_name != "primary") {
+      server.Stop();
+      return Usage();
+    }
+    auto map = std::make_shared<cluster::ClusterMap>();
+    s = cluster::BuildClusterMap(
+        primaries, replicas,
+        static_cast<uint32_t>(
+            std::strtoul(args.Flag("route_bits", "0").c_str(), nullptr, 10)),
+        pref,
+        std::strtoull(args.Flag("cluster_epoch", "1").c_str(), nullptr, 10),
+        map.get());
+    if (!s.ok()) {
+      server.Stop();
+      return Fail(s);
+    }
+    const std::string self_addr = args.Flag("cluster_self", server.addr());
+    const int self = map->FindEndpoint(self_addr);
+    if (self < 0) {
+      server.Stop();
+      return Fail(Status::InvalidArgument("cluster_self \"" + self_addr +
+                                          "\" is not in the cluster map"));
+    }
+    server.UpdateClusterMap(map, static_cast<uint32_t>(self));
+    std::printf("cluster: epoch %llu, %u partition(s) over %zu endpoint(s), "
+                "self=%s\n",
+                (unsigned long long)map->epoch, map->num_partitions(),
+                map->endpoints.size(), self_addr.c_str());
+  }
+
+  // Replica mode: tail a primary's committed-update feed into this
+  // server's backend; the resume token survives restarts next to the data.
+  std::unique_ptr<cluster::Replicator> replicator;
+  const std::string replica_of = args.Flag("replica_of");
+  if (!replica_of.empty()) {
+    cluster::ReplicatorOptions ro;
+    ro.primary_addr = replica_of;
+    ro.poll_interval_ms = std::strtoull(
+        args.Flag("replica_poll_ms", "20").c_str(), nullptr, 10);
+    ro.state_path = args.Flag("replica_state", dir + "/replica.state");
+    replicator = std::make_unique<cluster::Replicator>(server.backend(), ro);
+    cluster::Replicator* rep = replicator.get();
+    server.SetStatsSource([rep](net::StatsSnapshot* st) {
+      const cluster::ReplicationProgress p = rep->progress();
+      st->replicated_records = p.replicated_records;
+      st->replica_lag_records = p.replica_lag_records;
+      st->replication_reconnects = p.reconnects;
+    });
+    s = replicator->Start();
+    if (!s.ok()) {
+      server.Stop();
+      return Fail(s);
+    }
+    std::printf("replicating from %s (state: %s)\n", replica_of.c_str(),
+                ro.state_path.c_str());
+  }
+
   std::printf("serving %s (dim=%u, shard_bits=%u) on %s — Ctrl-C to stop\n",
               server.backend()->name().c_str(), server.backend()->dim(),
               server.backend()->shard_bits(), server.addr().c_str());
@@ -206,8 +326,9 @@ int RunServe(const std::string& dir, ArgList& args) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("\nstopping...\n");
-  server.Stop();
+  if (replicator != nullptr) replicator->Stop();
   const net::StatsSnapshot st = server.stats();
+  server.Stop();
   std::printf("served %llu requests over %llu connections "
               "(p50=%lluus p99=%lluus)\n",
               (unsigned long long)st.requests,
@@ -229,6 +350,83 @@ int RunServe(const std::string& dir, ArgList& args) {
               (unsigned long long)st.async_writes_completed,
               (unsigned long long)st.fsyncs,
               (unsigned long long)st.group_commits);
+  if (replicator != nullptr) {
+    const cluster::ReplicationProgress p = replicator->progress();
+    std::printf("replication: %llu records applied, %llu behind, "
+                "%llu polls, %llu reconnects, %llu apply failures\n",
+                (unsigned long long)p.replicated_records,
+                (unsigned long long)p.replica_lag_records,
+                (unsigned long long)p.polls,
+                (unsigned long long)p.reconnects,
+                (unsigned long long)p.apply_failures);
+  }
+  return 0;
+}
+
+int RunClusterStatus(ArgList& args) {
+  const std::string addr = args.Flag("addr");
+  if (addr.empty()) return Usage();
+  std::unique_ptr<net::RemoteBackend> seed;
+  net::RemoteBackendOptions o;
+  o.addr = addr;
+  Status s = net::RemoteBackend::Connect(o, &seed);
+  if (!s.ok()) return Fail(s);
+
+  net::PayloadWriter req;
+  Status transport;
+  std::vector<uint8_t> body;
+  size_t off = 0;
+  s = seed->CallRaw(net::Opcode::kClusterMap, req, &transport, &body, &off);
+  if (s.ok()) s = transport;
+  if (!s.ok()) return Fail(s);
+  net::PayloadReader r(body.data() + off, body.size() - off);
+  cluster::ClusterMap map;
+  s = cluster::DecodeClusterMap(&r, &map);
+  if (!s.ok()) return Fail(s);
+
+  std::printf("epoch %llu, %u partition(s), read preference: %s\n",
+              (unsigned long long)map.epoch, map.num_partitions(),
+              map.read_preference == cluster::ReadPreference::kReplica
+                  ? "replica"
+                  : "primary");
+  for (uint32_t p = 0; p < map.num_partitions(); ++p) {
+    const cluster::ClusterPartition& part = map.partitions[p];
+    std::printf("  partition %-3u primary %s", p,
+                map.endpoints[part.primary].c_str());
+    for (const uint32_t rep : part.replicas) {
+      std::printf("  replica %s", map.endpoints[rep].c_str());
+    }
+    std::printf("\n");
+  }
+
+  static const char* const kRoles[] = {"standalone", "primary", "replica"};
+  for (const std::string& ep : map.endpoints) {
+    std::unique_ptr<net::RemoteBackend> c;
+    net::RemoteBackendOptions eo;
+    eo.addr = ep;
+    eo.pool_size = 1;
+    if (!net::RemoteBackend::Connect(eo, &c).ok()) {
+      std::printf("%-22s DOWN\n", ep.c_str());
+      continue;
+    }
+    const net::HandshakeInfo& hs = c->handshake_info();
+    net::StatsSnapshot st;
+    if (!c->FetchStats(&st).ok()) {
+      std::printf("%-22s up, role %s (stats unavailable)\n", ep.c_str(),
+                  kRoles[hs.cluster_role <= 2 ? hs.cluster_role : 0]);
+      continue;
+    }
+    std::printf("%-22s up, role %-10s epoch %-4llu %llu reqs "
+                "(p50=%lluus p99=%lluus) replicated=%llu lag=%llu\n",
+                ep.c_str(),
+                kRoles[hs.cluster_role <= 2 ? hs.cluster_role : 0],
+                (unsigned long long)hs.cluster_epoch,
+                (unsigned long long)st.requests,
+                (unsigned long long)st.latency_p50_us,
+                (unsigned long long)st.latency_p99_us,
+                (unsigned long long)st.replicated_records,
+                (unsigned long long)st.replica_lag_records);
+  }
   return 0;
 }
 
@@ -288,10 +486,13 @@ int main(int argc, char** argv) {
 
   // Network commands bypass the local Mlkv open: serve owns its backend
   // via the factory, remote-* never touch local storage at all.
-  if (cmd == "serve" || cmd == "remote-get" || cmd == "remote-put") {
+  if (cmd == "serve" || cmd == "remote-get" || cmd == "remote-put" ||
+      cmd == "cluster-status") {
     ArgList args;
     if (!args.ParseFrom(argc, argv, 3)) return Usage();
-    return cmd == "serve" ? RunServe(dir, args) : RunRemote(cmd, args);
+    if (cmd == "serve") return RunServe(dir, args);
+    if (cmd == "cluster-status") return RunClusterStatus(args);
+    return RunRemote(cmd, args);
   }
 
   MlkvOptions options;

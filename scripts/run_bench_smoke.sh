@@ -72,5 +72,23 @@ if [[ -x "${bench_dir}/bench_checkpoint" ]]; then
   fi
 fi
 
+# One cluster smoke: two self-hosted loopback KvServers behind a
+# ClusterBackend vs one server behind a RemoteBackend, uniform MultiGet on a
+# working set that overflows a single box's 2 MiB buffer (simulated NVMe
+# read costs apply). The speedup column is the scale-out check: the 2-server
+# cluster should show >= 1.5x the single server's aggregate keys/s. See
+# docs/CLUSTER.md for the flag rationale — skewed draws or starved
+# shard/worker counts measure the cache or the queue, not the second box.
+if [[ -x "${bench_dir}/bench_ycsb_suite" ]]; then
+  echo "=== bench_ycsb_suite --cluster_addrs=self"
+  if ! "${bench_dir}/bench_ycsb_suite" --no_suite --no_batch_sweep \
+      --keys=60000 --ops=60000 --threads=8 --buffer_mb=2 --shard_bits=4 \
+      --server_workers=4 --batch_size=256 --cluster_addrs=self \
+      > "${log_dir}/bench_ycsb_suite_cluster.txt"; then
+    echo "FAILED: bench_ycsb_suite --cluster_addrs=self" >&2
+    failed=1
+  fi
+fi
+
 echo "bench output tables: ${log_dir}"
 exit "${failed}"

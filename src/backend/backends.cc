@@ -30,6 +30,8 @@
 #include "kv/batch_read.h"
 #include "kv/faster_store.h"
 #include "kv/sharded_store.h"
+#include "cluster/cluster_backend.h"
+#include "kv/update_log.h"
 #include "lsm/lsm_store.h"
 #include "mlkv/embedding_init.h"
 #include "mlkv/mlkv.h"
@@ -52,6 +54,50 @@ BackendIoStats IoStatsFrom(const FasterStatsSnapshot& s) {
   io.fsyncs = s.fsyncs;
   io.group_commits = s.group_commits;
   return io;
+}
+
+// Replication feed over a ShardedStore (shared by the MLKV and FASTER
+// adapters): one poll of shard `shard`'s committed-update stream. Persists
+// the shard first — replication is a durability consumer, and in
+// checkpoint-only mode nothing else advances the durable watermark the
+// cursor reads under.
+Status ReadShardUpdates(ShardedStore* store, uint32_t shard, uint64_t from,
+                        uint32_t max_records, uint32_t max_bytes,
+                        std::vector<UpdateEntry>* out, uint64_t* next_from,
+                        uint64_t* durable) {
+  if (shard >= store->num_shards()) {
+    return Status::InvalidArgument("replication shard out of range");
+  }
+  FasterStore* s = store->shard(shard);
+  // Seal before persisting: updates racing with this read must RCU-append
+  // above the window instead of rewriting bytes in place, or a cursor that
+  // already passed their address would never be told about them.
+  s->mutable_log()->SealMutableRegion();
+  MLKV_RETURN_NOT_OK(s->Persist());
+  UpdateLogCursor cur(s, from);
+  UpdateEntry e;
+  size_t bytes = 0;
+  while (out->size() < max_records && cur.Next(&e)) {
+    bytes += e.value.size() + 32;  // rough wire cost per entry
+    out->push_back(std::move(e));
+    if (max_bytes != 0 && bytes >= max_bytes) break;
+  }
+  MLKV_RETURN_NOT_OK(cur.status());
+  *next_from = cur.position();
+  *durable = s->durable_address();
+  return Status::OK();
+}
+
+// Applies one replicated entry by key — the replica's shard layout need
+// not match the primary's. A tombstone for a key the replica never saw is
+// OK (the delete already "took").
+Status ApplyShardUpdate(ShardedStore* store, const UpdateEntry& e) {
+  if (e.tombstone) {
+    const Status s = store->Delete(e.key);
+    return s.IsNotFound() ? Status::OK() : s;
+  }
+  return store->Upsert(e.key, e.value.data(),
+                       static_cast<uint32_t>(e.value.size()));
 }
 
 // Deduplicated view of one batch: `unique` holds first occurrences in
@@ -387,6 +433,22 @@ class MlkvBackend : public KvBackend {
     return IoStatsFrom(const_cast<EmbeddingTable*>(table_)->store()->stats());
   }
 
+  uint32_t replication_shards() const override {
+    return static_cast<uint32_t>(
+        const_cast<EmbeddingTable*>(table_)->store()->num_shards());
+  }
+  Status ReadCommittedUpdates(uint32_t shard, uint64_t from,
+                              uint32_t max_records, uint32_t max_bytes,
+                              std::vector<UpdateEntry>* out,
+                              uint64_t* next_from,
+                              uint64_t* durable) override {
+    return ReadShardUpdates(table_->store(), shard, from, max_records,
+                            max_bytes, out, next_from, durable);
+  }
+  Status ApplyReplicatedUpdate(const UpdateEntry& entry) override {
+    return ApplyShardUpdate(table_->store(), entry);
+  }
+
  private:
   explicit MlkvBackend(uint32_t dim) : dim_(dim) {}
   uint32_t dim_;
@@ -517,6 +579,21 @@ class FasterBackend : public KvBackend {
   }
   BackendIoStats io_stats() const override {
     return IoStatsFrom(store_.stats());
+  }
+
+  uint32_t replication_shards() const override {
+    return static_cast<uint32_t>(store_.num_shards());
+  }
+  Status ReadCommittedUpdates(uint32_t shard, uint64_t from,
+                              uint32_t max_records, uint32_t max_bytes,
+                              std::vector<UpdateEntry>* out,
+                              uint64_t* next_from,
+                              uint64_t* durable) override {
+    return ReadShardUpdates(&store_, shard, from, max_records, max_bytes, out,
+                            next_from, durable);
+  }
+  Status ApplyReplicatedUpdate(const UpdateEntry& entry) override {
+    return ApplyShardUpdate(&store_, entry);
   }
 
  private:
@@ -770,6 +847,7 @@ const char* BackendKindName(BackendKind kind) {
     case BackendKind::kBtree: return "WiredTiger-like";
     case BackendKind::kInMemory: return "InMemory";
     case BackendKind::kRemote: return "Remote";
+    case BackendKind::kCluster: return "Cluster";
   }
   return "?";
 }
@@ -784,6 +862,17 @@ Status MakeBackend(BackendKind kind, const BackendConfig& config,
     o.max_keys_per_rpc = config.remote_max_keys_per_rpc;
     return net::RemoteBackend::Connect(o, out);
   }
+  if (kind == BackendKind::kCluster) {
+    // No local files either: keys scatter across the KvServers named in
+    // cluster_addrs (seed list; the authoritative map comes from the
+    // servers' kClusterMap when they run in cluster mode).
+    cluster::ClusterBackendOptions o;
+    MLKV_RETURN_NOT_OK(
+        net::ParseEndpointList(config.cluster_addrs, &o.endpoints));
+    o.pool_size = config.remote_pool_size;
+    o.max_keys_per_rpc = config.remote_max_keys_per_rpc;
+    return cluster::ClusterBackend::Connect(o, out);
+  }
   std::error_code ec;
   std::filesystem::create_directories(config.dir, ec);
   if (ec) return Status::IOError("create dir: " + ec.message());
@@ -793,7 +882,8 @@ Status MakeBackend(BackendKind kind, const BackendConfig& config,
     case BackendKind::kLsm: return LsmBackend::Make(config, out);
     case BackendKind::kBtree: return BtreeBackend::Make(config, out);
     case BackendKind::kInMemory: return InMemoryBackend::Make(config, out);
-    case BackendKind::kRemote: break;  // handled above
+    case BackendKind::kRemote: break;   // handled above
+    case BackendKind::kCluster: break;  // handled above
   }
   return Status::InvalidArgument("unknown backend kind");
 }

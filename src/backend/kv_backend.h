@@ -42,6 +42,7 @@
 #include "common/status.h"
 #include "io/async_io.h"
 #include "kv/record.h"
+#include "kv/update_log.h"
 
 namespace mlkv {
 
@@ -69,6 +70,13 @@ struct BackendIoStats {
   uint64_t async_writes_completed = 0;
   uint64_t fsyncs = 0;
   uint64_t group_commits = 0;
+  // Network-path counters (kRemote / kCluster adapters; zeros elsewhere):
+  // RPCs issued, transparent fresh-socket retries after a dead pooled
+  // connection, and replication records applied / pending (replica role).
+  uint64_t remote_requests = 0;
+  uint64_t remote_retries = 0;
+  uint64_t replicated_records = 0;
+  uint64_t replica_lag_records = 0;
 };
 
 struct MultiGetOptions {
@@ -149,6 +157,41 @@ class KvBackend {
   // Aggregated storage-I/O counters (see BackendIoStats); engines without
   // a disk pipeline keep the zero default.
   virtual BackendIoStats io_stats() const { return {}; }
+
+  // --- Replication feed (cluster mode; see docs/CLUSTER.md) ---
+  //
+  // Engines whose store exposes a committed-update feed (the hybrid-log
+  // engines, via kv/update_log.h) serve it per shard so a replica KvServer
+  // can tail a primary. Engines without a feed keep the defaults:
+  // replication_shards() == 0 means kSubscribe/kReplicate answer
+  // NotSupported.
+
+  // Number of independent feed streams (the store's shard count); 0 when
+  // the engine cannot serve a replication feed.
+  virtual uint32_t replication_shards() const { return 0; }
+
+  // One poll of shard `shard`'s feed starting at resume token `from`
+  // (0 = oldest retained update). Appends up to max_records entries (and
+  // roughly max_bytes of value payload) to `out` in log order, then
+  // reports the resume token after the last entry and the shard's durable
+  // watermark. Implementations persist the shard first so the feed always
+  // drains to the current tail, even in checkpoint-only durability mode.
+  virtual Status ReadCommittedUpdates(uint32_t shard, uint64_t from,
+                                      uint32_t max_records, uint32_t max_bytes,
+                                      std::vector<UpdateEntry>* out,
+                                      uint64_t* next_from, uint64_t* durable) {
+    (void)shard, (void)from, (void)max_records, (void)max_bytes;
+    (void)out, (void)next_from, (void)durable;
+    return Status::NotSupported(name() + " has no replication feed");
+  }
+
+  // Applies one replicated entry (tombstone = delete, else upsert of the
+  // raw value bytes). Routing is by key, so the replica's shard layout
+  // need not match the primary's.
+  virtual Status ApplyReplicatedUpdate(const UpdateEntry& entry) {
+    (void)entry;
+    return Status::NotSupported(name() + " cannot apply replicated updates");
+  }
 };
 
 struct BackendConfig {
@@ -212,9 +255,17 @@ struct BackendConfig {
   // into sequential sub-RPCs (0 = derive the largest frame-cap-safe count
   // from the negotiated dim).
   size_t remote_max_keys_per_rpc = 0;
+  // kCluster only: comma-separated seed endpoints ("h1:7700,h2:7701").
+  // Any reachable cluster member supplies the routing map; the storage
+  // fields above are ignored (each server owns its own). Connection
+  // pooling and chunking reuse remote_pool_size / remote_max_keys_per_rpc
+  // per endpoint.
+  std::string cluster_addrs;
 };
 
-enum class BackendKind { kMlkv, kFaster, kLsm, kBtree, kInMemory, kRemote };
+enum class BackendKind {
+  kMlkv, kFaster, kLsm, kBtree, kInMemory, kRemote, kCluster
+};
 
 // Human-readable names matching the paper's legends.
 const char* BackendKindName(BackendKind kind);

@@ -1,0 +1,518 @@
+#include "cluster/cluster_backend.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+
+namespace mlkv {
+namespace cluster {
+
+namespace {
+
+bool IsHardCode(Status::Code c) {
+  return c != Status::Code::kOk && c != Status::Code::kNotFound &&
+         c != Status::Code::kBusy;
+}
+
+}  // namespace
+
+ClusterBackend::ClusterBackend(ClusterBackendOptions options)
+    : options_(std::move(options)) {
+  // Sized for concurrent batches, not just one: every caller thread wants
+  // up to endpoints-1 helpers at once (the caller runs one sub-batch
+  // itself), and a starved pool quietly serializes the scatter — the
+  // caller drains the sub-batches one RPC at a time and the fan-out win
+  // disappears.
+  const size_t threads =
+      options_.scatter_threads != 0
+          ? options_.scatter_threads
+          : std::min<size_t>(16,
+                             std::max<size_t>(4, options_.endpoints.size() * 4));
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Status ClusterBackend::Connect(const ClusterBackendOptions& options,
+                               std::unique_ptr<KvBackend>* out) {
+  std::unique_ptr<ClusterBackend> b;
+  MLKV_RETURN_NOT_OK(Connect(options, &b));
+  *out = std::move(b);
+  return Status::OK();
+}
+
+Status ClusterBackend::Connect(const ClusterBackendOptions& options,
+                               std::unique_ptr<ClusterBackend>* out) {
+  if (options.endpoints.empty()) {
+    return Status::InvalidArgument("cluster: endpoint list is empty");
+  }
+  auto b = std::unique_ptr<ClusterBackend>(new ClusterBackend(options));
+  Status last = Status::IOError("cluster: no seed endpoint reachable");
+  net::RemoteBackend* seed = nullptr;
+  for (const std::string& addr : options.endpoints) {
+    Endpoint* ep = b->EndpointFor(addr);
+    std::lock_guard<std::mutex> lock(ep->mu);
+    net::RemoteBackendOptions ro;
+    ro.addr = addr;
+    ro.pool_size = options.pool_size;
+    ro.max_keys_per_rpc = options.max_keys_per_rpc;
+    std::unique_ptr<net::RemoteBackend> c;
+    last = net::RemoteBackend::Connect(ro, &c);
+    if (!last.ok()) continue;
+    b->dim_ = c->dim();
+    seed = c.get();
+    ep->client = std::move(c);
+    break;
+  }
+  if (seed == nullptr) return last;
+
+  std::shared_ptr<const ClusterMap> m;
+  Status st = b->FetchMapFrom(seed, &m);
+  if (!st.ok()) {
+    if (!st.IsNotSupported()) return st;
+    // Standalone seeds (no map to serve): derive the round-robin layout
+    // client-side. Epoch 0 = unenforced — the servers accept every key.
+    auto derived = std::make_shared<ClusterMap>();
+    MLKV_RETURN_NOT_OK(BuildClusterMap(options.endpoints, {}, /*route_bits=*/0,
+                                       ReadPreference::kPrimary, /*epoch=*/0,
+                                       derived.get()));
+    m = std::move(derived);
+  }
+  b->InstallMap(std::move(m));
+  *out = std::move(b);
+  return Status::OK();
+}
+
+std::string ClusterBackend::name() const {
+  return "Cluster(n=" + std::to_string(map()->endpoints.size()) + ")";
+}
+
+std::shared_ptr<const ClusterMap> ClusterBackend::map() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  return map_;
+}
+
+void ClusterBackend::InstallMap(std::shared_ptr<const ClusterMap> m) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  map_ = std::move(m);
+}
+
+Status ClusterBackend::RefreshMap() {
+  // Try every endpoint the current map names, then any seed not in it.
+  std::vector<std::string> addrs = map()->endpoints;
+  for (const std::string& s : options_.endpoints) {
+    if (std::find(addrs.begin(), addrs.end(), s) == addrs.end()) {
+      addrs.push_back(s);
+    }
+  }
+  Status last = Status::IOError("cluster: no endpoint served a map");
+  for (const std::string& addr : addrs) {
+    Endpoint* ep = EndpointFor(addr);
+    net::RemoteBackend* client = nullptr;
+    Status st = GetClient(ep, &client);
+    if (!st.ok()) {
+      last = st;
+      continue;
+    }
+    std::shared_ptr<const ClusterMap> m;
+    st = FetchMapFrom(client, &m);
+    if (!st.ok()) {
+      last = st;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(map_mu_);
+    if (m->epoch > map_->epoch) map_ = std::move(m);
+    return Status::OK();
+  }
+  return last;
+}
+
+ClusterBackend::Endpoint* ClusterBackend::EndpointFor(const std::string& addr) {
+  std::lock_guard<std::mutex> lock(ep_mu_);
+  for (const auto& e : endpoints_) {
+    if (e->addr == addr) return e.get();
+  }
+  endpoints_.push_back(std::make_unique<Endpoint>());
+  endpoints_.back()->addr = addr;
+  return endpoints_.back().get();
+}
+
+Status ClusterBackend::GetClient(Endpoint* ep, net::RemoteBackend** out) {
+  std::lock_guard<std::mutex> lock(ep->mu);
+  if (!ep->client) {
+    net::RemoteBackendOptions ro;
+    ro.addr = ep->addr;
+    ro.pool_size = options_.pool_size;
+    ro.max_keys_per_rpc = options_.max_keys_per_rpc;
+    std::unique_ptr<net::RemoteBackend> c;
+    MLKV_RETURN_NOT_OK(net::RemoteBackend::Connect(ro, &c));
+    if (c->dim() != dim_) {
+      return Status::InvalidArgument(
+          "cluster endpoint " + ep->addr + " serves dim " +
+          std::to_string(c->dim()) + ", cluster dim is " +
+          std::to_string(dim_));
+    }
+    ep->client = std::move(c);
+  }
+  *out = ep->client.get();
+  return Status::OK();
+}
+
+Status ClusterBackend::FetchMapFrom(net::RemoteBackend* client,
+                                    std::shared_ptr<const ClusterMap>* out) {
+  net::PayloadWriter req;
+  Status transport;
+  std::vector<uint8_t> body;
+  size_t off = 0;
+  MLKV_RETURN_NOT_OK(
+      client->CallRaw(net::Opcode::kClusterMap, req, &transport, &body, &off));
+  MLKV_RETURN_NOT_OK(transport);
+  net::PayloadReader r(body.data() + off, body.size() - off);
+  auto m = std::make_shared<ClusterMap>();
+  MLKV_RETURN_NOT_OK(DecodeClusterMap(&r, m.get()));
+  *out = std::move(m);
+  return Status::OK();
+}
+
+BatchResult ClusterBackend::MultiGet(std::span<const Key> keys, float* out,
+                                     const MultiGetOptions& options) {
+  return Execute(Op::kGet, keys, out, nullptr, 0.0f, options,
+                 /*allow_epoch_retry=*/true);
+}
+
+BatchResult ClusterBackend::MultiPut(std::span<const Key> keys,
+                                     const float* values) {
+  return Execute(Op::kPut, keys, nullptr, values, 0.0f, {},
+                 /*allow_epoch_retry=*/true);
+}
+
+BatchResult ClusterBackend::MultiApplyGradient(std::span<const Key> keys,
+                                               const float* grads, float lr) {
+  return Execute(Op::kGrad, keys, nullptr, grads, lr, {},
+                 /*allow_epoch_retry=*/true);
+}
+
+Status ClusterBackend::Lookahead(std::span<const Key> keys) {
+  if (keys.empty()) return Status::OK();
+  auto m = map();
+  std::vector<std::vector<Key>> per(m->num_partitions());
+  for (const Key k : keys) per[m->PartitionOf(k)].push_back(k);
+  for (size_t p = 0; p < per.size(); ++p) {
+    if (per[p].empty()) continue;
+    Endpoint* ep = EndpointFor(m->endpoints[m->partitions[p].primary]);
+    net::RemoteBackend* client = nullptr;
+    if (!GetClient(ep, &client).ok()) continue;  // a hint: best-effort
+    (void)client->Lookahead(per[p]);
+  }
+  return Status::OK();
+}
+
+BackendIoStats ClusterBackend::io_stats() const {
+  BackendIoStats total;
+  std::vector<Endpoint*> eps;
+  {
+    std::lock_guard<std::mutex> lock(ep_mu_);
+    eps.reserve(endpoints_.size());
+    for (const auto& e : endpoints_) eps.push_back(e.get());
+  }
+  for (Endpoint* ep : eps) {
+    std::lock_guard<std::mutex> lock(ep->mu);
+    if (!ep->client) continue;
+    const BackendIoStats s = ep->client->io_stats();
+    total.remote_requests += s.remote_requests;
+    total.remote_retries += s.remote_retries;
+  }
+  return total;
+}
+
+std::vector<EndpointStats> ClusterBackend::endpoint_stats() const {
+  std::vector<Endpoint*> eps;
+  {
+    std::lock_guard<std::mutex> lock(ep_mu_);
+    eps.reserve(endpoints_.size());
+    for (const auto& e : endpoints_) eps.push_back(e.get());
+  }
+  std::vector<EndpointStats> out;
+  out.reserve(eps.size());
+  for (Endpoint* ep : eps) {
+    EndpointStats s;
+    s.addr = ep->addr;
+    s.requests = ep->requests.load(std::memory_order_relaxed);
+    s.failovers = ep->failovers.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(ep->mu);
+      s.connected = ep->client != nullptr;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+BatchResult ClusterBackend::ExecutePartition(const ClusterMap& m, size_t p,
+                                             Op op, std::span<const Key> keys,
+                                             float* rows_out,
+                                             const float* rows_in, float lr,
+                                             const MultiGetOptions& options) {
+  const ClusterPartition& part = m.partitions[p];
+  // Candidate endpoints in attempt order. Writes only ever run on the
+  // primary; reads fail over to replicas (or start there under kReplica).
+  std::vector<uint32_t> candidates;
+  if (op == Op::kGet && m.read_preference == ReadPreference::kReplica &&
+      !part.replicas.empty()) {
+    candidates = part.replicas;
+    candidates.push_back(part.primary);
+  } else {
+    candidates.push_back(part.primary);
+    if (op == Op::kGet) {
+      candidates.insert(candidates.end(), part.replicas.begin(),
+                        part.replicas.end());
+    }
+  }
+
+  Status last = Status::IOError("cluster: no reachable endpoint for partition " +
+                                std::to_string(p));
+  BatchResult folded;  // transport failure folded to per-key codes
+  bool have_folded = false;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const uint32_t idx = candidates[c];
+    Endpoint* ep = EndpointFor(m.endpoints[idx]);
+    net::RemoteBackend* client = nullptr;
+    const Status st = GetClient(ep, &client);
+    if (!st.ok()) {
+      last = st;
+      if (c + 1 < candidates.size()) {
+        ep->failovers.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    ep->requests.fetch_add(1, std::memory_order_relaxed);
+    bool down = false;
+    BatchResult r;
+    switch (op) {
+      case Op::kGet: {
+        MultiGetOptions o = options;
+        // A non-primary candidate serves the read consistency-free: a
+        // replica has no staleness authority over the partition.
+        if (idx != part.primary) o.untracked = true;
+        r = client->MultiGetEx(keys, rows_out, o, &down);
+        break;
+      }
+      case Op::kPut:
+        r = client->MultiPutEx(keys, rows_in, &down);
+        break;
+      case Op::kGrad:
+        r = client->MultiApplyGradientEx(keys, rows_in, lr, &down);
+        break;
+    }
+    if (!down) return r;
+    folded = std::move(r);
+    have_folded = true;
+    // Writes stop here: retrying a possibly-executed write on another
+    // server risks double-applying; the per-key failure codes stand.
+    if (op != Op::kGet) return folded;
+    if (c + 1 < candidates.size()) {
+      ep->failovers.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (have_folded) return folded;
+  BatchResult fail(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) fail.Record(i, last);
+  return fail;
+}
+
+BatchResult ClusterBackend::Execute(Op op, std::span<const Key> keys,
+                                    float* rows_out, const float* rows_in,
+                                    float lr, const MultiGetOptions& options,
+                                    bool allow_epoch_retry) {
+  const size_t n = keys.size();
+  BatchResult full(n);
+  if (n == 0) return full;
+  const std::shared_ptr<const ClusterMap> m = map();
+  const size_t d = dim_;
+  const size_t nparts = m->num_partitions();
+
+  std::vector<uint32_t> part(n);
+  std::vector<size_t> counts(nparts, 0);
+  for (size_t i = 0; i < n; ++i) {
+    part[i] = static_cast<uint32_t>(m->PartitionOf(keys[i]));
+    ++counts[part[i]];
+  }
+  size_t nonempty = 0, only = 0;
+  for (size_t p = 0; p < nparts; ++p) {
+    if (counts[p] != 0) {
+      ++nonempty;
+      only = p;
+    }
+  }
+
+  if (nonempty == 1) {
+    // Single-partition batch: the caller's spans are already contiguous.
+    full = ExecutePartition(*m, only, op, keys, rows_out, rows_in, lr, options);
+  } else {
+    // Stable counting-sort scatter (same shape as ShardedStore's): caller
+    // positions grouped by partition, in-order within each group so
+    // duplicate-key semantics survive the hop.
+    std::vector<size_t> offsets(nparts + 1, 0);
+    for (size_t p = 0; p < nparts; ++p) offsets[p + 1] = offsets[p] + counts[p];
+    std::vector<size_t> pos(offsets.begin(), offsets.end() - 1);
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[pos[part[i]]++] = i;
+
+    struct SubTask {
+      size_t partition;
+      size_t begin;
+      size_t end;
+    };
+    std::vector<SubTask> tasks;
+    for (size_t p = 0; p < nparts; ++p) {
+      if (counts[p] != 0) tasks.push_back({p, offsets[p], offsets[p + 1]});
+    }
+    std::vector<BatchResult> sub(tasks.size());
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        const size_t t = next.fetch_add(1, std::memory_order_relaxed);
+        if (t >= tasks.size()) return;
+        const SubTask& task = tasks[t];
+        const size_t cnt = task.end - task.begin;
+        std::vector<Key> sub_keys(cnt);
+        for (size_t j = 0; j < cnt; ++j) {
+          sub_keys[j] = keys[order[task.begin + j]];
+        }
+        std::vector<float> sub_rows(cnt * d);
+        if (op != Op::kGet) {
+          for (size_t j = 0; j < cnt; ++j) {
+            std::memcpy(&sub_rows[j * d],
+                        rows_in + order[task.begin + j] * d,
+                        d * sizeof(float));
+          }
+        }
+        sub[t] = ExecutePartition(
+            *m, task.partition, op, sub_keys,
+            op == Op::kGet ? sub_rows.data() : nullptr,
+            op == Op::kGet ? nullptr : sub_rows.data(), lr, options);
+        if (op == Op::kGet) {
+          for (size_t j = 0; j < cnt; ++j) {
+            if (sub[t].codes[j] == Status::Code::kOk) {
+              std::memcpy(rows_out + order[task.begin + j] * d,
+                          &sub_rows[j * d], d * sizeof(float));
+            }
+          }
+        }
+      }
+    };
+
+    // Helpers claim tasks off the shared counter; the calling thread
+    // always participates, so a full pool queue can never deadlock a
+    // batch. A local latch (not ThreadPool::Drain) keeps concurrent
+    // batches from waiting on each other's tasks.
+    struct Latch {
+      std::mutex mu;
+      std::condition_variable cv;
+      size_t pending = 0;
+    };
+    auto latch = std::make_shared<Latch>();
+    const size_t helpers =
+        std::min(pool_->num_threads(), tasks.size() > 0 ? tasks.size() - 1 : 0);
+    for (size_t h = 0; h < helpers; ++h) {
+      {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        ++latch->pending;
+      }
+      const bool queued = pool_->TrySubmit([&worker, latch]() {
+        worker();
+        std::lock_guard<std::mutex> lock(latch->mu);
+        --latch->pending;
+        latch->cv.notify_all();
+      });
+      if (!queued) {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        --latch->pending;
+      }
+    }
+    worker();
+    {
+      std::unique_lock<std::mutex> lock(latch->mu);
+      latch->cv.wait(lock, [&latch]() { return latch->pending == 0; });
+    }
+
+    // Gather: codes back to caller positions, counts accumulated.
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      const SubTask& task = tasks[t];
+      const BatchResult& s = sub[t];
+      for (size_t j = 0; j < task.end - task.begin; ++j) {
+        full.codes[order[task.begin + j]] = s.codes[j];
+      }
+      full.found += s.found;
+      full.missing += s.missing;
+      full.busy += s.busy;
+      if (full.failed == 0 && s.failed > 0) full.first_error = s.first_error;
+      full.failed += s.failed;
+    }
+  }
+
+  // Stale-map recovery: per-key kWrongPartition means the server's map
+  // moved on. Refetch; if the epoch actually changed, retry exactly the
+  // rejected keys once under the new routing.
+  if (!allow_epoch_retry) return full;
+  bool any_stale = false;
+  for (const Status::Code c : full.codes) {
+    if (c == Status::Code::kWrongPartition) {
+      any_stale = true;
+      break;
+    }
+  }
+  if (!any_stale) return full;
+  const uint64_t old_epoch = m->epoch;
+  if (!RefreshMap().ok()) return full;
+  if (map()->epoch == old_epoch) return full;
+
+  std::vector<size_t> stale;
+  std::vector<Key> retry_keys;
+  for (size_t i = 0; i < n; ++i) {
+    if (full.codes[i] == Status::Code::kWrongPartition) {
+      stale.push_back(i);
+      retry_keys.push_back(keys[i]);
+    }
+  }
+  std::vector<float> retry_rows(stale.size() * d);
+  if (op != Op::kGet) {
+    for (size_t j = 0; j < stale.size(); ++j) {
+      std::memcpy(&retry_rows[j * d], rows_in + stale[j] * d,
+                  d * sizeof(float));
+    }
+  }
+  const BatchResult again = Execute(
+      op, retry_keys, op == Op::kGet ? retry_rows.data() : nullptr,
+      op == Op::kGet ? nullptr : retry_rows.data(), lr, options,
+      /*allow_epoch_retry=*/false);
+  for (size_t j = 0; j < stale.size(); ++j) {
+    full.codes[stale[j]] = again.codes[j];
+    if (op == Op::kGet && again.codes[j] == Status::Code::kOk) {
+      std::memcpy(rows_out + stale[j] * d, &retry_rows[j * d],
+                  d * sizeof(float));
+    }
+  }
+  // The stale keys were all counted failed; swap in the retry's outcome.
+  full.failed -= stale.size();
+  full.found += again.found;
+  full.missing += again.missing;
+  full.busy += again.busy;
+  full.failed += again.failed;
+  if (full.failed == 0) {
+    full.first_error = Status::OK();
+  } else if (again.failed > 0) {
+    full.first_error = again.first_error;
+  } else if (full.first_error.IsWrongPartition()) {
+    // Remaining failures predate the retry; surface one of their codes.
+    for (const Status::Code c : full.codes) {
+      if (IsHardCode(c)) {
+        full.first_error = Status::FromCode(c);
+        break;
+      }
+    }
+  }
+  return full;
+}
+
+}  // namespace cluster
+}  // namespace mlkv

@@ -1,0 +1,151 @@
+// ClusterBackend: the KvBackend seam over a whole cluster. Keys scatter
+// by partition (ClusterMap::PartitionOf — the same top-bits routing the
+// in-process ShardedStore uses) into per-partition sub-batches that run in
+// parallel against their owning servers over pooled RemoteBackend
+// connections; per-key BatchResults gather back in caller order. One flag
+// (BackendKind::kCluster + BackendConfig::cluster_addrs) puts any trainer
+// or bench on an N-server cluster with zero code changes — exactly the
+// ShardedStore::MultiExecute shape, lifted onto the wire.
+//
+// Map discovery: Connect tries the seed endpoints in order; the first
+// reachable server answers the handshake (dim) and, when it runs in
+// cluster mode, serves the authoritative routing map via kClusterMap.
+// Standalone seeds (epoch 0, kClusterMap unsupported) get a client-derived
+// map instead: partitions spread round-robin over the seed list,
+// unenforced by the servers. When a server rejects keys with per-key
+// kWrongPartition (its map moved on), the batch refetches the map and
+// retries exactly the rejected keys once under the new epoch.
+//
+// Failover: a read sub-batch whose chosen endpoint fails at the transport
+// level (connect/send/recv — server down) retries against the partition's
+// other candidates, as untracked reads when the candidate is not the
+// primary (a replica has no staleness authority). With read_preference =
+// kReplica the replicas come first and the primary is the fallback,
+// offloading primaries entirely. Writes only ever run on the primary: a
+// dead primary surfaces as per-key kFailed codes for that partition's keys
+// while every other partition's writes land — no whole-batch abort, and no
+// blind cross-server retry beyond RemoteBackend's own stale-pool retry
+// (which is safe because the request provably never executed).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backend/kv_backend.h"
+#include "cluster/cluster_map.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/remote_backend.h"
+
+namespace mlkv {
+namespace cluster {
+
+struct ClusterBackendOptions {
+  // Seed endpoints ("host:port"), any reachable cluster member. The
+  // authoritative endpoint set comes from the fetched map; seeds only
+  // bootstrap discovery (and become the whole cluster for standalone
+  // servers with no map to serve).
+  std::vector<std::string> endpoints;
+  // Per-endpoint RemoteBackend knobs (see RemoteBackendOptions).
+  size_t pool_size = 8;
+  size_t max_keys_per_rpc = 0;
+  // Scatter helpers for multi-partition batches (the calling thread always
+  // participates too). 0 derives min(8, seed count).
+  size_t scatter_threads = 0;
+};
+
+// Per-endpoint client-side counters (cluster-status / tests).
+struct EndpointStats {
+  std::string addr;
+  bool connected = false;    // a client object exists (ever connected)
+  uint64_t requests = 0;     // sub-batches routed here
+  uint64_t failovers = 0;    // sub-batches that left here for a fallback
+};
+
+class ClusterBackend : public KvBackend {
+ public:
+  static Status Connect(const ClusterBackendOptions& options,
+                        std::unique_ptr<KvBackend>* out);
+  // Typed variant for tooling that needs map()/endpoint_stats().
+  static Status Connect(const ClusterBackendOptions& options,
+                        std::unique_ptr<ClusterBackend>* out);
+
+  std::string name() const override;
+  uint32_t dim() const override { return dim_; }
+  // The map's route_bits: batch layout helpers (OrderKeysByShard) then
+  // group keys exactly like the cluster scatter does.
+  uint32_t shard_bits() const override { return map()->route_bits; }
+
+  BatchResult MultiGet(std::span<const Key> keys, float* out,
+                       const MultiGetOptions& options) override;
+  BatchResult MultiPut(std::span<const Key> keys,
+                       const float* values) override;
+  BatchResult MultiApplyGradient(std::span<const Key> keys, const float* grads,
+                                 float lr) override;
+  // Best-effort: forwards the hint to each touched partition's primary.
+  Status Lookahead(std::span<const Key> keys) override;
+
+  // Sums every endpoint client's counters (remote_requests/remote_retries).
+  BackendIoStats io_stats() const override;
+
+  // Current routing map snapshot (immutable; swapped whole on refresh).
+  std::shared_ptr<const ClusterMap> map() const;
+  // Refetches the map from any reachable endpoint; installs it when its
+  // epoch is newer than the current one.
+  Status RefreshMap();
+  std::vector<EndpointStats> endpoint_stats() const;
+
+ private:
+  enum class Op { kGet, kPut, kGrad };
+
+  // One server, lazily connected; slots are created once per address and
+  // never move, so raw pointers taken under ep_mu_ stay valid for the
+  // backend's lifetime (map refreshes only add addresses).
+  struct Endpoint {
+    std::string addr;
+    std::mutex mu;  // guards client creation
+    std::unique_ptr<net::RemoteBackend> client;
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> failovers{0};
+  };
+
+  explicit ClusterBackend(ClusterBackendOptions options);
+
+  Endpoint* EndpointFor(const std::string& addr);
+  // Lazy connect + dim cross-check (a mixed-dim cluster would silently
+  // corrupt rows otherwise).
+  Status GetClient(Endpoint* ep, net::RemoteBackend** out);
+  Status FetchMapFrom(net::RemoteBackend* client,
+                      std::shared_ptr<const ClusterMap>* out);
+  void InstallMap(std::shared_ptr<const ClusterMap> m);
+
+  // The scatter/gather core shared by all three batch ops. `rows_out` for
+  // Get, `rows_in` for Put/Grad. `allow_epoch_retry` guards the one
+  // refetch-and-retry pass on kWrongPartition rejections.
+  BatchResult Execute(Op op, std::span<const Key> keys, float* rows_out,
+                      const float* rows_in, float lr,
+                      const MultiGetOptions& options, bool allow_epoch_retry);
+  // One partition's sub-batch against its candidate endpoints (failover
+  // order); keys/rows are already gathered contiguous.
+  BatchResult ExecutePartition(const ClusterMap& m, size_t partition, Op op,
+                               std::span<const Key> keys, float* rows_out,
+                               const float* rows_in, float lr,
+                               const MultiGetOptions& options);
+
+  const ClusterBackendOptions options_;
+  uint32_t dim_ = 0;  // fixed at Connect; read-only afterwards
+
+  mutable std::mutex map_mu_;
+  std::shared_ptr<const ClusterMap> map_;
+
+  mutable std::mutex ep_mu_;  // guards the slot vector, not the slots
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  std::unique_ptr<ThreadPool> pool_;  // scatter helpers
+};
+
+}  // namespace cluster
+}  // namespace mlkv

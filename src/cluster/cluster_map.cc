@@ -1,0 +1,145 @@
+#include "cluster/cluster_map.h"
+
+namespace mlkv {
+namespace cluster {
+
+namespace {
+
+uint32_t CeilLog2(size_t n) {
+  uint32_t bits = 0;
+  while ((size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+Status ClusterMap::Validate() const {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("cluster map has no endpoints");
+  }
+  if (route_bits > 16) {
+    return Status::InvalidArgument("cluster map route_bits > 16");
+  }
+  if (partitions.size() != num_partitions()) {
+    return Status::InvalidArgument(
+        "cluster map partition count does not match route_bits");
+  }
+  for (const ClusterPartition& p : partitions) {
+    if (p.primary >= endpoints.size()) {
+      return Status::InvalidArgument("cluster map primary index out of range");
+    }
+    for (const uint32_t r : p.replicas) {
+      if (r >= endpoints.size()) {
+        return Status::InvalidArgument(
+            "cluster map replica index out of range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int ClusterMap::FindEndpoint(const std::string& addr) const {
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    if (endpoints[i] == addr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status BuildClusterMap(const std::vector<std::string>& primaries,
+                       const std::vector<std::string>& replicas,
+                       uint32_t route_bits, ReadPreference read_preference,
+                       uint64_t epoch, ClusterMap* out) {
+  if (primaries.empty()) {
+    return Status::InvalidArgument("cluster map needs at least one primary");
+  }
+  if (replicas.size() > primaries.size()) {
+    return Status::InvalidArgument(
+        "replica list longer than primary list (alignment is by index)");
+  }
+  *out = ClusterMap{};
+  out->epoch = epoch;
+  out->read_preference = read_preference;
+  out->route_bits =
+      route_bits != 0 ? route_bits : CeilLog2(primaries.size());
+  if (out->route_bits > 16) {
+    return Status::InvalidArgument("route_bits > 16");
+  }
+  if (primaries.size() > out->num_partitions()) {
+    return Status::InvalidArgument(
+        "more primaries than partitions; raise route_bits");
+  }
+  out->endpoints = primaries;
+  // Replica endpoints follow the primaries; remember each primary's
+  // replica slot (or -1) while appending.
+  std::vector<int> replica_of(primaries.size(), -1);
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    if (replicas[i].empty()) continue;
+    replica_of[i] = static_cast<int>(out->endpoints.size());
+    out->endpoints.push_back(replicas[i]);
+  }
+  out->partitions.resize(out->num_partitions());
+  for (uint32_t p = 0; p < out->num_partitions(); ++p) {
+    const uint32_t owner = p % static_cast<uint32_t>(primaries.size());
+    out->partitions[p].primary = owner;
+    if (replica_of[owner] >= 0) {
+      out->partitions[p].replicas.push_back(
+          static_cast<uint32_t>(replica_of[owner]));
+    }
+  }
+  return out->Validate();
+}
+
+void EncodeClusterMap(const ClusterMap& m, net::PayloadWriter* w) {
+  w->U64(m.epoch);
+  w->U32(m.route_bits);
+  w->U8(static_cast<uint8_t>(m.read_preference));
+  w->Str(m.table);
+  w->U32(static_cast<uint32_t>(m.endpoints.size()));
+  for (const std::string& e : m.endpoints) w->Str(e);
+  w->U32(static_cast<uint32_t>(m.partitions.size()));
+  for (const ClusterPartition& p : m.partitions) {
+    w->U32(p.primary);
+    w->U32(static_cast<uint32_t>(p.replicas.size()));
+    for (const uint32_t r : p.replicas) w->U32(r);
+  }
+}
+
+Status DecodeClusterMap(net::PayloadReader* r, ClusterMap* out) {
+  *out = ClusterMap{};
+  uint8_t pref = 0;
+  r->U64(&out->epoch);
+  r->U32(&out->route_bits);
+  r->U8(&pref);
+  r->Str(&out->table);
+  uint32_t n_eps = 0;
+  // Each endpoint costs >= 2 bytes (Str length prefix); bound the counts
+  // by the remaining payload before any allocation.
+  if (!r->U32(&n_eps) || n_eps > r->remaining() / 2) {
+    return Status::Corruption("wire: truncated cluster map");
+  }
+  out->endpoints.resize(n_eps);
+  for (std::string& e : out->endpoints) r->Str(&e);
+  uint32_t n_parts = 0;
+  if (!r->U32(&n_parts) || n_parts > r->remaining() / 8) {
+    return Status::Corruption("wire: truncated cluster map");
+  }
+  out->partitions.resize(n_parts);
+  for (ClusterPartition& p : out->partitions) {
+    uint32_t n_reps = 0;
+    r->U32(&p.primary);
+    if (!r->U32(&n_reps) || n_reps > r->remaining() / 4) {
+      return Status::Corruption("wire: truncated cluster map");
+    }
+    p.replicas.resize(n_reps);
+    for (uint32_t& rep : p.replicas) r->U32(&rep);
+  }
+  if (pref > static_cast<uint8_t>(ReadPreference::kReplica)) {
+    return Status::Corruption("wire: bad read_preference in cluster map");
+  }
+  out->read_preference = static_cast<ReadPreference>(pref);
+  MLKV_RETURN_NOT_OK(r->Finish("cluster map"));
+  return out->Validate();
+}
+
+}  // namespace cluster
+}  // namespace mlkv

@@ -1,0 +1,91 @@
+// ClusterMap: the routing table for cluster mode — which server owns which
+// partition, and where its replicas live.
+//
+// Keys route exactly like the in-process ShardedStore: partition =
+// ShardOf(Hash64(key), mask) over the TOP bits of the mixed hash, with
+// 1 << route_bits partitions. Each partition names one primary endpoint
+// (serves reads and all writes) and zero or more replica endpoints
+// (tail the primary's committed-update feed; serve reads when the map's
+// read_preference says so, or when the primary is unreachable).
+//
+// The map is versioned by `epoch`. Servers enforce ownership: a key that
+// does not belong to the receiving server under its current map comes back
+// with a per-key kWrongPartition code, and the transport-level first_error
+// names the server's epoch — a stale client refetches via kClusterMap and
+// retries just those keys. Epochs only move forward; data movement between
+// servers is the operator's job (see docs/CLUSTER.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "kv/record.h"
+#include "net/wire.h"
+
+namespace mlkv {
+namespace cluster {
+
+enum class ReadPreference : uint8_t {
+  kPrimary = 0,  // reads go to the primary; replicas are failover-only
+  kReplica = 1,  // reads prefer a replica (untracked), offloading primaries
+};
+
+struct ClusterPartition {
+  uint32_t primary = 0;            // index into ClusterMap::endpoints
+  std::vector<uint32_t> replicas;  // endpoint indices, preference order
+};
+
+struct ClusterMap {
+  uint64_t epoch = 0;        // 0 = standalone / client-derived (unenforced)
+  uint32_t route_bits = 0;   // partitions = 1 << route_bits
+  ReadPreference read_preference = ReadPreference::kPrimary;
+  std::string table = "emb";
+  std::vector<std::string> endpoints;         // "host:port", normalized
+  std::vector<ClusterPartition> partitions;   // size 1 << route_bits
+
+  uint32_t num_partitions() const { return 1u << route_bits; }
+
+  size_t PartitionOf(Key key) const {
+    return ShardOf(Hash64(key), (uint64_t{1} << route_bits) - 1);
+  }
+
+  // Whether endpoint `self` may serve `key`: writes need the primary,
+  // reads accept any replica too.
+  bool OwnsForWrite(uint32_t self, Key key) const {
+    return partitions[PartitionOf(key)].primary == self;
+  }
+  bool OwnsForRead(uint32_t self, Key key) const {
+    const ClusterPartition& p = partitions[PartitionOf(key)];
+    if (p.primary == self) return true;
+    for (const uint32_t r : p.replicas) {
+      if (r == self) return true;
+    }
+    return false;
+  }
+
+  // Structural sanity: partition count matches route_bits, every endpoint
+  // index in range, endpoints non-empty.
+  Status Validate() const;
+
+  // Index of `addr` in endpoints, or -1.
+  int FindEndpoint(const std::string& addr) const;
+};
+
+// Builds the standard layout: endpoints = primaries then replicas;
+// partition p's primary is primaries[p % n]; replica r of primary i (from
+// `replicas`, aligned with `primaries`, "" = none) backs every partition
+// primaried at i. route_bits 0 derives ceil(log2(n_primaries)).
+Status BuildClusterMap(const std::vector<std::string>& primaries,
+                       const std::vector<std::string>& replicas,
+                       uint32_t route_bits, ReadPreference read_preference,
+                       uint64_t epoch, ClusterMap* out);
+
+// Wire form (kClusterMap response body).
+void EncodeClusterMap(const ClusterMap& m, net::PayloadWriter* w);
+Status DecodeClusterMap(net::PayloadReader* r, ClusterMap* out);
+
+}  // namespace cluster
+}  // namespace mlkv

@@ -24,6 +24,7 @@ class Status {
     kAborted = 7,
     kNotSupported = 8,
     kOutOfMemory = 9,
+    kWrongPartition = 10,  // cluster: key not owned by this server; refetch map
   };
 
   Status() : code_(Code::kOk) {}
@@ -63,6 +64,9 @@ class Status {
   static Status OutOfMemory(std::string msg = "") {
     return Status(Code::kOutOfMemory, std::move(msg));
   }
+  static Status WrongPartition(std::string msg = "") {
+    return Status(Code::kWrongPartition, std::move(msg));
+  }
 
   // Rebuilds a Status from a bare code (e.g. a BatchResult entry).
   static Status FromCode(Code code, std::string msg = "") {
@@ -79,6 +83,7 @@ class Status {
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsWrongPartition() const { return code_ == Code::kWrongPartition; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -88,7 +93,7 @@ class Status {
     static const char* kNames[] = {"OK",           "NotFound",  "Corruption",
                                    "InvalidArgument", "IOError", "Busy",
                                    "TimedOut",     "Aborted",   "NotSupported",
-                                   "OutOfMemory"};
+                                   "OutOfMemory",  "WrongPartition"};
     std::string s = kNames[static_cast<int>(code_)];
     if (!msg_.empty()) {
       s += ": ";

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/spin_wait.h"
+
 namespace mlkv {
 
 namespace {
@@ -322,6 +324,26 @@ bool HybridLog::BeginInPlaceWrite(Address a) {
 void HybridLog::EndInPlaceWrite(Address a) {
   const uint64_t f = FrameOf(PageOf(a));
   frame_writers_[f].fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Address HybridLog::SealMutableRegion() {
+  const Address t = tail_.load(std::memory_order_acquire);
+  Address cur = read_only_.load(std::memory_order_acquire);
+  while (cur < t && !read_only_.compare_exchange_weak(
+                        cur, t, std::memory_order_acq_rel,
+                        std::memory_order_acquire)) {
+  }
+  // Drain writers that registered before the boundary moved. Once a frame's
+  // count reaches zero, any later registration re-checks the boundary and
+  // falls back to RCU, so record bytes below `t` are quiescent — a cursor
+  // reading them sees each writer's bytes in full or not at all, never a
+  // version it can no longer be told about.
+  for (uint64_t f = 0; f < mem_pages_; ++f) {
+    SpinWaitUntil([this, f]() {
+      return frame_writers_[f].load(std::memory_order_acquire) == 0;
+    });
+  }
+  return t;
 }
 
 Status HybridLog::FlushAll() {

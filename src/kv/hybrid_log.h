@@ -168,6 +168,14 @@ class HybridLog {
   bool BeginInPlaceWrite(Address a);
   void EndInPlaceWrite(Address a);
 
+  // Advances the read-only boundary to the current tail and drains writers
+  // already registered on the frames, then returns that tail. Afterwards
+  // every update to a pre-seal record must RCU-append a fresh log record
+  // instead of rewriting bytes in place — the property the replication feed
+  // needs: a cursor that passed address A would otherwise never see an
+  // in-place rewrite at A. The mutable region regrows as pages roll.
+  Address SealMutableRegion();
+
   // Flushes all pages in [head, tail) to the log file (checkpoint support)
   // and syncs the device.
   Status FlushAll();

@@ -2,7 +2,9 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <utility>
 
 #include "common/clock.h"
@@ -10,14 +12,108 @@
 namespace mlkv {
 namespace net {
 
+namespace {
+
+// Ownership filtering for cluster mode: which of a request's keys this
+// endpoint may serve under the current map. Unowned keys are answered
+// per-key with kWrongPartition (the transport status stays OK) so the
+// owned portion of a mis-routed batch is still served — a stale client
+// refetches the map and retries only the rejected keys.
+struct OwnedSubset {
+  bool enforce = false;   // a map is set and this server knows its index
+  bool all_owned = true;  // fast path: nothing to filter
+  std::vector<Key> keys;      // owned keys, batch order
+  std::vector<uint32_t> pos;  // original position of keys[i]
+  Status reject;              // per-key status for the unowned rest
+};
+
+OwnedSubset FilterOwned(const cluster::ClusterMap* map, uint32_t self,
+                        std::span<const Key> keys, bool for_write) {
+  OwnedSubset f;
+  if (map == nullptr || self >= map->endpoints.size()) return f;
+  f.enforce = true;
+  for (const Key k : keys) {
+    const bool owned =
+        for_write ? map->OwnsForWrite(self, k) : map->OwnsForRead(self, k);
+    if (!owned) {
+      f.all_owned = false;
+      break;
+    }
+  }
+  if (f.all_owned) return f;
+  f.reject = Status::WrongPartition("not owner; cluster epoch " +
+                                    std::to_string(map->epoch));
+  f.keys.reserve(keys.size());
+  f.pos.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const bool owned = for_write ? map->OwnsForWrite(self, keys[i])
+                                 : map->OwnsForRead(self, keys[i]);
+    if (owned) {
+      f.keys.push_back(keys[i]);
+      f.pos.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return f;
+}
+
+// Expands the owned sub-batch's result back over the full key span:
+// unowned positions carry the reject code (counted failed), owned ones
+// their served outcome — counts stay consistent with the codes.
+BatchResult ExpandResult(const OwnedSubset& f, size_t n,
+                         const BatchResult& sub) {
+  BatchResult full;
+  full.codes.assign(n, f.reject.code());
+  full.found = sub.found;
+  full.missing = sub.missing;
+  full.busy = sub.busy;
+  full.failed = sub.failed + (n - f.pos.size());
+  full.first_error = sub.failed > 0 ? sub.first_error : f.reject;
+  for (size_t i = 0; i < f.pos.size(); ++i) {
+    full.codes[f.pos[i]] = sub.codes[i];
+  }
+  return full;
+}
+
+}  // namespace
+
 KvServer::KvServer(std::unique_ptr<KvBackend> backend,
                    KvServerOptions options)
     : backend_(std::move(backend)),
       options_(std::move(options)),
+      cluster_(options_.cluster),
+      self_endpoint_(options_.self_endpoint),
       slot_fds_(options_.num_workers == 0 ? 1 : options_.num_workers, -1) {
   if (options_.request_threads > 0) {
     request_pool_ = std::make_unique<ThreadPool>(options_.request_threads);
   }
+}
+
+void KvServer::UpdateClusterMap(
+    std::shared_ptr<const cluster::ClusterMap> map, uint32_t self_endpoint) {
+  std::lock_guard<std::mutex> lk(cluster_mu_);
+  cluster_ = std::move(map);
+  self_endpoint_ = self_endpoint;
+}
+
+std::shared_ptr<const cluster::ClusterMap> KvServer::cluster_map() const {
+  std::lock_guard<std::mutex> lk(cluster_mu_);
+  return cluster_;
+}
+
+KvServer::ClusterView KvServer::cluster_view() const {
+  std::lock_guard<std::mutex> lk(cluster_mu_);
+  return {cluster_, self_endpoint_};
+}
+
+uint8_t KvServer::RoleUnder(const cluster::ClusterMap& map, uint32_t self) {
+  uint8_t role = 0;
+  for (const cluster::ClusterPartition& p : map.partitions) {
+    if (p.primary == self) return 1;
+    for (const uint32_t r : p.replicas) {
+      if (r == self) role = 2;
+    }
+  }
+  return role;
 }
 
 KvServer::~KvServer() { Stop(); }
@@ -272,6 +368,11 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
       info.dim = backend_->dim();
       info.shard_bits = backend_->shard_bits();
       info.backend_name = backend_->name();
+      const ClusterView cv = cluster_view();
+      if (cv.map != nullptr) {
+        info.cluster_epoch = cv.map->epoch;
+        info.cluster_role = RoleUnder(*cv.map, cv.self);
+      }
       EncodeHandshakeInfo(info, &body);
       break;
     }
@@ -295,28 +396,60 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
         MultiGetOptions opts;
         opts.init_missing = req.init_missing;
         opts.untracked = req.untracked;
+        const ClusterView cv = cluster_view();
+        const OwnedSubset f =
+            FilterOwned(cv.map.get(), cv.self, req.keys, /*for_write=*/false);
         std::vector<float> rows(req.keys.size() * size_t{dim});
-        const BatchResult r = backend_->MultiGet(req.keys, rows.data(), opts);
-        EncodeMultiGetResponse(r, rows.data(), dim, &body);
+        if (!f.enforce || f.all_owned) {
+          const BatchResult r =
+              backend_->MultiGet(req.keys, rows.data(), opts);
+          EncodeMultiGetResponse(r, rows.data(), dim, &body);
+        } else {
+          std::vector<float> sub_rows(f.keys.size() * size_t{dim});
+          const BatchResult sub =
+              backend_->MultiGet(f.keys, sub_rows.data(), opts);
+          for (size_t i = 0; i < f.pos.size(); ++i) {
+            if (sub.codes[i] == Status::Code::kOk) {
+              std::memcpy(rows.data() + f.pos[i] * size_t{dim},
+                          sub_rows.data() + i * size_t{dim},
+                          size_t{dim} * sizeof(float));
+            }
+          }
+          EncodeMultiGetResponse(ExpandResult(f, req.keys.size(), sub),
+                                 rows.data(), dim, &body);
+        }
       }
       break;
     }
-    case Opcode::kMultiPut: {
-      MultiWriteRequest req;
-      transport = DecodeMultiWriteRequest(payload, backend_->dim(), &req);
-      if (transport.ok()) {
-        EncodeBatchResult(backend_->MultiPut(req.keys, req.rows.data()),
-                          &body);
-      }
-      break;
-    }
+    case Opcode::kMultiPut:
     case Opcode::kMultiApplyGradient: {
+      const bool is_put = hdr.opcode == Opcode::kMultiPut;
       MultiWriteRequest req;
       transport = DecodeMultiWriteRequest(payload, backend_->dim(), &req);
       if (transport.ok()) {
-        EncodeBatchResult(
-            backend_->MultiApplyGradient(req.keys, req.rows.data(), req.lr),
-            &body);
+        const ClusterView cv = cluster_view();
+        const OwnedSubset f =
+            FilterOwned(cv.map.get(), cv.self, req.keys, /*for_write=*/true);
+        if (!f.enforce || f.all_owned) {
+          EncodeBatchResult(
+              is_put ? backend_->MultiPut(req.keys, req.rows.data())
+                     : backend_->MultiApplyGradient(req.keys,
+                                                    req.rows.data(), req.lr),
+              &body);
+        } else {
+          const uint32_t dim = backend_->dim();
+          std::vector<float> sub_rows(f.keys.size() * size_t{dim});
+          for (size_t i = 0; i < f.pos.size(); ++i) {
+            std::memcpy(sub_rows.data() + i * size_t{dim},
+                        req.rows.data() + f.pos[i] * size_t{dim},
+                        size_t{dim} * sizeof(float));
+          }
+          const BatchResult sub =
+              is_put ? backend_->MultiPut(f.keys, sub_rows.data())
+                     : backend_->MultiApplyGradient(f.keys, sub_rows.data(),
+                                                    req.lr);
+          EncodeBatchResult(ExpandResult(f, req.keys.size(), sub), &body);
+        }
       }
       break;
     }
@@ -332,6 +465,59 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
     }
     case Opcode::kPing: {
       break;  // empty body: liveness plus round-trip timing
+    }
+    case Opcode::kClusterMap: {
+      const auto map = cluster_map();
+      if (map == nullptr) {
+        transport = Status::NotSupported("server is not in cluster mode");
+      } else {
+        cluster::EncodeClusterMap(*map, &body);
+      }
+      break;
+    }
+    case Opcode::kSubscribe: {
+      const uint32_t shards = backend_->replication_shards();
+      if (shards == 0) {
+        transport =
+            Status::NotSupported(backend_->name() + " has no replication feed");
+        break;
+      }
+      SubscribeResponse resp;
+      resp.shard_durables.resize(shards, 0);
+      for (uint32_t sh = 0; sh < shards && transport.ok(); ++sh) {
+        std::vector<UpdateEntry> none;
+        uint64_t next = 0;
+        transport = backend_->ReadCommittedUpdates(
+            sh, 0, /*max_records=*/0, /*max_bytes=*/0, &none, &next,
+            &resp.shard_durables[sh]);
+      }
+      if (transport.ok()) EncodeSubscribeResponse(resp, &body);
+      break;
+    }
+    case Opcode::kReplicate: {
+      ReplicateRequest req;
+      transport = DecodeReplicateRequest(payload, &req);
+      const uint32_t shards = backend_->replication_shards();
+      if (transport.ok() && req.shard >= shards) {
+        transport = shards == 0
+                        ? Status::NotSupported(backend_->name() +
+                                               " has no replication feed")
+                        : Status::InvalidArgument("replicate: shard " +
+                                                  std::to_string(req.shard) +
+                                                  " out of range");
+      }
+      if (transport.ok()) {
+        // Clamp both caps so the response stays under the frame limit no
+        // matter what the replica asked for (values ride uncompressed).
+        ReplicateResponse resp;
+        transport = backend_->ReadCommittedUpdates(
+            req.shard, req.from,
+            std::min<uint32_t>(req.max_records, 1u << 16),
+            std::min<uint32_t>(req.max_bytes, kMaxPayloadBytes / 2),
+            &resp.entries, &resp.next_from, &resp.durable);
+        if (transport.ok()) EncodeReplicateResponse(resp, &body);
+      }
+      break;
     }
   }
   if (!transport.ok()) {
@@ -366,6 +552,11 @@ StatsSnapshot KvServer::stats() const {
   s.async_writes_completed = io.async_writes_completed;
   s.fsyncs = io.fsyncs;
   s.group_commits = io.group_commits;
+  s.replicated_records = io.replicated_records;
+  s.replica_lag_records = io.replica_lag_records;
+  // External counters last so a Replicator-fed snapshot wins over the
+  // backend's zeros (local engines know nothing about replication).
+  if (stats_source_) stats_source_(&s);
   return s;
 }
 

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "backend/kv_backend.h"
+#include "cluster/cluster_map.h"
 #include "common/histogram.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -57,6 +59,16 @@ struct KvServerOptions {
   // response and requeues the connection. 0 (default) serves every
   // request inline on its worker, the classic model.
   size_t request_threads = 0;
+  // Cluster mode (see docs/CLUSTER.md): the routing map this server
+  // enforces and its own index into the map's endpoints. With a map set,
+  // storage requests for keys this endpoint does not own come back with
+  // per-key kWrongPartition codes (writes need the partition's primary;
+  // reads accept its replicas too), the handshake advertises the map's
+  // epoch, and kClusterMap serves the map. Null = standalone (default),
+  // nothing enforced. Both can also be swapped at runtime via
+  // UpdateClusterMap (the epoch-bump path).
+  std::shared_ptr<const cluster::ClusterMap> cluster;
+  uint32_t self_endpoint = UINT32_MAX;
 };
 
 class KvServer {
@@ -83,6 +95,20 @@ class KvServer {
   StatsSnapshot stats() const;
   const Histogram& request_latency() const { return latency_; }
 
+  // Swaps the enforced cluster map (and this server's endpoint index under
+  // the new map) — the epoch-bump path. Thread-safe; in-flight requests
+  // finish under whichever map they snapshotted.
+  void UpdateClusterMap(std::shared_ptr<const cluster::ClusterMap> map,
+                        uint32_t self_endpoint);
+  std::shared_ptr<const cluster::ClusterMap> cluster_map() const;
+
+  // Augments stats() snapshots with externally owned counters (a replica's
+  // Replicator feeds replicated_records / replica_lag_records through
+  // this). Set before Start(); not synchronized against concurrent stats().
+  void SetStatsSource(std::function<void(StatsSnapshot*)> source) {
+    stats_source_ = std::move(source);
+  }
+
  private:
   void AcceptLoop();
   void WorkerLoop(size_t slot);
@@ -102,8 +128,23 @@ class KvServer {
   };
   void RunOffloaded(const std::shared_ptr<OffloadedRequest>& req);
 
+  // Snapshot of the current map + self index (one shared_ptr copy per
+  // storage request when a map is set).
+  struct ClusterView {
+    std::shared_ptr<const cluster::ClusterMap> map;
+    uint32_t self = UINT32_MAX;
+  };
+  ClusterView cluster_view() const;
+  // This endpoint's role under `map`: 0 standalone, 1 primary, 2 replica.
+  static uint8_t RoleUnder(const cluster::ClusterMap& map, uint32_t self);
+
   std::unique_ptr<KvBackend> backend_;
   const KvServerOptions options_;
+
+  mutable std::mutex cluster_mu_;
+  std::shared_ptr<const cluster::ClusterMap> cluster_;
+  uint32_t self_endpoint_ = UINT32_MAX;
+  std::function<void(StatsSnapshot*)> stats_source_;
 
   ListenSocket listener_;
   std::thread accept_thread_;

@@ -32,6 +32,14 @@ Status Handshake(Socket* s, uint64_t request_id, HandshakeInfo* out) {
 
 Status RemoteBackend::Connect(const RemoteBackendOptions& options,
                               std::unique_ptr<KvBackend>* out) {
+  std::unique_ptr<RemoteBackend> typed;
+  MLKV_RETURN_NOT_OK(Connect(options, &typed));
+  *out = std::move(typed);
+  return Status::OK();
+}
+
+Status RemoteBackend::Connect(const RemoteBackendOptions& options,
+                              std::unique_ptr<RemoteBackend>* out) {
   if (options.addr.empty()) {
     return Status::InvalidArgument(
         "remote backend needs an address (BackendConfig::remote_addr)");
@@ -50,6 +58,7 @@ Status RemoteBackend::Connect(const RemoteBackendOptions& options,
   b->dim_ = info.dim;
   b->shard_bits_ = info.shard_bits;
   b->remote_name_ = info.backend_name;
+  b->handshake_ = info;
   b->max_keys_per_rpc_ = options.max_keys_per_rpc;
   if (b->max_keys_per_rpc_ == 0) {
     // Conservative per-key wire cost covering both directions: key (8B,
@@ -65,15 +74,21 @@ Status RemoteBackend::Connect(const RemoteBackendOptions& options,
   return Status::OK();
 }
 
-Status RemoteBackend::CheckOut(Socket* out) {
+Status RemoteBackend::CheckOut(Socket* out, bool* pooled) {
   {
     std::lock_guard<std::mutex> lk(pool_mu_);
     if (!pool_.empty()) {
       *out = std::move(pool_.back());
       pool_.pop_back();
+      *pooled = true;
       return Status::OK();
     }
   }
+  *pooled = false;
+  return ConnectFresh(out);
+}
+
+Status RemoteBackend::ConnectFresh(Socket* out) {
   Socket s;
   MLKV_RETURN_NOT_OK(Socket::Connect(host_, port_, &s));
   HandshakeInfo info;
@@ -94,18 +109,15 @@ void RemoteBackend::CheckIn(Socket s) {
   // else: drop — the socket closes, bounding idle fds.
 }
 
-Status RemoteBackend::Rpc(Opcode op, const PayloadWriter& request,
-                          Status* transport, std::vector<uint8_t>* body,
-                          size_t* body_off) {
-  Socket s;
-  MLKV_RETURN_NOT_OK(CheckOut(&s));
+Status RemoteBackend::Exchange(Socket* s, Opcode op,
+                               const PayloadWriter& request,
+                               Status* transport, std::vector<uint8_t>* body,
+                               size_t* body_off) {
   const uint64_t id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  // Any failure past this point discards the socket (it falls out of
-  // scope un-pooled): a torn stream must never serve the next batch.
-  MLKV_RETURN_NOT_OK(SendFrame(&s, op, 0, id, request.bytes()));
+  MLKV_RETURN_NOT_OK(SendFrame(s, op, 0, id, request.bytes()));
   FrameHeader hdr;
-  MLKV_RETURN_NOT_OK(RecvFrame(&s, &hdr, body));
+  MLKV_RETURN_NOT_OK(RecvFrame(s, &hdr, body));
   if (hdr.request_id != id || hdr.opcode != op ||
       (hdr.flags & kFlagResponse) == 0) {
     return Status::Corruption("rpc: response does not match request");
@@ -115,8 +127,54 @@ Status RemoteBackend::Rpc(Opcode op, const PayloadWriter& request,
     return Status::Corruption("rpc: truncated response status");
   }
   *body_off = body->size() - r.remaining();
-  CheckIn(std::move(s));
   return Status::OK();
+}
+
+Status RemoteBackend::Rpc(Opcode op, const PayloadWriter& request,
+                          Status* transport, std::vector<uint8_t>* body,
+                          size_t* body_off) {
+  Socket s;
+  bool pooled = false;
+  MLKV_RETURN_NOT_OK(CheckOut(&s, &pooled));
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  // Any failure in the exchange discards the socket (it falls out of
+  // scope un-pooled): a torn stream must never serve the next batch.
+  Status st = Exchange(&s, op, request, transport, body, body_off);
+  if (st.ok()) {
+    CheckIn(std::move(s));
+    return st;
+  }
+  // Stale-pool retry (see header comment): a pooled socket whose server
+  // went away fails at send, or at recv with a clean close (Aborted) or a
+  // reset (IOError). The server answers every request it reads before
+  // closing, so this request was never executed — retry exactly once on a
+  // fresh socket, and drop the rest of the pool (same dead peer).
+  if (!pooled || !(st.IsAborted() || st.IsIOError())) return st;
+  s.Close();
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_.clear();
+  }
+  Socket fresh;
+  MLKV_RETURN_NOT_OK(ConnectFresh(&fresh));
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  body->clear();
+  st = Exchange(&fresh, op, request, transport, body, body_off);
+  if (st.ok()) CheckIn(std::move(fresh));
+  return st;
+}
+
+Status RemoteBackend::CallRaw(Opcode op, const PayloadWriter& request,
+                              Status* transport, std::vector<uint8_t>* body,
+                              size_t* body_off) {
+  return Rpc(op, request, transport, body, body_off);
+}
+
+BackendIoStats RemoteBackend::io_stats() const {
+  BackendIoStats s;
+  s.remote_requests = requests_.load(std::memory_order_relaxed);
+  s.remote_retries = retries_.load(std::memory_order_relaxed);
+  return s;
 }
 
 BatchResult RemoteBackend::FailAll(size_t n, const Status& s) {
@@ -127,13 +185,15 @@ BatchResult RemoteBackend::FailAll(size_t n, const Status& s) {
 
 BatchResult RemoteBackend::MultiGetChunk(std::span<const Key> keys,
                                          float* out,
-                                         const MultiGetOptions& options) {
+                                         const MultiGetOptions& options,
+                                         bool* transport_down) {
   PayloadWriter w;
   EncodeMultiGetRequest(keys, options.init_missing, options.untracked, &w);
   Status transport;
   std::vector<uint8_t> body;
   size_t off = 0;
   Status s = Rpc(Opcode::kMultiGet, w, &transport, &body, &off);
+  if (!s.ok() && transport_down != nullptr) *transport_down = true;
   if (s.ok() && !transport.ok()) s = transport;
   if (!s.ok()) return FailAll(keys.size(), s);
   BatchResult result;
@@ -145,13 +205,15 @@ BatchResult RemoteBackend::MultiGetChunk(std::span<const Key> keys,
 
 BatchResult RemoteBackend::MultiWriteChunk(Opcode op,
                                            std::span<const Key> keys,
-                                           const float* rows, float lr) {
+                                           const float* rows, float lr,
+                                           bool* transport_down) {
   PayloadWriter w;
   EncodeMultiWriteRequest(keys, rows, dim_, lr, &w);
   Status transport;
   std::vector<uint8_t> body;
   size_t off = 0;
   Status s = Rpc(op, w, &transport, &body, &off);
+  if (!s.ok() && transport_down != nullptr) *transport_down = true;
   if (s.ok() && !transport.ok()) s = transport;
   if (!s.ok()) return FailAll(keys.size(), s);
   BatchResult result;
@@ -168,8 +230,14 @@ BatchResult RemoteBackend::MultiWriteChunk(Opcode op,
 
 BatchResult RemoteBackend::MultiGet(std::span<const Key> keys, float* out,
                                     const MultiGetOptions& options) {
+  return MultiGetEx(keys, out, options, nullptr);
+}
+
+BatchResult RemoteBackend::MultiGetEx(std::span<const Key> keys, float* out,
+                                      const MultiGetOptions& options,
+                                      bool* transport_down) {
   if (keys.size() <= max_keys_per_rpc_) {
-    return MultiGetChunk(keys, out, options);
+    return MultiGetChunk(keys, out, options, transport_down);
   }
   // Sequential sub-RPCs in input order: semantics match one big call
   // (first occurrence of a duplicate still bootstraps, later ones find).
@@ -177,17 +245,24 @@ BatchResult RemoteBackend::MultiGet(std::span<const Key> keys, float* out,
   result.codes.reserve(keys.size());
   for (size_t off = 0; off < keys.size(); off += max_keys_per_rpc_) {
     const size_t n = std::min(max_keys_per_rpc_, keys.size() - off);
-    result.Append(
-        MultiGetChunk(keys.subspan(off, n), out + off * size_t{dim_},
-                      options));
+    result.Append(MultiGetChunk(keys.subspan(off, n),
+                                out + off * size_t{dim_}, options,
+                                transport_down));
   }
   return result;
 }
 
 BatchResult RemoteBackend::MultiPut(std::span<const Key> keys,
                                     const float* values) {
+  return MultiPutEx(keys, values, nullptr);
+}
+
+BatchResult RemoteBackend::MultiPutEx(std::span<const Key> keys,
+                                      const float* values,
+                                      bool* transport_down) {
   if (keys.size() <= max_keys_per_rpc_) {
-    return MultiWriteChunk(Opcode::kMultiPut, keys, values, 0.0f);
+    return MultiWriteChunk(Opcode::kMultiPut, keys, values, 0.0f,
+                           transport_down);
   }
   // In-order chunks keep duplicate-key Puts last-occurrence-wins.
   BatchResult result;
@@ -195,15 +270,23 @@ BatchResult RemoteBackend::MultiPut(std::span<const Key> keys,
   for (size_t off = 0; off < keys.size(); off += max_keys_per_rpc_) {
     const size_t n = std::min(max_keys_per_rpc_, keys.size() - off);
     result.Append(MultiWriteChunk(Opcode::kMultiPut, keys.subspan(off, n),
-                                  values + off * size_t{dim_}, 0.0f));
+                                  values + off * size_t{dim_}, 0.0f,
+                                  transport_down));
   }
   return result;
 }
 
 BatchResult RemoteBackend::MultiApplyGradient(std::span<const Key> keys,
                                               const float* grads, float lr) {
+  return MultiApplyGradientEx(keys, grads, lr, nullptr);
+}
+
+BatchResult RemoteBackend::MultiApplyGradientEx(std::span<const Key> keys,
+                                                const float* grads, float lr,
+                                                bool* transport_down) {
   if (keys.size() <= max_keys_per_rpc_) {
-    return MultiWriteChunk(Opcode::kMultiApplyGradient, keys, grads, lr);
+    return MultiWriteChunk(Opcode::kMultiApplyGradient, keys, grads, lr,
+                           transport_down);
   }
   // Sequential applies accumulate — SGD is linear in the gradient.
   BatchResult result;
@@ -212,7 +295,8 @@ BatchResult RemoteBackend::MultiApplyGradient(std::span<const Key> keys,
     const size_t n = std::min(max_keys_per_rpc_, keys.size() - off);
     result.Append(MultiWriteChunk(Opcode::kMultiApplyGradient,
                                   keys.subspan(off, n),
-                                  grads + off * size_t{dim_}, lr));
+                                  grads + off * size_t{dim_}, lr,
+                                  transport_down));
   }
   return result;
 }

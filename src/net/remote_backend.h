@@ -12,6 +12,17 @@
 // and retained idle up to pool_size; a socket that sees any transport
 // error is discarded, never re-pooled.
 //
+// Stale-pool retry: an idle pooled socket can outlive its server (restart,
+// failover) — the next RPC then fails at send or sees a clean close where
+// the response should be. KvServer always responds before closing a
+// connection, so that failure means the request was never executed: the
+// RPC is retried exactly once on a freshly connected socket (and the rest
+// of the pool, pointed at the same dead peer, is dropped). Fresh-socket
+// failures are genuine and never retried. Caveat: a server that dies
+// mid-response leaves the request possibly executed; the retry makes
+// MultiApplyGradient at-least-once in that narrow window — acceptable for
+// SGD, and the alternative (failing the batch) loses the update entirely.
+//
 // dim() and shard_bits() are answered from the connect-time handshake, so
 // batch layout helpers (train/batch_io.h's OrderKeysByShard) keep working
 // against a remote store.
@@ -49,6 +60,10 @@ class RemoteBackend : public KvBackend {
   // and returns the backend ready for batched calls.
   static Status Connect(const RemoteBackendOptions& options,
                         std::unique_ptr<KvBackend>* out);
+  // Typed variant for callers that need the extended surface below
+  // (ClusterBackend, Replicator, cluster-status tooling).
+  static Status Connect(const RemoteBackendOptions& options,
+                        std::unique_ptr<RemoteBackend>* out);
 
   std::string name() const override { return "Remote(" + remote_name_ + ")"; }
   uint32_t dim() const override { return dim_; }
@@ -62,10 +77,37 @@ class RemoteBackend : public KvBackend {
                                  const float* grads, float lr) override;
   Status Lookahead(std::span<const Key> keys) override;
 
+  BackendIoStats io_stats() const override;
+
   // Liveness probe and remote server counters (exposed for tools/tests;
   // not part of the KvBackend contract).
   Status Ping();
   Status FetchStats(StatsSnapshot* out);
+
+  // --- extended surface for cluster mode ---
+
+  // Like the KvBackend virtuals, but report whether a failure was the
+  // transport itself (connect/send/recv — the server may be down) rather
+  // than per-key outcomes the server computed. ClusterBackend uses the
+  // distinction to fail a read sub-batch over to a replica. `transport_down`
+  // may be null; it is set true only on transport failure.
+  BatchResult MultiGetEx(std::span<const Key> keys, float* out,
+                         const MultiGetOptions& options, bool* transport_down);
+  BatchResult MultiPutEx(std::span<const Key> keys, const float* values,
+                         bool* transport_down);
+  BatchResult MultiApplyGradientEx(std::span<const Key> keys,
+                                   const float* grads, float lr,
+                                   bool* transport_down);
+
+  // One raw request/response exchange over a pooled socket (kClusterMap,
+  // kSubscribe, kReplicate, tooling). On OK, `transport` holds the
+  // response's transport status and the op body is body[*body_off..].
+  Status CallRaw(Opcode op, const PayloadWriter& request, Status* transport,
+                 std::vector<uint8_t>* body, size_t* body_off);
+
+  const std::string& addr() const { return options_.addr; }
+  // Connect-time handshake (cluster epoch / role included).
+  const HandshakeInfo& handshake_info() const { return handshake_; }
 
  private:
   explicit RemoteBackend(RemoteBackendOptions options)
@@ -74,20 +116,30 @@ class RemoteBackend : public KvBackend {
   // Single-RPC implementations; the public virtuals chunk oversized
   // batches across them.
   BatchResult MultiGetChunk(std::span<const Key> keys, float* out,
-                            const MultiGetOptions& options);
+                            const MultiGetOptions& options,
+                            bool* transport_down);
   BatchResult MultiWriteChunk(Opcode op, std::span<const Key> keys,
-                              const float* rows, float lr);
+                              const float* rows, float lr,
+                              bool* transport_down);
 
   // Checkout/checkin around one RPC; a fresh socket handshakes and must
   // agree with the connect-time dim (a pool pointed at a different server
-  // generation would silently corrupt rows otherwise).
-  Status CheckOut(Socket* out);
+  // generation would silently corrupt rows otherwise). `pooled` reports
+  // whether the socket came from the idle pool (retry eligibility).
+  Status CheckOut(Socket* out, bool* pooled);
   void CheckIn(Socket s);
+  // Fresh connect + handshake + dim check (no pool involvement).
+  Status ConnectFresh(Socket* out);
   // One request/response exchange. On OK, `transport` is the response's
   // transport status and the op body is body[*body_off..] — an offset,
-  // not an erase, so a near-cap response is never memmoved.
+  // not an erase, so a near-cap response is never memmoved. Retries once
+  // on a fresh socket when a pooled socket turns out to be stale.
   Status Rpc(Opcode op, const PayloadWriter& request, Status* transport,
              std::vector<uint8_t>* body, size_t* body_off);
+  // The exchange itself on an already-checked-out socket; does not pool.
+  Status Exchange(Socket* s, Opcode op, const PayloadWriter& request,
+                  Status* transport, std::vector<uint8_t>* body,
+                  size_t* body_off);
   // Folds a transport-level failure into a per-key result: every key gets
   // the failure code, so callers see the standard BatchResult contract.
   BatchResult FailAll(size_t n, const Status& s);
@@ -99,10 +151,13 @@ class RemoteBackend : public KvBackend {
   uint32_t shard_bits_ = 0;
   size_t max_keys_per_rpc_ = 0;  // resolved at Connect (needs dim)
   std::string remote_name_;
+  HandshakeInfo handshake_;
 
   std::mutex pool_mu_;
   std::vector<Socket> pool_;
   std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> requests_{0};  // RPC exchanges attempted
+  std::atomic<uint64_t> retries_{0};   // stale-pool fresh-socket retries
 };
 
 }  // namespace net

@@ -9,6 +9,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +63,30 @@ Status ParseHostPort(const std::string& addr, std::string* host,
     return Status::InvalidArgument("bad port in address '" + addr + "'");
   }
   *port = static_cast<uint16_t>(p);
+  return Status::OK();
+}
+
+Status ParseEndpointList(const std::string& list,
+                         std::vector<std::string>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    size_t b = start, e = comma;
+    while (b < e && std::isspace(static_cast<unsigned char>(list[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(list[e - 1]))) --e;
+    const std::string entry = list.substr(b, e - b);
+    if (entry.empty()) {
+      return Status::InvalidArgument("endpoint list '" + list +
+                                     "' has an empty entry");
+    }
+    std::string host;
+    uint16_t port = 0;
+    MLKV_RETURN_NOT_OK(ParseHostPort(entry, &host, &port));
+    out->push_back(host + ":" + std::to_string(port));
+    start = comma + 1;
+  }
   return Status::OK();
 }
 

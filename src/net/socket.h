@@ -25,6 +25,13 @@ namespace net {
 Status ParseHostPort(const std::string& addr, std::string* host,
                      uint16_t* port, bool allow_port_zero = false);
 
+// Splits a comma-separated endpoint list ("h1:7700, h2:7701") into
+// normalized "host:port" strings. Whitespace around entries is trimmed;
+// an empty entry (",,", trailing comma, or an all-blank list) or a bad
+// host:port is InvalidArgument naming the offending entry.
+Status ParseEndpointList(const std::string& list,
+                         std::vector<std::string>* out);
+
 // A connected stream socket. Move-only; closes on destruction.
 class Socket {
  public:

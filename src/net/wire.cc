@@ -33,7 +33,7 @@ uint64_t LoadU64(const uint8_t* p) {
 // Status codes arrive from an untrusted peer; an out-of-range byte must
 // be rejected here, not fed to Status::ToString()'s name table.
 bool ValidStatusCode(uint8_t c) {
-  return c <= static_cast<uint8_t>(Status::Code::kOutOfMemory);
+  return c <= static_cast<uint8_t>(Status::Code::kWrongPartition);
 }
 
 }  // namespace
@@ -47,6 +47,9 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kLookahead: return "Lookahead";
     case Opcode::kStats: return "Stats";
     case Opcode::kPing: return "Ping";
+    case Opcode::kClusterMap: return "ClusterMap";
+    case Opcode::kSubscribe: return "Subscribe";
+    case Opcode::kReplicate: return "Replicate";
   }
   return "?";
 }
@@ -135,6 +138,10 @@ void PayloadWriter::StatusOf(const Status& s) {
   Str(s.message());
 }
 
+void PayloadWriter::Bytes(const uint8_t* p, size_t n) {
+  buf_.insert(buf_.end(), p, p + n);
+}
+
 // --- PayloadReader -------------------------------------------------------
 
 bool PayloadReader::Take(size_t n, const uint8_t** out) {
@@ -219,6 +226,13 @@ bool PayloadReader::Str(std::string* out) {
   return true;
 }
 
+bool PayloadReader::Bytes(uint8_t* out, size_t n) {
+  const uint8_t* p;
+  if (!Take(n, &p)) return false;
+  std::memcpy(out, p, n);
+  return true;
+}
+
 bool PayloadReader::ReadStatus(Status* out) {
   uint8_t code;
   std::string msg;
@@ -248,12 +262,16 @@ void EncodeHandshakeInfo(const HandshakeInfo& h, PayloadWriter* w) {
   w->U32(h.dim);
   w->U32(h.shard_bits);
   w->Str(h.backend_name);
+  w->U64(h.cluster_epoch);
+  w->U8(h.cluster_role);
 }
 
 Status DecodeHandshakeInfo(PayloadReader* r, HandshakeInfo* out) {
   r->U32(&out->dim);
   r->U32(&out->shard_bits);
   r->Str(&out->backend_name);
+  r->U64(&out->cluster_epoch);
+  r->U8(&out->cluster_role);
   return r->Finish("handshake");
 }
 
@@ -388,6 +406,9 @@ void EncodeStatsSnapshot(const StatsSnapshot& s, PayloadWriter* w) {
   w->U64(s.async_writes_completed);
   w->U64(s.fsyncs);
   w->U64(s.group_commits);
+  w->U64(s.replicated_records);
+  w->U64(s.replica_lag_records);
+  w->U64(s.replication_reconnects);
 }
 
 Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out) {
@@ -412,7 +433,91 @@ Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out) {
   r->U64(&out->async_writes_completed);
   r->U64(&out->fsyncs);
   r->U64(&out->group_commits);
+  r->U64(&out->replicated_records);
+  r->U64(&out->replica_lag_records);
+  r->U64(&out->replication_reconnects);
   return r->Finish("stats");
+}
+
+// --- replication payloads ------------------------------------------------
+
+void EncodeSubscribeResponse(const SubscribeResponse& s, PayloadWriter* w) {
+  w->U32(static_cast<uint32_t>(s.shard_durables.size()));
+  for (const uint64_t d : s.shard_durables) w->U64(d);
+}
+
+Status DecodeSubscribeResponse(PayloadReader* r, SubscribeResponse* out) {
+  uint32_t n = 0;
+  if (!r->U32(&n) || n > r->remaining() / 8) {
+    return Status::Corruption("wire: truncated Subscribe response");
+  }
+  out->shard_durables.resize(n);
+  for (uint64_t& d : out->shard_durables) r->U64(&d);
+  return r->Finish("Subscribe response");
+}
+
+void EncodeReplicateRequest(const ReplicateRequest& q, PayloadWriter* w) {
+  w->U32(q.shard);
+  w->U64(q.from);
+  w->U32(q.max_records);
+  w->U32(q.max_bytes);
+}
+
+Status DecodeReplicateRequest(std::span<const uint8_t> payload,
+                              ReplicateRequest* out) {
+  PayloadReader r(payload);
+  r.U32(&out->shard);
+  r.U64(&out->from);
+  r.U32(&out->max_records);
+  r.U32(&out->max_bytes);
+  return r.Finish("Replicate request");
+}
+
+void EncodeReplicateResponse(const ReplicateResponse& s, PayloadWriter* w) {
+  w->U64(s.next_from);
+  w->U64(s.durable);
+  w->U32(static_cast<uint32_t>(s.entries.size()));
+  for (const UpdateEntry& e : s.entries) {
+    w->U64(e.address);
+    w->U64(e.key);
+    w->U32(e.generation);
+    w->U32(e.staleness);
+    w->U8(e.tombstone ? 1 : 0);
+    // Values cross the wire as opaque byte blobs (the replica re-upserts
+    // them verbatim), not as float rows — no dim assumption here.
+    w->U32(static_cast<uint32_t>(e.value.size()));
+    w->Bytes(reinterpret_cast<const uint8_t*>(e.value.data()), e.value.size());
+  }
+}
+
+Status DecodeReplicateResponse(PayloadReader* r, ReplicateResponse* out) {
+  r->U64(&out->next_from);
+  r->U64(&out->durable);
+  uint32_t n = 0;
+  // Each entry costs at least 29 bytes on the wire; bound before resize.
+  if (!r->U32(&n) || n > r->remaining() / 29) {
+    return Status::Corruption("wire: truncated Replicate response");
+  }
+  out->entries.resize(n);
+  for (UpdateEntry& e : out->entries) {
+    uint8_t tomb = 0;
+    uint32_t len = 0;
+    r->U64(&e.address);
+    r->U64(&e.key);
+    r->U32(&e.generation);
+    r->U32(&e.staleness);
+    r->U8(&tomb);
+    if (!r->U32(&len) || len > r->remaining()) {
+      return Status::Corruption("wire: truncated Replicate entry");
+    }
+    e.tombstone = tomb != 0;
+    e.value.resize(len);
+    if (len != 0 &&
+        !r->Bytes(reinterpret_cast<uint8_t*>(e.value.data()), len)) {
+      return Status::Corruption("wire: truncated Replicate entry");
+    }
+  }
+  return r->Finish("Replicate response");
 }
 
 }  // namespace net

@@ -31,6 +31,7 @@
 #include "common/batch_result.h"
 #include "common/status.h"
 #include "kv/record.h"
+#include "kv/update_log.h"
 
 namespace mlkv {
 namespace net {
@@ -41,7 +42,11 @@ inline constexpr uint32_t kWireMagic = 0x564B4C4Du;
 // reads, page traffic, pending-pipeline counters) after the server fields.
 // v3: the storage-I/O block grows four write-pipeline counters (flush-wave
 // submissions/completions, fsyncs, group commits).
-inline constexpr uint8_t kWireVersion = 3;
+// v4: cluster mode — handshakes carry the cluster epoch + role, kClusterMap
+// serves the routing map, kSubscribe/kReplicate ship the committed-update
+// feed to replicas, kStats grows replication counters, and responses may
+// carry per-key kWrongPartition codes.
+inline constexpr uint8_t kWireVersion = 4;
 inline constexpr size_t kFrameHeaderSize = 20;
 // Upper bound on a single payload; a header announcing more is corrupt
 // (or hostile) and the connection is dropped before any allocation.
@@ -55,13 +60,16 @@ enum class Opcode : uint8_t {
   kLookahead = 5,
   kStats = 6,
   kPing = 7,
+  kClusterMap = 8,  // fetch the current ClusterMap (routing table + epoch)
+  kSubscribe = 9,   // replica: learn the primary's shard count + watermarks
+  kReplicate = 10,  // replica: poll one shard's committed-update feed
 };
 // Dense per-opcode counter arrays index by the raw opcode value.
-inline constexpr size_t kOpcodeSlots = 8;
+inline constexpr size_t kOpcodeSlots = 11;
 
 inline bool ValidOpcode(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Opcode::kHandshake) &&
-         raw <= static_cast<uint8_t>(Opcode::kPing);
+         raw <= static_cast<uint8_t>(Opcode::kReplicate);
 }
 
 const char* OpcodeName(Opcode op);
@@ -95,6 +103,7 @@ class PayloadWriter {
   void Keys(std::span<const Key> keys);  // count u32 + count u64s
   void Str(std::string_view s);          // length u16 + bytes
   void StatusOf(const Status& s);        // code u8 + message Str
+  void Bytes(const uint8_t* p, size_t n);  // raw bytes, no length prefix
 
   const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> Take() { return std::move(buf_); }
@@ -121,6 +130,7 @@ class PayloadReader {
   bool Keys(std::vector<Key>* out);  // count-prefixed, bounds-checked
   bool Str(std::string* out);
   bool ReadStatus(Status* out);
+  bool Bytes(uint8_t* out, size_t n);  // raw bytes, caller-sized
 
   bool ok() const { return !failed_; }
   bool AtEnd() const { return !failed_ && p_ == end_; }
@@ -143,6 +153,11 @@ struct HandshakeInfo {
   uint32_t dim = 0;
   uint32_t shard_bits = 0;
   std::string backend_name;
+  // Cluster fields (v4). epoch 0 = standalone server (no map to fetch);
+  // anything else invites the client to issue kClusterMap and route by
+  // partition. role: 0 standalone, 1 primary (of >=1 partition), 2 replica.
+  uint64_t cluster_epoch = 0;
+  uint8_t cluster_role = 0;
 };
 
 void EncodeHandshakeInfo(const HandshakeInfo& h, PayloadWriter* w);
@@ -218,10 +233,52 @@ struct StatsSnapshot {
   uint64_t async_writes_completed = 0;
   uint64_t fsyncs = 0;
   uint64_t group_commits = 0;
+  // Replication (wire v4): records applied from a primary's feed, records
+  // fetched but not yet applied (0 when caught up), and primary-connection
+  // re-establishments. All zero on a non-replica server.
+  uint64_t replicated_records = 0;
+  uint64_t replica_lag_records = 0;
+  uint64_t replication_reconnects = 0;
 };
 
 void EncodeStatsSnapshot(const StatsSnapshot& s, PayloadWriter* w);
 Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out);
+
+// --- replication payloads (wire v4) --------------------------------------
+
+// kSubscribe request is empty; the response describes the primary's feed
+// topology so a replica can size its per-shard resume tokens.
+struct SubscribeResponse {
+  std::vector<uint64_t> shard_durables;  // index = shard, value = durable addr
+};
+
+void EncodeSubscribeResponse(const SubscribeResponse& s, PayloadWriter* w);
+Status DecodeSubscribeResponse(PayloadReader* r, SubscribeResponse* out);
+
+// kReplicate: one poll of a single shard's committed-update feed, starting
+// at the caller's resume token `from` (0 = oldest retained update).
+struct ReplicateRequest {
+  uint32_t shard = 0;
+  uint64_t from = 0;
+  uint32_t max_records = 0;  // server clamps; 0 = watermark probe only
+  uint32_t max_bytes = 0;    // server clamps under the frame cap
+};
+
+void EncodeReplicateRequest(const ReplicateRequest& q, PayloadWriter* w);
+Status DecodeReplicateRequest(std::span<const uint8_t> payload,
+                              ReplicateRequest* out);
+
+// Entries ride in log-address order. `next_from` is the resume token after
+// the last entry; `durable` is the shard's durable watermark at poll time
+// (next_from < durable means more entries are immediately available).
+struct ReplicateResponse {
+  uint64_t next_from = 0;
+  uint64_t durable = 0;
+  std::vector<UpdateEntry> entries;
+};
+
+void EncodeReplicateResponse(const ReplicateResponse& s, PayloadWriter* w);
+Status DecodeReplicateResponse(PayloadReader* r, ReplicateResponse* out);
 
 }  // namespace net
 }  // namespace mlkv

@@ -1,9 +1,10 @@
 // Parameterized conformance suite: every backend behind the KvBackend seam
 // must satisfy the same embedding-store contract (the reusability property
 // of Table I — swapping engines must not change application semantics).
-// The suite runs each engine both in-process and — for MLKV and FASTER —
-// behind a loopback KvServer through RemoteBackend, so the network
-// boundary is held to the exact same contract as a linked engine.
+// The suite runs each engine in-process and — for MLKV and FASTER — behind
+// a loopback KvServer through RemoteBackend, and across a 2-server
+// loopback cluster through ClusterBackend, so both network boundaries are
+// held to the exact same contract as a linked engine.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "backend/kv_backend.h"
+#include "cluster/cluster_map.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "io/temp_dir.h"
@@ -30,12 +32,16 @@ const char* KindNameOf(BackendKind kind) {
     case BackendKind::kBtree: return "Btree";
     case BackendKind::kInMemory: return "InMemory";
     case BackendKind::kRemote: return "Remote";
+    case BackendKind::kCluster: return "Cluster";
   }
   return "Unknown";
 }
 
-// (engine, serve it over loopback RPC?)
-using ConformanceParam = std::tuple<BackendKind, bool>;
+// How the engine is reached: linked in-process, behind one loopback
+// KvServer, or scattered across a 2-server loopback cluster.
+enum class Via { kInProcess, kRemote, kCluster };
+
+using ConformanceParam = std::tuple<BackendKind, Via>;
 
 class BackendConformanceTest
     : public ::testing::TestWithParam<ConformanceParam> {
@@ -47,31 +53,59 @@ class BackendConformanceTest
     cfg.dim = 8;
     cfg.buffer_bytes = 4ull << 20;
     cfg.staleness_bound = kHugeBound;
-    std::unique_ptr<KvBackend> engine;
-    ASSERT_TRUE(MakeBackend(std::get<0>(GetParam()), cfg, &engine).ok());
-    if (!std::get<1>(GetParam())) {
-      backend_ = std::move(engine);
+    const Via via = std::get<1>(GetParam());
+    if (via == Via::kInProcess) {
+      ASSERT_TRUE(MakeBackend(std::get<0>(GetParam()), cfg, &backend_).ok());
       return;
     }
-    // Remote variant: same engine, served over an in-process loopback
-    // KvServer, with the test talking to it through BackendKind::kRemote.
     net::KvServerOptions so;
     so.num_workers = 6;  // >= max pooled client sockets any case below uses
-    server_ = std::make_unique<net::KvServer>(std::move(engine), so);
-    ASSERT_TRUE(server_->Start().ok());
-    BackendConfig rcfg;
-    rcfg.remote_addr = server_->addr();
-    ASSERT_TRUE(MakeBackend(BackendKind::kRemote, rcfg, &backend_).ok());
+    if (via == Via::kRemote) {
+      // Remote variant: same engine, served over an in-process loopback
+      // KvServer, with the test talking to it through BackendKind::kRemote.
+      std::unique_ptr<KvBackend> engine;
+      ASSERT_TRUE(MakeBackend(std::get<0>(GetParam()), cfg, &engine).ok());
+      servers_.push_back(
+          std::make_unique<net::KvServer>(std::move(engine), so));
+      ASSERT_TRUE(servers_[0]->Start().ok());
+      BackendConfig rcfg;
+      rcfg.remote_addr = servers_[0]->addr();
+      ASSERT_TRUE(MakeBackend(BackendKind::kRemote, rcfg, &backend_).ok());
+      return;
+    }
+    // Cluster variant: two loopback KvServers, each owning its own engine
+    // instance, with a route_bits=1 map installed after Start (the
+    // ephemeral ports are only known then) and the test talking to them
+    // through BackendKind::kCluster.
+    cfg.shard_bits = 1;
+    for (int s = 0; s < 2; ++s) {
+      cfg.dir = dir_->File("backend" + std::to_string(s));
+      std::unique_ptr<KvBackend> engine;
+      ASSERT_TRUE(MakeBackend(std::get<0>(GetParam()), cfg, &engine).ok());
+      servers_.push_back(
+          std::make_unique<net::KvServer>(std::move(engine), so));
+      ASSERT_TRUE(servers_[s]->Start().ok());
+    }
+    auto map = std::make_shared<cluster::ClusterMap>();
+    ASSERT_TRUE(cluster::BuildClusterMap(
+                    {servers_[0]->addr(), servers_[1]->addr()}, {},
+                    /*route_bits=*/1, cluster::ReadPreference::kPrimary,
+                    /*epoch=*/1, map.get())
+                    .ok());
+    for (uint32_t s = 0; s < 2; ++s) servers_[s]->UpdateClusterMap(map, s);
+    BackendConfig ccfg;
+    ccfg.cluster_addrs = servers_[0]->addr() + "," + servers_[1]->addr();
+    ASSERT_TRUE(MakeBackend(BackendKind::kCluster, ccfg, &backend_).ok());
   }
 
   void TearDown() override {
-    backend_.reset();  // client sockets close before the server stops
-    if (server_) server_->Stop();
+    backend_.reset();  // client sockets close before the servers stop
+    for (auto& s : servers_) s->Stop();
   }
 
   static constexpr uint32_t kHugeBound = UINT32_MAX - 1;
   std::unique_ptr<TempDir> dir_;
-  std::unique_ptr<net::KvServer> server_;
+  std::vector<std::unique_ptr<net::KvServer>> servers_;
   std::unique_ptr<KvBackend> backend_;
 };
 
@@ -342,25 +376,40 @@ const char* KindName(const ::testing::TestParamInfo<BackendKind>& info) {
 
 std::string ConformanceParamName(
     const ::testing::TestParamInfo<ConformanceParam>& info) {
-  return std::string(KindNameOf(std::get<0>(info.param))) +
-         (std::get<1>(info.param) ? "Remote" : "");
+  std::string name = KindNameOf(std::get<0>(info.param));
+  switch (std::get<1>(info.param)) {
+    case Via::kInProcess: break;
+    case Via::kRemote: name += "Remote"; break;
+    case Via::kCluster: name += "Cluster"; break;
+  }
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformanceTest,
-    ::testing::Values(ConformanceParam{BackendKind::kMlkv, false},
-                      ConformanceParam{BackendKind::kFaster, false},
-                      ConformanceParam{BackendKind::kLsm, false},
-                      ConformanceParam{BackendKind::kBtree, false},
-                      ConformanceParam{BackendKind::kInMemory, false}),
+    ::testing::Values(ConformanceParam{BackendKind::kMlkv, Via::kInProcess},
+                      ConformanceParam{BackendKind::kFaster, Via::kInProcess},
+                      ConformanceParam{BackendKind::kLsm, Via::kInProcess},
+                      ConformanceParam{BackendKind::kBtree, Via::kInProcess},
+                      ConformanceParam{BackendKind::kInMemory,
+                                       Via::kInProcess}),
     ConformanceParamName);
 
 // The same contract over the wire: RemoteBackend in front of a loopback
 // KvServer must be indistinguishable from the engine linked in-process.
 INSTANTIATE_TEST_SUITE_P(
     RemoteLoopback, BackendConformanceTest,
-    ::testing::Values(ConformanceParam{BackendKind::kMlkv, true},
-                      ConformanceParam{BackendKind::kFaster, true}),
+    ::testing::Values(ConformanceParam{BackendKind::kMlkv, Via::kRemote},
+                      ConformanceParam{BackendKind::kFaster, Via::kRemote}),
+    ConformanceParamName);
+
+// And across a partitioned 2-server cluster: ClusterBackend's scatter /
+// gather (plus the servers' ownership enforcement) must also be
+// indistinguishable from the engine linked in-process.
+INSTANTIATE_TEST_SUITE_P(
+    ClusterLoopback, BackendConformanceTest,
+    ::testing::Values(ConformanceParam{BackendKind::kMlkv, Via::kCluster},
+                      ConformanceParam{BackendKind::kFaster, Via::kCluster}),
     ConformanceParamName);
 
 // The I/O-bound engines fan large batches out in chunks over a per-backend

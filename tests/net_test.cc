@@ -259,6 +259,91 @@ TEST(WireTest, HandshakeInfoRoundTrip) {
   EXPECT_EQ(d.backend_name, "MLKV");
 }
 
+TEST(WireTest, ParseEndpointListForms) {
+  std::vector<std::string> out;
+  ASSERT_TRUE(ParseEndpointList("h1:7700,h2:7701", &out).ok());
+  EXPECT_EQ(out, (std::vector<std::string>{"h1:7700", "h2:7701"}));
+
+  // Whitespace around entries is trimmed; entries are normalized through
+  // ParseHostPort (bare ":port" gets the loopback host).
+  out.clear();
+  ASSERT_TRUE(ParseEndpointList("  h1:7700 ,\th2:7701 , :7702", &out).ok());
+  EXPECT_EQ(out, (std::vector<std::string>{"h1:7700", "h2:7701",
+                                           "127.0.0.1:7702"}));
+
+  out.clear();
+  EXPECT_TRUE(ParseEndpointList("", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseEndpointList("h1:7700,,h2:7701", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseEndpointList("h1:7700,", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseEndpointList("h1:7700, h2", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseEndpointList("h1:99999", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseEndpointList("h1:0", &out).IsInvalidArgument());
+}
+
+TEST(WireTest, ReplicationPayloadsRoundTrip) {
+  SubscribeResponse sub;
+  sub.shard_durables = {64, 0, 4096};
+  PayloadWriter w1;
+  EncodeSubscribeResponse(sub, &w1);
+  PayloadReader r1(w1.bytes().data(), w1.bytes().size());
+  SubscribeResponse dsub;
+  ASSERT_TRUE(DecodeSubscribeResponse(&r1, &dsub).ok());
+  EXPECT_EQ(dsub.shard_durables, sub.shard_durables);
+
+  ReplicateRequest req;
+  req.shard = 2;
+  req.from = 12345;
+  req.max_records = 512;
+  req.max_bytes = 1 << 20;
+  PayloadWriter w2;
+  EncodeReplicateRequest(req, &w2);
+  ReplicateRequest dreq;
+  ASSERT_TRUE(DecodeReplicateRequest(w2.bytes(), &dreq).ok());
+  EXPECT_EQ(dreq.shard, req.shard);
+  EXPECT_EQ(dreq.from, req.from);
+  EXPECT_EQ(dreq.max_records, req.max_records);
+  EXPECT_EQ(dreq.max_bytes, req.max_bytes);
+
+  ReplicateResponse resp;
+  resp.next_from = 2048;
+  resp.durable = 4096;
+  UpdateEntry a;
+  a.address = 64;
+  a.key = 7;
+  a.generation = 3;
+  a.staleness = 1;
+  a.tombstone = false;
+  a.value = {'a', 'b', 'c', 'd'};
+  UpdateEntry b;
+  b.address = 128;
+  b.key = 9;
+  b.tombstone = true;  // tombstones ship with an empty value
+  resp.entries = {a, b};
+  PayloadWriter w3;
+  EncodeReplicateResponse(resp, &w3);
+  PayloadReader r3(w3.bytes().data(), w3.bytes().size());
+  ReplicateResponse dresp;
+  ASSERT_TRUE(DecodeReplicateResponse(&r3, &dresp).ok());
+  EXPECT_EQ(dresp.next_from, resp.next_from);
+  EXPECT_EQ(dresp.durable, resp.durable);
+  ASSERT_EQ(dresp.entries.size(), 2u);
+  EXPECT_EQ(dresp.entries[0].address, a.address);
+  EXPECT_EQ(dresp.entries[0].key, a.key);
+  EXPECT_EQ(dresp.entries[0].generation, a.generation);
+  EXPECT_EQ(dresp.entries[0].staleness, a.staleness);
+  EXPECT_FALSE(dresp.entries[0].tombstone);
+  EXPECT_EQ(dresp.entries[0].value, a.value);
+  EXPECT_TRUE(dresp.entries[1].tombstone);
+  EXPECT_TRUE(dresp.entries[1].value.empty());
+
+  // Truncation anywhere must be rejected, never read out of bounds.
+  for (size_t cut = 0; cut + 1 < w3.bytes().size(); cut += 5) {
+    PayloadReader r(w3.bytes().data(), cut);
+    ReplicateResponse d;
+    EXPECT_FALSE(DecodeReplicateResponse(&r, &d).ok()) << "cut " << cut;
+  }
+}
+
 TEST(WireTest, ParseHostPortForms) {
   std::string host;
   uint16_t port = 0;
@@ -833,6 +918,44 @@ TEST(KvServerStopTest, StopIsIdempotentAndRestartable) {
   ASSERT_TRUE(RemoteBackend::Connect(o, &remote).ok());
   ASSERT_TRUE(static_cast<RemoteBackend*>(remote.get())->Ping().ok());
   server.Stop();
+}
+
+TEST(KvServerRestartTest, StalePooledSocketRetriesOnFreshConnection) {
+  // A pooled client socket can outlive its server (restart / failover).
+  // KvServer always responds before closing, so a clean close where the
+  // response should be means the request never executed — the client must
+  // retry once on a fresh socket instead of folding the batch to failures.
+  KvServerOptions opts;
+  opts.num_workers = 2;
+  auto first = std::make_unique<KvServer>(MakeInMemory(), opts);
+  ASSERT_TRUE(first->Start().ok());
+  const uint16_t port = first->port();
+
+  RemoteBackendOptions o;
+  o.addr = first->addr();
+  std::unique_ptr<RemoteBackend> remote;
+  ASSERT_TRUE(RemoteBackend::Connect(o, &remote).ok());
+  ASSERT_TRUE(remote->Ping().ok());  // pools a now-doomed idle socket
+
+  first->Stop();
+  first.reset();
+  // Same port, new server process-equivalent.
+  opts.port = port;
+  KvServer second(MakeInMemory(), opts);
+  ASSERT_TRUE(second.Start().ok());
+
+  std::vector<Key> keys = {1, 2, 3};
+  std::vector<float> values(3 * 8, 1.25f);
+  const BatchResult put = remote->MultiPut(keys, values.data());
+  EXPECT_TRUE(put.AllOk()) << put.status().ToString();
+  std::vector<float> out(3 * 8, -1.0f);
+  EXPECT_TRUE(remote->MultiGet(keys, out.data(), MultiGetOptions{}).AllOk());
+  EXPECT_EQ(out, values);
+  EXPECT_GE(remote->io_stats().remote_retries, 1u)
+      << "the stale pooled socket should have been retried, not failed";
+
+  remote.reset();
+  second.Stop();
 }
 
 }  // namespace

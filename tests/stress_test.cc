@@ -13,11 +13,14 @@
 #include <vector>
 
 #include "backend/kv_backend.h"
+#include "cluster/replicator.h"
 #include "common/random.h"
 #include "io/temp_dir.h"
 #include "kv/faster_store.h"
 #include "kv/log_iterator.h"
 #include "mlkv/mlkv.h"
+#include "net/kv_server.h"
+#include "net/remote_backend.h"
 
 namespace mlkv {
 namespace {
@@ -579,6 +582,95 @@ TEST(GroupDurabilityStressTest, ConcurrentWritersShareGroupCommits) {
       EXPECT_EQ(got, want) << w << "/" << s;
     }
   }
+}
+
+// ---------------------------------------------------------- replication --
+
+// Writers hammer a primary KvServer over the wire while a replica tails
+// its committed-update feed concurrently — the TSan target for the whole
+// shipping path (Persist + cursor on the primary, Upsert races on the
+// replica). After the writers join, the replica must catch up and hold a
+// byte-identical copy of every key.
+TEST(ReplicationStressTest, ConcurrentWritersWithTailingReplica) {
+  TempDir dir;
+  BackendConfig cfg;
+  cfg.dir = dir.File("primary");
+  cfg.dim = 8;
+  cfg.buffer_bytes = 4ull << 20;
+  cfg.staleness_bound = UINT32_MAX - 1;
+  cfg.shard_bits = 2;
+  std::unique_ptr<KvBackend> engine;
+  ASSERT_TRUE(MakeBackend(BackendKind::kFaster, cfg, &engine).ok());
+  net::KvServerOptions so;
+  so.num_workers = 6;
+  net::KvServer primary(std::move(engine), so);
+  ASSERT_TRUE(primary.Start().ok());
+
+  cfg.dir = dir.File("replica");
+  cfg.shard_bits = 1;  // layouts may differ: replication routes by key
+  std::unique_ptr<KvBackend> replica;
+  ASSERT_TRUE(MakeBackend(BackendKind::kFaster, cfg, &replica).ok());
+
+  cluster::ReplicatorOptions ropts;
+  ropts.primary_addr = primary.addr();
+  ropts.poll_interval_ms = 1;  // tail aggressively while writers run
+  cluster::Replicator rep(replica.get(), ropts);
+  ASSERT_TRUE(rep.Start().ok());
+
+  constexpr int kWriters = 3;
+  constexpr int kKeysPerWriter = 200;
+  constexpr int kRounds = 20;
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      net::RemoteBackendOptions o;
+      o.addr = primary.addr();
+      o.pool_size = 1;
+      std::unique_ptr<KvBackend> client;
+      if (!net::RemoteBackend::Connect(o, &client).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<Key> keys(kKeysPerWriter);
+      std::vector<float> values(kKeysPerWriter * 8);
+      for (int r = 0; r < kRounds; ++r) {
+        for (int i = 0; i < kKeysPerWriter; ++i) {
+          keys[i] = static_cast<Key>(t) * 100000 + i;
+          for (int d = 0; d < 8; ++d) {
+            values[i * 8 + d] = static_cast<float>(t * 1000 + r * 8 + d);
+          }
+        }
+        if (!client->MultiPut(keys, values.data()).AllOk()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  ASSERT_TRUE(rep.WaitCaughtUp(60000));
+  rep.Stop();
+  const cluster::ReplicationProgress progress = rep.progress();
+  EXPECT_GE(progress.replicated_records,
+            static_cast<uint64_t>(kWriters) * kKeysPerWriter);
+  EXPECT_EQ(progress.replica_lag_records, 0u);
+  EXPECT_EQ(progress.apply_failures, 0u);
+
+  // Final audit: the replica serves the primary's bytes for every key.
+  KvBackend* primary_engine = primary.backend();
+  std::vector<float> want(8), got(8);
+  for (int t = 0; t < kWriters; ++t) {
+    for (int i = 0; i < kKeysPerWriter; ++i) {
+      const Key k = static_cast<Key>(t) * 100000 + i;
+      ASSERT_TRUE(primary_engine->PeekEmbedding(k, want.data()).ok()) << k;
+      ASSERT_TRUE(replica->PeekEmbedding(k, got.data()).ok()) << k;
+      ASSERT_EQ(std::memcmp(want.data(), got.data(), 8 * sizeof(float)), 0)
+          << "key " << k;
+    }
+  }
+  primary.Stop();
 }
 
 }  // namespace
