@@ -41,6 +41,7 @@
 
 #include "backend/kv_backend.h"
 #include "cluster/cluster_map.h"
+#include "common/simd.h"
 #include "cluster/replicator.h"
 #include "kv/log_iterator.h"
 #include "kv/update_log.h"
@@ -315,9 +316,12 @@ int RunServe(const std::string& dir, ArgList& args) {
                 ro.state_path.c_str());
   }
 
-  std::printf("serving %s (dim=%u, shard_bits=%u) on %s — Ctrl-C to stop\n",
+  std::printf("serving %s (dim=%u, shard_bits=%u, kernels=%s) on %s "
+              "— Ctrl-C to stop\n",
               server.backend()->name().c_str(), server.backend()->dim(),
-              server.backend()->shard_bits(), server.addr().c_str());
+              server.backend()->shard_bits(),
+              simd::KernelTierName(simd::ActiveKernelTier()),
+              server.addr().c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStopSignal);
@@ -335,6 +339,12 @@ int RunServe(const std::string& dir, ArgList& args) {
               (unsigned long long)st.connections,
               (unsigned long long)st.latency_p50_us,
               (unsigned long long)st.latency_p99_us);
+  // The tier comes back through the stats snapshot (it is also on the
+  // wire for remote stats clients), not re-detected here.
+  std::printf("kernels: %s tier for fused optimizer updates and row "
+              "copies\n",
+              simd::KernelTierName(
+                  static_cast<simd::KernelTier>(st.kernel_tier)));
   std::printf("storage io: %llu disk record reads, %llu pages flushed, "
               "%llu evicted; async reads %llu submitted / %llu completed / "
               "%llu refetched\n",

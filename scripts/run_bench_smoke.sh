@@ -20,6 +20,10 @@ fi
 mkdir -p "${log_dir}"
 
 failed=0
+# The glob below picks up every bench binary, including
+# bench_micro_kernels --smoke — the scalar-vs-vector table for the fused
+# optimizer kernels, which is how a runner whose CPU lacks AVX2 still
+# shows up in the published artifacts (speedup column ~1.0x).
 for bench in "${bench_dir}"/bench_*; do
   [[ -x "${bench}" ]] || continue
   name="$(basename "${bench}")"

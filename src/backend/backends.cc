@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "btree/btree_store.h"
+#include "common/simd.h"
 #include "common/spin_wait.h"
 #include "common/thread_pool.h"
 #include "kv/batch_read.h"
@@ -227,8 +228,8 @@ class BatchedEngineBackend : public KvBackend {
     for (size_t i = 0; i < keys.size(); ++i) {
       const uint32_t u = plan.slot_of[i];
       if (uniq.codes[u] == Status::Code::kOk) {
-        std::memcpy(out + i * size_t{dim_}, ubuf + u * size_t{dim_},
-                    dim_ * sizeof(float));
+        simd::CopyFloats(out + i * size_t{dim_}, ubuf + u * size_t{dim_},
+                         dim_);
         if (fresh[u] && !seen[u]) {
           result.RecordInitialized(i);
         } else {
@@ -253,8 +254,8 @@ class BatchedEngineBackend : public KvBackend {
       // Last occurrence wins, matching a sequential per-key loop.
       scratch.resize(n * size_t{dim_});
       for (size_t i = 0; i < keys.size(); ++i) {
-        std::memcpy(&scratch[plan.slot_of[i] * size_t{dim_}],
-                    values + i * size_t{dim_}, dim_ * sizeof(float));
+        simd::CopyFloats(&scratch[plan.slot_of[i] * size_t{dim_}],
+                         values + i * size_t{dim_}, dim_);
       }
       ubuf = scratch.data();
     }
@@ -284,9 +285,8 @@ class BatchedEngineBackend : public KvBackend {
       // fused apply of the sum equals sequential applies per occurrence.
       scratch.assign(n * size_t{dim_}, 0.0f);
       for (size_t i = 0; i < keys.size(); ++i) {
-        float* dst = &scratch[plan.slot_of[i] * size_t{dim_}];
-        const float* src = grads + i * size_t{dim_};
-        for (uint32_t d = 0; d < dim_; ++d) dst[d] += src[d];
+        simd::AccumulateFloats(&scratch[plan.slot_of[i] * size_t{dim_}],
+                               grads + i * size_t{dim_}, dim_);
       }
       ubuf = scratch.data();
     }
@@ -331,7 +331,7 @@ class BatchedEngineBackend : public KvBackend {
       s = Status::OK();
     }
     MLKV_RETURN_NOT_OK(s);
-    for (uint32_t d = 0; d < dim_; ++d) value[d] -= lr * grad[d];
+    simd::SubScaled(value.data(), grad, lr, dim_);
     return WriteOne(key, value.data());
   }
 
@@ -561,9 +561,7 @@ class FasterBackend : public KvBackend {
                                                   bool exists) {
                                float* f = reinterpret_cast<float*>(v);
                                if (!exists) InitEmbedding(key, dim, f);
-                               for (uint32_t d = 0; d < dim; ++d) {
-                                 f[d] -= lr * grad[d];
-                               }
+                               simd::SubScaled(f, grad, lr, dim);
                              }));
         },
         &result);
@@ -774,8 +772,7 @@ class InMemoryBackend : public KvBackend {
         it->second.resize(dim_);
         InitEmbedding(keys[i], dim_, it->second.data());
       }
-      const float* g = grads + i * size_t{dim_};
-      for (uint32_t d = 0; d < dim_; ++d) it->second[d] -= lr * g[d];
+      simd::SubScaled(it->second.data(), grads + i * size_t{dim_}, lr, dim_);
       result.Record(i, Status::OK());
     }
     return result;
@@ -804,9 +801,8 @@ BatchResult KvBackend::MultiApplyGradient(std::span<const Key> keys,
   if (plan.has_dupes) {
     grad_sum.assign(n * size_t{d}, 0.0f);
     for (size_t i = 0; i < keys.size(); ++i) {
-      float* dst = &grad_sum[plan.slot_of[i] * size_t{d}];
-      const float* src = grads + i * size_t{d};
-      for (uint32_t k = 0; k < d; ++k) dst[k] += src[k];
+      simd::AccumulateFloats(&grad_sum[plan.slot_of[i] * size_t{d}],
+                             grads + i * size_t{d}, d);
     }
     ugrads = grad_sum.data();
   }
@@ -816,16 +812,14 @@ BatchResult KvBackend::MultiApplyGradient(std::span<const Key> keys,
   std::vector<size_t> ok_slot;
   for (size_t u = 0; u < n; ++u) {
     if (got.codes[u] != Status::Code::kOk) continue;
-    float* v = &value[u * size_t{d}];
-    const float* g = ugrads + u * size_t{d};
-    for (uint32_t k = 0; k < d; ++k) v[k] -= lr * g[k];
+    simd::SubScaled(&value[u * size_t{d}], ugrads + u * size_t{d}, lr, d);
     ok_keys.push_back(plan.unique[u]);
     ok_slot.push_back(u);
   }
   std::vector<float> put_values(ok_keys.size() * size_t{d});
   for (size_t j = 0; j < ok_keys.size(); ++j) {
-    std::memcpy(&put_values[j * size_t{d}], &value[ok_slot[j] * size_t{d}],
-                d * sizeof(float));
+    simd::CopyFloats(&put_values[j * size_t{d}], &value[ok_slot[j] * size_t{d}],
+                     d);
   }
   const BatchResult put = MultiPut(ok_keys, put_values.data());
   std::vector<Status::Code> ucodes = got.codes;

@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <cstring>
 
+#include "common/simd.h"
+
 namespace mlkv {
 namespace cluster {
 
@@ -381,9 +383,8 @@ BatchResult ClusterBackend::Execute(Op op, std::span<const Key> keys,
         std::vector<float> sub_rows(cnt * d);
         if (op != Op::kGet) {
           for (size_t j = 0; j < cnt; ++j) {
-            std::memcpy(&sub_rows[j * d],
-                        rows_in + order[task.begin + j] * d,
-                        d * sizeof(float));
+            simd::CopyFloats(&sub_rows[j * d],
+                             rows_in + order[task.begin + j] * d, d);
           }
         }
         sub[t] = ExecutePartition(
@@ -393,8 +394,8 @@ BatchResult ClusterBackend::Execute(Op op, std::span<const Key> keys,
         if (op == Op::kGet) {
           for (size_t j = 0; j < cnt; ++j) {
             if (sub[t].codes[j] == Status::Code::kOk) {
-              std::memcpy(rows_out + order[task.begin + j] * d,
-                          &sub_rows[j * d], d * sizeof(float));
+              simd::CopyFloats(rows_out + order[task.begin + j] * d,
+                               &sub_rows[j * d], d);
             }
           }
         }
@@ -477,8 +478,7 @@ BatchResult ClusterBackend::Execute(Op op, std::span<const Key> keys,
   std::vector<float> retry_rows(stale.size() * d);
   if (op != Op::kGet) {
     for (size_t j = 0; j < stale.size(); ++j) {
-      std::memcpy(&retry_rows[j * d], rows_in + stale[j] * d,
-                  d * sizeof(float));
+      simd::CopyFloats(&retry_rows[j * d], rows_in + stale[j] * d, d);
     }
   }
   const BatchResult again = Execute(
@@ -488,8 +488,7 @@ BatchResult ClusterBackend::Execute(Op op, std::span<const Key> keys,
   for (size_t j = 0; j < stale.size(); ++j) {
     full.codes[stale[j]] = again.codes[j];
     if (op == Op::kGet && again.codes[j] == Status::Code::kOk) {
-      std::memcpy(rows_out + stale[j] * d, &retry_rows[j * d],
-                  d * sizeof(float));
+      simd::CopyFloats(rows_out + stale[j] * d, &retry_rows[j * d], d);
     }
   }
   // The stale keys were all counted failed; swap in the retry's outcome.

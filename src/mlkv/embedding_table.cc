@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/simd.h"
 #include "common/spin_wait.h"
 #include "io/file_device.h"
 #include "kv/batch_read.h"
@@ -90,15 +91,15 @@ Status EmbeddingTable::GetOrInit(std::span<const Key> keys, float* out,
         // every kind — which the zero-filled Rmw scratch provides for free.
         // Rmw keeps a concurrent initializer from double-inserting: only
         // the missing case writes, and losers observe the winner.
-        const auto init_missing = [this, shard, key, dst, emb_bytes,
-                                   rec_bytes]() {
+        const auto init_missing = [this, shard, key, dst, rec_bytes]() {
           InitEmbedding(key, dim_, dst);
           return shard->Rmw(key, rec_bytes,
                             [&](char* value, uint32_t, bool exists) {
+                              float* row = reinterpret_cast<float*>(value);
                               if (!exists) {
-                                std::memcpy(value, dst, emb_bytes);
+                                simd::CopyFloats(row, dst, dim_);
                               } else {
-                                std::memcpy(dst, value, emb_bytes);
+                                simd::CopyFloats(dst, row, dim_);
                               }
                             });
         };
@@ -133,15 +134,15 @@ Status EmbeddingTable::PeekOrInit(std::span<const Key> keys, float* out,
         float* dst = out + i * dim_;
         // Rmw creates the record if still absent; a concurrent creator
         // wins and we adopt its value. No tracked read on this path.
-        const auto init_missing = [this, shard, key, dst, emb_bytes,
-                                   rec_bytes]() {
+        const auto init_missing = [this, shard, key, dst, rec_bytes]() {
           InitEmbedding(key, dim_, dst);
           return shard->Rmw(key, rec_bytes,
                             [&](char* value, uint32_t, bool exists) {
+                              float* row = reinterpret_cast<float*>(value);
                               if (!exists) {
-                                std::memcpy(value, dst, emb_bytes);
+                                simd::CopyFloats(row, dst, dim_);
                               } else {
-                                std::memcpy(dst, value, emb_bytes);
+                                simd::CopyFloats(dst, row, dim_);
                               }
                             });
         };
@@ -182,15 +183,15 @@ Status EmbeddingTable::Put(std::span<const Key> keys, const float* values,
   return CommitIfGroup(
       ExecuteSpan(
           keys,
-          [this, values, emb_bytes, rec_bytes](FasterStore* shard, Key key,
-                                               size_t i, BatchResult* part,
-                                               size_t pi) {
+          [this, values, rec_bytes](FasterStore* shard, Key key, size_t i,
+                                    BatchResult* part, size_t pi) {
             const float* src = values + i * dim_;
-            part->Record(pi, shard->Rmw(key, rec_bytes,
-                                        [src, emb_bytes](char* value, uint32_t,
-                                                         bool) {
-                                          std::memcpy(value, src, emb_bytes);
-                                        }));
+            part->Record(
+                pi, shard->Rmw(key, rec_bytes,
+                               [src, dim = dim_](char* value, uint32_t, bool) {
+                                 simd::CopyFloats(
+                                     reinterpret_cast<float*>(value), src, dim);
+                               }));
           },
           result),
       result);
@@ -210,11 +211,9 @@ Status EmbeddingTable::ApplyGradients(std::span<const Key> keys,
             part->Record(pi,
                          shard->Rmw(key, rec_bytes,
                                     [g, dim, lr](char* value, uint32_t, bool) {
-                                      float* v =
-                                          reinterpret_cast<float*>(value);
-                                      for (uint32_t d = 0; d < dim; ++d) {
-                                        v[d] -= lr * g[d];
-                                      }
+                                      simd::SubScaled(
+                                          reinterpret_cast<float*>(value), g,
+                                          lr, dim);
                                     }));
           },
           result),

@@ -1,6 +1,6 @@
 #include "mlkv/optimizer.h"
 
-#include <cmath>
+#include "mlkv/optimizer_kernels.h"
 
 namespace mlkv {
 
@@ -33,55 +33,11 @@ uint32_t OptimizerStateFloats(OptimizerKind kind, uint32_t dim) {
 
 void ApplyOptimizerUpdate(const OptimizerConfig& config, uint32_t dim,
                           float* emb, float* state, const float* grad) {
-  const float lr = config.lr;
-  const float wd = config.weight_decay;
-  switch (config.kind) {
-    case OptimizerKind::kSgd: {
-      for (uint32_t d = 0; d < dim; ++d) {
-        const float g = grad[d] + wd * emb[d];
-        emb[d] -= lr * g;
-      }
-      break;
-    }
-    case OptimizerKind::kMomentum: {
-      float* velocity = state;
-      for (uint32_t d = 0; d < dim; ++d) {
-        const float g = grad[d] + wd * emb[d];
-        velocity[d] = config.momentum * velocity[d] + g;
-        emb[d] -= lr * velocity[d];
-      }
-      break;
-    }
-    case OptimizerKind::kAdagrad: {
-      float* accum = state;
-      for (uint32_t d = 0; d < dim; ++d) {
-        const float g = grad[d] + wd * emb[d];
-        accum[d] += g * g;
-        emb[d] -= lr * g / (std::sqrt(accum[d]) + config.eps);
-      }
-      break;
-    }
-    case OptimizerKind::kAdam: {
-      float* m = state;
-      float* v = state + dim;
-      float* step = state + 2 * dim;
-      // The step counter is a float slot: exactly representable up to 2^24
-      // updates per row, far beyond any embedding's update count here.
-      *step += 1.0f;
-      const float t = *step;
-      const float bias1 = 1.0f - std::pow(config.beta1, t);
-      const float bias2 = 1.0f - std::pow(config.beta2, t);
-      for (uint32_t d = 0; d < dim; ++d) {
-        const float g = grad[d] + wd * emb[d];
-        m[d] = config.beta1 * m[d] + (1.0f - config.beta1) * g;
-        v[d] = config.beta2 * v[d] + (1.0f - config.beta2) * g * g;
-        const float m_hat = m[d] / bias1;
-        const float v_hat = v[d] / bias2;
-        emb[d] -= lr * m_hat / (std::sqrt(v_hat) + config.eps);
-      }
-      break;
-    }
-  }
+  // The loops themselves live in optimizer_kernels.cc: a scalar reference
+  // (bit-identical to the original code here) plus AVX2/FMA and NEON tiers
+  // selected once at startup. See common/simd.h for the dispatch rules and
+  // the MLKV_FORCE_SCALAR override.
+  ApplyOptimizerUpdateKernel(config, dim, emb, state, grad);
 }
 
 }  // namespace mlkv

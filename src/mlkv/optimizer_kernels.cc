@@ -1,0 +1,366 @@
+#include "mlkv/optimizer_kernels.h"
+
+#include <cmath>
+
+namespace mlkv {
+
+// ---------------------------------------------------------------------------
+// Scalar reference. These are the original ApplyOptimizerUpdate loops moved
+// here unchanged — the scalar tier must stay bit-identical to what the store
+// shipped with, so the hand-computed traces in tests/optimizer_test.cc keep
+// pinning the math.
+// ---------------------------------------------------------------------------
+
+void ApplyOptimizerUpdateScalar(const OptimizerConfig& config, uint32_t dim,
+                                float* emb, float* state, const float* grad) {
+  const float lr = config.lr;
+  const float wd = config.weight_decay;
+  switch (config.kind) {
+    case OptimizerKind::kSgd: {
+      for (uint32_t d = 0; d < dim; ++d) {
+        const float g = grad[d] + wd * emb[d];
+        emb[d] -= lr * g;
+      }
+      break;
+    }
+    case OptimizerKind::kMomentum: {
+      float* velocity = state;
+      for (uint32_t d = 0; d < dim; ++d) {
+        const float g = grad[d] + wd * emb[d];
+        velocity[d] = config.momentum * velocity[d] + g;
+        emb[d] -= lr * velocity[d];
+      }
+      break;
+    }
+    case OptimizerKind::kAdagrad: {
+      float* accum = state;
+      for (uint32_t d = 0; d < dim; ++d) {
+        const float g = grad[d] + wd * emb[d];
+        accum[d] += g * g;
+        emb[d] -= lr * g / (std::sqrt(accum[d]) + config.eps);
+      }
+      break;
+    }
+    case OptimizerKind::kAdam: {
+      float* m = state;
+      float* v = state + dim;
+      float* step = state + 2 * dim;
+      // The step counter is a float slot: exactly representable up to 2^24
+      // updates per row, far beyond any embedding's update count here.
+      *step += 1.0f;
+      const float t = *step;
+      const float bias1 = 1.0f - std::pow(config.beta1, t);
+      const float bias2 = 1.0f - std::pow(config.beta2, t);
+      for (uint32_t d = 0; d < dim; ++d) {
+        const float g = grad[d] + wd * emb[d];
+        m[d] = config.beta1 * m[d] + (1.0f - config.beta1) * g;
+        v[d] = config.beta2 * v[d] + (1.0f - config.beta2) * g * g;
+        const float m_hat = m[d] / bias1;
+        const float v_hat = v[d] / bias2;
+        emb[d] -= lr * m_hat / (std::sqrt(v_hat) + config.eps);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2/FMA tier. Each kind is its own `target("avx2,fma")` function so the
+// rest of the binary stays baseline x86-64; the runtime gate is
+// simd::DetectKernelTier()'s __builtin_cpu_supports check. 8 floats per
+// iteration, scalar tail for dim % 8.
+// ---------------------------------------------------------------------------
+
+#if MLKV_SIMD_X86
+
+namespace {
+
+__attribute__((target("avx2,fma"))) void SgdAvx2(const OptimizerConfig& c,
+                                                 uint32_t dim, float* emb,
+                                                 const float* grad) {
+  const __m256 lr = _mm256_set1_ps(c.lr);
+  const __m256 wd = _mm256_set1_ps(c.weight_decay);
+  uint32_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    const __m256 w = _mm256_loadu_ps(emb + d);
+    const __m256 g = _mm256_fmadd_ps(wd, w, _mm256_loadu_ps(grad + d));
+    _mm256_storeu_ps(emb + d, _mm256_fnmadd_ps(lr, g, w));
+  }
+  for (; d < dim; ++d) {
+    const float g = grad[d] + c.weight_decay * emb[d];
+    emb[d] -= c.lr * g;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void MomentumAvx2(const OptimizerConfig& c,
+                                                      uint32_t dim, float* emb,
+                                                      float* velocity,
+                                                      const float* grad) {
+  const __m256 lr = _mm256_set1_ps(c.lr);
+  const __m256 wd = _mm256_set1_ps(c.weight_decay);
+  const __m256 mu = _mm256_set1_ps(c.momentum);
+  uint32_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    const __m256 w = _mm256_loadu_ps(emb + d);
+    const __m256 g = _mm256_fmadd_ps(wd, w, _mm256_loadu_ps(grad + d));
+    const __m256 u = _mm256_fmadd_ps(mu, _mm256_loadu_ps(velocity + d), g);
+    _mm256_storeu_ps(velocity + d, u);
+    _mm256_storeu_ps(emb + d, _mm256_fnmadd_ps(lr, u, w));
+  }
+  for (; d < dim; ++d) {
+    const float g = grad[d] + c.weight_decay * emb[d];
+    velocity[d] = c.momentum * velocity[d] + g;
+    emb[d] -= c.lr * velocity[d];
+  }
+}
+
+__attribute__((target("avx2,fma"))) void AdagradAvx2(const OptimizerConfig& c,
+                                                     uint32_t dim, float* emb,
+                                                     float* accum,
+                                                     const float* grad) {
+  const __m256 lr = _mm256_set1_ps(c.lr);
+  const __m256 wd = _mm256_set1_ps(c.weight_decay);
+  const __m256 eps = _mm256_set1_ps(c.eps);
+  uint32_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    const __m256 w = _mm256_loadu_ps(emb + d);
+    const __m256 g = _mm256_fmadd_ps(wd, w, _mm256_loadu_ps(grad + d));
+    const __m256 a = _mm256_fmadd_ps(g, g, _mm256_loadu_ps(accum + d));
+    _mm256_storeu_ps(accum + d, a);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(a), eps);
+    const __m256 step = _mm256_div_ps(_mm256_mul_ps(lr, g), denom);
+    _mm256_storeu_ps(emb + d, _mm256_sub_ps(w, step));
+  }
+  for (; d < dim; ++d) {
+    const float g = grad[d] + c.weight_decay * emb[d];
+    accum[d] += g * g;
+    emb[d] -= c.lr * g / (std::sqrt(accum[d]) + c.eps);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void AdamAvx2(const OptimizerConfig& c,
+                                                  uint32_t dim, float* emb,
+                                                  float* state,
+                                                  const float* grad) {
+  float* m = state;
+  float* v = state + dim;
+  float* step = state + 2 * dim;
+  *step += 1.0f;
+  const float t = *step;
+  const float bias1 = 1.0f - std::pow(c.beta1, t);
+  const float bias2 = 1.0f - std::pow(c.beta2, t);
+  const __m256 lr = _mm256_set1_ps(c.lr);
+  const __m256 wd = _mm256_set1_ps(c.weight_decay);
+  const __m256 eps = _mm256_set1_ps(c.eps);
+  const __m256 b1 = _mm256_set1_ps(c.beta1);
+  const __m256 b2 = _mm256_set1_ps(c.beta2);
+  const __m256 one_minus_b1 = _mm256_set1_ps(1.0f - c.beta1);
+  const __m256 one_minus_b2 = _mm256_set1_ps(1.0f - c.beta2);
+  const __m256 vbias1 = _mm256_set1_ps(bias1);
+  const __m256 vbias2 = _mm256_set1_ps(bias2);
+  uint32_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    const __m256 w = _mm256_loadu_ps(emb + d);
+    const __m256 g = _mm256_fmadd_ps(wd, w, _mm256_loadu_ps(grad + d));
+    const __m256 md =
+        _mm256_fmadd_ps(b1, _mm256_loadu_ps(m + d), _mm256_mul_ps(one_minus_b1, g));
+    const __m256 g2 = _mm256_mul_ps(g, g);
+    const __m256 vd =
+        _mm256_fmadd_ps(b2, _mm256_loadu_ps(v + d), _mm256_mul_ps(one_minus_b2, g2));
+    _mm256_storeu_ps(m + d, md);
+    _mm256_storeu_ps(v + d, vd);
+    const __m256 m_hat = _mm256_div_ps(md, vbias1);
+    const __m256 v_hat = _mm256_div_ps(vd, vbias2);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), eps);
+    const __m256 update = _mm256_div_ps(_mm256_mul_ps(lr, m_hat), denom);
+    _mm256_storeu_ps(emb + d, _mm256_sub_ps(w, update));
+  }
+  for (; d < dim; ++d) {
+    const float g = grad[d] + c.weight_decay * emb[d];
+    m[d] = c.beta1 * m[d] + (1.0f - c.beta1) * g;
+    v[d] = c.beta2 * v[d] + (1.0f - c.beta2) * g * g;
+    const float m_hat = m[d] / bias1;
+    const float v_hat = v[d] / bias2;
+    emb[d] -= c.lr * m_hat / (std::sqrt(v_hat) + c.eps);
+  }
+}
+
+void ApplyAvx2(const OptimizerConfig& config, uint32_t dim, float* emb,
+               float* state, const float* grad) {
+  switch (config.kind) {
+    case OptimizerKind::kSgd:
+      SgdAvx2(config, dim, emb, grad);
+      break;
+    case OptimizerKind::kMomentum:
+      MomentumAvx2(config, dim, emb, state, grad);
+      break;
+    case OptimizerKind::kAdagrad:
+      AdagradAvx2(config, dim, emb, state, grad);
+      break;
+    case OptimizerKind::kAdam:
+      AdamAvx2(config, dim, emb, state, grad);
+      break;
+  }
+}
+
+}  // namespace
+
+#endif  // MLKV_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON tier (aarch64; NEON is baseline there, so plain intrinsics, no
+// target attribute or runtime check). 4 floats per iteration.
+// ---------------------------------------------------------------------------
+
+#if MLKV_SIMD_NEON
+
+namespace {
+
+void SgdNeon(const OptimizerConfig& c, uint32_t dim, float* emb,
+             const float* grad) {
+  const float32x4_t lr = vdupq_n_f32(c.lr);
+  const float32x4_t wd = vdupq_n_f32(c.weight_decay);
+  uint32_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    const float32x4_t w = vld1q_f32(emb + d);
+    const float32x4_t g = vfmaq_f32(vld1q_f32(grad + d), wd, w);
+    vst1q_f32(emb + d, vfmsq_f32(w, lr, g));
+  }
+  for (; d < dim; ++d) {
+    const float g = grad[d] + c.weight_decay * emb[d];
+    emb[d] -= c.lr * g;
+  }
+}
+
+void MomentumNeon(const OptimizerConfig& c, uint32_t dim, float* emb,
+                  float* velocity, const float* grad) {
+  const float32x4_t lr = vdupq_n_f32(c.lr);
+  const float32x4_t wd = vdupq_n_f32(c.weight_decay);
+  const float32x4_t mu = vdupq_n_f32(c.momentum);
+  uint32_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    const float32x4_t w = vld1q_f32(emb + d);
+    const float32x4_t g = vfmaq_f32(vld1q_f32(grad + d), wd, w);
+    const float32x4_t u = vfmaq_f32(g, mu, vld1q_f32(velocity + d));
+    vst1q_f32(velocity + d, u);
+    vst1q_f32(emb + d, vfmsq_f32(w, lr, u));
+  }
+  for (; d < dim; ++d) {
+    const float g = grad[d] + c.weight_decay * emb[d];
+    velocity[d] = c.momentum * velocity[d] + g;
+    emb[d] -= c.lr * velocity[d];
+  }
+}
+
+void AdagradNeon(const OptimizerConfig& c, uint32_t dim, float* emb,
+                 float* accum, const float* grad) {
+  const float32x4_t lr = vdupq_n_f32(c.lr);
+  const float32x4_t wd = vdupq_n_f32(c.weight_decay);
+  const float32x4_t eps = vdupq_n_f32(c.eps);
+  uint32_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    const float32x4_t w = vld1q_f32(emb + d);
+    const float32x4_t g = vfmaq_f32(vld1q_f32(grad + d), wd, w);
+    const float32x4_t a = vfmaq_f32(vld1q_f32(accum + d), g, g);
+    vst1q_f32(accum + d, a);
+    const float32x4_t denom = vaddq_f32(vsqrtq_f32(a), eps);
+    vst1q_f32(emb + d, vsubq_f32(w, vdivq_f32(vmulq_f32(lr, g), denom)));
+  }
+  for (; d < dim; ++d) {
+    const float g = grad[d] + c.weight_decay * emb[d];
+    accum[d] += g * g;
+    emb[d] -= c.lr * g / (std::sqrt(accum[d]) + c.eps);
+  }
+}
+
+void AdamNeon(const OptimizerConfig& c, uint32_t dim, float* emb, float* state,
+              const float* grad) {
+  float* m = state;
+  float* v = state + dim;
+  float* step = state + 2 * dim;
+  *step += 1.0f;
+  const float t = *step;
+  const float bias1 = 1.0f - std::pow(c.beta1, t);
+  const float bias2 = 1.0f - std::pow(c.beta2, t);
+  const float32x4_t lr = vdupq_n_f32(c.lr);
+  const float32x4_t wd = vdupq_n_f32(c.weight_decay);
+  const float32x4_t eps = vdupq_n_f32(c.eps);
+  const float32x4_t b1 = vdupq_n_f32(c.beta1);
+  const float32x4_t b2 = vdupq_n_f32(c.beta2);
+  const float32x4_t omb1 = vdupq_n_f32(1.0f - c.beta1);
+  const float32x4_t omb2 = vdupq_n_f32(1.0f - c.beta2);
+  const float32x4_t vbias1 = vdupq_n_f32(bias1);
+  const float32x4_t vbias2 = vdupq_n_f32(bias2);
+  uint32_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    const float32x4_t w = vld1q_f32(emb + d);
+    const float32x4_t g = vfmaq_f32(vld1q_f32(grad + d), wd, w);
+    const float32x4_t md = vfmaq_f32(vmulq_f32(omb1, g), b1, vld1q_f32(m + d));
+    const float32x4_t g2 = vmulq_f32(g, g);
+    const float32x4_t vd = vfmaq_f32(vmulq_f32(omb2, g2), b2, vld1q_f32(v + d));
+    vst1q_f32(m + d, md);
+    vst1q_f32(v + d, vd);
+    const float32x4_t m_hat = vdivq_f32(md, vbias1);
+    const float32x4_t v_hat = vdivq_f32(vd, vbias2);
+    const float32x4_t denom = vaddq_f32(vsqrtq_f32(v_hat), eps);
+    vst1q_f32(emb + d, vsubq_f32(w, vdivq_f32(vmulq_f32(lr, m_hat), denom)));
+  }
+  for (; d < dim; ++d) {
+    const float g = grad[d] + c.weight_decay * emb[d];
+    m[d] = c.beta1 * m[d] + (1.0f - c.beta1) * g;
+    v[d] = c.beta2 * v[d] + (1.0f - c.beta2) * g * g;
+    const float m_hat = m[d] / bias1;
+    const float v_hat = v[d] / bias2;
+    emb[d] -= c.lr * m_hat / (std::sqrt(v_hat) + c.eps);
+  }
+}
+
+void ApplyNeon(const OptimizerConfig& config, uint32_t dim, float* emb,
+               float* state, const float* grad) {
+  switch (config.kind) {
+    case OptimizerKind::kSgd:
+      SgdNeon(config, dim, emb, grad);
+      break;
+    case OptimizerKind::kMomentum:
+      MomentumNeon(config, dim, emb, state, grad);
+      break;
+    case OptimizerKind::kAdagrad:
+      AdagradNeon(config, dim, emb, state, grad);
+      break;
+    case OptimizerKind::kAdam:
+      AdamNeon(config, dim, emb, state, grad);
+      break;
+  }
+}
+
+}  // namespace
+
+#endif  // MLKV_SIMD_NEON
+
+void ApplyOptimizerUpdateWithTier(simd::KernelTier tier,
+                                  const OptimizerConfig& config, uint32_t dim,
+                                  float* emb, float* state, const float* grad) {
+  switch (tier) {
+#if MLKV_SIMD_X86
+    case simd::KernelTier::kAvx2Fma:
+      ApplyAvx2(config, dim, emb, state, grad);
+      return;
+#endif
+#if MLKV_SIMD_NEON
+    case simd::KernelTier::kNeon:
+      ApplyNeon(config, dim, emb, state, grad);
+      return;
+#endif
+    default:
+      break;
+  }
+  ApplyOptimizerUpdateScalar(config, dim, emb, state, grad);
+}
+
+void ApplyOptimizerUpdateKernel(const OptimizerConfig& config, uint32_t dim,
+                                float* emb, float* state, const float* grad) {
+  ApplyOptimizerUpdateWithTier(simd::ActiveKernelTier(), config, dim, emb,
+                               state, grad);
+}
+
+}  // namespace mlkv

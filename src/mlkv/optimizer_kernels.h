@@ -1,0 +1,46 @@
+// Vectorized bodies for the four fused optimizer updates.
+//
+// mlkv/optimizer.h defines the math and the in-record state layout;
+// this layer provides the implementations: a scalar reference (the exact
+// loops the store shipped with, still the behavioral baseline) and
+// AVX2/FMA + NEON versions dispatched at runtime via
+// simd::ActiveKernelTier(). `ApplyOptimizerUpdate` in optimizer.cc is a
+// thin forward to ApplyOptimizerUpdateKernel, so every Rmw in the store
+// rides the dispatched path without callers changing.
+//
+// Numerics: the vector tiers contract multiply+add into FMA and keep an
+// element's value in one register across the update, so results can
+// differ from the scalar reference by a few ULP per step (FMA rounds
+// once where scalar rounds twice). The parity suite in
+// tests/simd_kernels_test.cc pins the tolerance; the scalar tier itself
+// is bit-identical to the pre-kernel code. Tail elements (dim not a
+// multiple of the vector width) run the scalar loop.
+#pragma once
+
+#include <cstdint>
+
+#include "common/simd.h"
+#include "mlkv/optimizer.h"
+
+namespace mlkv {
+
+// The pre-SIMD scalar loops, verbatim. Always built, always callable —
+// the parity tests compare tiers against this in one process, and it is
+// the fallback for any tier the build or CPU lacks.
+void ApplyOptimizerUpdateScalar(const OptimizerConfig& config, uint32_t dim,
+                                float* emb, float* state, const float* grad);
+
+// One optimizer step on the tier `ActiveKernelTier()` picked at startup
+// (honors MLKV_FORCE_SCALAR). Same contract as ApplyOptimizerUpdate:
+// called from inside a store Rmw, must stay allocation-free.
+void ApplyOptimizerUpdateKernel(const OptimizerConfig& config, uint32_t dim,
+                                float* emb, float* state, const float* grad);
+
+// Explicit-tier entry for tests and bench_micro_kernels: runs `tier` if
+// this build has it, otherwise falls back to scalar. Callers on x86 must
+// still ensure the CPU has AVX2+FMA before passing kAvx2Fma.
+void ApplyOptimizerUpdateWithTier(simd::KernelTier tier,
+                                  const OptimizerConfig& config, uint32_t dim,
+                                  float* emb, float* state, const float* grad);
+
+}  // namespace mlkv

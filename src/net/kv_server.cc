@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/simd.h"
 
 namespace mlkv {
 namespace net {
@@ -334,15 +335,27 @@ void KvServer::RunOffloaded(const std::shared_ptr<OffloadedRequest>& req) {
 Status KvServer::SendResponse(Socket* conn, const FrameHeader& req,
                               const Status& transport,
                               const PayloadWriter& body) {
+  return SendResponse(conn, req, transport, body, {});
+}
+
+Status KvServer::SendResponse(Socket* conn, const FrameHeader& req,
+                              const Status& transport,
+                              const PayloadWriter& body,
+                              std::span<const std::span<const uint8_t>> rows) {
   PayloadWriter prefix;
   prefix.StatusOf(transport);
-  // Gathered as two payload pieces — the (possibly large) body is never
-  // copied into a status-prefixed buffer.
+  // Gathered as separate payload pieces — the (possibly large) body is
+  // never copied into a status-prefixed buffer, and a MultiGet's served
+  // rows go straight from the backend's buffer to the wire.
   const std::span<const uint8_t> b =
       transport.ok() ? std::span<const uint8_t>(body.bytes())
                      : std::span<const uint8_t>();
+  if (!transport.ok() || rows.empty()) {
+    return SendFrame(conn, req.opcode, kFlagResponse, req.request_id,
+                     prefix.bytes(), b);
+  }
   return SendFrame(conn, req.opcode, kFlagResponse, req.request_id,
-                   prefix.bytes(), b);
+                   prefix.bytes(), b, rows);
 }
 
 bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
@@ -362,6 +375,12 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
 
   Status transport = Status::OK();
   PayloadWriter body;
+  // MultiGet's served rows ride the response as iovec runs over this
+  // buffer instead of being copy-encoded into `body` — both live until the
+  // gathered send at the bottom completes (zero-copy on little-endian
+  // hosts; see wire.h kRawFloatRowsMatchWire).
+  std::vector<float> row_storage;
+  std::vector<std::span<const uint8_t>> row_runs;
   switch (hdr.opcode) {
     case Opcode::kHandshake: {
       HandshakeInfo info;
@@ -399,24 +418,31 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
         const ClusterView cv = cluster_view();
         const OwnedSubset f =
             FilterOwned(cv.map.get(), cv.self, req.keys, /*for_write=*/false);
-        std::vector<float> rows(req.keys.size() * size_t{dim});
         if (!f.enforce || f.all_owned) {
+          row_storage.resize(req.keys.size() * size_t{dim});
           const BatchResult r =
-              backend_->MultiGet(req.keys, rows.data(), opts);
-          EncodeMultiGetResponse(r, rows.data(), dim, &body);
-        } else {
-          std::vector<float> sub_rows(f.keys.size() * size_t{dim});
-          const BatchResult sub =
-              backend_->MultiGet(f.keys, sub_rows.data(), opts);
-          for (size_t i = 0; i < f.pos.size(); ++i) {
-            if (sub.codes[i] == Status::Code::kOk) {
-              std::memcpy(rows.data() + f.pos[i] * size_t{dim},
-                          sub_rows.data() + i * size_t{dim},
-                          size_t{dim} * sizeof(float));
-            }
+              backend_->MultiGet(req.keys, row_storage.data(), opts);
+          EncodeBatchResult(r, &body);
+          if (kRawFloatRowsMatchWire) {
+            CollectServedRowRuns(r.codes, row_storage.data(), dim, &row_runs);
+          } else {
+            EncodeServedRows(r.codes, row_storage.data(), dim, &body);
           }
-          EncodeMultiGetResponse(ExpandResult(f, req.keys.size(), sub),
-                                 rows.data(), dim, &body);
+        } else {
+          // Serve only the owned sub-batch and gather its rows directly:
+          // owned positions are increasing and unowned keys are never kOk,
+          // so the sub-batch's served rows already sit in full-batch key
+          // order — no full-size buffer, no re-expansion copy.
+          row_storage.resize(f.keys.size() * size_t{dim});
+          const BatchResult sub =
+              backend_->MultiGet(f.keys, row_storage.data(), opts);
+          EncodeBatchResult(ExpandResult(f, req.keys.size(), sub), &body);
+          if (kRawFloatRowsMatchWire) {
+            CollectServedRowRuns(sub.codes, row_storage.data(), dim,
+                                 &row_runs);
+          } else {
+            EncodeServedRows(sub.codes, row_storage.data(), dim, &body);
+          }
         }
       }
       break;
@@ -440,9 +466,8 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
           const uint32_t dim = backend_->dim();
           std::vector<float> sub_rows(f.keys.size() * size_t{dim});
           for (size_t i = 0; i < f.pos.size(); ++i) {
-            std::memcpy(sub_rows.data() + i * size_t{dim},
-                        req.rows.data() + f.pos[i] * size_t{dim},
-                        size_t{dim} * sizeof(float));
+            simd::CopyFloats(sub_rows.data() + i * size_t{dim},
+                             req.rows.data() + f.pos[i] * size_t{dim}, dim);
           }
           const BatchResult sub =
               is_put ? backend_->MultiPut(f.keys, sub_rows.data())
@@ -524,7 +549,7 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
     transport_errors_.fetch_add(1, std::memory_order_relaxed);
   }
   latency_.Record(NowMicros() - start_us);
-  if (!SendResponse(conn, hdr, transport, body).ok()) return false;
+  if (!SendResponse(conn, hdr, transport, body, row_runs).ok()) return false;
   // A request the server could not even decode leaves the stream suspect
   // only when framing was at fault; decode errors above are payload-level
   // with intact framing, so the connection survives them.
@@ -554,6 +579,7 @@ StatsSnapshot KvServer::stats() const {
   s.group_commits = io.group_commits;
   s.replicated_records = io.replicated_records;
   s.replica_lag_records = io.replica_lag_records;
+  s.kernel_tier = static_cast<uint8_t>(simd::ActiveKernelTier());
   // External counters last so a Replicator-fed snapshot wins over the
   // backend's zeros (local engines know nothing about replication).
   if (stats_source_) stats_source_(&s);

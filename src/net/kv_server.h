@@ -118,6 +118,12 @@ class KvServer {
                      std::span<const uint8_t> payload);
   Status SendResponse(Socket* conn, const FrameHeader& req,
                       const Status& transport, const PayloadWriter& body);
+  // As above, plus trailing row runs gathered into the same frame (a
+  // MultiGet's served rows, aliased from the backend's output buffer).
+  // `rows` rides only when the transport status is OK, like `body`.
+  Status SendResponse(Socket* conn, const FrameHeader& req,
+                      const Status& transport, const PayloadWriter& body,
+                      std::span<const std::span<const uint8_t>> rows);
 
   // One offloaded storage request: the executor owns the connection until
   // the response is sent, then requeues it (or closes it when stopping).

@@ -9,6 +9,9 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <limits.h>
+
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
@@ -176,6 +179,14 @@ Status Socket::SendAll(const void* data, size_t n) {
 }
 
 Status Socket::SendIov(iovec* iov, int count) {
+  // The kernel rejects sendmsg with more than IOV_MAX (1024 on Linux)
+  // segments, and a gathered MultiGet response with holes can exceed that;
+  // cap each call and let the outer loop walk the rest.
+#ifdef IOV_MAX
+  constexpr int kMaxSegments = IOV_MAX;
+#else
+  constexpr int kMaxSegments = 1024;
+#endif
   int idx = 0;
   while (idx < count) {
     if (iov[idx].iov_len == 0) {
@@ -184,7 +195,7 @@ Status Socket::SendIov(iovec* iov, int count) {
     }
     msghdr msg{};
     msg.msg_iov = &iov[idx];
-    msg.msg_iovlen = static_cast<size_t>(count - idx);
+    msg.msg_iovlen = static_cast<size_t>(std::min(count - idx, kMaxSegments));
     const ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
@@ -293,6 +304,34 @@ Status SendFrame(Socket* s, Opcode op, uint16_t flags, uint64_t request_id,
   EncodeFrameHeader(hdr, header);
   return s->SendThree(header, sizeof(header), prefix.data(), prefix.size(),
                       body.data(), body.size());
+}
+
+Status SendFrame(Socket* s, Opcode op, uint16_t flags, uint64_t request_id,
+                 std::span<const uint8_t> prefix, std::span<const uint8_t> body,
+                 std::span<const std::span<const uint8_t>> rows) {
+  size_t total = prefix.size() + body.size();
+  for (const std::span<const uint8_t> run : rows) total += run.size();
+  if (total > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "wire: payload of " + std::to_string(total) +
+        " bytes exceeds the frame limit; chunk the batch");
+  }
+  FrameHeader hdr;
+  hdr.opcode = op;
+  hdr.flags = flags;
+  hdr.request_id = request_id;
+  hdr.payload_len = static_cast<uint32_t>(total);
+  uint8_t header[kFrameHeaderSize];
+  EncodeFrameHeader(hdr, header);
+  std::vector<iovec> iov;
+  iov.reserve(3 + rows.size());
+  iov.push_back({header, sizeof(header)});
+  iov.push_back({const_cast<uint8_t*>(prefix.data()), prefix.size()});
+  iov.push_back({const_cast<uint8_t*>(body.data()), body.size()});
+  for (const std::span<const uint8_t> run : rows) {
+    iov.push_back({const_cast<uint8_t*>(run.data()), run.size()});
+  }
+  return s->SendIov(iov.data(), static_cast<int>(iov.size()));
 }
 
 Status RecvFrame(Socket* s, FrameHeader* hdr, std::vector<uint8_t>* payload) {

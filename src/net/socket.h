@@ -51,10 +51,12 @@ class Socket {
   int fd() const { return fd_; }
   void Close();
 
- private:
+ public:
+  // Fully sends an arbitrary gather list (entries are consumed/advanced in
+  // place), retrying short sendmsg transfers and windowing the list under
+  // the kernel's IOV_MAX segment cap.
   Status SendIov(iovec* iov, int count);
 
- public:
   // Half-close the read side: the peer's in-flight request still gets its
   // response, but the next read on our side sees EOF (graceful drain).
   void ShutdownRead();
@@ -94,6 +96,13 @@ Status SendFrame(Socket* s, Opcode op, uint16_t flags, uint64_t request_id,
 Status SendFrame(Socket* s, Opcode op, uint16_t flags, uint64_t request_id,
                  std::span<const uint8_t> prefix,
                  std::span<const uint8_t> body);
+// Fully gathered response frame: status prefix + op body + any number of
+// trailing byte runs (a MultiGet's served rows, aliased straight from the
+// backend's buffer — see wire.h CollectServedRowRuns). One frame, no
+// payload concatenation, rows never copied.
+Status SendFrame(Socket* s, Opcode op, uint16_t flags, uint64_t request_id,
+                 std::span<const uint8_t> prefix, std::span<const uint8_t> body,
+                 std::span<const std::span<const uint8_t>> rows);
 Status RecvFrame(Socket* s, FrameHeader* hdr, std::vector<uint8_t>* payload);
 
 // Listening socket with a self-pipe so Stop() can unblock a pending

@@ -106,11 +106,17 @@ void PayloadWriter::F32(float v) {
 }
 
 void PayloadWriter::Floats(const float* v, size_t n) {
-  // Bulk rows are the bytes that dominate MultiGet/MultiPut frames; one
-  // resize + per-word stores instead of four push_backs per float.
+  // Bulk rows are the bytes that dominate MultiGet/MultiPut frames. On a
+  // little-endian host the in-memory floats already are the wire encoding,
+  // so the whole block is one memcpy; the per-word store loop remains the
+  // byte-order-correct fallback.
   const size_t start = buf_.size();
   buf_.resize(start + n * 4);
   uint8_t* p = buf_.data() + start;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, v, n * 4);
+    return;
+  }
   for (size_t i = 0; i < n; ++i) {
     uint32_t bits;
     std::memcpy(&bits, &v[i], sizeof(bits));
@@ -191,9 +197,14 @@ bool PayloadReader::F32(float* v) {
 
 bool PayloadReader::Floats(float* out, size_t n) {
   // Mirror of PayloadWriter::Floats: one bounds check for the whole row
-  // block, then per-word loads — this is the client's MultiGet hot path.
+  // block, then one memcpy straight into the caller's output on a
+  // little-endian host — this is the client's MultiGet hot path.
   const uint8_t* p;
   if (!Take(n * 4, &p)) return false;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out, p, n * 4);
+    return true;
+  }
   for (size_t i = 0; i < n; ++i) {
     const uint32_t bits = LoadU32(p + i * 4);
     std::memcpy(&out[i], &bits, sizeof(out[i]));
@@ -365,13 +376,36 @@ Status DecodeBatchResult(PayloadReader* r, BatchResult* out) {
   return Status::OK();
 }
 
+void EncodeServedRows(std::span<const Status::Code> codes, const float* rows,
+                      uint32_t dim, PayloadWriter* w) {
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] == Status::Code::kOk) {
+      w->Floats(rows + i * size_t{dim}, dim);
+    }
+  }
+}
+
 void EncodeMultiGetResponse(const BatchResult& r, const float* rows,
                             uint32_t dim, PayloadWriter* w) {
   EncodeBatchResult(r, w);
-  for (size_t i = 0; i < r.codes.size(); ++i) {
-    if (r.codes[i] == Status::Code::kOk) {
-      w->Floats(rows + i * size_t{dim}, dim);
+  EncodeServedRows(r.codes, rows, dim, w);
+}
+
+void CollectServedRowRuns(std::span<const Status::Code> codes,
+                          const float* rows, uint32_t dim,
+                          std::vector<std::span<const uint8_t>>* runs) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(rows);
+  const size_t row_bytes = size_t{dim} * sizeof(float);
+  size_t i = 0;
+  while (i < codes.size()) {
+    if (codes[i] != Status::Code::kOk) {
+      ++i;
+      continue;
     }
+    size_t j = i + 1;
+    while (j < codes.size() && codes[j] == Status::Code::kOk) ++j;
+    runs->emplace_back(bytes + i * row_bytes, (j - i) * row_bytes);
+    i = j;
   }
 }
 
@@ -381,9 +415,19 @@ Status DecodeMultiGetResponse(PayloadReader* r, size_t n_keys, uint32_t dim,
   if (result->codes.size() != n_keys) {
     return Status::Corruption("wire: MultiGet response key count mismatch");
   }
-  for (size_t i = 0; i < n_keys; ++i) {
-    if (result->codes[i] != Status::Code::kOk) continue;
-    if (!r->Floats(out + i * size_t{dim}, dim)) break;
+  // Decode contiguous kOk runs as one Floats call each: on the all-hit
+  // warm path the entire row block lands in the caller's output span with
+  // a single memcpy (see PayloadReader::Floats).
+  size_t i = 0;
+  while (i < n_keys) {
+    if (result->codes[i] != Status::Code::kOk) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < n_keys && result->codes[j] == Status::Code::kOk) ++j;
+    if (!r->Floats(out + i * size_t{dim}, (j - i) * size_t{dim})) break;
+    i = j;
   }
   return r->Finish("MultiGet response");
 }
@@ -409,6 +453,7 @@ void EncodeStatsSnapshot(const StatsSnapshot& s, PayloadWriter* w) {
   w->U64(s.replicated_records);
   w->U64(s.replica_lag_records);
   w->U64(s.replication_reconnects);
+  w->U8(s.kernel_tier);
 }
 
 Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out) {
@@ -436,6 +481,7 @@ Status DecodeStatsSnapshot(PayloadReader* r, StatsSnapshot* out) {
   r->U64(&out->replicated_records);
   r->U64(&out->replica_lag_records);
   r->U64(&out->replication_reconnects);
+  r->U8(&out->kernel_tier);
   return r->Finish("stats");
 }
 

@@ -21,6 +21,7 @@
 // status OK.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -46,7 +47,11 @@ inline constexpr uint32_t kWireMagic = 0x564B4C4Du;
 // serves the routing map, kSubscribe/kReplicate ship the committed-update
 // feed to replicas, kStats grows replication counters, and responses may
 // carry per-key kWrongPartition codes.
-inline constexpr uint8_t kWireVersion = 4;
+// v5: kStats responses carry the server's selected SIMD kernel tier. The
+// MultiGet response bytes are unchanged, but servers now gather the served
+// rows straight from the backend's buffer (see CollectServedRowRuns) instead
+// of copy-encoding them — byte-identical on the wire.
+inline constexpr uint8_t kWireVersion = 5;
 inline constexpr size_t kFrameHeaderSize = 20;
 // Upper bound on a single payload; a header announcing more is corrupt
 // (or hostile) and the connection is dropped before any allocation.
@@ -207,6 +212,28 @@ Status DecodeBatchResult(PayloadReader* r, BatchResult* out);
 // output rows are unspecified by contract, so they never cross the wire).
 void EncodeMultiGetResponse(const BatchResult& r, const float* rows,
                             uint32_t dim, PayloadWriter* w);
+
+// The copy-encode row half of EncodeMultiGetResponse on its own: appends
+// the dim-float row of every kOk code in `codes` to `w`. Kept as the
+// big-endian fallback and as the byte-identity reference the gather path
+// is tested against.
+void EncodeServedRows(std::span<const Status::Code> codes, const float* rows,
+                      uint32_t dim, PayloadWriter* w);
+
+// True when a float row's in-memory bytes already are its wire encoding
+// (the wire is explicitly little-endian), so served rows can ride the
+// response as iovecs over the backend's buffer with no encode copy.
+inline constexpr bool kRawFloatRowsMatchWire =
+    std::endian::native == std::endian::little;
+
+// Zero-copy counterpart of EncodeServedRows, valid only when
+// kRawFloatRowsMatchWire: appends the byte runs of the served rows to
+// `runs`, coalescing consecutive kOk rows so the all-hit warm path is a
+// single span over the whole buffer. The spans alias `rows`, which must
+// stay alive until the gathered send completes.
+void CollectServedRowRuns(std::span<const Status::Code> codes,
+                          const float* rows, uint32_t dim,
+                          std::vector<std::span<const uint8_t>>* runs);
 // Scatters served rows to `out` (n_keys * dim floats, caller-owned);
 // rows whose code is not kOk are left untouched.
 Status DecodeMultiGetResponse(PayloadReader* r, size_t n_keys, uint32_t dim,
@@ -239,6 +266,10 @@ struct StatsSnapshot {
   uint64_t replicated_records = 0;
   uint64_t replica_lag_records = 0;
   uint64_t replication_reconnects = 0;
+  // SIMD dispatch tier the server's kernels run on (wire v5): a
+  // simd::KernelTier value, so remote operators can confirm what the
+  // feature check picked without host access.
+  uint8_t kernel_tier = 0;
 };
 
 void EncodeStatsSnapshot(const StatsSnapshot& s, PayloadWriter* w);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "common/simd.h"
 
 namespace mlkv {
 
@@ -40,7 +41,7 @@ Status EmbeddingServer::Lookup(std::span<const Key> keys, float* out) {
     for (size_t j = 0; j < miss_keys.size(); ++j) {
       float* dst = out + miss_at[j] * size_t{dim};
       if (from_store.codes[j] == Status::Code::kOk) {
-        std::memcpy(dst, &buf[j * size_t{dim}], emb_bytes);
+        simd::CopyFloats(dst, &buf[j * size_t{dim}], dim);
         ++store_hits;
         if (options_.cache_on_miss) cache_.Put(miss_keys[j], dst);
         continue;

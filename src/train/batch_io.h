@@ -12,6 +12,7 @@
 
 #include "backend/kv_backend.h"
 #include "common/hash.h"
+#include "common/simd.h"
 
 namespace mlkv {
 
@@ -86,8 +87,7 @@ inline uint64_t MultiGetWithBusyFallback(KvBackend* backend,
   untracked.untracked = true;
   backend->MultiGet(busy_keys, buf.data(), untracked);
   for (size_t j = 0; j < busy_keys.size(); ++j) {
-    std::memcpy(out + at[j] * size_t{dim}, &buf[j * size_t{dim}],
-                dim * sizeof(float));
+    simd::CopyFloats(out + at[j] * size_t{dim}, &buf[j * size_t{dim}], dim);
   }
   return r.busy;
 }

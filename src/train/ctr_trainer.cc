@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/simd.h"
 #include "ml/ctr_models.h"
 #include "ml/metrics.h"
 #include "train/batch_io.h"
@@ -152,9 +153,8 @@ TrainResult CtrTrainer::Train() {
         const float* g = gx.row(i);
         for (int f = 0; f < m; ++f) {
           const size_t u = key_slot[samples[i].keys[f]];
-          for (uint32_t d = 0; d < dim; ++d) {
-            grad[u * dim + d] += g[static_cast<size_t>(f) * dim + d];
-          }
+          simd::AccumulateFloats(&grad[u * dim],
+                                 g + static_cast<size_t>(f) * dim, dim);
         }
       }
 
@@ -162,12 +162,9 @@ TrainResult CtrTrainer::Train() {
       // one batched call per minibatch ---
       t0 = NowMicros();
       std::vector<float> updated(unique_keys.size() * dim);
-      for (size_t u = 0; u < unique_keys.size(); ++u) {
-        for (uint32_t d = 0; d < dim; ++d) {
-          updated[u * dim + d] = unique_emb[u * dim + d] -
-                                 options_.embedding_lr * grad[u * dim + d];
-        }
-      }
+      simd::CopyFloats(updated.data(), unique_emb.data(), updated.size());
+      simd::SubScaled(updated.data(), grad.data(), options_.embedding_lr,
+                      updated.size());
       backend_->MultiPut(unique_keys, updated.data());
       t1 = NowMicros();
       emb_sec += (t1 - t0) * 1e-6;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/simd.h"
 #include "ml/metrics.h"
 #include "train/batch_io.h"
 
@@ -183,25 +184,21 @@ TrainResult GnnTrainer::Train() {
       std::vector<float> grad(unique.size() * dim, 0.0f);
       for (int i = 0; i < B; ++i) {
         const size_t us = slot[samples[i].node];
-        const float* gs = grad_self.row(i);
-        for (uint32_t d = 0; d < dim; ++d) grad[us * dim + d] += gs[d];
+        simd::AccumulateFloats(&grad[us * dim], grad_self.row(i), dim);
         for (int n = 0; n < fanout; ++n) {
           const size_t un = slot[samples[i].neighbors[n]];
-          const float* gn =
-              grad_neighbors.row(static_cast<size_t>(i) * fanout + n);
-          for (uint32_t d = 0; d < dim; ++d) grad[un * dim + d] += gn[d];
+          simd::AccumulateFloats(
+              &grad[un * dim],
+              grad_neighbors.row(static_cast<size_t>(i) * fanout + n), dim);
         }
       }
 
       // --- Put: one batched call per minibatch ---
       t0 = NowMicros();
       std::vector<float> updated(unique.size() * dim);
-      for (size_t u = 0; u < unique.size(); ++u) {
-        for (uint32_t d = 0; d < dim; ++d) {
-          updated[u * dim + d] = emb[u * dim + d] -
-                                 options_.embedding_lr * grad[u * dim + d];
-        }
-      }
+      simd::CopyFloats(updated.data(), emb.data(), updated.size());
+      simd::SubScaled(updated.data(), grad.data(), options_.embedding_lr,
+                      updated.size());
       backend_->MultiPut(unique, updated.data());
       t1 = NowMicros();
       emb_sec += (t1 - t0) * 1e-6;

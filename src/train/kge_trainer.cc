@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/simd.h"
 #include "ml/layers.h"
 #include "ml/metrics.h"
 #include "train/batch_io.h"
@@ -202,10 +203,8 @@ TrainResult KgeTrainer::Train() {
         // Apply relation updates immediately (dense, in-memory).
         for (int r = 0; r < options_.data.num_relations; ++r) {
           if (rel_grad[r].empty()) continue;
-          for (uint32_t d = 0; d < dim; ++d) {
-            relations[r][d] -= options_.lr * rel_grad[r][d] /
-                               static_cast<float>(B);
-          }
+          simd::SubScaled(relations[r].data(), rel_grad[r].data(),
+                          options_.lr / static_cast<float>(B), dim);
         }
       }
       uint64_t t2 = NowMicros();
@@ -219,12 +218,9 @@ TrainResult KgeTrainer::Train() {
       // Negative-sample gradients are already averaged (1/NEG) at scoring
       // time, so the raw learning rate applies here.
       std::vector<float> updated(unique.size() * dim);
-      const float scale = options_.lr;
-      for (size_t u = 0; u < unique.size(); ++u) {
-        for (uint32_t d = 0; d < dim; ++d) {
-          updated[u * dim + d] = emb[u * dim + d] - scale * grad[u * dim + d];
-        }
-      }
+      simd::CopyFloats(updated.data(), emb.data(), updated.size());
+      simd::SubScaled(updated.data(), grad.data(), options_.lr,
+                      updated.size());
       backend_->MultiPut(unique, updated.data());
       t1 = NowMicros();
       emb_sec += (t1 - t0) * 1e-6;

@@ -247,6 +247,80 @@ TEST(WireTest, MultiGetResponsePacksOnlyServedRows) {
   EXPECT_FLOAT_EQ(out[6], 7);
 }
 
+TEST(WireTest, GatheredRowRunsByteIdenticalToCopyEncode) {
+  // The server's zero-copy send path frames [EncodeBatchResult bytes]
+  // followed by the CollectServedRowRuns spans as iovecs. That
+  // concatenation must be byte-identical to the copy path
+  // (EncodeMultiGetResponse) for every hole pattern, or old and new
+  // clients would disagree about the same response.
+  if (!kRawFloatRowsMatchWire) GTEST_SKIP() << "big-endian host";
+  constexpr uint32_t kDim = 3;
+  const float rows[5 * kDim] = {1,  2,  3,  4,  5,  6,  7, 8,
+                                9, 10, 11, 12, 13, 14, 15};
+  // Hole patterns: leading, trailing, interior holes; all served; none.
+  const Status ok = Status::OK();
+  const Status nf = Status::NotFound();
+  const Status busy = Status::Busy();
+  const std::vector<std::vector<Status>> patterns = {
+      {nf, ok, ok, nf, ok},
+      {ok, busy, ok, ok, nf},
+      {ok, ok, ok, ok, ok},
+      {nf, busy, nf, nf, nf},
+  };
+  for (const auto& statuses : patterns) {
+    BatchResult r(statuses.size());
+    for (size_t i = 0; i < statuses.size(); ++i) {
+      r.Record(i, statuses[i]);
+    }
+    PayloadWriter copy_path;
+    EncodeMultiGetResponse(r, rows, kDim, &copy_path);
+
+    PayloadWriter body;
+    EncodeBatchResult(r, &body);
+    std::vector<std::span<const uint8_t>> runs;
+    CollectServedRowRuns(r.codes, rows, kDim, &runs);
+    std::vector<uint8_t> gathered(body.bytes().begin(), body.bytes().end());
+    for (const auto& run : runs) {
+      gathered.insert(gathered.end(), run.begin(), run.end());
+    }
+    ASSERT_EQ(gathered.size(), copy_path.bytes().size());
+    EXPECT_EQ(std::memcmp(gathered.data(), copy_path.bytes().data(),
+                          gathered.size()),
+              0);
+  }
+}
+
+TEST(WireTest, CollectServedRowRunsCoalescesAdjacentRows) {
+  if (!kRawFloatRowsMatchWire) GTEST_SKIP() << "big-endian host";
+  constexpr uint32_t kDim = 2;
+  const float rows[4 * kDim] = {0, 1, 2, 3, 4, 5, 6, 7};
+  BatchResult r(4);
+  r.Record(0, Status::OK());
+  r.Record(1, Status::OK());
+  r.Record(2, Status::NotFound());
+  r.Record(3, Status::OK());
+  std::vector<std::span<const uint8_t>> runs;
+  CollectServedRowRuns(r.codes, rows, kDim, &runs);
+  // Rows 0-1 coalesce into one span; row 3 is its own.
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].size(), 2 * kDim * sizeof(float));
+  EXPECT_EQ(runs[1].size(), kDim * sizeof(float));
+  EXPECT_EQ(runs[0].data(), reinterpret_cast<const uint8_t*>(rows));
+}
+
+TEST(WireTest, StatsSnapshotCarriesKernelTier) {
+  StatsSnapshot s;
+  s.requests = 42;
+  s.kernel_tier = 1;  // avx2+fma
+  PayloadWriter w;
+  EncodeStatsSnapshot(s, &w);
+  PayloadReader r(w.bytes().data(), w.bytes().size());
+  StatsSnapshot d;
+  ASSERT_TRUE(DecodeStatsSnapshot(&r, &d).ok());
+  EXPECT_EQ(d.requests, 42u);
+  EXPECT_EQ(d.kernel_tier, 1u);
+}
+
 TEST(WireTest, HandshakeInfoRoundTrip) {
   HandshakeInfo h{16, 3, "MLKV"};
   PayloadWriter w;
@@ -600,6 +674,14 @@ TEST_F(LoopbackServerTest, OversizedBatchesChunkAcrossRpcs) {
         << "key " << i;
   }
   EXPECT_EQ(mixed.found + mixed.missing, kN);
+  // Served rows land intact around the holes — the server gathers them
+  // straight from its backend buffer as iovecs, so any run-boundary bug
+  // would show up as shifted row data here.
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_FLOAT_EQ(out[0 * 8 + d], values[0 * 8 + d]);
+    EXPECT_FLOAT_EQ(out[2 * 8 + d], values[2 * 8 + d]);
+    EXPECT_FLOAT_EQ(out[98 * 8 + d], values[98 * 8 + d]);
+  }
   // The server really saw multiple MultiGet frames per call.
   const StatsSnapshot s = server_->stats();
   EXPECT_GE(s.op_counts[static_cast<size_t>(Opcode::kMultiGet)],
