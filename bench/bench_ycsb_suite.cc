@@ -30,6 +30,7 @@
 #include "kv/faster_store.h"
 #include "lsm/lsm_store.h"
 #include "net/kv_server.h"
+#include "obs/metrics.h"
 #include "workloads/ycsb.h"
 
 using namespace mlkv;
@@ -329,6 +330,81 @@ double RunBatchedWorkload(const std::string& engine_name, const RunConfig& rc,
   return keys_per_sec;
 }
 
+// ---- metrics/tracing overhead A/B (docs/OBSERVABILITY.md) ----
+
+// One loopback serving phase: a FASTER backend behind a KvServer, zipfian
+// MultiGet-only rounds from rc.threads client threads. `observed` runs the
+// full observability pipeline (registry cells + per-request trace spans);
+// otherwise tracing is off and SetMetricsEnabled(false) no-ops every
+// native record path — the same binary, counters frozen.
+double RunMetricsOverheadPhase(const RunConfig& rc, size_t batch,
+                               bool observed) {
+  TempDir dir;
+  BackendConfig cfg;
+  cfg.dir = dir.path() + "/backend";
+  cfg.dim = rc.value_size / sizeof(float);
+  cfg.buffer_bytes = rc.buffer_mb << 20;
+  cfg.index_slots = rc.num_keys;
+  cfg.staleness_bound = UINT32_MAX - 1;
+  std::unique_ptr<KvBackend> backend;
+  if (!MakeBackend(BackendKind::kFaster, cfg, &backend).ok()) std::exit(1);
+  net::KvServerOptions so;
+  so.num_workers = static_cast<size_t>(rc.threads);
+  so.enable_tracing = observed;
+  net::KvServer server(std::move(backend), so);
+  if (!server.Start().ok()) std::exit(1);
+  BackendConfig rcfg;
+  rcfg.remote_addr = server.addr();
+  std::unique_ptr<KvBackend> client;
+  if (!MakeBackend(BackendKind::kRemote, rcfg, &client).ok()) std::exit(1);
+  const uint32_t dim = client->dim();
+
+  {
+    constexpr size_t kChunk = 1024;
+    std::vector<Key> keys(kChunk);
+    std::vector<float> values(kChunk * dim);
+    for (Key base = 0; base < rc.num_keys; base += kChunk) {
+      const size_t n = static_cast<size_t>(
+          std::min<uint64_t>(kChunk, rc.num_keys - base));
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] = base + i;
+        for (uint32_t d = 0; d < dim; ++d) {
+          values[i * dim + d] = static_cast<float>(keys[i] + d);
+        }
+      }
+      if (client->MultiPut({keys.data(), n}, values.data()).failed > 0) {
+        std::exit(1);
+      }
+    }
+  }
+
+  obs::SetMetricsEnabled(observed);
+  std::atomic<uint64_t> total_keys{0};
+  StopWatch watch;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < rc.threads; ++t) {
+    threads.emplace_back([&, t] {
+      ZipfianGenerator zg(rc.num_keys, 0.99, 9000 + t);
+      std::vector<Key> keys(batch);
+      std::vector<float> buf(batch * dim);
+      uint64_t done = 0;
+      while (done < rc.ops_per_thread) {
+        for (auto& k : keys) k = zg.NextScrambled();
+        client->MultiGet(keys, buf.data());
+        done += batch;
+      }
+      total_keys.fetch_add(done);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double keys_per_sec =
+      static_cast<double>(total_keys.load()) / watch.ElapsedSeconds();
+  obs::SetMetricsEnabled(true);
+  client.reset();  // close client sockets before the server stops
+  server.Stop();
+  return keys_per_sec;
+}
+
 // ---- cluster scatter-gather (docs/CLUSTER.md) ----
 
 // Loads rc.num_keys through `backend`, then hammers it with MultiGet-only
@@ -482,7 +558,12 @@ int main(int argc, char** argv) {
                 "                     server of the same size; an endpoint\n"
                 "                     list measures a running cluster\n"
                 "  --server_workers=2 per-server worker threads in the\n"
-                "                     cluster sweep (capacity per box)\n");
+                "                     cluster sweep (capacity per box)\n"
+                "  --metrics_overhead A/B the observability pipeline over a\n"
+                "                     loopback server: registry + tracing on\n"
+                "                     vs SetMetricsEnabled(false) + tracing\n"
+                "                     off, MultiGet-only at --batch_size\n"
+                "                     (default 64)\n");
     return 0;
   }
   RunConfig rc;
@@ -618,6 +699,35 @@ int main(int argc, char** argv) {
                 "tail still takes, so the gap vs sync grows with "
                 "cold_fraction; the hot head of the distribution keeps the "
                 "gap smaller than the uniform-random fig9 --cold sweep.\n");
+  }
+
+  if (flags.Has("metrics_overhead")) {
+    const size_t batch = static_cast<size_t>(flags.Int("batch_size", 64));
+    Banner("Observability overhead: loopback MultiGet keys/s, metrics + "
+           "tracing on vs off (docs/OBSERVABILITY.md)");
+    std::printf("zipfian MultiGet-only, batch=%zu, %d client thread(s); "
+                "'off' freezes every registry cell and skips trace spans\n\n",
+                batch, rc.threads);
+    // Two reps each, interleaved, best-of: the comparison should measure
+    // the record path, not which phase won the page cache.
+    double on = 0, off = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+      off = std::max(off, RunMetricsOverheadPhase(rc, batch, false));
+      on = std::max(on, RunMetricsOverheadPhase(rc, batch, true));
+    }
+    const double overhead_pct = off > 0 ? (off - on) / off * 100.0 : 0.0;
+    Table mt({"observability", "keys/s"});
+    mt.PrintHeader();
+    mt.Cell(std::string("off (noop cells)"));
+    mt.Cell(Human(off));
+    mt.EndRow();
+    mt.Cell(std::string("on (cells+spans)"));
+    mt.Cell(Human(on));
+    mt.EndRow();
+    std::printf("\nmetrics_overhead: %.2f%% (target < 5%%)\n", overhead_pct);
+    std::printf("Expected shape: the hot path adds a handful of relaxed "
+                "atomic increments and ~10 span timestamps per request, "
+                "lost in the wire round trip at batch>=64.\n");
   }
 
   if (flags.Has("cluster_addrs")) {

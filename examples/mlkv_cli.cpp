@@ -49,6 +49,7 @@
 #include "net/kv_server.h"
 #include "net/remote_backend.h"
 #include "net/socket.h"
+#include "obs/metrics_http.h"
 
 using namespace mlkv;
 
@@ -77,6 +78,9 @@ int Usage() {
       "        [--durability_mode sync|group] [--checkpoint_mode full|incremental]\n"
       "        [--group_commit_window_us N] [--group_commit_max_bytes N]\n"
       "        [--request_threads N]  offload storage phases off workers\n"
+      "        [--metrics_addr h:p]   Prometheus /metrics endpoint\n"
+      "        [--serve_cache N]      front the backend with an N-vector LRU\n"
+      "        [--slow_request_us N]  slow-request log threshold (0 = auto)\n"
       "        kinds: mlkv faster lsm btree inmemory\n"
       "    cluster mode (docs/CLUSTER.md; --addr needs an explicit port):\n"
       "        [--cluster_addrs a,b,...]   primary endpoints, partition order\n"
@@ -88,8 +92,11 @@ int Usage() {
       "        [--replica_poll_ms N] [--replica_state <path>]\n"
       "  remote-get --addr <h:p> <key>       read from a running server\n"
       "  remote-put --addr <h:p> <key> <csv> write to a running server\n"
+      "  stats --addr <h:p> [--watch N] [--metrics_addr h:p]\n"
+      "       counters of a running server (--watch repeats every N s;\n"
+      "       --metrics_addr also dumps its Prometheus exposition)\n"
       "  cluster-status --addr <h:p>         map + per-endpoint health\n"
-      "  (remote-*/cluster-status ignore <dir>; pass '-')\n");
+      "  (remote-*/stats/cluster-status ignore <dir>; pass '-')\n");
   return 2;
 }
 
@@ -226,6 +233,14 @@ int RunServe(const std::string& dir, ArgList& args) {
   s = MakeBackend(kind, cfg, &backend);
   if (!s.ok()) return Fail(s);
 
+  // Optional serving-side LRU in front of whatever engine was picked.
+  const size_t serve_cache = static_cast<size_t>(
+      std::strtoul(args.Flag("serve_cache", "0").c_str(), nullptr, 10));
+  if (serve_cache > 0) {
+    s = MakeCachingBackend(std::move(backend), serve_cache, &backend);
+    if (!s.ok()) return Fail(s);
+  }
+
   net::KvServerOptions so;
   so.host = host;
   so.port = port;
@@ -233,9 +248,24 @@ int RunServe(const std::string& dir, ArgList& args) {
       std::strtoul(args.Flag("workers", "4").c_str(), nullptr, 10));
   so.request_threads = static_cast<size_t>(
       std::strtoul(args.Flag("request_threads", "0").c_str(), nullptr, 10));
+  so.slow_request_us = std::strtoull(
+      args.Flag("slow_request_us", "0").c_str(), nullptr, 10);
   net::KvServer server(std::move(backend), so);
   s = server.Start();
   if (!s.ok()) return Fail(s);
+
+  // Prometheus endpoint over the server's registry (per-server, so the
+  // scrape covers exactly this serving process).
+  obs::MetricsHttpServer metrics_http(server.metrics());
+  const std::string metrics_addr = args.Flag("metrics_addr");
+  if (!metrics_addr.empty()) {
+    s = metrics_http.Start(metrics_addr);
+    if (!s.ok()) {
+      server.Stop();
+      return Fail(s);
+    }
+    std::printf("metrics on http://%s/metrics\n", metrics_addr.c_str());
+  }
 
   // Cluster mode: install the map so this server enforces ownership and
   // serves it to clients via kClusterMap.
@@ -373,6 +403,84 @@ int RunServe(const std::string& dir, ArgList& args) {
   return 0;
 }
 
+void PrintStatsSnapshot(const net::StatsSnapshot& st) {
+  std::printf("requests=%llu connections=%llu transport_errors=%llu "
+              "p50=%lluus p99=%lluus\n",
+              (unsigned long long)st.requests,
+              (unsigned long long)st.connections,
+              (unsigned long long)st.transport_errors,
+              (unsigned long long)st.latency_p50_us,
+              (unsigned long long)st.latency_p99_us);
+  std::printf("ops:");
+  for (uint8_t raw = 0; raw < net::kOpcodeSlots; ++raw) {
+    if (!net::ValidOpcode(raw) || st.op_counts[raw] == 0) continue;
+    std::printf(" %s=%llu", net::OpcodeName(static_cast<net::Opcode>(raw)),
+                (unsigned long long)st.op_counts[raw]);
+  }
+  std::printf("\n");
+  std::printf("io: disk_reads=%llu pages_flushed=%llu pages_evicted=%llu "
+              "async_reads=%llu/%llu (refetched=%llu)\n",
+              (unsigned long long)st.disk_record_reads,
+              (unsigned long long)st.pages_flushed,
+              (unsigned long long)st.pages_evicted,
+              (unsigned long long)st.async_reads_submitted,
+              (unsigned long long)st.async_reads_completed,
+              (unsigned long long)st.async_reads_refetched);
+  std::printf("writes: async=%llu/%llu fsyncs=%llu group_commits=%llu\n",
+              (unsigned long long)st.async_writes_submitted,
+              (unsigned long long)st.async_writes_completed,
+              (unsigned long long)st.fsyncs,
+              (unsigned long long)st.group_commits);
+  std::printf("replication: records=%llu lag=%llu reconnects=%llu\n",
+              (unsigned long long)st.replicated_records,
+              (unsigned long long)st.replica_lag_records,
+              (unsigned long long)st.replication_reconnects);
+  std::printf("kernels: %s\n",
+              simd::KernelTierName(
+                  static_cast<simd::KernelTier>(st.kernel_tier)));
+}
+
+// `mlkv_cli - stats --addr <h:p>`: the kStats snapshot of a running
+// server, optionally repeated (--watch N seconds) and paired with the
+// server's Prometheus exposition (--metrics_addr).
+int RunRemoteStats(ArgList& args) {
+  const std::string addr = args.Flag("addr");
+  if (addr.empty()) return Usage();
+  const uint64_t watch_s =
+      std::strtoull(args.Flag("watch", "0").c_str(), nullptr, 10);
+  const std::string metrics_addr = args.Flag("metrics_addr");
+
+  std::unique_ptr<net::RemoteBackend> remote;
+  net::RemoteBackendOptions o;
+  o.addr = addr;
+  o.pool_size = 1;
+  Status s = net::RemoteBackend::Connect(o, &remote);
+  if (!s.ok()) return Fail(s);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  for (;;) {
+    net::StatsSnapshot st;
+    s = remote->FetchStats(&st);
+    if (!s.ok()) return Fail(s);
+    std::printf("--- %s ---\n", addr.c_str());
+    PrintStatsSnapshot(st);
+    if (!metrics_addr.empty()) {
+      std::string body;
+      s = obs::HttpGet(metrics_addr, "/metrics", &body);
+      if (!s.ok()) return Fail(s);
+      std::printf("%s", body.c_str());
+    }
+    std::fflush(stdout);
+    if (watch_s == 0 || g_stop_requested) break;
+    for (uint64_t i = 0; i < watch_s * 10 && !g_stop_requested; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (g_stop_requested) break;
+  }
+  return 0;
+}
+
 int RunClusterStatus(ArgList& args) {
   const std::string addr = args.Flag("addr");
   if (addr.empty()) return Usage();
@@ -495,13 +603,20 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[2];
 
   // Network commands bypass the local Mlkv open: serve owns its backend
-  // via the factory, remote-* never touch local storage at all.
+  // via the factory, remote-* never touch local storage at all. `stats`
+  // is network mode only when --addr is given (its classic form inspects
+  // a local table).
+  bool stats_has_addr = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--addr") == 0) stats_has_addr = true;
+  }
   if (cmd == "serve" || cmd == "remote-get" || cmd == "remote-put" ||
-      cmd == "cluster-status") {
+      cmd == "cluster-status" || (cmd == "stats" && stats_has_addr)) {
     ArgList args;
     if (!args.ParseFrom(argc, argv, 3)) return Usage();
     if (cmd == "serve") return RunServe(dir, args);
     if (cmd == "cluster-status") return RunClusterStatus(args);
+    if (cmd == "stats") return RunRemoteStats(args);
     return RunRemote(cmd, args);
   }
 

@@ -94,5 +94,54 @@ if [[ -x "${bench_dir}/bench_ycsb_suite" ]]; then
   fi
 fi
 
+# One observability smoke: serve a store with --metrics_addr, scrape
+# GET /metrics, keep the exposition as an artifact, and validate it with
+# scripts/check_metrics.sh (duplicate families, bad names, histogram
+# invariants). See docs/OBSERVABILITY.md for the metric catalog.
+cli="${build_dir}/examples/mlkv_cli"
+if [[ -x "${cli}" ]] && command -v curl > /dev/null; then
+  echo "=== mlkv_cli serve --metrics_addr + /metrics scrape"
+  obs_dir="$(mktemp -d)"
+  trap 'rm -rf "${obs_dir}"' EXIT
+  "${cli}" "${obs_dir}/store" create smoke 8 16 adagrad \
+    > "${log_dir}/metrics_scrape_serve.txt"
+  "${cli}" "${obs_dir}/store" serve --addr 127.0.0.1:7399 --backend mlkv \
+    --dim 8 --metrics_addr 127.0.0.1:7398 \
+    >> "${log_dir}/metrics_scrape_serve.txt" 2>&1 &
+  serve_pid=$!
+  scrape_ok=0
+  for _ in $(seq 1 50); do
+    if curl -fsS http://127.0.0.1:7398/metrics \
+        -o "${log_dir}/metrics_scrape.prom" 2> /dev/null; then
+      scrape_ok=1
+      break
+    fi
+    sleep 0.2
+  done
+  # Drive a few requests through the wire path so server/op families have
+  # non-zero samples in the published scrape, then re-scrape.
+  if [[ "${scrape_ok}" == 1 ]]; then
+    "${cli}" - remote-put --addr 127.0.0.1:7399 1 1,2,3,4,5,6,7,8 \
+      >> "${log_dir}/metrics_scrape_serve.txt"
+    "${cli}" - remote-get --addr 127.0.0.1:7399 1 \
+      >> "${log_dir}/metrics_scrape_serve.txt"
+    "${cli}" - stats --addr 127.0.0.1:7399 \
+      >> "${log_dir}/metrics_scrape_serve.txt"
+    curl -fsS --max-time 2 http://127.0.0.1:7398/nope \
+      -o /dev/null 2> /dev/null || true  # 404 path: must not wedge serving
+    curl -fsS http://127.0.0.1:7398/metrics \
+      -o "${log_dir}/metrics_scrape.prom"
+  fi
+  kill "${serve_pid}" 2> /dev/null || true
+  wait "${serve_pid}" 2> /dev/null || true
+  if [[ "${scrape_ok}" != 1 ]]; then
+    echo "FAILED: /metrics scrape (server never came up)" >&2
+    failed=1
+  elif ! scripts/check_metrics.sh "${log_dir}/metrics_scrape.prom"; then
+    echo "FAILED: check_metrics.sh rejected the exposition" >&2
+    failed=1
+  fi
+fi
+
 echo "bench output tables: ${log_dir}"
 exit "${failed}"

@@ -46,6 +46,10 @@
 
 namespace mlkv {
 
+namespace obs {
+class MetricsSink;
+}  // namespace obs
+
 // Sentinel for "derive the shard count from the backend itself"
 // (KvBackend::shard_bits()) in config structs that carry a shard-count
 // layout hint, so the hint cannot drift from the store's actual routing.
@@ -157,6 +161,14 @@ class KvBackend {
   // Aggregated storage-I/O counters (see BackendIoStats); engines without
   // a disk pipeline keep the zero default.
   virtual BackendIoStats io_stats() const { return {}; }
+
+  // Scrape-time metrics: writes this backend's families into `sink`
+  // (Prometheus exposition via obs::MetricsRegistry collectors — see
+  // docs/OBSERVABILITY.md for the catalog). The base implementation emits
+  // the io_stats() counters plus device byte totals; engines with richer
+  // state (per-shard ops, cache shards, per-endpoint RPC counters) extend
+  // it. Decorators and routing backends forward to their inner backends.
+  virtual void CollectMetrics(obs::MetricsSink* sink) const;
 
   // --- Replication feed (cluster mode; see docs/CLUSTER.md) ---
   //
@@ -273,5 +285,14 @@ const char* BackendKindName(BackendKind kind);
 // Factory: builds the requested backend rooted at config.dir.
 Status MakeBackend(BackendKind kind, const BackendConfig& config,
                    std::unique_ptr<KvBackend>* out);
+
+// Wraps `inner` in a serving-side EmbeddingCache decorator: untracked
+// MultiGets probe a sharded LRU of `capacity` rows and only miss through to
+// the engine; writes invalidate. Tracked (training) reads bypass the cache
+// entirely — caching them would break the staleness protocol. Reads may
+// observe a bounded-stale row when a fill races an invalidate, which the
+// untracked read contract already permits. capacity == 0 is rejected.
+Status MakeCachingBackend(std::unique_ptr<KvBackend> inner, size_t capacity,
+                          std::unique_ptr<KvBackend>* out);
 
 }  // namespace mlkv

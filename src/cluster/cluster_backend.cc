@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "common/simd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mlkv {
 namespace cluster {
@@ -225,6 +227,21 @@ BackendIoStats ClusterBackend::io_stats() const {
   return total;
 }
 
+void ClusterBackend::CollectMetrics(obs::MetricsSink* sink) const {
+  KvBackend::CollectMetrics(sink);
+  for (const EndpointStats& s : endpoint_stats()) {
+    sink->AddCounter("mlkv_cluster_endpoint_requests_total",
+                     "Sub-batches routed to this cluster endpoint.",
+                     static_cast<double>(s.requests), {{"endpoint", s.addr}});
+    sink->AddCounter("mlkv_cluster_endpoint_failovers_total",
+                     "Sub-batches that left this endpoint for a fallback.",
+                     static_cast<double>(s.failovers), {{"endpoint", s.addr}});
+  }
+  sink->AddGauge("mlkv_cluster_map_epoch",
+                 "Epoch of the client's installed routing map.",
+                 static_cast<double>(map()->epoch));
+}
+
 std::vector<EndpointStats> ClusterBackend::endpoint_stats() const {
   std::vector<Endpoint*> eps;
   {
@@ -414,12 +431,17 @@ BatchResult ClusterBackend::Execute(Op op, std::span<const Key> keys,
     auto latch = std::make_shared<Latch>();
     const size_t helpers =
         std::min(pool_->num_threads(), tasks.size() > 0 ? tasks.size() - 1 : 0);
+    // Helpers inherit the caller's trace context so their ExecutePartition
+    // rpc spans land in the same request tree (the caller thread already
+    // has it installed).
+    const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
     for (size_t h = 0; h < helpers; ++h) {
       {
         std::lock_guard<std::mutex> lock(latch->mu);
         ++latch->pending;
       }
-      const bool queued = pool_->TrySubmit([&worker, latch]() {
+      const bool queued = pool_->TrySubmit([&worker, latch, trace_ctx]() {
+        obs::ScopedTraceContext trace_scope(trace_ctx);
         worker();
         std::lock_guard<std::mutex> lock(latch->mu);
         --latch->pending;

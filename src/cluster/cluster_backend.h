@@ -91,6 +91,12 @@ class ClusterBackend : public KvBackend {
   // Sums every endpoint client's counters (remote_requests/remote_retries).
   BackendIoStats io_stats() const override;
 
+  // Base families plus the per-endpoint routing counters
+  // (mlkv_cluster_endpoint_requests_total{endpoint=} /
+  // mlkv_cluster_endpoint_failovers_total{endpoint=}) and the client's
+  // current map epoch.
+  void CollectMetrics(obs::MetricsSink* sink) const override;
+
   // Current routing map snapshot (immutable; swapped whole on refresh).
   std::shared_ptr<const ClusterMap> map() const;
   // Refetches the map from any reachable endpoint; installs it when its

@@ -16,4 +16,21 @@ std::string Histogram::Summary() const {
   return buf;
 }
 
+std::string Histogram::SnapshotString() const {
+  char buf[240];
+  std::snprintf(
+      buf, sizeof(buf),
+      "count=%llu sum=%llu mean=%.1f p50=%llu p90=%llu p95=%llu p99=%llu "
+      "p999=%llu max=%llu",
+      static_cast<unsigned long long>(count()),
+      static_cast<unsigned long long>(sum()), mean(),
+      static_cast<unsigned long long>(Percentile(0.50)),
+      static_cast<unsigned long long>(Percentile(0.90)),
+      static_cast<unsigned long long>(Percentile(0.95)),
+      static_cast<unsigned long long>(Percentile(0.99)),
+      static_cast<unsigned long long>(Percentile(0.999)),
+      static_cast<unsigned long long>(max()));
+  return buf;
+}
+
 }  // namespace mlkv

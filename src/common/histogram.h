@@ -42,10 +42,12 @@ class Histogram {
     return c ? static_cast<double>(sum()) / static_cast<double>(c) : 0.0;
   }
 
-  // Value at quantile q in [0,1]; returns the bucket's representative value.
+  // Value at quantile q in [0,1]; returns the bucket's representative value,
+  // except q >= 1.0 which returns the exact observed max.
   uint64_t Percentile(double q) const {
     const uint64_t c = count();
     if (c == 0) return 0;
+    if (q >= 1.0) return max();
     uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(c));
     if (rank >= c) rank = c - 1;
     uint64_t seen = 0;
@@ -71,7 +73,25 @@ class Histogram {
     }
   }
 
+  // Number of recorded values that fall in buckets wholly <= v: the
+  // cumulative count backing a Prometheus `le` bound. Conservative at bucket
+  // granularity — a bucket straddling v is excluded entirely.
+  uint64_t CountAtOrBelow(uint64_t v) const {
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const uint64_t upper =
+          (i + 1 < kBuckets) ? RepresentativeValue(i + 1) - 1 : UINT64_MAX;
+      if (upper > v) break;
+      seen += buckets_[i].load(std::memory_order_relaxed);
+    }
+    return seen;
+  }
+
   std::string Summary() const;
+
+  // One-line snapshot with the full percentile ladder, for exposition and
+  // the stats CLI (Summary() keeps its historical short form).
+  std::string SnapshotString() const;
 
  private:
   static int BucketFor(uint64_t v) {

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/spin_wait.h"
+#include "obs/trace.h"
 
 namespace mlkv {
 
@@ -150,6 +151,10 @@ bool ShardedStore::BuildScatter(std::span<const Key> keys, bool stop_on_error,
 
 void ShardedStore::MultiExecute(std::span<const Key> keys, const ShardOp& op,
                                 BatchResult* result, bool stop_on_error) {
+  // No-op without an active request trace; otherwise the scatter span
+  // parents every shard_execute span RunTasks opens (including on pool
+  // threads — RunTasks captures this thread's context before fanning out).
+  obs::ScopedSpan scatter_span("scatter");
   const size_t n = keys.size();
   result->Reset(n);
   if (n == 0) return;
@@ -190,10 +195,19 @@ void ShardedStore::MultiExecute(std::span<const Key> keys, const ShardOp& op,
 
 void ShardedStore::RunTasks(const std::vector<SubBatch>& tasks,
                             const std::function<void(size_t)>& run_task) {
+  // Snapshot the caller's trace context here: pool helpers run on threads
+  // with no (or a stale) thread-local context, so each claimed sub-batch
+  // re-installs the caller's before opening its shard_execute span.
+  const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
+  const auto traced_run = [&run_task, trace_ctx](size_t t) {
+    obs::ScopedTraceContext ctx(trace_ctx);
+    obs::ScopedSpan span("shard_execute");
+    run_task(t);
+  };
   if (options_.pool == nullptr || tasks.size() == 1) {
     // Nothing to overlap: run the sub-batches directly, skipping the
     // shared-state fan-in machinery entirely.
-    for (size_t t = 0; t < tasks.size(); ++t) run_task(t);
+    for (size_t t = 0; t < tasks.size(); ++t) traced_run(t);
   } else {
     // Execute with work stealing off a shared claim counter: the caller
     // and up to `helpers` pool workers each grab the next unclaimed
@@ -214,7 +228,7 @@ void ShardedStore::RunTasks(const std::vector<SubBatch>& tasks,
     };
     auto state = std::make_shared<ScatterState>();
     state->count = tasks.size();
-    state->run = [&run_task](size_t t) { run_task(t); };
+    state->run = [&traced_run](size_t t) { traced_run(t); };
     const auto work = [](const std::shared_ptr<ScatterState>& s) {
       for (;;) {
         const size_t t = s->next.fetch_add(1, std::memory_order_acq_rel);
@@ -256,6 +270,7 @@ void ShardedStore::MultiExecuteRead(std::span<const Key> keys,
     return;
   }
 
+  obs::ScopedSpan scatter_span("scatter");
   const size_t n = keys.size();
   result->Reset(n);
   std::vector<uint32_t> order;
@@ -280,9 +295,12 @@ void ShardedStore::MultiExecuteRead(std::span<const Key> keys,
   // One submission wave across every shard's sub-batch; completions (and
   // their finish callbacks, which record into the parts) run here on the
   // calling thread.
-  PendingReadWave wave(io);
-  for (PendingSink& sink : sinks) wave.Adopt(&sink);
-  wave.CompleteAll();
+  {
+    obs::ScopedSpan io_span("io_wave");
+    PendingReadWave wave(io);
+    for (PendingSink& sink : sinks) wave.Adopt(&sink);
+    wave.CompleteAll();
+  }
 
   GatherParts(order, tasks, parts, result);
 }

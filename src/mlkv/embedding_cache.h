@@ -87,6 +87,20 @@ class EmbeddingCache {
   struct CacheStats {
     uint64_t hits = 0, misses = 0, evictions = 0;
   };
+
+  // Per-shard visibility for labeled metrics families (no obs dependency
+  // here — callers own the emission).
+  size_t num_cache_shards() const { return shard_data_.size(); }
+  CacheStats shard_stats(size_t i) const {
+    const Shard& s = shard_data_[i];
+    std::lock_guard<std::mutex> lk(s.mu);
+    CacheStats c;
+    c.hits = s.hits;
+    c.misses = s.misses;
+    c.evictions = s.evictions;
+    return c;
+  }
+
   CacheStats stats() const {
     CacheStats c;
     for (const auto& s : shard_data_) {

@@ -87,6 +87,96 @@ KvServer::KvServer(std::unique_ptr<KvBackend> backend,
   if (options_.request_threads > 0) {
     request_pool_ = std::make_unique<ThreadPool>(options_.request_threads);
   }
+  InitMetrics();
+}
+
+void KvServer::InitMetrics() {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  obs::MetricFamily* ops = metrics_->CounterFamily(
+      "mlkv_server_requests_total", "Requests handled per opcode", {"op"});
+  for (uint8_t raw = 0; raw < kOpcodeSlots; ++raw) {
+    if (!ValidOpcode(raw)) continue;
+    op_cells_[raw] = ops->GetCounter({OpcodeName(static_cast<Opcode>(raw))});
+  }
+  connections_cell_ =
+      metrics_
+          ->CounterFamily("mlkv_server_connections_total",
+                          "Client connections accepted")
+          ->GetCounter();
+  requests_cell_ = metrics_
+                       ->CounterFamily("mlkv_server_handled_requests_total",
+                                       "Requests handled across all opcodes")
+                       ->GetCounter();
+  transport_errors_cell_ =
+      metrics_
+          ->CounterFamily("mlkv_server_transport_errors_total",
+                          "Torn frames, version mismatches, decode failures")
+          ->GetCounter();
+  wrong_partition_cell_ =
+      metrics_
+          ->CounterFamily(
+              "mlkv_server_wrong_partition_keys_total",
+              "Keys rejected per-key because this endpoint does not own them")
+          ->GetCounter();
+  latency_cell_ =
+      metrics_
+          ->HistogramFamily("mlkv_server_request_latency_seconds",
+                            "Request handling time, decode to response sent")
+          ->GetHistogram();
+  stage_family_ = metrics_->HistogramFamily(
+      "mlkv_request_stage_seconds",
+      "Time spent per traced request stage", {"stage"});
+  // Pre-resolve the stages the server itself emits so FinishTrace's
+  // per-span lookup is a strcmp scan, not a family map probe.
+  for (const char* stage : {"queue_wait", "decode", "execute", "scatter",
+                            "shard_execute", "io_wave", "send", "rpc"}) {
+    stage_cells_[num_stage_cells_++] = {stage,
+                                        stage_family_->GetHistogram({stage})};
+  }
+  collector_id_ = metrics_->AddCollector(
+      [this](obs::MetricsSink* sink) { CollectServerMetrics(sink); });
+}
+
+void KvServer::CollectServerMetrics(obs::MetricsSink* sink) const {
+  sink->AddGauge("mlkv_server_inflight_requests",
+                 "Storage requests currently offloaded to the request pool",
+                 static_cast<double>(
+                     inflight_requests_.load(std::memory_order_relaxed)));
+  sink->AddGauge("mlkv_simd_kernel_tier",
+                 "Active SIMD dispatch tier (simd::KernelTier)",
+                 static_cast<double>(
+                     static_cast<uint8_t>(simd::ActiveKernelTier())));
+  const ClusterView cv = cluster_view();
+  if (cv.map != nullptr) {
+    sink->AddGauge("mlkv_cluster_epoch", "Enforced cluster map epoch",
+                   static_cast<double>(cv.map->epoch));
+    sink->AddGauge("mlkv_cluster_role",
+                   "This endpoint's role (0 standalone, 1 primary, 2 replica)",
+                   static_cast<double>(RoleUnder(*cv.map, cv.self)));
+  }
+  if (stats_source_) {
+    // The Replicator's counters arrive through the same seam kStats uses;
+    // names are distinct from the backend's mlkv_replication_* (which
+    // count updates a backend applied, not what the tailer fetched).
+    StatsSnapshot s;
+    stats_source_(&s);
+    sink->AddCounter("mlkv_replicator_records_total",
+                     "Update records fetched and applied by the replication "
+                     "tailer",
+                     s.replicated_records);
+    sink->AddGauge("mlkv_replicator_lag_records",
+                   "Fetched-but-unapplied update records (0 = caught up)",
+                   static_cast<double>(s.replica_lag_records));
+    sink->AddCounter("mlkv_replicator_reconnects_total",
+                     "Primary connection re-establishments",
+                     s.replication_reconnects);
+  }
+  backend_->CollectMetrics(sink);
 }
 
 void KvServer::UpdateClusterMap(
@@ -117,7 +207,12 @@ uint8_t KvServer::RoleUnder(const cluster::ClusterMap& map, uint32_t self) {
   return role;
 }
 
-KvServer::~KvServer() { Stop(); }
+KvServer::~KvServer() {
+  Stop();
+  // The collector captures `this`; unhook before members die (matters when
+  // the registry is externally owned and outlives this server).
+  metrics_->RemoveCollector(collector_id_);
+}
 
 std::string KvServer::addr() const {
   return options_.host + ":" + std::to_string(port());
@@ -195,7 +290,7 @@ void KvServer::AcceptLoop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_cell_->Add();
     if (options_.send_timeout_ms > 0) {
       (void)conn.SetSendTimeoutMs(options_.send_timeout_ms);
     }
@@ -270,11 +365,11 @@ void KvServer::ServeConnection(Socket conn, size_t slot) {
       // instead of a mystery disconnect.
       PayloadWriter empty;
       (void)SendResponse(&conn, hdr, s, empty);
-      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      transport_errors_cell_->Add();
       break;
     }
     if (!s.ok()) {  // torn/corrupt frame: the stream cannot be trusted
-      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      transport_errors_cell_->Add();
       break;
     }
     const uint8_t raw_op = static_cast<uint8_t>(hdr.opcode);
@@ -296,6 +391,7 @@ void KvServer::ServeConnection(Socket conn, size_t slot) {
       req->conn = std::move(conn);
       req->hdr = hdr;
       req->payload = std::move(payload);
+      req->enqueued_us = NowMicros();
       if (request_pool_->TrySubmit([this, req] { RunOffloaded(req); })) {
         return;
       }
@@ -319,7 +415,8 @@ void KvServer::ServeConnection(Socket conn, size_t slot) {
 }
 
 void KvServer::RunOffloaded(const std::shared_ptr<OffloadedRequest>& req) {
-  const bool keep = HandleRequest(&req->conn, req->hdr, req->payload);
+  const bool keep =
+      HandleRequest(&req->conn, req->hdr, req->payload, req->enqueued_us);
   if (keep && !stopping_.load(std::memory_order_acquire)) {
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -359,19 +456,36 @@ Status KvServer::SendResponse(Socket* conn, const FrameHeader& req,
 }
 
 bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
-                             std::span<const uint8_t> payload) {
+                             std::span<const uint8_t> payload,
+                             uint64_t enqueued_us) {
   const uint8_t raw_op = static_cast<uint8_t>(hdr.opcode);
   if (!ValidOpcode(raw_op)) {
-    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    transport_errors_cell_->Add();
     PayloadWriter empty;
     const Status s = Status::NotSupported(
         "unknown opcode " + std::to_string(raw_op));
     // Frame boundaries are intact, so the connection stays usable.
     return SendResponse(conn, hdr, s, empty).ok();
   }
-  op_counts_[raw_op].fetch_add(1, std::memory_order_relaxed);
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  op_cells_[raw_op]->Add();
+  requests_cell_->Add();
   const uint64_t start_us = NowMicros();
+
+  // Trace root for this request; the thread-local context carries it into
+  // the backend (scatter workers and cluster fan-outs re-install it on
+  // their threads). The client's request id is the trace id, so an
+  // upstream server's slow log stitches to ours by id.
+  std::unique_ptr<obs::RequestTrace> trace;
+  if (options_.enable_tracing && obs::MetricsEnabled()) {
+    trace = std::make_unique<obs::RequestTrace>(OpcodeName(hdr.opcode),
+                                                hdr.request_id);
+    if (enqueued_us != 0 && start_us > enqueued_us) {
+      trace->AddSpan("queue_wait", "", obs::RequestTrace::kNoParent,
+                     enqueued_us, start_us - enqueued_us);
+    }
+  }
+  obs::ScopedTraceContext trace_ctx(
+      obs::TraceContext{trace.get(), obs::RequestTrace::kNoParent});
 
   Status transport = Status::OK();
   PayloadWriter body;
@@ -397,7 +511,10 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
     }
     case Opcode::kMultiGet: {
       MultiGetRequest req;
-      transport = DecodeMultiGetRequest(payload, &req);
+      {
+        obs::ScopedSpan decode_span("decode");
+        transport = DecodeMultiGetRequest(payload, &req);
+      }
       if (transport.ok()) {
         const uint32_t dim = backend_->dim();
         // The request bounds the key count, but the response is
@@ -420,8 +537,11 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
             FilterOwned(cv.map.get(), cv.self, req.keys, /*for_write=*/false);
         if (!f.enforce || f.all_owned) {
           row_storage.resize(req.keys.size() * size_t{dim});
-          const BatchResult r =
-              backend_->MultiGet(req.keys, row_storage.data(), opts);
+          BatchResult r;
+          {
+            obs::ScopedSpan execute_span("execute");
+            r = backend_->MultiGet(req.keys, row_storage.data(), opts);
+          }
           EncodeBatchResult(r, &body);
           if (kRawFloatRowsMatchWire) {
             CollectServedRowRuns(r.codes, row_storage.data(), dim, &row_runs);
@@ -433,9 +553,13 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
           // owned positions are increasing and unowned keys are never kOk,
           // so the sub-batch's served rows already sit in full-batch key
           // order — no full-size buffer, no re-expansion copy.
+          wrong_partition_cell_->Add(req.keys.size() - f.keys.size());
           row_storage.resize(f.keys.size() * size_t{dim});
-          const BatchResult sub =
-              backend_->MultiGet(f.keys, row_storage.data(), opts);
+          BatchResult sub;
+          {
+            obs::ScopedSpan execute_span("execute");
+            sub = backend_->MultiGet(f.keys, row_storage.data(), opts);
+          }
           EncodeBatchResult(ExpandResult(f, req.keys.size(), sub), &body);
           if (kRawFloatRowsMatchWire) {
             CollectServedRowRuns(sub.codes, row_storage.data(), dim,
@@ -451,28 +575,36 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
     case Opcode::kMultiApplyGradient: {
       const bool is_put = hdr.opcode == Opcode::kMultiPut;
       MultiWriteRequest req;
-      transport = DecodeMultiWriteRequest(payload, backend_->dim(), &req);
+      {
+        obs::ScopedSpan decode_span("decode");
+        transport = DecodeMultiWriteRequest(payload, backend_->dim(), &req);
+      }
       if (transport.ok()) {
         const ClusterView cv = cluster_view();
         const OwnedSubset f =
             FilterOwned(cv.map.get(), cv.self, req.keys, /*for_write=*/true);
         if (!f.enforce || f.all_owned) {
+          obs::ScopedSpan execute_span("execute");
           EncodeBatchResult(
               is_put ? backend_->MultiPut(req.keys, req.rows.data())
                      : backend_->MultiApplyGradient(req.keys,
                                                     req.rows.data(), req.lr),
               &body);
         } else {
+          wrong_partition_cell_->Add(req.keys.size() - f.keys.size());
           const uint32_t dim = backend_->dim();
           std::vector<float> sub_rows(f.keys.size() * size_t{dim});
           for (size_t i = 0; i < f.pos.size(); ++i) {
             simd::CopyFloats(sub_rows.data() + i * size_t{dim},
                              req.rows.data() + f.pos[i] * size_t{dim}, dim);
           }
-          const BatchResult sub =
-              is_put ? backend_->MultiPut(f.keys, sub_rows.data())
-                     : backend_->MultiApplyGradient(f.keys, sub_rows.data(),
-                                                    req.lr);
+          BatchResult sub;
+          {
+            obs::ScopedSpan execute_span("execute");
+            sub = is_put ? backend_->MultiPut(f.keys, sub_rows.data())
+                         : backend_->MultiApplyGradient(
+                               f.keys, sub_rows.data(), req.lr);
+          }
           EncodeBatchResult(ExpandResult(f, req.keys.size(), sub), &body);
         }
       }
@@ -546,26 +678,87 @@ bool KvServer::HandleRequest(Socket* conn, const FrameHeader& hdr,
     }
   }
   if (!transport.ok()) {
-    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    transport_errors_cell_->Add();
   }
-  latency_.Record(NowMicros() - start_us);
-  if (!SendResponse(conn, hdr, transport, body, row_runs).ok()) return false;
+  latency_cell_->Observe(NowMicros() - start_us);
+  Status sent;
+  {
+    obs::ScopedSpan send_span("send");
+    sent = SendResponse(conn, hdr, transport, body, row_runs);
+  }
+  if (trace != nullptr) FinishTrace(trace.get());
+  if (!sent.ok()) return false;
   // A request the server could not even decode leaves the stream suspect
   // only when framing was at fault; decode errors above are payload-level
   // with intact framing, so the connection survives them.
   return true;
 }
 
+void KvServer::FinishTrace(obs::RequestTrace* trace) {
+  trace->Finish();
+  trace->ForEachSpan([this](const obs::TraceSpan& span) {
+    // Server-emitted stages were pre-resolved at InitMetrics; the strcmp
+    // scan over ~8 entries beats a family mutex + map probe per span.
+    // Stages from elsewhere (a backend with its own names) fall back to
+    // the lazy family lookup.
+    obs::HistogramCell* cell = nullptr;
+    for (size_t i = 0; i < num_stage_cells_; ++i) {
+      if (stage_cells_[i].first == span.stage ||
+          std::strcmp(stage_cells_[i].first, span.stage) == 0) {
+        cell = stage_cells_[i].second;
+        break;
+      }
+    }
+    if (cell == nullptr) cell = stage_family_->GetHistogram({span.stage});
+    if (cell != nullptr) cell->Observe(span.dur_us);
+  });
+  uint64_t threshold = options_.slow_request_us;
+  if (threshold == 0) {
+    // Auto threshold: trailing p99 x 4 with a 1ms floor, armed only after
+    // enough requests that the percentile means something. The p99 walk
+    // over the histogram's buckets is too heavy per request, so the value
+    // is cached and refreshed every 256 requests.
+    const Histogram& h = latency_cell_->histogram();
+    const uint64_t n = h.count();
+    if (n < 64) return;
+    threshold = auto_threshold_.load(std::memory_order_relaxed);
+    const uint64_t last = auto_threshold_refresh_.load(std::memory_order_relaxed);
+    if (threshold == 0 || n - last >= 256) {
+      threshold = std::max<uint64_t>(1000, h.Percentile(0.99) * 4);
+      auto_threshold_.store(threshold, std::memory_order_relaxed);
+      auto_threshold_refresh_.store(n, std::memory_order_relaxed);
+    }
+  }
+  if (trace->total_us() < threshold) return;
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "slow request op=%s id=%llu total=%lluus threshold=%lluus\n",
+                trace->op(),
+                static_cast<unsigned long long>(trace->request_id()),
+                static_cast<unsigned long long>(trace->total_us()),
+                static_cast<unsigned long long>(threshold));
+  std::string report = head;
+  report += trace->Render();
+  if (options_.slow_request_log) {
+    options_.slow_request_log(report);
+  } else {
+    std::fwrite(report.data(), 1, report.size(), stderr);
+  }
+}
+
 StatsSnapshot KvServer::stats() const {
+  // A view over the registry cells — kStats and /metrics read the same
+  // storage, so they cannot disagree.
   StatsSnapshot s;
   for (size_t i = 0; i < kOpcodeSlots; ++i) {
-    s.op_counts[i] = op_counts_[i].load(std::memory_order_relaxed);
+    s.op_counts[i] = op_cells_[i] != nullptr ? op_cells_[i]->value() : 0;
   }
-  s.connections = connections_.load(std::memory_order_relaxed);
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
-  s.latency_p50_us = latency_.Percentile(0.50);
-  s.latency_p99_us = latency_.Percentile(0.99);
+  s.connections = connections_cell_->value();
+  s.requests = requests_cell_->value();
+  s.transport_errors = transport_errors_cell_->value();
+  const Histogram& latency = latency_cell_->histogram();
+  s.latency_p50_us = latency.Percentile(0.50);
+  s.latency_p99_us = latency.Percentile(0.99);
   const BackendIoStats io = backend_->io_stats();
   s.disk_record_reads = io.disk_record_reads;
   s.pages_flushed = io.pages_flushed;

@@ -37,6 +37,8 @@
 #include "common/thread_pool.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mlkv {
 namespace net {
@@ -69,6 +71,26 @@ struct KvServerOptions {
   // UpdateClusterMap (the epoch-bump path).
   std::shared_ptr<const cluster::ClusterMap> cluster;
   uint32_t self_endpoint = UINT32_MAX;
+  // Metrics registry this server records into. Null (default) gives the
+  // server a private registry — two servers in one process (tests,
+  // loopback clusters) never merge counters. The server registers a
+  // scrape-time collector for its gauges and the backend's families;
+  // metrics() exposes whichever registry is in effect (feed it to a
+  // MetricsHttpServer for a /metrics endpoint).
+  obs::MetricsRegistry* metrics = nullptr;
+  // Per-request trace spans (decode -> queue_wait -> execute -> scatter ->
+  // shard_execute -> io_wave -> send), feeding the
+  // mlkv_request_stage_seconds{stage=} histograms and the slow-request
+  // log. Off = zero per-request overhead beyond the counters.
+  bool enable_tracing = true;
+  // A traced request slower than this (microseconds, measured decode to
+  // response-sent) logs its full span breakdown. 0 (default) derives the
+  // threshold from trailing latency: p99 x 4 with a 1ms floor, armed after
+  // 64 requests of warmup.
+  uint64_t slow_request_us = 0;
+  // Destination for slow-request reports; null writes to stderr. The
+  // callback runs on the request's worker thread — keep it cheap.
+  std::function<void(const std::string&)> slow_request_log;
 };
 
 class KvServer {
@@ -92,8 +114,16 @@ class KvServer {
   std::string addr() const;
   KvBackend* backend() const { return backend_.get(); }
 
+  // The wire StatsSnapshot is now a view over the metrics registry: the
+  // op counters, connection/request/error counts, and latency percentiles
+  // are read back out of their cells, so kStats and /metrics can never
+  // disagree. (With SetMetricsEnabled(false) the cells freeze and so does
+  // this snapshot.)
   StatsSnapshot stats() const;
-  const Histogram& request_latency() const { return latency_; }
+  const Histogram& request_latency() const {
+    return latency_cell_->histogram();
+  }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
   // Swaps the enforced cluster map (and this server's endpoint index under
   // the new map) — the epoch-bump path. Thread-safe; in-flight requests
@@ -114,8 +144,11 @@ class KvServer {
   void WorkerLoop(size_t slot);
   void ServeConnection(Socket conn, size_t slot);
   // Handles one decoded request frame; false ends the connection.
+  // `enqueued_us` is non-zero when the frame waited in the request pool
+  // (traced as a queue_wait span).
   bool HandleRequest(Socket* conn, const FrameHeader& hdr,
-                     std::span<const uint8_t> payload);
+                     std::span<const uint8_t> payload,
+                     uint64_t enqueued_us = 0);
   Status SendResponse(Socket* conn, const FrameHeader& req,
                       const Status& transport, const PayloadWriter& body);
   // As above, plus trailing row runs gathered into the same frame (a
@@ -131,6 +164,7 @@ class KvServer {
     Socket conn;
     FrameHeader hdr;
     std::vector<uint8_t> payload;
+    uint64_t enqueued_us = 0;  // pool handoff time, for the queue_wait span
   };
   void RunOffloaded(const std::shared_ptr<OffloadedRequest>& req);
 
@@ -174,11 +208,41 @@ class KvServer {
   std::unique_ptr<ThreadPool> request_pool_;
   std::atomic<size_t> inflight_requests_{0};
 
-  mutable std::array<std::atomic<uint64_t>, kOpcodeSlots> op_counts_{};
-  std::atomic<uint64_t> connections_{0};
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> transport_errors_{0};
-  Histogram latency_;  // per-request handling time, microseconds
+  // Wires registry cells (looked up once at construction; recording is
+  // lock-free) and the scrape-time collector for gauges + backend families.
+  void InitMetrics();
+  void CollectServerMetrics(obs::MetricsSink* sink) const;
+  // Post-response trace epilogue: stage histograms + slow-request log.
+  void FinishTrace(obs::RequestTrace* trace);
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  uint64_t collector_id_ = 0;
+
+  // Registry cells behind the legacy counters (slot 0 of op_cells_ is
+  // unused — opcodes start at 1).
+  std::array<obs::Counter*, kOpcodeSlots> op_cells_{};
+  obs::Counter* connections_cell_ = nullptr;
+  obs::Counter* requests_cell_ = nullptr;
+  obs::Counter* transport_errors_cell_ = nullptr;
+  obs::Counter* wrong_partition_cell_ = nullptr;
+  obs::HistogramCell* latency_cell_ = nullptr;  // microseconds recorded
+  obs::MetricFamily* stage_family_ = nullptr;   // per-stage span timings
+
+  // Known stage names resolved to their cells once at InitMetrics:
+  // FinishTrace runs per request, and a family map probe per span is
+  // measurable in the --metrics_overhead A/B. Unknown stages fall back to
+  // the family lookup.
+  static constexpr size_t kMaxStageCells = 12;
+  std::array<std::pair<const char*, obs::HistogramCell*>, kMaxStageCells>
+      stage_cells_{};
+  size_t num_stage_cells_ = 0;
+
+  // Cached auto slow-request threshold (slow_request_us == 0): the p99
+  // walk over the latency histogram's buckets is too heavy to repeat per
+  // request, so it refreshes every 256 requests.
+  mutable std::atomic<uint64_t> auto_threshold_{0};
+  mutable std::atomic<uint64_t> auto_threshold_refresh_{0};
 };
 
 }  // namespace net

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace mlkv {
 namespace net {
 
@@ -113,8 +115,15 @@ Status RemoteBackend::Exchange(Socket* s, Opcode op,
                                const PayloadWriter& request,
                                Status* transport, std::vector<uint8_t>* body,
                                size_t* body_off) {
+  // Inside a traced request, the sub-RPC reuses the outer request id so a
+  // cluster hop's server-side trace can be stitched to this client span by
+  // id. Safe: the protocol is strictly request/response per socket, so the
+  // id only has to match within one exchange.
+  const obs::RequestTrace* trace = obs::CurrentTrace();
   const uint64_t id =
-      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+      trace != nullptr
+          ? trace->request_id()
+          : next_request_id_.fetch_add(1, std::memory_order_relaxed);
   MLKV_RETURN_NOT_OK(SendFrame(s, op, 0, id, request.bytes()));
   FrameHeader hdr;
   MLKV_RETURN_NOT_OK(RecvFrame(s, &hdr, body));
@@ -133,6 +142,7 @@ Status RemoteBackend::Exchange(Socket* s, Opcode op,
 Status RemoteBackend::Rpc(Opcode op, const PayloadWriter& request,
                           Status* transport, std::vector<uint8_t>* body,
                           size_t* body_off) {
+  obs::ScopedSpan rpc_span("rpc", options_.addr);
   Socket s;
   bool pooled = false;
   MLKV_RETURN_NOT_OK(CheckOut(&s, &pooled));

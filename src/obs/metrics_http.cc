@@ -1,0 +1,141 @@
+#include "obs/metrics_http.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace mlkv {
+namespace obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+constexpr char kContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+// Reads from the raw fd until the header terminator appears (request bodies
+// are ignored — GET only). Returns false on EOF/error/oversize.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->find("\r\n\r\n") == std::string::npos) {
+    if (head->size() > kMaxRequestBytes) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    head->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+void SendResponse(net::Socket* conn, const char* status_line,
+                  const std::string& body) {
+  std::string resp = "HTTP/1.0 ";
+  resp += status_line;
+  resp += "\r\nContent-Type: ";
+  resp += kContentType;
+  resp += "\r\nContent-Length: " + std::to_string(body.size());
+  resp += "\r\nConnection: close\r\n\r\n";
+  (void)conn->SendTwo(resp.data(), resp.size(), body.data(), body.size());
+}
+
+}  // namespace
+
+Status MetricsHttpServer::Start(const std::string& addr) {
+  if (running_) return Status::InvalidArgument("metrics server running");
+  std::string host;
+  uint16_t port = 0;
+  Status s = net::ParseHostPort(addr, &host, &port, /*allow_port_zero=*/true);
+  if (!s.ok()) return s;
+  s = listener_.Listen(host, port);
+  if (!s.ok()) return s;
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running_) return;
+  running_ = false;
+  listener_.Wake();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (true) {
+    net::Socket conn;
+    const Status s = listener_.Accept(&conn);
+    if (!s.ok()) return;  // kAborted from Wake(), or listener failure
+    ServeConnection(std::move(conn));
+  }
+}
+
+void MetricsHttpServer::ServeConnection(net::Socket conn) {
+  (void)conn.SetSendTimeoutMs(5000);
+  std::string head;
+  if (!ReadRequestHead(conn.fd(), &head)) return;
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line = head.substr(0, line_end);
+  const size_t m = request_line.find(' ');
+  const size_t p = request_line.find(' ', m + 1);
+  if (m == std::string::npos || p == std::string::npos) {
+    SendResponse(&conn, "400 Bad Request", "bad request\n");
+    return;
+  }
+  const std::string method = request_line.substr(0, m);
+  std::string path = request_line.substr(m + 1, p - m - 1);
+  const size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  if (method != "GET") {
+    SendResponse(&conn, "405 Method Not Allowed", "GET only\n");
+    return;
+  }
+  if (path != "/metrics") {
+    SendResponse(&conn, "404 Not Found", "try /metrics\n");
+    return;
+  }
+  SendResponse(&conn, "200 OK", registry_->ExpositionText());
+}
+
+Status HttpGet(const std::string& addr, const std::string& path,
+               std::string* body) {
+  std::string host;
+  uint16_t port = 0;
+  Status s = net::ParseHostPort(addr, &host, &port);
+  if (!s.ok()) return s;
+  net::Socket conn;
+  s = net::Socket::Connect(host, port, &conn);
+  if (!s.ok()) return s;
+  const std::string req =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  s = conn.SendAll(req.data(), req.size());
+  if (!s.ok()) return s;
+  std::string resp;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd(), buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return Status::IOError("http recv", errno);
+    if (n == 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  const size_t split = resp.find("\r\n\r\n");
+  if (split == std::string::npos) {
+    return Status::IOError("http response missing header terminator");
+  }
+  const std::string status_line = resp.substr(0, resp.find("\r\n"));
+  // "HTTP/1.x NNN ..." — accept any 2xx.
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string::npos || sp + 1 >= status_line.size() ||
+      status_line[sp + 1] != '2') {
+    return Status::IOError("http status: " + status_line);
+  }
+  body->assign(resp, split + 4, std::string::npos);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace mlkv

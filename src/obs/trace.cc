@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace mlkv {
+namespace obs {
+
+namespace {
+thread_local TraceContext g_trace_context;
+}  // namespace
+
+RequestTrace::RequestTrace(const char* op, uint64_t request_id)
+    : op_(op), request_id_(request_id), start_us_(NowMicros()) {
+  // A typical request produces under eight spans (decode, execute, the
+  // scatter tree, send); reserving keeps the hot path free of regrowth.
+  spans_.reserve(8);
+}
+
+uint32_t RequestTrace::BeginSpan(const char* stage, std::string detail,
+                                 uint32_t parent) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TraceSpan s;
+  s.stage = stage;
+  s.detail = std::move(detail);
+  s.parent = parent;
+  s.start_us = NowMicros();
+  spans_.push_back(std::move(s));
+  return static_cast<uint32_t>(spans_.size() - 1);
+}
+
+void RequestTrace::EndSpan(uint32_t span) {
+  const uint64_t now = NowMicros();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (span >= spans_.size()) return;
+  TraceSpan& s = spans_[span];
+  s.dur_us = now > s.start_us ? now - s.start_us : 0;
+}
+
+uint32_t RequestTrace::AddSpan(const char* stage, std::string detail,
+                               uint32_t parent, uint64_t start_us,
+                               uint64_t dur_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TraceSpan s;
+  s.stage = stage;
+  s.detail = std::move(detail);
+  s.parent = parent;
+  s.start_us = start_us;
+  s.dur_us = dur_us;
+  spans_.push_back(std::move(s));
+  return static_cast<uint32_t>(spans_.size() - 1);
+}
+
+void RequestTrace::Finish() {
+  const uint64_t now = NowMicros();
+  total_us_ = now > start_us_ ? now - start_us_ : 0;
+}
+
+void RequestTrace::ForEachSpan(
+    const std::function<void(const TraceSpan&)>& fn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const TraceSpan& s : spans_) fn(s);
+}
+
+std::string RequestTrace::Render() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Depth by chasing parents; spans are appended in creation order and a
+  // parent always precedes its children, so children render under parents
+  // when we emit in order with indentation.
+  std::string out;
+  char line[256];
+  for (const TraceSpan& s : spans_) {
+    int depth = 1;
+    for (uint32_t p = s.parent; p != kNoParent && p < spans_.size();
+         p = spans_[p].parent) {
+      ++depth;
+    }
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    const uint64_t off = s.start_us > start_us_ ? s.start_us - start_us_ : 0;
+    std::snprintf(line, sizeof(line), "%s +%lluus %lluus", s.stage,
+                  static_cast<unsigned long long>(off),
+                  static_cast<unsigned long long>(s.dur_us));
+    out += line;
+    if (!s.detail.empty()) {
+      out += " [";
+      out += s.detail;
+      out += ']';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TraceContext CurrentTraceContext() { return g_trace_context; }
+
+RequestTrace* CurrentTrace() { return g_trace_context.trace; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
+    : prev_(g_trace_context) {
+  g_trace_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_trace_context = prev_; }
+
+ScopedSpan::ScopedSpan(const char* stage, std::string detail)
+    : prev_(g_trace_context) {
+  if (prev_.trace == nullptr) return;
+  trace_ = prev_.trace;
+  span_ = trace_->BeginSpan(stage, std::move(detail), prev_.span);
+  g_trace_context = TraceContext{trace_, span_};
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_ == nullptr) return;
+  trace_->EndSpan(span_);
+  g_trace_context = prev_;
+}
+
+}  // namespace obs
+}  // namespace mlkv

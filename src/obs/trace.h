@@ -1,0 +1,115 @@
+// Per-request trace spans for the serving pipeline. One RequestTrace is
+// created at wire decode and threaded — via a thread-local TraceContext —
+// through the request-pool handoff, backend scatter, per-shard execute,
+// the pending-read I/O wave, and encode/send. Cluster fan-outs propagate
+// the trace's request id on outgoing frames, so a downstream server's slow
+// log can be stitched to the upstream span by id.
+//
+// Span creation takes a mutex on the trace (spans open from pool threads
+// concurrently), so tracing is for request-granularity stages, not inner
+// loops. ScopedSpan is a no-op when no trace is installed; the common
+// untraced path costs one TLS load.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mlkv {
+namespace obs {
+
+// A finished or in-flight stage. `parent` indexes spans() (kNoParent for
+// roots); start_us is absolute (NowMicros), dur_us is 0 until the span ends.
+struct TraceSpan {
+  const char* stage = "";
+  std::string detail;
+  uint32_t parent = UINT32_MAX;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+};
+
+class RequestTrace {
+ public:
+  static constexpr uint32_t kNoParent = UINT32_MAX;
+
+  RequestTrace(const char* op, uint64_t request_id);
+
+  // Opens a span under `parent` and returns its index. `stage` must be a
+  // string literal (stored unowned); `detail` is copied.
+  uint32_t BeginSpan(const char* stage, std::string detail, uint32_t parent);
+  void EndSpan(uint32_t span);
+
+  // Records an already-measured interval (e.g. request-pool queue wait,
+  // observed only after the fact) without the Begin/End dance.
+  uint32_t AddSpan(const char* stage, std::string detail, uint32_t parent,
+                   uint64_t start_us, uint64_t dur_us);
+
+  // Closes the trace; total_us() is valid afterwards.
+  void Finish();
+
+  const char* op() const { return op_; }
+  uint64_t request_id() const { return request_id_; }
+  uint64_t start_us() const { return start_us_; }
+  uint64_t total_us() const { return total_us_; }
+
+  // Visits every span (stage, detail, parent, start, dur) in creation
+  // order. Used to feed mlkv_request_stage_seconds{stage=} histograms.
+  void ForEachSpan(
+      const std::function<void(const TraceSpan&)>& fn) const;
+
+  // Indented span tree with offsets relative to trace start:
+  //   execute +12us 3480us [10.0.0.2:7700]
+  std::string Render() const;
+
+ private:
+  const char* op_;
+  const uint64_t request_id_;
+  const uint64_t start_us_;
+  uint64_t total_us_ = 0;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+// The innermost open span on this thread. `span` is the parent for the next
+// ScopedSpan; kNoParent (with a live trace) parents at the root.
+struct TraceContext {
+  RequestTrace* trace = nullptr;
+  uint32_t span = RequestTrace::kNoParent;
+};
+
+TraceContext CurrentTraceContext();
+RequestTrace* CurrentTrace();
+
+// Installs a context on this thread for a scope — used both by the request
+// handler that owns the trace and by pool workers that inherit a context
+// captured at fan-out time. Restores the previous context on destruction.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+// Opens a span under the current thread-local context (no-op when none) and
+// makes itself the parent for nested ScopedSpans until destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* stage, std::string detail = "");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  RequestTrace* trace_ = nullptr;
+  uint32_t span_ = RequestTrace::kNoParent;
+  TraceContext prev_;
+};
+
+}  // namespace obs
+}  // namespace mlkv

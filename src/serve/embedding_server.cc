@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "common/simd.h"
+#include "obs/metrics.h"
 
 namespace mlkv {
 
@@ -93,6 +94,37 @@ ServeStats EmbeddingServer::stats() const {
   s.batch_p99_us = batch_latency_us_.Percentile(0.99);
   s.batch_max_us = batch_latency_us_.max();
   return s;
+}
+
+void EmbeddingServer::CollectMetrics(obs::MetricsSink* sink) const {
+  const ServeStats s = stats();
+  sink->AddCounter("mlkv_serve_lookups_total",
+                   "Individual keys served by the inference path.",
+                   static_cast<double>(s.lookups));
+  sink->AddCounter("mlkv_serve_batches_total", "Lookup batches served.",
+                   static_cast<double>(s.batches));
+  sink->AddCounter("mlkv_serve_cache_hits_total",
+                   "Lookups answered by the serving cache.",
+                   static_cast<double>(s.cache_hits));
+  sink->AddCounter("mlkv_serve_store_hits_total",
+                   "Lookups answered by the backing store.",
+                   static_cast<double>(s.store_hits));
+  sink->AddCounter("mlkv_serve_missing_total",
+                   "Lookups for keys absent everywhere (zero-filled).",
+                   static_cast<double>(s.missing));
+  sink->AddGauge("mlkv_serve_cache_entries",
+                 "Vectors resident in the serving cache.",
+                 static_cast<double>(cache_.size()));
+  for (size_t i = 0; i < cache_.num_cache_shards(); ++i) {
+    const EmbeddingCache::CacheStats cs = cache_.shard_stats(i);
+    const std::string shard = std::to_string(i);
+    sink->AddCounter("mlkv_serve_cache_shard_hits_total",
+                     "Serving-cache hits by cache shard.",
+                     static_cast<double>(cs.hits), {{"shard", shard}});
+    sink->AddCounter("mlkv_serve_cache_shard_evictions_total",
+                     "Serving-cache evictions by cache shard.",
+                     static_cast<double>(cs.evictions), {{"shard", shard}});
+  }
 }
 
 void EmbeddingServer::ResetStats() {

@@ -32,6 +32,10 @@
 
 namespace mlkv {
 
+namespace obs {
+class MetricsSink;
+}  // namespace obs
+
 struct ServeOptions {
   // Embedding vectors held in the serving cache.
   size_t cache_capacity = 1 << 16;
@@ -79,6 +83,10 @@ class EmbeddingServer {
 
   ServeStats stats() const;
   void ResetStats();
+
+  // Emits the serving counters (mlkv_serve_*) plus the per-shard serving
+  // cache families into a registry collector's sink.
+  void CollectMetrics(obs::MetricsSink* sink) const;
 
  private:
   EmbeddingTable* table_;

@@ -150,6 +150,38 @@ TEST(HistogramTest, MergeAggregates) {
   EXPECT_EQ(a.sum(), 1010u);
 }
 
+TEST(HistogramTest, PercentileOneIsExactMax) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(1.0), 0u);  // empty: no samples, no max
+  h.Record(3);
+  h.Record(123456789);
+  // q=1.0 bypasses bucket interpolation and returns the tracked max
+  // exactly, even when the max lands mid-bucket.
+  EXPECT_EQ(h.Percentile(1.0), 123456789u);
+  EXPECT_EQ(h.Percentile(2.0), 123456789u);  // clamped
+}
+
+TEST(HistogramTest, CountAtOrBelowIsCumulative) {
+  Histogram h;
+  h.Record(5);
+  h.Record(50);
+  h.Record(500);
+  EXPECT_EQ(h.CountAtOrBelow(4), 0u);
+  EXPECT_EQ(h.CountAtOrBelow(5), 1u);
+  EXPECT_EQ(h.CountAtOrBelow(100), 2u);
+  EXPECT_EQ(h.CountAtOrBelow(UINT64_MAX), 3u);
+}
+
+TEST(HistogramTest, SnapshotStringCarriesTheSummary) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  const std::string s = h.SnapshotString();
+  EXPECT_NE(s.find("count=100"), std::string::npos);
+  EXPECT_NE(s.find("max=100"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p999="), std::string::npos);
+}
+
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> n{0};

@@ -21,6 +21,7 @@
 #include "mlkv/mlkv.h"
 #include "net/kv_server.h"
 #include "net/remote_backend.h"
+#include "obs/metrics.h"
 
 namespace mlkv {
 namespace {
@@ -671,6 +672,72 @@ TEST(ReplicationStressTest, ConcurrentWritersWithTailingReplica) {
     }
   }
   primary.Stop();
+}
+
+// ------------------------------------------------------ metrics level --
+
+// Writers hammer native cells (including lazy registration of new labeled
+// cells) while scrapers render the exposition and a toggler flips the
+// global enable switch — the registry's lock-free record path versus its
+// mutex-guarded registration and scrape paths, for TSan.
+TEST(MetricsRegistryStressTest, ConcurrentRecordRegisterAndScrape) {
+  obs::MetricsRegistry reg;
+  obs::MetricFamily* ops = reg.CounterFamily("ops_total", "Ops.", {"shard"});
+  obs::MetricFamily* lat =
+      reg.HistogramFamily("lat_seconds", "Latency.", {"op"});
+  obs::Gauge* depth = reg.GaugeFamily("depth", "Depth.")->GetGauge();
+  const uint64_t collector =
+      reg.AddCollector([](obs::MetricsSink* sink) {
+        sink->AddCounter("pulled_total", "Pulled.", 1);
+      });
+
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        // A small rotating label set: most Adds hit existing cells, some
+        // race the lazy registration path.
+        ops->GetCounter({std::to_string(rng.Next() % 8)})->Add();
+        lat->GetHistogram({(i & 1) != 0 ? "read" : "write"})
+            ->Observe(rng.Next() % 10000);
+        depth->Add(1.0);
+      }
+    });
+  }
+  std::thread scraper([&]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string text = reg.ExpositionText();
+      ASSERT_NE(text.find("ops_total"), std::string::npos);
+      ASSERT_NE(text.find("pulled_total"), std::string::npos);
+    }
+  });
+  std::thread toggler([&]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::SetMetricsEnabled(false);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      obs::SetMetricsEnabled(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  toggler.join();
+  obs::SetMetricsEnabled(true);
+  reg.RemoveCollector(collector);
+
+  // With the toggler dropping some records, totals are bounded above by
+  // the attempted count and the exposition must stay well-formed.
+  uint64_t total = 0;
+  for (int s = 0; s < 8; ++s) {
+    total += ops->GetCounter({std::to_string(s)})->value();
+  }
+  EXPECT_LE(total, static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+  EXPECT_GT(total, 0u);
 }
 
 }  // namespace
