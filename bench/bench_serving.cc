@@ -1,22 +1,38 @@
 // Serving bench (extension): batched embedding-lookup throughput and tail
 // latency of the inference path (EmbeddingServer) over an out-of-core
-// table, sweeping serving-cache capacity and key skew — the trade-off
-// HugeCTR's hierarchical parameter server navigates with RocksDB as the
-// bottom tier (paper §II-B).
+// table, sweeping serving-cache capacity, admission policy, and key skew —
+// the trade-off HugeCTR's hierarchical parameter server navigates with
+// RocksDB as the bottom tier (paper §II-B). The zipfian sweep pits plain
+// LRU against TinyLFU admission (docs/SERVING.md): under skew with a cache
+// a fraction of the keyspace, the frequency sketch keeps the hot head
+// resident while LRU churns it out on the one-hit tail.
+//
+// --hedge adds the tail-latency A/B: a two-endpoint loopback cluster where
+// one server is intermittently slow (DelayedBackend), read p50/p99/p999
+// measured client-side with hedging off vs on, plus the extra request
+// volume hedging cost. --hot_replicate_top_k piles load-aware hot-key
+// replication onto the hedged run and reports the endpoint read split.
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "backend/delayed_backend.h"
 #include "backend/kv_backend.h"
 #include "bench_util.h"
+#include "cluster/cluster_backend.h"
+#include "cluster/cluster_map.h"
 #include "common/clock.h"
+#include "common/histogram.h"
 #include "common/random.h"
 #include "io/file_device.h"
 #include "io/temp_dir.h"
 #include "mlkv/mlkv.h"
 #include "net/kv_server.h"
 #include "serve/embedding_server.h"
+#include "serve/tinylfu.h"
 
 using namespace mlkv;
 using namespace mlkv::bench;
@@ -32,7 +48,9 @@ struct Setup {
   int threads = 4;
 };
 
-void RunRow(const Setup& s, size_t cache_capacity, bool zipf, Table* t) {
+// One admission-sweep row: theta < 0 means uniform traffic.
+void RunRow(const Setup& s, size_t cache_capacity, double theta,
+            CacheAdmission admission, Table* t) {
   TempDir dir;
   MlkvOptions opts;
   opts.dir = dir.path() + "/db";
@@ -52,6 +70,7 @@ void RunRow(const Setup& s, size_t cache_capacity, bool zipf, Table* t) {
 
   ServeOptions so;
   so.cache_capacity = cache_capacity;
+  so.cache_admission = admission;
   EmbeddingServer server(table, so);
 
   StopWatch watch;
@@ -59,12 +78,12 @@ void RunRow(const Setup& s, size_t cache_capacity, bool zipf, Table* t) {
   for (int w = 0; w < s.threads; ++w) {
     workers.emplace_back([&, w] {
       Rng rng(1000 + w);
-      ZipfianGenerator zg(s.rows, 0.99, 2000 + w);
+      ZipfianGenerator zg(s.rows, theta < 0 ? 0.99 : theta, 2000 + w);
       std::vector<Key> keys(s.batch);
       std::vector<float> out(s.batch * s.dim);
       for (uint64_t b = 0; b < s.batches / s.threads; ++b) {
         for (auto& k : keys) {
-          k = zipf ? zg.NextScrambled() : rng.Uniform(s.rows);
+          k = theta < 0 ? rng.Uniform(s.rows) : zg.NextScrambled();
         }
         if (!server.Lookup(keys, out.data()).ok()) std::exit(1);
       }
@@ -73,14 +92,19 @@ void RunRow(const Setup& s, size_t cache_capacity, bool zipf, Table* t) {
   for (auto& th : workers) th.join();
   const double secs = watch.ElapsedSeconds();
   const auto st = server.stats();
-  t->Cell(zipf ? "zipfian" : "uniform");
+  char dist[32];
+  std::snprintf(dist, sizeof(dist), "zipf %.2f", theta);
+  t->Cell(theta < 0 ? std::string("uniform") : std::string(dist));
   t->Cell(static_cast<uint64_t>(cache_capacity));
+  t->Cell(admission == CacheAdmission::kTinyLfu ? "tinylfu" : "lru");
   t->Cell(Human(static_cast<double>(st.lookups) / secs));
   t->Cell(100.0 * static_cast<double>(st.cache_hits) /
               static_cast<double>(st.lookups),
           "%.1f%%");
+  t->Cell(st.admission_rejects);
   t->Cell(st.batch_p50_us);
   t->Cell(st.batch_p99_us);
+  t->Cell(st.batch_p999_us);
   t->EndRow();
 }
 
@@ -157,6 +181,167 @@ void RunRemoteRow(const Setup& s, bool zipf, Table* t) {
   server.Stop();
 }
 
+// --- hedging A/B over a two-endpoint loopback cluster ---
+
+// Each endpoint is primary of one partition and replica of the other, so
+// every read has a fallback candidate; both stores are preloaded
+// identically so replica reads return the same bytes. Endpoint 0's engine
+// is wrapped in a DelayedBackend that sleeps on every Nth request — an
+// intermittent straggler, the shape hedging is built for (a constantly
+// slow server is a failover problem, not a hedging one).
+struct HedgeCluster {
+  TempDir dir;
+  std::unique_ptr<net::KvServer> servers[2];
+  DelayedBackend* slow = nullptr;  // owned by servers[0]
+
+  bool Start(const Setup& s, uint64_t delay_us, uint64_t every_nth) {
+    for (int i = 0; i < 2; ++i) {
+      BackendConfig cfg;
+      cfg.dir = dir.path() + "/ep" + std::to_string(i);
+      cfg.dim = s.dim;
+      cfg.buffer_bytes = s.buffer_mb << 20;
+      cfg.index_slots = s.rows;
+      std::unique_ptr<KvBackend> engine;
+      if (!MakeBackend(BackendKind::kMlkv, cfg, &engine).ok()) return false;
+      constexpr size_t kChunk = 1024;
+      std::vector<Key> keys(kChunk);
+      std::vector<float> values(kChunk * s.dim, 0.5f);
+      for (Key base = 0; base < s.rows; base += kChunk) {
+        const size_t n =
+            static_cast<size_t>(std::min<uint64_t>(kChunk, s.rows - base));
+        for (size_t j = 0; j < n; ++j) {
+          keys[j] = base + j;
+          values[j * s.dim] = static_cast<float>(keys[j]);
+        }
+        if (engine->MultiPut({keys.data(), n}, values.data()).failed > 0) {
+          return false;
+        }
+      }
+      if (i == 0) {
+        DelayedBackend::Options dopt;
+        dopt.delay_us = delay_us;
+        dopt.every_nth = every_nth;
+        auto delayed =
+            std::make_unique<DelayedBackend>(std::move(engine), dopt);
+        slow = delayed.get();
+        engine = std::move(delayed);
+      }
+      net::KvServerOptions so;
+      so.num_workers = 4;
+      servers[i] = std::make_unique<net::KvServer>(std::move(engine), so);
+      if (!servers[i]->Start().ok()) return false;
+    }
+    // Map installed after Start (ephemeral ports): each endpoint primary
+    // of one partition, replica of the other.
+    auto map = std::make_shared<cluster::ClusterMap>();
+    const std::vector<std::string> primaries = {servers[0]->addr(),
+                                                servers[1]->addr()};
+    const std::vector<std::string> replicas = {servers[1]->addr(),
+                                               servers[0]->addr()};
+    if (!cluster::BuildClusterMap(primaries, replicas, /*route_bits=*/1,
+                                  cluster::ReadPreference::kPrimary,
+                                  /*epoch=*/1, map.get())
+             .ok()) {
+      return false;
+    }
+    servers[0]->UpdateClusterMap(map, 0);
+    servers[1]->UpdateClusterMap(map, 1);
+    return true;
+  }
+
+  void Stop() {
+    for (auto& srv : servers) {
+      if (srv) srv->Stop();
+    }
+  }
+};
+
+struct HedgeRowResult {
+  uint64_t rpcs = 0;  // client-side RPC exchanges (extra-volume basis)
+  uint64_t p50 = 0, p99 = 0, p999 = 0;
+};
+
+// One traffic run against the cluster; per-batch latency measured at the
+// caller (the number an inference service actually serves).
+HedgeRowResult RunHedgeRow(const Setup& s, HedgeCluster* hc, uint64_t hedge_us,
+                           size_t hot_top_k, bool zipf, const char* label,
+                           Table* t) {
+  cluster::ClusterBackendOptions co;
+  co.endpoints = {hc->servers[0]->addr(), hc->servers[1]->addr()};
+  co.hedge_us = hedge_us;
+  co.hot_replicate_top_k = hot_top_k;
+  std::unique_ptr<cluster::ClusterBackend> cb;
+  if (!cluster::ClusterBackend::Connect(co, &cb).ok()) std::exit(1);
+
+  Histogram lat;
+  std::atomic<uint64_t> lookups{0};
+  StopWatch watch;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < s.threads; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(1000 + w);
+      ZipfianGenerator zg(s.rows, 0.99, 2000 + w);
+      std::vector<Key> keys(s.batch);
+      std::vector<float> out(s.batch * s.dim);
+      MultiGetOptions untracked;
+      untracked.untracked = true;
+      for (uint64_t b = 0; b < s.batches / s.threads; ++b) {
+        for (auto& k : keys) {
+          k = zipf ? zg.NextScrambled() : rng.Uniform(s.rows);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const BatchResult br = cb->MultiGet(keys, out.data(), untracked);
+        if (br.failed > 0) {
+          std::fprintf(stderr, "hedge bench: %llu failed key(s): %s\n",
+                       static_cast<unsigned long long>(br.failed),
+                       br.first_error.ToString().c_str());
+          std::exit(1);
+        }
+        lat.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+        lookups.fetch_add(keys.size());
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  const double secs = watch.ElapsedSeconds();
+
+  HedgeRowResult r;
+  r.rpcs = cb->io_stats().remote_requests;
+  r.p50 = lat.Percentile(0.50);
+  r.p99 = lat.Percentile(0.99);
+  r.p999 = lat.Percentile(0.999);
+  const cluster::HedgeStats hs = cb->hedge_stats();
+  t->Cell(label);
+  t->Cell(Human(static_cast<double>(lookups.load()) / secs));
+  t->Cell(r.p50);
+  t->Cell(r.p99);
+  t->Cell(r.p999);
+  t->Cell(hs.issued);
+  t->Cell(hs.wins);
+  if (hot_top_k != 0) {
+    // Read split across the endpoints: without hot replication the hot
+    // head pins to its primary; with it the split approaches 50/50.
+    uint64_t reqs[2] = {0, 0};
+    size_t i = 0;
+    for (const cluster::EndpointStats& es : cb->endpoint_stats()) {
+      if (i < 2) reqs[i++] = es.requests;
+    }
+    char split[64];
+    std::snprintf(split, sizeof(split), "%llu/%llu hot=%llu",
+                  static_cast<unsigned long long>(reqs[0]),
+                  static_cast<unsigned long long>(reqs[1]),
+                  static_cast<unsigned long long>(cb->hot_reads()));
+    t->Cell(std::string(split));
+  } else {
+    t->Cell("-");
+  }
+  t->EndRow();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,10 +350,17 @@ int main(int argc, char** argv) {
       flags.Int("nvme_read_us", 30), flags.Double("nvme_read_gbps", 1.0),
       flags.Double("nvme_write_gbps", 1.0));
   if (flags.Has("help")) {
-    std::printf("serving: lookup throughput/latency vs cache size\n"
-                "  --rows=500000 --batches=2000 --threads=4\n"
-                "  --remote   also measure the networked serving path\n"
-                "             (loopback KvServer + RemoteBackend)\n");
+    std::printf(
+        "serving: lookup throughput/latency vs cache size and admission\n"
+        "  --rows=500000 --batches=2000 --threads=4\n"
+        "  --remote   also measure the networked serving path\n"
+        "             (loopback KvServer + RemoteBackend)\n"
+        "  --hedge    read-hedging A/B on a 2-endpoint loopback cluster\n"
+        "             with one intermittently slow server\n"
+        "    --hedge_us=500         hedge delay (us); 0 = auto (p99)\n"
+        "    --slow_us=3000         injected delay on the slow endpoint\n"
+        "    --slow_every=32        delay every Nth request\n"
+        "    --hot_replicate_top_k=64  add a hot-key replication row\n");
     return 0;
   }
   Setup s;
@@ -176,22 +368,30 @@ int main(int argc, char** argv) {
   s.batches = flags.Int("batches", 2000, 50);
   s.threads = static_cast<int>(flags.Int("threads", 4, 2));
 
-  Banner("Serving path: lookups/s and batch latency vs serving-cache size");
-  std::printf("(out-of-core table: %llu rows x dim %u vs %llu MiB buffer)\n\n",
+  Banner(
+      "Serving path: lookups/s, hit rate, and batch latency vs cache size "
+      "x admission policy");
+  std::printf("(out-of-core table: %llu rows x dim %u vs %llu MiB buffer; "
+              "cache sized at 1%% and 10%% of the keyspace)\n\n",
               static_cast<unsigned long long>(s.rows), s.dim,
               static_cast<unsigned long long>(s.buffer_mb));
-  Table t({"dist", "cache_slots", "lookups/s", "cache_hit", "p50_us",
-           "p99_us"});
+  Table t({"dist", "cache_slots", "policy", "lookups/s", "hit", "adm_rej",
+           "p50_us", "p99_us", "p999_us"});
   t.PrintHeader();
-  for (const bool zipf : {false, true}) {
-    for (const size_t cache : {size_t{0}, size_t{1} << 12, size_t{1} << 15,
-                               size_t{1} << 18}) {
-      RunRow(s, cache == 0 ? 1 : cache, zipf, &t);
+  const size_t small = std::max<size_t>(64, static_cast<size_t>(s.rows / 100));
+  const size_t large = std::max<size_t>(64, static_cast<size_t>(s.rows / 10));
+  for (const double theta : {-1.0, 0.99, 1.2}) {
+    for (const size_t cache : {small, large}) {
+      for (const CacheAdmission adm :
+           {CacheAdmission::kLru, CacheAdmission::kTinyLfu}) {
+        RunRow(s, cache, theta, adm, &t);
+      }
     }
   }
-  std::printf("\nExpected shape: under zipfian skew a small cache captures "
-              "most lookups (hit%% rises steeply, p99 falls); uniform traffic "
-              "needs cache ~ table size to matter.\n");
+  std::printf("\nExpected shape: under zipfian skew with a cache a fraction "
+              "of the keyspace, TinyLFU admission beats plain LRU on hit "
+              "rate (the one-hit tail stops evicting the head) and p99 "
+              "falls with it; uniform traffic shows no policy gap.\n");
 
   if (flags.Has("remote")) {
     Banner("Remote serving: untracked MultiGet over loopback KvServer");
@@ -205,6 +405,63 @@ int main(int argc, char** argv) {
     std::printf("\nExpected shape: remote throughput trails the in-process "
                 "path by the per-batch wire cost; larger batches close the "
                 "gap (see bench_ycsb_suite --remote).\n");
+  }
+
+  if (flags.Has("hedge")) {
+    // The A/B is a ratio measurement (extra request volume, p99 delta), so
+    // it keeps its own smoke config rather than --smoke's tiny defaults:
+    // enough batches that one hedge is a fraction of a percent of volume,
+    // and stall/delay pushed an order of magnitude above loopback jitter —
+    // shared CI runners show multi-ms scheduling noise, and a delay inside
+    // that band hedges noise instead of the injected straggler.
+    Setup hs = s;
+    if (flags.Smoke() && !flags.Has("batches")) hs.batches = 400;
+    const uint64_t hedge_us = flags.Int("hedge_us", 500, 6000);
+    const uint64_t slow_us = flags.Int("slow_us", 3000, 30000);
+    const uint64_t slow_every = flags.Int("slow_every", 32);
+    const size_t hot_top_k =
+        static_cast<size_t>(flags.Int("hot_replicate_top_k", 0));
+    Banner("Read hedging A/B: 2-endpoint loopback cluster, one "
+           "intermittently slow server");
+    std::printf("(endpoint 0 sleeps %llu us on every %llu-th request; "
+                "hedge delay %llu us%s; client-side batch latency)\n\n",
+                static_cast<unsigned long long>(slow_us),
+                static_cast<unsigned long long>(slow_every),
+                static_cast<unsigned long long>(hedge_us),
+                hedge_us == 0 ? " [auto p99]" : "");
+    HedgeCluster hc;
+    if (!hc.Start(s, slow_us, slow_every)) std::exit(1);
+    Table ht({"mode", "lookups/s", "p50_us", "p99_us", "p999_us", "hedges",
+              "wins", "ep_reads"});
+    ht.PrintHeader();
+    const HedgeRowResult off =
+        RunHedgeRow(hs, &hc, 0, 0, /*zipf=*/false, "off", &ht);
+    const HedgeRowResult on = RunHedgeRow(
+        hs, &hc, hedge_us == 0 ? kHedgeAuto : hedge_us, 0, /*zipf=*/false,
+        "hedged", &ht);
+    if (hot_top_k != 0) {
+      RunHedgeRow(hs, &hc, hedge_us == 0 ? kHedgeAuto : hedge_us, hot_top_k,
+                  /*zipf=*/true, "hedged+hot", &ht);
+    }
+    hc.Stop();
+    const double extra =
+        off.rpcs > 0 ? 100.0 * (static_cast<double>(on.rpcs) /
+                                    static_cast<double>(off.rpcs) -
+                                1.0)
+                     : 0.0;
+    std::printf("\nhedging: read p99 %llu -> %llu us (%.1fx), p999 %llu -> "
+                "%llu us, +%.1f%% request volume\n",
+                static_cast<unsigned long long>(off.p99),
+                static_cast<unsigned long long>(on.p99),
+                on.p99 > 0 ? static_cast<double>(off.p99) /
+                                 static_cast<double>(on.p99)
+                           : 0.0,
+                static_cast<unsigned long long>(off.p999),
+                static_cast<unsigned long long>(on.p999), extra);
+    std::printf("Expected shape: without hedging every straggler surfaces "
+                "at p99; with it the hedge covers the slow sub-batch for a "
+                "few %% extra requests. Unskewed reads pay one pool handoff "
+                "plus a row copy (a bounded p50 cost), never a second RPC.\n");
   }
   return 0;
 }

@@ -79,7 +79,10 @@ int Usage() {
       "        [--group_commit_window_us N] [--group_commit_max_bytes N]\n"
       "        [--request_threads N]  offload storage phases off workers\n"
       "        [--metrics_addr h:p]   Prometheus /metrics endpoint\n"
-      "        [--serve_cache N]      front the backend with an N-vector LRU\n"
+      "        [--serve_cache N]      front the backend with an N-vector cache\n"
+      "        [--cache_admission lru|tinylfu]  eviction admission policy\n"
+      "                               (tinylfu: frequency-sketch-gated, keeps\n"
+      "                               hot keys under zipfian churn)\n"
       "        [--slow_request_us N]  slow-request log threshold (0 = auto)\n"
       "        kinds: mlkv faster lsm btree inmemory\n"
       "    cluster mode (docs/CLUSTER.md; --addr needs an explicit port):\n"
@@ -233,11 +236,19 @@ int RunServe(const std::string& dir, ArgList& args) {
   s = MakeBackend(kind, cfg, &backend);
   if (!s.ok()) return Fail(s);
 
-  // Optional serving-side LRU in front of whatever engine was picked.
+  // Optional serving-side cache in front of whatever engine was picked.
   const size_t serve_cache = static_cast<size_t>(
       std::strtoul(args.Flag("serve_cache", "0").c_str(), nullptr, 10));
   if (serve_cache > 0) {
-    s = MakeCachingBackend(std::move(backend), serve_cache, &backend);
+    CacheAdmission admission = CacheAdmission::kLru;
+    const std::string admission_name = args.Flag("cache_admission", "lru");
+    if (admission_name == "tinylfu") {
+      admission = CacheAdmission::kTinyLfu;
+    } else if (admission_name != "lru") {
+      return Usage();
+    }
+    s = MakeCachingBackend(std::move(backend), serve_cache, admission,
+                           &backend);
     if (!s.ok()) return Fail(s);
   }
 

@@ -94,6 +94,43 @@ if [[ -x "${bench_dir}/bench_ycsb_suite" ]]; then
   fi
 fi
 
+# One serving-tail smoke: the bench_serving --hedge A/B — a 2-endpoint
+# mutual-replica loopback cluster where one server stalls every Nth read,
+# measured with hedging off then on (see docs/SERVING.md). Asserts the
+# headline the feature exists for: hedged read p99 strictly below the
+# unhedged p99, for < 5% extra request volume. Also asserts the hedged
+# p50 (unskewed requests, which pay one pool handoff + row copy but never
+# a second RPC) stays below the unhedged p99 — the common path must not
+# itself drift into the old tail.
+if [[ -x "${bench_dir}/bench_serving" ]]; then
+  echo "=== bench_serving --smoke --hedge"
+  hedge_log="${log_dir}/bench_serving_hedge.txt"
+  if ! "${bench_dir}/bench_serving" --smoke --hedge --hot_replicate_top_k=64 \
+      > "${hedge_log}"; then
+    echo "FAILED: bench_serving --hedge" >&2
+    failed=1
+  else
+    # "hedging: read p99 <off> -> <on> us (...), p999 ..., +<pct>% request volume"
+    read -r off_p99 on_p99 vol_pct <<< "$(sed -n \
+      's/^hedging: read p99 \([0-9]*\) -> \([0-9]*\) us.*+\([0-9.]*\)% request volume.*/\1 \2 \3/p' \
+      "${hedge_log}")"
+    on_p50="$(awk '$1 == "hedged" { print $3; exit }' "${hedge_log}")"
+    if [[ -z "${off_p99:-}" || -z "${on_p99:-}" || -z "${on_p50:-}" ]]; then
+      echo "FAILED: bench_serving --hedge produced no A/B summary" >&2
+      failed=1
+    elif (( on_p99 >= off_p99 )); then
+      echo "FAILED: hedging did not improve read p99 (${off_p99} -> ${on_p99} us)" >&2
+      failed=1
+    elif (( on_p50 >= off_p99 )); then
+      echo "FAILED: hedged unskewed p50 (${on_p50} us) regressed into the unhedged p99 (${off_p99} us)" >&2
+      failed=1
+    elif ! awk -v v="${vol_pct}" 'BEGIN { exit !(v < 5.0) }'; then
+      echo "FAILED: hedging cost ${vol_pct}% extra request volume (>= 5%)" >&2
+      failed=1
+    fi
+  fi
+fi
+
 # One observability smoke: serve a store with --metrics_addr, scrape
 # GET /metrics, keep the exposition as an artifact, and validate it with
 # scripts/check_metrics.sh (duplicate families, bad names, histogram

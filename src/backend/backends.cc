@@ -855,8 +855,10 @@ class InMemoryBackend : public KvBackend {
 // old, within the untracked read contract's bounded staleness.
 class CachingBackend : public KvBackend {
  public:
-  CachingBackend(std::unique_ptr<KvBackend> inner, size_t capacity)
-      : inner_(std::move(inner)), cache_(capacity, inner_->dim()) {}
+  CachingBackend(std::unique_ptr<KvBackend> inner, size_t capacity,
+                 CacheAdmission admission)
+      : inner_(std::move(inner)),
+        cache_(capacity, inner_->dim(), /*shards=*/16, admission) {}
 
   std::string name() const override {
     return "Cached(" + inner_->name() + ")";
@@ -942,6 +944,12 @@ class CachingBackend : public KvBackend {
     }
     sink->AddGauge("mlkv_cache_entries", "Rows resident in the serving cache",
                    static_cast<double>(cache_.size()));
+    const EmbeddingCache::CacheStats total = cache_.stats();
+    sink->AddCounter("mlkv_cache_admission_rejects_total",
+                     "Cache fills refused by TinyLFU admission",
+                     total.admission_rejects);
+    sink->AddCounter("mlkv_cache_admission_agings_total",
+                     "TinyLFU sketch aging resets", total.admission_agings);
   }
 
   uint32_t replication_shards() const override {
@@ -1094,6 +1102,8 @@ Status MakeBackend(BackendKind kind, const BackendConfig& config,
         net::ParseEndpointList(config.cluster_addrs, &o.endpoints));
     o.pool_size = config.remote_pool_size;
     o.max_keys_per_rpc = config.remote_max_keys_per_rpc;
+    o.hedge_us = config.cluster_hedge_us;
+    o.hot_replicate_top_k = config.cluster_hot_replicate_top_k;
     return cluster::ClusterBackend::Connect(o, out);
   }
   std::error_code ec;
@@ -1113,13 +1123,20 @@ Status MakeBackend(BackendKind kind, const BackendConfig& config,
 
 Status MakeCachingBackend(std::unique_ptr<KvBackend> inner, size_t capacity,
                           std::unique_ptr<KvBackend>* out) {
+  return MakeCachingBackend(std::move(inner), capacity, CacheAdmission::kLru,
+                            out);
+}
+
+Status MakeCachingBackend(std::unique_ptr<KvBackend> inner, size_t capacity,
+                          CacheAdmission admission,
+                          std::unique_ptr<KvBackend>* out) {
   if (inner == nullptr) {
     return Status::InvalidArgument("caching backend needs an inner backend");
   }
   if (capacity == 0) {
     return Status::InvalidArgument("caching backend capacity must be > 0");
   }
-  out->reset(new CachingBackend(std::move(inner), capacity));
+  out->reset(new CachingBackend(std::move(inner), capacity, admission));
   return Status::OK();
 }
 

@@ -43,6 +43,7 @@
 #include "io/async_io.h"
 #include "kv/record.h"
 #include "kv/update_log.h"
+#include "serve/tinylfu.h"
 
 namespace mlkv {
 
@@ -273,7 +274,21 @@ struct BackendConfig {
   // pooling and chunking reuse remote_pool_size / remote_max_keys_per_rpc
   // per endpoint.
   std::string cluster_addrs;
+  // kCluster only: read-hedging delay in microseconds (docs/SERVING.md).
+  // After this long without a response, a read sub-batch is re-issued to
+  // the partition's next replica candidate and the first response wins.
+  // 0 disables (default); kHedgeAuto derives the delay per endpoint from
+  // its trailing p99. Writes never hedge.
+  uint64_t cluster_hedge_us = 0;
+  // kCluster only: route reads for the client's K hottest keys round-robin
+  // across a partition's primary + replicas instead of primary-first.
+  // 0 disables (default).
+  size_t cluster_hot_replicate_top_k = 0;
 };
+
+// Sentinel for cluster_hedge_us: derive the hedge delay per endpoint from
+// its trailing p99 latency instead of a fixed value.
+inline constexpr uint64_t kHedgeAuto = UINT64_MAX;
 
 enum class BackendKind {
   kMlkv, kFaster, kLsm, kBtree, kInMemory, kRemote, kCluster
@@ -293,6 +308,11 @@ Status MakeBackend(BackendKind kind, const BackendConfig& config,
 // observe a bounded-stale row when a fill races an invalidate, which the
 // untracked read contract already permits. capacity == 0 is rejected.
 Status MakeCachingBackend(std::unique_ptr<KvBackend> inner, size_t capacity,
+                          std::unique_ptr<KvBackend>* out);
+// As above with an explicit admission policy: kTinyLfu guards eviction with
+// a per-shard frequency sketch (see serve/tinylfu.h and docs/SERVING.md).
+Status MakeCachingBackend(std::unique_ptr<KvBackend> inner, size_t capacity,
+                          CacheAdmission admission,
                           std::unique_ptr<KvBackend>* out);
 
 }  // namespace mlkv

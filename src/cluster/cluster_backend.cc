@@ -1,6 +1,7 @@
 #include "cluster/cluster_backend.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 
@@ -33,6 +34,15 @@ ClusterBackend::ClusterBackend(ClusterBackendOptions options)
           : std::min<size_t>(16,
                              std::max<size_t>(4, options_.endpoints.size() * 4));
   pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.hot_replicate_top_k != 0) {
+    hot_tracker_ = std::make_unique<HotKeyTracker>(
+        options_.hot_replicate_top_k, options_.hot_refresh_interval);
+  }
+  if (options_.hedge_us != 0) {
+    // Hedge tasks mostly sleep (waiting out the delay), so the pool is
+    // sized for concurrent sleepers, not CPU.
+    hedge_pool_ = std::make_unique<ThreadPool>(threads);
+  }
 }
 
 Status ClusterBackend::Connect(const ClusterBackendOptions& options,
@@ -236,10 +246,48 @@ void ClusterBackend::CollectMetrics(obs::MetricsSink* sink) const {
     sink->AddCounter("mlkv_cluster_endpoint_failovers_total",
                      "Sub-batches that left this endpoint for a fallback.",
                      static_cast<double>(s.failovers), {{"endpoint", s.addr}});
+    sink->AddGauge("mlkv_cluster_endpoint_latency_ewma_us",
+                   "Smoothed read sub-batch latency to this endpoint (us).",
+                   s.latency_ewma_us, {{"endpoint", s.addr}});
+    sink->AddGauge("mlkv_cluster_endpoint_latency_p99_us",
+                   "Trailing read p99 to this endpoint (us); the kHedgeAuto "
+                   "hedge-delay signal.",
+                   static_cast<double>(s.latency_p99_us),
+                   {{"endpoint", s.addr}});
   }
   sink->AddGauge("mlkv_cluster_map_epoch",
                  "Epoch of the client's installed routing map.",
                  static_cast<double>(map()->epoch));
+  if (hedge_pool_) {
+    sink->AddCounter("mlkv_cluster_hedge_issued_total",
+                     "Read hedge attempts that reached the wire.",
+                     static_cast<double>(hedges_.load(std::memory_order_relaxed)));
+    sink->AddCounter(
+        "mlkv_cluster_hedge_wins_total",
+        "Read hedges whose response was used (first-response-wins).",
+        static_cast<double>(hedge_wins_.load(std::memory_order_relaxed)));
+  }
+  if (hot_tracker_) {
+    sink->AddGauge("mlkv_cluster_hot_keys",
+                   "Keys in the current hot-replication set.",
+                   static_cast<double>(hot_tracker_->hot()->keys.size()));
+    sink->AddCounter(
+        "mlkv_cluster_hot_reads_total",
+        "Reads routed by the hot-key round-robin policy.",
+        static_cast<double>(hot_reads_.load(std::memory_order_relaxed)));
+    sink->AddCounter("mlkv_cluster_hot_refreshes_total",
+                     "Hot-set re-rank passes.",
+                     static_cast<double>(hot_tracker_->refreshes()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(part_ops_mu_);
+    for (size_t p = 0; p < partition_ops_.size(); ++p) {
+      sink->AddCounter("mlkv_cluster_partition_ops_total",
+                       "Keys routed to this partition by this client.",
+                       static_cast<double>(partition_ops_[p]),
+                       {{"partition", std::to_string(p)}});
+    }
+  }
 }
 
 std::vector<EndpointStats> ClusterBackend::endpoint_stats() const {
@@ -256,6 +304,8 @@ std::vector<EndpointStats> ClusterBackend::endpoint_stats() const {
     s.addr = ep->addr;
     s.requests = ep->requests.load(std::memory_order_relaxed);
     s.failovers = ep->failovers.load(std::memory_order_relaxed);
+    s.latency_ewma_us = ep->ewma_us.value();
+    s.latency_p99_us = ep->latency_us.Percentile(0.99);
     {
       std::lock_guard<std::mutex> lock(ep->mu);
       s.connected = ep->client != nullptr;
@@ -265,11 +315,181 @@ std::vector<EndpointStats> ClusterBackend::endpoint_stats() const {
   return out;
 }
 
+BatchResult ClusterBackend::TimedGet(Endpoint* ep, net::RemoteBackend* client,
+                                     std::span<const Key> keys, float* rows_out,
+                                     const MultiGetOptions& options,
+                                     bool* down) {
+  const auto t0 = std::chrono::steady_clock::now();
+  BatchResult r = client->MultiGetEx(keys, rows_out, options, down);
+  const uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  ep->latency_us.Record(us);
+  ep->ewma_us.Observe(static_cast<double>(us));
+  return r;
+}
+
+uint64_t ClusterBackend::HedgeDelayUs(Endpoint* ep) const {
+  if (options_.hedge_us != kHedgeAuto) return options_.hedge_us;
+  // Auto mode: that endpoint's own trailing read p99 — a hedge fires only
+  // for requests already slower than 99% of their peers. Until the
+  // histogram has warmed, 1ms is a conservative stand-in.
+  if (ep->latency_us.count() < 64) return 1000;
+  return std::clamp<uint64_t>(ep->latency_us.Percentile(0.99), 100, 100000);
+}
+
+size_t ClusterBackend::HedgedGet(const ClusterMap& m,
+                                 const ClusterPartition& part,
+                                 const std::vector<uint32_t>& candidates,
+                                 Endpoint* ep0, net::RemoteBackend* client0,
+                                 std::span<const Key> keys, float* rows_out,
+                                 const MultiGetOptions& options,
+                                 BatchResult* result, bool* down) {
+  // Shared between the caller and both attempt tasks. Either task may
+  // outlive the caller (the caller returns as soon as a winner is
+  // decided), so the keys are copied in and each attempt writes its own
+  // private row buffer — never the caller's rows_out, whose lifetime ends
+  // with the caller. The caller copies the winner's buffer out before
+  // returning; the loser's bytes are simply dropped.
+  struct HedgeState {
+    std::mutex mu;
+    std::condition_variable cv;
+    int winner = -1;  // -1 undecided, 0 primary, 1 hedge; first success
+    bool a0_done = false;
+    bool down0 = false;
+    bool hedge_done = false;  // hedge task finished (issued or cancelled)
+    bool hedge_issued = false;
+    std::vector<Key> keys_copy;
+    std::vector<float> buf0, buf1;
+    BatchResult r0, r1;
+  };
+  auto hs = std::make_shared<HedgeState>();
+  hs->keys_copy.assign(keys.begin(), keys.end());
+  hs->buf0.resize(keys.size() * dim_);
+  hs->buf1.resize(keys.size() * dim_);
+
+  MultiGetOptions o0 = options;
+  if (candidates[0] != part.primary) o0.untracked = true;
+  const bool a0_launched = hedge_pool_->TrySubmit([this, hs, ep0, client0,
+                                                   o0]() {
+    ep0->requests.fetch_add(1, std::memory_order_relaxed);
+    bool down0 = false;
+    BatchResult r0 =
+        TimedGet(ep0, client0, hs->keys_copy, hs->buf0.data(), o0, &down0);
+    std::lock_guard<std::mutex> lock(hs->mu);
+    hs->r0 = std::move(r0);
+    hs->down0 = down0;
+    hs->a0_done = true;
+    if (!down0 && hs->winner == -1) hs->winner = 0;
+    if (down0) ep0->failovers.fetch_add(1, std::memory_order_relaxed);
+    hs->cv.notify_all();
+  });
+  if (!a0_launched) {
+    // No hedge capacity: degrade to a plain inline attempt.
+    ep0->requests.fetch_add(1, std::memory_order_relaxed);
+    bool down0 = false;
+    *result = TimedGet(ep0, client0, keys, rows_out, o0, &down0);
+    *down = down0;
+    if (down0) ep0->failovers.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  }
+
+  // The caller owns the hedge delay: it waits for the primary to answer
+  // inside the window, and only when the window expires (or the primary
+  // reports transport-down, which fast-forwards the delay — the hedge
+  // doubles as the failover hop) does a hedge task get created. Fast
+  // reads therefore cost one pool handoff and one row copy, never a
+  // second task.
+  const uint64_t delay_us = HedgeDelayUs(ep0);
+  std::unique_lock<std::mutex> lock(hs->mu);
+  hs->cv.wait_for(lock, std::chrono::microseconds(delay_us),
+                  [&hs] { return hs->a0_done; });
+  if (hs->winner == 0) {
+    simd::CopyFloats(rows_out, hs->buf0.data(), keys.size() * dim_);
+    *result = std::move(hs->r0);
+    *down = false;
+    return 1;
+  }
+
+  // Primary is slow or down: issue the hedge to the next candidate.
+  lock.unlock();
+  Endpoint* ep1 = EndpointFor(m.endpoints[candidates[1]]);
+  MultiGetOptions o1 = options;
+  if (candidates[1] != part.primary) o1.untracked = true;
+  const bool h_launched = hedge_pool_->TrySubmit([this, hs, ep1, o1]() {
+    {
+      // The primary may have answered between the caller's timeout and
+      // this task running; don't waste an RPC on a decided race.
+      std::lock_guard<std::mutex> lock(hs->mu);
+      if (hs->winner != -1) {
+        hs->hedge_done = true;
+        hs->cv.notify_all();
+        return;
+      }
+    }
+    net::RemoteBackend* client1 = nullptr;
+    const Status cs = GetClient(ep1, &client1);
+    bool down1 = true;
+    BatchResult r1;
+    if (cs.ok()) {
+      ep1->requests.fetch_add(1, std::memory_order_relaxed);
+      hedges_.fetch_add(1, std::memory_order_relaxed);
+      down1 = false;
+      r1 = TimedGet(ep1, client1, hs->keys_copy, hs->buf1.data(), o1, &down1);
+    } else {
+      r1 = BatchResult(hs->keys_copy.size());
+      for (size_t i = 0; i < hs->keys_copy.size(); ++i) r1.Record(i, cs);
+    }
+    std::lock_guard<std::mutex> lock(hs->mu);
+    hs->r1 = std::move(r1);
+    hs->hedge_issued = true;
+    if (!down1 && hs->winner == -1) hs->winner = 1;
+    if (down1) ep1->failovers.fetch_add(1, std::memory_order_relaxed);
+    hs->hedge_done = true;
+    hs->cv.notify_all();
+  });
+
+  // First response wins: the caller unblocks the moment either attempt
+  // succeeds, while the loser finishes in the background against the
+  // shared state. Both tasks always terminate (one RPC each), so the
+  // both-failed wait cannot hang.
+  lock.lock();
+  if (!h_launched) hs->hedge_done = true;
+  hs->cv.wait(lock, [&hs] {
+    return hs->winner != -1 || (hs->a0_done && hs->hedge_done);
+  });
+  if (hs->winner == 0) {
+    simd::CopyFloats(rows_out, hs->buf0.data(), keys.size() * dim_);
+    *result = std::move(hs->r0);
+    *down = false;
+    return 1;
+  }
+  if (hs->winner == 1) {
+    hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+    simd::CopyFloats(rows_out, hs->buf1.data(), keys.size() * dim_);
+    *result = std::move(hs->r1);
+    *down = false;
+    return 2;
+  }
+  // Both attempts failed at the transport level. Fold the hedge's per-key
+  // codes when it consumed its candidate (issued its connect/RPC), the
+  // primary's when the hedge was cancelled or never launched.
+  *down = true;
+  if (hs->hedge_issued) {
+    *result = std::move(hs->r1);
+    return 2;
+  }
+  *result = std::move(hs->r0);
+  return 1;
+}
+
 BatchResult ClusterBackend::ExecutePartition(const ClusterMap& m, size_t p,
                                              Op op, std::span<const Key> keys,
                                              float* rows_out,
                                              const float* rows_in, float lr,
-                                             const MultiGetOptions& options) {
+                                             const MultiGetOptions& options,
+                                             size_t rotation) {
   const ClusterPartition& part = m.partitions[p];
   // Candidate endpoints in attempt order. Writes only ever run on the
   // primary; reads fail over to replicas (or start there under kReplica).
@@ -285,12 +505,42 @@ BatchResult ClusterBackend::ExecutePartition(const ClusterMap& m, size_t p,
                         part.replicas.end());
     }
   }
+  // Hot-key round-robin: rotate the attempt order so this sub-batch starts
+  // on a different candidate; the rest stay as failover fallbacks.
+  if (op == Op::kGet && rotation != 0 && candidates.size() > 1) {
+    std::rotate(candidates.begin(),
+                candidates.begin() + (rotation % candidates.size()),
+                candidates.end());
+  }
 
   Status last = Status::IOError("cluster: no reachable endpoint for partition " +
                                 std::to_string(p));
   BatchResult folded;  // transport failure folded to per-key codes
   bool have_folded = false;
-  for (size_t c = 0; c < candidates.size(); ++c) {
+  size_t c0 = 0;
+  // Hedged read: race candidates[0] against a delayed attempt on
+  // candidates[1]; the plain failover loop resumes after whatever the
+  // hedge pair consumed.
+  if (op == Op::kGet && hedge_pool_ && candidates.size() >= 2) {
+    Endpoint* ep0 = EndpointFor(m.endpoints[candidates[0]]);
+    net::RemoteBackend* client0 = nullptr;
+    const Status st = GetClient(ep0, &client0);
+    if (!st.ok()) {
+      last = st;
+      ep0->failovers.fetch_add(1, std::memory_order_relaxed);
+      c0 = 1;
+    } else {
+      bool down = false;
+      BatchResult r;
+      const size_t consumed = HedgedGet(m, part, candidates, ep0, client0,
+                                        keys, rows_out, options, &r, &down);
+      if (!down) return r;
+      folded = std::move(r);
+      have_folded = true;
+      c0 = consumed;
+    }
+  }
+  for (size_t c = c0; c < candidates.size(); ++c) {
     const uint32_t idx = candidates[c];
     Endpoint* ep = EndpointFor(m.endpoints[idx]);
     net::RemoteBackend* client = nullptr;
@@ -311,7 +561,7 @@ BatchResult ClusterBackend::ExecutePartition(const ClusterMap& m, size_t p,
         // A non-primary candidate serves the read consistency-free: a
         // replica has no staleness authority over the partition.
         if (idx != part.primary) o.untracked = true;
-        r = client->MultiGetEx(keys, rows_out, o, &down);
+        r = TimedGet(ep, client, keys, rows_out, o, &down);
         break;
       }
       case Op::kPut:
@@ -348,41 +598,82 @@ BatchResult ClusterBackend::Execute(Op op, std::span<const Key> keys,
   const size_t d = dim_;
   const size_t nparts = m->num_partitions();
 
+  // Hot-key replication: feed the tracker (outer call only — the epoch
+  // retry re-enters Execute with the same keys) and snapshot the hot set.
+  // Hot keys scatter into per-rotation groups so one batch's reads for a
+  // hot key spread across the partition's primary AND replicas.
+  std::shared_ptr<const HotKeySet> hot;
+  size_t stride = 1;
+  if (op == Op::kGet && hot_tracker_) {
+    if (allow_epoch_retry) hot_tracker_->RecordReads(keys);
+    auto h = hot_tracker_->hot();
+    if (!h->keys.empty()) {
+      for (const ClusterPartition& cp : m->partitions) {
+        stride = std::max(stride, cp.replicas.size() + 1);
+      }
+      if (stride > 1) hot = std::move(h);
+    }
+  }
+
+  // Group = (partition, rotation); rotation is 0 for everything except hot
+  // keys, which take the next round-robin slot among their partition's
+  // candidates. stride==1 degenerates to the plain per-partition scatter.
+  const size_t ngroups = nparts * stride;
   std::vector<uint32_t> part(n);
-  std::vector<size_t> counts(nparts, 0);
+  std::vector<size_t> counts(ngroups, 0);
+  std::vector<uint64_t> per_part_ops(nparts, 0);
   for (size_t i = 0; i < n; ++i) {
-    part[i] = static_cast<uint32_t>(m->PartitionOf(keys[i]));
+    const size_t p = m->PartitionOf(keys[i]);
+    ++per_part_ops[p];
+    size_t rot = 0;
+    if (hot && hot->contains(keys[i])) {
+      const size_t ncand = m->partitions[p].replicas.size() + 1;
+      if (ncand > 1) {
+        rot = hot_rr_.fetch_add(1, std::memory_order_relaxed) % ncand;
+        hot_reads_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    part[i] = static_cast<uint32_t>(p * stride + rot);
     ++counts[part[i]];
   }
+  {
+    std::lock_guard<std::mutex> lock(part_ops_mu_);
+    if (partition_ops_.size() < nparts) partition_ops_.resize(nparts, 0);
+    for (size_t p = 0; p < nparts; ++p) partition_ops_[p] += per_part_ops[p];
+  }
   size_t nonempty = 0, only = 0;
-  for (size_t p = 0; p < nparts; ++p) {
-    if (counts[p] != 0) {
+  for (size_t g = 0; g < ngroups; ++g) {
+    if (counts[g] != 0) {
       ++nonempty;
-      only = p;
+      only = g;
     }
   }
 
   if (nonempty == 1) {
-    // Single-partition batch: the caller's spans are already contiguous.
-    full = ExecutePartition(*m, only, op, keys, rows_out, rows_in, lr, options);
+    // Single-group batch: the caller's spans are already contiguous.
+    full = ExecutePartition(*m, only / stride, op, keys, rows_out, rows_in, lr,
+                            options, only % stride);
   } else {
     // Stable counting-sort scatter (same shape as ShardedStore's): caller
-    // positions grouped by partition, in-order within each group so
-    // duplicate-key semantics survive the hop.
-    std::vector<size_t> offsets(nparts + 1, 0);
-    for (size_t p = 0; p < nparts; ++p) offsets[p + 1] = offsets[p] + counts[p];
+    // positions grouped by (partition, rotation), in-order within each
+    // group so duplicate-key semantics survive the hop.
+    std::vector<size_t> offsets(ngroups + 1, 0);
+    for (size_t g = 0; g < ngroups; ++g) offsets[g + 1] = offsets[g] + counts[g];
     std::vector<size_t> pos(offsets.begin(), offsets.end() - 1);
     std::vector<size_t> order(n);
     for (size_t i = 0; i < n; ++i) order[pos[part[i]]++] = i;
 
     struct SubTask {
       size_t partition;
+      size_t rotation;
       size_t begin;
       size_t end;
     };
     std::vector<SubTask> tasks;
-    for (size_t p = 0; p < nparts; ++p) {
-      if (counts[p] != 0) tasks.push_back({p, offsets[p], offsets[p + 1]});
+    for (size_t g = 0; g < ngroups; ++g) {
+      if (counts[g] != 0) {
+        tasks.push_back({g / stride, g % stride, offsets[g], offsets[g + 1]});
+      }
     }
     std::vector<BatchResult> sub(tasks.size());
 
@@ -407,7 +698,8 @@ BatchResult ClusterBackend::Execute(Op op, std::span<const Key> keys,
         sub[t] = ExecutePartition(
             *m, task.partition, op, sub_keys,
             op == Op::kGet ? sub_rows.data() : nullptr,
-            op == Op::kGet ? nullptr : sub_rows.data(), lr, options);
+            op == Op::kGet ? nullptr : sub_rows.data(), lr, options,
+            task.rotation);
         if (op == Op::kGet) {
           for (size_t j = 0; j < cnt; ++j) {
             if (sub[t].codes[j] == Status::Code::kOk) {

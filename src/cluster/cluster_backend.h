@@ -26,6 +26,18 @@
 // while every other partition's writes land — no whole-batch abort, and no
 // blind cross-server retry beyond RemoteBackend's own stale-pool retry
 // (which is safe because the request provably never executed).
+//
+// Tail-latency controls (both off by default; docs/SERVING.md):
+//  - Request hedging (hedge_us): a read sub-batch races a second attempt
+//    against the partition's next candidate once the first has been in
+//    flight for the hedge delay (fixed, or kHedgeAuto = that endpoint's
+//    trailing p99). First response wins; the loser is cancelled before
+//    issue when possible and its bytes are discarded otherwise. Writes
+//    never hedge — a duplicated gradient would double-apply.
+//  - Hot-key replication (hot_replicate_top_k): a client-side HotKeyTracker
+//    detects the hottest read keys and rotates their sub-batches across the
+//    partition's primary AND replicas round-robin instead of primary-first,
+//    trading bounded replica staleness for tail load spreading.
 #pragma once
 
 #include <atomic>
@@ -36,9 +48,12 @@
 
 #include "backend/kv_backend.h"
 #include "cluster/cluster_map.h"
+#include "cluster/hot_keys.h"
+#include "common/histogram.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "net/remote_backend.h"
+#include "obs/metrics.h"
 
 namespace mlkv {
 namespace cluster {
@@ -55,6 +70,16 @@ struct ClusterBackendOptions {
   // Scatter helpers for multi-partition batches (the calling thread always
   // participates too). 0 derives min(8, seed count).
   size_t scatter_threads = 0;
+  // Read-hedge delay in microseconds. 0 disables hedging; kHedgeAuto
+  // derives it per endpoint from that endpoint's trailing read p99
+  // (1ms until 64 samples warm the histogram, then clamped to
+  // [100us, 100ms]). Only reads hedge.
+  uint64_t hedge_us = 0;
+  // When nonzero, track the top-K hottest read keys client-side and route
+  // their reads round-robin across the partition's primary and replicas.
+  size_t hot_replicate_top_k = 0;
+  // Hot-set re-rank cadence, in observed read keys.
+  uint64_t hot_refresh_interval = 8192;
 };
 
 // Per-endpoint client-side counters (cluster-status / tests).
@@ -63,6 +88,14 @@ struct EndpointStats {
   bool connected = false;    // a client object exists (ever connected)
   uint64_t requests = 0;     // sub-batches routed here
   uint64_t failovers = 0;    // sub-batches that left here for a fallback
+  double latency_ewma_us = 0.0;  // smoothed read sub-batch latency
+  uint64_t latency_p99_us = 0;   // trailing read p99 (hedge-delay signal)
+};
+
+// Client-side hedging counters (tests / cluster-status).
+struct HedgeStats {
+  uint64_t issued = 0;  // hedge attempts that actually hit the wire
+  uint64_t wins = 0;    // hedges whose response was used
 };
 
 class ClusterBackend : public KvBackend {
@@ -103,6 +136,17 @@ class ClusterBackend : public KvBackend {
   // epoch is newer than the current one.
   Status RefreshMap();
   std::vector<EndpointStats> endpoint_stats() const;
+  HedgeStats hedge_stats() const {
+    return {hedges_.load(std::memory_order_relaxed),
+            hedge_wins_.load(std::memory_order_relaxed)};
+  }
+  uint64_t hot_reads() const {
+    return hot_reads_.load(std::memory_order_relaxed);
+  }
+  // Current hot-key snapshot (null when hot replication is off).
+  std::shared_ptr<const HotKeySet> hot_keys() const {
+    return hot_tracker_ ? hot_tracker_->hot() : nullptr;
+  }
 
  private:
   enum class Op { kGet, kPut, kGrad };
@@ -116,6 +160,11 @@ class ClusterBackend : public KvBackend {
     std::unique_ptr<net::RemoteBackend> client;
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> failovers{0};
+    // Read sub-batch latency, fed by every read attempt (hedged or not).
+    // The histogram's trailing p99 is the kHedgeAuto delay signal; the
+    // EWMA is the smoothed display value.
+    Histogram latency_us;
+    obs::Ewma ewma_us;
   };
 
   explicit ClusterBackend(ClusterBackendOptions options);
@@ -135,11 +184,30 @@ class ClusterBackend : public KvBackend {
                       const float* rows_in, float lr,
                       const MultiGetOptions& options, bool allow_epoch_retry);
   // One partition's sub-batch against its candidate endpoints (failover
-  // order); keys/rows are already gathered contiguous.
+  // order); keys/rows are already gathered contiguous. `rotation` rotates
+  // the read-candidate order (hot-key round-robin); writes ignore it.
   BatchResult ExecutePartition(const ClusterMap& m, size_t partition, Op op,
                                std::span<const Key> keys, float* rows_out,
                                const float* rows_in, float lr,
-                               const MultiGetOptions& options);
+                               const MultiGetOptions& options,
+                               size_t rotation);
+
+  // One timed read attempt; feeds the endpoint's latency histogram/EWMA.
+  BatchResult TimedGet(Endpoint* ep, net::RemoteBackend* client,
+                       std::span<const Key> keys, float* rows_out,
+                       const MultiGetOptions& options, bool* down);
+  // Effective hedge delay for a primary attempt on `ep` (see hedge_us).
+  uint64_t HedgeDelayUs(Endpoint* ep) const;
+  // Primary attempt on candidates[0] (whose client is already connected)
+  // raced against a delayed hedge on candidates[1]. Returns the number of
+  // candidates consumed (1 or 2) so the caller's failover loop resumes
+  // after the ones already tried. On success *down is false; on *down,
+  // *result holds the folded per-key codes of the losing attempt.
+  size_t HedgedGet(const ClusterMap& m, const ClusterPartition& part,
+                   const std::vector<uint32_t>& candidates, Endpoint* ep0,
+                   net::RemoteBackend* client0, std::span<const Key> keys,
+                   float* rows_out, const MultiGetOptions& options,
+                   BatchResult* result, bool* down);
 
   const ClusterBackendOptions options_;
   uint32_t dim_ = 0;  // fixed at Connect; read-only afterwards
@@ -151,6 +219,23 @@ class ClusterBackend : public KvBackend {
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
 
   std::unique_ptr<ThreadPool> pool_;  // scatter helpers
+
+  // Hot-key replication state (null/zero when off).
+  std::unique_ptr<HotKeyTracker> hot_tracker_;
+  std::atomic<uint64_t> hot_rr_{0};     // round-robin cursor for hot reads
+  std::atomic<uint64_t> hot_reads_{0};  // reads routed by the hot policy
+
+  std::atomic<uint64_t> hedges_{0};      // hedge attempts issued
+  std::atomic<uint64_t> hedge_wins_{0};  // hedge responses used
+
+  mutable std::mutex part_ops_mu_;
+  std::vector<uint64_t> partition_ops_;  // keys routed per partition
+
+  // Dedicated pool for hedge attempts — sharing pool_ would let a scatter
+  // storm starve (or deadlock behind) the very requests meant to rescue
+  // it. Declared last: its destructor joins in-flight hedge tasks (which
+  // touch endpoints_/this) before any other member is torn down.
+  std::unique_ptr<ThreadPool> hedge_pool_;
 };
 
 }  // namespace cluster

@@ -70,10 +70,20 @@ Status BuildClusterMap(const std::vector<std::string>& primaries,
   }
   out->endpoints = primaries;
   // Replica endpoints follow the primaries; remember each primary's
-  // replica slot (or -1) while appending.
+  // replica slot (or -1) while appending. A replica address already in
+  // the endpoint list reuses that slot instead of a duplicate — one
+  // server must be one endpoint index, or its self-identification (and
+  // with it read-ownership enforcement) splits across slots. This is what
+  // makes mutual-replica topologies (each primary replicating the other)
+  // expressible.
   std::vector<int> replica_of(primaries.size(), -1);
   for (size_t i = 0; i < replicas.size(); ++i) {
     if (replicas[i].empty()) continue;
+    const int existing = out->FindEndpoint(replicas[i]);
+    if (existing >= 0) {
+      replica_of[i] = existing;
+      continue;
+    }
     replica_of[i] = static_cast<int>(out->endpoints.size());
     out->endpoints.push_back(replicas[i]);
   }
@@ -81,7 +91,9 @@ Status BuildClusterMap(const std::vector<std::string>& primaries,
   for (uint32_t p = 0; p < out->num_partitions(); ++p) {
     const uint32_t owner = p % static_cast<uint32_t>(primaries.size());
     out->partitions[p].primary = owner;
-    if (replica_of[owner] >= 0) {
+    // A primary listed as its own replica adds nothing — drop it.
+    if (replica_of[owner] >= 0 &&
+        replica_of[owner] != static_cast<int>(owner)) {
       out->partitions[p].replicas.push_back(
           static_cast<uint32_t>(replica_of[owner]));
     }

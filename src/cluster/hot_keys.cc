@@ -1,0 +1,65 @@
+#include "cluster/hot_keys.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace mlkv {
+namespace cluster {
+
+HotKeyTracker::HotKeyTracker(size_t top_k, uint64_t refresh_interval,
+                             size_t candidate_cap)
+    : top_k_(top_k),
+      refresh_interval_(std::max<uint64_t>(refresh_interval, 64)),
+      candidate_cap_(candidate_cap != 0
+                         ? candidate_cap
+                         : std::max<size_t>(1024, top_k * 8)),
+      sketch_(candidate_cap_ * 4),  // candidate_cap_ resolved just above
+      hot_(std::make_shared<HotKeySet>()) {}
+
+void HotKeyTracker::RecordReads(std::span<const Key> keys) {
+  if (keys.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const Key k : keys) {
+    sketch_.RecordAccess(Hash64(k));
+    auto it = candidates_.find(k);
+    if (it != candidates_.end()) {
+      ++it->second;
+    } else if (candidates_.size() < candidate_cap_) {
+      candidates_.emplace(k, 1);
+    }
+  }
+  window_keys_ += keys.size();
+  if (window_keys_ >= refresh_interval_) RefreshLocked();
+}
+
+void HotKeyTracker::RefreshLocked() {
+  // Rank this window's candidates by sketch estimate (the sketch smooths
+  // across windows, so a key's standing survives window boundaries), keep
+  // the top K that actually recurred, and publish.
+  std::vector<std::pair<uint32_t, Key>> ranked;
+  ranked.reserve(candidates_.size());
+  for (const auto& [key, seen] : candidates_) {
+    const uint32_t est = sketch_.Estimate(Hash64(key));
+    if (est >= 2) ranked.emplace_back(est, key);  // doorkeeper-only keys out
+  }
+  const size_t keep = std::min(top_k_, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  auto next = std::make_shared<HotKeySet>();
+  next->keys.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) next->keys.insert(ranked[i].second);
+  hot_ = std::move(next);
+  candidates_.clear();
+  window_keys_ = 0;
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const HotKeySet> HotKeyTracker::hot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hot_;
+}
+
+}  // namespace cluster
+}  // namespace mlkv

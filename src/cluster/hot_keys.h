@@ -1,0 +1,80 @@
+// HotKeyTracker: client-side detection of the hottest read keys, feeding
+// ClusterBackend's load-aware replication routing (docs/SERVING.md). The
+// paper's serving story assumes skewed traffic; a single hot partition (or
+// a single hot key) saturates its primary while replicas idle. The tracker
+// watches the client's own read mix — a TinyLfu sketch estimates per-key
+// frequency, a bounded candidate map remembers which keys were seen this
+// window — and periodically publishes the top-K as an immutable HotKeySet
+// snapshot. ClusterBackend then routes reads for those keys round-robin
+// across the partition's primary AND replicas instead of primary-first.
+//
+// Refresh is an epoch-free periodic pull: every `refresh_interval` recorded
+// keys the caller's own RecordReads call ranks the window's candidates by
+// sketch estimate, swaps the snapshot, and starts a new window. No
+// background thread, no cluster coordination — each client converges on its
+// own observed skew, and the sketch's aging forgets keys that cool off.
+//
+// Consistency caveat (same contract as read failover): hot-key reads served
+// by a replica are untracked and may be bounded-stale; see docs/CLUSTER.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_set>
+#include <unordered_map>
+
+#include "kv/record.h"
+#include "serve/tinylfu.h"
+
+namespace mlkv {
+namespace cluster {
+
+// Immutable snapshot of the current hot set; swapped whole on refresh so
+// readers hold one shared_ptr per batch and never lock per key.
+struct HotKeySet {
+  std::unordered_set<Key> keys;
+  bool contains(Key k) const { return keys.find(k) != keys.end(); }
+};
+
+class HotKeyTracker {
+ public:
+  // Publishes the `top_k` hottest keys, re-ranked every `refresh_interval`
+  // observed keys. `candidate_cap` bounds the per-window candidate map
+  // (0 derives max(1024, 8 * top_k)).
+  HotKeyTracker(size_t top_k, uint64_t refresh_interval,
+                size_t candidate_cap = 0);
+
+  // Feeds one read batch into the sketch/candidates; runs the refresh
+  // in-line when the window closes. Thread-safe (one mutex per batch).
+  void RecordReads(std::span<const Key> keys);
+
+  // Current snapshot; never null (starts empty).
+  std::shared_ptr<const HotKeySet> hot() const;
+
+  uint64_t refreshes() const {
+    return refreshes_.load(std::memory_order_relaxed);
+  }
+  size_t top_k() const { return top_k_; }
+
+ private:
+  void RefreshLocked();
+
+  const size_t top_k_;
+  const uint64_t refresh_interval_;
+  const size_t candidate_cap_;
+
+  mutable std::mutex mu_;
+  TinyLfu sketch_;
+  // Keys observed this window (insert-capped; the sketch still counts keys
+  // the cap rejects, so a key crowded out of one window ranks in the next).
+  std::unordered_map<Key, uint32_t> candidates_;
+  uint64_t window_keys_ = 0;
+  std::shared_ptr<const HotKeySet> hot_;
+  std::atomic<uint64_t> refreshes_{0};
+};
+
+}  // namespace cluster
+}  // namespace mlkv

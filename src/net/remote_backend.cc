@@ -114,7 +114,7 @@ void RemoteBackend::CheckIn(Socket s) {
 Status RemoteBackend::Exchange(Socket* s, Opcode op,
                                const PayloadWriter& request,
                                Status* transport, std::vector<uint8_t>* body,
-                               size_t* body_off) {
+                               size_t* body_off, std::span<const uint8_t> aux) {
   // Inside a traced request, the sub-RPC reuses the outer request id so a
   // cluster hop's server-side trace can be stitched to this client span by
   // id. Safe: the protocol is strictly request/response per socket, so the
@@ -124,7 +124,9 @@ Status RemoteBackend::Exchange(Socket* s, Opcode op,
       trace != nullptr
           ? trace->request_id()
           : next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  MLKV_RETURN_NOT_OK(SendFrame(s, op, 0, id, request.bytes()));
+  MLKV_RETURN_NOT_OK(aux.empty()
+                         ? SendFrame(s, op, 0, id, request.bytes())
+                         : SendFrame(s, op, 0, id, request.bytes(), aux));
   FrameHeader hdr;
   MLKV_RETURN_NOT_OK(RecvFrame(s, &hdr, body));
   if (hdr.request_id != id || hdr.opcode != op ||
@@ -141,7 +143,7 @@ Status RemoteBackend::Exchange(Socket* s, Opcode op,
 
 Status RemoteBackend::Rpc(Opcode op, const PayloadWriter& request,
                           Status* transport, std::vector<uint8_t>* body,
-                          size_t* body_off) {
+                          size_t* body_off, std::span<const uint8_t> aux) {
   obs::ScopedSpan rpc_span("rpc", options_.addr);
   Socket s;
   bool pooled = false;
@@ -149,7 +151,7 @@ Status RemoteBackend::Rpc(Opcode op, const PayloadWriter& request,
   requests_.fetch_add(1, std::memory_order_relaxed);
   // Any failure in the exchange discards the socket (it falls out of
   // scope un-pooled): a torn stream must never serve the next batch.
-  Status st = Exchange(&s, op, request, transport, body, body_off);
+  Status st = Exchange(&s, op, request, transport, body, body_off, aux);
   if (st.ok()) {
     CheckIn(std::move(s));
     return st;
@@ -169,7 +171,7 @@ Status RemoteBackend::Rpc(Opcode op, const PayloadWriter& request,
   MLKV_RETURN_NOT_OK(ConnectFresh(&fresh));
   retries_.fetch_add(1, std::memory_order_relaxed);
   body->clear();
-  st = Exchange(&fresh, op, request, transport, body, body_off);
+  st = Exchange(&fresh, op, request, transport, body, body_off, aux);
   if (st.ok()) CheckIn(std::move(fresh));
   return st;
 }
@@ -218,11 +220,22 @@ BatchResult RemoteBackend::MultiWriteChunk(Opcode op,
                                            const float* rows, float lr,
                                            bool* transport_down) {
   PayloadWriter w;
-  EncodeMultiWriteRequest(keys, rows, dim_, lr, &w);
+  std::span<const uint8_t> aux;
+  if (kRawFloatRowsMatchWire) {
+    // The caller's rows already are their wire bytes: encode only the
+    // lr+keys header and gather the row block straight from the caller's
+    // buffer into the frame (safe across the stale-pool retry — `keys`
+    // and `rows` outlive the whole Rpc call).
+    EncodeMultiWriteRequestHeader(keys, lr, &w);
+    aux = std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(rows),
+                                   keys.size() * size_t{dim_} * 4);
+  } else {
+    EncodeMultiWriteRequest(keys, rows, dim_, lr, &w);
+  }
   Status transport;
   std::vector<uint8_t> body;
   size_t off = 0;
-  Status s = Rpc(op, w, &transport, &body, &off);
+  Status s = Rpc(op, w, &transport, &body, &off, aux);
   if (!s.ok() && transport_down != nullptr) *transport_down = true;
   if (s.ok() && !transport.ok()) s = transport;
   if (!s.ok()) return FailAll(keys.size(), s);

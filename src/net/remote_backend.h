@@ -133,13 +133,17 @@ class RemoteBackend : public KvBackend {
   // One request/response exchange. On OK, `transport` is the response's
   // transport status and the op body is body[*body_off..] — an offset,
   // not an erase, so a near-cap response is never memmoved. Retries once
-  // on a fresh socket when a pooled socket turns out to be stale.
+  // on a fresh socket when a pooled socket turns out to be stale (safe for
+  // `aux` too: the caller's span outlives the whole call). `aux` rides the
+  // frame after the request bytes as a gathered second piece — the write
+  // path sends raw caller row bytes through it with no encode copy.
   Status Rpc(Opcode op, const PayloadWriter& request, Status* transport,
-             std::vector<uint8_t>* body, size_t* body_off);
+             std::vector<uint8_t>* body, size_t* body_off,
+             std::span<const uint8_t> aux = {});
   // The exchange itself on an already-checked-out socket; does not pool.
   Status Exchange(Socket* s, Opcode op, const PayloadWriter& request,
                   Status* transport, std::vector<uint8_t>* body,
-                  size_t* body_off);
+                  size_t* body_off, std::span<const uint8_t> aux = {});
   // Folds a transport-level failure into a per-key result: every key gets
   // the failure code, so callers see the standard BatchResult contract.
   BatchResult FailAll(size_t n, const Status& s);

@@ -308,9 +308,14 @@ Status DecodeMultiGetRequest(std::span<const uint8_t> payload,
 
 void EncodeMultiWriteRequest(std::span<const Key> keys, const float* rows,
                              uint32_t dim, float lr, PayloadWriter* w) {
+  EncodeMultiWriteRequestHeader(keys, lr, w);
+  w->Floats(rows, keys.size() * size_t{dim});
+}
+
+void EncodeMultiWriteRequestHeader(std::span<const Key> keys, float lr,
+                                   PayloadWriter* w) {
   w->F32(lr);
   w->Keys(keys);
-  w->Floats(rows, keys.size() * size_t{dim});
 }
 
 Status DecodeMultiWriteRequest(std::span<const uint8_t> payload, uint32_t dim,

@@ -193,6 +193,13 @@ struct MultiWriteRequest {
 
 void EncodeMultiWriteRequest(std::span<const Key> keys, const float* rows,
                              uint32_t dim, float lr, PayloadWriter* w);
+// The request minus its row block (lr + keys). On little-endian hosts
+// (kRawFloatRowsMatchWire) the rows' in-memory bytes already are their
+// wire encoding, so the caller sends this header plus the raw row bytes
+// as a gathered two-piece frame — the write path's counterpart of
+// CollectServedRowRuns, sparing one full-row-block copy per request.
+void EncodeMultiWriteRequestHeader(std::span<const Key> keys, float lr,
+                                   PayloadWriter* w);
 // `dim` cross-checks the row block against the key count.
 Status DecodeMultiWriteRequest(std::span<const uint8_t> payload, uint32_t dim,
                                MultiWriteRequest* out);

@@ -95,6 +95,37 @@ class HistogramCell {
   Histogram h_;
 };
 
+// Exponentially weighted moving average of observed samples — the cheap
+// "recent typical value" companion to a full histogram (per-endpoint RPC
+// latency feeding the hedging decision). Lock-free: a CAS loop like
+// Gauge::Add; the first sample seeds the average so warmup is not dragged
+// toward zero. alpha is the weight of each new sample (1/8 tracks a
+// latency signal without chasing every spike).
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.125) : alpha_(alpha) {}
+
+  void Observe(double sample) {
+    if (!MetricsEnabled()) return;
+    if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+      v_.store(sample, std::memory_order_relaxed);
+      return;
+    }
+    double prev = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(prev, prev + alpha_ * (sample - prev),
+                                     std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  const double alpha_;
+  std::atomic<double> v_{0.0};
+  std::atomic<uint64_t> count_{0};
+};
+
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
 // Exposition shape of a histogram family: recorded-unit -> exposition-unit

@@ -12,21 +12,21 @@ EmbeddingServer::EmbeddingServer(EmbeddingTable* table,
                                  const ServeOptions& options)
     : table_(table),
       options_(options),
-      cache_(options.cache_capacity, table->dim(), options.cache_shards) {}
+      cache_(options.cache_capacity, table->dim(), options.cache_shards,
+             options.cache_admission) {}
 
 Status EmbeddingServer::Lookup(std::span<const Key> keys, float* out) {
   const StopWatch watch;
   const uint32_t dim = table_->dim();
   const uint32_t emb_bytes = table_->value_bytes();
-  uint64_t cache_hits = 0, store_hits = 0, missing = 0;
+  uint64_t store_hits = 0, missing = 0;
 
-  // Pass 1: serve straight from the cache, collecting misses.
+  // Pass 1: serve straight from the cache, collecting misses. Hit/miss
+  // accounting happens inside the cache (its counters are the only copy).
   std::vector<Key> miss_keys;
   std::vector<uint32_t> miss_at;
   for (size_t i = 0; i < keys.size(); ++i) {
-    if (cache_.Get(keys[i], out + i * dim)) {
-      ++cache_hits;
-    } else {
+    if (!cache_.Get(keys[i], out + i * dim)) {
       miss_keys.push_back(keys[i]);
       miss_at.push_back(static_cast<uint32_t>(i));
     }
@@ -57,7 +57,6 @@ Status EmbeddingServer::Lookup(std::span<const Key> keys, float* out) {
 
   lookups_.fetch_add(keys.size(), std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
-  cache_hits_.fetch_add(cache_hits, std::memory_order_relaxed);
   store_hits_.fetch_add(store_hits, std::memory_order_relaxed);
   missing_.fetch_add(missing, std::memory_order_relaxed);
   batch_latency_us_.Record(watch.ElapsedMicros());
@@ -84,14 +83,17 @@ Status EmbeddingServer::Warm(std::span<const Key> keys) {
 
 ServeStats EmbeddingServer::stats() const {
   ServeStats s;
+  const EmbeddingCache::CacheStats cs = cache_.stats();
   s.lookups = lookups_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_hits = cs.hits;
   s.store_hits = store_hits_.load(std::memory_order_relaxed);
   s.missing = missing_.load(std::memory_order_relaxed);
+  s.admission_rejects = cs.admission_rejects;
   s.batch_p50_us = batch_latency_us_.Percentile(0.50);
   s.batch_p95_us = batch_latency_us_.Percentile(0.95);
   s.batch_p99_us = batch_latency_us_.Percentile(0.99);
+  s.batch_p999_us = batch_latency_us_.Percentile(0.999);
   s.batch_max_us = batch_latency_us_.max();
   return s;
 }
@@ -115,6 +117,15 @@ void EmbeddingServer::CollectMetrics(obs::MetricsSink* sink) const {
   sink->AddGauge("mlkv_serve_cache_entries",
                  "Vectors resident in the serving cache.",
                  static_cast<double>(cache_.size()));
+  // Admission families are emitted unconditionally (zeros under kLru) so
+  // scrapers never see them appear when the policy flag flips.
+  const EmbeddingCache::CacheStats cs = cache_.stats();
+  sink->AddCounter("mlkv_serve_admission_rejects_total",
+                   "Cache fills refused by TinyLFU admission.",
+                   cs.admission_rejects);
+  sink->AddCounter("mlkv_serve_admission_agings_total",
+                   "TinyLFU sketch aging resets (halve + doorkeeper clear).",
+                   cs.admission_agings);
   for (size_t i = 0; i < cache_.num_cache_shards(); ++i) {
     const EmbeddingCache::CacheStats cs = cache_.shard_stats(i);
     const std::string shard = std::to_string(i);
@@ -130,9 +141,9 @@ void EmbeddingServer::CollectMetrics(obs::MetricsSink* sink) const {
 void EmbeddingServer::ResetStats() {
   lookups_.store(0, std::memory_order_relaxed);
   batches_.store(0, std::memory_order_relaxed);
-  cache_hits_.store(0, std::memory_order_relaxed);
   store_hits_.store(0, std::memory_order_relaxed);
   missing_.store(0, std::memory_order_relaxed);
+  cache_.ResetStats();
   batch_latency_us_.Reset();
 }
 

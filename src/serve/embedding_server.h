@@ -48,17 +48,23 @@ struct ServeOptions {
   // Missing keys: zero-fill the output (true, the DLRM-serving convention —
   // unseen ids embed to the origin) or fail the batch (false).
   bool zero_fill_missing = true;
+  // Cache admission policy (docs/SERVING.md): kTinyLfu guards eviction with
+  // a per-shard frequency sketch so one-hit-wonders cannot displace the hot
+  // working set; kLru is the classic always-admit cache.
+  CacheAdmission cache_admission = CacheAdmission::kLru;
 };
 
 struct ServeStats {
   uint64_t lookups = 0;         // individual keys served
   uint64_t batches = 0;
-  uint64_t cache_hits = 0;
+  uint64_t cache_hits = 0;      // read from the cache's own counters
   uint64_t store_hits = 0;
   uint64_t missing = 0;
+  uint64_t admission_rejects = 0;  // TinyLFU fills refused (kTinyLfu only)
   uint64_t batch_p50_us = 0;    // batch latency percentiles
   uint64_t batch_p95_us = 0;
   uint64_t batch_p99_us = 0;
+  uint64_t batch_p999_us = 0;
   uint64_t batch_max_us = 0;
 };
 
@@ -94,9 +100,11 @@ class EmbeddingServer {
   EmbeddingCache cache_;
   Histogram batch_latency_us_;
 
+  // Cache hit/miss counts live on the cache's own per-shard counters (one
+  // source of truth — stats() reads them back); only what the cache cannot
+  // know is counted here.
   std::atomic<uint64_t> lookups_{0};
   std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> store_hits_{0};
   std::atomic<uint64_t> missing_{0};
 };

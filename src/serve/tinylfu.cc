@@ -1,0 +1,80 @@
+#include "serve/tinylfu.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace mlkv {
+
+namespace {
+
+// Independent odd multipliers re-mix the caller's hash per row, so the four
+// rows index uncorrelated counter positions from one 64-bit input.
+constexpr uint64_t kRowSeeds[4] = {
+    0x9E3779B97F4A7C15ull,
+    0xC2B2AE3D27D4EB4Full,
+    0x165667B19E3779F9ull,
+    0xD6E8FEB86659FD93ull,
+};
+
+}  // namespace
+
+TinyLfu::TinyLfu(size_t counters, uint64_t sample_window) {
+  const uint64_t n = RoundUpPow2(std::max<size_t>(counters, 64));
+  mask_ = n - 1;
+  sample_window_ = sample_window != 0 ? sample_window : n * 8;
+  table_.assign(kRows * (n >> 1), 0);
+  door_.assign(n >> 6, 0);
+}
+
+size_t TinyLfu::IndexFor(size_t row, uint64_t hash) const {
+  // Take high product bits: the low bits of h * odd are the least mixed.
+  return static_cast<size_t>((hash * kRowSeeds[row]) >> 32) & mask_;
+}
+
+void TinyLfu::RecordAccess(uint64_t hash) {
+  ++accesses_;
+  if (++window_accesses_ >= sample_window_) Age();
+
+  const size_t bit = static_cast<size_t>(hash) & mask_;
+  const uint64_t word_bit = uint64_t{1} << (bit & 63);
+  if ((door_[bit >> 6] & word_bit) == 0) {
+    door_[bit >> 6] |= word_bit;  // first sighting: doorkeeper only
+    return;
+  }
+
+  // Conservative update: only the rows at the current minimum move, which
+  // tightens estimates against hash-collision inflation.
+  size_t idx[kRows];
+  uint8_t vals[kRows];
+  uint8_t min = 0x0F;
+  for (size_t r = 0; r < kRows; ++r) {
+    idx[r] = IndexFor(r, hash);
+    vals[r] = Nibble(r, idx[r]);
+    min = std::min(min, vals[r]);
+  }
+  if (min >= 0x0F) return;  // saturated
+  for (size_t r = 0; r < kRows; ++r) {
+    if (vals[r] == min) BumpNibble(r, idx[r]);
+  }
+}
+
+uint32_t TinyLfu::Estimate(uint64_t hash) const {
+  uint8_t min = 0x0F;
+  for (size_t r = 0; r < kRows; ++r) {
+    min = std::min(min, Nibble(r, IndexFor(r, hash)));
+  }
+  const size_t bit = static_cast<size_t>(hash) & mask_;
+  const uint32_t seen = (door_[bit >> 6] >> (bit & 63)) & 1;
+  return min + seen;
+}
+
+void TinyLfu::Age() {
+  // (b >> 1) & 0x77 halves both packed nibbles without cross-talk.
+  for (uint8_t& b : table_) b = static_cast<uint8_t>((b >> 1) & 0x77);
+  std::fill(door_.begin(), door_.end(), 0);
+  window_accesses_ = 0;
+  ++agings_;
+}
+
+}  // namespace mlkv

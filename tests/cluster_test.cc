@@ -8,9 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "backend/delayed_backend.h"
 #include "backend/kv_backend.h"
 #include "cluster/cluster_backend.h"
 #include "cluster/cluster_map.h"
+#include "cluster/hot_keys.h"
 #include "cluster/replicator.h"
 #include "common/hash.h"
 #include "io/temp_dir.h"
@@ -132,6 +134,52 @@ TEST(ClusterMapTest, DecodeRejectsTruncation) {
     ClusterMap out;
     EXPECT_FALSE(DecodeClusterMap(&r, &out).ok()) << "cut " << cut;
   }
+}
+
+TEST(ClusterMapTest, MutualReplicasReuseEndpointSlots) {
+  // Each primary replicates the other: a replica address already present
+  // must resolve to the existing endpoint index, not a duplicate slot —
+  // one server is one endpoint, or its self-identification (and with it
+  // read-ownership enforcement) splits across slots.
+  ClusterMap m;
+  ASSERT_TRUE(BuildClusterMap({"a:1", "b:2"}, {"b:2", "a:1"}, 1,
+                              ReadPreference::kPrimary, 1, &m)
+                  .ok());
+  ASSERT_EQ(m.endpoints.size(), 2u);
+  EXPECT_EQ(m.partitions[0].replicas, std::vector<uint32_t>{1u});
+  EXPECT_EQ(m.partitions[1].replicas, std::vector<uint32_t>{0u});
+  for (Key k = 0; k < 32; ++k) {
+    EXPECT_TRUE(m.OwnsForRead(0, k));
+    EXPECT_TRUE(m.OwnsForRead(1, k));
+    EXPECT_NE(m.OwnsForWrite(0, k), m.OwnsForWrite(1, k));
+  }
+  // A primary listed as its own replica adds nothing and is dropped.
+  ClusterMap self;
+  ASSERT_TRUE(BuildClusterMap({"a:1"}, {"a:1"}, 0, ReadPreference::kPrimary,
+                              1, &self)
+                  .ok());
+  EXPECT_EQ(self.endpoints.size(), 1u);
+  EXPECT_TRUE(self.partitions[0].replicas.empty());
+}
+
+// --- hot-key tracker -----------------------------------------------------
+
+TEST(HotKeyTrackerTest, RepeatKeysRankIntoTheHotSet) {
+  cluster::HotKeyTracker t(/*top_k=*/2, /*refresh_interval=*/64);
+  EXPECT_TRUE(t.hot()->keys.empty());
+  for (int round = 0; round < 8; ++round) {
+    std::vector<Key> batch = {7, 9};
+    for (Key n = 0; n < 62; ++n) {
+      batch.push_back(10000 + round * 62 + n);  // one-hit noise
+    }
+    t.RecordReads(batch);
+  }
+  EXPECT_GE(t.refreshes(), 1u);
+  auto hot = t.hot();
+  EXPECT_TRUE(hot->contains(7));
+  EXPECT_TRUE(hot->contains(9));
+  EXPECT_LE(hot->keys.size(), 2u);
+  EXPECT_FALSE(hot->contains(10000));
 }
 
 // --- cluster harness -----------------------------------------------------
@@ -452,6 +500,158 @@ TEST(ClusterEpochTest, StaleClientRefetchesMapAndRetriesRejectedKeys) {
   client.reset();
   s0.server->Stop();
   s1.server->Stop();
+}
+
+// --- hedging and hot-key replication -------------------------------------
+
+// Two loopback servers, each the primary of one partition and the replica
+// of the other (the mutual-replica map above), both preloaded with the
+// same rows so either side can serve any read. Server 0's engine sits
+// behind a DelayedBackend with the caller's script.
+struct HedgeCluster {
+  TestServer s0, s1;
+  DelayedBackend* slow = nullptr;  // server 0's decorator (server-owned)
+  std::vector<Key> keys;
+  std::vector<float> values;
+};
+
+HedgeCluster StartMutualReplicaPair(TempDir& dir,
+                                    DelayedBackend::Options delay,
+                                    size_t rows) {
+  HedgeCluster hc;
+  hc.keys.resize(rows);
+  hc.values.resize(rows * 8);
+  for (size_t i = 0; i < rows; ++i) {
+    hc.keys[i] = i + 1;
+    for (int d = 0; d < 8; ++d) hc.values[i * 8 + d] = i * 2.0f + d;
+  }
+  for (int i = 0; i < 2; ++i) {
+    BackendConfig cfg;
+    cfg.dir = dir.File(i == 0 ? "hp0" : "hp1");
+    cfg.dim = 8;
+    cfg.buffer_bytes = 4ull << 20;
+    cfg.staleness_bound = UINT32_MAX - 1;
+    cfg.shard_bits = 1;
+    std::unique_ptr<KvBackend> engine;
+    EXPECT_TRUE(MakeBackend(BackendKind::kFaster, cfg, &engine).ok());
+    EXPECT_TRUE(engine->MultiPut(hc.keys, hc.values.data()).AllOk());
+    if (i == 0) {
+      auto d = std::make_unique<DelayedBackend>(std::move(engine), delay);
+      hc.slow = d.get();
+      engine = std::move(d);
+    }
+    net::KvServerOptions so;
+    so.num_workers = 4;
+    TestServer& t = i == 0 ? hc.s0 : hc.s1;
+    t.server = std::make_unique<net::KvServer>(std::move(engine), so);
+    EXPECT_TRUE(t.server->Start().ok());
+    t.addr = t.server->addr();
+  }
+  auto map = std::make_shared<ClusterMap>();
+  EXPECT_TRUE(BuildClusterMap({hc.s0.addr, hc.s1.addr},
+                              {hc.s1.addr, hc.s0.addr}, 1,
+                              ReadPreference::kPrimary, 1, map.get())
+                  .ok());
+  hc.s0.server->UpdateClusterMap(map, 0);
+  hc.s1.server->UpdateClusterMap(map, 1);
+  return hc;
+}
+
+TEST(ClusterHedgeTest, HedgingRecoversSlowEndpointReads) {
+  TempDir dir;
+  DelayedBackend::Options d;
+  d.delay_us = 20000;  // every read on server 0 stalls well past the delay
+  HedgeCluster hc = StartMutualReplicaPair(dir, d, 128);
+
+  cluster::ClusterBackendOptions co;
+  co.endpoints = {hc.s0.addr, hc.s1.addr};
+  co.hedge_us = 1000;
+  std::unique_ptr<ClusterBackend> client;
+  ASSERT_TRUE(ClusterBackend::Connect(co, &client).ok());
+
+  MultiGetOptions o;
+  o.untracked = true;
+  o.init_missing = false;
+  std::vector<float> out(hc.keys.size() * 8);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::fill(out.begin(), out.end(), -1.0f);
+    const BatchResult r = client->MultiGet(hc.keys, out.data(), o);
+    ASSERT_TRUE(r.AllOk()) << r.status().ToString();
+    // First response wins, and the winner's bytes must be exactly the
+    // written rows — whichever side served them.
+    EXPECT_EQ(out, hc.values);
+  }
+  const cluster::HedgeStats hs = client->hedge_stats();
+  EXPECT_GT(hs.issued, 0u);
+  EXPECT_GT(hs.wins, 0u);
+  EXPECT_GT(hc.slow->delays(), 0u);
+  client.reset();
+  hc.s0.server->Stop();
+  hc.s1.server->Stop();
+}
+
+TEST(ClusterHedgeTest, WritesNeverHedge) {
+  TempDir dir;
+  DelayedBackend::Options d;
+  d.delay_us = 3000;
+  d.delay_writes = true;  // even a slow write path must not hedge
+  HedgeCluster hc = StartMutualReplicaPair(dir, d, 64);
+
+  cluster::ClusterBackendOptions co;
+  co.endpoints = {hc.s0.addr, hc.s1.addr};
+  co.hedge_us = 200;  // far below the write stall
+  std::unique_ptr<ClusterBackend> client;
+  ASSERT_TRUE(ClusterBackend::Connect(co, &client).ok());
+
+  std::vector<float> grads(hc.keys.size() * 8, 0.0f);
+  for (int rep = 0; rep < 3; ++rep) {
+    ASSERT_TRUE(client->MultiPut(hc.keys, hc.values.data()).AllOk());
+    ASSERT_TRUE(
+        client->MultiApplyGradient(hc.keys, grads.data(), 0.0f).AllOk());
+  }
+  EXPECT_EQ(client->hedge_stats().issued, 0u);
+  EXPECT_EQ(client->hedge_stats().wins, 0u);
+  client.reset();
+  hc.s0.server->Stop();
+  hc.s1.server->Stop();
+}
+
+TEST(ClusterHotKeyTest, HotKeyReadsSpreadAcrossPrimaryAndReplica) {
+  TempDir dir;
+  HedgeCluster hc = StartMutualReplicaPair(dir, DelayedBackend::Options{},
+                                           32);
+
+  cluster::ClusterBackendOptions co;
+  co.endpoints = {hc.s0.addr, hc.s1.addr};
+  co.hot_replicate_top_k = 4;
+  co.hot_refresh_interval = 64;
+  std::unique_ptr<ClusterBackend> client;
+  ASSERT_TRUE(ClusterBackend::Connect(co, &client).ok());
+
+  const Key hot = hc.keys[0];
+  MultiGetOptions o;
+  o.untracked = true;
+  o.init_missing = false;
+  std::vector<float> out(8);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(client->MultiGet({&hot, 1}, out.data(), o).AllOk());
+    for (int dd = 0; dd < 8; ++dd) {
+      ASSERT_FLOAT_EQ(out[dd], hc.values[dd]) << "iter " << i;
+    }
+  }
+  EXPECT_GT(client->hot_reads(), 0u);
+  auto hotset = client->hot_keys();
+  ASSERT_NE(hotset, nullptr);
+  EXPECT_TRUE(hotset->contains(hot));
+  // Once the tracker refreshes (after 64 reads), the hot key's reads
+  // round-robin across primary and replica: both endpoints serve a
+  // meaningful share of the 600 single-key batches.
+  for (const cluster::EndpointStats& s : client->endpoint_stats()) {
+    EXPECT_GT(s.requests, 100u) << s.addr;
+  }
+  client.reset();
+  hc.s0.server->Stop();
+  hc.s1.server->Stop();
 }
 
 }  // namespace

@@ -290,6 +290,40 @@ TEST(WireTest, GatheredRowRunsByteIdenticalToCopyEncode) {
   }
 }
 
+TEST(WireTest, WriteHeaderPlusRawRowsByteIdenticalToCopyEncode) {
+  // The client's zero-copy write path frames [EncodeMultiWriteRequestHeader
+  // bytes] followed by the caller's raw float block as a gathered second
+  // piece. That concatenation must be byte-identical to the copy path
+  // (EncodeMultiWriteRequest), or servers would decode the two encodings
+  // of the same request differently.
+  if (!kRawFloatRowsMatchWire) GTEST_SKIP() << "big-endian host";
+  constexpr uint32_t kDim = 3;
+  std::vector<Key> keys = {42, 7, 19};
+  std::vector<float> rows(keys.size() * kDim);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = static_cast<float>(i) * 0.25f - 1.0f;
+  }
+  PayloadWriter copy_path;
+  EncodeMultiWriteRequest(keys, rows.data(), kDim, 0.125f, &copy_path);
+
+  PayloadWriter header;
+  EncodeMultiWriteRequestHeader(keys, 0.125f, &header);
+  std::vector<uint8_t> gathered(header.bytes().begin(), header.bytes().end());
+  const uint8_t* raw = reinterpret_cast<const uint8_t*>(rows.data());
+  gathered.insert(gathered.end(), raw, raw + rows.size() * sizeof(float));
+  ASSERT_EQ(gathered.size(), copy_path.bytes().size());
+  EXPECT_EQ(std::memcmp(gathered.data(), copy_path.bytes().data(),
+                        gathered.size()),
+            0);
+
+  // And the gathered bytes decode back to the original request.
+  MultiWriteRequest out;
+  ASSERT_TRUE(DecodeMultiWriteRequest(gathered, kDim, &out).ok());
+  EXPECT_FLOAT_EQ(out.lr, 0.125f);
+  EXPECT_EQ(out.keys, keys);
+  EXPECT_EQ(out.rows, rows);
+}
+
 TEST(WireTest, CollectServedRowRunsCoalescesAdjacentRows) {
   if (!kRawFloatRowsMatchWire) GTEST_SKIP() << "big-endian host";
   constexpr uint32_t kDim = 2;

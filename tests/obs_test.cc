@@ -91,6 +91,20 @@ TEST(MetricsRegistryTest, DisableFreezesRecordPaths) {
   EXPECT_EQ(h->histogram().count(), 1u);
 }
 
+TEST(MetricsRegistryTest, EwmaSeedsConvergesAndFreezes) {
+  Ewma e;  // default alpha 0.125
+  e.Observe(100.0);
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);  // first sample seeds, no decay from 0
+  for (int i = 0; i < 100; ++i) e.Observe(200.0);
+  EXPECT_GT(e.value(), 190.0);
+  EXPECT_LE(e.value(), 200.0);
+  EXPECT_EQ(e.count(), 101u);
+  SetMetricsEnabled(false);
+  e.Observe(100000.0);
+  SetMetricsEnabled(true);
+  EXPECT_LE(e.value(), 200.0);
+}
+
 TEST(MetricsValidationTest, NamesAndLabelKeys) {
   EXPECT_TRUE(ValidMetricName("mlkv_ops_total"));
   EXPECT_TRUE(ValidMetricName("a:b_c9"));

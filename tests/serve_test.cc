@@ -242,6 +242,32 @@ TEST(ServeTest, ServingWhileTrainingSeesCommittedValues) {
   trainer.join();
 }
 
+TEST(ServeTest, TinyLfuAdmissionGuardsTheServingCache) {
+  ServeFixture f(4000);
+  ServeOptions o;
+  o.cache_capacity = 64;
+  o.cache_shards = 1;
+  o.cache_admission = CacheAdmission::kTinyLfu;
+  EmbeddingServer server(f.table, o);
+  std::vector<Key> hot(16);
+  for (Key k = 0; k < 16; ++k) hot[k] = k;
+  std::vector<float> out(64 * kDim);
+  std::vector<Key> scan(16);
+  for (int round = 0; round < 64; ++round) {
+    ASSERT_TRUE(server.Lookup(hot, out.data()).ok());
+    for (int i = 0; i < 16; ++i) scan[i] = 1000 + round * 16 + i;
+    ASSERT_TRUE(server.Lookup(scan, out.data()).ok());
+  }
+  EXPECT_GT(server.stats().admission_rejects, 0u)
+      << "one-hit scan keys should bounce off admission";
+  // The hot working set survived the scan: a fresh pass over it is
+  // (almost) all cache hits. A handful of misses right after a sketch
+  // aging are legitimate.
+  server.ResetStats();
+  ASSERT_TRUE(server.Lookup(hot, out.data()).ok());
+  EXPECT_GE(server.stats().cache_hits, 12u);
+}
+
 TEST(ServeTest, StatsPercentilesPopulated) {
   ServeFixture f(500);
   EmbeddingServer server(f.table, {});
